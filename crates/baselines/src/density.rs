@@ -1,0 +1,272 @@
+//! Najm's transition-density propagation (IEEE TCAD 1993).
+//!
+//! The transition density `D(y)` of a gate output is approximated from its
+//! inputs' densities through Boolean differences:
+//!
+//! ```text
+//! D(y) = Σᵢ P(∂y/∂xᵢ) · D(xᵢ)
+//! ```
+//!
+//! where `∂y/∂xᵢ = y|xᵢ=1 ⊕ y|xᵢ=0` and its probability is evaluated under
+//! spatial independence. Densities over-count when several inputs toggle
+//! simultaneously and ignore correlation — the classic fast-but-biased
+//! estimator the paper contrasts with.
+
+use swact::InputSpec;
+use swact_circuit::{Circuit, Driver, GateKind};
+
+use crate::error::check_spec;
+use crate::independence::signal_probabilities_independent;
+use crate::{BaselineError, SwitchingEstimator};
+
+/// Najm-style transition-density estimator.
+///
+/// Per-line results are densities *per clock*, so they are comparable to
+/// switching activities; on fast-moving logic the linear superposition can
+/// exceed 1 and is clamped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransitionDensity;
+
+impl SwitchingEstimator for TransitionDensity {
+    fn name(&self) -> &'static str {
+        "transition-density"
+    }
+
+    fn estimate(&self, circuit: &Circuit, spec: &InputSpec) -> Result<Vec<f64>, BaselineError> {
+        check_spec(circuit, spec)?;
+        let p = signal_probabilities_independent(circuit, spec)?;
+        let mut density = vec![0.0f64; circuit.num_lines()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            density[pi.index()] = spec.model(i).activity();
+        }
+        for line in circuit.topo_order() {
+            if let Driver::Gate(g) = circuit.driver(line) {
+                let probs: Vec<f64> = g.inputs.iter().map(|&l| p[l.index()]).collect();
+                let mut d = 0.0;
+                for (i, &input) in g.inputs.iter().enumerate() {
+                    d += boolean_difference_probability(g.kind, &probs, i)
+                        * density[input.index()];
+                }
+                density[line.index()] = d.min(1.0);
+            }
+        }
+        Ok(density)
+    }
+}
+
+/// Najm's transition density with **exact** Boolean differences: the
+/// sensitization probability `P(∂y/∂xᵢ)` is computed on the global BDD of
+/// each line with respect to each *primary input* (not gate-locally), so
+/// the only remaining approximation is the density superposition itself
+/// plus the temporal independence of inputs. This is the strongest member
+/// of the density family; it needs the circuit's BDDs to fit the node
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionDensityExact {
+    /// Maximum BDD nodes before giving up.
+    pub node_limit: usize,
+}
+
+impl Default for TransitionDensityExact {
+    fn default() -> TransitionDensityExact {
+        TransitionDensityExact {
+            node_limit: 2_000_000,
+        }
+    }
+}
+
+impl SwitchingEstimator for TransitionDensityExact {
+    fn name(&self) -> &'static str {
+        "transition-density-exact"
+    }
+
+    fn estimate(&self, circuit: &Circuit, spec: &InputSpec) -> Result<Vec<f64>, BaselineError> {
+        check_spec(circuit, spec)?;
+        let mut bdds = swact_bdd::build_circuit_bdds(circuit, self.node_limit)?;
+        let p1: Vec<f64> = (0..circuit.num_inputs())
+            .map(|i| spec.model(i).p1())
+            .collect();
+        let input_density: Vec<f64> = (0..circuit.num_inputs())
+            .map(|i| spec.model(i).activity())
+            .collect();
+        let mut density = vec![0.0f64; circuit.num_lines()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            density[pi.index()] = input_density[i];
+        }
+        for line in circuit.line_ids() {
+            if circuit.is_input(line) {
+                continue;
+            }
+            let f = bdds.lines[line.index()];
+            let mut d = 0.0;
+            for (i, &di) in input_density.iter().enumerate() {
+                let f1 = bdds.bdd.restrict(f, i, true).map_err(BaselineError::from)?;
+                let f0 = bdds
+                    .bdd
+                    .restrict(f, i, false)
+                    .map_err(BaselineError::from)?;
+                let diff = bdds.bdd.xor(f1, f0).map_err(BaselineError::from)?;
+                d += bdds.bdd.probability(diff, &p1) * di;
+            }
+            density[line.index()] = d.min(1.0);
+        }
+        Ok(density)
+    }
+}
+
+/// `P(∂f/∂xᵢ)` for a gate under independent inputs: the probability that
+/// toggling input `i` toggles the output, evaluated by enumerating the
+/// other inputs' assignments (fan-in is bounded by decomposition, so the
+/// 2^(k−1) enumeration is tiny).
+pub(crate) fn boolean_difference_probability(
+    kind: GateKind,
+    probs: &[f64],
+    toggle: usize,
+) -> f64 {
+    let k = probs.len();
+    debug_assert!(toggle < k);
+    let mut total = 0.0;
+    let others: Vec<usize> = (0..k).filter(|&j| j != toggle).collect();
+    for mask in 0..1usize << others.len() {
+        let mut weight = 1.0;
+        let mut assignment = vec![false; k];
+        for (bit, &j) in others.iter().enumerate() {
+            let value = mask >> bit & 1 == 1;
+            assignment[j] = value;
+            weight *= if value { probs[j] } else { 1.0 - probs[j] };
+        }
+        assignment[toggle] = false;
+        let f0 = kind.eval(assignment.iter().copied());
+        assignment[toggle] = true;
+        let f1 = kind.eval(assignment.iter().copied());
+        if f0 != f1 {
+            total += weight;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::catalog;
+
+    #[test]
+    fn boolean_difference_of_basic_gates() {
+        // AND(a,b): ∂y/∂a = b, so P = P(b).
+        let p = [0.5, 0.8];
+        assert!((boolean_difference_probability(GateKind::And, &p, 0) - 0.8).abs() < 1e-12);
+        // OR(a,b): ∂y/∂a = ¬b.
+        assert!((boolean_difference_probability(GateKind::Or, &p, 0) - 0.2).abs() < 1e-12);
+        // XOR: always sensitizes.
+        assert!((boolean_difference_probability(GateKind::Xor, &p, 0) - 1.0).abs() < 1e-12);
+        // NOT: always.
+        assert!(
+            (boolean_difference_probability(GateKind::Not, &[0.3], 0) - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn inverter_chain_preserves_density() {
+        use swact_circuit::CircuitBuilder;
+        let mut b = CircuitBuilder::new("invchain");
+        b.input("a").unwrap();
+        b.gate("x", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::Not, &["x"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let spec = InputSpec::from_models(vec![swact::InputModel::new(0.5, 0.3).unwrap()]);
+        let d = TransitionDensity.estimate(&c, &spec).unwrap();
+        for line in c.line_ids() {
+            assert!((d[line.index()] - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn density_overestimates_on_xor_of_shared_input() {
+        // y = XOR(a, a) never switches, but density propagation predicts
+        // 2·D(a) (clamped) — the documented over-counting.
+        use swact_circuit::CircuitBuilder;
+        let mut b = CircuitBuilder::new("xorshare");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Xor, &["a", "a"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let d = TransitionDensity.estimate(&c, &InputSpec::uniform(1)).unwrap();
+        let y = c.find_line("y").unwrap();
+        assert!(d[y.index()] > 0.9, "over-count expected, got {}", d[y.index()]);
+    }
+
+    #[test]
+    fn sane_on_c17() {
+        let c17 = catalog::c17();
+        let d = TransitionDensity.estimate(&c17, &InputSpec::uniform(5)).unwrap();
+        assert!(d.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Outputs must show nonzero density under active inputs.
+        assert!(d[c17.outputs()[0].index()] > 0.1);
+    }
+
+    #[test]
+    fn exact_density_beats_local_density_on_c17() {
+        // The exact Boolean difference handles reconvergence the local one
+        // cannot; errors against the BDD-exact switching must not grow.
+        let c17 = catalog::c17();
+        let spec = InputSpec::uniform(5);
+        let truth = crate::BddExact::default().estimate(&c17, &spec).unwrap();
+        let local = TransitionDensity.estimate(&c17, &spec).unwrap();
+        let exact = TransitionDensityExact::default()
+            .estimate(&c17, &spec)
+            .unwrap();
+        let err = |est: &[f64]| -> f64 {
+            est.iter()
+                .zip(&truth)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        };
+        assert!(
+            err(&exact) <= err(&local) + 1e-9,
+            "exact {} vs local {}",
+            err(&exact),
+            err(&local)
+        );
+    }
+
+    #[test]
+    fn exact_density_equals_switching_on_single_input_cones() {
+        // For a function of ONE input, density = P(∂f/∂x)·D(x) = D(x)
+        // whenever the output depends on x — and so does the truth.
+        use swact_circuit::CircuitBuilder;
+        let mut b = CircuitBuilder::new("chain");
+        b.input("a").unwrap();
+        b.gate("x", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::Buf, &["x"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let spec = InputSpec::from_models(vec![swact::InputModel::new(0.4, 0.3).unwrap()]);
+        let d = TransitionDensityExact::default().estimate(&c, &spec).unwrap();
+        for line in c.line_ids() {
+            assert!((d[line.index()] - 0.3).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_density_node_limit_reported() {
+        let c = catalog::benchmark("c1355").unwrap();
+        let tiny = TransitionDensityExact { node_limit: 64 };
+        assert!(matches!(
+            tiny.estimate(&c, &InputSpec::uniform(c.num_inputs())),
+            Err(crate::BaselineError::Bdd(_))
+        ));
+    }
+
+    #[test]
+    fn frozen_inputs_produce_zero_density() {
+        let c17 = catalog::c17();
+        let spec = InputSpec::from_models(vec![
+            swact::InputModel::new(0.5, 0.0).unwrap();
+            5
+        ]);
+        let d = TransitionDensity.estimate(&c17, &spec).unwrap();
+        assert!(d.iter().all(|&x| x.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use swact_bdd::BddError;
+
+/// Errors from baseline estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// The input spec covers a different number of inputs than the circuit.
+    InputCountMismatch {
+        /// Inputs the circuit has.
+        circuit: usize,
+        /// Inputs the spec covers.
+        spec: usize,
+    },
+    /// A BDD-based estimator exhausted its node budget.
+    Bdd(BddError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InputCountMismatch { circuit, spec } => write!(
+                f,
+                "input spec covers {spec} inputs but the circuit has {circuit}"
+            ),
+            BaselineError::Bdd(e) => write!(f, "bdd error: {e}"),
+        }
+    }
+}
+
+impl Error for BaselineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BaselineError::Bdd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BddError> for BaselineError {
+    fn from(e: BddError) -> BaselineError {
+        BaselineError::Bdd(e)
+    }
+}
+
+pub(crate) fn check_spec(
+    circuit: &swact_circuit::Circuit,
+    spec: &swact::InputSpec,
+) -> Result<(), BaselineError> {
+    if spec.len() != circuit.num_inputs() {
+        return Err(BaselineError::InputCountMismatch {
+            circuit: circuit.num_inputs(),
+            spec: spec.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BaselineError::InputCountMismatch { circuit: 4, spec: 2 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.source().is_none());
+        let e = BaselineError::from(BddError::NodeLimit { limit: 10 });
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! Signal-probability propagation under full independence
+//! (Parker–McCluskey 1975; the zero-delay probabilistic baseline).
+
+use swact::InputSpec;
+use swact_circuit::{Circuit, Driver, GateKind};
+
+use crate::error::check_spec;
+use crate::{BaselineError, SwitchingEstimator};
+
+/// Computes every line's signal probability assuming all gate inputs are
+/// mutually independent: `P(AND) = Π pᵢ`, `P(OR) = 1 − Π (1 − pᵢ)`, parity
+/// by association, and the general case by truth-table enumeration.
+///
+/// Exact on trees; biased wherever fan-out reconverges.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::InputCountMismatch`] for a wrong-size spec.
+///
+/// # Example
+///
+/// ```
+/// use swact::InputSpec;
+/// use swact_baselines::signal_probabilities_independent;
+/// use swact_circuit::catalog;
+///
+/// # fn main() -> Result<(), swact_baselines::BaselineError> {
+/// let c17 = catalog::c17();
+/// let p = signal_probabilities_independent(&c17, &InputSpec::uniform(5))?;
+/// // 10 = NAND(pi, pi): 1 − ¼ = ¾ under independence.
+/// let l10 = c17.find_line("10").unwrap();
+/// assert!((p[l10.index()] - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn signal_probabilities_independent(
+    circuit: &Circuit,
+    spec: &InputSpec,
+) -> Result<Vec<f64>, BaselineError> {
+    check_spec(circuit, spec)?;
+    let mut p = vec![0.0f64; circuit.num_lines()];
+    for (i, &pi) in circuit.inputs().iter().enumerate() {
+        p[pi.index()] = spec.model(i).p1();
+    }
+    for line in circuit.topo_order() {
+        if let Driver::Gate(g) = circuit.driver(line) {
+            let probs: Vec<f64> = g.inputs.iter().map(|&l| p[l.index()]).collect();
+            p[line.index()] = gate_probability(g.kind, &probs);
+        }
+    }
+    Ok(p)
+}
+
+/// `P(gate = 1)` for independent inputs with the given one-probabilities.
+pub(crate) fn gate_probability(kind: GateKind, probs: &[f64]) -> f64 {
+    match kind {
+        GateKind::And => probs.iter().product(),
+        GateKind::Nand => 1.0 - probs.iter().product::<f64>(),
+        GateKind::Or => 1.0 - probs.iter().map(|p| 1.0 - p).product::<f64>(),
+        GateKind::Nor => probs.iter().map(|p| 1.0 - p).product(),
+        GateKind::Xor => probs
+            .iter()
+            .fold(0.0, |acc, &p| acc * (1.0 - p) + (1.0 - acc) * p),
+        GateKind::Xnor => {
+            1.0 - probs
+                .iter()
+                .fold(0.0, |acc, &p| acc * (1.0 - p) + (1.0 - acc) * p)
+        }
+        GateKind::Not => 1.0 - probs[0],
+        GateKind::Buf => probs[0],
+        GateKind::Const0 => 0.0,
+        GateKind::Const1 => 1.0,
+    }
+}
+
+/// The Parker–McCluskey baseline: independent signal probabilities,
+/// switching recovered under temporal independence as `2·p·(1−p)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Independence;
+
+impl SwitchingEstimator for Independence {
+    fn name(&self) -> &'static str {
+        "independence"
+    }
+
+    fn estimate(&self, circuit: &Circuit, spec: &InputSpec) -> Result<Vec<f64>, BaselineError> {
+        let p = signal_probabilities_independent(circuit, spec)?;
+        Ok(circuit
+            .line_ids()
+            .map(|line| match circuit.driver(line) {
+                // Inputs report their modeled activity exactly.
+                Driver::Input => {
+                    let pos = circuit
+                        .inputs()
+                        .iter()
+                        .position(|&l| l == line)
+                        .expect("input in list");
+                    spec.model(pos).activity()
+                }
+                Driver::Gate(_) => 2.0 * p[line.index()] * (1.0 - p[line.index()]),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::{catalog, CircuitBuilder};
+
+    #[test]
+    fn gate_probability_formulas() {
+        let p = [0.3, 0.6];
+        assert!((gate_probability(GateKind::And, &p) - 0.18).abs() < 1e-12);
+        assert!((gate_probability(GateKind::Or, &p) - (1.0 - 0.7 * 0.4)).abs() < 1e-12);
+        let xor = 0.3 * 0.4 + 0.7 * 0.6;
+        assert!((gate_probability(GateKind::Xor, &p) - xor).abs() < 1e-12);
+        assert!((gate_probability(GateKind::Xnor, &p) - (1.0 - xor)).abs() < 1e-12);
+        assert!((gate_probability(GateKind::Not, &[0.3]) - 0.7).abs() < 1e-12);
+        assert_eq!(gate_probability(GateKind::Const1, &[]), 1.0);
+    }
+
+    #[test]
+    fn exact_on_tree_circuits() {
+        // Without reconvergence the independence assumption holds, so the
+        // result matches the BDD-exact signal probability.
+        let t = swact_circuit::benchgen::tree("t8", 3, GateKind::And, 1);
+        let spec = InputSpec::independent(vec![0.6; 8]);
+        let p = signal_probabilities_independent(&t, &spec).unwrap();
+        let out = t.outputs()[0];
+        assert!((p[out.index()] - 0.6f64.powi(8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_on_reconvergent_fanout() {
+        // y = AND(a, NOT a) is constantly 0, but independence predicts
+        // p(1-p) > 0.
+        let mut b = CircuitBuilder::new("contradiction");
+        b.input("a").unwrap();
+        b.gate("na", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["a", "na"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let p = signal_probabilities_independent(&c, &InputSpec::uniform(1)).unwrap();
+        let y = c.find_line("y").unwrap();
+        assert!((p[y.index()] - 0.25).abs() < 1e-12, "the known bias");
+    }
+
+    #[test]
+    fn switching_matches_two_state_formula() {
+        let c17 = catalog::c17();
+        let spec = InputSpec::uniform(5);
+        let sw = Independence.estimate(&c17, &spec).unwrap();
+        let p = signal_probabilities_independent(&c17, &spec).unwrap();
+        for line in c17.gate_lines() {
+            let want = 2.0 * p[line.index()] * (1.0 - p[line.index()]);
+            assert!((sw[line.index()] - want).abs() < 1e-12);
+        }
+        // Inputs report the model activity.
+        let pi = c17.inputs()[0];
+        assert!((sw[pi.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_size_checked() {
+        let c17 = catalog::c17();
+        assert!(matches!(
+            Independence.estimate(&c17, &InputSpec::uniform(2)),
+            Err(BaselineError::InputCountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! Prior-art switching-activity estimators — the comparison class of the
+//! paper's Table 2.
+//!
+//! Four estimators share the [`SwitchingEstimator`] interface:
+//!
+//! * [`Independence`] — Parker–McCluskey-style signal-probability
+//!   propagation under full spatial independence, switching recovered as
+//!   `2·p·(1−p)`. The fastest and least accurate family (paper refs
+//!   \[14\], \[3\]).
+//! * [`TransitionDensity`] — Najm's transition density (\[11\]): densities
+//!   propagate through Boolean differences, signal probabilities assumed
+//!   independent.
+//! * [`PairwiseCorrelation`] — spatial correlation coefficients between
+//!   line pairs, propagated through 2-input gates (Ercolani \[12\] /
+//!   Marculescu'94 \[7\] proxy). Captures first-order reconvergent
+//!   fan-out but not higher-order dependence — the gap the paper's
+//!   Bayesian network closes.
+//! * [`BddExact`] — exact switching probabilities from global BDDs over
+//!   duplicated (prev, next) inputs; exponential worst case, used as a
+//!   reference on circuits whose BDDs fit the node budget.
+//!
+//! # Example
+//!
+//! ```
+//! use swact::InputSpec;
+//! use swact_baselines::{Independence, SwitchingEstimator};
+//! use swact_circuit::catalog;
+//!
+//! # fn main() -> Result<(), swact_baselines::BaselineError> {
+//! let c17 = catalog::c17();
+//! let estimator = Independence;
+//! let switching = estimator.estimate(&c17, &InputSpec::uniform(5))?;
+//! assert_eq!(switching.len(), c17.num_lines());
+//! # Ok(())
+//! # }
+//! ```
+
+mod bddexact;
+mod density;
+mod error;
+mod independence;
+mod pairwise;
+
+pub use bddexact::BddExact;
+pub use density::{TransitionDensity, TransitionDensityExact};
+pub use error::BaselineError;
+pub use independence::{signal_probabilities_independent, Independence};
+pub use pairwise::PairwiseCorrelation;
+
+use swact::InputSpec;
+use swact_circuit::Circuit;
+
+/// Common interface of all baseline estimators: per-line switching
+/// activity (indexed by `LineId::index`) for a circuit under given input
+/// statistics.
+pub trait SwitchingEstimator {
+    /// Short name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Estimates per-line switching activity.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific — see each estimator.
+    fn estimate(&self, circuit: &Circuit, spec: &InputSpec) -> Result<Vec<f64>, BaselineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::catalog;
+
+    #[test]
+    fn all_estimators_cover_all_lines() {
+        let c17 = catalog::c17();
+        let spec = InputSpec::uniform(5);
+        let estimators: Vec<Box<dyn SwitchingEstimator>> = vec![
+            Box::new(Independence),
+            Box::new(TransitionDensity),
+            Box::new(PairwiseCorrelation::default()),
+            Box::new(BddExact::default()),
+        ];
+        for est in estimators {
+            let sw = est.estimate(&c17, &spec).unwrap();
+            assert_eq!(sw.len(), c17.num_lines(), "{}", est.name());
+            assert!(
+                sw.iter().all(|&s| (0.0..=1.0).contains(&s)),
+                "{} out of range",
+                est.name()
+            );
+        }
+    }
+}

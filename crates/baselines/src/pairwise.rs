@@ -1,0 +1,385 @@
+//! Pairwise spatial-correlation propagation (Ercolani et al. 1992 /
+//! Marculescu et al. 1994 proxy).
+//!
+//! Every line pair `(a, b)` carries a *correlation coefficient*
+//! `C(a,b) = P(a·b) / (P(a)·P(b))`; gate outputs derive their signal
+//! probability **and** their coefficients against other lines from their
+//! inputs' coefficients, recursively, assuming higher-order correlations
+//! factor into pairwise ones:
+//!
+//! ```text
+//! C(AND(a,b), x) ≈ C(a,x) · C(b,x)
+//! ```
+//!
+//! with complement coefficients `C(ā,x) = (1 − P(a)·C(a,x)) / (1 − P(a))`
+//! closing the system for all gate kinds over 2-input decomposed logic.
+//! This captures first-order reconvergent fan-out exactly where one shared
+//! variable dominates, but — as the paper stresses — cannot represent
+//! conditional independence or genuine higher-order dependence.
+
+use std::collections::HashMap;
+
+use swact::InputSpec;
+use swact_circuit::{decompose::decompose_fanin, Circuit, Driver, GateKind, LineId};
+
+use crate::error::check_spec;
+use crate::{BaselineError, SwitchingEstimator};
+
+/// The pairwise-correlation estimator. `max_depth` truncates the coefficient
+/// recursion (deeper pairs are assumed uncorrelated), trading accuracy for
+/// bounded work on deep circuits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseCorrelation {
+    /// Maximum recursion depth for coefficient queries.
+    pub max_depth: usize,
+}
+
+impl Default for PairwiseCorrelation {
+    fn default() -> PairwiseCorrelation {
+        PairwiseCorrelation { max_depth: 24 }
+    }
+}
+
+impl SwitchingEstimator for PairwiseCorrelation {
+    fn name(&self) -> &'static str {
+        "pairwise-correlation"
+    }
+
+    fn estimate(&self, circuit: &Circuit, spec: &InputSpec) -> Result<Vec<f64>, BaselineError> {
+        check_spec(circuit, spec)?;
+        let working = decompose_fanin(circuit, 2).expect("decomposition of a valid circuit");
+        let mut engine = Engine::new(&working, spec, self.max_depth);
+        engine.propagate();
+        // Map back to original lines by name; switching under temporal
+        // independence is 2·p·(1−p), inputs report modeled activity.
+        Ok(circuit
+            .line_ids()
+            .map(|line| match circuit.driver(line) {
+                Driver::Input => {
+                    let pos = circuit
+                        .inputs()
+                        .iter()
+                        .position(|&l| l == line)
+                        .expect("input in list");
+                    spec.model(pos).activity()
+                }
+                Driver::Gate(_) => {
+                    let w = working
+                        .find_line(circuit.line_name(line))
+                        .expect("names preserved");
+                    let p = engine.p[w.index()];
+                    2.0 * p * (1.0 - p)
+                }
+            })
+            .collect())
+    }
+}
+
+struct Engine<'c> {
+    circuit: &'c Circuit,
+    /// Topological rank per line (later lines decompose first).
+    rank: Vec<usize>,
+    /// Signal probability per line, filled in topological order.
+    p: Vec<f64>,
+    /// Memoized coefficients keyed by (low id, high id).
+    memo: HashMap<(u32, u32), f64>,
+    max_depth: usize,
+}
+
+impl<'c> Engine<'c> {
+    fn new(circuit: &'c Circuit, spec: &InputSpec, max_depth: usize) -> Engine<'c> {
+        let mut rank = vec![0usize; circuit.num_lines()];
+        for (i, line) in circuit.topo_order().into_iter().enumerate() {
+            rank[line.index()] = i;
+        }
+        let mut p = vec![0.0f64; circuit.num_lines()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            p[pi.index()] = spec.model(i).p1();
+        }
+        Engine {
+            circuit,
+            rank,
+            p,
+            memo: HashMap::new(),
+            max_depth,
+        }
+    }
+
+    fn propagate(&mut self) {
+        for line in self.circuit.topo_order() {
+            if let Driver::Gate(g) = self.circuit.driver(line) {
+                self.p[line.index()] = match (g.kind, g.inputs.as_slice()) {
+                    (GateKind::Const0, _) => 0.0,
+                    (GateKind::Const1, _) => 1.0,
+                    (GateKind::Buf, &[a]) => self.p[a.index()],
+                    (GateKind::Not, &[a]) => 1.0 - self.p[a.index()],
+                    (kind, &[a]) => {
+                        // Single-input multi-kind gate degenerates.
+                        let pa = self.p[a.index()];
+                        match kind.base() {
+                            GateKind::And | GateKind::Or | GateKind::Xor => {
+                                if kind.is_inverting() {
+                                    1.0 - pa
+                                } else {
+                                    pa
+                                }
+                            }
+                            _ => pa,
+                        }
+                    }
+                    (kind, &[a, b]) => {
+                        let c_ab = self.corr(a, b, 0);
+                        self.joint_output_probability(kind, a, b, c_ab)
+                    }
+                    _ => unreachable!("circuit decomposed to fan-in ≤ 2"),
+                }
+                .clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    /// `P(gate(a,b) = 1)` given the inputs' coefficient.
+    fn joint_output_probability(&self, kind: GateKind, a: LineId, b: LineId, c_ab: f64) -> f64 {
+        let pa = self.p[a.index()];
+        let pb = self.p[b.index()];
+        let p_ab = clamp_joint(pa * pb * c_ab, pa, pb);
+        match kind {
+            GateKind::And => p_ab,
+            GateKind::Nand => 1.0 - p_ab,
+            GateKind::Or => pa + pb - p_ab,
+            GateKind::Nor => 1.0 - (pa + pb - p_ab),
+            GateKind::Xor => pa + pb - 2.0 * p_ab,
+            GateKind::Xnor => 1.0 - (pa + pb - 2.0 * p_ab),
+            _ => unreachable!("binary kinds only"),
+        }
+    }
+
+    /// The coefficient `C(x, y) = P(x·y)/(P(x)·P(y))`.
+    fn corr(&mut self, x: LineId, y: LineId, depth: usize) -> f64 {
+        if x == y {
+            let p = self.p[x.index()];
+            return if p > 0.0 { 1.0 / p } else { 1.0 };
+        }
+        if depth >= self.max_depth {
+            return 1.0;
+        }
+        let key = (x.index().min(y.index()) as u32, x.index().max(y.index()) as u32);
+        if let Some(&hit) = self.memo.get(&key) {
+            return hit;
+        }
+        // Decompose the topologically later line.
+        let (later, other) = if self.rank[x.index()] >= self.rank[y.index()] {
+            (x, y)
+        } else {
+            (y, x)
+        };
+        let result = match self.circuit.driver(later) {
+            Driver::Input => 1.0, // two distinct primary inputs
+            Driver::Gate(g) => {
+                let kind = g.kind;
+                let inputs = g.inputs.clone();
+                self.gate_corr(kind, &inputs, later, other, depth)
+            }
+        };
+        let result = if result.is_finite() { result.max(0.0) } else { 1.0 };
+        self.memo.insert(key, result);
+        result
+    }
+
+    /// `C(gate, x)` via the product approximation over the gate's literals.
+    fn gate_corr(
+        &mut self,
+        kind: GateKind,
+        inputs: &[LineId],
+        gate_line: LineId,
+        x: LineId,
+        depth: usize,
+    ) -> f64 {
+        let py = self.p[gate_line.index()];
+        let px = self.p[x.index()];
+        if py <= 0.0 || py >= 1.0 || px <= 0.0 {
+            return 1.0; // constant lines are uncorrelated with everything
+        }
+        match (kind, inputs) {
+            (GateKind::Const0 | GateKind::Const1, _) => 1.0,
+            (GateKind::Buf, &[a]) => {
+                // P(y·x) = P(a·x); rescale onto P(y) (= P(a)).
+                self.corr(a, x, depth + 1)
+            }
+            (GateKind::Not, &[a]) => {
+                let pa = self.p[a.index()];
+                let c_ax = self.corr(a, x, depth + 1);
+                complement_corr(pa, c_ax)
+            }
+            (kind, &[a]) => {
+                // Degenerate single-input multi-kind gate.
+                let c = self.corr(a, x, depth + 1);
+                if kind.is_inverting() {
+                    complement_corr(self.p[a.index()], c)
+                } else {
+                    c
+                }
+            }
+            (kind, &[a, b]) => {
+                let pa = self.p[a.index()];
+                let pb = self.p[b.index()];
+                let c_ax = self.corr(a, x, depth + 1);
+                let c_bx = self.corr(b, x, depth + 1);
+                let c_ab = self.corr(a, b, depth + 1);
+                // P(a·b·x) ≈ P(a)P(b)P(x)·C(ab)C(ax)C(bx): conditional
+                // joints of each literal pair, composed multiplicatively.
+                let and_joint_x = |pa: f64, pb: f64, cab: f64, cax: f64, cbx: f64| -> f64 {
+                    pa * pb * cab * cax * cbx
+                };
+                // P(y·x)/P(x) for each kind, from literal combinations.
+                let na = 1.0 - pa;
+                let nb = 1.0 - pb;
+                let c_nax = complement_corr(pa, c_ax);
+                let c_nbx = complement_corr(pb, c_bx);
+                let c_anb = complement_corr_second(pa, pb, c_ab);
+                let c_nab = complement_corr_second(pb, pa, c_ab);
+                let c_nanb = complement_corr_both(pa, pb, c_ab);
+                let p_y_given_x_scaled = match kind {
+                    GateKind::And => and_joint_x(pa, pb, c_ab, c_ax, c_bx),
+                    GateKind::Nand => 1.0 - and_joint_x(pa, pb, c_ab, c_ax, c_bx),
+                    GateKind::Or => 1.0 - and_joint_x(na, nb, c_nanb, c_nax, c_nbx),
+                    GateKind::Nor => and_joint_x(na, nb, c_nanb, c_nax, c_nbx),
+                    GateKind::Xor => {
+                        and_joint_x(pa, nb, c_anb, c_ax, c_nbx)
+                            + and_joint_x(na, pb, c_nab, c_nax, c_bx)
+                    }
+                    GateKind::Xnor => {
+                        1.0 - and_joint_x(pa, nb, c_anb, c_ax, c_nbx)
+                            - and_joint_x(na, pb, c_nab, c_nax, c_bx)
+                    }
+                    _ => unreachable!("binary kinds only"),
+                };
+                (p_y_given_x_scaled / py).max(0.0)
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+/// `C(ā, x)` from `C(a, x)`.
+fn complement_corr(pa: f64, c_ax: f64) -> f64 {
+    if pa >= 1.0 {
+        1.0
+    } else {
+        ((1.0 - pa * c_ax) / (1.0 - pa)).max(0.0)
+    }
+}
+
+/// `C(a, b̄)` from `C(a, b)` (complement the *second* argument: `pa` is the
+/// first argument's probability, `pb` the complemented one's).
+fn complement_corr_second(pa: f64, pb: f64, c_ab: f64) -> f64 {
+    let _ = pa;
+    complement_corr(pb, c_ab)
+}
+
+/// `C(ā, b̄)` from `C(a, b)`.
+fn complement_corr_both(pa: f64, pb: f64, c_ab: f64) -> f64 {
+    let (na, nb) = (1.0 - pa, 1.0 - pb);
+    if na <= 0.0 || nb <= 0.0 {
+        return 1.0;
+    }
+    let joint = 1.0 - pa - pb + pa * pb * c_ab;
+    (joint / (na * nb)).max(0.0)
+}
+
+/// Clamps an approximate joint `P(a·b)` into its Fréchet bounds.
+fn clamp_joint(joint: f64, pa: f64, pb: f64) -> f64 {
+    let lo = (pa + pb - 1.0).max(0.0);
+    let hi = pa.min(pb);
+    if lo >= hi {
+        // Degenerate interval (possible only through rounding).
+        return hi;
+    }
+    joint.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::{catalog, CircuitBuilder};
+
+    #[test]
+    fn exact_on_first_order_reconvergence() {
+        // y = AND(a, NOT a) = 0: pairwise correlation captures this exactly
+        // (C(a, ā) = 0), where independence fails.
+        let mut b = CircuitBuilder::new("contradiction");
+        b.input("a").unwrap();
+        b.gate("na", GateKind::Not, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["a", "na"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let sw = PairwiseCorrelation::default()
+            .estimate(&c, &InputSpec::uniform(1))
+            .unwrap();
+        let y = c.find_line("y").unwrap();
+        assert!(sw[y.index()].abs() < 1e-9, "got {}", sw[y.index()]);
+    }
+
+    #[test]
+    fn matches_independence_on_trees() {
+        let t = swact_circuit::benchgen::tree("t8", 3, GateKind::Nand, 3);
+        let spec = InputSpec::independent(vec![0.4; 8]);
+        let pw = PairwiseCorrelation::default().estimate(&t, &spec).unwrap();
+        let ind = crate::Independence.estimate(&t, &spec).unwrap();
+        for line in t.line_ids() {
+            assert!(
+                (pw[line.index()] - ind[line.index()]).abs() < 1e-9,
+                "tree circuits have no correlation to model"
+            );
+        }
+    }
+
+    #[test]
+    fn better_than_independence_on_c17() {
+        // Compare both against the exact BDD switching under uniform
+        // temporally independent inputs.
+        let c17 = catalog::c17();
+        let spec = InputSpec::uniform(5);
+        let exact = crate::BddExact::default().estimate(&c17, &spec).unwrap();
+        let pw = PairwiseCorrelation::default().estimate(&c17, &spec).unwrap();
+        let ind = crate::Independence.estimate(&c17, &spec).unwrap();
+        let err = |est: &[f64]| -> f64 {
+            c17.line_ids()
+                .map(|l| (est[l.index()] - exact[l.index()]).abs())
+                .sum::<f64>()
+        };
+        assert!(
+            err(&pw) <= err(&ind) + 1e-9,
+            "pairwise {} vs independence {}",
+            err(&pw),
+            err(&ind)
+        );
+    }
+
+    #[test]
+    fn probabilities_stay_in_range_on_benchmarks() {
+        for name in ["pcler8", "count"] {
+            let c = catalog::benchmark(name).unwrap();
+            let sw = PairwiseCorrelation::default()
+                .estimate(&c, &InputSpec::uniform(c.num_inputs()))
+                .unwrap();
+            assert!(
+                sw.iter().all(|&s| (0.0..=1.0).contains(&s)),
+                "{name} out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_zero_reduces_to_independence() {
+        let c17 = catalog::c17();
+        let spec = InputSpec::uniform(5);
+        let shallow = PairwiseCorrelation { max_depth: 0 }
+            .estimate(&c17, &spec)
+            .unwrap();
+        let ind = crate::Independence.estimate(&c17, &spec).unwrap();
+        for line in c17.line_ids() {
+            assert!((shallow[line.index()] - ind[line.index()]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+use std::collections::HashMap;
+
+use crate::{BayesError, Factor, VarId};
+
+/// A conditional probability table in the user-friendly *row* layout: one
+/// probability distribution over the child per parent configuration, with
+/// parents enumerated in the order they were passed to
+/// [`BayesNet::add_var`] (last parent fastest).
+///
+/// # Example
+///
+/// ```
+/// use swact_bayesnet::Cpt;
+///
+/// // A root variable with P = [0.2, 0.8].
+/// let prior = Cpt::prior(vec![0.2, 0.8]);
+/// assert_eq!(prior.num_rows(), 1);
+///
+/// // A noisy inverter: P(child | parent).
+/// let inv = Cpt::rows(vec![vec![0.05, 0.95], vec![0.95, 0.05]]);
+/// assert_eq!(inv.num_rows(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cpt {
+    rows: Vec<Vec<f64>>,
+}
+
+impl Cpt {
+    /// A CPT from explicit rows (one per parent configuration).
+    pub fn rows(rows: Vec<Vec<f64>>) -> Cpt {
+        Cpt { rows }
+    }
+
+    /// A prior (no parents): exactly one row.
+    pub fn prior(distribution: Vec<f64>) -> Cpt {
+        Cpt {
+            rows: vec![distribution],
+        }
+    }
+
+    /// A deterministic CPT: row *i* puts probability one on
+    /// `state_of(parent assignment i)`. `child_card` fixes the row width.
+    pub fn deterministic<F>(num_rows: usize, child_card: usize, mut state_of: F) -> Cpt
+    where
+        F: FnMut(usize) -> usize,
+    {
+        let rows = (0..num_rows)
+            .map(|r| {
+                let mut row = vec![0.0; child_card];
+                let s = state_of(r);
+                assert!(s < child_card, "deterministic state out of range");
+                row[s] = 1.0;
+                row
+            })
+            .collect();
+        Cpt { rows }
+    }
+
+    /// Number of parent configurations covered.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rows, parent-major (last parent fastest).
+    pub fn as_rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    name: String,
+    card: usize,
+    parents: Vec<VarId>,
+    /// CPT as a canonical-layout [`Factor`] over `sorted({self} ∪ parents)`.
+    factor: Factor,
+}
+
+/// A discrete Bayesian network: a DAG of variables quantified by CPTs.
+///
+/// Variables must be added parents-first, which makes the DAG acyclic by
+/// construction; ids are dense in insertion order (a valid topological
+/// order).
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct BayesNet {
+    nodes: Vec<Node>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl BayesNet {
+    /// Creates an empty network.
+    pub fn new() -> BayesNet {
+        BayesNet::default()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over all variable ids in topological (insertion) order.
+    pub fn var_ids(&self) -> impl ExactSizeIterator<Item = VarId> + Clone {
+        (0..self.nodes.len() as u32).map(VarId)
+    }
+
+    /// The name of a variable.
+    pub fn name(&self, var: VarId) -> &str {
+        &self.nodes[var.index()].name
+    }
+
+    /// The cardinality of a variable.
+    pub fn card(&self, var: VarId) -> usize {
+        self.nodes[var.index()].card
+    }
+
+    /// Cardinalities of all variables, indexed by `VarId::index`.
+    pub fn cards(&self) -> Vec<usize> {
+        self.nodes.iter().map(|n| n.card).collect()
+    }
+
+    /// The parents of a variable, in the order given at
+    /// [`add_var`](BayesNet::add_var).
+    pub fn parents(&self, var: VarId) -> &[VarId] {
+        &self.nodes[var.index()].parents
+    }
+
+    /// The children of a variable (computed on demand).
+    pub fn children(&self, var: VarId) -> Vec<VarId> {
+        self.var_ids()
+            .filter(|&v| self.nodes[v.index()].parents.contains(&var))
+            .collect()
+    }
+
+    /// The CPT of a variable as a canonical-layout [`Factor`] over
+    /// `sorted({var} ∪ parents)`.
+    pub fn cpt_factor(&self, var: VarId) -> &Factor {
+        &self.nodes[var.index()].factor
+    }
+
+    /// Looks a variable up by name.
+    pub fn find_var(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Adds a variable with the given parents and CPT.
+    ///
+    /// `cpt` must have one row per parent configuration (parents enumerated
+    /// in the given order, last parent fastest) and `card` entries per row,
+    /// each row summing to one.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/normalization errors for malformed CPTs,
+    /// [`BayesError::UnknownVar`] for parents that have not been added yet,
+    /// and [`BayesError::DuplicateVar`] for name collisions.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        card: usize,
+        parents: &[VarId],
+        cpt: Cpt,
+    ) -> Result<VarId, BayesError> {
+        let name = name.into();
+        if card == 0 {
+            return Err(BayesError::ZeroCardinality(name));
+        }
+        if self.by_name.contains_key(&name) {
+            return Err(BayesError::DuplicateVar(name));
+        }
+        for (i, &p) in parents.iter().enumerate() {
+            if p.index() >= self.nodes.len() {
+                return Err(BayesError::UnknownVar(p.0));
+            }
+            if parents[..i].contains(&p) {
+                return Err(BayesError::DuplicateParent { var: name });
+            }
+        }
+        let var = VarId(self.nodes.len() as u32);
+        let factor = self.cpt_to_factor(&name, var, card, parents, &cpt)?;
+        self.nodes.push(Node {
+            name: name.clone(),
+            card,
+            parents: parents.to_vec(),
+            factor,
+        });
+        self.by_name.insert(name, var);
+        Ok(var)
+    }
+
+    /// Replaces the CPT of an existing variable (same parents). Used to
+    /// re-quantify root priors without recompiling the junction tree.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`add_var`](BayesNet::add_var), plus
+    /// [`BayesError::UnknownVar`] if `var` does not exist.
+    pub fn set_cpt(&mut self, var: VarId, cpt: Cpt) -> Result<(), BayesError> {
+        if var.index() >= self.nodes.len() {
+            return Err(BayesError::UnknownVar(var.0));
+        }
+        let node = &self.nodes[var.index()];
+        let factor = self.cpt_to_factor(
+            &node.name.clone(),
+            var,
+            node.card,
+            &node.parents.clone(),
+            &cpt,
+        )?;
+        self.nodes[var.index()].factor = factor;
+        Ok(())
+    }
+
+    fn cpt_to_factor(
+        &self,
+        name: &str,
+        var: VarId,
+        card: usize,
+        parents: &[VarId],
+        cpt: &Cpt,
+    ) -> Result<Factor, BayesError> {
+        let expected_rows: usize = parents.iter().map(|&p| self.card(p)).product();
+        if cpt.rows.len() != expected_rows {
+            return Err(BayesError::CptShape {
+                var: name.to_string(),
+                expected: (expected_rows, card),
+                got: (
+                    cpt.rows.len(),
+                    cpt.rows.first().map_or(0, |r| r.len()),
+                ),
+            });
+        }
+        for (row_idx, row) in cpt.rows.iter().enumerate() {
+            if row.len() != card {
+                return Err(BayesError::CptShape {
+                    var: name.to_string(),
+                    expected: (expected_rows, card),
+                    got: (cpt.rows.len(), row.len()),
+                });
+            }
+            if row.iter().any(|&p| !p.is_finite() || p < 0.0) {
+                return Err(BayesError::CptInvalidEntry {
+                    var: name.to_string(),
+                });
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(BayesError::CptNotNormalized {
+                    var: name.to_string(),
+                    row: row_idx,
+                    sum,
+                });
+            }
+        }
+        // Build the canonical factor over sorted({var} ∪ parents).
+        let mut scope: Vec<(VarId, usize)> = parents.iter().map(|&p| (p, self.card(p))).collect();
+        scope.push((var, card));
+        scope.sort_by_key(|&(v, _)| v);
+        scope.dedup_by_key(|&mut (v, _)| v);
+        let size: usize = scope.iter().map(|&(_, c)| c).product();
+        let mut values = vec![0.0; size];
+        // Strides in the canonical layout.
+        let mut strides = vec![1usize; scope.len()];
+        for i in (0..scope.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * scope[i + 1].1;
+        }
+        let pos_of = |v: VarId| scope.iter().position(|&(w, _)| w == v).expect("in scope");
+        let var_stride = strides[pos_of(var)];
+        let parent_strides: Vec<usize> = parents.iter().map(|&p| strides[pos_of(p)]).collect();
+        for (row_idx, row) in cpt.rows.iter().enumerate() {
+            // Decode row_idx into parent states (last parent fastest).
+            let mut base = 0usize;
+            let mut rem = row_idx;
+            for i in (0..parents.len()).rev() {
+                let pc = self.card(parents[i]);
+                base += (rem % pc) * parent_strides[i];
+                rem /= pc;
+            }
+            for (state, &p) in row.iter().enumerate() {
+                values[base + state * var_stride] = p;
+            }
+        }
+        Ok(Factor::new(scope, values))
+    }
+
+    /// The full joint distribution as one factor — **exponential** in the
+    /// number of variables; intended for reference checks on small nets.
+    pub fn joint(&self) -> Factor {
+        let mut joint = Factor::scalar(1.0);
+        for var in self.var_ids() {
+            joint = joint.product(self.cpt_factor(var));
+        }
+        joint
+    }
+
+    /// Brute-force marginal of `var` given hard evidence, via the full
+    /// joint. Exponential; reference implementation for tests.
+    pub fn brute_force_marginal(&self, var: VarId, evidence: &[(VarId, usize)]) -> Vec<f64> {
+        let mut joint = self.joint();
+        for &(e, state) in evidence {
+            joint.reduce(e, state);
+        }
+        let mut marginal = joint.marginalize_keep(&[var]);
+        marginal.normalize();
+        marginal.values().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sprinkler() -> (BayesNet, VarId, VarId, VarId, VarId) {
+        // Classic rain/sprinkler/wet-grass network.
+        let mut net = BayesNet::new();
+        let cloudy = net
+            .add_var("cloudy", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let sprinkler = net
+            .add_var(
+                "sprinkler",
+                2,
+                &[cloudy],
+                Cpt::rows(vec![vec![0.5, 0.5], vec![0.9, 0.1]]),
+            )
+            .unwrap();
+        let rain = net
+            .add_var(
+                "rain",
+                2,
+                &[cloudy],
+                Cpt::rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]),
+            )
+            .unwrap();
+        let wet = net
+            .add_var(
+                "wet",
+                2,
+                &[sprinkler, rain],
+                Cpt::rows(vec![
+                    vec![1.0, 0.0],
+                    vec![0.1, 0.9],
+                    vec![0.1, 0.9],
+                    vec![0.01, 0.99],
+                ]),
+            )
+            .unwrap();
+        (net, cloudy, sprinkler, rain, wet)
+    }
+
+    #[test]
+    fn joint_sums_to_one() {
+        let (net, ..) = sprinkler();
+        assert!((net.joint().total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wet_grass_marginal_matches_hand_computation() {
+        let (net, _, _, _, wet) = sprinkler();
+        let p = net.brute_force_marginal(wet, &[]);
+        // Known value for these textbook numbers: P(wet) ≈ 0.6471.
+        assert!((p[1] - 0.6471).abs() < 1e-4, "P(wet)={}", p[1]);
+    }
+
+    #[test]
+    fn explaining_away_visible_in_brute_force() {
+        let (net, _, sprinkler_v, rain, wet) = sprinkler();
+        let p_rain_given_wet = net.brute_force_marginal(rain, &[(wet, 1)]);
+        let p_rain_given_wet_sprinkler =
+            net.brute_force_marginal(rain, &[(wet, 1), (sprinkler_v, 1)]);
+        // Observing the sprinkler on "explains away" rain.
+        assert!(p_rain_given_wet_sprinkler[1] < p_rain_given_wet[1]);
+    }
+
+    #[test]
+    fn cpt_shape_errors() {
+        let mut net = BayesNet::new();
+        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        // Wrong number of rows.
+        let err = net
+            .add_var("b", 2, &[a], Cpt::rows(vec![vec![0.5, 0.5]]))
+            .unwrap_err();
+        assert!(matches!(err, BayesError::CptShape { .. }));
+        // Wrong row width.
+        let err = net
+            .add_var("b", 2, &[a], Cpt::rows(vec![vec![1.0], vec![1.0]]))
+            .unwrap_err();
+        assert!(matches!(err, BayesError::CptShape { .. }));
+        // Not normalized.
+        let err = net
+            .add_var(
+                "b",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![0.5, 0.6], vec![0.5, 0.5]]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BayesError::CptNotNormalized { row: 0, .. }));
+        // Negative entry.
+        let err = net
+            .add_var(
+                "b",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![-0.5, 1.5], vec![0.5, 0.5]]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BayesError::CptInvalidEntry { .. }));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_vars() {
+        let mut net = BayesNet::new();
+        net.add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0])).unwrap();
+        assert!(matches!(
+            net.add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0])),
+            Err(BayesError::DuplicateVar(_))
+        ));
+        assert!(matches!(
+            net.add_var(
+                "b",
+                2,
+                &[VarId::from_index(7)],
+                Cpt::rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]])
+            ),
+            Err(BayesError::UnknownVar(7))
+        ));
+    }
+
+    #[test]
+    fn set_cpt_replaces_prior() {
+        let mut net = BayesNet::new();
+        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        net.set_cpt(a, Cpt::prior(vec![0.1, 0.9])).unwrap();
+        assert_eq!(net.cpt_factor(a).values(), &[0.1, 0.9]);
+        assert!(net.set_cpt(VarId::from_index(9), Cpt::prior(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn cpt_factor_layout_respects_parent_order() {
+        // Child id is *lower* than parent id is impossible (parents first),
+        // but parent order in add_var can differ from id order.
+        let mut net = BayesNet::new();
+        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        // c's parents passed as [b, a]: rows enumerate (b, a) with a fastest.
+        let c = net
+            .add_var(
+                "c",
+                2,
+                &[b, a],
+                Cpt::rows(vec![
+                    vec![1.0, 0.0], // b=0, a=0
+                    vec![0.0, 1.0], // b=0, a=1
+                    vec![0.3, 0.7], // b=1, a=0
+                    vec![0.9, 0.1], // b=1, a=1
+                ]),
+            )
+            .unwrap();
+        let f = net.cpt_factor(c);
+        // Canonical scope is (a, b, c).
+        assert_eq!(f.vars(), &[a, b, c]);
+        assert_eq!(f.values()[f.index_of(&[1, 0, 1])], 1.0); // a=1,b=0 → c=1
+        assert_eq!(f.values()[f.index_of(&[0, 1, 1])], 0.7); // a=0,b=1
+        assert_eq!(f.values()[f.index_of(&[1, 1, 0])], 0.9); // a=1,b=1
+    }
+
+    #[test]
+    fn deterministic_cpt_helper() {
+        let cpt = Cpt::deterministic(4, 2, |row| (row % 2 == 1) as usize);
+        assert_eq!(cpt.as_rows()[1], vec![0.0, 1.0]);
+        assert_eq!(cpt.as_rows()[2], vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn children_computed() {
+        let (net, cloudy, sprinkler_v, rain, wet) = sprinkler();
+        assert_eq!(net.children(cloudy), vec![sprinkler_v, rain]);
+        assert_eq!(net.children(rain), vec![wet]);
+        assert!(net.children(wet).is_empty());
+    }
+
+    #[test]
+    fn zero_cardinality_rejected() {
+        let mut net = BayesNet::new();
+        assert!(matches!(
+            net.add_var("z", 0, &[], Cpt::prior(vec![])),
+            Err(BayesError::ZeroCardinality(_))
+        ));
+    }
+}

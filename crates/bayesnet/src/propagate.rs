@@ -1,0 +1,888 @@
+use crate::junction::JunctionTree;
+use crate::{BayesError, BayesNet, Factor, VarId};
+
+/// HUGIN-style two-phase evidence propagation over a compiled
+/// [`JunctionTree`].
+///
+/// A `Propagator` owns the clique and sepset potentials. Its lifecycle:
+///
+/// 1. [`new`](Propagator::new) multiplies every CPT into its assigned
+///    clique (initialization);
+/// 2. [`set_evidence`](Propagator::set_evidence) /
+///    [`set_likelihood`](Propagator::set_likelihood) record observations;
+/// 3. [`calibrate`](Propagator::calibrate) runs *collect* (leaves → root)
+///    then *distribute* (root → leaves); afterwards every clique potential
+///    is proportional to the joint marginal over its variables;
+/// 4. [`marginal`](Propagator::marginal) and friends read results; the
+///    pre-normalization mass is the probability of the evidence.
+///
+/// Re-quantified networks (e.g. new input statistics in the paper's §6)
+/// are absorbed with [`reinitialize`](Propagator::reinitialize) — no
+/// recompilation needed.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Propagator<'t> {
+    tree: &'t JunctionTree,
+    /// Initial potentials (CPT products), kept for cheap resets.
+    init_clique_pot: Vec<Factor>,
+    clique_pot: Vec<Factor>,
+    sep_pot: Vec<Factor>,
+    /// Hard evidence per variable.
+    evidence: Vec<Option<usize>>,
+    /// Soft evidence: per variable an optional likelihood vector.
+    likelihood: Vec<Option<Vec<f64>>>,
+    /// Multi-variable soft evidence, multiplied into a containing clique
+    /// at calibration time.
+    soft_factors: Vec<Factor>,
+    calibrated: bool,
+    /// Whether the last calibration was sum-product or max-product.
+    max_mode: bool,
+    /// Probability of the inserted evidence, valid after calibration.
+    evidence_probability: f64,
+    /// Collect schedule: edges as (from_clique, edge_idx, to_clique), leaves
+    /// towards roots. Distribution replays it reversed and flipped.
+    schedule: Vec<(usize, usize, usize)>,
+}
+
+impl<'t> Propagator<'t> {
+    /// Creates a propagator and initializes clique potentials from the
+    /// network's CPTs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::Empty`] if the network is empty. The network
+    /// must be the one the tree was compiled from (same variables and
+    /// cardinalities); mismatches panic.
+    pub fn new(tree: &'t JunctionTree, net: &BayesNet) -> Result<Propagator<'t>, BayesError> {
+        if net.num_vars() == 0 {
+            return Err(BayesError::Empty);
+        }
+        Ok(Propagator::from_initial(tree, initial_potentials(tree, net)))
+    }
+
+    /// Creates a propagator from precomputed initial clique potentials
+    /// (as produced by [`initial_potentials`]) — skipping the CPT
+    /// multiplication entirely. This is the fast path for workloads that
+    /// compile once and re-propagate many times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the potential count or any potential's scope disagrees
+    /// with the tree.
+    pub fn from_initial(tree: &'t JunctionTree, potentials: Vec<Factor>) -> Propagator<'t> {
+        assert_eq!(
+            potentials.len(),
+            tree.num_cliques(),
+            "one potential per clique"
+        );
+        for (i, pot) in potentials.iter().enumerate() {
+            assert_eq!(pot.vars(), tree.clique(i), "potential scope mismatch");
+        }
+        let num_vars = tree.num_vars();
+        let schedule = build_schedule(tree);
+        Propagator {
+            tree,
+            clique_pot: potentials.clone(),
+            init_clique_pot: potentials,
+            sep_pot: Vec::new(),
+            evidence: vec![None; num_vars],
+            likelihood: vec![None; num_vars],
+            soft_factors: Vec::new(),
+            calibrated: false,
+            max_mode: false,
+            evidence_probability: 1.0,
+            schedule,
+        }
+    }
+
+    /// Rebuilds the initial potentials from (possibly re-quantified) CPTs,
+    /// keeping the compiled structure and any evidence. Invalidates the
+    /// calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` does not match the compiled tree (different variable
+    /// count or cardinalities).
+    pub fn reinitialize(&mut self, net: &BayesNet) {
+        let pots = initial_potentials(self.tree, net);
+        self.init_clique_pot = pots.clone();
+        self.clique_pot = pots;
+        self.sep_pot = Vec::new();
+        self.calibrated = false;
+    }
+
+    /// Records hard evidence `var = state`. Overwrites previous evidence on
+    /// the same variable and invalidates the calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::EvidenceOutOfRange`] if `state` exceeds the
+    /// variable's cardinality.
+    pub fn set_evidence(&mut self, var: VarId, state: usize) -> Result<(), BayesError> {
+        let card = self.tree.card(var);
+        if state >= card {
+            return Err(BayesError::EvidenceOutOfRange {
+                var: var.0,
+                state,
+                card,
+            });
+        }
+        self.evidence[var.index()] = Some(state);
+        self.calibrated = false;
+        Ok(())
+    }
+
+    /// Records soft (likelihood) evidence: state `s` of `var` is weighted
+    /// by `weights[s]`. Invalidates the calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::EvidenceOutOfRange`] if the weight vector
+    /// length differs from the variable's cardinality.
+    pub fn set_likelihood(&mut self, var: VarId, weights: Vec<f64>) -> Result<(), BayesError> {
+        let card = self.tree.card(var);
+        if weights.len() != card {
+            return Err(BayesError::EvidenceOutOfRange {
+                var: var.0,
+                state: weights.len(),
+                card,
+            });
+        }
+        self.likelihood[var.index()] = Some(weights);
+        self.calibrated = false;
+        Ok(())
+    }
+
+    /// Records multi-variable soft evidence: `factor` is multiplied into a
+    /// clique containing its whole scope at calibration time. This is the
+    /// general form of [`set_likelihood`](Propagator::set_likelihood) and
+    /// is how correlated priors over variable *groups* are injected (e.g.
+    /// the boundary-correlation factors of the `swact` estimator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::FactorOutsideClique`] when no clique contains
+    /// the factor's scope.
+    pub fn insert_factor(&mut self, factor: Factor) -> Result<(), BayesError> {
+        let contained = (0..self.tree.num_cliques()).any(|c| {
+            factor
+                .vars()
+                .iter()
+                .all(|v| self.tree.clique(c).binary_search(v).is_ok())
+        });
+        if !contained {
+            return Err(BayesError::FactorOutsideClique {
+                vars: factor.vars().iter().map(|v| v.index() as u32).collect(),
+            });
+        }
+        self.soft_factors.push(factor);
+        self.calibrated = false;
+        Ok(())
+    }
+
+    /// Removes all evidence (hard and soft) and invalidates the calibration.
+    pub fn clear_evidence(&mut self) {
+        self.evidence.fill(None);
+        self.likelihood.fill(None);
+        self.soft_factors.clear();
+        self.calibrated = false;
+    }
+
+    /// Runs collect + distribute. Afterwards every clique potential is
+    /// proportional to `P(clique vars, evidence)`; reads are O(clique).
+    pub fn calibrate(&mut self) {
+        self.calibrate_impl(false);
+    }
+
+    /// Max-product calibration: afterwards every clique potential holds
+    /// *max*-marginals, and
+    /// [`most_probable_assignment`](Propagator::most_probable_assignment)
+    /// decodes the globally most probable joint state (MPE) consistent
+    /// with the evidence. Sum-based reads ([`marginal`](Propagator::marginal)
+    /// etc.) panic until [`calibrate`](Propagator::calibrate) runs again.
+    pub fn max_calibrate(&mut self) {
+        self.calibrate_impl(true);
+    }
+
+    fn calibrate_impl(&mut self, max_mode: bool) {
+        // Reset to initial potentials, then insert evidence.
+        self.clique_pot = self.init_clique_pot.clone();
+        let scope_of = |tree: &JunctionTree, vars: &[VarId]| -> Vec<(VarId, usize)> {
+            vars.iter().map(|&v| (v, tree.card(v))).collect()
+        };
+        self.sep_pot = (0..self.tree.num_edges())
+            .map(|e| Factor::ones(scope_of(self.tree, &self.tree.edge(e).sepset)))
+            .collect();
+        for (raw, obs) in self.evidence.iter().enumerate() {
+            if let Some(state) = obs {
+                let var = VarId::from_index(raw);
+                let clique = self.tree.home_clique(var);
+                self.clique_pot[clique].reduce(var, *state);
+            }
+        }
+        for (raw, weights) in self.likelihood.iter().enumerate() {
+            if let Some(weights) = weights {
+                let var = VarId::from_index(raw);
+                let clique = self.tree.home_clique(var);
+                for (state, &w) in weights.iter().enumerate() {
+                    self.clique_pot[clique].scale_state(var, state, w);
+                }
+            }
+        }
+        for factor in &self.soft_factors {
+            let clique = (0..self.tree.num_cliques())
+                .find(|&c| {
+                    factor
+                        .vars()
+                        .iter()
+                        .all(|v| self.tree.clique(c).binary_search(v).is_ok())
+                })
+                .expect("scope containment checked at insertion");
+            self.clique_pot[clique].mul_assign_sub(factor);
+        }
+        // Collect: leaves towards roots.
+        for k in 0..self.schedule.len() {
+            let (from, edge, to) = self.schedule[k];
+            self.absorb(from, edge, to, max_mode);
+        }
+        // Distribute: roots towards leaves.
+        for k in (0..self.schedule.len()).rev() {
+            let (from, edge, to) = self.schedule[k];
+            self.absorb(to, edge, from, max_mode);
+        }
+        // Probability of evidence: product over components of clique mass.
+        let mut p = 1.0;
+        for &root in self.tree.roots() {
+            p *= self.clique_pot[root].total();
+        }
+        self.evidence_probability = p;
+        self.calibrated = true;
+        self.max_mode = max_mode;
+    }
+
+    /// One HUGIN absorption: `to` absorbs from `from` across `edge`.
+    fn absorb(&mut self, from: usize, edge: usize, to: usize, max_mode: bool) {
+        let sepset = &self.tree.edge(edge).sepset;
+        let new_sep = if max_mode {
+            self.clique_pot[from].max_marginalize_keep(sepset)
+        } else {
+            self.clique_pot[from].marginalize_keep(sepset)
+        };
+        let update = new_sep.divide_same_domain(&self.sep_pot[edge]);
+        self.clique_pot[to].mul_assign_sub(&update);
+        self.sep_pot[edge] = new_sep;
+    }
+
+    /// Whether [`calibrate`](Propagator::calibrate) has run since the last
+    /// modification.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// The probability of the inserted evidence (1 when there is none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the propagator is not calibrated.
+    pub fn evidence_probability(&self) -> f64 {
+        assert!(self.calibrated, "call calibrate() first");
+        self.evidence_probability
+    }
+
+    /// The posterior marginal `P(var | evidence)` as a probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the propagator is not calibrated.
+    pub fn marginal(&self, var: VarId) -> Vec<f64> {
+        assert!(self.calibrated, "call calibrate() first");
+        assert!(!self.max_mode, "sum-calibration required; call calibrate()");
+        let clique = self.tree.home_clique(var);
+        let mut m = self.clique_pot[clique].marginalize_keep(&[var]);
+        m.normalize();
+        m.values().to_vec()
+    }
+
+    /// The joint posterior over a variable set, provided some clique
+    /// contains all of them (returns `None` otherwise). Normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the propagator is not calibrated.
+    pub fn joint_marginal(&self, vars: &[VarId]) -> Option<Factor> {
+        assert!(self.calibrated, "call calibrate() first");
+        assert!(!self.max_mode, "sum-calibration required; call calibrate()");
+        let clique = (0..self.tree.num_cliques()).find(|&c| {
+            vars.iter()
+                .all(|v| self.tree.clique(c).binary_search(v).is_ok())
+        })?;
+        let mut m = self.clique_pot[clique].marginalize_keep(vars);
+        m.normalize();
+        Some(m)
+    }
+
+    /// The exact posterior joint `P(a, b | evidence)` for *any* two
+    /// variables in the same junction-tree component — even when no single
+    /// clique contains both — by marginalizing along the clique path
+    /// between their home cliques. Returns `None` across components.
+    /// Normalized, scope sorted.
+    ///
+    /// Runs in O(path length × clique size); this powers the
+    /// boundary-correlation forwarding of the `swact` estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the propagator is not calibrated or `a == b`.
+    pub fn pairwise_marginal(&self, a: VarId, b: VarId) -> Option<Factor> {
+        assert!(self.calibrated, "call calibrate() first");
+        assert!(!self.max_mode, "sum-calibration required; call calibrate()");
+        assert_ne!(a, b, "pairwise marginal needs two distinct variables");
+        if let Some(joint) = self.joint_marginal(&[a.min(b), a.max(b)]) {
+            return Some(joint);
+        }
+        let ca = self.tree.home_clique(a);
+        let cb = self.tree.home_clique(b);
+        let path = self.tree.clique_path(ca, cb)?;
+        // Walk the path keeping a factor over {a} ∪ current sepset: the
+        // calibrated joint factorizes as Π φ_C / Π φ_S along the path.
+        // Marginalizing *before* multiplying into the next clique keeps
+        // every intermediate at sepset-plus-one-variable size.
+        let (first_edge, _) = path[0];
+        let mut keep: Vec<VarId> = self.tree.edge(first_edge).sepset.clone();
+        keep.push(a);
+        let mut message = self.clique_pot[ca].marginalize_keep(&keep);
+        message.div_assign_sub(&self.sep_pot[first_edge]);
+        for window in path.windows(2) {
+            let (_, clique) = window[0];
+            let (next_edge, _) = window[1];
+            let mut keep: Vec<VarId> = self.tree.edge(next_edge).sepset.clone();
+            keep.push(a);
+            let mut next_message =
+                self.clique_pot[clique].product_marginalize(&message, &keep);
+            next_message.div_assign_sub(&self.sep_pot[next_edge]);
+            message = next_message;
+        }
+        let (_, last_clique) = *path.last().expect("non-empty path");
+        let mut joint = self.clique_pot[last_clique]
+            .product_marginalize(&message, &[a.min(b), a.max(b)]);
+        joint.normalize();
+        Some(joint)
+    }
+
+    /// Decodes the most probable explanation (MPE): the jointly most
+    /// probable assignment of *all* variables given the evidence, plus its
+    /// (unnormalized) probability `P(assignment, evidence)`. Requires a
+    /// prior [`max_calibrate`](Propagator::max_calibrate).
+    ///
+    /// Decoding fixes the root clique's argmax and walks outward, pinning
+    /// each sepset before maximizing the next clique — max-calibration
+    /// guarantees this greedy trace is globally optimal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the propagator is not max-calibrated.
+    pub fn most_probable_assignment(&self) -> (Vec<usize>, f64) {
+        assert!(
+            self.calibrated && self.max_mode,
+            "call max_calibrate() first"
+        );
+        let num_vars = self.tree.num_vars();
+        let mut assignment = vec![usize::MAX; num_vars];
+        let mut probability = 1.0f64;
+        // Visit cliques root-first per component: component roots, then
+        // children in root-to-leaf order (the reversed collect schedule).
+        let mut visited = vec![false; self.tree.num_cliques()];
+        let mut order: Vec<usize> = Vec::with_capacity(self.tree.num_cliques());
+        for &root in self.tree.roots() {
+            order.push(root);
+            visited[root] = true;
+        }
+        for &(child, _, _) in self.schedule.iter().rev() {
+            if !visited[child] {
+                visited[child] = true;
+                order.push(child);
+            }
+        }
+        let roots: std::collections::HashSet<usize> =
+            self.tree.roots().iter().copied().collect();
+        for &clique_idx in &order {
+            let clique = self.tree.clique(clique_idx);
+            let mut pot = self.clique_pot[clique_idx].clone();
+            // Pin already-decided variables.
+            for &v in clique {
+                if assignment[v.index()] != usize::MAX {
+                    pot.reduce(v, assignment[v.index()]);
+                }
+            }
+            let (idx, value) = pot.argmax();
+            let states = pot.assignment_of(idx);
+            for (pos, &v) in clique.iter().enumerate() {
+                if assignment[v.index()] == usize::MAX {
+                    assignment[v.index()] = states[pos];
+                }
+            }
+            // Component roots contribute the component's max probability;
+            // later cliques only refine the assignment.
+            if roots.contains(&clique_idx) {
+                probability *= value;
+            }
+        }
+        debug_assert!(assignment.iter().all(|&s| s != usize::MAX));
+        (assignment, probability)
+    }
+
+    /// The calibrated (unnormalized) potential of clique `i`.
+    pub fn clique_potential(&self, i: usize) -> &Factor {
+        &self.clique_pot[i]
+    }
+}
+
+/// Computes the initial clique potentials of a network over a compiled
+/// tree: every CPT multiplied into its assigned clique, all other entries
+/// one. [`Propagator::new`] calls this; callers that re-propagate many
+/// times can cache the result and feed it to
+/// [`Propagator::from_initial`].
+///
+/// # Panics
+///
+/// Panics if the network does not match the tree (variable count or
+/// cardinalities).
+pub fn initial_potentials(tree: &JunctionTree, net: &BayesNet) -> Vec<Factor> {
+    assert_eq!(net.num_vars(), tree.num_vars(), "network/tree mismatch");
+    let scope_of = |vars: &[VarId]| -> Vec<(VarId, usize)> {
+        vars.iter().map(|&v| (v, tree.card(v))).collect()
+    };
+    let mut pots: Vec<Factor> = (0..tree.num_cliques())
+        .map(|i| Factor::ones(scope_of(tree.clique(i))))
+        .collect();
+    for var in net.var_ids() {
+        assert_eq!(
+            net.card(var),
+            tree.card(var),
+            "network/tree cardinality mismatch for {var}"
+        );
+        pots[tree.cpt_clique(var)].mul_assign_sub(net.cpt_factor(var));
+    }
+    pots
+}
+
+/// Builds the collect schedule: for every component root, DFS outward; each
+/// tree edge appears once as `(child_clique, edge, parent_clique)` in an
+/// order where children precede parents.
+fn build_schedule(tree: &JunctionTree) -> Vec<(usize, usize, usize)> {
+    let mut schedule = Vec::with_capacity(tree.num_edges());
+    let mut visited = vec![false; tree.num_cliques()];
+    for &root in tree.roots() {
+        // Iterative post-order.
+        let mut stack = vec![(root, usize::MAX)];
+        let mut post = Vec::new();
+        visited[root] = true;
+        while let Some((clique, via_edge)) = stack.pop() {
+            post.push((clique, via_edge));
+            for &e in tree.incident_edges(clique) {
+                let edge = tree.edge(e);
+                let other = if edge.a == clique { edge.b } else { edge.a };
+                if !visited[other] {
+                    visited[other] = true;
+                    stack.push((other, e));
+                }
+            }
+        }
+        // Children appear after parents in `post`; reverse gives leaves-first.
+        for &(clique, via_edge) in post.iter().rev() {
+            if via_edge != usize::MAX {
+                let edge = tree.edge(via_edge);
+                let parent = if edge.a == clique { edge.b } else { edge.a };
+                schedule.push((clique, via_edge, parent));
+            }
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cpt, JunctionTree};
+
+    fn sprinkler() -> (BayesNet, [VarId; 4]) {
+        let mut net = BayesNet::new();
+        let cloudy = net
+            .add_var("cloudy", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let sprinkler = net
+            .add_var(
+                "sprinkler",
+                2,
+                &[cloudy],
+                Cpt::rows(vec![vec![0.5, 0.5], vec![0.9, 0.1]]),
+            )
+            .unwrap();
+        let rain = net
+            .add_var(
+                "rain",
+                2,
+                &[cloudy],
+                Cpt::rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]),
+            )
+            .unwrap();
+        let wet = net
+            .add_var(
+                "wet",
+                2,
+                &[sprinkler, rain],
+                Cpt::rows(vec![
+                    vec![1.0, 0.0],
+                    vec![0.1, 0.9],
+                    vec![0.1, 0.9],
+                    vec![0.01, 0.99],
+                ]),
+            )
+            .unwrap();
+        (net, [cloudy, sprinkler, rain, wet])
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn prior_marginals_match_brute_force() {
+        let (net, vars) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        for var in vars {
+            assert_close(
+                &prop.marginal(var),
+                &net.brute_force_marginal(var, &[]),
+                1e-12,
+            );
+        }
+        assert!((prop.evidence_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_marginals_match_brute_force() {
+        let (net, [_, sprinkler_v, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.set_evidence(wet, 1).unwrap();
+        prop.calibrate();
+        assert_close(
+            &prop.marginal(rain),
+            &net.brute_force_marginal(rain, &[(wet, 1)]),
+            1e-12,
+        );
+        // Explaining away: add sprinkler evidence.
+        prop.set_evidence(sprinkler_v, 1).unwrap();
+        prop.calibrate();
+        assert_close(
+            &prop.marginal(rain),
+            &net.brute_force_marginal(rain, &[(wet, 1), (sprinkler_v, 1)]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn evidence_probability_matches_joint() {
+        let (net, [.., wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.set_evidence(wet, 1).unwrap();
+        prop.calibrate();
+        let mut joint = net.joint();
+        joint.reduce(wet, 1);
+        assert!((prop.evidence_probability() - joint.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_evidence_restores_prior() {
+        let (net, [cloudy, .., wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        let prior = prop.marginal(cloudy);
+        prop.set_evidence(wet, 0).unwrap();
+        prop.calibrate();
+        assert!(prop.marginal(cloudy) != prior);
+        prop.clear_evidence();
+        prop.calibrate();
+        assert_close(&prop.marginal(cloudy), &prior, 1e-12);
+    }
+
+    #[test]
+    fn soft_evidence_scales_posterior() {
+        let (net, [cloudy, _, rain, _]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        // Likelihood [0, 1] on rain behaves like hard evidence rain=1.
+        prop.set_likelihood(rain, vec![0.0, 1.0]).unwrap();
+        prop.calibrate();
+        let soft = prop.marginal(cloudy);
+        assert_close(&soft, &net.brute_force_marginal(cloudy, &[(rain, 1)]), 1e-12);
+    }
+
+    #[test]
+    fn insert_factor_equals_joint_reweighting() {
+        // Multiplying a two-variable factor must match brute force over
+        // the reweighted joint.
+        let (net, [cloudy, sprinkler_v, rain, _]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        let weights = Factor::new(
+            vec![
+                (sprinkler_v.min(rain), 2),
+                (sprinkler_v.max(rain), 2),
+            ],
+            vec![1.0, 0.2, 0.4, 2.0],
+        );
+        prop.insert_factor(weights.clone()).unwrap();
+        prop.calibrate();
+        let mut joint = net.joint();
+        joint = joint.product(&weights);
+        let mut want = joint.marginalize_keep(&[cloudy]);
+        want.normalize();
+        assert_close(&prop.marginal(cloudy), want.values(), 1e-12);
+        // Clearing evidence removes the factor.
+        prop.clear_evidence();
+        prop.calibrate();
+        assert_close(
+            &prop.marginal(cloudy),
+            &net.brute_force_marginal(cloudy, &[]),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn insert_factor_outside_clique_rejected() {
+        // cloudy and wet never share a clique in this network.
+        let (net, [cloudy, _, _, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        let f = Factor::ones(vec![(cloudy.min(wet), 2), (cloudy.max(wet), 2)]);
+        let in_clique = (0..tree.num_cliques()).any(|c| {
+            tree.clique(c).contains(&cloudy) && tree.clique(c).contains(&wet)
+        });
+        if !in_clique {
+            assert!(matches!(
+                prop.insert_factor(f),
+                Err(BayesError::FactorOutsideClique { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn joint_marginal_within_clique() {
+        let (net, [_, sprinkler_v, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        let joint = prop
+            .joint_marginal(&[sprinkler_v, rain, wet])
+            .expect("family of wet shares a clique");
+        assert!((joint.total() - 1.0).abs() < 1e-12);
+        // Consistency: its marginal equals the single-variable read.
+        let wet_marg = joint.marginalize_keep(&[wet]);
+        assert_close(wet_marg.values(), &prop.marginal(wet), 1e-12);
+    }
+
+    #[test]
+    fn pairwise_marginal_matches_brute_force_across_cliques() {
+        // Build a chain long enough that the endpoints share no clique.
+        let mut net = BayesNet::new();
+        let mut prev = net.add_var("x0", 2, &[], Cpt::prior(vec![0.3, 0.7])).unwrap();
+        let first = prev;
+        for i in 1..6 {
+            prev = net
+                .add_var(
+                    format!("x{i}"),
+                    2,
+                    &[prev],
+                    Cpt::rows(vec![vec![0.8, 0.2], vec![0.3, 0.7]]),
+                )
+                .unwrap();
+        }
+        let last = prev;
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        let joint = prop.pairwise_marginal(first, last).expect("same component");
+        // Brute force joint.
+        let reference = net.joint().marginalize_keep(&[first, last]);
+        for (a, b) in joint.values().iter().zip(reference.values()) {
+            assert!((a - b).abs() < 1e-12, "{:?} vs {:?}", joint.values(), reference.values());
+        }
+        // With evidence in the middle the endpoints decouple.
+        let mid = net.find_var("x3").unwrap();
+        prop.set_evidence(mid, 1).unwrap();
+        prop.calibrate();
+        let joint = prop.pairwise_marginal(first, last).unwrap();
+        let pa = prop.marginal(first);
+        let pb = prop.marginal(last);
+        for s in 0..4 {
+            let want = pa[s / 2] * pb[s % 2];
+            assert!((joint.values()[s] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pairwise_marginal_across_components_is_none() {
+        let mut net = BayesNet::new();
+        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        assert!(prop.pairwise_marginal(a, b).is_none());
+    }
+
+    #[test]
+    fn reinitialize_absorbs_new_priors_without_recompilation() {
+        let (mut net, [cloudy, .., wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        let before = prop.marginal(wet);
+        net.set_cpt(cloudy, Cpt::prior(vec![0.95, 0.05])).unwrap();
+        prop.reinitialize(&net);
+        prop.calibrate();
+        let after = prop.marginal(wet);
+        assert!(after != before);
+        assert_close(&after, &net.brute_force_marginal(wet, &[]), 1e-12);
+    }
+
+    #[test]
+    fn evidence_errors() {
+        let (net, [cloudy, ..]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        assert!(matches!(
+            prop.set_evidence(cloudy, 5),
+            Err(BayesError::EvidenceOutOfRange { state: 5, .. })
+        ));
+        assert!(prop.set_likelihood(cloudy, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrate")]
+    fn reading_uncalibrated_panics() {
+        let (net, [cloudy, ..]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let prop = Propagator::new(&tree, &net).unwrap();
+        let _ = prop.marginal(cloudy);
+    }
+
+    #[test]
+    fn mpe_matches_brute_force_on_sprinkler() {
+        let (net, _vars) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.max_calibrate();
+        let (assignment, p) = prop.most_probable_assignment();
+        // Brute force over the joint.
+        let joint = net.joint();
+        let (best_idx, best_p) = joint.argmax();
+        let best = joint.assignment_of(best_idx);
+        assert_eq!(assignment, best);
+        assert!((p - best_p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_respects_evidence() {
+        let (net, [cloudy, sprinkler_v, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.set_evidence(wet, 1).unwrap();
+        prop.max_calibrate();
+        let (assignment, p) = prop.most_probable_assignment();
+        assert_eq!(assignment[wet.index()], 1, "evidence honoured");
+        // Brute force restricted to wet = 1.
+        let mut joint = net.joint();
+        joint.reduce(wet, 1);
+        let (best_idx, best_p) = joint.argmax();
+        let best = joint.assignment_of(best_idx);
+        assert_eq!(assignment, best);
+        assert!((p - best_p).abs() < 1e-12);
+        let _ = (cloudy, sprinkler_v, rain);
+    }
+
+    #[test]
+    fn mpe_over_disconnected_components() {
+        let mut net = BayesNet::new();
+        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7])).unwrap();
+        let b = net.add_var("b", 3, &[], Cpt::prior(vec![0.2, 0.5, 0.3])).unwrap();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.max_calibrate();
+        let (assignment, p) = prop.most_probable_assignment();
+        assert_eq!(assignment[a.index()], 1);
+        assert_eq!(assignment[b.index()], 1);
+        assert!((p - 0.7 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_calibrate")]
+    fn mpe_requires_max_calibration() {
+        let (net, _) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        let _ = prop.most_probable_assignment();
+    }
+
+    #[test]
+    #[should_panic(expected = "sum-calibration")]
+    fn sum_reads_rejected_after_max_calibration() {
+        let (net, [cloudy, ..]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.max_calibrate();
+        let _ = prop.marginal(cloudy);
+    }
+
+    #[test]
+    fn recalibration_switches_modes_cleanly() {
+        let (net, [cloudy, ..]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.calibrate();
+        let before = prop.marginal(cloudy);
+        prop.max_calibrate();
+        let _ = prop.most_probable_assignment();
+        prop.calibrate();
+        let after = prop.marginal(cloudy);
+        assert_close(&before, &after, 1e-12);
+    }
+
+    #[test]
+    fn disconnected_components_calibrate_independently() {
+        let mut net = BayesNet::new();
+        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7])).unwrap();
+        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.9, 0.1])).unwrap();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.set_evidence(a, 1).unwrap();
+        prop.calibrate();
+        assert_close(&prop.marginal(b), &[0.9, 0.1], 1e-12);
+        assert!((prop.evidence_probability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_evidence_reports_zero_probability() {
+        let mut net = BayesNet::new();
+        let a = net.add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0])).unwrap();
+        let b = net
+            .add_var("b", 2, &[a], Cpt::rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]))
+            .unwrap();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.set_evidence(b, 1).unwrap();
+        prop.calibrate();
+        assert_eq!(prop.evidence_probability(), 0.0);
+    }
+}

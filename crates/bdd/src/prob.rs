@@ -1,0 +1,379 @@
+//! Exact probability computations on BDDs.
+//!
+//! [`Bdd::probability`] assumes all variables independent — the classic
+//! signal-probability computation (Parker–McCluskey, exact on a BDD).
+//! [`Bdd::pair_probability`] generalizes to the switching setting where
+//! consecutive variables `2i` / `2i+1` are one input's value at clocks
+//! *t−1* and *t*, jointly distributed per a [`PairDistribution`] — this
+//! makes the reference exact even for temporally correlated input streams.
+
+use std::collections::HashMap;
+
+use crate::{Bdd, NodeId};
+
+/// Joint distribution of one signal's `(prev, next)` value pair,
+/// states ordered `00, 01, 10, 11`.
+///
+/// # Example
+///
+/// ```
+/// use swact_bdd::PairDistribution;
+///
+/// // Temporally independent with P(1) = 0.5.
+/// let d = PairDistribution::independent(0.5);
+/// assert!((d.p01() + d.p10() - 0.5).abs() < 1e-12);
+///
+/// // Sticky input: switches only 10% of the time.
+/// let sticky = PairDistribution::markov(0.5, 0.1);
+/// assert!(sticky.switch_probability() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairDistribution {
+    joint: [f64; 4],
+}
+
+impl PairDistribution {
+    /// From an explicit joint `[p00, p01, p10, p11]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are negative or do not sum to one (±1e-6).
+    pub fn new(joint: [f64; 4]) -> PairDistribution {
+        assert!(joint.iter().all(|&p| p >= 0.0), "negative probability");
+        let sum: f64 = joint.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "joint sums to {sum}, expected 1");
+        PairDistribution { joint }
+    }
+
+    /// Temporally independent signal with `P(1) = p1` at both clocks.
+    pub fn independent(p1: f64) -> PairDistribution {
+        let p0 = 1.0 - p1;
+        PairDistribution::new([p0 * p0, p0 * p1, p1 * p0, p1 * p1])
+    }
+
+    /// Stationary lag-1 Markov signal: stationary `P(1) = p1`, and the
+    /// *next* value differs from *prev* with probability `switch_prob`
+    /// scaled to preserve stationarity. Concretely
+    /// `P(next=1 | prev=0) = switch_prob · p1 / p̄` and
+    /// `P(next=0 | prev=1) = switch_prob · (1−p1) / p̄` with
+    /// `p̄ = 2·p1·(1−p1)` the independent switching probability — so
+    /// `switch_prob` *is* the signal's switching activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not yield valid conditionals (e.g.
+    /// `switch_prob` too large for the given `p1`).
+    pub fn markov(p1: f64, switch_prob: f64) -> PairDistribution {
+        let p0 = 1.0 - p1;
+        if switch_prob == 0.0 {
+            return PairDistribution::new([p0, 0.0, 0.0, p1]);
+        }
+        let base = 2.0 * p1 * p0;
+        assert!(base > 0.0, "degenerate p1 with nonzero switching");
+        let q01 = switch_prob * p1 / base * p0; // P(prev=0, next=1)
+        let q10 = switch_prob * p0 / base * p1; // P(prev=1, next=0)
+        let p00 = p0 - q01;
+        let p11 = p1 - q10;
+        assert!(
+            p00 >= -1e-12 && p11 >= -1e-12,
+            "switch probability {switch_prob} unreachable at p1={p1}"
+        );
+        PairDistribution::new([p00.max(0.0), q01, q10, p11.max(0.0)])
+    }
+
+    /// `P(prev=0, next=0)`.
+    pub fn p00(&self) -> f64 {
+        self.joint[0]
+    }
+    /// `P(prev=0, next=1)`.
+    pub fn p01(&self) -> f64 {
+        self.joint[1]
+    }
+    /// `P(prev=1, next=0)`.
+    pub fn p10(&self) -> f64 {
+        self.joint[2]
+    }
+    /// `P(prev=1, next=1)`.
+    pub fn p11(&self) -> f64 {
+        self.joint[3]
+    }
+
+    /// The joint as a `[p00, p01, p10, p11]` array.
+    pub fn as_array(&self) -> [f64; 4] {
+        self.joint
+    }
+
+    /// Marginal `P(prev = 1)`.
+    pub fn prev_one(&self) -> f64 {
+        self.joint[2] + self.joint[3]
+    }
+
+    /// Marginal `P(next = 1)`.
+    pub fn next_one(&self) -> f64 {
+        self.joint[1] + self.joint[3]
+    }
+
+    /// `P(prev ≠ next)` — the signal's own switching activity.
+    pub fn switch_probability(&self) -> f64 {
+        self.joint[1] + self.joint[2]
+    }
+
+    /// `P(next = 1 | prev)`, with the convention 0 when `P(prev)` is 0.
+    pub fn next_one_given_prev(&self, prev: bool) -> f64 {
+        let (stay_zero, go_one) = if prev {
+            (self.joint[2], self.joint[3])
+        } else {
+            (self.joint[0], self.joint[1])
+        };
+        let mass = stay_zero + go_one;
+        if mass == 0.0 {
+            0.0
+        } else {
+            go_one / mass
+        }
+    }
+}
+
+impl Bdd {
+    /// `P(f = 1)` when variable `i` is 1 with probability `p1[i]`, all
+    /// variables independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p1.len() != num_vars()`.
+    pub fn probability(&self, f: NodeId, p1: &[f64]) -> f64 {
+        assert_eq!(p1.len(), self.num_vars(), "one probability per variable");
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        self.prob_rec(f, p1, &mut memo)
+    }
+
+    fn prob_rec(&self, f: NodeId, p1: &[f64], memo: &mut HashMap<NodeId, f64>) -> f64 {
+        if f == Bdd::FALSE {
+            return 0.0;
+        }
+        if f == Bdd::TRUE {
+            return 1.0;
+        }
+        if let Some(&hit) = memo.get(&f) {
+            return hit;
+        }
+        let (level, lo, hi) = self.node(f);
+        let p = p1[level as usize];
+        let result = (1.0 - p) * self.prob_rec(lo, p1, memo) + p * self.prob_rec(hi, p1, memo);
+        memo.insert(f, result);
+        result
+    }
+
+    /// `P(f = 1)` for a function over `2n` *interleaved* variables where
+    /// variables `2i` and `2i + 1` are input *i*'s (prev, next) pair,
+    /// jointly distributed per `pairs[i]`, pairs independent of each other.
+    ///
+    /// This is exact even for temporally correlated streams, unlike
+    /// [`probability`](Bdd::probability). Complexity is O(size(f)) with a
+    /// memo keyed on (node, level, pending prev value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2 * pairs.len() != num_vars()`.
+    pub fn pair_probability(&self, f: NodeId, pairs: &[PairDistribution]) -> f64 {
+        assert_eq!(
+            2 * pairs.len(),
+            self.num_vars(),
+            "need one pair distribution per interleaved variable pair"
+        );
+        let mut memo: HashMap<(NodeId, u32, u8), f64> = HashMap::new();
+        self.pair_rec(f, 0, None, pairs, &mut memo)
+    }
+
+    fn pair_rec(
+        &self,
+        f: NodeId,
+        level: u32,
+        carry: Option<bool>,
+        pairs: &[PairDistribution],
+        memo: &mut HashMap<(NodeId, u32, u8), f64>,
+    ) -> f64 {
+        if level as usize == self.num_vars() {
+            debug_assert!(self.is_terminal(f), "path must end at a terminal");
+            return if f == Bdd::TRUE { 1.0 } else { 0.0 };
+        }
+        if f == Bdd::FALSE {
+            return 0.0;
+        }
+        let carry_key = match carry {
+            None => 2u8,
+            Some(false) => 0,
+            Some(true) => 1,
+        };
+        if let Some(&hit) = memo.get(&(f, level, carry_key)) {
+            return hit;
+        }
+        let pair = &pairs[(level / 2) as usize];
+        let is_prev = level.is_multiple_of(2);
+        // Children under each branch value; skipped levels keep the node.
+        let (lo, hi) = if !self.is_terminal(f) {
+            let (node_level, lo, hi) = self.node(f);
+            if node_level == level {
+                (lo, hi)
+            } else {
+                (f, f)
+            }
+        } else {
+            (f, f)
+        };
+        let result = if is_prev {
+            let p_one = pair.prev_one();
+            (1.0 - p_one) * self.pair_rec(lo, level + 1, Some(false), pairs, memo)
+                + p_one * self.pair_rec(hi, level + 1, Some(true), pairs, memo)
+        } else {
+            let prev = carry.expect("odd levels always have a pending prev value");
+            let p_one = pair.next_one_given_prev(prev);
+            (1.0 - p_one) * self.pair_rec(lo, level + 1, None, pairs, memo)
+                + p_one * self.pair_rec(hi, level + 1, None, pairs, memo)
+        };
+        memo.insert((f, level, carry_key), result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_switching_bdds;
+    use swact_circuit::catalog;
+
+    #[test]
+    fn probability_of_and_or_xor() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0).unwrap();
+        let b = bdd.var(1).unwrap();
+        let p = [0.3, 0.8];
+        let and = bdd.and(a, b).unwrap();
+        assert!((bdd.probability(and, &p) - 0.24).abs() < 1e-12);
+        let or = bdd.or(a, b).unwrap();
+        assert!((bdd.probability(or, &p) - (0.3 + 0.8 - 0.24)).abs() < 1e-12);
+        let xor = bdd.xor(a, b).unwrap();
+        assert!((bdd.probability(xor, &p) - (0.3 * 0.2 + 0.7 * 0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_of_terminals() {
+        let bdd = Bdd::new(1);
+        assert_eq!(bdd.probability(Bdd::TRUE, &[0.5]), 1.0);
+        assert_eq!(bdd.probability(Bdd::FALSE, &[0.5]), 0.0);
+    }
+
+    #[test]
+    fn probability_half_matches_sat_count() {
+        // At p=0.5 everywhere, probability = sat_count / 2^n.
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0).unwrap();
+        let b = bdd.var(1).unwrap();
+        let c = bdd.var(2).unwrap();
+        let ab = bdd.and(a, b).unwrap();
+        let f = bdd.or(ab, c).unwrap();
+        let p = bdd.probability(f, &[0.5; 4]);
+        assert!((p - bdd.sat_count(f) / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_distribution_constructors() {
+        let ind = PairDistribution::independent(0.3);
+        assert!((ind.prev_one() - 0.3).abs() < 1e-12);
+        assert!((ind.next_one() - 0.3).abs() < 1e-12);
+        assert!((ind.switch_probability() - 2.0 * 0.3 * 0.7).abs() < 1e-12);
+
+        let frozen = PairDistribution::markov(0.4, 0.0);
+        assert_eq!(frozen.switch_probability(), 0.0);
+        assert!((frozen.prev_one() - 0.4).abs() < 1e-12);
+
+        let m = PairDistribution::markov(0.5, 0.2);
+        assert!((m.switch_probability() - 0.2).abs() < 1e-12);
+        assert!((m.prev_one() - 0.5).abs() < 1e-12);
+        assert!((m.next_one() - 0.5).abs() < 1e-12);
+
+        // Markov with the independent switching rate reduces to independent.
+        let m = PairDistribution::markov(0.3, 2.0 * 0.3 * 0.7);
+        let ind = PairDistribution::independent(0.3);
+        for (a, b) in m.as_array().iter().zip(ind.as_array()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn invalid_joint_panics() {
+        let _ = PairDistribution::new([0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn pair_probability_matches_independent_probability() {
+        // With independent pairs, pair_probability == probability with the
+        // marginals spelled out.
+        let c17 = catalog::c17();
+        let sw = build_switching_bdds(&c17, 100_000).unwrap();
+        let pairs: Vec<PairDistribution> = (0..5)
+            .map(|i| PairDistribution::independent(0.2 + 0.1 * i as f64))
+            .collect();
+        let mut flat = Vec::new();
+        for pair in &pairs {
+            flat.push(pair.prev_one());
+            flat.push(pair.next_one());
+        }
+        for line in c17.line_ids() {
+            let f = sw.switch_fn(line);
+            let a = sw.bdd.pair_probability(f, &pairs);
+            let b = sw.bdd.probability(f, &flat);
+            assert!((a - b).abs() < 1e-12, "line {}", c17.line_name(line));
+        }
+    }
+
+    #[test]
+    fn pair_probability_exhaustive_check_with_correlation() {
+        // Brute-force: enumerate all (prev, next) assignments weighted by
+        // the pair joints and compare.
+        let c17 = catalog::c17();
+        let sw = build_switching_bdds(&c17, 100_000).unwrap();
+        let pairs: Vec<PairDistribution> = (0..5)
+            .map(|i| PairDistribution::markov(0.5, 0.1 + 0.15 * i as f64))
+            .collect();
+        for line in [c17.outputs()[0], c17.outputs()[1]] {
+            let f = sw.switch_fn(line);
+            let mut want = 0.0;
+            for assignment_bits in 0..(1u32 << 10) {
+                let assignment: Vec<bool> =
+                    (0..10).map(|b| assignment_bits >> b & 1 == 1).collect();
+                if !sw.bdd.eval(f, &assignment) {
+                    continue;
+                }
+                let mut weight = 1.0;
+                for i in 0..5 {
+                    let state = (assignment[2 * i] as usize) * 2 + assignment[2 * i + 1] as usize;
+                    weight *= pairs[i].as_array()[state];
+                }
+                want += weight;
+            }
+            let got = sw.bdd.pair_probability(f, &pairs);
+            assert!((got - want).abs() < 1e-10, "want {want}, got {got}");
+        }
+    }
+
+    #[test]
+    fn frozen_inputs_never_switch() {
+        let c17 = catalog::c17();
+        let sw = build_switching_bdds(&c17, 100_000).unwrap();
+        let pairs = vec![PairDistribution::markov(0.5, 0.0); 5];
+        for line in c17.line_ids() {
+            let p = sw.bdd.pair_probability(sw.switch_fn(line), &pairs);
+            assert!(p.abs() < 1e-12, "line {} switched", c17.line_name(line));
+        }
+    }
+
+    #[test]
+    fn next_one_given_prev_degenerate() {
+        // P(prev=1) = 0: conditioning on prev=1 returns 0 by convention.
+        let d = PairDistribution::new([0.5, 0.5, 0.0, 0.0]);
+        assert_eq!(d.next_one_given_prev(true), 0.0);
+        assert_eq!(d.next_one_given_prev(false), 0.5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the BDD manager: random Boolean expressions checked
+//! against direct truth-table evaluation, canonicity, and probability
+//! computations.
+
+use proptest::prelude::*;
+use swact_bdd::{Bdd, NodeId};
+
+/// A random Boolean expression over `n` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr(num_vars: usize) -> impl Strategy<Value = Expr> {
+    let leaf = (0..num_vars).prop_map(Expr::Var);
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> NodeId {
+    match e {
+        Expr::Var(i) => bdd.var(*i).expect("in range"),
+        Expr::Not(a) => {
+            let a = build(bdd, a);
+            bdd.not(a).expect("budget")
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.and(a, b).expect("budget")
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.or(a, b).expect("budget")
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.xor(a, b).expect("budget")
+        }
+    }
+}
+
+fn eval_expr(e: &Expr, assignment: &[bool]) -> bool {
+    match e {
+        Expr::Var(i) => assignment[*i],
+        Expr::Not(a) => !eval_expr(a, assignment),
+        Expr::And(a, b) => eval_expr(a, assignment) && eval_expr(b, assignment),
+        Expr::Or(a, b) => eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Xor(a, b) => eval_expr(a, assignment) ^ eval_expr(b, assignment),
+    }
+}
+
+const N: usize = 5;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BDD evaluation equals direct expression evaluation on every
+    /// assignment.
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr(N)) {
+        let mut bdd = Bdd::new(N);
+        let f = build(&mut bdd, &e);
+        for case in 0..1usize << N {
+            let assignment: Vec<bool> = (0..N).map(|i| case >> i & 1 == 1).collect();
+            prop_assert_eq!(bdd.eval(f, &assignment), eval_expr(&e, &assignment));
+        }
+    }
+
+    /// Canonicity: two structurally different expressions with the same
+    /// truth table hash-cons to the same node.
+    #[test]
+    fn canonical_forms_coincide(e in arb_expr(N)) {
+        let mut bdd = Bdd::new(N);
+        let f = build(&mut bdd, &e);
+        // De Morganized double negation of the same expression.
+        let nn = Expr::Not(Box::new(Expr::Not(Box::new(e))));
+        let g = build(&mut bdd, &nn);
+        prop_assert_eq!(f, g);
+    }
+
+    /// sat_count equals the truth-table count, and probability at p = ½
+    /// everywhere equals sat_count / 2ⁿ.
+    #[test]
+    fn counting_and_probability_agree(e in arb_expr(N)) {
+        let mut bdd = Bdd::new(N);
+        let f = build(&mut bdd, &e);
+        let mut count = 0u64;
+        for case in 0..1usize << N {
+            let assignment: Vec<bool> = (0..N).map(|i| case >> i & 1 == 1).collect();
+            count += u64::from(eval_expr(&e, &assignment));
+        }
+        prop_assert!((bdd.sat_count(f) - count as f64).abs() < 1e-9);
+        let p = bdd.probability(f, &[0.5; N]);
+        prop_assert!((p - count as f64 / 32.0).abs() < 1e-12);
+    }
+
+    /// probability equals the weighted truth-table sum for arbitrary
+    /// independent input probabilities.
+    #[test]
+    fn probability_matches_weighted_enumeration(
+        e in arb_expr(N),
+        probs in proptest::collection::vec(0.0f64..=1.0, N),
+    ) {
+        let mut bdd = Bdd::new(N);
+        let f = build(&mut bdd, &e);
+        let mut expected = 0.0;
+        for case in 0..1usize << N {
+            let assignment: Vec<bool> = (0..N).map(|i| case >> i & 1 == 1).collect();
+            if eval_expr(&e, &assignment) {
+                let weight: f64 = assignment
+                    .iter()
+                    .zip(&probs)
+                    .map(|(&b, &p)| if b { p } else { 1.0 - p })
+                    .product();
+                expected += weight;
+            }
+        }
+        prop_assert!((bdd.probability(f, &probs) - expected).abs() < 1e-9);
+    }
+
+    /// Shannon expansion: f = (x ∧ f|x=1) ∨ (¬x ∧ f|x=0).
+    #[test]
+    fn shannon_expansion(e in arb_expr(N), var in 0usize..N) {
+        let mut bdd = Bdd::new(N);
+        let f = build(&mut bdd, &e);
+        let f1 = bdd.restrict(f, var, true).unwrap();
+        let f0 = bdd.restrict(f, var, false).unwrap();
+        let x = bdd.var(var).unwrap();
+        let nx = bdd.nvar(var).unwrap();
+        let hi = bdd.and(x, f1).unwrap();
+        let lo = bdd.and(nx, f0).unwrap();
+        let rebuilt = bdd.or(hi, lo).unwrap();
+        prop_assert_eq!(rebuilt, f);
+    }
+}

@@ -1,0 +1,24 @@
+//! Compile-time benchmark: LIDAG construction + junction-tree compilation
+//! per circuit — Table 1's one-off cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swact::{CompiledEstimator, Options};
+use swact_circuit::catalog;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for name in ["c17", "c432", "c880", "alu2"] {
+        let circuit = catalog::benchmark(name).expect("known benchmark");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                CompiledEstimator::compile(&circuit, &Options::default())
+                    .expect("benchmark compiles")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Propagation (update) benchmark — the paper's §6 claim that once
+//! compiled, re-estimation under new input statistics is cheap (Table 1's
+//! "Update" column and experiment E4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swact::{CompiledEstimator, InputSpec, Options};
+use swact_circuit::catalog;
+
+fn bench_propagate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate");
+    group.sample_size(10);
+    for name in ["c17", "c432", "c880", "alu2"] {
+        let circuit = catalog::benchmark(name).expect("known benchmark");
+        let mut compiled =
+            CompiledEstimator::compile(&circuit, &Options::default()).expect("compiles");
+        let specs: Vec<InputSpec> = (0..4)
+            .map(|k| {
+                InputSpec::independent(
+                    (0..circuit.num_inputs()).map(move |i| 0.2 + 0.15 * ((i + k) % 5) as f64),
+                )
+            })
+            .collect();
+        let mut k = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // Rotate input statistics so every iteration re-propagates.
+                let est = compiled.estimate(&specs[k % specs.len()]).expect("matches");
+                k += 1;
+                est
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagate);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ground-truth simulation throughput: what "estimation by simulation"
+//! costs per vector pair (the slow-but-exact alternative of the paper's
+//! §1 taxonomy).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use swact_circuit::catalog;
+use swact_sim::{measure_activity, StreamModel};
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    const PAIRS: usize = 64 * 256;
+    group.throughput(Throughput::Elements(PAIRS as u64));
+    for name in ["c17", "c432", "c880"] {
+        let circuit = catalog::benchmark(name).expect("known");
+        let model = StreamModel::uniform(circuit.num_inputs());
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                measure_activity(&circuit, &model, PAIRS, seed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Triangulation heuristics on LIDAG moral graphs (ablation A1's cost
+//! side).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swact::{InputSpec, Lidag};
+use swact_bayesnet::graph::moral_graph;
+use swact_bayesnet::triangulate::{triangulate, Heuristic};
+use swact_circuit::catalog;
+
+fn bench_triangulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triangulate");
+    group.sample_size(10);
+    for name in ["c17", "c432", "count"] {
+        let circuit = catalog::benchmark(name).expect("known");
+        let spec = InputSpec::uniform(circuit.num_inputs());
+        let lidag = Lidag::build(&circuit, &spec, 4).expect("builds");
+        let moral = moral_graph(lidag.net());
+        let cards = lidag.net().cards();
+        for (label, heuristic) in [
+            ("min_fill", Heuristic::MinFill),
+            ("min_degree", Heuristic::MinDegree),
+        ] {
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| triangulate(&moral, &cards, heuristic))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_triangulate);
+criterion_main!(benches);

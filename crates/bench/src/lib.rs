@@ -1,0 +1,266 @@
+//! Experiment harness regenerating every table and figure of Bhanja &
+//! Ranganathan (DAC 2001).
+//!
+//! The binaries in `src/bin` print the paper's artifacts:
+//!
+//! * `table1` — Table 1: per-circuit switching-accuracy and timing of the
+//!   Bayesian-network estimator against logic-simulation ground truth;
+//! * `table2` — Table 2: accuracy/time comparison against the prior-art
+//!   estimators in `swact-baselines`;
+//! * `figures` — Figures 1–4: the running example circuit, its LIDAG-BN,
+//!   the triangulated moral graph, and the junction tree, as Graphviz DOT;
+//! * `ablation` — the design-choice studies indexed in DESIGN.md
+//!   (segmentation budget, boundary correlation, triangulation heuristic,
+//!   two- vs four-state variables, input-correlation sensitivity).
+//!
+//! The Criterion benches in `benches/` measure the compile/propagate split
+//! (paper §6's "circuits can be precompiled; only propagation has to be
+//! done for different input statistics") and the core kernels.
+
+use std::time::Instant;
+
+use swact::{CompiledEstimator, ErrorStats, InputSpec, Options};
+use swact_baselines::SwitchingEstimator;
+use swact_circuit::{catalog, Circuit};
+use swact_sim::{measure_activity, StreamModel};
+
+/// Default number of simulated vector pairs for ground truth.
+pub const DEFAULT_PAIRS: usize = 1 << 20;
+
+/// Ground-truth seed shared by all experiments (reported results are
+/// deterministic).
+pub const GROUND_TRUTH_SEED: u64 = 0x5eed_2001;
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Gates in the (original) circuit.
+    pub gates: usize,
+    /// Segments (Bayesian networks) used.
+    pub segments: usize,
+    /// Mean absolute per-node error vs simulation (µErr).
+    pub mean_err: f64,
+    /// Standard deviation of the per-node error (σErr).
+    pub std_err: f64,
+    /// Percent error of the circuit-average activity (%Error).
+    pub pct_err: f64,
+    /// Compile + propagate wall clock, seconds ("Total").
+    pub total_s: f64,
+    /// Propagate-only wall clock, seconds ("Update").
+    pub update_s: f64,
+}
+
+/// Runs the Table 1 experiment for one circuit.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known benchmark.
+pub fn table1_row(name: &str, pairs: usize, options: &Options) -> Table1Row {
+    let circuit = catalog::benchmark(name).expect("known benchmark");
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let mut compiled =
+        CompiledEstimator::compile(&circuit, options).expect("benchmark circuits compile");
+    let estimate = compiled.estimate(&spec).expect("uniform spec matches");
+    let truth = ground_truth(&circuit, pairs);
+    let stats = estimate.compare(&truth);
+    Table1Row {
+        circuit: name.to_string(),
+        gates: circuit.num_gates(),
+        segments: estimate.num_segments(),
+        mean_err: stats.mean_abs_error,
+        std_err: stats.std_error,
+        pct_err: stats.percent_error,
+        total_s: estimate.total_time().as_secs_f64(),
+        update_s: estimate.propagate_time().as_secs_f64(),
+    }
+}
+
+/// Runs Table 1 for every benchmark in the paper's row order.
+pub fn table1(pairs: usize, options: &Options) -> Vec<Table1Row> {
+    catalog::BENCHMARKS
+        .iter()
+        .map(|info| table1_row(info.name, pairs, options))
+        .collect()
+}
+
+/// Formats Table 1 rows as an aligned text table.
+pub fn format_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>5} {:>9} {:>9} {:>8} {:>10} {:>10}\n",
+        "Circuit", "Gates", "BNs", "µErr", "σErr", "%Error", "Total(s)", "Update(s)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>5} {:>9.4} {:>9.4} {:>7.3}% {:>10.4} {:>10.4}\n",
+            r.circuit, r.gates, r.segments, r.mean_err, r.std_err, r.pct_err, r.total_s,
+            r.update_s
+        ));
+    }
+    let n = rows.len() as f64;
+    out.push_str(&format!(
+        "{:<10} {:>6} {:>5} {:>9.4} {:>9.4} {:>7.3}% {:>10.4} {:>10.4}\n",
+        "average",
+        "",
+        "",
+        rows.iter().map(|r| r.mean_err).sum::<f64>() / n,
+        rows.iter().map(|r| r.std_err).sum::<f64>() / n,
+        rows.iter().map(|r| r.pct_err).sum::<f64>() / n,
+        rows.iter().map(|r| r.total_s).sum::<f64>() / n,
+        rows.iter().map(|r| r.update_s).sum::<f64>() / n,
+    ));
+    out
+}
+
+/// One method's result on one circuit in Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Cell {
+    /// Estimator name.
+    pub method: String,
+    /// Mean absolute per-node error (µErr).
+    pub mean_err: f64,
+    /// Standard deviation of the per-node error (σErr).
+    pub std_err: f64,
+    /// Wall-clock estimation time, seconds.
+    pub time_s: f64,
+}
+
+/// One row (circuit) of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Cells per method, in the order the methods were supplied.
+    pub cells: Vec<Table2Cell>,
+}
+
+/// Runs the Table 2 comparison on one circuit: the Bayesian network plus
+/// every supplied baseline, all against the same simulated ground truth.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known benchmark.
+pub fn table2_row(
+    name: &str,
+    pairs: usize,
+    options: &Options,
+    baselines: &[&dyn SwitchingEstimator],
+) -> Table2Row {
+    let circuit = catalog::benchmark(name).expect("known benchmark");
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let truth = ground_truth(&circuit, pairs);
+
+    let mut cells = Vec::new();
+    let start = Instant::now();
+    let estimate =
+        swact::estimate(&circuit, &spec, options).expect("benchmark circuits compile");
+    let bn_time = start.elapsed().as_secs_f64();
+    let stats = estimate.compare(&truth);
+    cells.push(Table2Cell {
+        method: "bayesian-network".to_string(),
+        mean_err: stats.mean_abs_error,
+        std_err: stats.std_error,
+        time_s: bn_time,
+    });
+    for baseline in baselines {
+        let start = Instant::now();
+        match baseline.estimate(&circuit, &spec) {
+            Ok(switching) => {
+                let time_s = start.elapsed().as_secs_f64();
+                let stats = ErrorStats::between(&switching, &truth);
+                cells.push(Table2Cell {
+                    method: baseline.name().to_string(),
+                    mean_err: stats.mean_abs_error,
+                    std_err: stats.std_error,
+                    time_s,
+                });
+            }
+            Err(_) => cells.push(Table2Cell {
+                method: baseline.name().to_string(),
+                mean_err: f64::NAN,
+                std_err: f64::NAN,
+                time_s: f64::NAN,
+            }),
+        }
+    }
+    Table2Row {
+        circuit: name.to_string(),
+        cells,
+    }
+}
+
+/// Formats Table 2 rows as an aligned text table.
+pub fn format_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    if let Some(first) = rows.first() {
+        out.push_str(&format!("{:<10}", "Circuit"));
+        for cell in &first.cells {
+            out.push_str(&format!(" | {:^28}", cell.method));
+        }
+        out.push('\n');
+        out.push_str(&format!("{:<10}", ""));
+        for _ in &first.cells {
+            out.push_str(&format!(
+                " | {:>8} {:>8} {:>9}",
+                "µErr", "σErr", "time(s)"
+            ));
+        }
+        out.push('\n');
+    }
+    for row in rows {
+        out.push_str(&format!("{:<10}", row.circuit));
+        for cell in &row.cells {
+            if cell.mean_err.is_nan() {
+                out.push_str(&format!(" | {:>8} {:>8} {:>9}", "-", "-", "-"));
+            } else {
+                out.push_str(&format!(
+                    " | {:>8.4} {:>8.4} {:>9.4}",
+                    cell.mean_err, cell.std_err, cell.time_s
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Simulated ground-truth switching for a circuit under uniform inputs.
+pub fn ground_truth(circuit: &Circuit, pairs: usize) -> Vec<f64> {
+    let model = StreamModel::uniform(circuit.num_inputs());
+    measure_activity(circuit, &model, pairs, GROUND_TRUTH_SEED).switching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_baselines::Independence;
+
+    #[test]
+    fn table1_row_on_c17_is_exact() {
+        let row = table1_row("c17", 1 << 16, &Options::default());
+        assert_eq!(row.segments, 1);
+        assert!(row.mean_err < 0.01, "µErr {}", row.mean_err);
+        assert!(row.update_s < row.total_s);
+    }
+
+    #[test]
+    fn table2_row_orders_methods() {
+        let row = table2_row("c17", 1 << 16, &Options::default(), &[&Independence]);
+        assert_eq!(row.cells.len(), 2);
+        assert_eq!(row.cells[0].method, "bayesian-network");
+        assert!(row.cells[0].mean_err <= row.cells[1].mean_err + 1e-9);
+    }
+
+    #[test]
+    fn formatting_is_complete() {
+        let rows = vec![table1_row("c17", 1 << 14, &Options::default())];
+        let text = format_table1(&rows);
+        assert!(text.contains("c17"));
+        assert!(text.contains("average"));
+        let rows = vec![table2_row("c17", 1 << 14, &Options::default(), &[&Independence])];
+        let text = format_table2(&rows);
+        assert!(text.contains("independence"));
+    }
+}

@@ -1,0 +1,506 @@
+//! Deterministic synthetic benchmark generation.
+//!
+//! The published ISCAS-85 / MCNC-89 netlists cannot be redistributed with
+//! this crate, so [`generate`] produces stand-ins that preserve the
+//! *structural properties* the paper's evaluation depends on:
+//!
+//! * matching primary-input and primary-output counts and an (approximately)
+//!   matching gate count;
+//! * heavy **reconvergent fan-out** — the property that makes internal
+//!   signals spatially correlated and defeats independence/pairwise
+//!   estimators;
+//! * bounded fan-in (≤ 4) and realistic gate-kind mix (NAND-rich, as in
+//!   ISCAS-85);
+//! * deterministic output: the same [`GeneratorConfig`] always yields the
+//!   identical circuit, across platforms and releases (the generator embeds
+//!   its own PRNG rather than depending on `rand`).
+//!
+//! Generation is **cone structured**, mirroring how the real benchmarks are
+//! built (ALU slices, channel controllers, parity trees): each primary
+//! output is a *reduction tree* over a window of primary inputs. The
+//! tree's leaf multiset repeats window inputs (local reconvergent fan-out)
+//! and, with probability `1 − locality`, taps logic from previously built
+//! cones (cross-cone sharing — the global reconvergence that correlates
+//! outputs). Every gate feeds the reduction, so there is no dead logic,
+//! and gate/output counts are met exactly.
+
+use crate::{Circuit, CircuitBuilder, GateKind, LineId};
+
+/// Minimal deterministic PRNG (xorshift64*), embedded so generated
+/// benchmarks never change across dependency upgrades.
+#[derive(Debug, Clone)]
+pub(crate) struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    pub(crate) fn new(seed: u64) -> Rng64 {
+        // Avoid the all-zero fixed point.
+        Rng64 {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform integer in `0..bound` (`bound` ≥ 1).
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound >= 1);
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Circuit name.
+    pub name: &'static str,
+    /// Number of primary inputs (≥ 1).
+    pub inputs: usize,
+    /// Number of primary outputs (≥ 1, ≤ reachable sinks).
+    pub outputs: usize,
+    /// Exact gate count (split across the output cones).
+    pub gates: usize,
+    /// PRNG seed; same seed ⇒ identical circuit.
+    pub seed: u64,
+    /// Probability that a cone leaf is a window input rather than a tap
+    /// into another cone's logic. The complement (`1 − locality`) controls
+    /// cross-cone sharing and therefore global reconvergence.
+    pub locality: f64,
+    /// Maximum fan-in of generated gates (2..=4 realistic).
+    pub max_fanin: usize,
+}
+
+impl GeneratorConfig {
+    /// A reasonable default configuration for a named benchmark: ISCAS-like
+    /// gate mix, locality 0.8, fan-in ≤ 4.
+    pub fn default_for(name: &'static str) -> GeneratorConfig {
+        GeneratorConfig {
+            name,
+            inputs: 8,
+            outputs: 4,
+            gates: 64,
+            seed: crate::catalog::seed_from_name(name),
+            locality: 0.8,
+            max_fanin: 4,
+        }
+    }
+}
+
+fn pick_kind(rng: &mut Rng64) -> GateKind {
+    // NAND-rich mix, as in ISCAS-85 netlists.
+    match rng.below(100) {
+        0..=29 => GateKind::Nand,
+        30..=44 => GateKind::And,
+        45..=59 => GateKind::Nor,
+        60..=74 => GateKind::Or,
+        75..=84 => GateKind::Not,
+        85..=91 => GateKind::Xor,
+        92..=95 => GateKind::Xnor,
+        _ => GateKind::Buf,
+    }
+}
+
+/// Generates a deterministic synthetic benchmark circuit (see the module
+/// docs for the cone-structured construction).
+///
+/// # Panics
+///
+/// Panics if `inputs` or `outputs` is zero, or if `gates < outputs` (each
+/// output needs at least its own root gate).
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::benchgen::{generate, GeneratorConfig};
+///
+/// let config = GeneratorConfig {
+///     inputs: 6,
+///     outputs: 3,
+///     gates: 40,
+///     ..GeneratorConfig::default_for("demo")
+/// };
+/// let c = generate(&config);
+/// assert_eq!(c.num_inputs(), 6);
+/// assert_eq!(c.num_outputs(), 3);
+/// assert_eq!(c.num_gates(), 40);
+/// ```
+pub fn generate(config: &GeneratorConfig) -> Circuit {
+    assert!(config.inputs >= 1, "need at least one primary input");
+    assert!(config.outputs >= 1, "need at least one primary output");
+    assert!(
+        config.gates >= config.outputs,
+        "need at least one gate per output ({} gates for {} outputs)",
+        config.gates,
+        config.outputs
+    );
+    let mut rng = Rng64::new(config.seed);
+    let mut b = CircuitBuilder::new(config.name);
+    // names[i] for i < inputs are primary inputs; the rest are gate lines.
+    let mut names: Vec<String> = Vec::with_capacity(config.inputs + config.gates);
+    for i in 0..config.inputs {
+        let name = format!("pi{i}");
+        b.input(&name).expect("generated names are unique");
+        names.push(name);
+    }
+    // Split the gate budget across cones (remainder spread over the first
+    // cones), and give each output a wrap-around window of inputs twice
+    // the average share, so neighbouring cones overlap.
+    let per_cone = config.gates / config.outputs;
+    let remainder = config.gates % config.outputs;
+    let stride = config.inputs.div_ceil(config.outputs);
+    let window = (2 * stride).clamp(2, config.inputs);
+    let mut used_input = vec![false; config.inputs];
+    let mut gate_no = 0usize;
+
+    for cone in 0..config.outputs {
+        let budget = per_cone + usize::from(cone < remainder);
+        // Roughly one gate in eight is an inverter/buffer stage; the rest
+        // are binary reductions. A binary reduction of `k` leaves uses
+        // `k − 1` gates, so the leaf count follows from the split.
+        let unary = if budget > 2 { budget / 8 } else { 0 };
+        let binary = budget - unary;
+        let window_start = cone * stride % config.inputs;
+        // Leaf multiset: the window inputs first — not-yet-used inputs
+        // leading, so narrow cones still cover every primary input — then
+        // repeats / cross-cone taps.
+        let mut window_inputs: Vec<usize> = (0..window)
+            .map(|k| (window_start + k) % config.inputs)
+            .collect();
+        window_inputs.sort_by_key(|&i| used_input[i]);
+        let mut pool: Vec<usize> = Vec::with_capacity(binary + 1);
+        for &input in window_inputs.iter().take(binary + 1) {
+            pool.push(input);
+            used_input[input] = true;
+        }
+        while pool.len() < binary + 1 {
+            let leaf = if rng.unit() < config.locality || names.len() == config.inputs {
+                (window_start + rng.below(window)) % config.inputs
+            } else {
+                // Tap an existing gate line from an earlier cone.
+                config.inputs + rng.below(names.len() - config.inputs)
+            };
+            pool.push(leaf);
+        }
+        let mut remaining_unary = unary;
+        // Reduce the pool to a single line.
+        while pool.len() > 1 || remaining_unary > 0 {
+            let apply_unary =
+                remaining_unary > 0 && (pool.len() == 1 || rng.below(8) == 0);
+            let (kind, chosen) = if apply_unary {
+                remaining_unary -= 1;
+                let kind = if rng.below(4) == 0 {
+                    GateKind::Buf
+                } else {
+                    GateKind::Not
+                };
+                let k = rng.below(pool.len());
+                (kind, vec![pool.swap_remove(k)])
+            } else {
+                let mut kind = pick_kind(&mut rng);
+                while kind.fixed_arity().is_some() {
+                    kind = pick_kind(&mut rng);
+                }
+                // Bias towards recently produced lines for depth.
+                let mut chosen = Vec::with_capacity(2);
+                for _ in 0..2 {
+                    let k = if rng.below(3) == 0 && pool.len() > 2 {
+                        pool.len() - 1 - rng.below(2)
+                    } else {
+                        rng.below(pool.len())
+                    };
+                    chosen.push(pool.swap_remove(k));
+                }
+                // Duplicate leaves are fine for AND/OR-family gates (they
+                // just alias) but make parity gates constant; avoid that.
+                if chosen[0] == chosen[1]
+                    && matches!(kind, GateKind::Xor | GateKind::Xnor)
+                {
+                    kind = GateKind::Nand;
+                }
+                (kind, chosen)
+            };
+            let name = format!("n{gate_no}");
+            gate_no += 1;
+            let input_names: Vec<&str> =
+                chosen.iter().map(|&i| names[i].as_str()).collect();
+            b.gate(&name, kind, &input_names)
+                .expect("generated names are unique");
+            pool.push(names.len());
+            names.push(name);
+        }
+        b.output(&names[pool[0]]).expect("declared line");
+    }
+    debug_assert_eq!(gate_no, config.gates);
+    b.finish().expect("generator maintains structural invariants")
+}
+
+/// Generates a chain of `depth` alternating gates over `inputs` primary
+/// inputs — a minimal-treewidth stress case for deep junction trees.
+pub fn chain(name: &'static str, inputs: usize, depth: usize, seed: u64) -> Circuit {
+    let mut rng = Rng64::new(seed);
+    let mut b = CircuitBuilder::new(name);
+    let mut prev = String::new();
+    for i in 0..inputs.max(2) {
+        let n = format!("pi{i}");
+        b.input(&n).expect("unique");
+        prev = n;
+    }
+    for d in 0..depth {
+        let other = format!("pi{}", rng.below(inputs.max(2)));
+        let kind = if d % 2 == 0 {
+            GateKind::Nand
+        } else {
+            GateKind::Xor
+        };
+        let n = format!("s{d}");
+        b.gate(&n, kind, &[&prev, &other]).expect("unique");
+        prev = n;
+    }
+    b.output(&prev).expect("declared");
+    b.finish().expect("chain is structurally valid")
+}
+
+/// Generates a complete tree of 2-input gates with `2^levels` leaf inputs —
+/// the best case for exact inference (junction tree of width 3).
+pub fn tree(name: &'static str, levels: u32, kind: GateKind, seed: u64) -> Circuit {
+    assert!(kind.is_multi_input(), "tree gates must be multi-input");
+    let mut rng = Rng64::new(seed);
+    let mut b = CircuitBuilder::new(name);
+    let leaves = 1usize << levels;
+    let mut frontier: Vec<String> = (0..leaves)
+        .map(|i| {
+            let n = format!("pi{i}");
+            b.input(&n).expect("unique");
+            n
+        })
+        .collect();
+    let mut id = 0usize;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len() / 2);
+        for pair in frontier.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0].clone());
+                continue;
+            }
+            let n = format!("t{id}");
+            id += 1;
+            b.gate(&n, kind, &[&pair[0], &pair[1]]).expect("unique");
+            next.push(n);
+        }
+        frontier = next;
+        let _ = rng.next_u64();
+    }
+    b.output(&frontier[0]).expect("declared");
+    b.finish().expect("tree is structurally valid")
+}
+
+/// Generates a circuit with an adjustable amount of reconvergent fan-out:
+/// `branches` parallel functions of the *same* shared inputs, recombined by
+/// one collector gate. With `branches` ≥ 2 all internal lines are strongly
+/// spatially correlated — the regime where pairwise methods lose accuracy.
+pub fn reconvergent(name: &'static str, inputs: usize, branches: usize, seed: u64) -> Circuit {
+    assert!(inputs >= 2 && branches >= 1);
+    let mut rng = Rng64::new(seed);
+    let mut b = CircuitBuilder::new(name);
+    let pis: Vec<String> = (0..inputs)
+        .map(|i| {
+            let n = format!("pi{i}");
+            b.input(&n).expect("unique");
+            n
+        })
+        .collect();
+    let mut branch_outs = Vec::with_capacity(branches);
+    for br in 0..branches {
+        let kinds = [GateKind::Nand, GateKind::Nor, GateKind::Xor, GateKind::And];
+        let mut acc = pis[rng.below(inputs)].clone();
+        for (step, pi) in pis.iter().enumerate() {
+            let n = format!("b{br}_{step}");
+            let kind = kinds[(br + step) % kinds.len()];
+            b.gate(&n, kind, &[&acc, pi]).expect("unique");
+            acc = n;
+        }
+        branch_outs.push(acc);
+    }
+    let refs: Vec<&str> = branch_outs.iter().map(String::as_str).collect();
+    if refs.len() == 1 {
+        b.output(refs[0]).expect("declared");
+    } else {
+        b.gate("y", GateKind::Xor, &refs).expect("unique");
+        b.output("y").expect("declared");
+    }
+    b.finish().expect("reconvergent generator is structurally valid")
+}
+
+/// Returns the ids of all primary-input lines that reach no output — the
+/// generator guarantees this is empty.
+pub fn dead_inputs(circuit: &Circuit) -> Vec<LineId> {
+    let cone = circuit.fanin_cone(circuit.outputs());
+    let mut in_cone = vec![false; circuit.num_lines()];
+    for l in cone {
+        in_cone[l.index()] = true;
+    }
+    circuit
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|l| !in_cone[l.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_not_constant() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn rng_unit_in_range() {
+        let mut rng = Rng64::new(99);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn generator_matches_interface_counts() {
+        let config = GeneratorConfig {
+            inputs: 12,
+            outputs: 5,
+            gates: 100,
+            ..GeneratorConfig::default_for("gen_test")
+        };
+        let c = generate(&config);
+        assert_eq!(c.num_inputs(), 12);
+        assert_eq!(c.num_outputs(), 5);
+        assert_eq!(c.num_gates(), 100, "gate budget met exactly");
+    }
+
+    #[test]
+    fn generator_uses_every_primary_input() {
+        let config = GeneratorConfig {
+            inputs: 20,
+            outputs: 3,
+            gates: 60,
+            ..GeneratorConfig::default_for("use_all")
+        };
+        let c = generate(&config);
+        assert!(dead_inputs(&c).is_empty());
+    }
+
+    #[test]
+    fn generator_has_reconvergent_fanout() {
+        let config = GeneratorConfig {
+            inputs: 10,
+            outputs: 2,
+            gates: 120,
+            ..GeneratorConfig::default_for("reconv")
+        };
+        let c = generate(&config);
+        let multi_fanout = c
+            .fanout_counts()
+            .into_iter()
+            .filter(|&n| n >= 2)
+            .count();
+        assert!(
+            multi_fanout >= 10,
+            "expected reconvergence, found {multi_fanout} multi-fanout lines"
+        );
+    }
+
+    #[test]
+    fn generator_respects_max_fanin() {
+        let config = GeneratorConfig {
+            inputs: 10,
+            outputs: 2,
+            gates: 150,
+            max_fanin: 3,
+            ..GeneratorConfig::default_for("fanin_cap")
+        };
+        let c = generate(&config);
+        assert!(c.stats().max_fanin <= 3);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = GeneratorConfig {
+            inputs: 8,
+            outputs: 2,
+            gates: 50,
+            ..GeneratorConfig::default_for("seeded")
+        };
+        let a = generate(&base);
+        let b = generate(&GeneratorConfig {
+            seed: base.seed + 1,
+            ..base.clone()
+        });
+        let differs = a
+            .line_ids()
+            .any(|l| b.num_lines() <= l.index() || a.gate(l) != b.gate(l));
+        assert!(differs || a.num_lines() != b.num_lines());
+    }
+
+    #[test]
+    fn chain_depth_and_tree_shape() {
+        let c = chain("chain8", 4, 8, 1);
+        assert_eq!(c.stats().depth, 8);
+        let t = tree("tree16", 4, GateKind::And, 1);
+        assert_eq!(t.num_inputs(), 16);
+        assert_eq!(t.num_gates(), 15);
+        assert_eq!(t.stats().depth, 4);
+    }
+
+    #[test]
+    fn reconvergent_branches_share_support() {
+        let c = reconvergent("rc", 4, 3, 5);
+        assert_eq!(c.num_outputs(), 1);
+        let support = c.support(c.outputs());
+        assert_eq!(support.len(), 4, "all inputs shared by all branches");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gate per output")]
+    fn too_many_outputs_panics() {
+        let config = GeneratorConfig {
+            inputs: 2,
+            outputs: 10,
+            gates: 1,
+            ..GeneratorConfig::default_for("bad")
+        };
+        let _ = generate(&config);
+    }
+
+    #[test]
+    fn no_dead_logic() {
+        let config = GeneratorConfig {
+            inputs: 16,
+            outputs: 4,
+            gates: 120,
+            ..GeneratorConfig::default_for("live")
+        };
+        let c = generate(&config);
+        let cone = c.fanin_cone(c.outputs());
+        assert_eq!(cone.len(), c.num_lines(), "every line reaches an output");
+    }
+}

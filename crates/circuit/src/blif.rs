@@ -1,0 +1,559 @@
+//! BLIF (Berkeley Logic Interchange Format) parsing.
+//!
+//! The MCNC benchmark suites — the other half of the paper's Table 1 — are
+//! distributed as BLIF. This module reads the combinational+latch subset:
+//!
+//! * `.model`, `.inputs`, `.outputs` (with `\` line continuation),
+//! * `.names` single-output covers, synthesized as two-level logic
+//!   (one AND per cube, an OR across cubes, complemented for off-set
+//!   covers) over `NOT`/`AND`/`OR`/`BUF` gates,
+//! * `.latch` elements, mapped to registers of a
+//!   [`SequentialCircuit`](crate::sequential::SequentialCircuit),
+//! * `.end` and `#` comments.
+//!
+//! Helper lines introduced by cover synthesis are named
+//! `<output>__cube<k>` and `<line>__inv`; those suffixes are reserved.
+
+use std::collections::HashMap;
+
+use crate::sequential::SequentialCircuit;
+use crate::{Circuit, CircuitBuilder, CircuitError, GateKind};
+
+/// Parses BLIF source into a sequential circuit (zero registers when the
+/// model is purely combinational).
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] for malformed or unsupported
+/// constructs (multiple `.model`s, `.exdc`, mixed-polarity covers) and the
+/// usual structural errors for invalid netlists.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::blif::parse_blif;
+///
+/// # fn main() -> Result<(), swact_circuit::CircuitError> {
+/// let src = "
+///     .model mux
+///     .inputs s a b
+///     .outputs y
+///     .names s a b y
+///     01- 1
+///     1-1 1
+///     .end
+/// ";
+/// let seq = parse_blif("mux", src)?;
+/// assert_eq!(seq.num_primary_inputs(), 3);
+/// assert!(seq.registers().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_blif(name: &str, source: &str) -> Result<SequentialCircuit, CircuitError> {
+    let statements = logical_lines(source);
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut covers: Vec<Cover> = Vec::new();
+    let mut latches: Vec<(String, String)> = Vec::new(); // (d, q)
+    let mut saw_model = false;
+
+    let mut i = 0;
+    while i < statements.len() {
+        let (line_no, ref text) = statements[i];
+        let mut tokens = text.split_whitespace();
+        let head = tokens.next().expect("logical lines are non-empty");
+        match head {
+            ".model" => {
+                if saw_model {
+                    return Err(parse_err(line_no, "multiple .model sections"));
+                }
+                saw_model = true;
+                i += 1;
+            }
+            ".inputs" => {
+                inputs.extend(tokens.map(str::to_string));
+                i += 1;
+            }
+            ".outputs" => {
+                outputs.extend(tokens.map(str::to_string));
+                i += 1;
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_string).collect();
+                if signals.is_empty() {
+                    return Err(parse_err(line_no, ".names needs at least an output"));
+                }
+                let (cube_rows, next) = collect_cubes(&statements, i + 1);
+                let cover = Cover::parse(line_no, signals, &cube_rows)?;
+                covers.push(cover);
+                i = next;
+            }
+            ".latch" => {
+                let fields: Vec<&str> = tokens.collect();
+                if fields.len() < 2 {
+                    return Err(parse_err(line_no, ".latch needs input and output"));
+                }
+                latches.push((fields[0].to_string(), fields[1].to_string()));
+                i += 1;
+            }
+            ".end" => break,
+            other if other.starts_with('.') => {
+                return Err(parse_err(
+                    line_no,
+                    format!("unsupported BLIF construct `{other}`"),
+                ));
+            }
+            _ => {
+                return Err(parse_err(
+                    line_no,
+                    format!("unexpected statement `{text}`"),
+                ));
+            }
+        }
+    }
+
+    // Build the combinational core: true inputs, then latch outputs.
+    let mut b = CircuitBuilder::new(name);
+    for input in &inputs {
+        b.input(input)?;
+    }
+    for (_, q) in &latches {
+        b.input(q)?;
+    }
+    // Shared inverter cache across covers.
+    let mut inverters: HashMap<String, String> = HashMap::new();
+    for cover in &covers {
+        cover.synthesize(&mut b, &mut inverters)?;
+    }
+    for output in &outputs {
+        b.output(output)?;
+    }
+    let core = b.finish()?;
+    let registers = latches
+        .iter()
+        .enumerate()
+        .map(|(k, (d, q))| {
+            let next_state = core
+                .find_line(d)
+                .ok_or_else(|| CircuitError::UnknownLine(d.clone()))?;
+            Ok(crate::sequential::Register {
+                name: q.clone(),
+                state_input: inputs.len() + k,
+                next_state,
+            })
+        })
+        .collect::<Result<Vec<_>, CircuitError>>()?;
+    SequentialCircuit::from_parts(core, registers, inputs.len())
+}
+
+/// Parses BLIF known to be combinational, returning a plain [`Circuit`].
+///
+/// # Errors
+///
+/// In addition to [`parse_blif`]'s errors, rejects models with latches.
+pub fn parse_blif_combinational(name: &str, source: &str) -> Result<Circuit, CircuitError> {
+    let seq = parse_blif(name, source)?;
+    if !seq.registers().is_empty() {
+        return Err(CircuitError::Parse {
+            line_no: 0,
+            message: format!(
+                "model has {} latches; use parse_blif for sequential models",
+                seq.registers().len()
+            ),
+        });
+    }
+    Ok(seq.core().clone())
+}
+
+/// Joins `\`-continued lines, strips comments, and drops blanks; returns
+/// `(first line number, text)` per logical line.
+fn logical_lines(source: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let text = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let continued = text.trim_end().ends_with('\\');
+        let text = text.trim_end().trim_end_matches('\\').trim();
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(text);
+                if continued {
+                    pending = Some((start, acc));
+                } else if !acc.trim().is_empty() {
+                    out.push((start, acc.trim().to_string()));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((idx + 1, text.to_string()));
+                } else if !text.is_empty() {
+                    out.push((idx + 1, text.to_string()));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        if !acc.trim().is_empty() {
+            out.push((start, acc.trim().to_string()));
+        }
+    }
+    out
+}
+
+/// Rows following a `.names` header until the next dot-statement.
+fn collect_cubes(
+    statements: &[(usize, String)],
+    mut i: usize,
+) -> (Vec<(usize, String)>, usize) {
+    let mut rows = Vec::new();
+    while i < statements.len() && !statements[i].1.starts_with('.') {
+        rows.push(statements[i].clone());
+        i += 1;
+    }
+    (rows, i)
+}
+
+/// One parsed `.names` cover.
+struct Cover {
+    inputs: Vec<String>,
+    output: String,
+    /// Cube rows as literal patterns over `inputs`.
+    cubes: Vec<Vec<Literal>>,
+    /// Whether rows define the on-set (`1`) or off-set (`0`).
+    on_set: bool,
+    line_no: usize,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Literal {
+    Positive,
+    Negative,
+    DontCare,
+}
+
+impl Cover {
+    fn parse(
+        line_no: usize,
+        mut signals: Vec<String>,
+        rows: &[(usize, String)],
+    ) -> Result<Cover, CircuitError> {
+        let output = signals.pop().expect("non-empty checked by caller");
+        let inputs = signals;
+        let mut cubes = Vec::new();
+        let mut polarity: Option<bool> = None;
+        for (row_no, row) in rows {
+            let fields: Vec<&str> = row.split_whitespace().collect();
+            let (pattern, value) = match (inputs.is_empty(), fields.as_slice()) {
+                (true, [value]) => ("", *value),
+                (false, [pattern, value]) => (*pattern, *value),
+                _ => {
+                    return Err(parse_err(*row_no, format!("malformed cube `{row}`")));
+                }
+            };
+            if pattern.len() != inputs.len() {
+                return Err(parse_err(
+                    *row_no,
+                    format!(
+                        "cube `{pattern}` has {} literals for {} inputs",
+                        pattern.len(),
+                        inputs.len()
+                    ),
+                ));
+            }
+            let on = match value {
+                "1" => true,
+                "0" => false,
+                other => {
+                    return Err(parse_err(*row_no, format!("bad cube output `{other}`")));
+                }
+            };
+            match polarity {
+                None => polarity = Some(on),
+                Some(previous) if previous != on => {
+                    return Err(parse_err(
+                        *row_no,
+                        "mixed on-set/off-set covers are not supported",
+                    ));
+                }
+                _ => {}
+            }
+            let cube = pattern
+                .chars()
+                .map(|c| match c {
+                    '1' => Ok(Literal::Positive),
+                    '0' => Ok(Literal::Negative),
+                    '-' => Ok(Literal::DontCare),
+                    other => Err(parse_err(*row_no, format!("bad literal `{other}`"))),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            cubes.push(cube);
+        }
+        Ok(Cover {
+            inputs,
+            output,
+            cubes,
+            on_set: polarity.unwrap_or(true),
+            line_no,
+        })
+    }
+
+    fn synthesize(
+        &self,
+        b: &mut CircuitBuilder,
+        inverters: &mut HashMap<String, String>,
+    ) -> Result<(), CircuitError> {
+        let _ = self.line_no;
+        // Empty cover: constant 0 (standard BLIF semantics).
+        if self.cubes.is_empty() {
+            b.gate(&self.output, GateKind::Const0, &[])?;
+            return Ok(());
+        }
+        // Literal lines per cube (creating shared inverters on demand).
+        let mut cube_lines: Vec<String> = Vec::with_capacity(self.cubes.len());
+        let mut constant_one = false;
+        for (k, cube) in self.cubes.iter().enumerate() {
+            let mut literals: Vec<String> = Vec::new();
+            for (input, &literal) in self.inputs.iter().zip(cube) {
+                match literal {
+                    Literal::Positive => literals.push(input.clone()),
+                    Literal::Negative => {
+                        if !inverters.contains_key(input) {
+                            let inv_name = format!("{input}__inv");
+                            b.gate(&inv_name, GateKind::Not, &[input])?;
+                            inverters.insert(input.clone(), inv_name);
+                        }
+                        literals.push(inverters[input].clone());
+                    }
+                    Literal::DontCare => {}
+                }
+            }
+            match literals.len() {
+                0 => {
+                    constant_one = true;
+                }
+                1 => cube_lines.push(literals.pop().expect("one literal")),
+                _ => {
+                    let cube_name = format!("{}__cube{k}", self.output);
+                    let refs: Vec<&str> = literals.iter().map(String::as_str).collect();
+                    b.gate(&cube_name, GateKind::And, &refs)?;
+                    cube_lines.push(cube_name);
+                }
+            }
+        }
+        // Assemble the output with the right polarity.
+        let kind_for = |on_set: bool, n: usize| match (on_set, n) {
+            (true, 1) => GateKind::Buf,
+            (false, 1) => GateKind::Not,
+            (true, _) => GateKind::Or,
+            (false, _) => GateKind::Nor,
+        };
+        if constant_one {
+            // An all-don't-care cube makes the cover constant.
+            let kind = if self.on_set {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            };
+            b.gate(&self.output, kind, &[])?;
+            return Ok(());
+        }
+        let refs: Vec<&str> = cube_lines.iter().map(String::as_str).collect();
+        b.gate(&self.output, kind_for(self.on_set, refs.len()), &refs)?;
+        Ok(())
+    }
+}
+
+fn parse_err(line_no: usize, message: impl Into<String>) -> CircuitError {
+    CircuitError::Parse {
+        line_no,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    /// Tiny helper: evaluate a circuit on one assignment.
+    fn eval(circuit: &Circuit, assignment: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; circuit.num_lines()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            values[pi.index()] = assignment[i];
+        }
+        for line in circuit.topo_order() {
+            if let Some(g) = circuit.gate(line) {
+                values[line.index()] =
+                    g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+            }
+        }
+        values
+    }
+
+    #[test]
+    fn mux_cover_matches_truth_table() {
+        let src = "
+            .model mux
+            .inputs s a b
+            .outputs y
+            .names s a b y
+            01- 1
+            1-1 1
+            .end
+        ";
+        let c = parse_blif_combinational("mux", src).unwrap();
+        let y = c.find_line("y").unwrap();
+        for case in 0..8usize {
+            let s = case & 1 == 1;
+            let a = case & 2 == 2;
+            let b_in = case & 4 == 4;
+            let want = if s { b_in } else { a };
+            assert_eq!(
+                eval(&c, &[s, a, b_in])[y.index()],
+                want,
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn off_set_cover_is_complemented() {
+        // NAND expressed as an off-set: output 0 exactly on 11.
+        let src = "
+            .model nand2
+            .inputs a b
+            .outputs y
+            .names a b y
+            11 0
+            .end
+        ";
+        let c = parse_blif_combinational("nand2", src).unwrap();
+        let y = c.find_line("y").unwrap();
+        for case in 0..4usize {
+            let a = case & 1 == 1;
+            let b_in = case & 2 == 2;
+            assert_eq!(eval(&c, &[a, b_in])[y.index()], !(a && b_in));
+        }
+    }
+
+    #[test]
+    fn constants_and_buffers() {
+        let src = "
+            .model consts
+            .inputs a
+            .outputs one zero pass
+            .names one
+            1
+            .names zero
+            .names a pass
+            1 1
+            .end
+        ";
+        let c = parse_blif_combinational("consts", src).unwrap();
+        let values = eval(&c, &[false]);
+        assert!(values[c.find_line("one").unwrap().index()]);
+        assert!(!values[c.find_line("zero").unwrap().index()]);
+        assert!(!values[c.find_line("pass").unwrap().index()]);
+        let values = eval(&c, &[true]);
+        assert!(values[c.find_line("pass").unwrap().index()]);
+    }
+
+    #[test]
+    fn line_continuation_and_comments() {
+        let src = "
+            .model cont # trailing comment
+            .inputs a \\
+                    b
+            .outputs y
+            .names a b y  # the AND
+            11 1
+            .end
+        ";
+        let c = parse_blif_combinational("cont", src).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        let y = c.find_line("y").unwrap();
+        assert!(eval(&c, &[true, true])[y.index()]);
+        assert!(!eval(&c, &[true, false])[y.index()]);
+    }
+
+    #[test]
+    fn latches_become_registers() {
+        let src = "
+            .model counter1
+            .inputs en
+            .outputs q
+            .latch d q 0
+            .names en q d
+            01 1
+            10 1
+            .end
+        ";
+        let seq = parse_blif("counter1", src).unwrap();
+        assert_eq!(seq.registers().len(), 1);
+        assert_eq!(seq.num_primary_inputs(), 1);
+        assert_eq!(seq.core().line_name(seq.state_line(0)), "q");
+        // And the combinational accessor rejects it.
+        assert!(parse_blif_combinational("counter1", src).is_err());
+    }
+
+    #[test]
+    fn shared_inverters_are_reused() {
+        let src = "
+            .model sharing
+            .inputs a b
+            .outputs x y
+            .names a b x
+            00 1
+            .names a y
+            0 1
+            .end
+        ";
+        let c = parse_blif_combinational("sharing", src).unwrap();
+        // One inverter per negated input, shared across covers.
+        let inverter_count = c
+            .gate_lines()
+            .filter(|&l| c.gate(l).unwrap().kind == GateKind::Not)
+            .count();
+        assert_eq!(inverter_count, 2, "a__inv and b__inv only");
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        for (src, needle) in [
+            (".model a\n.model b\n", "multiple .model"),
+            (".names\n", "at least an output"),
+            (".inputs a\n.outputs y\n.names a y\n1 1\n0 0\n", "mixed"),
+            (".inputs a\n.outputs y\n.names a y\n11 1\n", "literals"),
+            (".inputs a\n.outputs y\n.names a y\nx 1\n", "bad literal"),
+            (".inputs a\n.outputs y\n.names a y\n1 7\n", "cube output"),
+            (".exdc\n", "unsupported"),
+            ("garbage\n", "unexpected"),
+            (".latch d\n", ".latch needs"),
+        ] {
+            let err = parse_blif("bad", src).unwrap_err();
+            assert!(
+                matches!(&err, CircuitError::Parse { message, .. } if message.contains(needle)),
+                "source {src:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimation_runs_on_blif_models() {
+        // End-to-end smoke: the mux estimates like its .bench equivalent.
+        let src = "
+            .model mux
+            .inputs s a b
+            .outputs y
+            .names s a b y
+            01- 1
+            1-1 1
+            .end
+        ";
+        let c = parse_blif_combinational("mux", src).unwrap();
+        assert!(c.num_gates() >= 3);
+        assert!(c.stats().max_fanin <= 4);
+    }
+}

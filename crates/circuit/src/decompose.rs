@@ -1,0 +1,239 @@
+//! Fan-in decomposition: rewriting wide gates into trees of two-input gates.
+//!
+//! Probabilistic models over gate netlists pay exponentially in gate fan-in
+//! (a *k*-input gate induces a clique over *k + 1* four-state variables in
+//! the LIDAG's moral graph — `4^(k+1)` states). Decomposing every gate with
+//! fan-in above a threshold into a balanced tree of narrower gates of the
+//! same *base* kind bounds that cost while computing the identical Boolean
+//! function.
+//!
+//! Only associative kinds are decomposed (`AND`/`OR`/`XOR` and their
+//! inverting forms, whose inversion is applied once at the final stage).
+
+use crate::{Circuit, CircuitError, Driver, Gate};
+
+/// Rewrites every gate with fan-in greater than `max_fanin` into a balanced
+/// tree of gates with fan-in at most `max_fanin`, preserving the Boolean
+/// function, line names, and the input/output interface. Introduced lines
+/// are named `<output>__d<k>`.
+///
+/// Gates already within the bound are copied unchanged, so a circuit that
+/// satisfies the bound round-trips structurally identical.
+///
+/// # Errors
+///
+/// Returns an error only if an introduced name collides with an existing
+/// line (avoid `__d` suffixes in source netlists).
+///
+/// # Panics
+///
+/// Panics if `max_fanin < 2`.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::{decompose::decompose_fanin, CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), swact_circuit::CircuitError> {
+/// let mut b = CircuitBuilder::new("wide");
+/// for name in ["a", "b", "c", "d", "e"] { b.input(name)?; }
+/// b.gate("y", GateKind::Nand, &["a", "b", "c", "d", "e"])?;
+/// b.output("y")?;
+/// let wide = b.finish()?;
+///
+/// let narrow = decompose_fanin(&wide, 2)?;
+/// assert!(narrow.stats().max_fanin <= 2);
+/// assert_eq!(narrow.num_outputs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decompose_fanin(circuit: &Circuit, max_fanin: usize) -> Result<Circuit, CircuitError> {
+    assert!(max_fanin >= 2, "max_fanin must be at least 2");
+    let mut lines: Vec<(String, Driver)> = Vec::with_capacity(circuit.num_lines());
+    // Old line id -> new dense index. Old lines keep relative order; helper
+    // lines are interleaved just before the gate that consumes them.
+    let mut new_index = vec![usize::MAX; circuit.num_lines()];
+    let order = circuit.topo_order();
+    for &line in &order {
+        let name = circuit.line_name(line).to_string();
+        match circuit.driver(line) {
+            Driver::Input => {
+                new_index[line.index()] = lines.len();
+                lines.push((name, Driver::Input));
+            }
+            Driver::Gate(g) => {
+                let mapped: Vec<usize> =
+                    g.inputs.iter().map(|&i| new_index[i.index()]).collect();
+                if g.inputs.len() <= max_fanin {
+                    new_index[line.index()] = lines.len();
+                    lines.push((
+                        name,
+                        Driver::Gate(Gate {
+                            kind: g.kind,
+                            inputs: mapped
+                                .into_iter()
+                                .map(crate::LineId::from_index)
+                                .collect(),
+                        }),
+                    ));
+                    continue;
+                }
+                let base = g.kind.base();
+                let mut frontier = mapped;
+                let mut helper = 0usize;
+                while frontier.len() > max_fanin {
+                    let mut next = Vec::with_capacity(frontier.len() / max_fanin + 1);
+                    for chunk in frontier.chunks(max_fanin) {
+                        if chunk.len() == 1 {
+                            next.push(chunk[0]);
+                            continue;
+                        }
+                        let helper_name = format!("{name}__d{helper}");
+                        helper += 1;
+                        let idx = lines.len();
+                        lines.push((
+                            helper_name,
+                            Driver::Gate(Gate {
+                                kind: base,
+                                inputs: chunk
+                                    .iter()
+                                    .map(|&i| crate::LineId::from_index(i))
+                                    .collect(),
+                            }),
+                        ));
+                        next.push(idx);
+                    }
+                    frontier = next;
+                }
+                new_index[line.index()] = lines.len();
+                lines.push((
+                    name,
+                    Driver::Gate(Gate {
+                        kind: g.kind,
+                        inputs: frontier
+                            .into_iter()
+                            .map(crate::LineId::from_index)
+                            .collect(),
+                    }),
+                ));
+            }
+        }
+    }
+    let inputs = circuit
+        .inputs()
+        .iter()
+        .map(|&l| crate::LineId::from_index(new_index[l.index()]))
+        .collect();
+    let outputs = circuit
+        .outputs()
+        .iter()
+        .map(|&l| crate::LineId::from_index(new_index[l.index()]))
+        .collect();
+    Circuit::from_parts(circuit.name().to_string(), lines, inputs, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind};
+
+    fn eval(circuit: &Circuit, assignment: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; circuit.num_lines()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            values[pi.index()] = assignment[i];
+        }
+        for line in circuit.topo_order() {
+            if let Some(g) = circuit.gate(line) {
+                values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+            }
+        }
+        circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect()
+    }
+
+    fn wide(kind: GateKind, fanin: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("wide");
+        let names: Vec<String> = (0..fanin).map(|i| format!("x{i}")).collect();
+        for n in &names {
+            b.input(n).unwrap();
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.gate("y", kind, &refs).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn function_preserved_for_all_kinds_and_fanins() {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for fanin in [3, 5, 7, 9] {
+                let original = wide(kind, fanin);
+                for max in [2, 3, 4] {
+                    let narrow = decompose_fanin(&original, max).unwrap();
+                    assert!(narrow.stats().max_fanin <= max);
+                    for case in 0..1usize << fanin {
+                        let assignment: Vec<bool> =
+                            (0..fanin).map(|i| case >> i & 1 == 1).collect();
+                        assert_eq!(
+                            eval(&original, &assignment),
+                            eval(&narrow, &assignment),
+                            "{kind} fanin={fanin} max={max} case={case}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_circuit_unchanged() {
+        let c = crate::catalog::c17();
+        let d = decompose_fanin(&c, 2).unwrap();
+        assert_eq!(d.num_lines(), c.num_lines());
+        assert_eq!(d.num_gates(), c.num_gates());
+    }
+
+    #[test]
+    fn interface_preserved() {
+        let c = wide(GateKind::Nor, 9);
+        let d = decompose_fanin(&c, 2).unwrap();
+        assert_eq!(d.num_inputs(), 9);
+        assert_eq!(d.num_outputs(), 1);
+        assert_eq!(d.line_name(d.outputs()[0]), "y");
+        // Output gate keeps the inverting kind.
+        assert_eq!(d.gate(d.outputs()[0]).unwrap().kind, GateKind::Nor);
+    }
+
+    #[test]
+    fn helper_names_are_derived() {
+        let c = wide(GateKind::And, 6);
+        let d = decompose_fanin(&c, 2).unwrap();
+        assert!(d.find_line("y__d0").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_fanin")]
+    fn max_fanin_one_panics() {
+        let c = crate::catalog::c17();
+        let _ = decompose_fanin(&c, 1);
+    }
+
+    #[test]
+    fn decomposes_benchmark_circuits() {
+        let c = crate::catalog::benchmark("c432").unwrap();
+        let d = decompose_fanin(&c, 2).unwrap();
+        assert!(d.stats().max_fanin <= 2);
+        assert_eq!(d.num_inputs(), c.num_inputs());
+        assert_eq!(d.num_outputs(), c.num_outputs());
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing, or validating a [`Circuit`].
+///
+/// [`Circuit`]: crate::Circuit
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A line name was declared twice (as input or gate output).
+    DuplicateLine(String),
+    /// A gate or output referenced a line that was never declared.
+    UnknownLine(String),
+    /// A gate was declared with no inputs.
+    EmptyGate(String),
+    /// A unary gate ([`GateKind::Not`] / [`GateKind::Buf`]) was given more
+    /// than one input, or a constant gate was given any.
+    ///
+    /// [`GateKind::Not`]: crate::GateKind::Not
+    /// [`GateKind::Buf`]: crate::GateKind::Buf
+    ArityMismatch {
+        /// The offending gate's output line name.
+        line: String,
+        /// Number of inputs supplied.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle through the named line.
+    Cycle(String),
+    /// The circuit has no primary inputs.
+    NoInputs,
+    /// The circuit has no primary outputs.
+    NoOutputs,
+    /// A `.bench` source line could not be parsed.
+    Parse {
+        /// 1-based line number in the source text.
+        line_no: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DuplicateLine(name) => {
+                write!(f, "line `{name}` is declared more than once")
+            }
+            CircuitError::UnknownLine(name) => {
+                write!(f, "line `{name}` is referenced but never declared")
+            }
+            CircuitError::EmptyGate(name) => {
+                write!(f, "gate driving `{name}` has no inputs")
+            }
+            CircuitError::ArityMismatch { line, got } => {
+                write!(f, "gate driving `{line}` has invalid arity {got}")
+            }
+            CircuitError::Cycle(name) => {
+                write!(f, "combinational cycle detected through line `{name}`")
+            }
+            CircuitError::NoInputs => write!(f, "circuit has no primary inputs"),
+            CircuitError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            CircuitError::Parse { line_no, message } => {
+                write!(f, "parse error at line {line_no}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = CircuitError::DuplicateLine("n5".into());
+        assert_eq!(e.to_string(), "line `n5` is declared more than once");
+        let e = CircuitError::Parse {
+            line_no: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

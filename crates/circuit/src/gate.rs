@@ -1,0 +1,346 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// The Boolean function computed by a gate.
+///
+/// All multi-input kinds ([`And`], [`Nand`], [`Or`], [`Nor`], [`Xor`],
+/// [`Xnor`]) accept any fan-in ≥ 1; parity gates reduce left to right.
+/// [`Not`] and [`Buf`] are strictly unary; [`Const0`] / [`Const1`] are
+/// nullary.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::GateKind;
+///
+/// assert!(GateKind::Nand.eval([true, false]));
+/// assert!(!GateKind::Nand.eval([true, true]));
+/// assert!(GateKind::Xor.eval([true, true, true]));
+/// ```
+///
+/// [`And`]: GateKind::And
+/// [`Nand`]: GateKind::Nand
+/// [`Or`]: GateKind::Or
+/// [`Nor`]: GateKind::Nor
+/// [`Xor`]: GateKind::Xor
+/// [`Xnor`]: GateKind::Xnor
+/// [`Not`]: GateKind::Not
+/// [`Buf`]: GateKind::Buf
+/// [`Const0`]: GateKind::Const0
+/// [`Const1`]: GateKind::Const1
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Logical conjunction.
+    And,
+    /// Negated conjunction.
+    Nand,
+    /// Logical disjunction.
+    Or,
+    /// Negated disjunction.
+    Nor,
+    /// Odd parity.
+    Xor,
+    /// Even parity.
+    Xnor,
+    /// Unary negation.
+    Not,
+    /// Unary identity (buffer).
+    Buf,
+    /// Constant logic 0 (no inputs).
+    Const0,
+    /// Constant logic 1 (no inputs).
+    Const1,
+}
+
+impl GateKind {
+    /// All gate kinds, in declaration order. Useful for exhaustive tests.
+    pub const ALL: [GateKind; 10] = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+
+    /// Evaluates the gate over Boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs is invalid for the kind (zero for
+    /// multi-input kinds, not exactly one for [`GateKind::Not`] /
+    /// [`GateKind::Buf`], nonzero for constants). Arity is validated when
+    /// circuits are built, so evaluation over a valid [`Circuit`] never
+    /// panics.
+    ///
+    /// [`Circuit`]: crate::Circuit
+    pub fn eval<I: IntoIterator<Item = bool>>(self, inputs: I) -> bool {
+        let mut it = inputs.into_iter();
+        match self {
+            GateKind::And => it.all(|b| b),
+            GateKind::Nand => !it.all(|b| b),
+            GateKind::Or => it.any(|b| b),
+            GateKind::Nor => !it.any(|b| b),
+            GateKind::Xor => it.fold(false, |acc, b| acc ^ b),
+            GateKind::Xnor => !it.fold(false, |acc, b| acc ^ b),
+            GateKind::Not => {
+                let v = it.next().expect("NOT gate requires one input");
+                assert!(it.next().is_none(), "NOT gate requires exactly one input");
+                !v
+            }
+            GateKind::Buf => {
+                let v = it.next().expect("BUF gate requires one input");
+                assert!(it.next().is_none(), "BUF gate requires exactly one input");
+                v
+            }
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+        }
+    }
+
+    /// Evaluates the gate over 64 parallel bit-sliced input words.
+    ///
+    /// Bit *i* of the result is the gate output for the *i*-th of 64
+    /// simultaneously simulated vectors. This is the kernel of the
+    /// bit-parallel simulator in `swact-sim`.
+    ///
+    /// # Panics
+    ///
+    /// Same arity conditions as [`GateKind::eval`].
+    pub fn eval_words(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateKind::And => inputs.iter().fold(!0u64, |acc, w| acc & w),
+            GateKind::Nand => !inputs.iter().fold(!0u64, |acc, w| acc & w),
+            GateKind::Or => inputs.iter().fold(0u64, |acc, w| acc | w),
+            GateKind::Nor => !inputs.iter().fold(0u64, |acc, w| acc | w),
+            GateKind::Xor => inputs.iter().fold(0u64, |acc, w| acc ^ w),
+            GateKind::Xnor => !inputs.iter().fold(0u64, |acc, w| acc ^ w),
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "NOT gate requires exactly one input");
+                !inputs[0]
+            }
+            GateKind::Buf => {
+                assert_eq!(inputs.len(), 1, "BUF gate requires exactly one input");
+                inputs[0]
+            }
+            GateKind::Const0 => 0,
+            GateKind::Const1 => !0,
+        }
+    }
+
+    /// Whether this kind accepts an arbitrary fan-in (≥ 1).
+    pub fn is_multi_input(self) -> bool {
+        matches!(
+            self,
+            GateKind::And
+                | GateKind::Nand
+                | GateKind::Or
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor
+        )
+    }
+
+    /// Whether the gate is an inverting form (`NAND`, `NOR`, `XNOR`, `NOT`).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Xnor | GateKind::Not
+        )
+    }
+
+    /// The non-inverting gate whose output, negated, equals this gate
+    /// (`NAND` → `AND`, …). Non-inverting kinds return themselves.
+    ///
+    /// Used by fan-in decomposition: a wide inverting gate splits into a
+    /// tree of its base kind with a final inverting stage.
+    pub fn base(self) -> GateKind {
+        match self {
+            GateKind::Nand => GateKind::And,
+            GateKind::Nor => GateKind::Or,
+            GateKind::Xnor => GateKind::Xor,
+            GateKind::Not => GateKind::Buf,
+            other => other,
+        }
+    }
+
+    /// Exact number of inputs required, or `None` when any fan-in ≥ 1 works.
+    pub fn fixed_arity(self) -> Option<usize> {
+        match self {
+            GateKind::Not | GateKind::Buf => Some(1),
+            GateKind::Const0 | GateKind::Const1 => Some(0),
+            _ => None,
+        }
+    }
+
+    /// Validates that `arity` inputs is acceptable for this kind.
+    pub fn arity_ok(self, arity: usize) -> bool {
+        match self.fixed_arity() {
+            Some(required) => arity == required,
+            None => arity >= 1,
+        }
+    }
+
+    /// The canonical upper-case mnemonic used in `.bench` files.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing a gate mnemonic fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError(pub(crate) String);
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    /// Parses a `.bench` mnemonic, case-insensitively. `BUFF` (the ISCAS
+    /// spelling) is accepted as an alias for `BUF`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "AND" => Ok(GateKind::And),
+            "NAND" => Ok(GateKind::Nand),
+            "OR" => Ok(GateKind::Or),
+            "NOR" => Ok(GateKind::Nor),
+            "XOR" => Ok(GateKind::Xor),
+            "XNOR" => Ok(GateKind::Xnor),
+            "NOT" | "INV" => Ok(GateKind::Not),
+            "BUF" | "BUFF" => Ok(GateKind::Buf),
+            "CONST0" => Ok(GateKind::Const0),
+            "CONST1" => Ok(GateKind::Const1),
+            other => Err(ParseGateKindError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_input_truth_tables() {
+        let cases: [(GateKind, [bool; 4]); 6] = [
+            (GateKind::And, [false, false, false, true]),
+            (GateKind::Nand, [true, true, true, false]),
+            (GateKind::Or, [false, true, true, true]),
+            (GateKind::Nor, [true, false, false, false]),
+            (GateKind::Xor, [false, true, true, false]),
+            (GateKind::Xnor, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, want) in expect.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.eval([b, a]), *want, "{kind} on ({b},{a})");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert!(GateKind::Not.eval([false]));
+        assert!(!GateKind::Not.eval([true]));
+        assert!(GateKind::Buf.eval([true]));
+        assert!(!GateKind::Buf.eval([false]));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(!GateKind::Const0.eval([]));
+        assert!(GateKind::Const1.eval([]));
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_eval() {
+        for kind in GateKind::ALL {
+            let arity = kind.fixed_arity().unwrap_or(3);
+            // Exhaust all scalar assignments; pack them into word lanes.
+            let n_cases = 1usize << arity;
+            let mut words = vec![0u64; arity];
+            for case in 0..n_cases {
+                for (i, w) in words.iter_mut().enumerate() {
+                    if case >> i & 1 == 1 {
+                        *w |= 1 << case;
+                    }
+                }
+            }
+            let out = kind.eval_words(&words);
+            for case in 0..n_cases {
+                let bits = (0..arity).map(|i| case >> i & 1 == 1);
+                let scalar = kind.eval(bits);
+                assert_eq!(out >> case & 1 == 1, scalar, "{kind} case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn parity_reduces_over_three_inputs() {
+        assert!(GateKind::Xor.eval([true, true, true]));
+        assert!(!GateKind::Xnor.eval([true, true, true]));
+        assert!(!GateKind::Xor.eval([true, true, false]));
+    }
+
+    #[test]
+    fn mnemonic_round_trips() {
+        for kind in GateKind::ALL {
+            assert_eq!(kind.mnemonic().parse::<GateKind>().unwrap(), kind);
+            assert_eq!(
+                kind.mnemonic().to_lowercase().parse::<GateKind>().unwrap(),
+                kind
+            );
+        }
+        assert_eq!("BUFF".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert!("MAJ".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn base_strips_inversion() {
+        assert_eq!(GateKind::Nand.base(), GateKind::And);
+        assert_eq!(GateKind::Nor.base(), GateKind::Or);
+        assert_eq!(GateKind::Xnor.base(), GateKind::Xor);
+        assert_eq!(GateKind::And.base(), GateKind::And);
+        for kind in GateKind::ALL {
+            assert!(!kind.base().is_inverting() || kind == kind.base());
+        }
+    }
+
+    #[test]
+    fn arity_validation() {
+        assert!(GateKind::And.arity_ok(1));
+        assert!(GateKind::And.arity_ok(9));
+        assert!(!GateKind::And.arity_ok(0));
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+        assert!(GateKind::Const1.arity_ok(0));
+        assert!(!GateKind::Const1.arity_ok(1));
+    }
+}

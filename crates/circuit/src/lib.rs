@@ -1,0 +1,57 @@
+//! Gate-level combinational netlists for switching-activity analysis.
+//!
+//! This crate is the structural substrate of the `swact` workspace. It
+//! provides:
+//!
+//! * [`Circuit`] — an immutable-after-build netlist of [`Gate`]s over named
+//!   signal [`LineId`]s, with structural validation (acyclicity, defined
+//!   drivers) enforced at construction time;
+//! * [`CircuitBuilder`] — the ergonomic way to assemble a circuit by name;
+//! * an ISCAS-85 `.bench` [parser](parse::parse_bench) and
+//!   [writer](write::to_bench);
+//! * [topological analysis](topo) — evaluation order, logic levels, fanout,
+//!   transitive fanin cones;
+//! * [fan-in decomposition](decompose) — rewriting wide gates into trees of
+//!   two-input gates so downstream probabilistic models stay tractable;
+//! * [benchmark circuits](catalog) — the real ISCAS-85 `c17`, the running
+//!   five-gate example from Bhanja & Ranganathan (DAC 2001), and
+//!   deterministic [synthetic stand-ins](benchgen) for the remaining
+//!   ISCAS-85 / MCNC-89 benchmarks evaluated in that paper.
+//!
+//! # Example
+//!
+//! ```
+//! use swact_circuit::{CircuitBuilder, GateKind};
+//!
+//! # fn main() -> Result<(), swact_circuit::CircuitError> {
+//! let mut b = CircuitBuilder::new("half_adder");
+//! b.input("a")?;
+//! b.input("b")?;
+//! b.gate("sum", GateKind::Xor, &["a", "b"])?;
+//! b.gate("carry", GateKind::And, &["a", "b"])?;
+//! b.output("sum")?;
+//! b.output("carry")?;
+//! let circuit = b.finish()?;
+//!
+//! assert_eq!(circuit.num_inputs(), 2);
+//! assert_eq!(circuit.num_gates(), 2);
+//! assert_eq!(circuit.num_outputs(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod benchgen;
+pub mod blif;
+pub mod catalog;
+pub mod decompose;
+mod error;
+mod gate;
+mod netlist;
+pub mod parse;
+pub mod sequential;
+pub mod topo;
+pub mod write;
+
+pub use error::CircuitError;
+pub use gate::GateKind;
+pub use netlist::{Circuit, CircuitBuilder, CircuitStats, Driver, Gate, LineId};

@@ -1,0 +1,599 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{CircuitError, GateKind};
+
+/// Identifier of a signal line (net) within one [`Circuit`].
+///
+/// Line ids are dense: a circuit with *n* lines uses ids `0..n`, in
+/// declaration order (all primary inputs first if built through
+/// [`CircuitBuilder`], but this is not required). Ids from one circuit are
+/// meaningless in another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineId(pub(crate) u32);
+
+impl LineId {
+    /// The dense index of this line, suitable for indexing per-line arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `LineId` from a dense index.
+    ///
+    /// Callers are responsible for the index being in range for the circuit
+    /// the id will be used with; out-of-range ids cause panics on use, not
+    /// undefined behaviour.
+    pub fn from_index(index: usize) -> LineId {
+        LineId(u32::try_from(index).expect("line index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A logic gate: a [`GateKind`] applied to an ordered list of input lines.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Gate {
+    /// The Boolean function.
+    pub kind: GateKind,
+    /// Input lines, in evaluation order.
+    pub inputs: Vec<LineId>,
+}
+
+/// What drives a line: a primary input pin or a gate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// The line is a primary input.
+    Input,
+    /// The line is the output of the contained gate.
+    Gate(Gate),
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    name: String,
+    driver: Driver,
+}
+
+/// An immutable, validated combinational netlist.
+///
+/// Every line is driven by exactly one primary input or gate. The structure
+/// is guaranteed acyclic and fully connected (every referenced line exists);
+/// these invariants are established by [`CircuitBuilder::finish`] or
+/// [`parse::parse_bench`] and hold for the lifetime of the value.
+///
+/// [`parse::parse_bench`]: crate::parse::parse_bench
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::catalog;
+///
+/// let c17 = catalog::c17();
+/// assert_eq!(c17.num_inputs(), 5);
+/// assert_eq!(c17.num_gates(), 6);
+/// let order = c17.topo_order();
+/// assert_eq!(order.len(), c17.num_lines());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    name: String,
+    lines: Vec<Line>,
+    inputs: Vec<LineId>,
+    outputs: Vec<LineId>,
+    by_name: HashMap<String, LineId>,
+}
+
+/// Summary statistics of a circuit, as produced by [`Circuit::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of gates (lines that are not primary inputs).
+    pub gates: usize,
+    /// Maximum gate fan-in.
+    pub max_fanin: usize,
+    /// Maximum line fan-out.
+    pub max_fanout: usize,
+    /// Number of logic levels (longest input→output path, in gates).
+    pub depth: usize,
+}
+
+impl Circuit {
+    /// The circuit's name (benchmark name or builder-supplied).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of lines (primary inputs + gate outputs).
+    pub fn num_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of gates (= lines that are not primary inputs).
+    pub fn num_gates(&self) -> usize {
+        self.lines.len() - self.inputs.len()
+    }
+
+    /// Primary input lines, in declaration order.
+    pub fn inputs(&self) -> &[LineId] {
+        &self.inputs
+    }
+
+    /// Primary output lines, in declaration order.
+    pub fn outputs(&self) -> &[LineId] {
+        &self.outputs
+    }
+
+    /// The name of a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range for this circuit.
+    pub fn line_name(&self, line: LineId) -> &str {
+        &self.lines[line.index()].name
+    }
+
+    /// The driver of a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range for this circuit.
+    pub fn driver(&self, line: LineId) -> &Driver {
+        &self.lines[line.index()].driver
+    }
+
+    /// The gate driving `line`, or `None` when `line` is a primary input.
+    pub fn gate(&self, line: LineId) -> Option<&Gate> {
+        match &self.lines[line.index()].driver {
+            Driver::Input => None,
+            Driver::Gate(g) => Some(g),
+        }
+    }
+
+    /// Whether `line` is a primary input.
+    pub fn is_input(&self, line: LineId) -> bool {
+        matches!(self.lines[line.index()].driver, Driver::Input)
+    }
+
+    /// Whether `line` is a primary output.
+    pub fn is_output(&self, line: LineId) -> bool {
+        self.outputs.contains(&line)
+    }
+
+    /// Looks a line up by name.
+    pub fn find_line(&self, name: &str) -> Option<LineId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all line ids, `0..num_lines()`.
+    pub fn line_ids(&self) -> impl ExactSizeIterator<Item = LineId> + Clone {
+        (0..self.lines.len() as u32).map(LineId)
+    }
+
+    /// Iterates over the ids of lines driven by gates (i.e. non-inputs).
+    pub fn gate_lines(&self) -> impl Iterator<Item = LineId> + '_ {
+        self.line_ids().filter(|&l| !self.is_input(l))
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> CircuitStats {
+        let fanout = self.fanout_counts();
+        let max_fanin = self
+            .gate_lines()
+            .map(|l| self.gate(l).map_or(0, |g| g.inputs.len()))
+            .max()
+            .unwrap_or(0);
+        CircuitStats {
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            gates: self.num_gates(),
+            max_fanin,
+            max_fanout: fanout.into_iter().max().unwrap_or(0),
+            depth: self.levels().into_iter().max().unwrap_or(0),
+        }
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        lines: Vec<(String, Driver)>,
+        inputs: Vec<LineId>,
+        outputs: Vec<LineId>,
+    ) -> Result<Circuit, CircuitError> {
+        let mut by_name = HashMap::with_capacity(lines.len());
+        for (i, (line_name, _)) in lines.iter().enumerate() {
+            if by_name
+                .insert(line_name.clone(), LineId(i as u32))
+                .is_some()
+            {
+                return Err(CircuitError::DuplicateLine(line_name.clone()));
+            }
+        }
+        let circuit = Circuit {
+            name,
+            lines: lines
+                .into_iter()
+                .map(|(name, driver)| Line { name, driver })
+                .collect(),
+            inputs,
+            outputs,
+            by_name,
+        };
+        circuit.validate()?;
+        Ok(circuit)
+    }
+
+    fn validate(&self) -> Result<(), CircuitError> {
+        if self.inputs.is_empty() {
+            return Err(CircuitError::NoInputs);
+        }
+        if self.outputs.is_empty() {
+            return Err(CircuitError::NoOutputs);
+        }
+        let n = self.lines.len();
+        for (i, line) in self.lines.iter().enumerate() {
+            if let Driver::Gate(g) = &line.driver {
+                if !g.kind.arity_ok(g.inputs.len()) {
+                    if g.inputs.is_empty() && g.kind.fixed_arity() != Some(0) {
+                        return Err(CircuitError::EmptyGate(line.name.clone()));
+                    }
+                    return Err(CircuitError::ArityMismatch {
+                        line: line.name.clone(),
+                        got: g.inputs.len(),
+                    });
+                }
+                for &input in &g.inputs {
+                    if input.index() >= n {
+                        return Err(CircuitError::UnknownLine(format!(
+                            "{input} (input of `{}`)",
+                            line.name
+                        )));
+                    }
+                }
+            }
+            let _ = i;
+        }
+        // Cycle check via iterative DFS with colors.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color = vec![Color::White; n];
+        for start in 0..n {
+            if color[start] != Color::White {
+                continue;
+            }
+            // Stack of (node, next-child-index).
+            let mut stack = vec![(start, 0usize)];
+            color[start] = Color::Gray;
+            while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+                let children: &[LineId] = match &self.lines[node].driver {
+                    Driver::Input => &[],
+                    Driver::Gate(g) => &g.inputs,
+                };
+                if *child < children.len() {
+                    let next = children[*child].index();
+                    *child += 1;
+                    match color[next] {
+                        Color::White => {
+                            color[next] = Color::Gray;
+                            stack.push((next, 0));
+                        }
+                        Color::Gray => {
+                            return Err(CircuitError::Cycle(self.lines[next].name.clone()));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[node] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Circuit`], addressing lines by name.
+///
+/// Gates may reference lines that have not been declared yet ("forward
+/// references" are resolved at [`finish`](CircuitBuilder::finish)); this
+/// matches `.bench` files, which list gates in arbitrary order.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), swact_circuit::CircuitError> {
+/// let mut b = CircuitBuilder::new("mux");
+/// b.input("sel")?;
+/// b.input("a")?;
+/// b.input("b")?;
+/// b.gate("nsel", GateKind::Not, &["sel"])?;
+/// b.gate("t0", GateKind::And, &["a", "nsel"])?;
+/// b.gate("t1", GateKind::And, &["b", "sel"])?;
+/// b.gate("y", GateKind::Or, &["t0", "t1"])?;
+/// b.output("y")?;
+/// let mux = b.finish()?;
+/// assert_eq!(mux.num_gates(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    lines: Vec<(String, PendingDriver)>,
+    by_name: HashMap<String, LineId>,
+    inputs: Vec<LineId>,
+    outputs: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+enum PendingDriver {
+    Input,
+    Gate(GateKind, Vec<String>),
+}
+
+impl CircuitBuilder {
+    /// Starts a new, empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> CircuitBuilder {
+        CircuitBuilder {
+            name: name.into(),
+            lines: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    fn declare(&mut self, name: &str, driver: PendingDriver) -> Result<LineId, CircuitError> {
+        if self.by_name.contains_key(name) {
+            return Err(CircuitError::DuplicateLine(name.to_string()));
+        }
+        let id = LineId(self.lines.len() as u32);
+        self.lines.push((name.to_string(), driver));
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Declares a primary input line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DuplicateLine`] if the name is taken.
+    pub fn input(&mut self, name: &str) -> Result<LineId, CircuitError> {
+        let id = self.declare(name, PendingDriver::Input)?;
+        self.inputs.push(id);
+        Ok(id)
+    }
+
+    /// Declares a gate with output line `name`, function `kind`, and the
+    /// named inputs. Inputs may be declared later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::DuplicateLine`] if the output name is taken,
+    /// or an arity error for invalid input counts.
+    pub fn gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        inputs: &[&str],
+    ) -> Result<LineId, CircuitError> {
+        if !kind.arity_ok(inputs.len()) {
+            if inputs.is_empty() && kind.fixed_arity() != Some(0) {
+                return Err(CircuitError::EmptyGate(name.to_string()));
+            }
+            return Err(CircuitError::ArityMismatch {
+                line: name.to_string(),
+                got: inputs.len(),
+            });
+        }
+        self.declare(
+            name,
+            PendingDriver::Gate(kind, inputs.iter().map(|s| s.to_string()).collect()),
+        )
+    }
+
+    /// Marks a named line as a primary output. The line may be declared
+    /// later; existence is checked by [`finish`](CircuitBuilder::finish).
+    pub fn output(&mut self, name: &str) -> Result<(), CircuitError> {
+        self.outputs.push(name.to_string());
+        Ok(())
+    }
+
+    /// Resolves names, validates the structure, and produces the [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownLine`] for dangling references,
+    /// [`CircuitError::Cycle`] for combinational loops, and
+    /// [`CircuitError::NoInputs`] / [`CircuitError::NoOutputs`] for empty
+    /// interfaces.
+    pub fn finish(self) -> Result<Circuit, CircuitError> {
+        let mut lines = Vec::with_capacity(self.lines.len());
+        for (name, pending) in &self.lines {
+            let driver = match pending {
+                PendingDriver::Input => Driver::Input,
+                PendingDriver::Gate(kind, input_names) => {
+                    let mut ids = Vec::with_capacity(input_names.len());
+                    for input_name in input_names {
+                        let id = self
+                            .by_name
+                            .get(input_name)
+                            .copied()
+                            .ok_or_else(|| CircuitError::UnknownLine(input_name.clone()))?;
+                        ids.push(id);
+                    }
+                    Driver::Gate(Gate {
+                        kind: *kind,
+                        inputs: ids,
+                    })
+                }
+            };
+            lines.push((name.clone(), driver));
+        }
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for output_name in &self.outputs {
+            let id = self
+                .by_name
+                .get(output_name)
+                .copied()
+                .ok_or_else(|| CircuitError::UnknownLine(output_name.clone()))?;
+            outputs.push(id);
+        }
+        Circuit::from_parts(self.name, lines, self.inputs, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Circuit {
+        let mut b = CircuitBuilder::new("tiny");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_circuit() {
+        let c = tiny();
+        assert_eq!(c.name(), "tiny");
+        assert_eq!(c.num_lines(), 3);
+        assert_eq!(c.num_gates(), 1);
+        let y = c.find_line("y").unwrap();
+        assert!(c.is_output(y));
+        assert!(!c.is_input(y));
+        let g = c.gate(y).unwrap();
+        assert_eq!(g.kind, GateKind::And);
+        assert_eq!(g.inputs.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_line_rejected() {
+        let mut b = CircuitBuilder::new("dup");
+        b.input("a").unwrap();
+        assert_eq!(
+            b.input("a").unwrap_err(),
+            CircuitError::DuplicateLine("a".into())
+        );
+    }
+
+    #[test]
+    fn unknown_reference_rejected_at_finish() {
+        let mut b = CircuitBuilder::new("dangling");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["ghost"]).unwrap();
+        b.output("y").unwrap();
+        assert_eq!(
+            b.finish().unwrap_err(),
+            CircuitError::UnknownLine("ghost".into())
+        );
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let mut b = CircuitBuilder::new("fwd");
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.input("a").unwrap();
+        b.output("y").unwrap();
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = CircuitBuilder::new("loop");
+        b.input("a").unwrap();
+        b.gate("x", GateKind::And, &["a", "y"]).unwrap();
+        b.gate("y", GateKind::Not, &["x"]).unwrap();
+        b.output("y").unwrap();
+        assert!(matches!(b.finish().unwrap_err(), CircuitError::Cycle(_)));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = CircuitBuilder::new("selfloop");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::And, &["a", "y"]).unwrap();
+        b.output("y").unwrap();
+        assert!(matches!(b.finish().unwrap_err(), CircuitError::Cycle(_)));
+    }
+
+    #[test]
+    fn empty_interface_rejected() {
+        let mut b = CircuitBuilder::new("no_out");
+        b.input("a").unwrap();
+        assert_eq!(b.finish().unwrap_err(), CircuitError::NoOutputs);
+
+        let mut b = CircuitBuilder::new("no_in");
+        b.gate("k", GateKind::Const1, &[]).unwrap();
+        b.output("k").unwrap();
+        assert_eq!(b.finish().unwrap_err(), CircuitError::NoInputs);
+    }
+
+    #[test]
+    fn arity_checked_in_builder() {
+        let mut b = CircuitBuilder::new("bad");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        assert!(matches!(
+            b.gate("y", GateKind::Not, &["a", "b"]).unwrap_err(),
+            CircuitError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            b.gate("z", GateKind::And, &[]).unwrap_err(),
+            CircuitError::EmptyGate(_)
+        ));
+    }
+
+    #[test]
+    fn line_id_index_round_trip() {
+        let id = LineId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "L42");
+    }
+
+    #[test]
+    fn stats_of_tiny() {
+        let s = tiny().stats();
+        assert_eq!(
+            s,
+            CircuitStats {
+                inputs: 2,
+                outputs: 1,
+                gates: 1,
+                max_fanin: 2,
+                max_fanout: 1,
+                depth: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn circuit_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Circuit>();
+    }
+}

@@ -1,0 +1,230 @@
+//! ISCAS-85 `.bench` netlist format.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(1)
+//! INPUT(2)
+//! OUTPUT(5)
+//! 5 = NAND(1, 2)
+//! ```
+//!
+//! `DFF` (sequential elements from the ISCAS-89 extension) is rejected —
+//! this crate models combinational logic only, as does the paper.
+
+use crate::{Circuit, CircuitBuilder, CircuitError, GateKind};
+
+/// Parses `.bench` source text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] for malformed lines and the usual
+/// structural errors ([`CircuitError::Cycle`], [`CircuitError::UnknownLine`],
+/// …) for well-formed but invalid netlists.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::parse::parse_bench;
+///
+/// # fn main() -> Result<(), swact_circuit::CircuitError> {
+/// let src = "
+///     INPUT(a)
+///     INPUT(b)
+///     OUTPUT(y)
+///     y = AND(a, b)
+/// ";
+/// let c = parse_bench("tiny", src)?;
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, CircuitError> {
+    let mut builder = CircuitBuilder::new(name);
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            builder.input(rest).map_err(|e| parse_err(line_no, e))?;
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            builder.output(rest).map_err(|e| parse_err(line_no, e))?;
+        } else if let Some(eq) = line.find('=') {
+            let output = line[..eq].trim();
+            if output.is_empty() {
+                return Err(CircuitError::Parse {
+                    line_no,
+                    message: "missing output name before `=`".into(),
+                });
+            }
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| CircuitError::Parse {
+                line_no,
+                message: format!("expected `KIND(...)` after `=`, got `{rhs}`"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(CircuitError::Parse {
+                    line_no,
+                    message: "missing closing `)`".into(),
+                });
+            }
+            let kind_str = rhs[..open].trim();
+            if kind_str.eq_ignore_ascii_case("DFF") {
+                return Err(CircuitError::Parse {
+                    line_no,
+                    message: "sequential element DFF is not supported (combinational only)"
+                        .into(),
+                });
+            }
+            let kind: GateKind = kind_str.parse().map_err(|_| CircuitError::Parse {
+                line_no,
+                message: format!("unknown gate kind `{kind_str}`"),
+            })?;
+            let args_str = &rhs[open + 1..rhs.len() - 1];
+            let args: Vec<&str> = if args_str.trim().is_empty() {
+                Vec::new()
+            } else {
+                args_str.split(',').map(str::trim).collect()
+            };
+            if args.iter().any(|a| a.is_empty()) {
+                return Err(CircuitError::Parse {
+                    line_no,
+                    message: "empty argument in gate input list".into(),
+                });
+            }
+            builder
+                .gate(output, kind, &args)
+                .map_err(|e| parse_err(line_no, e))?;
+        } else {
+            return Err(CircuitError::Parse {
+                line_no,
+                message: format!("unrecognized statement `{line}`"),
+            });
+        }
+    }
+    builder.finish()
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line
+        .strip_prefix(keyword)
+        .or_else(|| line.strip_prefix(&keyword.to_lowercase()))?;
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        None
+    } else {
+        Some(inner)
+    }
+}
+
+fn parse_err(line_no: usize, e: CircuitError) -> CircuitError {
+    match e {
+        CircuitError::Parse { .. } => e,
+        other => CircuitError::Parse {
+            line_no,
+            message: other.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::to_bench;
+
+    #[test]
+    fn parses_c17_shape() {
+        let c = crate::catalog::c17();
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 6);
+        assert!(c
+            .gate_lines()
+            .all(|l| c.gate(l).unwrap().kind == GateKind::Nand));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let original = crate::catalog::c17();
+        let text = to_bench(&original);
+        let reparsed = parse_bench(original.name(), &text).unwrap();
+        assert_eq!(reparsed.num_lines(), original.num_lines());
+        assert_eq!(reparsed.num_inputs(), original.num_inputs());
+        assert_eq!(reparsed.num_outputs(), original.num_outputs());
+        for line in original.line_ids() {
+            let name = original.line_name(line);
+            let other = reparsed.find_line(name).expect("line survives");
+            match (original.gate(line), reparsed.gate(other)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.kind, b.kind);
+                    let an: Vec<_> = a.inputs.iter().map(|&i| original.line_name(i)).collect();
+                    let bn: Vec<_> = b.inputs.iter().map(|&i| reparsed.line_name(i)).collect();
+                    assert_eq!(an, bn);
+                }
+                _ => panic!("driver class changed for `{name}`"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# header\nINPUT(a) # trailing\n\nOUTPUT(y)\ny = NOT(a)\n";
+        let c = parse_bench("t", src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn case_insensitive_kinds_and_buff_alias() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = buff(a)\ny = nand(t, b)\n";
+        let c = parse_bench("t", src).unwrap();
+        let t = c.find_line("t").unwrap();
+        assert_eq!(c.gate(t).unwrap().kind, GateKind::Buf);
+    }
+
+    #[test]
+    fn rejects_dff() {
+        let src = "INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n";
+        let err = parse_bench("seq", src).unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line_no: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_statement() {
+        let err = parse_bench("g", "INPUT(a)\nwat\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line_no: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        let err = parse_bench("g", "INPUT(a)\nOUTPUT(y)\ny = NOT(a\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line_no: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let err = parse_bench("g", "INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line_no: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_arg() {
+        let err = parse_bench("g", "INPUT(a)\nOUTPUT(y)\ny = AND(a, )\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line_no: 3, .. }));
+    }
+
+    #[test]
+    fn structural_error_carries_line_number() {
+        let err = parse_bench("g", "INPUT(a)\nINPUT(a)\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { line_no: 2, .. }));
+    }
+}

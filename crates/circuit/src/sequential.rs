@@ -1,0 +1,277 @@
+//! Sequential netlists: ISCAS-89-style `.bench` files with `DFF` elements.
+//!
+//! A sequential circuit is handled as its *combinational core* plus a list
+//! of registers: every flip-flop output `Q` becomes an extra primary input
+//! of the core (a *state input*, appended after the true primary inputs),
+//! and its data line `D` is the corresponding *next-state* line. Analyses
+//! that work on [`Circuit`] then apply frame-wise; the `swact` estimator
+//! closes the loop with a fixed-point iteration over the state lines'
+//! statistics.
+
+use crate::parse::parse_bench;
+use crate::{Circuit, CircuitError, LineId};
+
+/// One flip-flop of a [`SequentialCircuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Register {
+    /// The register's output name (`q = DFF(d)`).
+    pub name: String,
+    /// Position of the state input within the core's input list
+    /// (`core.inputs()[position]`).
+    pub state_input: usize,
+    /// The next-state (data) line inside the core.
+    pub next_state: LineId,
+}
+
+/// A sequential circuit: combinational core + registers.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::sequential::parse_bench_sequential;
+///
+/// # fn main() -> Result<(), swact_circuit::CircuitError> {
+/// let src = "
+///     INPUT(en)
+///     OUTPUT(q)
+///     q = DFF(d)
+///     d = XOR(q, en)
+/// ";
+/// let seq = parse_bench_sequential("toggle", src)?;
+/// assert_eq!(seq.num_primary_inputs(), 1);
+/// assert_eq!(seq.registers().len(), 1);
+/// // The core sees 2 inputs: `en` plus the state input `q`.
+/// assert_eq!(seq.core().num_inputs(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SequentialCircuit {
+    core: Circuit,
+    registers: Vec<Register>,
+    primary_inputs: usize,
+}
+
+impl SequentialCircuit {
+    /// The combinational core (state inputs appended after the true
+    /// primary inputs).
+    pub fn core(&self) -> &Circuit {
+        &self.core
+    }
+
+    /// The registers, in declaration order.
+    pub fn registers(&self) -> &[Register] {
+        &self.registers
+    }
+
+    /// Number of true primary inputs (positions `0..n` of the core's input
+    /// list; state inputs follow).
+    pub fn num_primary_inputs(&self) -> usize {
+        self.primary_inputs
+    }
+
+    /// The state-input line of register `r` in the core.
+    pub fn state_line(&self, r: usize) -> LineId {
+        self.core.inputs()[self.registers[r].state_input]
+    }
+
+    /// Assembles a sequential circuit from parts (used by the netlist
+    /// parsers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownLine`] when a register's state-input
+    /// position or next-state line is out of range for the core.
+    pub fn from_parts(
+        core: Circuit,
+        registers: Vec<Register>,
+        primary_inputs: usize,
+    ) -> Result<SequentialCircuit, CircuitError> {
+        if primary_inputs + registers.len() != core.num_inputs() {
+            return Err(CircuitError::UnknownLine(format!(
+                "{} core inputs vs {} primaries + {} registers",
+                core.num_inputs(),
+                primary_inputs,
+                registers.len()
+            )));
+        }
+        for reg in &registers {
+            if reg.state_input >= core.num_inputs()
+                || reg.next_state.index() >= core.num_lines()
+            {
+                return Err(CircuitError::UnknownLine(reg.name.clone()));
+            }
+        }
+        Ok(SequentialCircuit {
+            core,
+            registers,
+            primary_inputs,
+        })
+    }
+}
+
+/// Parses `.bench` source that may contain `DFF` elements into a
+/// [`SequentialCircuit`]. Purely combinational sources parse to a circuit
+/// with zero registers.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::Parse`] for malformed lines and the usual
+/// structural errors for invalid netlists (e.g. a `DFF` whose data line
+/// never appears).
+pub fn parse_bench_sequential(
+    name: &str,
+    source: &str,
+) -> Result<SequentialCircuit, CircuitError> {
+    // Pre-scan: pull DFF statements out, remember (q, d) pairs, and count
+    // the true primary inputs so state inputs can be appended after them.
+    let mut combinational = String::new();
+    let mut dff_pairs: Vec<(String, String)> = Vec::new();
+    let mut input_names: Vec<String> = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if let Some(eq) = line.find('=') {
+            let rhs = line[eq + 1..].trim();
+            let kind = rhs.split('(').next().unwrap_or("").trim();
+            if kind.eq_ignore_ascii_case("DFF") {
+                let output = line[..eq].trim();
+                let open = rhs.find('(').ok_or(CircuitError::Parse {
+                    line_no,
+                    message: "malformed DFF statement".into(),
+                })?;
+                let inner = rhs[open + 1..]
+                    .strip_suffix(')')
+                    .ok_or(CircuitError::Parse {
+                        line_no,
+                        message: "missing closing `)` on DFF".into(),
+                    })?
+                    .trim();
+                if inner.is_empty() || inner.contains(',') {
+                    return Err(CircuitError::Parse {
+                        line_no,
+                        message: "DFF takes exactly one data line".into(),
+                    });
+                }
+                dff_pairs.push((output.to_string(), inner.to_string()));
+                continue;
+            }
+        }
+        if let Some(inner) = line
+            .strip_prefix("INPUT")
+            .and_then(|r| r.trim_start().strip_prefix('('))
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            input_names.push(inner.trim().to_string());
+        }
+        combinational.push_str(raw);
+        combinational.push('\n');
+    }
+    // Register outputs become extra INPUT declarations, appended after the
+    // true primary inputs (they were removed from the gate list above).
+    for (q, _) in &dff_pairs {
+        combinational.push_str(&format!("INPUT({q})\n"));
+    }
+    let core = parse_bench(name, &combinational)?;
+    let primary_inputs = input_names.len();
+    let registers = dff_pairs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (q, d))| {
+            let next_state = core
+                .find_line(&d)
+                .ok_or_else(|| CircuitError::UnknownLine(d.clone()))?;
+            Ok(Register {
+                name: q,
+                state_input: primary_inputs + i,
+                next_state,
+            })
+        })
+        .collect::<Result<Vec<_>, CircuitError>>()?;
+    Ok(SequentialCircuit {
+        core,
+        registers,
+        primary_inputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER2: &str = "
+        # 2-bit counter with enable
+        INPUT(en)
+        OUTPUT(q0)
+        OUTPUT(q1)
+        q0 = DFF(d0)
+        q1 = DFF(d1)
+        d0 = XOR(q0, en)
+        t1 = AND(q0, en)
+        d1 = XOR(q1, t1)
+    ";
+
+    #[test]
+    fn parses_counter() {
+        let seq = parse_bench_sequential("counter2", COUNTER2).unwrap();
+        assert_eq!(seq.num_primary_inputs(), 1);
+        assert_eq!(seq.registers().len(), 2);
+        assert_eq!(seq.core().num_inputs(), 3);
+        assert_eq!(seq.core().num_gates(), 3);
+        // State inputs come after the primary input.
+        assert_eq!(seq.core().line_name(seq.state_line(0)), "q0");
+        assert_eq!(seq.core().line_name(seq.state_line(1)), "q1");
+        // Next-state lines resolve.
+        assert_eq!(
+            seq.core().line_name(seq.registers()[0].next_state),
+            "d0"
+        );
+    }
+
+    #[test]
+    fn combinational_sources_have_no_registers() {
+        let seq = parse_bench_sequential(
+            "comb",
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
+        )
+        .unwrap();
+        assert!(seq.registers().is_empty());
+        assert_eq!(seq.num_primary_inputs(), 2);
+    }
+
+    #[test]
+    fn dangling_data_line_rejected() {
+        let err = parse_bench_sequential(
+            "bad",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::UnknownLine(_)));
+    }
+
+    #[test]
+    fn multi_input_dff_rejected() {
+        let err = parse_bench_sequential(
+            "bad",
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::Parse { .. }));
+    }
+
+    #[test]
+    fn feedback_through_register_is_legal() {
+        // q = DFF(d), d = NOT(q): a combinational cycle would be rejected,
+        // but through a register it parses (q is just an input).
+        let seq = parse_bench_sequential(
+            "osc",
+            "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(q, en)\n",
+        )
+        .unwrap();
+        assert_eq!(seq.registers().len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Topological analysis of [`Circuit`]s: evaluation order, logic levels,
+//! fan-out, and transitive fan-in cones.
+//!
+//! All functions here run in `O(lines + edges)`.
+
+use crate::{Circuit, Driver, LineId};
+
+impl Circuit {
+    /// Lines in a topological order: every gate appears after all of its
+    /// inputs. Primary inputs come first (they have no predecessors).
+    ///
+    /// The order is deterministic (Kahn's algorithm with a FIFO over
+    /// ascending ids).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use swact_circuit::catalog;
+    /// let c = catalog::paper_example();
+    /// let order = c.topo_order();
+    /// let pos: Vec<usize> = {
+    ///     let mut p = vec![0; c.num_lines()];
+    ///     for (i, l) in order.iter().enumerate() { p[l.index()] = i; }
+    ///     p
+    /// };
+    /// for line in c.gate_lines() {
+    ///     for input in &c.gate(line).unwrap().inputs {
+    ///         assert!(pos[input.index()] < pos[line.index()]);
+    ///     }
+    /// }
+    /// ```
+    pub fn topo_order(&self) -> Vec<LineId> {
+        let n = self.num_lines();
+        let mut indegree = vec![0usize; n];
+        for line in self.line_ids() {
+            if let Driver::Gate(g) = self.driver(line) {
+                indegree[line.index()] = g.inputs.len();
+            }
+        }
+        let fanouts = self.fanouts();
+        let mut queue: std::collections::VecDeque<LineId> = self
+            .line_ids()
+            .filter(|l| indegree[l.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(line) = queue.pop_front() {
+            order.push(line);
+            for &succ in &fanouts[line.index()] {
+                indegree[succ.index()] -= 1;
+                if indegree[succ.index()] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "circuit validated acyclic");
+        order
+    }
+
+    /// For every line, the list of gate-output lines that consume it.
+    ///
+    /// A line feeding the same gate twice appears twice in that gate's
+    /// entry, so `fanouts()[l].len()` counts *connections*, not distinct
+    /// consumers.
+    pub fn fanouts(&self) -> Vec<Vec<LineId>> {
+        let mut fanouts = vec![Vec::new(); self.num_lines()];
+        for line in self.line_ids() {
+            if let Driver::Gate(g) = self.driver(line) {
+                for &input in &g.inputs {
+                    fanouts[input.index()].push(line);
+                }
+            }
+        }
+        fanouts
+    }
+
+    /// Fan-out connection count per line.
+    pub fn fanout_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_lines()];
+        for line in self.line_ids() {
+            if let Driver::Gate(g) = self.driver(line) {
+                for &input in &g.inputs {
+                    counts[input.index()] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Logic level of every line: 0 for primary inputs, otherwise
+    /// `1 + max(level of inputs)`.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut levels = vec![0usize; self.num_lines()];
+        for &line in &self.topo_order() {
+            if let Driver::Gate(g) = self.driver(line) {
+                levels[line.index()] = 1 + g
+                    .inputs
+                    .iter()
+                    .map(|i| levels[i.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        levels
+    }
+
+    /// The transitive fan-in cone of `roots`: every line on which any root
+    /// combinationally depends, including the roots themselves. Returned in
+    /// ascending id order.
+    pub fn fanin_cone(&self, roots: &[LineId]) -> Vec<LineId> {
+        let mut in_cone = vec![false; self.num_lines()];
+        let mut stack: Vec<LineId> = roots.to_vec();
+        while let Some(line) = stack.pop() {
+            if std::mem::replace(&mut in_cone[line.index()], true) {
+                continue;
+            }
+            if let Driver::Gate(g) = self.driver(line) {
+                stack.extend(g.inputs.iter().copied());
+            }
+        }
+        self.line_ids().filter(|l| in_cone[l.index()]).collect()
+    }
+
+    /// Primary-input support of `roots`: the primary inputs inside
+    /// [`fanin_cone`](Circuit::fanin_cone).
+    pub fn support(&self, roots: &[LineId]) -> Vec<LineId> {
+        self.fanin_cone(roots)
+            .into_iter()
+            .filter(|&l| self.is_input(l))
+            .collect()
+    }
+
+    /// Lines with no fan-out (dead logic plus, typically, the primary
+    /// outputs).
+    pub fn sinks(&self) -> Vec<LineId> {
+        let counts = self.fanout_counts();
+        self.line_ids()
+            .filter(|l| counts[l.index()] == 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{catalog, CircuitBuilder, GateKind};
+
+    #[test]
+    fn topo_order_respects_dependencies_on_c17() {
+        let c = catalog::c17();
+        let order = c.topo_order();
+        assert_eq!(order.len(), c.num_lines());
+        let mut pos = vec![usize::MAX; c.num_lines()];
+        for (i, l) in order.iter().enumerate() {
+            pos[l.index()] = i;
+        }
+        for line in c.gate_lines() {
+            for input in &c.gate(line).unwrap().inputs {
+                assert!(pos[input.index()] < pos[line.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_of_paper_example() {
+        // Figure 1: lines 1-4 are inputs (level 0); gates 5,6,8 are level 1
+        // (8 is driven only by input 4); 7 is level 2; 9 is level 3.
+        let c = catalog::paper_example();
+        let levels = c.levels();
+        let level_of = |name: &str| levels[c.find_line(name).unwrap().index()];
+        assert_eq!(level_of("1"), 0);
+        assert_eq!(level_of("5"), 1);
+        assert_eq!(level_of("6"), 1);
+        assert_eq!(level_of("8"), 1);
+        assert_eq!(level_of("7"), 2);
+        assert_eq!(level_of("9"), 3);
+    }
+
+    #[test]
+    fn cone_and_support() {
+        let c = catalog::paper_example();
+        let l7 = c.find_line("7").unwrap();
+        let cone = c.fanin_cone(&[l7]);
+        let names: Vec<&str> = cone.iter().map(|&l| c.line_name(l)).collect();
+        assert_eq!(names, ["1", "2", "3", "4", "5", "6", "7"]);
+        let support = c.support(&[l7]);
+        assert_eq!(support.len(), 4);
+        assert!(support.iter().all(|&l| c.is_input(l)));
+    }
+
+    #[test]
+    fn fanout_counts_duplicate_connections() {
+        let mut b = CircuitBuilder::new("dupfan");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Xor, &["a", "a"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let a = c.find_line("a").unwrap();
+        assert_eq!(c.fanout_counts()[a.index()], 2);
+    }
+
+    #[test]
+    fn sinks_are_outputs_in_clean_circuits() {
+        let c = catalog::c17();
+        let sinks = c.sinks();
+        assert_eq!(sinks.len(), 2);
+        assert!(sinks.iter().all(|&l| c.is_output(l)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Serialization of circuits: `.bench` text and Graphviz DOT.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, Driver};
+
+/// Renders a circuit as ISCAS-85 `.bench` text.
+///
+/// The output parses back to a structurally identical circuit via
+/// [`parse_bench`](crate::parse::parse_bench).
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::{catalog, parse::parse_bench, write::to_bench};
+///
+/// # fn main() -> Result<(), swact_circuit::CircuitError> {
+/// let c17 = catalog::c17();
+/// let text = to_bench(&c17);
+/// let back = parse_bench("c17", &text)?;
+/// assert_eq!(back.num_gates(), c17.num_gates());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} gates",
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_gates()
+    );
+    for &input in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.line_name(input));
+    }
+    for &output in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.line_name(output));
+    }
+    for line in circuit.topo_order() {
+        if let Driver::Gate(g) = circuit.driver(line) {
+            let args: Vec<&str> = g.inputs.iter().map(|&i| circuit.line_name(i)).collect();
+            let _ = writeln!(
+                out,
+                "{} = {}({})",
+                circuit.line_name(line),
+                g.kind.mnemonic(),
+                args.join(", ")
+            );
+        }
+    }
+    out
+}
+
+/// Renders the circuit as a Graphviz `digraph` (gates as boxes, primary
+/// inputs as ellipses, primary outputs double-bordered).
+///
+/// This reproduces the style of Figure 1 of the paper when applied to
+/// [`catalog::paper_example`](crate::catalog::paper_example).
+pub fn to_dot(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", circuit.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for line in circuit.line_ids() {
+        let name = circuit.line_name(line);
+        let (shape, label) = match circuit.driver(line) {
+            Driver::Input => ("ellipse".to_string(), name.to_string()),
+            Driver::Gate(g) => ("box".to_string(), format!("{name}\\n{}", g.kind)),
+        };
+        let peripheries = if circuit.is_output(line) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  n{} [shape={shape}, peripheries={peripheries}, label=\"{label}\"];",
+            line.index()
+        );
+    }
+    for line in circuit.line_ids() {
+        if let Driver::Gate(g) = circuit.driver(line) {
+            for &input in &g.inputs {
+                let _ = writeln!(out, "  n{} -> n{};", input.index(), line.index());
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the circuit as structural Verilog using primitive gates.
+///
+/// Net names are normalized to `n<index>` (Verilog identifiers are more
+/// restrictive than `.bench` names); the original name is kept as a
+/// trailing comment on each declaration. Wide parity gates are legal
+/// Verilog (`xor`/`xnor` primitives take any arity), as are the other
+/// primitives; constant drivers become `assign` statements.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::{catalog, write::to_verilog};
+///
+/// let v = to_verilog(&catalog::c17());
+/// assert!(v.contains("module c17"));
+/// assert_eq!(v.matches("nand ").count(), 6);
+/// ```
+pub fn to_verilog(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let net = |line: crate::LineId| format!("n{}", line.index());
+    let ports: Vec<String> = circuit
+        .inputs()
+        .iter()
+        .chain(circuit.outputs())
+        .map(|&l| net(l))
+        .collect();
+    let _ = writeln!(out, "// generated from {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize_module_name(circuit.name()),
+        ports.join(", ")
+    );
+    for &input in circuit.inputs() {
+        let _ = writeln!(out, "  input {}; // {}", net(input), circuit.line_name(input));
+    }
+    for &output in circuit.outputs() {
+        let _ = writeln!(
+            out,
+            "  output {}; // {}",
+            net(output),
+            circuit.line_name(output)
+        );
+    }
+    for line in circuit.gate_lines() {
+        if !circuit.is_output(line) {
+            let _ = writeln!(out, "  wire {}; // {}", net(line), circuit.line_name(line));
+        }
+    }
+    for (k, line) in circuit.topo_order().into_iter().enumerate() {
+        let Driver::Gate(g) = circuit.driver(line) else {
+            continue;
+        };
+        let args: Vec<String> = std::iter::once(net(line))
+            .chain(g.inputs.iter().map(|&i| net(i)))
+            .collect();
+        let primitive = match g.kind {
+            crate::GateKind::And => "and",
+            crate::GateKind::Nand => "nand",
+            crate::GateKind::Or => "or",
+            crate::GateKind::Nor => "nor",
+            crate::GateKind::Xor => "xor",
+            crate::GateKind::Xnor => "xnor",
+            crate::GateKind::Not => "not",
+            crate::GateKind::Buf => "buf",
+            crate::GateKind::Const0 => {
+                let _ = writeln!(out, "  assign {} = 1'b0;", net(line));
+                continue;
+            }
+            crate::GateKind::Const1 => {
+                let _ = writeln!(out, "  assign {} = 1'b1;", net(line));
+                continue;
+            }
+        };
+        let _ = writeln!(out, "  {primitive} g{k} ({});", args.join(", "));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn sanitize_module_name(name: &str) -> String {
+    let mut sanitized: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if sanitized
+        .chars()
+        .next()
+        .is_none_or(|c| !(c.is_ascii_alphabetic() || c == '_'))
+    {
+        sanitized.insert(0, 'm');
+    }
+    sanitized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn bench_output_contains_all_sections() {
+        let text = to_bench(&catalog::c17());
+        assert_eq!(text.matches("INPUT(").count(), 5);
+        assert_eq!(text.matches("OUTPUT(").count(), 2);
+        assert_eq!(text.matches("= NAND(").count(), 6);
+    }
+
+    #[test]
+    fn verilog_covers_every_gate_and_port() {
+        let c = catalog::c17();
+        let v = to_verilog(&c);
+        assert!(v.contains("module c17"));
+        assert_eq!(v.matches("  input ").count(), c.num_inputs());
+        assert_eq!(v.matches("  output ").count(), c.num_outputs());
+        assert_eq!(v.matches("nand g").count(), 6);
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn verilog_handles_every_gate_kind() {
+        use crate::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("123 weird-name");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        for (i, kind) in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            b.gate(&format!("g{i}"), kind, &["a", "b"]).unwrap();
+        }
+        b.gate("inv", GateKind::Not, &["a"]).unwrap();
+        b.gate("pass", GateKind::Buf, &["b"]).unwrap();
+        b.gate("k0", GateKind::Const0, &[]).unwrap();
+        b.gate("top", GateKind::Or, &["g0", "g1", "g2", "g3", "g4", "g5", "inv", "pass", "k0"])
+            .unwrap();
+        b.output("top").unwrap();
+        let v = to_verilog(&b.finish().unwrap());
+        for prim in ["and ", "nand ", "or ", "nor ", "xor ", "xnor ", "not ", "buf "] {
+            assert!(v.contains(prim), "missing {prim}");
+        }
+        assert!(v.contains("assign") && v.contains("1'b0"));
+        // Module name sanitized to a legal identifier.
+        assert!(v.contains("module m123_weird_name"));
+    }
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let c = catalog::paper_example();
+        let dot = to_dot(&c);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        // one node statement per line, one edge per gate input connection
+        assert_eq!(dot.matches("[shape=").count(), c.num_lines());
+        let edge_count: usize = c
+            .gate_lines()
+            .map(|l| c.gate(l).unwrap().inputs.len())
+            .sum();
+        assert_eq!(dot.matches(" -> ").count(), edge_count);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the netlist substrate: generated circuits are
+//! structurally sound and transformations preserve the Boolean function.
+
+use proptest::prelude::*;
+use swact_circuit::benchgen::{generate, GeneratorConfig};
+use swact_circuit::decompose::decompose_fanin;
+use swact_circuit::{Circuit, Driver};
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..8, 2usize..30, any::<u64>()).prop_map(|(inputs, gates, seed)| {
+        generate(&GeneratorConfig {
+            inputs,
+            outputs: 1 + gates / 10,
+            gates,
+            seed,
+            ..GeneratorConfig::default_for("prop")
+        })
+    })
+}
+
+fn eval(circuit: &Circuit, assignment: usize) -> Vec<bool> {
+    let mut values = vec![false; circuit.num_lines()];
+    for (i, &pi) in circuit.inputs().iter().enumerate() {
+        values[pi.index()] = assignment >> i & 1 == 1;
+    }
+    for line in circuit.topo_order() {
+        if let Some(g) = circuit.gate(line) {
+            values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+        }
+    }
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Topological order is a valid schedule: every gate after its inputs.
+    #[test]
+    fn topo_order_is_consistent(circuit in arb_circuit()) {
+        let order = circuit.topo_order();
+        prop_assert_eq!(order.len(), circuit.num_lines());
+        let mut pos = vec![usize::MAX; circuit.num_lines()];
+        for (i, l) in order.iter().enumerate() {
+            pos[l.index()] = i;
+        }
+        for line in circuit.line_ids() {
+            if let Driver::Gate(g) = circuit.driver(line) {
+                for input in &g.inputs {
+                    prop_assert!(pos[input.index()] < pos[line.index()]);
+                }
+            }
+        }
+    }
+
+    /// Levels increase along every edge, and the depth matches the stats.
+    #[test]
+    fn levels_are_monotone(circuit in arb_circuit()) {
+        let levels = circuit.levels();
+        for line in circuit.line_ids() {
+            if let Driver::Gate(g) = circuit.driver(line) {
+                for input in &g.inputs {
+                    prop_assert!(levels[input.index()] < levels[line.index()]);
+                }
+            }
+        }
+        prop_assert_eq!(
+            circuit.stats().depth,
+            levels.iter().copied().max().unwrap_or(0)
+        );
+    }
+
+    /// Fan-in decomposition preserves the Boolean function on every line
+    /// that survives by name, for several bounds.
+    #[test]
+    fn decomposition_preserves_function(circuit in arb_circuit(), case in any::<usize>()) {
+        let n = circuit.num_inputs();
+        let assignment = case & ((1 << n) - 1);
+        let original = eval(&circuit, assignment);
+        for bound in [2usize, 3] {
+            let narrow = decompose_fanin(&circuit, bound).expect("decomposes");
+            prop_assert!(narrow.stats().max_fanin <= bound);
+            let values = eval(&narrow, assignment);
+            for line in circuit.line_ids() {
+                let name = circuit.line_name(line);
+                let mapped = narrow.find_line(name).expect("name preserved");
+                prop_assert_eq!(
+                    values[mapped.index()],
+                    original[line.index()],
+                    "line {} under bound {}", name, bound
+                );
+            }
+        }
+    }
+
+    /// The generator meets its interface contract exactly and produces no
+    /// dead logic.
+    #[test]
+    fn generator_contract(inputs in 2usize..10, gates in 3usize..50, seed in any::<u64>()) {
+        let outputs = 1 + gates / 10;
+        prop_assume!(gates >= outputs);
+        let circuit = generate(&GeneratorConfig {
+            inputs,
+            outputs,
+            gates,
+            seed,
+            ..GeneratorConfig::default_for("contract")
+        });
+        prop_assert_eq!(circuit.num_inputs(), inputs);
+        prop_assert_eq!(circuit.num_outputs(), outputs);
+        prop_assert_eq!(circuit.num_gates(), gates);
+        // Every *gate* always reaches an output (reduction construction);
+        // every *input* does too once the gate budget can host them all.
+        let cone = circuit.fanin_cone(circuit.outputs());
+        let gate_lines_in_cone = cone.iter().filter(|&&l| !circuit.is_input(l)).count();
+        prop_assert_eq!(gate_lines_in_cone, gates);
+        if gates >= 2 * inputs {
+            prop_assert_eq!(cone.len(), circuit.num_lines(), "dead inputs");
+        }
+    }
+
+    /// Fanout bookkeeping matches a direct recount.
+    #[test]
+    fn fanout_counts_consistent(circuit in arb_circuit()) {
+        let counts = circuit.fanout_counts();
+        let lists = circuit.fanouts();
+        let total_inputs: usize = circuit
+            .gate_lines()
+            .map(|l| circuit.gate(l).unwrap().inputs.len())
+            .sum();
+        prop_assert_eq!(counts.iter().sum::<usize>(), total_inputs);
+        for line in circuit.line_ids() {
+            prop_assert_eq!(counts[line.index()], lists[line.index()].len());
+        }
+    }
+}

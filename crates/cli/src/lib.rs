@@ -1,0 +1,589 @@
+//! Implementation of the `swact` command-line tool.
+//!
+//! The binary front-end (`src/main.rs`) is a thin wrapper over [`run`],
+//! which takes the argument list and returns the rendered output — making
+//! every command path unit-testable without spawning processes.
+//!
+//! ```text
+//! swact estimate <netlist.bench> [--p1 P] [--activity A] [--budget N]
+//!                [--single-bn] [--power] [--sequential]
+//! swact compare  <netlist.bench> [--pairs N]
+//! swact bench    <name>
+//! swact dot      <netlist.bench>
+//! swact list
+//! ```
+
+use std::fmt::Write as _;
+
+use swact::sequential::{estimate_sequential, SequentialOptions};
+use swact::{estimate, InputModel, InputSpec, Options, PowerModel};
+use swact_baselines::{
+    Independence, PairwiseCorrelation, SwitchingEstimator, TransitionDensity,
+};
+use swact_circuit::sequential::parse_bench_sequential;
+use swact_circuit::{catalog, parse::parse_bench, write, Circuit};
+use swact_sim::{measure_activity, StreamModel};
+
+/// A user-facing CLI failure: message plus suggested exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime).
+    pub exit_code: i32,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage_error(message: impl Into<String>) -> CliError {
+    CliError {
+        message: format!("{}\n\n{}", message.into(), USAGE),
+        exit_code: 2,
+    }
+}
+
+fn runtime_error(message: impl std::fmt::Display) -> CliError {
+    CliError {
+        message: message.to_string(),
+        exit_code: 1,
+    }
+}
+
+/// The tool's usage text.
+pub const USAGE: &str = "\
+swact — switching-activity and power estimation (Bhanja & Ranganathan, DAC 2001)
+
+USAGE:
+  swact estimate <netlist.bench> [options]   estimate per-line switching
+  swact compare  <netlist.bench> [--pairs N] compare against baselines & simulation
+  swact bench    <name>                      print a built-in benchmark as .bench
+  swact dot      <netlist.bench>             print the circuit as Graphviz DOT
+  swact verilog  <netlist.bench>             print the circuit as structural Verilog
+  swact list                                 list built-in benchmarks
+
+ESTIMATE OPTIONS:
+  --p1 <P>         signal probability for every input (default 0.5)
+  --activity <A>   switching activity for every input (default 2·P·(1−P))
+  --budget <N>     junction-tree state budget per segment (default 131072)
+  --single-bn      force one exact Bayesian network (may be infeasible)
+  --power          also print the dynamic-power report
+  --sequential     treat DFFs via fixed-point iteration (default: reject DFFs)
+  --csv            emit per-line results as CSV instead of a table";
+
+/// Parses arguments and runs the requested command, returning the output
+/// text.
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a usage message for malformed invocations and
+/// a plain message for runtime failures (missing files, estimator errors).
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let command = it.next().ok_or_else(|| usage_error("missing command"))?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "estimate" => cmd_estimate(&rest),
+        "compare" => cmd_compare(&rest),
+        "bench" => cmd_bench(&rest),
+        "dot" => cmd_dot(&rest),
+        "verilog" => cmd_verilog(&rest),
+        "list" => Ok(cmd_list()),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(usage_error(format!("unknown command `{other}`"))),
+    }
+}
+
+struct EstimateArgs {
+    path: String,
+    p1: f64,
+    activity: Option<f64>,
+    budget: usize,
+    single_bn: bool,
+    power: bool,
+    sequential: bool,
+    csv: bool,
+}
+
+fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
+    let mut parsed = EstimateArgs {
+        path: String::new(),
+        p1: 0.5,
+        activity: None,
+        budget: 1 << 17,
+        single_bn: false,
+        power: false,
+        sequential: false,
+        csv: false,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--p1" | "--activity" | "--budget" => {
+                let flag = rest[i].as_str();
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
+                match flag {
+                    "--p1" => {
+                        parsed.p1 = value
+                            .parse()
+                            .map_err(|_| usage_error(format!("bad --p1 value `{value}`")))?
+                    }
+                    "--activity" => {
+                        parsed.activity = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --activity value `{value}`"))
+                        })?)
+                    }
+                    _ => {
+                        parsed.budget = value
+                            .parse()
+                            .map_err(|_| usage_error(format!("bad --budget value `{value}`")))?
+                    }
+                }
+                i += 2;
+            }
+            "--single-bn" => {
+                parsed.single_bn = true;
+                i += 1;
+            }
+            "--power" => {
+                parsed.power = true;
+                i += 1;
+            }
+            "--sequential" => {
+                parsed.sequential = true;
+                i += 1;
+            }
+            "--csv" => {
+                parsed.csv = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(usage_error(format!("unknown option `{flag}`")));
+            }
+            path => {
+                if !parsed.path.is_empty() {
+                    return Err(usage_error("more than one netlist given"));
+                }
+                parsed.path = path.to_string();
+                i += 1;
+            }
+        }
+    }
+    if parsed.path.is_empty() {
+        return Err(usage_error("missing netlist path"));
+    }
+    Ok(parsed)
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, CliError> {
+    // Built-in benchmark names double as paths for convenience.
+    if let Some(circuit) = catalog::benchmark(path) {
+        return Ok(circuit);
+    }
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| runtime_error(format!("cannot read `{path}`: {e}")))?;
+    if is_blif(path, &source) {
+        return swact_circuit::blif::parse_blif_combinational(path, &source)
+            .map_err(runtime_error);
+    }
+    parse_bench(path, &source).map_err(runtime_error)
+}
+
+/// BLIF detection: by extension or by a leading dot-directive.
+fn is_blif(path: &str, source: &str) -> bool {
+    path.ends_with(".blif")
+        || source
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .is_some_and(|l| l.starts_with('.'))
+}
+
+fn spec_for(args: &EstimateArgs, num_inputs: usize) -> Result<InputSpec, CliError> {
+    let model = match args.activity {
+        Some(a) => InputModel::new(args.p1, a).map_err(runtime_error)?,
+        None => InputModel::independent(args.p1),
+    };
+    Ok(InputSpec::from_models(vec![model; num_inputs]))
+}
+
+fn estimator_options(args: &EstimateArgs) -> Options {
+    Options {
+        segment_budget: args.budget,
+        single_bn: args.single_bn,
+        ..Options::default()
+    }
+}
+
+fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
+    let args = parse_estimate_args(rest)?;
+    let mut out = String::new();
+    if args.sequential {
+        let source = std::fs::read_to_string(&args.path)
+            .map_err(|e| runtime_error(format!("cannot read `{}`: {e}", args.path)))?;
+        let seq = if is_blif(&args.path, &source) {
+            swact_circuit::blif::parse_blif(&args.path, &source).map_err(runtime_error)?
+        } else {
+            parse_bench_sequential(&args.path, &source).map_err(runtime_error)?
+        };
+        let spec = spec_for(&args, seq.num_primary_inputs())?;
+        let result = estimate_sequential(
+            &seq,
+            &spec,
+            &SequentialOptions {
+                options: estimator_options(&args),
+                ..SequentialOptions::default()
+            },
+        )
+        .map_err(runtime_error)?;
+        let _ = writeln!(
+            out,
+            "{}: {} primary inputs, {} registers, {} gates; fixed point in {} iterations{}",
+            seq.core().name(),
+            seq.num_primary_inputs(),
+            seq.registers().len(),
+            seq.core().num_gates(),
+            result.iterations,
+            if result.converged { "" } else { " (NOT converged)" }
+        );
+        let _ = writeln!(out, "{:<20} {:>10} {:>10}", "line", "P(switch)", "P(1)");
+        for line in seq.core().line_ids() {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>10.4} {:>10.4}",
+                seq.core().line_name(line),
+                result.estimate.switching(line),
+                result.estimate.signal_probability(line)
+            );
+        }
+        if args.power {
+            let report = PowerModel::default().power(seq.core(), &result.estimate);
+            let _ = writeln!(out, "\ndynamic power: {:.3} µW", report.total_watts * 1e6);
+        }
+        return Ok(out);
+    }
+    let circuit = load_circuit(&args.path)?;
+    let spec = spec_for(&args, circuit.num_inputs())?;
+    let est = estimate(&circuit, &spec, &estimator_options(&args)).map_err(runtime_error)?;
+    if args.csv {
+        return Ok(est.to_csv(&circuit));
+    }
+    let _ = writeln!(
+        out,
+        "{}: {} inputs, {} gates; {} Bayesian network(s); compile {:?}, propagate {:?}",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_gates(),
+        est.num_segments(),
+        est.compile_time(),
+        est.propagate_time()
+    );
+    let _ = writeln!(out, "{:<20} {:>10} {:>10}", "line", "P(switch)", "P(1)");
+    for line in circuit.line_ids() {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>10.4} {:>10.4}",
+            circuit.line_name(line),
+            est.switching(line),
+            est.signal_probability(line)
+        );
+    }
+    let _ = writeln!(out, "\nmean switching activity: {:.4}", est.mean_switching());
+    if args.power {
+        let report = PowerModel::default().power(&circuit, &est);
+        let _ = writeln!(out, "dynamic power: {:.3} µW", report.total_watts * 1e6);
+        let _ = writeln!(out, "hottest lines:");
+        for (line, watts) in report.hottest(5) {
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>8.3} µW",
+                circuit.line_name(line),
+                watts * 1e6
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
+    let mut path = String::new();
+    let mut pairs = 1usize << 18;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--pairs" => {
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| usage_error("--pairs needs a value"))?;
+                pairs = value
+                    .parse()
+                    .map_err(|_| usage_error(format!("bad --pairs value `{value}`")))?;
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(usage_error(format!("unknown option `{flag}`")));
+            }
+            p => {
+                path = p.to_string();
+                i += 1;
+            }
+        }
+    }
+    if path.is_empty() {
+        return Err(usage_error("missing netlist path"));
+    }
+    let circuit = load_circuit(&path)?;
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let truth = measure_activity(
+        &circuit,
+        &StreamModel::uniform(circuit.num_inputs()),
+        pairs,
+        0x5eed,
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} gates; ground truth = {} simulated vector pairs",
+        circuit.name(),
+        circuit.num_gates(),
+        truth.pairs
+    );
+    let _ = writeln!(out, "{:<24} {:>9} {:>9} {:>9}", "method", "µErr", "σErr", "%Err");
+    let bn = estimate(&circuit, &spec, &Options::default()).map_err(runtime_error)?;
+    let stats = bn.compare(&truth.switching);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9.4} {:>9.4} {:>8.3}%",
+        "bayesian-network", stats.mean_abs_error, stats.std_error, stats.percent_error
+    );
+    let baselines: Vec<Box<dyn SwitchingEstimator>> = vec![
+        Box::new(PairwiseCorrelation::default()),
+        Box::new(Independence),
+        Box::new(TransitionDensity),
+    ];
+    for baseline in baselines {
+        match baseline.estimate(&circuit, &spec) {
+            Ok(sw) => {
+                let stats = swact::ErrorStats::between(&sw, &truth.switching);
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>9.4} {:>9.4} {:>8.3}%",
+                    baseline.name(),
+                    stats.mean_abs_error,
+                    stats.std_error,
+                    stats.percent_error
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{:<24} failed: {e}", baseline.name());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_bench(rest: &[&String]) -> Result<String, CliError> {
+    let name = rest
+        .first()
+        .ok_or_else(|| usage_error("missing benchmark name"))?;
+    let circuit = catalog::benchmark(name)
+        .ok_or_else(|| runtime_error(format!("unknown benchmark `{name}` (try `swact list`)")))?;
+    Ok(write::to_bench(&circuit))
+}
+
+fn cmd_dot(rest: &[&String]) -> Result<String, CliError> {
+    let path = rest
+        .first()
+        .ok_or_else(|| usage_error("missing netlist path"))?;
+    let circuit = load_circuit(path)?;
+    Ok(write::to_dot(&circuit))
+}
+
+fn cmd_verilog(rest: &[&String]) -> Result<String, CliError> {
+    let path = rest
+        .first()
+        .ok_or_else(|| usage_error("missing netlist path"))?;
+    let circuit = load_circuit(path)?;
+    Ok(write::to_verilog(&circuit))
+}
+
+fn cmd_list() -> String {
+    let mut out = String::from("built-in benchmarks (synthetic stand-ins except c17):\n");
+    for info in catalog::BENCHMARKS {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>4} inputs {:>4} outputs {:>5} gates  {}",
+            info.name,
+            info.inputs,
+            info.outputs,
+            info.gates,
+            if info.authentic { "(authentic)" } else { "" }
+        );
+    }
+    out.push_str("  paper_example (the five-gate running example of the paper)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run_strs(&["help"]).unwrap().contains("USAGE"));
+        let err = run_strs(&["frobnicate"]).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown command"));
+        assert!(run_strs(&[]).is_err());
+    }
+
+    #[test]
+    fn list_names_all_benchmarks() {
+        let out = run_strs(&["list"]).unwrap();
+        for info in catalog::BENCHMARKS {
+            assert!(out.contains(info.name));
+        }
+    }
+
+    #[test]
+    fn bench_prints_parseable_netlist() {
+        let out = run_strs(&["bench", "c17"]).unwrap();
+        let back = parse_bench("c17", &out).unwrap();
+        assert_eq!(back.num_gates(), 6);
+        assert!(run_strs(&["bench", "nonexistent"]).is_err());
+    }
+
+    #[test]
+    fn estimate_builtin_benchmark() {
+        let out = run_strs(&["estimate", "c17", "--power"]).unwrap();
+        assert!(out.contains("mean switching activity"));
+        assert!(out.contains("dynamic power"));
+        assert!(out.contains("hottest lines"));
+    }
+
+    #[test]
+    fn estimate_with_statistics_flags() {
+        let quiet = run_strs(&["estimate", "c17", "--p1", "0.5", "--activity", "0.05"]).unwrap();
+        let busy = run_strs(&["estimate", "c17"]).unwrap();
+        let mean = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.contains("mean switching"))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .expect("mean line present")
+        };
+        assert!(mean(&quiet) < mean(&busy));
+    }
+
+    #[test]
+    fn estimate_rejects_bad_flags() {
+        assert_eq!(run_strs(&["estimate"]).unwrap_err().exit_code, 2);
+        assert_eq!(
+            run_strs(&["estimate", "c17", "--p1"]).unwrap_err().exit_code,
+            2
+        );
+        assert_eq!(
+            run_strs(&["estimate", "c17", "--p1", "zebra"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        assert_eq!(
+            run_strs(&["estimate", "c17", "--wat"]).unwrap_err().exit_code,
+            2
+        );
+        assert_eq!(
+            run_strs(&["estimate", "c17", "extra_path"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+    }
+
+    #[test]
+    fn estimate_from_file_and_dot() {
+        let dir = std::env::temp_dir().join("swact_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.bench");
+        std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        let out = run_strs(&["estimate", &path]).unwrap();
+        assert!(out.contains('y'));
+        let dot = run_strs(&["dot", &path]).unwrap();
+        assert!(dot.starts_with("digraph"));
+        let verilog = run_strs(&["verilog", &path]).unwrap();
+        assert!(verilog.contains("module"));
+        assert!(verilog.contains("nand"));
+        assert!(run_strs(&["estimate", "/definitely/not/here.bench"]).is_err());
+    }
+
+    #[test]
+    fn sequential_estimation_via_flag() {
+        let dir = std::env::temp_dir().join("swact_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shift.bench");
+        std::fs::write(
+            &path,
+            "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUF(a)\n",
+        )
+        .unwrap();
+        let path = path.to_string_lossy().to_string();
+        let out = run_strs(&["estimate", &path, "--sequential"]).unwrap();
+        assert!(out.contains("registers"));
+        assert!(out.contains("fixed point"));
+    }
+
+    #[test]
+    fn blif_files_are_autodetected() {
+        let dir = std::env::temp_dir().join("swact_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mux.blif");
+        std::fs::write(
+            &path,
+            ".model mux\n.inputs s a b\n.outputs y\n.names s a b y\n01- 1\n1-1 1\n.end\n",
+        )
+        .unwrap();
+        let path = path.to_string_lossy().to_string();
+        let out = run_strs(&["estimate", &path]).unwrap();
+        assert!(out.contains("mean switching"));
+        // Sequential BLIF through the flag.
+        let seq_path = dir.join("reg.blif");
+        std::fs::write(
+            &seq_path,
+            ".model reg\n.inputs a\n.outputs q\n.latch d q 0\n.names a d\n1 1\n.end\n",
+        )
+        .unwrap();
+        let seq_path = seq_path.to_string_lossy().to_string();
+        let out = run_strs(&["estimate", &seq_path, "--sequential"]).unwrap();
+        assert!(out.contains("1 registers"));
+    }
+
+    #[test]
+    fn csv_output_is_machine_readable() {
+        let out = run_strs(&["estimate", "c17", "--csv"]).unwrap();
+        let mut lines = out.lines();
+        assert!(lines.next().unwrap().starts_with("line,"));
+        assert_eq!(lines.count(), 11); // 5 inputs + 6 gates
+    }
+
+    #[test]
+    fn compare_runs_all_methods() {
+        let out = run_strs(&["compare", "c17", "--pairs", "65536"]).unwrap();
+        assert!(out.contains("bayesian-network"));
+        assert!(out.contains("pairwise-correlation"));
+        assert!(out.contains("independence"));
+        assert!(out.contains("transition-density"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `swact` — command-line switching-activity and power estimation.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match swact_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(error) => {
+            eprintln!("{error}");
+            std::process::exit(error.exit_code);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+use std::error::Error;
+use std::fmt;
+
+use swact_bayesnet::BayesError;
+use swact_circuit::CircuitError;
+
+/// Errors produced while building or running the switching estimator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EstimateError {
+    /// The input specification covers a different number of inputs than the
+    /// circuit declares.
+    InputCountMismatch {
+        /// Inputs the circuit has.
+        circuit: usize,
+        /// Inputs the spec covers.
+        spec: usize,
+    },
+    /// An input model's parameters are out of range or jointly infeasible.
+    InvalidInputModel {
+        /// Requested signal probability.
+        p1: f64,
+        /// Requested switching activity.
+        activity: f64,
+    },
+    /// The spec's input-group structure differs from the one the estimator
+    /// was compiled for (group membership is part of the compiled network
+    /// structure; re-compile to change it).
+    GroupStructureMismatch,
+    /// A single-BN estimate was requested but the circuit's junction tree
+    /// exceeds the configured budget; use segmented mode (the default).
+    TooLarge {
+        /// Estimated junction-tree state count.
+        states: f64,
+        /// The configured budget.
+        budget: f64,
+    },
+    /// An underlying structural circuit error (e.g. during fan-in
+    /// decomposition).
+    Circuit(CircuitError),
+    /// An underlying Bayesian-network error.
+    Bayes(BayesError),
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::InputCountMismatch { circuit, spec } => write!(
+                f,
+                "input spec covers {spec} inputs but the circuit has {circuit}"
+            ),
+            EstimateError::InvalidInputModel { p1, activity } => write!(
+                f,
+                "input model p1={p1}, activity={activity} is out of range or infeasible"
+            ),
+            EstimateError::GroupStructureMismatch => write!(
+                f,
+                "input-group structure differs from the compiled one; recompile"
+            ),
+            EstimateError::TooLarge { states, budget } => write!(
+                f,
+                "single-BN junction tree needs {states:.3e} states, budget is {budget:.3e}"
+            ),
+            EstimateError::Circuit(e) => write!(f, "circuit error: {e}"),
+            EstimateError::Bayes(e) => write!(f, "bayesian network error: {e}"),
+        }
+    }
+}
+
+impl Error for EstimateError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EstimateError::Circuit(e) => Some(e),
+            EstimateError::Bayes(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for EstimateError {
+    fn from(e: CircuitError) -> EstimateError {
+        EstimateError::Circuit(e)
+    }
+}
+
+impl From<BayesError> for EstimateError {
+    fn from(e: BayesError) -> EstimateError {
+        EstimateError::Bayes(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EstimateError::InputCountMismatch {
+            circuit: 5,
+            spec: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.source().is_none());
+        let e = EstimateError::from(BayesError::Empty);
+        assert!(e.source().is_some());
+        let e = EstimateError::from(CircuitError::NoInputs);
+        assert!(e.to_string().contains("circuit error"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EstimateError>();
+    }
+}

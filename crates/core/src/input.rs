@@ -1,0 +1,608 @@
+use crate::{EstimateError, Transition, TransitionDist};
+
+/// Stochastic model of one primary input: stationary signal probability
+/// `P(1)` plus switching activity `P(xₜ ≠ xₜ₋₁)` (a stationary lag-1
+/// Markov chain, exactly as in `swact-sim`).
+///
+/// # Example
+///
+/// ```
+/// use swact::InputModel;
+///
+/// let uniform = InputModel::independent(0.5);
+/// assert!((uniform.to_distribution().switching() - 0.5).abs() < 1e-12);
+///
+/// let bursty = InputModel::new(0.5, 0.1).unwrap();
+/// assert!((bursty.to_distribution().switching() - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputModel {
+    p1: f64,
+    activity: f64,
+}
+
+impl InputModel {
+    /// A model with explicit signal probability and switching activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimateError::InvalidInputModel`] when parameters are out
+    /// of range or jointly infeasible (a stationary chain at `p1` can
+    /// switch at most `2·min(p1, 1−p1)` of the time).
+    pub fn new(p1: f64, activity: f64) -> Result<InputModel, EstimateError> {
+        if !(0.0..=1.0).contains(&p1) || !(0.0..=1.0).contains(&activity) {
+            return Err(EstimateError::InvalidInputModel { p1, activity });
+        }
+        let max_activity = 2.0 * p1.min(1.0 - p1);
+        if activity > max_activity + 1e-12 {
+            return Err(EstimateError::InvalidInputModel { p1, activity });
+        }
+        Ok(InputModel { p1, activity })
+    }
+
+    /// A temporally independent input: `activity = 2·p1·(1−p1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p1 ∉ [0, 1]`.
+    pub fn independent(p1: f64) -> InputModel {
+        InputModel::new(p1, 2.0 * p1 * (1.0 - p1)).expect("independent model is always feasible")
+    }
+
+    /// The stationary signal probability `P(1)`.
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+
+    /// The switching activity `P(xₜ ≠ xₜ₋₁)`.
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// The model as a distribution over the four [`Transition`] states
+    /// (stationarity makes `P(x01) = P(x10) = activity/2`).
+    pub fn to_distribution(&self) -> TransitionDist {
+        let half = self.activity / 2.0;
+        TransitionDist::new([
+            (1.0 - self.p1 - half).max(0.0),
+            half,
+            half,
+            (self.p1 - half).max(0.0),
+        ])
+    }
+}
+
+/// A spatially correlated input group: members copy a shared latent stream
+/// with probability `copy_prob` per clock, otherwise follow their own
+/// [`InputModel`] — the same generative model as `swact-sim`'s
+/// `SpatialGroup`, so estimates validate directly against simulation.
+///
+/// This realizes the paper's stated future work: "input modeling for
+/// capturing spatial correlation at the primary inputs using the same BN
+/// model" (§7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputGroup {
+    /// Input positions (indices into the circuit's input list).
+    pub members: Vec<usize>,
+    /// The latent stream's model.
+    pub latent: InputModel,
+    /// Per-clock probability that a member copies the latent value.
+    pub copy_prob: f64,
+}
+
+impl InputGroup {
+    /// The *effective* transition distribution of a member: a
+    /// `copy_prob`-mixture of the latent stream and the member's own
+    /// process, enumerated in closed form.
+    pub fn member_marginal(&self, own: InputModel) -> TransitionDist {
+        let latent = self.latent.to_distribution().as_array();
+        let own_dist = own.to_distribution().as_array();
+        let c = self.copy_prob;
+        let mut joint = [0.0f64; 4];
+        for (l_state, &wl) in latent.iter().enumerate() {
+            for (o_state, &wo) in own_dist.iter().enumerate() {
+                for mask in 0..4usize {
+                    let copy_prev = mask & 1 == 1;
+                    let copy_next = mask & 2 == 2;
+                    let wm = (if copy_prev { c } else { 1.0 - c })
+                        * (if copy_next { c } else { 1.0 - c });
+                    let l = Transition::from_index(l_state);
+                    let o = Transition::from_index(o_state);
+                    let prev = if copy_prev { l.prev() } else { o.prev() };
+                    let next = if copy_next { l.next() } else { o.next() };
+                    joint[Transition::from_values(prev, next).index()] += wl * wo * wm;
+                }
+            }
+        }
+        TransitionDist::new(joint)
+    }
+
+    /// The exact joint transition distribution of two members (their own
+    /// models given), as `joint[a][b] = P(A = a, B = b)`. Enumerated over
+    /// the latent pair, both own pairs, and all copy masks.
+    pub fn member_pair_joint(&self, own_a: InputModel, own_b: InputModel) -> [[f64; 4]; 4] {
+        let latent = self.latent.to_distribution().as_array();
+        let da = own_a.to_distribution().as_array();
+        let db = own_b.to_distribution().as_array();
+        let c = self.copy_prob;
+        let mut joint = [[0.0f64; 4]; 4];
+        for (l_state, &wl) in latent.iter().enumerate() {
+            let l = Transition::from_index(l_state);
+            for (a_state, &wa) in da.iter().enumerate() {
+                let a_own = Transition::from_index(a_state);
+                for (b_state, &wb) in db.iter().enumerate() {
+                    let b_own = Transition::from_index(b_state);
+                    for mask in 0..16usize {
+                        let (ca_p, ca_n) = (mask & 1 == 1, mask & 2 == 2);
+                        let (cb_p, cb_n) = (mask & 4 == 4, mask & 8 == 8);
+                        let weight = wl
+                            * wa
+                            * wb
+                            * (if ca_p { c } else { 1.0 - c })
+                            * (if ca_n { c } else { 1.0 - c })
+                            * (if cb_p { c } else { 1.0 - c })
+                            * (if cb_n { c } else { 1.0 - c });
+                        if weight == 0.0 {
+                            continue;
+                        }
+                        let a = Transition::from_values(
+                            if ca_p { l.prev() } else { a_own.prev() },
+                            if ca_n { l.next() } else { a_own.next() },
+                        );
+                        let b = Transition::from_values(
+                            if cb_p { l.prev() } else { b_own.prev() },
+                            if cb_n { l.next() } else { b_own.next() },
+                        );
+                        joint[a.index()][b.index()] += weight;
+                    }
+                }
+            }
+        }
+        joint
+    }
+}
+
+/// An explicit pairwise joint between two inputs' transition states:
+/// `joint[a_state][b_state] = P(A = a_state, B = b_state)`.
+///
+/// This is the most general pairwise correlation interface: input `b` is
+/// conditioned on input `a` (with `a` keeping its own marginal prior), so
+/// the `a`-marginal of `joint` should match `a`'s [`InputModel`]. The
+/// [`InputGroup`] latent-copy model is the common parametric special case;
+/// explicit joints are what the sequential estimator feeds back between
+/// iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseJoint {
+    /// The conditioning input's position.
+    pub a: usize,
+    /// The conditioned input's position (each input may be conditioned at
+    /// most once, and not also be in a group).
+    pub b: usize,
+    /// `P(A, B)` over the 4×4 transition states.
+    pub joint: [[f64; 4]; 4],
+}
+
+impl PairwiseJoint {
+    /// The `B` marginal implied by the joint.
+    pub fn b_marginal(&self) -> TransitionDist {
+        let mut m = [0.0f64; 4];
+        for row in &self.joint {
+            for (s, &p) in row.iter().enumerate() {
+                m[s] += p;
+            }
+        }
+        TransitionDist::new(m)
+    }
+
+    /// The `A` marginal implied by the joint.
+    pub fn a_marginal(&self) -> TransitionDist {
+        let m = [
+            self.joint[0].iter().sum(),
+            self.joint[1].iter().sum(),
+            self.joint[2].iter().sum(),
+            self.joint[3].iter().sum(),
+        ];
+        TransitionDist::new(m)
+    }
+
+    /// The conditional `P(B = b | A = a)` as rows over `a`, with uniform
+    /// rows where `P(A = a)` is zero.
+    pub fn conditional_rows(&self) -> [[f64; 4]; 4] {
+        let mut rows = [[0.25f64; 4]; 4];
+        for (a, row) in self.joint.iter().enumerate() {
+            let mass: f64 = row.iter().sum();
+            if mass > 0.0 {
+                for (b, &p) in row.iter().enumerate() {
+                    rows[a][b] = p / mass;
+                }
+            }
+        }
+        rows
+    }
+}
+
+/// Input statistics for a whole circuit: one [`InputModel`] per primary
+/// input (in the circuit's input declaration order), plus optional
+/// spatially correlated [`InputGroup`]s and explicit [`PairwiseJoint`]s.
+///
+/// # Example
+///
+/// ```
+/// use swact::InputSpec;
+///
+/// let spec = InputSpec::uniform(5);
+/// assert_eq!(spec.len(), 5);
+/// let biased = InputSpec::independent([0.9, 0.1, 0.5]);
+/// assert!((biased.model(0).p1() - 0.9).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSpec {
+    models: Vec<InputModel>,
+    groups: Vec<InputGroup>,
+    pair_joints: Vec<PairwiseJoint>,
+}
+
+impl InputSpec {
+    /// All inputs i.i.d. uniform — the paper's "random input streams".
+    pub fn uniform(num_inputs: usize) -> InputSpec {
+        InputSpec {
+            models: vec![InputModel::independent(0.5); num_inputs],
+            groups: Vec::new(),
+            pair_joints: Vec::new(),
+        }
+    }
+
+    /// Temporally independent inputs with per-input signal probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is out of `[0, 1]`.
+    pub fn independent(p1: impl IntoIterator<Item = f64>) -> InputSpec {
+        InputSpec {
+            models: p1.into_iter().map(InputModel::independent).collect(),
+            groups: Vec::new(),
+            pair_joints: Vec::new(),
+        }
+    }
+
+    /// From explicit per-input models.
+    pub fn from_models(models: Vec<InputModel>) -> InputSpec {
+        InputSpec {
+            models,
+            groups: Vec::new(),
+            pair_joints: Vec::new(),
+        }
+    }
+
+    /// Adds spatially correlated input groups (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of range, repeated, appears in more
+    /// than one group, or a `copy_prob` is outside `[0, 1]`.
+    pub fn with_groups(mut self, groups: Vec<InputGroup>) -> InputSpec {
+        let mut seen = std::collections::HashSet::new();
+        for group in &groups {
+            assert!(
+                (0.0..=1.0).contains(&group.copy_prob),
+                "copy_prob out of range"
+            );
+            for &member in &group.members {
+                assert!(member < self.models.len(), "group member out of range");
+                assert!(seen.insert(member), "input {member} in multiple groups");
+            }
+        }
+        self.groups = groups;
+        self
+    }
+
+    /// Adds explicit pairwise joints (builder style). Each `b` input may
+    /// be conditioned at most once and must not belong to a group; the
+    /// structure must be a forest (no `b` may also condition its own
+    /// ancestor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range, a `b` repeats or is grouped,
+    /// `a == b`, a joint is not a distribution, or the `a → b` edges form
+    /// a cycle.
+    pub fn with_pairwise_joints(mut self, pair_joints: Vec<PairwiseJoint>) -> InputSpec {
+        let mut conditioned = std::collections::HashSet::new();
+        for pair in &pair_joints {
+            assert!(pair.a < self.models.len(), "pair input a out of range");
+            assert!(pair.b < self.models.len(), "pair input b out of range");
+            assert_ne!(pair.a, pair.b, "pair must involve two distinct inputs");
+            assert!(
+                conditioned.insert(pair.b),
+                "input {} conditioned twice",
+                pair.b
+            );
+            assert!(
+                self.group_of(pair.b).is_none(),
+                "input {} is already in a group",
+                pair.b
+            );
+            let total: f64 = pair.joint.iter().flatten().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "pair joint sums to {total}, expected 1"
+            );
+            assert!(
+                pair.joint.iter().flatten().all(|&p| p >= -1e-12),
+                "negative pair-joint entry"
+            );
+        }
+        // Cycle check over a → b edges.
+        let parent: std::collections::HashMap<usize, usize> =
+            pair_joints.iter().map(|p| (p.b, p.a)).collect();
+        for pair in &pair_joints {
+            let mut cursor = pair.a;
+            let mut hops = 0;
+            while let Some(&up) = parent.get(&cursor) {
+                assert_ne!(up, pair.b, "pairwise joints form a cycle");
+                cursor = up;
+                hops += 1;
+                assert!(hops <= self.models.len(), "pairwise joints form a cycle");
+            }
+        }
+        self.pair_joints = pair_joints;
+        self
+    }
+
+    /// The explicit pairwise joints (possibly empty).
+    pub fn pairwise_joints(&self) -> &[PairwiseJoint] {
+        &self.pair_joints
+    }
+
+    /// The pairwise joint conditioning input `b`, if any.
+    pub fn pair_conditioning(&self, b: usize) -> Option<&PairwiseJoint> {
+        self.pair_joints.iter().find(|p| p.b == b)
+    }
+
+    /// The spatial groups (possibly empty).
+    pub fn groups(&self) -> &[InputGroup] {
+        &self.groups
+    }
+
+    /// The group containing input `i`, if any, with `i`'s rank within it.
+    pub fn group_of(&self, i: usize) -> Option<(usize, usize)> {
+        for (g, group) in self.groups.iter().enumerate() {
+            if let Some(rank) = group.members.iter().position(|&m| m == i) {
+                return Some((g, rank));
+            }
+        }
+        None
+    }
+
+    /// The *effective* transition distribution of input `i`, accounting for
+    /// group membership and pairwise conditioning (for a conditioned input,
+    /// the conditioning input's effective marginal pushed through the
+    /// conditional).
+    pub fn effective_distribution(&self, i: usize) -> TransitionDist {
+        if let Some(pair) = self.pair_conditioning(i) {
+            let pa = self.effective_distribution(pair.a).as_array();
+            let rows = pair.conditional_rows();
+            let mut m = [0.0f64; 4];
+            for (a, &wa) in pa.iter().enumerate() {
+                for (b, slot) in m.iter_mut().enumerate() {
+                    *slot += wa * rows[a][b];
+                }
+            }
+            return TransitionDist::new(m);
+        }
+        match self.group_of(i) {
+            Some((g, _)) => self.groups[g].member_marginal(self.models[i]),
+            None => self.models[i].to_distribution(),
+        }
+    }
+
+    /// Number of inputs covered.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the spec covers no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The model for input position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn model(&self, i: usize) -> InputModel {
+        self.models[i]
+    }
+
+    /// All models.
+    pub fn models(&self) -> &[InputModel] {
+        &self.models
+    }
+
+    /// The CPT prior row for input `i` (group-adjusted), indexed by
+    /// [`Transition::index`].
+    pub(crate) fn prior_row(&self, i: usize) -> Vec<f64> {
+        self.effective_distribution(i).as_array().to_vec()
+    }
+}
+
+/// The most likely transition state of a distribution (ties favour the
+/// lower state index).
+///
+/// # Example
+///
+/// ```
+/// use swact::{most_likely, InputModel, Transition};
+///
+/// let d = InputModel::independent(0.9).to_distribution();
+/// assert_eq!(most_likely(&d), Transition::Stable1);
+/// ```
+pub fn most_likely(dist: &TransitionDist) -> Transition {
+    let arr = dist.as_array();
+    let mut best = Transition::Stable0;
+    for t in Transition::ALL {
+        if arr[t.index()] > arr[best.index()] {
+            best = t;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_model_distribution() {
+        let m = InputModel::independent(0.3);
+        let d = m.to_distribution();
+        assert!((d.p(Transition::Stable0) - 0.49).abs() < 1e-12);
+        assert!((d.p(Transition::Rise) - 0.21).abs() < 1e-12);
+        assert!((d.p(Transition::Fall) - 0.21).abs() < 1e-12);
+        assert!((d.p(Transition::Stable1) - 0.09).abs() < 1e-12);
+        assert!(d.is_stationary(1e-12));
+    }
+
+    #[test]
+    fn correlated_model_distribution() {
+        let m = InputModel::new(0.5, 0.2).unwrap();
+        let d = m.to_distribution();
+        assert!((d.switching() - 0.2).abs() < 1e-12);
+        assert!((d.p_one_next() - 0.5).abs() < 1e-12);
+        assert!(d.is_stationary(1e-12));
+    }
+
+    #[test]
+    fn infeasible_models_rejected() {
+        assert!(matches!(
+            InputModel::new(0.9, 0.5),
+            Err(EstimateError::InvalidInputModel { .. })
+        ));
+        assert!(InputModel::new(1.5, 0.1).is_err());
+        assert!(InputModel::new(0.5, -0.1).is_err());
+    }
+
+    #[test]
+    fn spec_constructors() {
+        let s = InputSpec::uniform(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.model(2).p1(), 0.5);
+        let s = InputSpec::independent([0.1, 0.2]);
+        assert!((s.prior_row(1)[3] - 0.04).abs() < 1e-12);
+        let s = InputSpec::from_models(vec![]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn most_likely_state() {
+        let d = InputModel::independent(0.9).to_distribution();
+        assert_eq!(most_likely(&d), Transition::Stable1);
+    }
+
+    fn group(copy_prob: f64) -> InputGroup {
+        InputGroup {
+            members: vec![0, 1],
+            latent: InputModel::new(0.5, 0.3).unwrap(),
+            copy_prob,
+        }
+    }
+
+    #[test]
+    fn member_marginal_extremes() {
+        let own = InputModel::new(0.2, 0.1).unwrap();
+        // copy_prob 0: member keeps its own distribution.
+        let d = group(0.0).member_marginal(own);
+        for (a, b) in d.as_array().iter().zip(own.to_distribution().as_array()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // copy_prob 1: member IS the latent.
+        let d = group(1.0).member_marginal(own);
+        let latent = group(1.0).latent.to_distribution();
+        for (a, b) in d.as_array().iter().zip(latent.as_array()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn member_pair_joint_is_a_distribution_with_right_marginals() {
+        for copy_prob in [0.0, 0.3, 0.7, 1.0] {
+            let g = group(copy_prob);
+            let a = InputModel::new(0.4, 0.2).unwrap();
+            let b = InputModel::new(0.6, 0.4).unwrap();
+            let joint = g.member_pair_joint(a, b);
+            let total: f64 = joint.iter().flatten().sum();
+            assert!((total - 1.0).abs() < 1e-12, "copy {copy_prob}");
+            // Marginals must equal member_marginal.
+            let ma = g.member_marginal(a).as_array();
+            let mb = g.member_marginal(b).as_array();
+            for s in 0..4 {
+                let row: f64 = joint[s].iter().sum();
+                let col: f64 = (0..4).map(|t| joint[t][s]).sum();
+                assert!((row - ma[s]).abs() < 1e-12);
+                assert!((col - mb[s]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn full_copy_members_are_identical() {
+        let g = group(1.0);
+        let a = InputModel::independent(0.2);
+        let joint = g.member_pair_joint(a, InputModel::independent(0.9));
+        for (s, row) in joint.iter().enumerate() {
+            for (t, &mass) in row.iter().enumerate() {
+                if s != t {
+                    assert!(mass.abs() < 1e-12, "off-diagonal mass at ({s},{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn independent_members_factorize() {
+        let g = group(0.0);
+        let a = InputModel::independent(0.3);
+        let b = InputModel::new(0.7, 0.2).unwrap();
+        let joint = g.member_pair_joint(a, b);
+        let da = a.to_distribution().as_array();
+        let db = b.to_distribution().as_array();
+        for s in 0..4 {
+            for t in 0..4 {
+                assert!((joint[s][t] - da[s] * db[t]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn group_validation() {
+        let spec = InputSpec::uniform(4).with_groups(vec![InputGroup {
+            members: vec![0, 2],
+            latent: InputModel::independent(0.5),
+            copy_prob: 0.8,
+        }]);
+        assert_eq!(spec.group_of(2), Some((0, 1)));
+        assert_eq!(spec.group_of(1), None);
+        // Effective distribution of grouped members shifts towards latent
+        // only in correlation, not in marginal here (same marginals).
+        let d = spec.effective_distribution(0);
+        assert!((d.p_one_next() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple groups")]
+    fn overlapping_groups_rejected() {
+        let g1 = InputGroup {
+            members: vec![0, 1],
+            latent: InputModel::independent(0.5),
+            copy_prob: 0.5,
+        };
+        let g2 = InputGroup {
+            members: vec![1, 2],
+            latent: InputModel::independent(0.5),
+            copy_prob: 0.5,
+        };
+        let _ = InputSpec::uniform(3).with_groups(vec![g1, g2]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Dynamic power from switching activity — the application the paper's
+//! estimates feed into.
+//!
+//! Average dynamic power of CMOS logic is
+//! `P = ½ · V²dd · f · Σᵢ Cᵢ · swᵢ` over all lines *i*, where `swᵢ` is the
+//! per-cycle switching activity estimated by this crate and `Cᵢ` the
+//! capacitive load of line *i*. Absent extracted parasitics, the load is
+//! modeled structurally as `C = C_base + C_fanout · fanout(i)`.
+
+use swact_circuit::{Circuit, LineId};
+
+use crate::Estimate;
+
+/// Electrical parameters for the power computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Clock frequency in hertz.
+    pub frequency: f64,
+    /// Fixed capacitance per line, in farads (gate output + wire stub).
+    pub base_capacitance: f64,
+    /// Additional capacitance per fan-out connection, in farads.
+    pub fanout_capacitance: f64,
+}
+
+impl Default for PowerModel {
+    /// A representative late-1990s process: 3.3 V, 100 MHz, 20 fF base +
+    /// 10 fF per fan-out.
+    fn default() -> PowerModel {
+        PowerModel {
+            vdd: 3.3,
+            frequency: 100e6,
+            base_capacitance: 20e-15,
+            fanout_capacitance: 10e-15,
+        }
+    }
+}
+
+/// Per-circuit power breakdown.
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// Total average dynamic power, in watts.
+    pub total_watts: f64,
+    /// Per-line power, indexed by `LineId::index`.
+    pub per_line_watts: Vec<f64>,
+}
+
+impl PowerReport {
+    /// The most power-hungry lines, descending, as `(line, watts)`.
+    pub fn hottest(&self, count: usize) -> Vec<(LineId, f64)> {
+        let mut ranked: Vec<(LineId, f64)> = self
+            .per_line_watts
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (LineId::from_index(i), w))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite power"));
+        ranked.truncate(count);
+        ranked
+    }
+}
+
+impl PowerModel {
+    /// Computes the power report for a circuit from an [`Estimate`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use swact::{estimate, InputSpec, Options, PowerModel};
+    /// use swact_circuit::catalog;
+    ///
+    /// # fn main() -> Result<(), swact::EstimateError> {
+    /// let c17 = catalog::c17();
+    /// let est = estimate(&c17, &InputSpec::uniform(5), &Options::default())?;
+    /// let report = PowerModel::default().power(&c17, &est);
+    /// assert!(report.total_watts > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn power(&self, circuit: &Circuit, estimate: &Estimate) -> PowerReport {
+        let fanout = circuit.fanout_counts();
+        let capacitances: Vec<f64> = circuit
+            .line_ids()
+            .map(|line| {
+                self.base_capacitance + self.fanout_capacitance * fanout[line.index()] as f64
+            })
+            .collect();
+        self.power_with_capacitances(circuit, estimate, &capacitances)
+    }
+
+    /// Computes the power report with explicit per-line capacitances (e.g.
+    /// from layout extraction), in farads, indexed by `LineId::index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitances.len()` differs from the circuit's line
+    /// count.
+    pub fn power_with_capacitances(
+        &self,
+        circuit: &Circuit,
+        estimate: &Estimate,
+        capacitances: &[f64],
+    ) -> PowerReport {
+        assert_eq!(
+            capacitances.len(),
+            circuit.num_lines(),
+            "one capacitance per line"
+        );
+        let factor = 0.5 * self.vdd * self.vdd * self.frequency;
+        let per_line_watts: Vec<f64> = circuit
+            .line_ids()
+            .map(|line| factor * capacitances[line.index()] * estimate.switching(line))
+            .collect();
+        PowerReport {
+            total_watts: per_line_watts.iter().sum(),
+            per_line_watts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{estimate, InputModel, InputSpec, Options};
+    use swact_circuit::catalog;
+
+    #[test]
+    fn power_scales_with_activity() {
+        let c17 = catalog::c17();
+        let model = PowerModel::default();
+        let active = estimate(&c17, &InputSpec::uniform(5), &Options::default()).unwrap();
+        let quiet_spec = InputSpec::from_models(vec![InputModel::new(0.5, 0.05).unwrap(); 5]);
+        let quiet = estimate(&c17, &quiet_spec, &Options::default()).unwrap();
+        let p_active = model.power(&c17, &active);
+        let p_quiet = model.power(&c17, &quiet);
+        assert!(p_active.total_watts > p_quiet.total_watts);
+    }
+
+    #[test]
+    fn zero_activity_means_zero_power() {
+        let c17 = catalog::c17();
+        let frozen = InputSpec::from_models(vec![InputModel::new(0.5, 0.0).unwrap(); 5]);
+        let est = estimate(&c17, &frozen, &Options::default()).unwrap();
+        let report = PowerModel::default().power(&c17, &est);
+        assert!(report.total_watts.abs() < 1e-20);
+    }
+
+    #[test]
+    fn power_scales_with_voltage_squared() {
+        let c17 = catalog::c17();
+        let est = estimate(&c17, &InputSpec::uniform(5), &Options::default()).unwrap();
+        let low = PowerModel {
+            vdd: 1.0,
+            ..PowerModel::default()
+        }
+        .power(&c17, &est);
+        let high = PowerModel {
+            vdd: 2.0,
+            ..PowerModel::default()
+        }
+        .power(&c17, &est);
+        assert!((high.total_watts / low.total_watts - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_capacitances_override_structural_model() {
+        let c17 = catalog::c17();
+        let est = estimate(&c17, &InputSpec::uniform(5), &Options::default()).unwrap();
+        let model = PowerModel::default();
+        // Zero capacitance everywhere except one line: only it consumes.
+        let mut caps = vec![0.0; c17.num_lines()];
+        let target = c17.outputs()[0];
+        caps[target.index()] = 10e-15;
+        let report = model.power_with_capacitances(&c17, &est, &caps);
+        assert!(report.total_watts > 0.0);
+        assert_eq!(report.hottest(1)[0].0, target);
+        let nonzero = report.per_line_watts.iter().filter(|&&w| w > 0.0).count();
+        assert_eq!(nonzero, 1);
+    }
+
+    #[test]
+    fn hottest_is_sorted_and_truncated() {
+        let c17 = catalog::c17();
+        let est = estimate(&c17, &InputSpec::uniform(5), &Options::default()).unwrap();
+        let report = PowerModel::default().power(&c17, &est);
+        let top = report.hottest(3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+}

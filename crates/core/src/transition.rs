@@ -1,0 +1,218 @@
+use std::fmt;
+
+/// The four switching states of a line across one clock boundary,
+/// `(value at t−1, value at t)` — the paper's `x00, x01, x10, x11`.
+///
+/// The discriminant encodes the pair as `prev·2 + next`, which is also the
+/// state index used in every CPT and marginal in this crate.
+///
+/// # Example
+///
+/// ```
+/// use swact::Transition;
+///
+/// assert_eq!(Transition::Rise.index(), 1);
+/// assert!(Transition::Rise.is_switch());
+/// assert!(!Transition::Stable1.is_switch());
+/// assert_eq!(Transition::from_values(true, false), Transition::Fall);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Transition {
+    /// `x00` — stays at 0.
+    Stable0 = 0,
+    /// `x01` — rises 0 → 1.
+    Rise = 1,
+    /// `x10` — falls 1 → 0.
+    Fall = 2,
+    /// `x11` — stays at 1.
+    Stable1 = 3,
+}
+
+impl Transition {
+    /// All four states, in index order.
+    pub const ALL: [Transition; 4] = [
+        Transition::Stable0,
+        Transition::Rise,
+        Transition::Fall,
+        Transition::Stable1,
+    ];
+
+    /// The state's index (`prev·2 + next`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds the state from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 3`.
+    pub fn from_index(index: usize) -> Transition {
+        Transition::ALL[index]
+    }
+
+    /// The state of a `(prev, next)` value pair.
+    pub fn from_values(prev: bool, next: bool) -> Transition {
+        Transition::from_index((prev as usize) * 2 + next as usize)
+    }
+
+    /// The line's value at clock *t−1*.
+    pub fn prev(self) -> bool {
+        self.index() >= 2
+    }
+
+    /// The line's value at clock *t*.
+    pub fn next(self) -> bool {
+        self.index() % 2 == 1
+    }
+
+    /// Whether this state is a toggle (`x01` or `x10`).
+    pub fn is_switch(self) -> bool {
+        matches!(self, Transition::Rise | Transition::Fall)
+    }
+
+    /// The paper's name for the state: `x00`, `x01`, `x10` or `x11`.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Transition::Stable0 => "x00",
+            Transition::Rise => "x01",
+            Transition::Fall => "x10",
+            Transition::Stable1 => "x11",
+        }
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A probability distribution over the four [`Transition`] states of one
+/// line.
+///
+/// # Example
+///
+/// ```
+/// use swact::TransitionDist;
+///
+/// // Temporally independent fair signal.
+/// let d = TransitionDist::new([0.25; 4]);
+/// assert!((d.switching() - 0.5).abs() < 1e-12);
+/// assert!((d.p_one_next() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionDist([f64; 4]);
+
+impl TransitionDist {
+    /// From explicit probabilities `[p(x00), p(x01), p(x10), p(x11)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if entries are negative or do not sum to 1 (±1e-6).
+    pub fn new(probabilities: [f64; 4]) -> TransitionDist {
+        assert!(
+            probabilities.iter().all(|&p| p >= -1e-12),
+            "negative probability"
+        );
+        let sum: f64 = probabilities.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "transition distribution sums to {sum}"
+        );
+        TransitionDist(probabilities.map(|p| p.max(0.0)))
+    }
+
+    /// The probability of a specific state.
+    pub fn p(&self, t: Transition) -> f64 {
+        self.0[t.index()]
+    }
+
+    /// The raw array, indexed by [`Transition::index`].
+    pub fn as_array(&self) -> [f64; 4] {
+        self.0
+    }
+
+    /// The switching activity `P(x01) + P(x10)` — the paper's estimand.
+    pub fn switching(&self) -> f64 {
+        self.0[1] + self.0[2]
+    }
+
+    /// Signal probability at clock *t*: `P(x01) + P(x11)`.
+    pub fn p_one_next(&self) -> f64 {
+        self.0[1] + self.0[3]
+    }
+
+    /// Signal probability at clock *t−1*: `P(x10) + P(x11)`.
+    pub fn p_one_prev(&self) -> f64 {
+        self.0[2] + self.0[3]
+    }
+
+    /// Whether the distribution is stationary (`P(1)` equal at both
+    /// clocks) within `tolerance`.
+    pub fn is_stationary(&self, tolerance: f64) -> bool {
+        (self.p_one_next() - self.p_one_prev()).abs() <= tolerance
+    }
+}
+
+impl fmt::Display for TransitionDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[x00={:.4}, x01={:.4}, x10={:.4}, x11={:.4}]",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trip() {
+        for t in Transition::ALL {
+            assert_eq!(Transition::from_index(t.index()), t);
+            assert_eq!(Transition::from_values(t.prev(), t.next()), t);
+        }
+    }
+
+    #[test]
+    fn prev_next_bits() {
+        assert!(!Transition::Stable0.prev() && !Transition::Stable0.next());
+        assert!(!Transition::Rise.prev() && Transition::Rise.next());
+        assert!(Transition::Fall.prev() && !Transition::Fall.next());
+        assert!(Transition::Stable1.prev() && Transition::Stable1.next());
+    }
+
+    #[test]
+    fn switch_flags() {
+        assert_eq!(
+            Transition::ALL.map(|t| t.is_switch()),
+            [false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn paper_names_and_display() {
+        assert_eq!(Transition::Fall.to_string(), "x10");
+        assert_eq!(Transition::Stable1.paper_name(), "x11");
+    }
+
+    #[test]
+    fn dist_accessors() {
+        let d = TransitionDist::new([0.1, 0.2, 0.3, 0.4]);
+        assert!((d.switching() - 0.5).abs() < 1e-12);
+        assert!((d.p_one_next() - 0.6).abs() < 1e-12);
+        assert!((d.p_one_prev() - 0.7).abs() < 1e-12);
+        assert!(!d.is_stationary(0.05));
+        assert!(d.is_stationary(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn bad_distribution_panics() {
+        let _ = TransitionDist::new([0.5, 0.5, 0.5, 0.5]);
+    }
+}

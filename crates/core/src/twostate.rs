@@ -1,0 +1,233 @@
+//! Two-state ablation model: signal probability only.
+//!
+//! Before the paper's four-state formulation, probabilistic estimators
+//! modeled each line as a *two-state* variable (its value at a single
+//! clock) and recovered switching as `2·p·(1−p)` under a
+//! temporal-independence assumption. This module implements exactly that
+//! on the same Bayesian-network machinery, so the value of the four-state
+//! (spatio-*temporal*) formulation can be isolated — ablation A2 in
+//! DESIGN.md. Spatial correlation is still exact here; only temporal
+//! correlation is sacrificed.
+
+use swact_bayesnet::{BayesNet, Cpt, JunctionTree, Propagator, VarId};
+use swact_circuit::{decompose::decompose_fanin, Circuit, GateKind, LineId};
+
+use crate::segment::RootSource;
+use crate::{EstimateError, InputSpec, Options, SegmentationPlan};
+
+/// The deterministic two-state CPT of a gate (plain truth table).
+pub fn gate_cpt_two_state(kind: GateKind, fanin: usize) -> Cpt {
+    let rows = 1usize << fanin;
+    Cpt::deterministic(rows, 2, |row| {
+        let bits = (0..fanin).map(|i| row >> (fanin - 1 - i) & 1 == 1);
+        kind.eval(bits) as usize
+    })
+}
+
+/// Two-state analogue of [`gate_family`](crate::gate_family): distinct
+/// input lines plus the CPT with repeated connections evaluated
+/// consistently.
+pub fn gate_family_two_state(kind: GateKind, inputs: &[LineId]) -> (Vec<LineId>, Cpt) {
+    let mut unique: Vec<LineId> = Vec::new();
+    let slot_of: Vec<usize> = inputs
+        .iter()
+        .map(|&line| match unique.iter().position(|&u| u == line) {
+            Some(pos) => pos,
+            None => {
+                unique.push(line);
+                unique.len() - 1
+            }
+        })
+        .collect();
+    if unique.len() == inputs.len() {
+        return (unique, gate_cpt_two_state(kind, inputs.len()));
+    }
+    let k = unique.len();
+    let cpt = Cpt::deterministic(1 << k, 2, |row| {
+        let bits = slot_of.iter().map(|&s| row >> (k - 1 - s) & 1 == 1);
+        kind.eval(bits) as usize
+    });
+    (unique, cpt)
+}
+
+/// Result of a two-state estimation.
+#[derive(Debug, Clone)]
+pub struct TwoStateEstimate {
+    /// Per original line: exact signal probability `P(line = 1)`.
+    pub signal_probability: Vec<f64>,
+    /// Per original line: switching proxy `2·p·(1−p)` (temporal
+    /// independence assumed).
+    pub switching: Vec<f64>,
+    /// Number of Bayesian networks used.
+    pub segments: usize,
+}
+
+/// Estimates signal probabilities with two-state variables (exact spatial
+/// correlation, no temporal modeling) and derives the classic
+/// `2·p·(1−p)` switching proxy.
+///
+/// # Errors
+///
+/// Mirrors [`estimate`](crate::estimate): spec-size mismatches and wrapped
+/// circuit/BN errors.
+///
+/// # Example
+///
+/// ```
+/// use swact::twostate::estimate_two_state;
+/// use swact::{InputSpec, Options};
+/// use swact_circuit::catalog;
+///
+/// # fn main() -> Result<(), swact::EstimateError> {
+/// let c17 = catalog::c17();
+/// let est = estimate_two_state(&c17, &InputSpec::uniform(5), &Options::default())?;
+/// // Uniform inputs: every PI has p = 0.5, switching proxy 0.5.
+/// let pi = c17.inputs()[0];
+/// assert!((est.switching[pi.index()] - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_two_state(
+    circuit: &Circuit,
+    spec: &InputSpec,
+    options: &Options,
+) -> Result<TwoStateEstimate, EstimateError> {
+    if spec.len() != circuit.num_inputs() {
+        return Err(EstimateError::InputCountMismatch {
+            circuit: circuit.num_inputs(),
+            spec: spec.len(),
+        });
+    }
+    let working = decompose_fanin(circuit, options.max_fanin.max(2))?;
+    let plan = SegmentationPlan::plan(
+        &working,
+        2,
+        options.segment_budget,
+        options.check_interval,
+        options.heuristic,
+    );
+    let mut p_one = vec![0.0f64; working.num_lines()];
+    for (i, &pi) in working.inputs().iter().enumerate() {
+        p_one[pi.index()] = spec.model(i).p1();
+    }
+    for seg in plan.segments() {
+        let mut net = BayesNet::new();
+        let mut var_of: std::collections::HashMap<LineId, VarId> =
+            std::collections::HashMap::new();
+        for &(line, source) in &seg.roots {
+            let p = match source {
+                RootSource::PrimaryInput(pos) => spec.model(pos).p1(),
+                RootSource::Boundary => p_one[line.index()],
+            };
+            let var = net.add_var(
+                working.line_name(line),
+                2,
+                &[],
+                Cpt::prior(vec![1.0 - p, p]),
+            )?;
+            var_of.insert(line, var);
+        }
+        let mut gate_vars = Vec::new();
+        for &line in &seg.gates {
+            let gate = working.gate(line).expect("planned lines are gates");
+            let (unique_inputs, cpt) = gate_family_two_state(gate.kind, &gate.inputs);
+            let parents: Vec<VarId> = unique_inputs.iter().map(|l| var_of[l]).collect();
+            let var = net.add_var(working.line_name(line), 2, &parents, cpt)?;
+            var_of.insert(line, var);
+            gate_vars.push((line, var));
+        }
+        let tree = JunctionTree::compile_with(&net, options.heuristic)?;
+        let mut prop = Propagator::new(&tree, &net)?;
+        prop.calibrate();
+        for (line, var) in gate_vars {
+            p_one[line.index()] = prop.marginal(var)[1];
+        }
+    }
+    // Map back to original lines by name.
+    let signal_probability: Vec<f64> = circuit
+        .line_ids()
+        .map(|l| {
+            let w = working
+                .find_line(circuit.line_name(l))
+                .expect("names preserved");
+            p_one[w.index()]
+        })
+        .collect();
+    let switching = signal_probability
+        .iter()
+        .map(|&p| 2.0 * p * (1.0 - p))
+        .collect();
+    Ok(TwoStateEstimate {
+        signal_probability,
+        switching,
+        segments: plan.segments().len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{estimate, InputModel};
+    use swact_circuit::catalog;
+
+    #[test]
+    fn two_state_cpt_truth_table() {
+        let cpt = gate_cpt_two_state(GateKind::Nand, 2);
+        assert_eq!(cpt.as_rows()[0], vec![0.0, 1.0]); // 00 → 1
+        assert_eq!(cpt.as_rows()[3], vec![1.0, 0.0]); // 11 → 0
+    }
+
+    #[test]
+    fn signal_probabilities_match_four_state_model() {
+        // Both models compute the same exact signal probabilities.
+        let c17 = catalog::c17();
+        let spec = InputSpec::independent([0.3, 0.6, 0.5, 0.8, 0.2]);
+        let two = estimate_two_state(&c17, &spec, &Options::default()).unwrap();
+        let four = estimate(&c17, &spec, &Options::single_bn()).unwrap();
+        for line in c17.line_ids() {
+            assert!(
+                (two.signal_probability[line.index()] - four.signal_probability(line)).abs()
+                    < 1e-9,
+                "line {}",
+                c17.line_name(line)
+            );
+        }
+    }
+
+    #[test]
+    fn switching_proxy_matches_four_state_under_independence() {
+        // With temporally independent inputs, switching == 2p(1−p) holds
+        // exactly for the *inputs*, and for internal lines of c17 too
+        // (the two clock slices are independent).
+        let c17 = catalog::c17();
+        let spec = InputSpec::uniform(5);
+        let two = estimate_two_state(&c17, &spec, &Options::default()).unwrap();
+        let four = estimate(&c17, &spec, &Options::single_bn()).unwrap();
+        for line in c17.line_ids() {
+            assert!(
+                (two.switching[line.index()] - four.switching(line)).abs() < 1e-9,
+                "line {}",
+                c17.line_name(line)
+            );
+        }
+    }
+
+    #[test]
+    fn two_state_misses_temporal_correlation() {
+        // With *correlated* inputs the proxy must deviate from the exact
+        // four-state estimate — the ablation's point.
+        let c17 = catalog::c17();
+        let spec = InputSpec::from_models(vec![InputModel::new(0.5, 0.1).unwrap(); 5]);
+        let two = estimate_two_state(&c17, &spec, &Options::default()).unwrap();
+        let four = estimate(&c17, &spec, &Options::single_bn()).unwrap();
+        let out = c17.outputs()[0];
+        let diff = (two.switching[out.index()] - four.switching(out)).abs();
+        assert!(diff > 0.05, "expected visible temporal error, got {diff}");
+    }
+
+    #[test]
+    fn spec_size_checked() {
+        let c17 = catalog::c17();
+        assert!(estimate_two_state(&c17, &InputSpec::uniform(2), &Options::default()).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the core crate's building blocks: gate CPTs,
+//! transition encodings, and input models.
+
+use proptest::prelude::*;
+use swact::{gate_cpt, gate_family, InputModel, Transition, TransitionDist};
+use swact_circuit::{GateKind, LineId};
+
+fn multi_input_kinds() -> impl Strategy<Value = GateKind> {
+    proptest::sample::select(vec![
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every gate CPT row is a point distribution on the state the gate's
+    /// truth table dictates at both clock slices.
+    #[test]
+    fn gate_cpt_rows_are_correct_point_masses(
+        kind in multi_input_kinds(),
+        fanin in 1usize..4,
+    ) {
+        let cpt = gate_cpt(kind, fanin);
+        prop_assert_eq!(cpt.num_rows(), 4usize.pow(fanin as u32));
+        for (row_idx, row) in cpt.as_rows().iter().enumerate() {
+            // Decode the parent assignment (last parent fastest).
+            let mut states = vec![0usize; fanin];
+            let mut rem = row_idx;
+            for i in (0..fanin).rev() {
+                states[i] = rem % 4;
+                rem /= 4;
+            }
+            let prev = kind.eval(states.iter().map(|&s| Transition::from_index(s).prev()));
+            let next = kind.eval(states.iter().map(|&s| Transition::from_index(s).next()));
+            let expected = Transition::from_values(prev, next).index();
+            for (state, &p) in row.iter().enumerate() {
+                prop_assert_eq!(p, if state == expected { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    /// `gate_family` with duplicated inputs evaluates the gate with the
+    /// repeated line bound consistently.
+    #[test]
+    fn gate_family_handles_duplicates(
+        kind in multi_input_kinds(),
+        pattern in proptest::collection::vec(0usize..2, 2..4),
+    ) {
+        // Inputs drawn from two distinct lines per `pattern`.
+        let lines: Vec<LineId> = pattern.iter().map(|&i| LineId::from_index(i)).collect();
+        let (unique, cpt) = gate_family(kind, &lines);
+        prop_assert!(unique.len() <= 2);
+        let k = unique.len();
+        prop_assert_eq!(cpt.num_rows(), 4usize.pow(k as u32));
+        // Check every row against direct evaluation.
+        for (row_idx, row) in cpt.as_rows().iter().enumerate() {
+            let mut states = vec![0usize; k];
+            let mut rem = row_idx;
+            for i in (0..k).rev() {
+                states[i] = rem % 4;
+                rem /= 4;
+            }
+            let state_of = |line: LineId| -> Transition {
+                let pos = unique.iter().position(|&u| u == line).unwrap();
+                Transition::from_index(states[pos])
+            };
+            let prev = kind.eval(lines.iter().map(|&l| state_of(l).prev()));
+            let next = kind.eval(lines.iter().map(|&l| state_of(l).next()));
+            let expected = Transition::from_values(prev, next).index();
+            prop_assert_eq!(row[expected], 1.0);
+            prop_assert_eq!(row.iter().sum::<f64>(), 1.0);
+        }
+    }
+
+    /// InputModel feasibility: `new` accepts exactly the (p1, activity)
+    /// region of stationary chains, and the produced distribution returns
+    /// the same parameters.
+    #[test]
+    fn input_model_round_trips(p1 in 0.0f64..=1.0, scale in 0.0f64..=1.0) {
+        let max_activity = 2.0 * p1.min(1.0 - p1);
+        let activity = max_activity * scale;
+        let model = InputModel::new(p1, activity).expect("within the feasible region");
+        let d = model.to_distribution();
+        prop_assert!((d.switching() - activity).abs() < 1e-12);
+        prop_assert!((d.p_one_next() - p1).abs() < 1e-9);
+        prop_assert!(d.is_stationary(1e-12));
+        // Beyond the feasible boundary: rejected.
+        if max_activity < 0.98 {
+            prop_assert!(InputModel::new(p1, max_activity + 0.02).is_err());
+        }
+    }
+
+    /// Transition encoding is a bijection consistent with prev/next bits.
+    #[test]
+    fn transition_encoding_bijective(prev in any::<bool>(), next in any::<bool>()) {
+        let t = Transition::from_values(prev, next);
+        prop_assert_eq!(t.prev(), prev);
+        prop_assert_eq!(t.next(), next);
+        prop_assert_eq!(Transition::from_index(t.index()), t);
+        prop_assert_eq!(t.is_switch(), prev != next);
+    }
+
+    /// TransitionDist invariants under arbitrary normalized inputs.
+    #[test]
+    fn transition_dist_invariants(raw in proptest::collection::vec(0.01f64..1.0, 4)) {
+        let total: f64 = raw.iter().sum();
+        let d = TransitionDist::new([
+            raw[0] / total,
+            raw[1] / total,
+            raw[2] / total,
+            raw[3] / total,
+        ]);
+        prop_assert!((0.0..=1.0).contains(&d.switching()));
+        prop_assert!((d.p_one_prev() + d.p(Transition::Stable0) + d.p(Transition::Rise) - 1.0).abs() < 1e-9);
+        // switching + stable mass = 1
+        let stable = d.p(Transition::Stable0) + d.p(Transition::Stable1);
+        prop_assert!((stable + d.switching() - 1.0).abs() < 1e-9);
+    }
+}

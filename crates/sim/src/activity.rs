@@ -1,0 +1,290 @@
+use swact_circuit::Circuit;
+
+use crate::{Simulator, StreamModel, StreamSampler};
+
+/// Result of a switching-activity measurement.
+#[derive(Debug, Clone)]
+pub struct ActivityMeasurement {
+    /// Per line (indexed by `LineId::index`): fraction of clock pairs in
+    /// which the line toggled.
+    pub switching: Vec<f64>,
+    /// Per line: fraction of clocks at logic 1.
+    pub signal_probability: Vec<f64>,
+    /// Number of consecutive vector pairs observed (across all lanes).
+    pub pairs: usize,
+}
+
+impl ActivityMeasurement {
+    /// Mean switching activity over all lines.
+    pub fn mean_switching(&self) -> f64 {
+        self.switching.iter().sum::<f64>() / self.switching.len() as f64
+    }
+}
+
+/// Measures per-line switching activity and signal probability by
+/// simulating `pairs` consecutive vector pairs drawn from `model`
+/// (rounded up to a multiple of 64; lanes are independent stream
+/// realizations, transitions are counted *within* each lane).
+///
+/// This is the paper's ground-truth procedure: zero-delay logic simulation
+/// under random input streams.
+///
+/// # Panics
+///
+/// Panics if the model's input count differs from the circuit's or if
+/// `pairs` is zero.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::catalog;
+/// use swact_sim::{measure_activity, StreamModel};
+///
+/// let c17 = catalog::c17();
+/// let m = measure_activity(&c17, &StreamModel::uniform(5), 64_000, 1);
+/// let out = c17.outputs()[0];
+/// // Under uniform inputs every c17 line toggles a nontrivial fraction
+/// // of cycles.
+/// assert!(m.switching[out.index()] > 0.2 && m.switching[out.index()] < 0.6);
+/// ```
+pub fn measure_activity(
+    circuit: &Circuit,
+    model: &StreamModel,
+    pairs: usize,
+    seed: u64,
+) -> ActivityMeasurement {
+    assert_eq!(
+        model.num_inputs(),
+        circuit.num_inputs(),
+        "model must cover every primary input"
+    );
+    assert!(pairs > 0, "need at least one vector pair");
+    let steps = pairs.div_ceil(64);
+    let sim = Simulator::new(circuit);
+    let mut sampler = StreamSampler::new(model, seed);
+    let n = circuit.num_lines();
+    let mut toggle_counts = vec![0u64; n];
+    let mut one_counts = vec![0u64; n];
+
+    let mut prev_lines = sim.eval_words(sampler.current());
+    for line in 0..n {
+        one_counts[line] += prev_lines[line].count_ones() as u64;
+    }
+    for _ in 0..steps {
+        sampler.step();
+        let next_lines = sim.eval_words(sampler.current());
+        for line in 0..n {
+            toggle_counts[line] += (next_lines[line] ^ prev_lines[line]).count_ones() as u64;
+            one_counts[line] += next_lines[line].count_ones() as u64;
+        }
+        prev_lines = next_lines;
+    }
+    let total_pairs = (steps * 64) as f64;
+    let total_clocks = ((steps + 1) * 64) as f64;
+    ActivityMeasurement {
+        switching: toggle_counts
+            .into_iter()
+            .map(|c| c as f64 / total_pairs)
+            .collect(),
+        signal_probability: one_counts
+            .into_iter()
+            .map(|c| c as f64 / total_clocks)
+            .collect(),
+        pairs: steps * 64,
+    }
+}
+
+/// Measures switching activity by replaying an explicit vector sequence
+/// (a captured testbench trace): vector `k` is applied at clock `k`, and
+/// transitions are counted between consecutive clocks.
+///
+/// # Panics
+///
+/// Panics if fewer than two vectors are supplied or any vector's length
+/// differs from the circuit's input count.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::catalog;
+/// use swact_sim::replay_vectors;
+///
+/// let c17 = catalog::c17();
+/// let trace = vec![
+///     vec![false; 5],
+///     vec![true; 5],
+///     vec![false, true, false, true, false],
+/// ];
+/// let m = replay_vectors(&c17, &trace);
+/// assert_eq!(m.pairs, 2);
+/// // Every input toggled on the first edge, so activity is positive.
+/// assert!(m.switching[c17.inputs()[0].index()] > 0.0);
+/// ```
+pub fn replay_vectors(circuit: &Circuit, vectors: &[Vec<bool>]) -> ActivityMeasurement {
+    assert!(vectors.len() >= 2, "need at least two vectors for one pair");
+    let sim = Simulator::new(circuit);
+    let n = circuit.num_lines();
+    let mut toggles = vec![0u64; n];
+    let mut ones = vec![0u64; n];
+    let mut prev: Option<Vec<bool>> = None;
+    for vector in vectors {
+        assert_eq!(
+            vector.len(),
+            circuit.num_inputs(),
+            "vector width must match the input count"
+        );
+        let values = sim.eval(vector);
+        for line in 0..n {
+            ones[line] += u64::from(values[line]);
+            if let Some(prev) = &prev {
+                toggles[line] += u64::from(values[line] != prev[line]);
+            }
+        }
+        prev = Some(values);
+    }
+    let pairs = vectors.len() - 1;
+    ActivityMeasurement {
+        switching: toggles.into_iter().map(|c| c as f64 / pairs as f64).collect(),
+        signal_probability: ones
+            .into_iter()
+            .map(|c| c as f64 / vectors.len() as f64)
+            .collect(),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::{catalog, CircuitBuilder, GateKind};
+    use crate::SignalModel;
+
+    #[test]
+    fn inverter_matches_input_statistics() {
+        let mut b = CircuitBuilder::new("inv");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let model = StreamModel {
+            signals: vec![SignalModel::new(0.3, 0.25)],
+            groups: Vec::new(),
+        };
+        let m = measure_activity(&c, &model, 256_000, 17);
+        let a = c.find_line("a").unwrap();
+        let y = c.find_line("y").unwrap();
+        // The inverter output toggles exactly when the input does.
+        assert!((m.switching[a.index()] - 0.25).abs() < 0.01);
+        assert!((m.switching[y.index()] - 0.25).abs() < 0.01);
+        assert!((m.signal_probability[y.index()] - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn and_gate_analytic_activity() {
+        // For independent uniform inputs, an AND output has P(1)=1/4 and
+        // temporally independent sampling gives activity 2·(1/4)·(3/4)=3/8.
+        let mut b = CircuitBuilder::new("and2");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", GateKind::And, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let m = measure_activity(&c, &StreamModel::uniform(2), 256_000, 23);
+        let y = c.find_line("y").unwrap();
+        assert!((m.signal_probability[y.index()] - 0.25).abs() < 0.01);
+        assert!((m.switching[y.index()] - 0.375).abs() < 0.01);
+    }
+
+    #[test]
+    fn xor_activity_is_half_under_uniform() {
+        let mut b = CircuitBuilder::new("xor2");
+        b.input("a").unwrap();
+        b.input("b").unwrap();
+        b.gate("y", GateKind::Xor, &["a", "b"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let m = measure_activity(&c, &StreamModel::uniform(2), 256_000, 29);
+        let y = c.find_line("y").unwrap();
+        assert!((m.switching[y.index()] - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let c17 = catalog::c17();
+        let model = StreamModel::uniform(5);
+        let a = measure_activity(&c17, &model, 6400, 5);
+        let b = measure_activity(&c17, &model, 6400, 5);
+        assert_eq!(a.switching, b.switching);
+        let c = measure_activity(&c17, &model, 6400, 6);
+        assert_ne!(a.switching, c.switching);
+    }
+
+    #[test]
+    fn pairs_rounded_up_to_lanes() {
+        let c17 = catalog::c17();
+        let m = measure_activity(&c17, &StreamModel::uniform(5), 100, 1);
+        assert_eq!(m.pairs, 128);
+    }
+
+    #[test]
+    fn replay_counts_exact_transitions() {
+        let mut b = CircuitBuilder::new("buf");
+        b.input("a").unwrap();
+        b.gate("y", GateKind::Not, &["a"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let trace = vec![
+            vec![false],
+            vec![true],
+            vec![true],
+            vec![false],
+            vec![true],
+        ];
+        let m = replay_vectors(&c, &trace);
+        // a toggles on pairs 0,2,3 → 3 of 4.
+        let a = c.find_line("a").unwrap();
+        let y = c.find_line("y").unwrap();
+        assert!((m.switching[a.index()] - 0.75).abs() < 1e-12);
+        assert!((m.switching[y.index()] - 0.75).abs() < 1e-12);
+        assert!((m.signal_probability[a.index()] - 0.6).abs() < 1e-12);
+        assert!((m.signal_probability[y.index()] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_converges_to_stream_measurement() {
+        // A long random trace replayed vector-by-vector must agree with
+        // the bit-parallel stream measurement statistically.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let c17 = catalog::c17();
+        let mut rng = SmallRng::seed_from_u64(77);
+        let trace: Vec<Vec<bool>> = (0..40_000)
+            .map(|_| (0..5).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let replayed = replay_vectors(&c17, &trace);
+        let streamed = measure_activity(&c17, &StreamModel::uniform(5), 256_000, 5);
+        for line in c17.line_ids() {
+            assert!(
+                (replayed.switching[line.index()] - streamed.switching[line.index()]).abs()
+                    < 0.02,
+                "line {}",
+                c17.line_name(line)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vectors")]
+    fn replay_needs_two_vectors() {
+        let c17 = catalog::c17();
+        let _ = replay_vectors(&c17, &[vec![false; 5]]);
+    }
+
+    #[test]
+    fn mean_switching_sane_on_benchmark() {
+        let c = catalog::benchmark("pcler8").unwrap();
+        let m = measure_activity(&c, &StreamModel::uniform(c.num_inputs()), 64_00, 2);
+        let mean = m.mean_switching();
+        assert!(mean > 0.0 && mean < 1.0, "mean {mean}");
+    }
+}

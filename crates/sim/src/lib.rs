@@ -1,0 +1,40 @@
+//! Bit-parallel gate-level logic simulation — the ground-truth engine.
+//!
+//! The paper validates its Bayesian-network estimates against logic
+//! simulation under (pseudo-)random input streams; this crate plays that
+//! role for the whole workspace:
+//!
+//! * [`Simulator`] — a 64-way bit-parallel zero-delay evaluator over a
+//!   [`Circuit`](swact_circuit::Circuit);
+//! * [`SignalModel`] / [`StreamModel`] — per-input stochastic models
+//!   (Bernoulli signal probability, lag-1 Markov temporal correlation,
+//!   optional spatially correlated input groups);
+//! * [`measure_activity`] — switching-activity and signal-probability
+//!   measurement over a generated stream;
+//! * [`MonteCarloEstimator`] — sequential estimation with a Burch/Najm-style
+//!   normal-approximation stopping rule.
+//!
+//! # Example
+//!
+//! ```
+//! use swact_circuit::catalog;
+//! use swact_sim::{measure_activity, StreamModel};
+//!
+//! let c17 = catalog::c17();
+//! let model = StreamModel::uniform(c17.num_inputs());
+//! let activity = measure_activity(&c17, &model, 64_000, 7);
+//! // Every line of c17 switches sometimes under random inputs.
+//! assert!(activity.switching.iter().all(|&s| s > 0.0 && s < 1.0));
+//! ```
+
+mod activity;
+mod montecarlo;
+mod sequential;
+mod simulator;
+mod stream;
+
+pub use activity::{measure_activity, replay_vectors, ActivityMeasurement};
+pub use montecarlo::{MonteCarloEstimator, MonteCarloOptions, MonteCarloResult};
+pub use sequential::measure_activity_sequential;
+pub use simulator::Simulator;
+pub use stream::{SignalModel, SpatialGroup, StreamModel, StreamSampler};

@@ -1,0 +1,198 @@
+//! Sequential Monte-Carlo estimation with a stopping rule.
+//!
+//! Burch, Najm & Trick (1993) made statistical power estimation practical
+//! by running simulation in batches until a normal-approximation confidence
+//! interval on the quantity of interest is tight enough. This module
+//! implements that loop for average switching activity; it doubles as the
+//! "statistically simulative" comparison class discussed in the paper's §2.
+
+use swact_circuit::Circuit;
+
+use crate::{measure_activity, StreamModel};
+
+/// Options for [`MonteCarloEstimator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloOptions {
+    /// Vector pairs per batch (rounded up to 64).
+    pub batch_pairs: usize,
+    /// Required half-width of the confidence interval on the *mean* node
+    /// activity, relative to the running mean (e.g. 0.02 = ±2 %).
+    pub relative_error: f64,
+    /// z-score of the confidence level (1.96 ≈ 95 %, 2.576 ≈ 99 %).
+    pub z_score: f64,
+    /// Hard cap on batches, so degenerate circuits terminate.
+    pub max_batches: usize,
+}
+
+impl Default for MonteCarloOptions {
+    fn default() -> MonteCarloOptions {
+        MonteCarloOptions {
+            batch_pairs: 4096,
+            relative_error: 0.02,
+            z_score: 1.96,
+            max_batches: 256,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct MonteCarloResult {
+    /// Per-line switching activity averaged over all batches.
+    pub switching: Vec<f64>,
+    /// Mean node activity (the convergence target).
+    pub mean_activity: f64,
+    /// Half-width of the final confidence interval on the mean activity.
+    pub half_width: f64,
+    /// Batches executed.
+    pub batches: usize,
+    /// Total vector pairs simulated.
+    pub pairs: usize,
+    /// Whether the stopping criterion was met (vs. hitting `max_batches`).
+    pub converged: bool,
+}
+
+/// Batch-sequential Monte-Carlo switching estimator.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::catalog;
+/// use swact_sim::{MonteCarloEstimator, MonteCarloOptions, StreamModel};
+///
+/// let c17 = catalog::c17();
+/// let mc = MonteCarloEstimator::new(MonteCarloOptions::default());
+/// let result = mc.run(&c17, &StreamModel::uniform(5), 99);
+/// assert!(result.converged);
+/// assert!(result.mean_activity > 0.1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MonteCarloEstimator {
+    options: MonteCarloOptions,
+}
+
+impl MonteCarloEstimator {
+    /// Creates an estimator with the given options.
+    pub fn new(options: MonteCarloOptions) -> MonteCarloEstimator {
+        MonteCarloEstimator { options }
+    }
+
+    /// Runs batches until the confidence interval on the mean node activity
+    /// is within the configured relative error (or `max_batches` is hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's input count differs from the circuit's.
+    pub fn run(&self, circuit: &Circuit, model: &StreamModel, seed: u64) -> MonteCarloResult {
+        let opts = self.options;
+        let n = circuit.num_lines();
+        let mut per_line_sum = vec![0.0; n];
+        let mut mean_samples: Vec<f64> = Vec::with_capacity(opts.max_batches);
+        let mut pairs = 0usize;
+        let mut converged = false;
+        let mut half_width = f64::INFINITY;
+
+        for batch in 0..opts.max_batches {
+            let m = measure_activity(circuit, model, opts.batch_pairs, seed.wrapping_add(batch as u64 * 0x9e37_79b9));
+            pairs += m.pairs;
+            for (acc, s) in per_line_sum.iter_mut().zip(&m.switching) {
+                *acc += s;
+            }
+            mean_samples.push(m.mean_switching());
+            if mean_samples.len() >= 2 {
+                let k = mean_samples.len() as f64;
+                let mean: f64 = mean_samples.iter().sum::<f64>() / k;
+                let var: f64 = mean_samples
+                    .iter()
+                    .map(|x| (x - mean) * (x - mean))
+                    .sum::<f64>()
+                    / (k - 1.0);
+                half_width = opts.z_score * (var / k).sqrt();
+                if mean > 0.0 && half_width <= opts.relative_error * mean {
+                    converged = true;
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+        let batches = mean_samples.len();
+        let switching: Vec<f64> = per_line_sum
+            .into_iter()
+            .map(|s| s / batches as f64)
+            .collect();
+        let mean_activity = switching.iter().sum::<f64>() / n as f64;
+        MonteCarloResult {
+            switching,
+            mean_activity,
+            half_width,
+            batches,
+            pairs,
+            converged,
+        }
+    }
+}
+
+impl MonteCarloEstimator {
+    /// The configured options.
+    pub fn options(&self) -> MonteCarloOptions {
+        self.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::catalog;
+
+    #[test]
+    fn converges_on_c17() {
+        let c17 = catalog::c17();
+        let mc = MonteCarloEstimator::new(MonteCarloOptions::default());
+        let r = mc.run(&c17, &StreamModel::uniform(5), 1);
+        assert!(r.converged);
+        assert!(r.batches >= 2);
+        assert!(r.half_width.is_finite());
+        assert_eq!(r.switching.len(), c17.num_lines());
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_more_samples() {
+        let c = catalog::benchmark("pcler8").unwrap();
+        let model = StreamModel::uniform(c.num_inputs());
+        let loose = MonteCarloEstimator::new(MonteCarloOptions {
+            relative_error: 0.1,
+            ..MonteCarloOptions::default()
+        })
+        .run(&c, &model, 7);
+        let tight = MonteCarloEstimator::new(MonteCarloOptions {
+            relative_error: 0.005,
+            ..MonteCarloOptions::default()
+        })
+        .run(&c, &model, 7);
+        assert!(tight.pairs >= loose.pairs);
+    }
+
+    #[test]
+    fn max_batches_caps_work() {
+        let c17 = catalog::c17();
+        let mc = MonteCarloEstimator::new(MonteCarloOptions {
+            relative_error: 1e-9, // unreachable
+            max_batches: 3,
+            batch_pairs: 64,
+            ..MonteCarloOptions::default()
+        });
+        let r = mc.run(&c17, &StreamModel::uniform(5), 2);
+        assert!(!r.converged);
+        assert_eq!(r.batches, 3);
+    }
+
+    #[test]
+    fn estimate_close_to_long_measurement() {
+        let c17 = catalog::c17();
+        let model = StreamModel::uniform(5);
+        let mc = MonteCarloEstimator::new(MonteCarloOptions::default()).run(&c17, &model, 3);
+        let long = measure_activity(&c17, &model, 512_000, 4);
+        assert!((mc.mean_activity - long.mean_switching()).abs() < 0.02);
+    }
+}

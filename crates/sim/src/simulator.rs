@@ -1,0 +1,143 @@
+use swact_circuit::{Circuit, Driver, LineId};
+
+/// A zero-delay, 64-way bit-parallel evaluator for a combinational circuit.
+///
+/// Each `u64` word carries 64 independent simulation lanes; one call to
+/// [`eval_words`](Simulator::eval_words) therefore evaluates 64 input
+/// vectors. The evaluation order is precomputed once.
+///
+/// # Example
+///
+/// ```
+/// use swact_circuit::catalog;
+/// use swact_sim::Simulator;
+///
+/// let c17 = catalog::c17();
+/// let sim = Simulator::new(&c17);
+/// // Lane k of each input word is input bit for vector k.
+/// let inputs = vec![u64::MAX, 0, u64::MAX, 0, u64::MAX];
+/// let lines = sim.eval_words(&inputs);
+/// assert_eq!(lines.len(), c17.num_lines());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'c> {
+    circuit: &'c Circuit,
+    order: Vec<LineId>,
+}
+
+impl<'c> Simulator<'c> {
+    /// Prepares a simulator for `circuit`.
+    pub fn new(circuit: &'c Circuit) -> Simulator<'c> {
+        Simulator {
+            circuit,
+            order: circuit.topo_order(),
+        }
+    }
+
+    /// The circuit this simulator evaluates.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// Evaluates 64 vectors at once. `inputs[i]` is the word for the *i*-th
+    /// primary input (declaration order); the result holds one word per
+    /// line, indexed by `LineId::index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn eval_words(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.circuit.num_inputs(),
+            "one input word per primary input"
+        );
+        let mut values = vec![0u64; self.circuit.num_lines()];
+        for (i, &pi) in self.circuit.inputs().iter().enumerate() {
+            values[pi.index()] = inputs[i];
+        }
+        let mut gate_inputs: Vec<u64> = Vec::with_capacity(8);
+        for &line in &self.order {
+            if let Driver::Gate(g) = self.circuit.driver(line) {
+                gate_inputs.clear();
+                gate_inputs.extend(g.inputs.iter().map(|&l| values[l.index()]));
+                values[line.index()] = g.kind.eval_words(&gate_inputs);
+            }
+        }
+        values
+    }
+
+    /// Evaluates a single Boolean vector; returns one value per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
+        self.eval_words(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::{catalog, CircuitBuilder, GateKind};
+
+    #[test]
+    fn word_eval_agrees_with_scalar_eval_on_c17() {
+        let c17 = catalog::c17();
+        let sim = Simulator::new(&c17);
+        // Pack all 32 input combinations into lanes 0..32.
+        let mut words = vec![0u64; 5];
+        for case in 0..32u64 {
+            for (i, w) in words.iter_mut().enumerate() {
+                if case >> i & 1 == 1 {
+                    *w |= 1 << case;
+                }
+            }
+        }
+        let packed = sim.eval_words(&words);
+        for case in 0..32u64 {
+            let scalar: Vec<bool> = sim.eval(
+                &(0..5).map(|i| case >> i & 1 == 1).collect::<Vec<_>>(),
+            );
+            for line in c17.line_ids() {
+                assert_eq!(
+                    packed[line.index()] >> case & 1 == 1,
+                    scalar[line.index()],
+                    "line {} case {case}",
+                    c17.line_name(line)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constants_and_buffers() {
+        let mut b = CircuitBuilder::new("konst");
+        b.input("a").unwrap();
+        b.gate("k1", GateKind::Const1, &[]).unwrap();
+        b.gate("k0", GateKind::Const0, &[]).unwrap();
+        b.gate("pass", GateKind::Buf, &["a"]).unwrap();
+        b.gate("y", GateKind::And, &["k1", "pass"]).unwrap();
+        b.output("y").unwrap();
+        let c = b.finish().unwrap();
+        let sim = Simulator::new(&c);
+        let out = sim.eval_words(&[0b1010]);
+        let y = c.find_line("y").unwrap();
+        assert_eq!(out[y.index()], 0b1010);
+        let k0 = c.find_line("k0").unwrap();
+        assert_eq!(out[k0.index()], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input word")]
+    fn wrong_input_count_panics() {
+        let c17 = catalog::c17();
+        let sim = Simulator::new(&c17);
+        let _ = sim.eval_words(&[0, 0]);
+    }
+}

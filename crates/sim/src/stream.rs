@@ -1,0 +1,372 @@
+//! Stochastic input-stream models.
+//!
+//! Each primary input is a stationary binary process described by a
+//! [`SignalModel`]: a signal probability `P(1)` plus a *switching activity*
+//! `P(xₜ ≠ xₜ₋₁)`, realized as a stationary lag-1 Markov chain. Optional
+//! [`SpatialGroup`]s correlate inputs with a shared latent stream — the
+//! input-correlation regime the paper lists as its model's strength (§1,
+//! advantage 2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Stationary binary-signal model: `P(1) = p1`, toggling between
+/// consecutive clocks with probability `activity`.
+///
+/// The pair `(p1, activity)` fully determines the stationary lag-1 Markov
+/// chain. `activity = 2·p1·(1−p1)` recovers temporal independence;
+/// `activity = 0` freezes the signal.
+///
+/// # Example
+///
+/// ```
+/// use swact_sim::SignalModel;
+///
+/// let fair = SignalModel::independent(0.5);
+/// assert!((fair.activity() - 0.5).abs() < 1e-12);
+/// let sticky = SignalModel::new(0.5, 0.1);
+/// assert!((sticky.joint()[1] - 0.05).abs() < 1e-12); // P(0→1)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalModel {
+    p1: f64,
+    activity: f64,
+}
+
+impl SignalModel {
+    /// A model with explicit signal probability and switching activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p1 ∉ [0,1]`, `activity ∉ [0,1]`, or the combination is
+    /// infeasible (a stationary chain at `p1` can toggle at most
+    /// `2·min(p1, 1−p1)` of the time).
+    pub fn new(p1: f64, activity: f64) -> SignalModel {
+        assert!((0.0..=1.0).contains(&p1), "p1 out of range");
+        assert!((0.0..=1.0).contains(&activity), "activity out of range");
+        let max_activity = 2.0 * p1.min(1.0 - p1);
+        assert!(
+            activity <= max_activity + 1e-12,
+            "activity {activity} infeasible at p1={p1} (max {max_activity})"
+        );
+        SignalModel { p1, activity }
+    }
+
+    /// A temporally independent model: `activity = 2·p1·(1−p1)`.
+    pub fn independent(p1: f64) -> SignalModel {
+        SignalModel::new(p1, 2.0 * p1 * (1.0 - p1))
+    }
+
+    /// The stationary signal probability `P(1)`.
+    pub fn p1(&self) -> f64 {
+        self.p1
+    }
+
+    /// The switching activity `P(xₜ ≠ xₜ₋₁)`.
+    pub fn activity(&self) -> f64 {
+        self.activity
+    }
+
+    /// Joint distribution over a `(prev, next)` pair, ordered
+    /// `[p00, p01, p10, p11]`.
+    pub fn joint(&self) -> [f64; 4] {
+        let p01 = self.activity / 2.0 * 1.0; // stationarity ⇒ P(0→1)=P(1→0)
+        let p10 = p01;
+        let p00 = (1.0 - self.p1) - p01;
+        let p11 = self.p1 - p10;
+        [p00.max(0.0), p01, p10, p11.max(0.0)]
+    }
+
+    /// `P(next = 1 | prev)`, 0 when the conditioning event has no mass.
+    pub fn next_one_given(&self, prev: bool) -> f64 {
+        let j = self.joint();
+        let (zero, one) = if prev { (j[2], j[3]) } else { (j[0], j[1]) };
+        let mass = zero + one;
+        if mass == 0.0 {
+            0.0
+        } else {
+            one / mass
+        }
+    }
+}
+
+/// A spatially correlated input group: every member copies the group's
+/// latent stream with probability `copy_prob`, otherwise draws from its own
+/// model. `copy_prob = 1` makes members identical; `0` leaves them
+/// independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialGroup {
+    /// Input indices (positions in the circuit's input list) in the group.
+    pub members: Vec<usize>,
+    /// The latent stream's own model.
+    pub latent: SignalModel,
+    /// Per-clock probability that a member copies the latent value.
+    pub copy_prob: f64,
+}
+
+/// The joint input model: one [`SignalModel`] per primary input plus
+/// optional spatial groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamModel {
+    /// Per-input models, aligned with the circuit's input declaration order.
+    pub signals: Vec<SignalModel>,
+    /// Spatially correlated groups (may be empty).
+    pub groups: Vec<SpatialGroup>,
+}
+
+impl StreamModel {
+    /// All inputs i.i.d. uniform (`P(1) = 0.5`, temporally independent) —
+    /// the paper's "random input streams".
+    pub fn uniform(num_inputs: usize) -> StreamModel {
+        StreamModel {
+            signals: vec![SignalModel::independent(0.5); num_inputs],
+            groups: Vec::new(),
+        }
+    }
+
+    /// Independent inputs with per-input signal probabilities.
+    pub fn independent(p1: impl IntoIterator<Item = f64>) -> StreamModel {
+        StreamModel {
+            signals: p1.into_iter().map(SignalModel::independent).collect(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Number of inputs modeled.
+    pub fn num_inputs(&self) -> usize {
+        self.signals.len()
+    }
+}
+
+/// Samples word-packed input streams from a [`StreamModel`]: 64 independent
+/// lanes, each a stationary realization of the model.
+///
+/// # Example
+///
+/// ```
+/// use swact_sim::{StreamModel, StreamSampler};
+///
+/// let model = StreamModel::uniform(3);
+/// let mut sampler = StreamSampler::new(&model, 42);
+/// let first = sampler.current().to_vec();
+/// sampler.step();
+/// assert_eq!(first.len(), 3);
+/// assert_eq!(sampler.current().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamSampler<'m> {
+    model: &'m StreamModel,
+    rng: SmallRng,
+    /// Current word per input.
+    current: Vec<u64>,
+    /// Current word per group latent.
+    latents: Vec<u64>,
+}
+
+impl<'m> StreamSampler<'m> {
+    /// Creates a sampler and draws the initial (stationary) vector.
+    pub fn new(model: &'m StreamModel, seed: u64) -> StreamSampler<'m> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let latents = model
+            .groups
+            .iter()
+            .map(|g| bernoulli_word(&mut rng, g.latent.p1()))
+            .collect::<Vec<u64>>();
+        let mut current: Vec<u64> = model
+            .signals
+            .iter()
+            .map(|s| bernoulli_word(&mut rng, s.p1()))
+            .collect();
+        let mut sampler_groups_applied = current.clone();
+        apply_groups(model, &mut rng, &latents, &mut sampler_groups_applied);
+        current = sampler_groups_applied;
+        StreamSampler {
+            model,
+            rng,
+            current,
+            latents,
+        }
+    }
+
+    /// The current input words (one per input; 64 lanes each).
+    pub fn current(&self) -> &[u64] {
+        &self.current
+    }
+
+    /// Advances every lane one clock according to the Markov models and
+    /// group structure.
+    pub fn step(&mut self) {
+        // Advance latents.
+        for (g, latent) in self.model.groups.iter().zip(self.latents.iter_mut()) {
+            *latent = markov_step(&mut self.rng, *latent, &g.latent);
+        }
+        // Advance signals.
+        let mut next: Vec<u64> = self
+            .model
+            .signals
+            .iter()
+            .zip(&self.current)
+            .map(|(s, &prev)| markov_step(&mut self.rng, prev, s))
+            .collect();
+        apply_groups(self.model, &mut self.rng, &self.latents, &mut next);
+        self.current = next;
+    }
+}
+
+fn apply_groups(model: &StreamModel, rng: &mut SmallRng, latents: &[u64], words: &mut [u64]) {
+    for (g, &latent) in model.groups.iter().zip(latents) {
+        for &member in &g.members {
+            let copy_mask = bernoulli_word(rng, g.copy_prob);
+            words[member] = (latent & copy_mask) | (words[member] & !copy_mask);
+        }
+    }
+}
+
+/// A word whose 64 bits are i.i.d. Bernoulli(`p`).
+fn bernoulli_word(rng: &mut SmallRng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return u64::MAX;
+    }
+    let mut w = 0u64;
+    for bit in 0..64 {
+        if rng.gen::<f64>() < p {
+            w |= 1 << bit;
+        }
+    }
+    w
+}
+
+/// One Markov step for all 64 lanes of a signal.
+fn markov_step(rng: &mut SmallRng, prev: u64, model: &SignalModel) -> u64 {
+    let up = bernoulli_word(rng, model.next_one_given(false)); // used where prev=0
+    let stay = bernoulli_word(rng, model.next_one_given(true)); // used where prev=1
+    (!prev & up) | (prev & stay)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_model_joint_is_a_distribution() {
+        for (p1, act) in [(0.5, 0.5), (0.3, 0.2), (0.9, 0.1), (0.5, 0.0), (0.5, 1.0)] {
+            let m = SignalModel::new(p1, act);
+            let j = m.joint();
+            assert!((j.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(j.iter().all(|&p| p >= 0.0));
+            assert!((j[2] + j[3] - p1).abs() < 1e-12, "stationary P(1)");
+            assert!((j[1] + j[2] - act).abs() < 1e-12, "activity");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_activity_panics() {
+        let _ = SignalModel::new(0.9, 0.5);
+    }
+
+    #[test]
+    fn sampled_stream_matches_model_statistics() {
+        let model = StreamModel {
+            signals: vec![SignalModel::new(0.3, 0.2), SignalModel::independent(0.7)],
+            groups: Vec::new(),
+        };
+        let mut sampler = StreamSampler::new(&model, 11);
+        let steps = 4000;
+        let mut ones = [0u64; 2];
+        let mut toggles = [0u64; 2];
+        let mut prev = sampler.current().to_vec();
+        for _ in 0..steps {
+            sampler.step();
+            let cur = sampler.current();
+            for i in 0..2 {
+                ones[i] += cur[i].count_ones() as u64;
+                toggles[i] += (cur[i] ^ prev[i]).count_ones() as u64;
+            }
+            prev = cur.to_vec();
+        }
+        let total = (steps * 64) as f64;
+        for i in 0..2 {
+            let p1 = ones[i] as f64 / total;
+            let act = toggles[i] as f64 / total;
+            assert!(
+                (p1 - model.signals[i].p1()).abs() < 0.02,
+                "input {i} p1 {p1}"
+            );
+            assert!(
+                (act - model.signals[i].activity()).abs() < 0.02,
+                "input {i} activity {act}"
+            );
+        }
+    }
+
+    #[test]
+    fn frozen_signal_never_toggles() {
+        let model = StreamModel {
+            signals: vec![SignalModel::new(0.5, 0.0)],
+            groups: Vec::new(),
+        };
+        let mut sampler = StreamSampler::new(&model, 3);
+        let first = sampler.current()[0];
+        for _ in 0..100 {
+            sampler.step();
+            assert_eq!(sampler.current()[0], first);
+        }
+    }
+
+    #[test]
+    fn full_copy_group_makes_members_identical() {
+        let latent = SignalModel::independent(0.5);
+        let model = StreamModel {
+            signals: vec![SignalModel::independent(0.5); 3],
+            groups: vec![SpatialGroup {
+                members: vec![0, 2],
+                latent,
+                copy_prob: 1.0,
+            }],
+        };
+        let mut sampler = StreamSampler::new(&model, 9);
+        for _ in 0..50 {
+            sampler.step();
+            let w = sampler.current();
+            assert_eq!(w[0], w[2], "grouped inputs identical");
+        }
+    }
+
+    #[test]
+    fn grouped_inputs_are_correlated() {
+        let model = StreamModel {
+            signals: vec![SignalModel::independent(0.5); 2],
+            groups: vec![SpatialGroup {
+                members: vec![0, 1],
+                latent: SignalModel::independent(0.5),
+                copy_prob: 0.8,
+            }],
+        };
+        let mut sampler = StreamSampler::new(&model, 21);
+        let mut agree = 0u64;
+        let steps = 2000;
+        for _ in 0..steps {
+            sampler.step();
+            let w = sampler.current();
+            agree += (!(w[0] ^ w[1])).count_ones() as u64;
+        }
+        let agreement = agree as f64 / (steps * 64) as f64;
+        assert!(agreement > 0.7, "agreement {agreement} too low");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let model = StreamModel::uniform(4);
+        let mut a = StreamSampler::new(&model, 5);
+        let mut b = StreamSampler::new(&model, 5);
+        for _ in 0..10 {
+            a.step();
+            b.step();
+            assert_eq!(a.current(), b.current());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Power-hotspot analysis: rank the most active (and most power-hungry)
+//! lines of a benchmark, compare two operating scenarios, and cross-check
+//! the estimate against logic simulation — the workload the paper's
+//! introduction motivates (driving low-power design decisions).
+//!
+//! ```text
+//! cargo run --release --example power_hotspots [benchmark]
+//! ```
+
+use swact::{estimate, InputModel, InputSpec, Options, PowerModel};
+use swact_circuit::catalog;
+use swact_sim::{measure_activity, StreamModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "c880".to_string());
+    let circuit = catalog::benchmark(&name).ok_or("unknown benchmark")?;
+    println!(
+        "{}: {} inputs, {} gates\n",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_gates()
+    );
+
+    // Scenario A: busy bus (uniform random), scenario B: idle-ish traffic.
+    let busy = InputSpec::uniform(circuit.num_inputs());
+    let idle = InputSpec::from_models(vec![
+        InputModel::new(0.5, 0.05)?;
+        circuit.num_inputs()
+    ]);
+    let model = PowerModel::default();
+
+    for (label, spec) in [("busy", &busy), ("idle", &idle)] {
+        let est = estimate(&circuit, spec, &Options::default())?;
+        let power = model.power(&circuit, &est);
+        println!(
+            "scenario `{label}`: mean switching {:.4}, power {:.2} µW",
+            est.mean_switching(),
+            power.total_watts * 1e6
+        );
+        println!("  hottest lines:");
+        for (line, watts) in power.hottest(5) {
+            println!(
+                "    {:<8} {:>8.3} µW  (switching {:.4}, fanout {})",
+                circuit.line_name(line),
+                watts * 1e6,
+                est.switching(line),
+                circuit.fanout_counts()[line.index()]
+            );
+        }
+    }
+
+    // Cross-check the busy scenario against simulation.
+    let est = estimate(&circuit, &busy, &Options::default())?;
+    let sim = measure_activity(
+        &circuit,
+        &StreamModel::uniform(circuit.num_inputs()),
+        1 << 19,
+        7,
+    );
+    let stats = est.compare(&sim.switching);
+    println!("\nestimate vs {}-pair simulation: {stats}", sim.pairs);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Quickstart: estimate switching activity and dynamic power for the
+//! ISCAS-85 `c17` benchmark under uniform random inputs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use swact::{estimate, InputSpec, Options, PowerModel};
+use swact_circuit::catalog;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Load a circuit (parse_bench() reads any ISCAS .bench file).
+    let circuit = catalog::c17();
+    println!(
+        "circuit {}: {} inputs, {} gates, {} outputs",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_gates(),
+        circuit.num_outputs()
+    );
+
+    // 2. Describe the input statistics: uniform random streams.
+    let spec = InputSpec::uniform(circuit.num_inputs());
+
+    // 3. Estimate. c17 fits one exact Bayesian network.
+    let estimate = estimate(&circuit, &spec, &Options::default())?;
+    println!(
+        "\ncompiled {} Bayesian network(s) in {:?}; propagated in {:?}\n",
+        estimate.num_segments(),
+        estimate.compile_time(),
+        estimate.propagate_time()
+    );
+
+    println!("{:<6} {:>10} {:>12}", "line", "P(switch)", "P(line = 1)");
+    for line in circuit.line_ids() {
+        println!(
+            "{:<6} {:>10.4} {:>12.4}",
+            circuit.line_name(line),
+            estimate.switching(line),
+            estimate.signal_probability(line)
+        );
+    }
+
+    // 4. Convert to dynamic power.
+    let power = PowerModel::default().power(&circuit, &estimate);
+    println!(
+        "\naverage dynamic power: {:.2} µW at {} V / {} MHz",
+        power.total_watts * 1e6,
+        3.3,
+        100
+    );
+    Ok(())
+}

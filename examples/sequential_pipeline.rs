@@ -1,0 +1,68 @@
+//! Sequential estimation: a registered datapath analyzed by fixed-point
+//! iteration over the state-line statistics, cross-checked against
+//! frame-by-frame sequential simulation.
+//!
+//! ```text
+//! cargo run --release --example sequential_pipeline
+//! ```
+
+use swact::sequential::{estimate_sequential, SequentialOptions};
+use swact::InputSpec;
+use swact_circuit::sequential::parse_bench_sequential;
+use swact_sim::{measure_activity_sequential, StreamModel};
+
+const PIPELINE: &str = "
+    # 3-stage pipelined reduction: r = (a & b) | c, registered twice.
+    INPUT(a)
+    INPUT(b)
+    INPUT(c)
+    OUTPUT(r)
+    q0 = DFF(s0)
+    q1 = DFF(s1)
+    q2 = DFF(s2)
+    s0 = AND(a, b)
+    s1 = OR(q0, c)
+    s2 = XOR(q1, q0)
+    r  = BUF(q2)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seq = parse_bench_sequential("pipeline3", PIPELINE)?;
+    println!(
+        "pipeline3: {} primary inputs, {} registers, {} gates in the core\n",
+        seq.num_primary_inputs(),
+        seq.registers().len(),
+        seq.core().num_gates()
+    );
+
+    let spec = InputSpec::independent([0.5, 0.4, 0.2]);
+    let result = estimate_sequential(&seq, &spec, &SequentialOptions::default())?;
+    println!(
+        "fixed point after {} iterations (converged: {})\n",
+        result.iterations, result.converged
+    );
+
+    // Cross-check against sequential simulation.
+    let model = StreamModel::independent([0.5, 0.4, 0.2]);
+    let sim = measure_activity_sequential(&seq, &model, 1 << 18, 1 << 9, 42);
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "line", "estimated", "simulated", "|diff|"
+    );
+    for line in seq.core().line_ids() {
+        let est = result.estimate.switching(line);
+        let truth = sim.switching[line.index()];
+        println!(
+            "{:<8} {:>12.4} {:>12.4} {:>10.4}",
+            seq.core().line_name(line),
+            est,
+            truth,
+            (est - truth).abs()
+        );
+    }
+    println!("\n(per-register marginals are exact for feed-forward state; lines");
+    println!("combining several register outputs, like the XOR stage here, keep a");
+    println!("small residual from cross-frame slice sharing — see the module docs)");
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! `swact-suite` — umbrella crate for the `swact` workspace.
+//!
+//! This crate exists to host the workspace-spanning integration tests in
+//! `tests/` and the runnable examples in `examples/`. It re-exports every
+//! member crate so examples and tests can reach the whole public API through
+//! one dependency.
+//!
+//! See the individual crates for the actual functionality:
+//!
+//! * [`swact`] — the LIDAG Bayesian-network switching-activity estimator
+//!   (the paper's contribution).
+//! * [`swact_circuit`] — gate-level netlists, `.bench` parsing, benchmark
+//!   generators.
+//! * [`swact_bayesnet`] — discrete Bayesian networks and junction-tree
+//!   inference.
+//! * [`swact_bdd`] — reduced ordered binary decision diagrams.
+//! * [`swact_sim`] — bit-parallel logic simulation (ground truth).
+//! * [`swact_baselines`] — comparison estimators from the prior literature.
+
+pub use swact;
+pub use swact_baselines;
+pub use swact_bayesnet;
+pub use swact_bdd;
+pub use swact_circuit;
+pub use swact_sim;

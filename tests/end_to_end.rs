@@ -1,0 +1,130 @@
+//! End-to-end accuracy: the Bayesian-network estimator against
+//! logic-simulation ground truth across benchmark classes, reproducing the
+//! quality bar of the paper's Table 1.
+
+use swact::{estimate, CompiledEstimator, InputModel, InputSpec, Options, PowerModel};
+use swact_circuit::catalog;
+use swact_sim::{measure_activity, SignalModel, StreamModel};
+
+fn uniform_truth(circuit: &swact_circuit::Circuit, pairs: usize) -> Vec<f64> {
+    let model = StreamModel::uniform(circuit.num_inputs());
+    measure_activity(circuit, &model, pairs, 0x7e57).switching
+}
+
+#[test]
+fn single_bn_circuits_are_simulation_exact() {
+    // c17 and pcler8 fit one Bayesian network, so the only deviation from
+    // simulation is the simulation's own sampling noise.
+    for name in ["c17", "pcler8"] {
+        let circuit = catalog::benchmark(name).unwrap();
+        let spec = InputSpec::uniform(circuit.num_inputs());
+        let est = estimate(&circuit, &spec, &Options::default()).unwrap();
+        assert_eq!(est.num_segments(), 1, "{name}");
+        let truth = uniform_truth(&circuit, 1 << 19);
+        let stats = est.compare(&truth);
+        assert!(
+            stats.mean_abs_error < 0.004,
+            "{name}: µErr {}",
+            stats.mean_abs_error
+        );
+    }
+}
+
+#[test]
+fn segmented_circuits_stay_in_the_papers_error_band() {
+    // Larger circuits use multiple BNs; errors stay in the 1e-3 band and
+    // %Error of the average activity below 1% (Table 1's headline).
+    for name in ["c432", "c880", "count", "b9"] {
+        let circuit = catalog::benchmark(name).unwrap();
+        let spec = InputSpec::uniform(circuit.num_inputs());
+        let est = estimate(&circuit, &spec, &Options::default()).unwrap();
+        let truth = uniform_truth(&circuit, 1 << 19);
+        let stats = est.compare(&truth);
+        assert!(
+            stats.mean_abs_error < 0.01,
+            "{name}: µErr {}",
+            stats.mean_abs_error
+        );
+        assert!(stats.percent_error < 1.0, "{name}: %Err {}", stats.percent_error);
+    }
+}
+
+#[test]
+fn temporally_correlated_inputs_are_tracked() {
+    // The four-state formulation models input temporal correlation; verify
+    // against a simulation driven by the same Markov models.
+    let circuit = catalog::benchmark("count").unwrap();
+    let n = circuit.num_inputs();
+    let activity = 0.12;
+    let spec = InputSpec::from_models(vec![InputModel::new(0.5, activity).unwrap(); n]);
+    let est = estimate(&circuit, &spec, &Options::default()).unwrap();
+    let model = StreamModel {
+        signals: vec![SignalModel::new(0.5, activity); n],
+        groups: Vec::new(),
+    };
+    let truth = measure_activity(&circuit, &model, 1 << 19, 0xabcd).switching;
+    let stats = est.compare(&truth);
+    assert!(
+        stats.mean_abs_error < 0.01,
+        "µErr {} under temporal correlation",
+        stats.mean_abs_error
+    );
+}
+
+#[test]
+fn precompiled_reestimation_matches_fresh_estimation() {
+    let circuit = catalog::benchmark("malu4").unwrap();
+    let mut compiled = CompiledEstimator::compile(&circuit, &Options::default()).unwrap();
+    for p in [0.2, 0.5, 0.8] {
+        let spec = InputSpec::independent(vec![p; circuit.num_inputs()]);
+        let reused = compiled.estimate(&spec).unwrap();
+        let fresh = estimate(&circuit, &spec, &Options::default()).unwrap();
+        for line in circuit.line_ids() {
+            assert!(
+                (reused.switching(line) - fresh.switching(line)).abs() < 1e-12,
+                "line {} at p={p}",
+                circuit.line_name(line)
+            );
+        }
+        // Re-propagation must be far cheaper than compilation.
+        assert!(reused.propagate_time() < compiled.compile_time() * 10);
+    }
+}
+
+#[test]
+fn power_tracks_activity_scenarios() {
+    let circuit = catalog::benchmark("pcler8").unwrap();
+    let model = PowerModel::default();
+    let mut compiled = CompiledEstimator::compile(&circuit, &Options::default()).unwrap();
+    let mut previous = f64::INFINITY;
+    for activity in [0.5, 0.25, 0.1, 0.02] {
+        let spec = InputSpec::from_models(vec![
+            InputModel::new(0.5, activity).unwrap();
+            circuit.num_inputs()
+        ]);
+        let est = compiled.estimate(&spec).unwrap();
+        let watts = model.power(&circuit, &est).total_watts;
+        assert!(watts < previous, "power must fall with input activity");
+        previous = watts;
+    }
+}
+
+#[test]
+fn bench_format_file_can_round_trip_through_estimator() {
+    // Export a benchmark, re-parse it, and get identical estimates —
+    // users will feed their own .bench files through this path.
+    let original = catalog::benchmark("comp").unwrap();
+    let text = swact_circuit::write::to_bench(&original);
+    let reparsed = swact_circuit::parse::parse_bench("comp", &text).unwrap();
+    let spec = InputSpec::uniform(original.num_inputs());
+    let a = estimate(&original, &spec, &Options::default()).unwrap();
+    let b = estimate(&reparsed, &spec, &Options::default()).unwrap();
+    for line in original.line_ids() {
+        let name = original.line_name(line);
+        let other = reparsed.find_line(name).unwrap();
+        assert!(
+            (a.switching(line) - b.switching(other)).abs() < 1e-12,
+            "line {name}"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Validation of correlated primary-input modeling — the paper's future
+//! work (§7) realized: the estimator's [`InputGroup`]s share a generative
+//! model with `swact-sim`'s `SpatialGroup`s, so estimates must track
+//! simulation under spatially correlated streams.
+
+use swact::{estimate, CompiledEstimator, InputGroup, InputModel, InputSpec, Options};
+use swact_circuit::catalog;
+use swact_sim::{measure_activity, SignalModel, SpatialGroup, StreamModel};
+
+fn correlated_pair_setup(
+    circuit: &swact_circuit::Circuit,
+    copy_prob: f64,
+) -> (InputSpec, StreamModel) {
+    let n = circuit.num_inputs();
+    let latent = InputModel::independent(0.5);
+    let spec = InputSpec::uniform(n).with_groups(vec![InputGroup {
+        members: vec![0, 1],
+        latent,
+        copy_prob,
+    }]);
+    let model = StreamModel {
+        signals: vec![SignalModel::independent(0.5); n],
+        groups: vec![SpatialGroup {
+            members: vec![0, 1],
+            latent: SignalModel::independent(0.5),
+            copy_prob,
+        }],
+    };
+    (spec, model)
+}
+
+#[test]
+fn fully_copied_inputs_match_simulation() {
+    // With copy_prob 1 both members equal the latent stream exactly —
+    // maximal spatial correlation.
+    let circuit = catalog::c17();
+    let (spec, model) = correlated_pair_setup(&circuit, 1.0);
+    let est = estimate(&circuit, &spec, &Options::default()).unwrap();
+    let truth = measure_activity(&circuit, &model, 1 << 19, 9).switching;
+    for line in circuit.line_ids() {
+        assert!(
+            (est.switching(line) - truth[line.index()]).abs() < 0.01,
+            "line {}: est {} vs sim {}",
+            circuit.line_name(line),
+            est.switching(line),
+            truth[line.index()]
+        );
+    }
+}
+
+#[test]
+fn partially_correlated_inputs_match_simulation() {
+    let circuit = catalog::c17();
+    for copy_prob in [0.0, 0.4, 0.8] {
+        let (spec, model) = correlated_pair_setup(&circuit, copy_prob);
+        let est = estimate(&circuit, &spec, &Options::default()).unwrap();
+        let truth = measure_activity(&circuit, &model, 1 << 19, 11).switching;
+        let stats = est.compare(&truth);
+        assert!(
+            stats.mean_abs_error < 0.01,
+            "copy_prob {copy_prob}: µErr {}",
+            stats.mean_abs_error
+        );
+    }
+}
+
+#[test]
+fn ignoring_correlation_is_visibly_worse() {
+    // The same circuit/streams estimated WITHOUT groups must show a larger
+    // error than the group-aware estimate — otherwise the feature is
+    // doing nothing.
+    let circuit = catalog::c17();
+    let (spec, model) = correlated_pair_setup(&circuit, 1.0);
+    let truth = measure_activity(&circuit, &model, 1 << 19, 13).switching;
+    let with_groups = estimate(&circuit, &spec, &Options::default()).unwrap();
+    let without_groups = estimate(
+        &circuit,
+        &InputSpec::uniform(circuit.num_inputs()),
+        &Options::default(),
+    )
+    .unwrap();
+    let err_with = with_groups.compare(&truth).mean_abs_error;
+    let err_without = without_groups.compare(&truth).mean_abs_error;
+    assert!(
+        err_with * 2.0 < err_without,
+        "group-aware {err_with} vs group-blind {err_without}"
+    );
+}
+
+#[test]
+fn group_structure_is_part_of_the_compiled_network() {
+    let circuit = catalog::c17();
+    let (spec, _) = correlated_pair_setup(&circuit, 0.7);
+    let mut compiled = CompiledEstimator::compile_for(&circuit, &spec, &Options::default()).unwrap();
+    // Same structure, different probabilities: fine.
+    let (spec2, _) = correlated_pair_setup(&circuit, 0.2);
+    assert!(compiled.estimate(&spec2).is_ok());
+    // Different membership: rejected.
+    let other = InputSpec::uniform(circuit.num_inputs()).with_groups(vec![InputGroup {
+        members: vec![2, 3],
+        latent: InputModel::independent(0.5),
+        copy_prob: 0.5,
+    }]);
+    assert!(matches!(
+        compiled.estimate(&other),
+        Err(swact::EstimateError::GroupStructureMismatch)
+    ));
+    // No groups at all: also a different structure.
+    assert!(compiled
+        .estimate(&InputSpec::uniform(circuit.num_inputs()))
+        .is_err());
+}
+
+#[test]
+fn explicit_pairwise_joints_match_exhaustive_enumeration() {
+    use swact::{PairwiseJoint, Transition};
+    // c17 with inputs 0 and 1 carrying an explicit joint (input 1 tends to
+    // mirror input 0's transition). Reference: enumerate all weighted
+    // (prev, next) vector pairs under the chain P(x0)·P(x1|x0)·ΠP(xi).
+    let circuit = catalog::c17();
+    let mut joint = [[0.0f64; 4]; 4];
+    for (a, row) in joint.iter_mut().enumerate() {
+        for (b, slot) in row.iter_mut().enumerate() {
+            // Diagonal-heavy joint: x1 repeats x0's transition 70% of the
+            // time, otherwise uniform.
+            *slot = 0.25 * if a == b { 0.7 + 0.3 * 0.25 } else { 0.3 * 0.25 };
+        }
+    }
+    let spec = InputSpec::uniform(5).with_pairwise_joints(vec![PairwiseJoint {
+        a: 0,
+        b: 1,
+        joint,
+    }]);
+    let est = estimate(&circuit, &spec, &Options::single_bn()).unwrap();
+
+    // Exhaustive reference.
+    let order = circuit.topo_order();
+    let eval = |assignment: usize| -> Vec<bool> {
+        let mut values = vec![false; circuit.num_lines()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            values[pi.index()] = assignment >> i & 1 == 1;
+        }
+        for &line in &order {
+            if let Some(g) = circuit.gate(line) {
+                values[line.index()] =
+                    g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+            }
+        }
+        values
+    };
+    let mut switching = vec![0.0f64; circuit.num_lines()];
+    for prev in 0..32usize {
+        let prev_vals = eval(prev);
+        for next in 0..32usize {
+            let t = |i: usize| Transition::from_values(prev >> i & 1 == 1, next >> i & 1 == 1);
+            let mut weight = joint[t(0).index()][t(1).index()];
+            for _ in 2..5 {
+                weight *= 0.25;
+            }
+            if weight == 0.0 {
+                continue;
+            }
+            let next_vals = eval(next);
+            for line in circuit.line_ids() {
+                if prev_vals[line.index()] != next_vals[line.index()] {
+                    switching[line.index()] += weight;
+                }
+            }
+        }
+    }
+    for line in circuit.line_ids() {
+        assert!(
+            (est.switching(line) - switching[line.index()]).abs() < 1e-9,
+            "line {}: est {} vs exact {}",
+            circuit.line_name(line),
+            est.switching(line),
+            switching[line.index()]
+        );
+    }
+}
+
+#[test]
+fn pairwise_joint_structure_is_compiled() {
+    use swact::PairwiseJoint;
+    let circuit = catalog::c17();
+    let identity = {
+        let mut j = [[0.0f64; 4]; 4];
+        for (a, row) in j.iter_mut().enumerate() {
+            row[a] = 0.25;
+        }
+        j
+    };
+    let spec = InputSpec::uniform(5).with_pairwise_joints(vec![PairwiseJoint {
+        a: 0,
+        b: 1,
+        joint: identity,
+    }]);
+    let mut compiled =
+        swact::CompiledEstimator::compile_for(&circuit, &spec, &Options::default()).unwrap();
+    // Same pair structure with different numbers: fine.
+    assert!(compiled.estimate(&spec).is_ok());
+    // Dropping the pair changes the structure: rejected.
+    assert!(matches!(
+        compiled.estimate(&InputSpec::uniform(5)),
+        Err(swact::EstimateError::GroupStructureMismatch)
+    ));
+}
+
+#[test]
+fn three_member_groups_stay_accurate() {
+    // Chains approximate >2-member groups pairwise; accuracy should still
+    // be far better than ignoring the correlation.
+    let circuit = catalog::benchmark("pcler8").unwrap();
+    let n = circuit.num_inputs();
+    let copy_prob = 0.9;
+    let spec = InputSpec::uniform(n).with_groups(vec![InputGroup {
+        members: vec![0, 1, 2],
+        latent: InputModel::independent(0.5),
+        copy_prob,
+    }]);
+    let model = StreamModel {
+        signals: vec![SignalModel::independent(0.5); n],
+        groups: vec![SpatialGroup {
+            members: vec![0, 1, 2],
+            latent: SignalModel::independent(0.5),
+            copy_prob,
+        }],
+    };
+    let truth = measure_activity(&circuit, &model, 1 << 19, 21).switching;
+    let est = estimate(&circuit, &spec, &Options::default()).unwrap();
+    let stats = est.compare(&truth);
+    assert!(
+        stats.mean_abs_error < 0.02,
+        "µErr {} for 3-member group",
+        stats.mean_abs_error
+    );
+}
