@@ -94,10 +94,7 @@ mod tests {
     #[test]
     fn frozen_inputs_never_switch() {
         let c17 = catalog::c17();
-        let spec = InputSpec::from_models(vec![
-            swact::InputModel::new(0.5, 0.0).unwrap();
-            5
-        ]);
+        let spec = InputSpec::from_models(vec![swact::InputModel::new(0.5, 0.0).unwrap(); 5]);
         let sw = BddExact::default().estimate(&c17, &spec).unwrap();
         assert!(sw.iter().all(|&s| s.abs() < 1e-12));
     }

@@ -44,8 +44,7 @@ impl SwitchingEstimator for TransitionDensity {
                 let probs: Vec<f64> = g.inputs.iter().map(|&l| p[l.index()]).collect();
                 let mut d = 0.0;
                 for (i, &input) in g.inputs.iter().enumerate() {
-                    d += boolean_difference_probability(g.kind, &probs, i)
-                        * density[input.index()];
+                    d += boolean_difference_probability(g.kind, &probs, i) * density[input.index()];
                 }
                 density[line.index()] = d.min(1.0);
             }
@@ -118,11 +117,7 @@ impl SwitchingEstimator for TransitionDensityExact {
 /// toggling input `i` toggles the output, evaluated by enumerating the
 /// other inputs' assignments (fan-in is bounded by decomposition, so the
 /// 2^(k−1) enumeration is tiny).
-pub(crate) fn boolean_difference_probability(
-    kind: GateKind,
-    probs: &[f64],
-    toggle: usize,
-) -> f64 {
+pub(crate) fn boolean_difference_probability(kind: GateKind, probs: &[f64], toggle: usize) -> f64 {
     let k = probs.len();
     debug_assert!(toggle < k);
     let mut total = 0.0;
@@ -161,9 +156,7 @@ mod tests {
         // XOR: always sensitizes.
         assert!((boolean_difference_probability(GateKind::Xor, &p, 0) - 1.0).abs() < 1e-12);
         // NOT: always.
-        assert!(
-            (boolean_difference_probability(GateKind::Not, &[0.3], 0) - 1.0).abs() < 1e-12
-        );
+        assert!((boolean_difference_probability(GateKind::Not, &[0.3], 0) - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -192,15 +185,23 @@ mod tests {
         b.gate("y", GateKind::Xor, &["a", "a"]).unwrap();
         b.output("y").unwrap();
         let c = b.finish().unwrap();
-        let d = TransitionDensity.estimate(&c, &InputSpec::uniform(1)).unwrap();
+        let d = TransitionDensity
+            .estimate(&c, &InputSpec::uniform(1))
+            .unwrap();
         let y = c.find_line("y").unwrap();
-        assert!(d[y.index()] > 0.9, "over-count expected, got {}", d[y.index()]);
+        assert!(
+            d[y.index()] > 0.9,
+            "over-count expected, got {}",
+            d[y.index()]
+        );
     }
 
     #[test]
     fn sane_on_c17() {
         let c17 = catalog::c17();
-        let d = TransitionDensity.estimate(&c17, &InputSpec::uniform(5)).unwrap();
+        let d = TransitionDensity
+            .estimate(&c17, &InputSpec::uniform(5))
+            .unwrap();
         assert!(d.iter().all(|&x| (0.0..=1.0).contains(&x)));
         // Outputs must show nonzero density under active inputs.
         assert!(d[c17.outputs()[0].index()] > 0.1);
@@ -243,7 +244,9 @@ mod tests {
         b.output("y").unwrap();
         let c = b.finish().unwrap();
         let spec = InputSpec::from_models(vec![swact::InputModel::new(0.4, 0.3).unwrap()]);
-        let d = TransitionDensityExact::default().estimate(&c, &spec).unwrap();
+        let d = TransitionDensityExact::default()
+            .estimate(&c, &spec)
+            .unwrap();
         for line in c.line_ids() {
             assert!((d[line.index()] - 0.3).abs() < 1e-12);
         }
@@ -262,10 +265,7 @@ mod tests {
     #[test]
     fn frozen_inputs_produce_zero_density() {
         let c17 = catalog::c17();
-        let spec = InputSpec::from_models(vec![
-            swact::InputModel::new(0.5, 0.0).unwrap();
-            5
-        ]);
+        let spec = InputSpec::from_models(vec![swact::InputModel::new(0.5, 0.0).unwrap(); 5]);
         let d = TransitionDensity.estimate(&c17, &spec).unwrap();
         assert!(d.iter().all(|&x| x.abs() < 1e-12));
     }

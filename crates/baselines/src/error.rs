@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = BaselineError::InputCountMismatch { circuit: 4, spec: 2 };
+        let e = BaselineError::InputCountMismatch {
+            circuit: 4,
+            spec: 2,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.source().is_none());
         let e = BaselineError::from(BddError::NodeLimit { limit: 10 });

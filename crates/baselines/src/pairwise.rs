@@ -163,7 +163,10 @@ impl<'c> Engine<'c> {
         if depth >= self.max_depth {
             return 1.0;
         }
-        let key = (x.index().min(y.index()) as u32, x.index().max(y.index()) as u32);
+        let key = (
+            x.index().min(y.index()) as u32,
+            x.index().max(y.index()) as u32,
+        );
         if let Some(&hit) = self.memo.get(&key) {
             return hit;
         }
@@ -181,7 +184,11 @@ impl<'c> Engine<'c> {
                 self.gate_corr(kind, &inputs, later, other, depth)
             }
         };
-        let result = if result.is_finite() { result.max(0.0) } else { 1.0 };
+        let result = if result.is_finite() {
+            result.max(0.0)
+        } else {
+            1.0
+        };
         self.memo.insert(key, result);
         result
     }
@@ -341,7 +348,9 @@ mod tests {
         let c17 = catalog::c17();
         let spec = InputSpec::uniform(5);
         let exact = crate::BddExact::default().estimate(&c17, &spec).unwrap();
-        let pw = PairwiseCorrelation::default().estimate(&c17, &spec).unwrap();
+        let pw = PairwiseCorrelation::default()
+            .estimate(&c17, &spec)
+            .unwrap();
         let ind = crate::Independence.estimate(&c17, &spec).unwrap();
         let err = |est: &[f64]| -> f64 {
             c17.line_ids()

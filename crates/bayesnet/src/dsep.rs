@@ -189,12 +189,24 @@ mod tests {
     fn chain3() -> (BayesNet, VarId, VarId, VarId) {
         // a → b → c
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7]))
+            .unwrap();
         let b = net
-            .add_var("b", 2, &[a], Cpt::rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]))
+            .add_var(
+                "b",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]),
+            )
             .unwrap();
         let c = net
-            .add_var("c", 2, &[b], Cpt::rows(vec![vec![0.6, 0.4], vec![0.3, 0.7]]))
+            .add_var(
+                "c",
+                2,
+                &[b],
+                Cpt::rows(vec![vec![0.6, 0.4], vec![0.3, 0.7]]),
+            )
             .unwrap();
         (net, a, b, c)
     }
@@ -210,12 +222,24 @@ mod tests {
     fn fork_blocking() {
         // b ← a → c
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let b = net
-            .add_var("b", 2, &[a], Cpt::rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]))
+            .add_var(
+                "b",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]),
+            )
             .unwrap();
         let c = net
-            .add_var("c", 2, &[a], Cpt::rows(vec![vec![0.6, 0.4], vec![0.3, 0.7]]))
+            .add_var(
+                "c",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![0.6, 0.4], vec![0.3, 0.7]]),
+            )
             .unwrap();
         assert!(!d_separated(&net, &[b], &[c], &[]));
         assert!(d_separated(&net, &[b], &[c], &[a]));
@@ -225,13 +249,22 @@ mod tests {
     fn collider_and_descendant() {
         // a → c ← b, c → d.
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let c = net
             .add_var("c", 2, &[a, b], Cpt::rows(vec![vec![1.0, 0.0]; 4]))
             .unwrap();
         let d = net
-            .add_var("d", 2, &[c], Cpt::rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]))
+            .add_var(
+                "d",
+                2,
+                &[c],
+                Cpt::rows(vec![vec![0.8, 0.2], vec![0.2, 0.8]]),
+            )
             .unwrap();
         assert!(d_separated(&net, &[a], &[b], &[]));
         assert!(!d_separated(&net, &[a], &[b], &[c]));
@@ -247,10 +280,7 @@ mod tests {
             (vec![a], vec![c], vec![b]),
             (vec![a], vec![b], vec![c]),
         ] {
-            assert_eq!(
-                d_separated(&net, &x, &y, &z),
-                d_separated(&net, &y, &x, &z)
-            );
+            assert_eq!(d_separated(&net, &x, &y, &z), d_separated(&net, &y, &x, &z));
         }
     }
 
@@ -267,12 +297,18 @@ mod tests {
     fn markov_blanket_of_middle_node() {
         // a → c ← b, c → d, e → d.
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let c = net
             .add_var("c", 2, &[a, b], Cpt::rows(vec![vec![1.0, 0.0]; 4]))
             .unwrap();
-        let e = net.add_var("e", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let e = net
+            .add_var("e", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let d = net
             .add_var("d", 2, &[c, e], Cpt::rows(vec![vec![1.0, 0.0]; 4]))
             .unwrap();
@@ -287,7 +323,12 @@ mod tests {
         // with one more node d to check shielding.
         let (mut net, a, b, c) = chain3();
         let d = net
-            .add_var("d", 2, &[c], Cpt::rows(vec![vec![0.7, 0.3], vec![0.4, 0.6]]))
+            .add_var(
+                "d",
+                2,
+                &[c],
+                Cpt::rows(vec![vec![0.7, 0.3], vec![0.4, 0.6]]),
+            )
             .unwrap();
         let blanket = markov_blanket(&net, b);
         assert_eq!(blanket, vec![a, c]);

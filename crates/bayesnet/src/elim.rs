@@ -67,9 +67,8 @@ pub fn eliminate(
     let order = elimination_order(net, var, heuristic);
     for v in order {
         // Gather factors mentioning v.
-        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) = factors
-            .into_iter()
-            .partition(|f| f.position(v).is_some());
+        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.position(v).is_some());
         factors = rest;
         if mentioning.is_empty() {
             continue;
@@ -110,8 +109,8 @@ fn elimination_order(net: &BayesNet, keep: VarId, heuristic: Heuristic) -> Vec<V
                 .copied()
                 .filter(|&m| !eliminated[m] || m == keep.index())
                 .collect();
-            let states: f64 = cards[node] as f64
-                * neighbors.iter().map(|&m| cards[m] as f64).product::<f64>();
+            let states: f64 =
+                cards[node] as f64 * neighbors.iter().map(|&m| cards[m] as f64).product::<f64>();
             let score = match heuristic {
                 Heuristic::MinFill => {
                     let mut fill = 0;
@@ -160,15 +159,24 @@ mod tests {
 
     fn diamond() -> (BayesNet, [VarId; 4]) {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.4, 0.6])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.4, 0.6]))
+            .unwrap();
         let b = net
-            .add_var("b", 2, &[a], Cpt::rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]))
+            .add_var(
+                "b",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![0.9, 0.1], vec![0.2, 0.8]]),
+            )
             .unwrap();
         let c = net
-            .add_var("c", 3, &[a], Cpt::rows(vec![
-                vec![0.5, 0.3, 0.2],
-                vec![0.1, 0.2, 0.7],
-            ]))
+            .add_var(
+                "c",
+                3,
+                &[a],
+                Cpt::rows(vec![vec![0.5, 0.3, 0.2], vec![0.1, 0.2, 0.7]]),
+            )
             .unwrap();
         let d = net
             .add_var(
@@ -205,11 +213,8 @@ mod tests {
     #[test]
     fn matches_brute_force_with_evidence() {
         let (net, [a, b, c, d]) = diamond();
-        let cases: Vec<Vec<(VarId, usize)>> = vec![
-            vec![(d, 1)],
-            vec![(b, 0), (c, 2)],
-            vec![(a, 1), (d, 0)],
-        ];
+        let cases: Vec<Vec<(VarId, usize)>> =
+            vec![vec![(d, 1)], vec![(b, 0), (c, 2)], vec![(a, 1), (d, 0)]];
         for evidence in &cases {
             for var in [a, b, c, d] {
                 if evidence.iter().any(|&(e, _)| e == var) {

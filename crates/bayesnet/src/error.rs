@@ -77,10 +77,9 @@ impl fmt::Display for BayesError {
                 f,
                 "cpt for `{var}` has shape {got:?}, expected {expected:?}"
             ),
-            BayesError::CptNotNormalized { var, row, sum } => write!(
-                f,
-                "cpt row {row} for `{var}` sums to {sum}, expected 1"
-            ),
+            BayesError::CptNotNormalized { var, row, sum } => {
+                write!(f, "cpt row {row} for `{var}` sums to {sum}, expected 1")
+            }
             BayesError::CptInvalidEntry { var } => {
                 write!(f, "cpt for `{var}` contains a negative or non-finite entry")
             }

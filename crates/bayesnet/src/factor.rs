@@ -190,8 +190,8 @@ impl Factor {
         let mut scope: Vec<(VarId, usize)> = Vec::with_capacity(self.vars.len() + other.vars.len());
         let (mut i, mut j) = (0, 0);
         while i < self.vars.len() || j < other.vars.len() {
-            let take_self = j >= other.vars.len()
-                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            let take_self =
+                j >= other.vars.len() || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
             if take_self {
                 if j < other.vars.len() && self.vars[i] == other.vars[j] {
                     assert_eq!(
@@ -257,8 +257,7 @@ impl Factor {
     /// otherwise).
     pub fn product_marginalize(&self, other: &Factor, keep: &[VarId]) -> Factor {
         // Merge scopes (same walk as `product`).
-        let mut scope: Vec<(VarId, usize)> =
-            Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut scope: Vec<(VarId, usize)> = Vec::with_capacity(self.vars.len() + other.vars.len());
         let (mut i, mut j) = (0, 0);
         while i < self.vars.len() || j < other.vars.len() {
             let take_self =
@@ -429,10 +428,7 @@ impl Factor {
             .zip(&other.values)
             .map(|(&a, &b)| {
                 if b == 0.0 {
-                    assert!(
-                        a == 0.0,
-                        "division of nonzero {a} by zero sepset entry"
-                    );
+                    assert!(a == 0.0, "division of nonzero {a} by zero sepset entry");
                     0.0
                 } else {
                     a / b
@@ -455,8 +451,10 @@ impl Factor {
         if kept.len() == self.vars.len() {
             return self.clone();
         }
-        let result_scope: Vec<(VarId, usize)> =
-            kept.iter().map(|&i| (self.vars[i], self.cards[i])).collect();
+        let result_scope: Vec<(VarId, usize)> = kept
+            .iter()
+            .map(|&i| (self.vars[i], self.cards[i]))
+            .collect();
         let result_cards: Vec<usize> = result_scope.iter().map(|&(_, c)| c).collect();
         let size: usize = result_cards.iter().product();
         let mut values = vec![0.0; size.max(1)];
@@ -501,8 +499,10 @@ impl Factor {
         if kept.len() == self.vars.len() {
             return self.clone();
         }
-        let result_scope: Vec<(VarId, usize)> =
-            kept.iter().map(|&i| (self.vars[i], self.cards[i])).collect();
+        let result_scope: Vec<(VarId, usize)> = kept
+            .iter()
+            .map(|&i| (self.vars[i], self.cards[i]))
+            .collect();
         let result_cards: Vec<usize> = result_scope.iter().map(|&(_, c)| c).collect();
         let size: usize = result_cards.iter().product();
         let mut values = vec![f64::NEG_INFINITY; size.max(1)];
@@ -694,8 +694,7 @@ mod tests {
         for a in 0..2 {
             for b in 0..2 {
                 for c in 0..2 {
-                    let want =
-                        f.values()[f.index_of(&[a, b])] * g.values()[g.index_of(&[b, c])];
+                    let want = f.values()[f.index_of(&[a, b])] * g.values()[g.index_of(&[b, c])];
                     assert_eq!(p.values()[p.index_of(&[a, b, c])], want);
                 }
             }

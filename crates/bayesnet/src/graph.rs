@@ -227,16 +227,17 @@ mod tests {
     #[test]
     fn moralization_marries_parents() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let c = net.add_var("c", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let c = net
+            .add_var("c", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let d = net
-            .add_var(
-                "d",
-                2,
-                &[a, b, c],
-                Cpt::rows(vec![vec![1.0, 0.0]; 8]),
-            )
+            .add_var("d", 2, &[a, b, c], Cpt::rows(vec![vec![1.0, 0.0]; 8]))
             .unwrap();
         let g = moral_graph(&net);
         // Three directed edges plus the triangle among {a,b,c}.
@@ -247,8 +248,12 @@ mod tests {
     #[test]
     fn moral_neighbors_of_collider_parent() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let _c = net
             .add_var("c", 2, &[a, b], Cpt::rows(vec![vec![1.0, 0.0]; 4]))
             .unwrap();

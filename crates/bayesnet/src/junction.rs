@@ -94,10 +94,7 @@ impl JunctionTree {
             for j in i + 1..cliques.len() {
                 let sepset = sorted_intersection(&cliques[i], &cliques[j]);
                 if !sepset.is_empty() {
-                    let states: f64 = sepset
-                        .iter()
-                        .map(|v| cards[v.index()] as f64)
-                        .product();
+                    let states: f64 = sepset.iter().map(|v| cards[v.index()] as f64).product();
                     candidates.push((sepset.len(), states, i, j, sepset));
                 }
             }
@@ -429,8 +426,12 @@ mod tests {
     #[test]
     fn collider_clique_contains_family() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let c = net
             .add_var("c", 2, &[a, b], Cpt::rows(vec![vec![1.0, 0.0]; 4]))
             .unwrap();
@@ -443,8 +444,12 @@ mod tests {
     #[test]
     fn disconnected_networks_form_forest() {
         let mut net = BayesNet::new();
-        let _a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let _b = net.add_var("b", 3, &[], Cpt::prior(vec![0.2, 0.3, 0.5])).unwrap();
+        let _a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let _b = net
+            .add_var("b", 3, &[], Cpt::prior(vec![0.2, 0.3, 0.5]))
+            .unwrap();
         let tree = JunctionTree::compile(&net).unwrap();
         assert_eq!(tree.num_cliques(), 2);
         assert_eq!(tree.num_edges(), 0);
@@ -465,12 +470,24 @@ mod tests {
     fn heuristics_both_produce_valid_trees() {
         // Diamond: a → b, a → c, (b,c) → d.
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let b = net
-            .add_var("b", 2, &[a], Cpt::rows(vec![vec![0.7, 0.3], vec![0.3, 0.7]]))
+            .add_var(
+                "b",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![0.7, 0.3], vec![0.3, 0.7]]),
+            )
             .unwrap();
         let c = net
-            .add_var("c", 2, &[a], Cpt::rows(vec![vec![0.6, 0.4], vec![0.4, 0.6]]))
+            .add_var(
+                "c",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![0.6, 0.4], vec![0.4, 0.6]]),
+            )
             .unwrap();
         let _d = net
             .add_var("d", 2, &[b, c], Cpt::rows(vec![vec![1.0, 0.0]; 4]))

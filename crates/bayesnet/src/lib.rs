@@ -62,5 +62,5 @@ pub use error::BayesError;
 pub use factor::{Factor, VarId};
 pub use junction::JunctionTree;
 pub use network::{BayesNet, Cpt};
-pub use propagate::{initial_potentials, Propagator};
+pub use propagate::{initial_potentials, CompiledTree, PropagationState, Propagator};
 pub use triangulate::Heuristic;

@@ -225,10 +225,7 @@ impl BayesNet {
             return Err(BayesError::CptShape {
                 var: name.to_string(),
                 expected: (expected_rows, card),
-                got: (
-                    cpt.rows.len(),
-                    cpt.rows.first().map_or(0, |r| r.len()),
-                ),
+                got: (cpt.rows.len(), cpt.rows.first().map_or(0, |r| r.len())),
             });
         }
         for (row_idx, row) in cpt.rows.iter().enumerate() {
@@ -376,7 +373,9 @@ mod tests {
     #[test]
     fn cpt_shape_errors() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         // Wrong number of rows.
         let err = net
             .add_var("b", 2, &[a], Cpt::rows(vec![vec![0.5, 0.5]]))
@@ -412,7 +411,8 @@ mod tests {
     #[test]
     fn duplicate_and_unknown_vars() {
         let mut net = BayesNet::new();
-        net.add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0])).unwrap();
+        net.add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0]))
+            .unwrap();
         assert!(matches!(
             net.add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0])),
             Err(BayesError::DuplicateVar(_))
@@ -431,10 +431,14 @@ mod tests {
     #[test]
     fn set_cpt_replaces_prior() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         net.set_cpt(a, Cpt::prior(vec![0.1, 0.9])).unwrap();
         assert_eq!(net.cpt_factor(a).values(), &[0.1, 0.9]);
-        assert!(net.set_cpt(VarId::from_index(9), Cpt::prior(vec![1.0])).is_err());
+        assert!(net
+            .set_cpt(VarId::from_index(9), Cpt::prior(vec![1.0]))
+            .is_err());
     }
 
     #[test]
@@ -442,8 +446,12 @@ mod tests {
         // Child id is *lower* than parent id is impossible (parents first),
         // but parent order in add_var can differ from id order.
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         // c's parents passed as [b, a]: rows enumerate (b, a) with a fastest.
         let c = net
             .add_var(

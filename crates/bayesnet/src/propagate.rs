@@ -1,6 +1,294 @@
 use crate::junction::JunctionTree;
 use crate::{BayesError, BayesNet, Factor, VarId};
 
+/// The immutable half of HUGIN propagation: clique structure, initial
+/// potentials, and the collect/distribute message schedule.
+///
+/// Compiling a network is expensive (triangulation, CPT multiplication,
+/// schedule construction); propagating evidence through the compiled
+/// result is cheap. `CompiledTree` captures everything the expensive phase
+/// produces in one immutable, `Send + Sync` artifact so that *many*
+/// propagations — sequential or concurrent — can share it:
+///
+/// ```text
+/// CompiledTree (shared, read-only)     PropagationState (one per request)
+/// ├─ junction tree structure           ├─ working clique potentials
+/// ├─ initial clique potentials         ├─ sepset potentials
+/// └─ message schedule                  └─ evidence + calibration flags
+/// ```
+///
+/// Each propagation borrows the compiled tree immutably and mutates only
+/// its own [`PropagationState`] (created by
+/// [`new_state`](CompiledTree::new_state), reusable across requests). The
+/// single-threaded [`Propagator`] wraps one of each behind the classic
+/// API.
+#[derive(Debug, Clone)]
+pub struct CompiledTree {
+    tree: JunctionTree,
+    /// Initial potentials (CPT products), the reset point of every request.
+    init_clique_pot: Vec<Factor>,
+    /// Collect schedule: edges as (from_clique, edge_idx, to_clique), leaves
+    /// towards roots. Distribution replays it reversed and flipped.
+    schedule: Vec<(usize, usize, usize)>,
+}
+
+// The whole point of the split: compiled trees are shareable across
+// threads. Factors and the tree are plain owned data, so this holds by
+// construction; the assertion turns any future regression (e.g. an Rc or
+// RefCell sneaking into a field) into a compile error.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledTree>();
+    assert_send_sync::<PropagationState>();
+};
+
+impl CompiledTree {
+    /// Compiles the propagation artifact for `net` over its junction tree:
+    /// multiplies every CPT into its assigned clique and builds the
+    /// message schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::Empty`] if the network is empty. The network
+    /// must be the one the tree was compiled from (same variables and
+    /// cardinalities); mismatches panic.
+    pub fn new(tree: JunctionTree, net: &BayesNet) -> Result<CompiledTree, BayesError> {
+        if net.num_vars() == 0 {
+            return Err(BayesError::Empty);
+        }
+        let potentials = initial_potentials(&tree, net);
+        Ok(CompiledTree::from_parts(tree, potentials))
+    }
+
+    /// Builds the artifact from precomputed initial clique potentials (as
+    /// produced by [`initial_potentials`]) — the fast path when the caller
+    /// has already assembled potentials itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the potential count or any potential's scope disagrees
+    /// with the tree.
+    pub fn from_parts(tree: JunctionTree, potentials: Vec<Factor>) -> CompiledTree {
+        validate_potentials(&tree, &potentials);
+        let schedule = build_schedule(&tree);
+        CompiledTree {
+            tree,
+            init_clique_pot: potentials,
+            schedule,
+        }
+    }
+
+    /// The compiled junction tree structure.
+    pub fn tree(&self) -> &JunctionTree {
+        &self.tree
+    }
+
+    /// The initial clique potentials every propagation starts from.
+    pub fn initial_potentials(&self) -> &[Factor] {
+        &self.init_clique_pot
+    }
+
+    /// The collect schedule: `(from_clique, edge, to_clique)` triples,
+    /// leaves towards roots. Distribution replays it reversed and flipped.
+    pub fn message_schedule(&self) -> &[(usize, usize, usize)] {
+        &self.schedule
+    }
+
+    /// Total entries across all clique potentials — the per-request memory
+    /// and per-propagation work, used by caches to cost-rank compiled
+    /// models.
+    pub fn state_space(&self) -> usize {
+        self.init_clique_pot.iter().map(Factor::len).sum()
+    }
+
+    /// A fresh mutable state for this tree. States are reusable: a second
+    /// `calibrate` on the same state reuses its buffers instead of
+    /// reallocating, which is what per-request pooling exploits.
+    pub fn new_state(&self) -> PropagationState {
+        PropagationState {
+            clique_pot: self.init_clique_pot.clone(),
+            sep_pot: ones_sepsets(&self.tree),
+            evidence: vec![None; self.tree.num_vars()],
+            likelihood: vec![None; self.tree.num_vars()],
+            soft_factors: Vec::new(),
+            calibrated: false,
+            max_mode: false,
+            evidence_probability: 1.0,
+        }
+    }
+
+    /// Records hard evidence `var = state` in `state`. See
+    /// [`Propagator::set_evidence`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::EvidenceOutOfRange`] if `value` exceeds the
+    /// variable's cardinality.
+    pub fn set_evidence(
+        &self,
+        state: &mut PropagationState,
+        var: VarId,
+        value: usize,
+    ) -> Result<(), BayesError> {
+        set_evidence_impl(&self.tree, state, var, value)
+    }
+
+    /// Records soft (likelihood) evidence in `state`. See
+    /// [`Propagator::set_likelihood`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::EvidenceOutOfRange`] if the weight vector
+    /// length differs from the variable's cardinality.
+    pub fn set_likelihood(
+        &self,
+        state: &mut PropagationState,
+        var: VarId,
+        weights: Vec<f64>,
+    ) -> Result<(), BayesError> {
+        set_likelihood_impl(&self.tree, state, var, weights)
+    }
+
+    /// Records multi-variable soft evidence in `state`. See
+    /// [`Propagator::insert_factor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::FactorOutsideClique`] when no clique contains
+    /// the factor's scope.
+    pub fn insert_factor(
+        &self,
+        state: &mut PropagationState,
+        factor: Factor,
+    ) -> Result<(), BayesError> {
+        insert_factor_impl(&self.tree, state, factor)
+    }
+
+    /// Runs collect + distribute on `state`. Afterwards every clique
+    /// potential in `state` is proportional to `P(clique vars, evidence)`.
+    pub fn calibrate(&self, state: &mut PropagationState) {
+        calibrate_impl(
+            &self.tree,
+            &self.init_clique_pot,
+            &self.schedule,
+            state,
+            false,
+        );
+    }
+
+    /// Max-product calibration of `state`; see
+    /// [`Propagator::max_calibrate`].
+    pub fn max_calibrate(&self, state: &mut PropagationState) {
+        calibrate_impl(
+            &self.tree,
+            &self.init_clique_pot,
+            &self.schedule,
+            state,
+            true,
+        );
+    }
+
+    /// The posterior marginal `P(var | evidence)` from a calibrated state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not sum-calibrated.
+    pub fn marginal(&self, state: &PropagationState, var: VarId) -> Vec<f64> {
+        marginal_impl(&self.tree, state, var)
+    }
+
+    /// The joint posterior over a variable set contained in some clique;
+    /// see [`Propagator::joint_marginal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not sum-calibrated.
+    pub fn joint_marginal(&self, state: &PropagationState, vars: &[VarId]) -> Option<Factor> {
+        joint_marginal_impl(&self.tree, state, vars)
+    }
+
+    /// The exact pairwise posterior for any two variables in one
+    /// component; see [`Propagator::pairwise_marginal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not sum-calibrated or `a == b`.
+    pub fn pairwise_marginal(
+        &self,
+        state: &PropagationState,
+        a: VarId,
+        b: VarId,
+    ) -> Option<Factor> {
+        pairwise_marginal_impl(&self.tree, state, a, b)
+    }
+
+    /// Decodes the most probable explanation from a max-calibrated state;
+    /// see [`Propagator::most_probable_assignment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not max-calibrated.
+    pub fn most_probable_assignment(&self, state: &PropagationState) -> (Vec<usize>, f64) {
+        most_probable_assignment_impl(&self.tree, &self.schedule, state)
+    }
+}
+
+/// The mutable half of HUGIN propagation: working potentials, evidence,
+/// and calibration flags for **one** request.
+///
+/// Created by [`CompiledTree::new_state`] and only meaningful together
+/// with the tree that created it (using it with a different tree panics).
+/// States are designed for reuse — `calibrate` resets buffers in place —
+/// so pools can hand them out across requests without reallocating.
+#[derive(Debug, Clone)]
+pub struct PropagationState {
+    clique_pot: Vec<Factor>,
+    sep_pot: Vec<Factor>,
+    /// Hard evidence per variable.
+    evidence: Vec<Option<usize>>,
+    /// Soft evidence: per variable an optional likelihood vector.
+    likelihood: Vec<Option<Vec<f64>>>,
+    /// Multi-variable soft evidence, multiplied into a containing clique
+    /// at calibration time.
+    soft_factors: Vec<Factor>,
+    calibrated: bool,
+    /// Whether the last calibration was sum-product or max-product.
+    max_mode: bool,
+    /// Probability of the inserted evidence, valid after calibration.
+    evidence_probability: f64,
+}
+
+impl PropagationState {
+    /// Removes all evidence (hard and soft) and invalidates the
+    /// calibration, making the state ready for the next request.
+    pub fn clear_evidence(&mut self) {
+        self.evidence.fill(None);
+        self.likelihood.fill(None);
+        self.soft_factors.clear();
+        self.calibrated = false;
+    }
+
+    /// Whether a calibration has run since the last modification.
+    pub fn is_calibrated(&self) -> bool {
+        self.calibrated
+    }
+
+    /// The probability of the inserted evidence (1 when there is none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is not calibrated.
+    pub fn evidence_probability(&self) -> f64 {
+        assert!(self.calibrated, "call calibrate() first");
+        self.evidence_probability
+    }
+
+    /// The calibrated (unnormalized) potential of clique `i`.
+    pub fn clique_potential(&self, i: usize) -> &Factor {
+        &self.clique_pot[i]
+    }
+}
+
 /// HUGIN-style two-phase evidence propagation over a compiled
 /// [`JunctionTree`].
 ///
@@ -20,29 +308,20 @@ use crate::{BayesError, BayesNet, Factor, VarId};
 /// are absorbed with [`reinitialize`](Propagator::reinitialize) — no
 /// recompilation needed.
 ///
+/// Internally this is a thin single-threaded wrapper pairing the shared
+/// immutable compile artifact with one mutable [`PropagationState`]; for
+/// concurrent or pooled propagation over one compile, use
+/// [`CompiledTree`] directly.
+///
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct Propagator<'t> {
     tree: &'t JunctionTree,
     /// Initial potentials (CPT products), kept for cheap resets.
     init_clique_pot: Vec<Factor>,
-    clique_pot: Vec<Factor>,
-    sep_pot: Vec<Factor>,
-    /// Hard evidence per variable.
-    evidence: Vec<Option<usize>>,
-    /// Soft evidence: per variable an optional likelihood vector.
-    likelihood: Vec<Option<Vec<f64>>>,
-    /// Multi-variable soft evidence, multiplied into a containing clique
-    /// at calibration time.
-    soft_factors: Vec<Factor>,
-    calibrated: bool,
-    /// Whether the last calibration was sum-product or max-product.
-    max_mode: bool,
-    /// Probability of the inserted evidence, valid after calibration.
-    evidence_probability: f64,
-    /// Collect schedule: edges as (from_clique, edge_idx, to_clique), leaves
-    /// towards roots. Distribution replays it reversed and flipped.
+    /// Collect schedule shared with [`CompiledTree`]; see there.
     schedule: Vec<(usize, usize, usize)>,
+    state: PropagationState,
 }
 
 impl<'t> Propagator<'t> {
@@ -58,7 +337,10 @@ impl<'t> Propagator<'t> {
         if net.num_vars() == 0 {
             return Err(BayesError::Empty);
         }
-        Ok(Propagator::from_initial(tree, initial_potentials(tree, net)))
+        Ok(Propagator::from_initial(
+            tree,
+            initial_potentials(tree, net),
+        ))
     }
 
     /// Creates a propagator from precomputed initial clique potentials
@@ -71,28 +353,23 @@ impl<'t> Propagator<'t> {
     /// Panics if the potential count or any potential's scope disagrees
     /// with the tree.
     pub fn from_initial(tree: &'t JunctionTree, potentials: Vec<Factor>) -> Propagator<'t> {
-        assert_eq!(
-            potentials.len(),
-            tree.num_cliques(),
-            "one potential per clique"
-        );
-        for (i, pot) in potentials.iter().enumerate() {
-            assert_eq!(pot.vars(), tree.clique(i), "potential scope mismatch");
-        }
-        let num_vars = tree.num_vars();
+        validate_potentials(tree, &potentials);
         let schedule = build_schedule(tree);
-        Propagator {
-            tree,
+        let state = PropagationState {
             clique_pot: potentials.clone(),
-            init_clique_pot: potentials,
-            sep_pot: Vec::new(),
-            evidence: vec![None; num_vars],
-            likelihood: vec![None; num_vars],
+            sep_pot: ones_sepsets(tree),
+            evidence: vec![None; tree.num_vars()],
+            likelihood: vec![None; tree.num_vars()],
             soft_factors: Vec::new(),
             calibrated: false,
             max_mode: false,
             evidence_probability: 1.0,
+        };
+        Propagator {
+            tree,
+            init_clique_pot: potentials,
             schedule,
+            state,
         }
     }
 
@@ -106,10 +383,10 @@ impl<'t> Propagator<'t> {
     /// count or cardinalities).
     pub fn reinitialize(&mut self, net: &BayesNet) {
         let pots = initial_potentials(self.tree, net);
-        self.init_clique_pot = pots.clone();
-        self.clique_pot = pots;
-        self.sep_pot = Vec::new();
-        self.calibrated = false;
+        self.state.clique_pot = pots.clone();
+        self.init_clique_pot = pots;
+        self.state.sep_pot = ones_sepsets(self.tree);
+        self.state.calibrated = false;
     }
 
     /// Records hard evidence `var = state`. Overwrites previous evidence on
@@ -120,17 +397,7 @@ impl<'t> Propagator<'t> {
     /// Returns [`BayesError::EvidenceOutOfRange`] if `state` exceeds the
     /// variable's cardinality.
     pub fn set_evidence(&mut self, var: VarId, state: usize) -> Result<(), BayesError> {
-        let card = self.tree.card(var);
-        if state >= card {
-            return Err(BayesError::EvidenceOutOfRange {
-                var: var.0,
-                state,
-                card,
-            });
-        }
-        self.evidence[var.index()] = Some(state);
-        self.calibrated = false;
-        Ok(())
+        set_evidence_impl(self.tree, &mut self.state, var, state)
     }
 
     /// Records soft (likelihood) evidence: state `s` of `var` is weighted
@@ -141,17 +408,7 @@ impl<'t> Propagator<'t> {
     /// Returns [`BayesError::EvidenceOutOfRange`] if the weight vector
     /// length differs from the variable's cardinality.
     pub fn set_likelihood(&mut self, var: VarId, weights: Vec<f64>) -> Result<(), BayesError> {
-        let card = self.tree.card(var);
-        if weights.len() != card {
-            return Err(BayesError::EvidenceOutOfRange {
-                var: var.0,
-                state: weights.len(),
-                card,
-            });
-        }
-        self.likelihood[var.index()] = Some(weights);
-        self.calibrated = false;
-        Ok(())
+        set_likelihood_impl(self.tree, &mut self.state, var, weights)
     }
 
     /// Records multi-variable soft evidence: `factor` is multiplied into a
@@ -165,34 +422,24 @@ impl<'t> Propagator<'t> {
     /// Returns [`BayesError::FactorOutsideClique`] when no clique contains
     /// the factor's scope.
     pub fn insert_factor(&mut self, factor: Factor) -> Result<(), BayesError> {
-        let contained = (0..self.tree.num_cliques()).any(|c| {
-            factor
-                .vars()
-                .iter()
-                .all(|v| self.tree.clique(c).binary_search(v).is_ok())
-        });
-        if !contained {
-            return Err(BayesError::FactorOutsideClique {
-                vars: factor.vars().iter().map(|v| v.index() as u32).collect(),
-            });
-        }
-        self.soft_factors.push(factor);
-        self.calibrated = false;
-        Ok(())
+        insert_factor_impl(self.tree, &mut self.state, factor)
     }
 
     /// Removes all evidence (hard and soft) and invalidates the calibration.
     pub fn clear_evidence(&mut self) {
-        self.evidence.fill(None);
-        self.likelihood.fill(None);
-        self.soft_factors.clear();
-        self.calibrated = false;
+        self.state.clear_evidence();
     }
 
     /// Runs collect + distribute. Afterwards every clique potential is
     /// proportional to `P(clique vars, evidence)`; reads are O(clique).
     pub fn calibrate(&mut self) {
-        self.calibrate_impl(false);
+        calibrate_impl(
+            self.tree,
+            &self.init_clique_pot,
+            &self.schedule,
+            &mut self.state,
+            false,
+        );
     }
 
     /// Max-product calibration: afterwards every clique potential holds
@@ -202,82 +449,19 @@ impl<'t> Propagator<'t> {
     /// with the evidence. Sum-based reads ([`marginal`](Propagator::marginal)
     /// etc.) panic until [`calibrate`](Propagator::calibrate) runs again.
     pub fn max_calibrate(&mut self) {
-        self.calibrate_impl(true);
-    }
-
-    fn calibrate_impl(&mut self, max_mode: bool) {
-        // Reset to initial potentials, then insert evidence.
-        self.clique_pot = self.init_clique_pot.clone();
-        let scope_of = |tree: &JunctionTree, vars: &[VarId]| -> Vec<(VarId, usize)> {
-            vars.iter().map(|&v| (v, tree.card(v))).collect()
-        };
-        self.sep_pot = (0..self.tree.num_edges())
-            .map(|e| Factor::ones(scope_of(self.tree, &self.tree.edge(e).sepset)))
-            .collect();
-        for (raw, obs) in self.evidence.iter().enumerate() {
-            if let Some(state) = obs {
-                let var = VarId::from_index(raw);
-                let clique = self.tree.home_clique(var);
-                self.clique_pot[clique].reduce(var, *state);
-            }
-        }
-        for (raw, weights) in self.likelihood.iter().enumerate() {
-            if let Some(weights) = weights {
-                let var = VarId::from_index(raw);
-                let clique = self.tree.home_clique(var);
-                for (state, &w) in weights.iter().enumerate() {
-                    self.clique_pot[clique].scale_state(var, state, w);
-                }
-            }
-        }
-        for factor in &self.soft_factors {
-            let clique = (0..self.tree.num_cliques())
-                .find(|&c| {
-                    factor
-                        .vars()
-                        .iter()
-                        .all(|v| self.tree.clique(c).binary_search(v).is_ok())
-                })
-                .expect("scope containment checked at insertion");
-            self.clique_pot[clique].mul_assign_sub(factor);
-        }
-        // Collect: leaves towards roots.
-        for k in 0..self.schedule.len() {
-            let (from, edge, to) = self.schedule[k];
-            self.absorb(from, edge, to, max_mode);
-        }
-        // Distribute: roots towards leaves.
-        for k in (0..self.schedule.len()).rev() {
-            let (from, edge, to) = self.schedule[k];
-            self.absorb(to, edge, from, max_mode);
-        }
-        // Probability of evidence: product over components of clique mass.
-        let mut p = 1.0;
-        for &root in self.tree.roots() {
-            p *= self.clique_pot[root].total();
-        }
-        self.evidence_probability = p;
-        self.calibrated = true;
-        self.max_mode = max_mode;
-    }
-
-    /// One HUGIN absorption: `to` absorbs from `from` across `edge`.
-    fn absorb(&mut self, from: usize, edge: usize, to: usize, max_mode: bool) {
-        let sepset = &self.tree.edge(edge).sepset;
-        let new_sep = if max_mode {
-            self.clique_pot[from].max_marginalize_keep(sepset)
-        } else {
-            self.clique_pot[from].marginalize_keep(sepset)
-        };
-        let update = new_sep.divide_same_domain(&self.sep_pot[edge]);
-        self.clique_pot[to].mul_assign_sub(&update);
-        self.sep_pot[edge] = new_sep;
+        calibrate_impl(
+            self.tree,
+            &self.init_clique_pot,
+            &self.schedule,
+            &mut self.state,
+            true,
+        );
     }
 
     /// Whether [`calibrate`](Propagator::calibrate) has run since the last
     /// modification.
     pub fn is_calibrated(&self) -> bool {
-        self.calibrated
+        self.state.calibrated
     }
 
     /// The probability of the inserted evidence (1 when there is none).
@@ -286,8 +470,7 @@ impl<'t> Propagator<'t> {
     ///
     /// Panics if the propagator is not calibrated.
     pub fn evidence_probability(&self) -> f64 {
-        assert!(self.calibrated, "call calibrate() first");
-        self.evidence_probability
+        self.state.evidence_probability()
     }
 
     /// The posterior marginal `P(var | evidence)` as a probability vector.
@@ -296,12 +479,7 @@ impl<'t> Propagator<'t> {
     ///
     /// Panics if the propagator is not calibrated.
     pub fn marginal(&self, var: VarId) -> Vec<f64> {
-        assert!(self.calibrated, "call calibrate() first");
-        assert!(!self.max_mode, "sum-calibration required; call calibrate()");
-        let clique = self.tree.home_clique(var);
-        let mut m = self.clique_pot[clique].marginalize_keep(&[var]);
-        m.normalize();
-        m.values().to_vec()
+        marginal_impl(self.tree, &self.state, var)
     }
 
     /// The joint posterior over a variable set, provided some clique
@@ -311,15 +489,7 @@ impl<'t> Propagator<'t> {
     ///
     /// Panics if the propagator is not calibrated.
     pub fn joint_marginal(&self, vars: &[VarId]) -> Option<Factor> {
-        assert!(self.calibrated, "call calibrate() first");
-        assert!(!self.max_mode, "sum-calibration required; call calibrate()");
-        let clique = (0..self.tree.num_cliques()).find(|&c| {
-            vars.iter()
-                .all(|v| self.tree.clique(c).binary_search(v).is_ok())
-        })?;
-        let mut m = self.clique_pot[clique].marginalize_keep(vars);
-        m.normalize();
-        Some(m)
+        joint_marginal_impl(self.tree, &self.state, vars)
     }
 
     /// The exact posterior joint `P(a, b | evidence)` for *any* two
@@ -335,39 +505,7 @@ impl<'t> Propagator<'t> {
     ///
     /// Panics if the propagator is not calibrated or `a == b`.
     pub fn pairwise_marginal(&self, a: VarId, b: VarId) -> Option<Factor> {
-        assert!(self.calibrated, "call calibrate() first");
-        assert!(!self.max_mode, "sum-calibration required; call calibrate()");
-        assert_ne!(a, b, "pairwise marginal needs two distinct variables");
-        if let Some(joint) = self.joint_marginal(&[a.min(b), a.max(b)]) {
-            return Some(joint);
-        }
-        let ca = self.tree.home_clique(a);
-        let cb = self.tree.home_clique(b);
-        let path = self.tree.clique_path(ca, cb)?;
-        // Walk the path keeping a factor over {a} ∪ current sepset: the
-        // calibrated joint factorizes as Π φ_C / Π φ_S along the path.
-        // Marginalizing *before* multiplying into the next clique keeps
-        // every intermediate at sepset-plus-one-variable size.
-        let (first_edge, _) = path[0];
-        let mut keep: Vec<VarId> = self.tree.edge(first_edge).sepset.clone();
-        keep.push(a);
-        let mut message = self.clique_pot[ca].marginalize_keep(&keep);
-        message.div_assign_sub(&self.sep_pot[first_edge]);
-        for window in path.windows(2) {
-            let (_, clique) = window[0];
-            let (next_edge, _) = window[1];
-            let mut keep: Vec<VarId> = self.tree.edge(next_edge).sepset.clone();
-            keep.push(a);
-            let mut next_message =
-                self.clique_pot[clique].product_marginalize(&message, &keep);
-            next_message.div_assign_sub(&self.sep_pot[next_edge]);
-            message = next_message;
-        }
-        let (_, last_clique) = *path.last().expect("non-empty path");
-        let mut joint = self.clique_pot[last_clique]
-            .product_marginalize(&message, &[a.min(b), a.max(b)]);
-        joint.normalize();
-        Some(joint)
+        pairwise_marginal_impl(self.tree, &self.state, a, b)
     }
 
     /// Decodes the most probable explanation (MPE): the jointly most
@@ -383,59 +521,314 @@ impl<'t> Propagator<'t> {
     ///
     /// Panics if the propagator is not max-calibrated.
     pub fn most_probable_assignment(&self) -> (Vec<usize>, f64) {
-        assert!(
-            self.calibrated && self.max_mode,
-            "call max_calibrate() first"
-        );
-        let num_vars = self.tree.num_vars();
-        let mut assignment = vec![usize::MAX; num_vars];
-        let mut probability = 1.0f64;
-        // Visit cliques root-first per component: component roots, then
-        // children in root-to-leaf order (the reversed collect schedule).
-        let mut visited = vec![false; self.tree.num_cliques()];
-        let mut order: Vec<usize> = Vec::with_capacity(self.tree.num_cliques());
-        for &root in self.tree.roots() {
-            order.push(root);
-            visited[root] = true;
-        }
-        for &(child, _, _) in self.schedule.iter().rev() {
-            if !visited[child] {
-                visited[child] = true;
-                order.push(child);
-            }
-        }
-        let roots: std::collections::HashSet<usize> =
-            self.tree.roots().iter().copied().collect();
-        for &clique_idx in &order {
-            let clique = self.tree.clique(clique_idx);
-            let mut pot = self.clique_pot[clique_idx].clone();
-            // Pin already-decided variables.
-            for &v in clique {
-                if assignment[v.index()] != usize::MAX {
-                    pot.reduce(v, assignment[v.index()]);
-                }
-            }
-            let (idx, value) = pot.argmax();
-            let states = pot.assignment_of(idx);
-            for (pos, &v) in clique.iter().enumerate() {
-                if assignment[v.index()] == usize::MAX {
-                    assignment[v.index()] = states[pos];
-                }
-            }
-            // Component roots contribute the component's max probability;
-            // later cliques only refine the assignment.
-            if roots.contains(&clique_idx) {
-                probability *= value;
-            }
-        }
-        debug_assert!(assignment.iter().all(|&s| s != usize::MAX));
-        (assignment, probability)
+        most_probable_assignment_impl(self.tree, &self.schedule, &self.state)
     }
 
     /// The calibrated (unnormalized) potential of clique `i`.
     pub fn clique_potential(&self, i: usize) -> &Factor {
-        &self.clique_pot[i]
+        self.state.clique_potential(i)
     }
+}
+
+fn validate_potentials(tree: &JunctionTree, potentials: &[Factor]) {
+    assert_eq!(
+        potentials.len(),
+        tree.num_cliques(),
+        "one potential per clique"
+    );
+    for (i, pot) in potentials.iter().enumerate() {
+        assert_eq!(pot.vars(), tree.clique(i), "potential scope mismatch");
+    }
+}
+
+fn scope_of(tree: &JunctionTree, vars: &[VarId]) -> Vec<(VarId, usize)> {
+    vars.iter().map(|&v| (v, tree.card(v))).collect()
+}
+
+fn ones_sepsets(tree: &JunctionTree) -> Vec<Factor> {
+    (0..tree.num_edges())
+        .map(|e| Factor::ones(scope_of(tree, &tree.edge(e).sepset)))
+        .collect()
+}
+
+fn set_evidence_impl(
+    tree: &JunctionTree,
+    state: &mut PropagationState,
+    var: VarId,
+    value: usize,
+) -> Result<(), BayesError> {
+    let card = tree.card(var);
+    if value >= card {
+        return Err(BayesError::EvidenceOutOfRange {
+            var: var.0,
+            state: value,
+            card,
+        });
+    }
+    state.evidence[var.index()] = Some(value);
+    state.calibrated = false;
+    Ok(())
+}
+
+fn set_likelihood_impl(
+    tree: &JunctionTree,
+    state: &mut PropagationState,
+    var: VarId,
+    weights: Vec<f64>,
+) -> Result<(), BayesError> {
+    let card = tree.card(var);
+    if weights.len() != card {
+        return Err(BayesError::EvidenceOutOfRange {
+            var: var.0,
+            state: weights.len(),
+            card,
+        });
+    }
+    state.likelihood[var.index()] = Some(weights);
+    state.calibrated = false;
+    Ok(())
+}
+
+fn insert_factor_impl(
+    tree: &JunctionTree,
+    state: &mut PropagationState,
+    factor: Factor,
+) -> Result<(), BayesError> {
+    let contained = (0..tree.num_cliques()).any(|c| {
+        factor
+            .vars()
+            .iter()
+            .all(|v| tree.clique(c).binary_search(v).is_ok())
+    });
+    if !contained {
+        return Err(BayesError::FactorOutsideClique {
+            vars: factor.vars().iter().map(|v| v.index() as u32).collect(),
+        });
+    }
+    state.soft_factors.push(factor);
+    state.calibrated = false;
+    Ok(())
+}
+
+fn calibrate_impl(
+    tree: &JunctionTree,
+    init_clique_pot: &[Factor],
+    schedule: &[(usize, usize, usize)],
+    state: &mut PropagationState,
+    max_mode: bool,
+) {
+    assert_eq!(
+        state.evidence.len(),
+        tree.num_vars(),
+        "state belongs to a different compiled tree"
+    );
+    // Reset working potentials to the initials, reusing the state's
+    // buffers when it has propagated on this tree before (the common case
+    // for pooled states): scopes are fixed per clique/sepset, so a value
+    // copy suffices and no factor is reallocated.
+    if state.clique_pot.len() == init_clique_pot.len() {
+        for (dst, src) in state.clique_pot.iter_mut().zip(init_clique_pot) {
+            debug_assert_eq!(dst.vars(), src.vars());
+            dst.values_mut().copy_from_slice(src.values());
+        }
+    } else {
+        state.clique_pot = init_clique_pot.to_vec();
+    }
+    if state.sep_pot.len() == tree.num_edges() {
+        for sep in &mut state.sep_pot {
+            sep.values_mut().fill(1.0);
+        }
+    } else {
+        state.sep_pot = ones_sepsets(tree);
+    }
+    for (raw, obs) in state.evidence.iter().enumerate() {
+        if let Some(value) = obs {
+            let var = VarId::from_index(raw);
+            let clique = tree.home_clique(var);
+            state.clique_pot[clique].reduce(var, *value);
+        }
+    }
+    for (raw, weights) in state.likelihood.iter().enumerate() {
+        if let Some(weights) = weights {
+            let var = VarId::from_index(raw);
+            let clique = tree.home_clique(var);
+            for (value, &w) in weights.iter().enumerate() {
+                state.clique_pot[clique].scale_state(var, value, w);
+            }
+        }
+    }
+    for factor in &state.soft_factors {
+        let clique = (0..tree.num_cliques())
+            .find(|&c| {
+                factor
+                    .vars()
+                    .iter()
+                    .all(|v| tree.clique(c).binary_search(v).is_ok())
+            })
+            .expect("scope containment checked at insertion");
+        state.clique_pot[clique].mul_assign_sub(factor);
+    }
+    // Collect: leaves towards roots.
+    for &(from, edge, to) in schedule {
+        absorb(tree, state, from, edge, to, max_mode);
+    }
+    // Distribute: roots towards leaves.
+    for &(from, edge, to) in schedule.iter().rev() {
+        absorb(tree, state, to, edge, from, max_mode);
+    }
+    // Probability of evidence: product over components of clique mass.
+    let mut p = 1.0;
+    for &root in tree.roots() {
+        p *= state.clique_pot[root].total();
+    }
+    state.evidence_probability = p;
+    state.calibrated = true;
+    state.max_mode = max_mode;
+}
+
+/// One HUGIN absorption: `to` absorbs from `from` across `edge`.
+fn absorb(
+    tree: &JunctionTree,
+    state: &mut PropagationState,
+    from: usize,
+    edge: usize,
+    to: usize,
+    max_mode: bool,
+) {
+    let sepset = &tree.edge(edge).sepset;
+    let new_sep = if max_mode {
+        state.clique_pot[from].max_marginalize_keep(sepset)
+    } else {
+        state.clique_pot[from].marginalize_keep(sepset)
+    };
+    let update = new_sep.divide_same_domain(&state.sep_pot[edge]);
+    state.clique_pot[to].mul_assign_sub(&update);
+    state.sep_pot[edge] = new_sep;
+}
+
+fn marginal_impl(tree: &JunctionTree, state: &PropagationState, var: VarId) -> Vec<f64> {
+    assert!(state.calibrated, "call calibrate() first");
+    assert!(
+        !state.max_mode,
+        "sum-calibration required; call calibrate()"
+    );
+    let clique = tree.home_clique(var);
+    let mut m = state.clique_pot[clique].marginalize_keep(&[var]);
+    m.normalize();
+    m.values().to_vec()
+}
+
+fn joint_marginal_impl(
+    tree: &JunctionTree,
+    state: &PropagationState,
+    vars: &[VarId],
+) -> Option<Factor> {
+    assert!(state.calibrated, "call calibrate() first");
+    assert!(
+        !state.max_mode,
+        "sum-calibration required; call calibrate()"
+    );
+    let clique = (0..tree.num_cliques())
+        .find(|&c| vars.iter().all(|v| tree.clique(c).binary_search(v).is_ok()))?;
+    let mut m = state.clique_pot[clique].marginalize_keep(vars);
+    m.normalize();
+    Some(m)
+}
+
+fn pairwise_marginal_impl(
+    tree: &JunctionTree,
+    state: &PropagationState,
+    a: VarId,
+    b: VarId,
+) -> Option<Factor> {
+    assert!(state.calibrated, "call calibrate() first");
+    assert!(
+        !state.max_mode,
+        "sum-calibration required; call calibrate()"
+    );
+    assert_ne!(a, b, "pairwise marginal needs two distinct variables");
+    if let Some(joint) = joint_marginal_impl(tree, state, &[a.min(b), a.max(b)]) {
+        return Some(joint);
+    }
+    let ca = tree.home_clique(a);
+    let cb = tree.home_clique(b);
+    let path = tree.clique_path(ca, cb)?;
+    // Walk the path keeping a factor over {a} ∪ current sepset: the
+    // calibrated joint factorizes as Π φ_C / Π φ_S along the path.
+    // Marginalizing *before* multiplying into the next clique keeps
+    // every intermediate at sepset-plus-one-variable size.
+    let (first_edge, _) = path[0];
+    let mut keep: Vec<VarId> = tree.edge(first_edge).sepset.clone();
+    keep.push(a);
+    let mut message = state.clique_pot[ca].marginalize_keep(&keep);
+    message.div_assign_sub(&state.sep_pot[first_edge]);
+    for window in path.windows(2) {
+        let (_, clique) = window[0];
+        let (next_edge, _) = window[1];
+        let mut keep: Vec<VarId> = tree.edge(next_edge).sepset.clone();
+        keep.push(a);
+        let mut next_message = state.clique_pot[clique].product_marginalize(&message, &keep);
+        next_message.div_assign_sub(&state.sep_pot[next_edge]);
+        message = next_message;
+    }
+    let (_, last_clique) = *path.last().expect("non-empty path");
+    let mut joint =
+        state.clique_pot[last_clique].product_marginalize(&message, &[a.min(b), a.max(b)]);
+    joint.normalize();
+    Some(joint)
+}
+
+fn most_probable_assignment_impl(
+    tree: &JunctionTree,
+    schedule: &[(usize, usize, usize)],
+    state: &PropagationState,
+) -> (Vec<usize>, f64) {
+    assert!(
+        state.calibrated && state.max_mode,
+        "call max_calibrate() first"
+    );
+    let num_vars = tree.num_vars();
+    let mut assignment = vec![usize::MAX; num_vars];
+    let mut probability = 1.0f64;
+    // Visit cliques root-first per component: component roots, then
+    // children in root-to-leaf order (the reversed collect schedule).
+    let mut visited = vec![false; tree.num_cliques()];
+    let mut order: Vec<usize> = Vec::with_capacity(tree.num_cliques());
+    for &root in tree.roots() {
+        order.push(root);
+        visited[root] = true;
+    }
+    for &(child, _, _) in schedule.iter().rev() {
+        if !visited[child] {
+            visited[child] = true;
+            order.push(child);
+        }
+    }
+    let roots: std::collections::HashSet<usize> = tree.roots().iter().copied().collect();
+    for &clique_idx in &order {
+        let clique = tree.clique(clique_idx);
+        let mut pot = state.clique_pot[clique_idx].clone();
+        // Pin already-decided variables.
+        for &v in clique {
+            if assignment[v.index()] != usize::MAX {
+                pot.reduce(v, assignment[v.index()]);
+            }
+        }
+        let (idx, value) = pot.argmax();
+        let states = pot.assignment_of(idx);
+        for (pos, &v) in clique.iter().enumerate() {
+            if assignment[v.index()] == usize::MAX {
+                assignment[v.index()] = states[pos];
+            }
+        }
+        // Component roots contribute the component's max probability;
+        // later cliques only refine the assignment.
+        if roots.contains(&clique_idx) {
+            probability *= value;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&s| s != usize::MAX));
+    (assignment, probability)
 }
 
 /// Computes the initial clique potentials of a network over a compiled
@@ -450,11 +843,8 @@ impl<'t> Propagator<'t> {
 /// cardinalities).
 pub fn initial_potentials(tree: &JunctionTree, net: &BayesNet) -> Vec<Factor> {
     assert_eq!(net.num_vars(), tree.num_vars(), "network/tree mismatch");
-    let scope_of = |vars: &[VarId]| -> Vec<(VarId, usize)> {
-        vars.iter().map(|&v| (v, tree.card(v))).collect()
-    };
     let mut pots: Vec<Factor> = (0..tree.num_cliques())
-        .map(|i| Factor::ones(scope_of(tree.clique(i))))
+        .map(|i| Factor::ones(scope_of(tree, tree.clique(i))))
         .collect();
     for var in net.var_ids() {
         assert_eq!(
@@ -624,7 +1014,11 @@ mod tests {
         prop.set_likelihood(rain, vec![0.0, 1.0]).unwrap();
         prop.calibrate();
         let soft = prop.marginal(cloudy);
-        assert_close(&soft, &net.brute_force_marginal(cloudy, &[(rain, 1)]), 1e-12);
+        assert_close(
+            &soft,
+            &net.brute_force_marginal(cloudy, &[(rain, 1)]),
+            1e-12,
+        );
     }
 
     #[test]
@@ -635,10 +1029,7 @@ mod tests {
         let tree = JunctionTree::compile(&net).unwrap();
         let mut prop = Propagator::new(&tree, &net).unwrap();
         let weights = Factor::new(
-            vec![
-                (sprinkler_v.min(rain), 2),
-                (sprinkler_v.max(rain), 2),
-            ],
+            vec![(sprinkler_v.min(rain), 2), (sprinkler_v.max(rain), 2)],
             vec![1.0, 0.2, 0.4, 2.0],
         );
         prop.insert_factor(weights.clone()).unwrap();
@@ -665,9 +1056,8 @@ mod tests {
         let tree = JunctionTree::compile(&net).unwrap();
         let mut prop = Propagator::new(&tree, &net).unwrap();
         let f = Factor::ones(vec![(cloudy.min(wet), 2), (cloudy.max(wet), 2)]);
-        let in_clique = (0..tree.num_cliques()).any(|c| {
-            tree.clique(c).contains(&cloudy) && tree.clique(c).contains(&wet)
-        });
+        let in_clique = (0..tree.num_cliques())
+            .any(|c| tree.clique(c).contains(&cloudy) && tree.clique(c).contains(&wet));
         if !in_clique {
             assert!(matches!(
                 prop.insert_factor(f),
@@ -695,7 +1085,9 @@ mod tests {
     fn pairwise_marginal_matches_brute_force_across_cliques() {
         // Build a chain long enough that the endpoints share no clique.
         let mut net = BayesNet::new();
-        let mut prev = net.add_var("x0", 2, &[], Cpt::prior(vec![0.3, 0.7])).unwrap();
+        let mut prev = net
+            .add_var("x0", 2, &[], Cpt::prior(vec![0.3, 0.7]))
+            .unwrap();
         let first = prev;
         for i in 1..6 {
             prev = net
@@ -715,7 +1107,12 @@ mod tests {
         // Brute force joint.
         let reference = net.joint().marginalize_keep(&[first, last]);
         for (a, b) in joint.values().iter().zip(reference.values()) {
-            assert!((a - b).abs() < 1e-12, "{:?} vs {:?}", joint.values(), reference.values());
+            assert!(
+                (a - b).abs() < 1e-12,
+                "{:?} vs {:?}",
+                joint.values(),
+                reference.values()
+            );
         }
         // With evidence in the middle the endpoints decouple.
         let mid = net.find_var("x3").unwrap();
@@ -733,8 +1130,12 @@ mod tests {
     #[test]
     fn pairwise_marginal_across_components_is_none() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.5, 0.5]))
+            .unwrap();
         let tree = JunctionTree::compile(&net).unwrap();
         let mut prop = Propagator::new(&tree, &net).unwrap();
         prop.calibrate();
@@ -814,8 +1215,12 @@ mod tests {
     #[test]
     fn mpe_over_disconnected_components() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7])).unwrap();
-        let b = net.add_var("b", 3, &[], Cpt::prior(vec![0.2, 0.5, 0.3])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7]))
+            .unwrap();
+        let b = net
+            .add_var("b", 3, &[], Cpt::prior(vec![0.2, 0.5, 0.3]))
+            .unwrap();
         let tree = JunctionTree::compile(&net).unwrap();
         let mut prop = Propagator::new(&tree, &net).unwrap();
         prop.max_calibrate();
@@ -862,8 +1267,12 @@ mod tests {
     #[test]
     fn disconnected_components_calibrate_independently() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7])).unwrap();
-        let b = net.add_var("b", 2, &[], Cpt::prior(vec![0.9, 0.1])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.3, 0.7]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.9, 0.1]))
+            .unwrap();
         let tree = JunctionTree::compile(&net).unwrap();
         let mut prop = Propagator::new(&tree, &net).unwrap();
         prop.set_evidence(a, 1).unwrap();
@@ -875,14 +1284,113 @@ mod tests {
     #[test]
     fn impossible_evidence_reports_zero_probability() {
         let mut net = BayesNet::new();
-        let a = net.add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0])).unwrap();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![1.0, 0.0]))
+            .unwrap();
         let b = net
-            .add_var("b", 2, &[a], Cpt::rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]))
+            .add_var(
+                "b",
+                2,
+                &[a],
+                Cpt::rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]),
+            )
             .unwrap();
         let tree = JunctionTree::compile(&net).unwrap();
         let mut prop = Propagator::new(&tree, &net).unwrap();
         prop.set_evidence(b, 1).unwrap();
         prop.calibrate();
         assert_eq!(prop.evidence_probability(), 0.0);
+    }
+
+    #[test]
+    fn compiled_tree_matches_propagator() {
+        let (net, [cloudy, _, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree.clone(), &net).unwrap();
+        let mut state = compiled.new_state();
+        compiled.set_evidence(&mut state, wet, 1).unwrap();
+        compiled.calibrate(&mut state);
+
+        let mut prop = Propagator::new(&tree, &net).unwrap();
+        prop.set_evidence(wet, 1).unwrap();
+        prop.calibrate();
+
+        assert_eq!(compiled.marginal(&state, rain), prop.marginal(rain));
+        assert_eq!(compiled.marginal(&state, cloudy), prop.marginal(cloudy));
+        assert_eq!(state.evidence_probability(), prop.evidence_probability());
+    }
+
+    #[test]
+    fn reused_state_is_bit_identical_to_fresh_state() {
+        let (net, [cloudy, _, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        // First request leaves the state dirty (calibrated, with evidence).
+        let mut reused = compiled.new_state();
+        compiled.set_evidence(&mut reused, wet, 0).unwrap();
+        compiled.calibrate(&mut reused);
+        let _ = compiled.marginal(&reused, cloudy);
+        // Second request on the same state vs a brand-new state.
+        reused.clear_evidence();
+        compiled
+            .set_likelihood(&mut reused, rain, vec![0.3, 0.7])
+            .unwrap();
+        compiled.calibrate(&mut reused);
+        let mut fresh = compiled.new_state();
+        compiled
+            .set_likelihood(&mut fresh, rain, vec![0.3, 0.7])
+            .unwrap();
+        compiled.calibrate(&mut fresh);
+        assert_eq!(
+            compiled.marginal(&reused, cloudy),
+            compiled.marginal(&fresh, cloudy)
+        );
+        assert_eq!(
+            compiled.marginal(&reused, wet),
+            compiled.marginal(&fresh, wet)
+        );
+        assert_eq!(reused.evidence_probability(), fresh.evidence_probability());
+    }
+
+    #[test]
+    fn compiled_tree_propagates_concurrently() {
+        // One compile shared by threads, each with its own state and its
+        // own evidence; results must match sequential propagation.
+        let (net, [_, _, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        let sequential: Vec<Vec<f64>> = (0..2)
+            .map(|obs| {
+                let mut state = compiled.new_state();
+                compiled.set_evidence(&mut state, wet, obs).unwrap();
+                compiled.calibrate(&mut state);
+                compiled.marginal(&state, rain)
+            })
+            .collect();
+        let concurrent: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|obs| {
+                    let compiled = &compiled;
+                    scope.spawn(move || {
+                        let mut state = compiled.new_state();
+                        compiled.set_evidence(&mut state, wet, obs).unwrap();
+                        compiled.calibrate(&mut state);
+                        compiled.marginal(&state, rain)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, concurrent);
+    }
+
+    #[test]
+    fn state_space_counts_clique_entries() {
+        let (net, _) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        let expected: usize = compiled.initial_potentials().iter().map(Factor::len).sum();
+        assert_eq!(compiled.state_space(), expected);
+        assert!(compiled.state_space() > 0);
     }
 }

@@ -277,9 +277,7 @@ mod tests {
         for a in 0..6 {
             for &b in g.neighbors(a) {
                 assert!(
-                    t.cliques
-                        .iter()
-                        .any(|c| c.contains(&a) && c.contains(&b)),
+                    t.cliques.iter().any(|c| c.contains(&a) && c.contains(&b)),
                     "edge ({a},{b}) uncovered"
                 );
             }

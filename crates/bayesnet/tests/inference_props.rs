@@ -32,8 +32,7 @@ fn arb_net() -> impl Strategy<Value = BayesNet> {
             let rows: usize = parents.iter().map(|&p| net.card(p)).product();
             let cpt: Vec<Vec<f64>> = (0..rows)
                 .map(|_| {
-                    let raw: Vec<f64> =
-                        (0..card).map(|_| 1.0 + (next() % 1000) as f64).collect();
+                    let raw: Vec<f64> = (0..card).map(|_| 1.0 + (next() % 1000) as f64).collect();
                     let total: f64 = raw.iter().sum();
                     raw.into_iter().map(|x| x / total).collect()
                 })

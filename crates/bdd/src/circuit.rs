@@ -55,7 +55,12 @@ pub fn build_circuit_bdds(circuit: &Circuit, node_limit: usize) -> Result<Circui
     }
     for line in circuit.topo_order() {
         if let Driver::Gate(g) = circuit.driver(line) {
-            lines[line.index()] = apply_gate(&mut bdd, g.kind, |k| lines[g.inputs[k].index()], g.inputs.len())?;
+            lines[line.index()] = apply_gate(
+                &mut bdd,
+                g.kind,
+                |k| lines[g.inputs[k].index()],
+                g.inputs.len(),
+            )?;
         }
     }
     Ok(CircuitBdds { bdd, lines })
@@ -107,10 +112,18 @@ pub fn build_switching_bdds(
     }
     for line in circuit.topo_order() {
         if let Driver::Gate(g) = circuit.driver(line) {
-            prev[line.index()] =
-                apply_gate(&mut bdd, g.kind, |k| prev[g.inputs[k].index()], g.inputs.len())?;
-            next[line.index()] =
-                apply_gate(&mut bdd, g.kind, |k| next[g.inputs[k].index()], g.inputs.len())?;
+            prev[line.index()] = apply_gate(
+                &mut bdd,
+                g.kind,
+                |k| prev[g.inputs[k].index()],
+                g.inputs.len(),
+            )?;
+            next[line.index()] = apply_gate(
+                &mut bdd,
+                g.kind,
+                |k| next[g.inputs[k].index()],
+                g.inputs.len(),
+            )?;
         }
     }
     let mut switch = vec![Bdd::FALSE; circuit.num_lines()];
@@ -179,8 +192,7 @@ mod tests {
         }
         for line in circuit.topo_order() {
             if let Some(g) = circuit.gate(line) {
-                values[line.index()] =
-                    g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+                values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
             }
         }
         values
@@ -216,8 +228,12 @@ mod tests {
         b.gate("inv", GateKind::Not, &["a"]).unwrap();
         b.gate("pass", GateKind::Buf, &["b"]).unwrap();
         b.gate("k1", GateKind::Const1, &[]).unwrap();
-        b.gate("top", GateKind::Or, &["and3", "nor3", "xnor3", "inv", "pass", "k1"])
-            .unwrap();
+        b.gate(
+            "top",
+            GateKind::Or,
+            &["and3", "nor3", "xnor3", "inv", "pass", "k1"],
+        )
+        .unwrap();
         b.output("top").unwrap();
         let circuit = b.finish().unwrap();
         let bdds = build_circuit_bdds(&circuit, 100_000).unwrap();

@@ -414,10 +414,10 @@ impl Bdd {
             return hit;
         }
         let node = self.nodes[f.index()];
-        let lo = self.sat_rec(node.lo, memo)
-            * 2f64.powi(self.level_gap(node.lo, node.level + 1) as i32);
-        let hi = self.sat_rec(node.hi, memo)
-            * 2f64.powi(self.level_gap(node.hi, node.level + 1) as i32);
+        let lo =
+            self.sat_rec(node.lo, memo) * 2f64.powi(self.level_gap(node.lo, node.level + 1) as i32);
+        let hi =
+            self.sat_rec(node.hi, memo) * 2f64.powi(self.level_gap(node.hi, node.level + 1) as i32);
         let total = lo + hi;
         memo.insert(f, total);
         total

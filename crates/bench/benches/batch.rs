@@ -1,0 +1,41 @@
+//! Batch-throughput benchmark: scenarios/sec through `swact-engine` at
+//! 1/2/4/8 worker threads on a segmented benchgen circuit.
+//!
+//! The engine compiles the circuit once per worker count (warm-up batch,
+//! untimed); the measured iterations exercise the paper's cheap "Update"
+//! path — concurrent propagation over the shared compiled junction trees.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use swact_bench::batch_specs;
+use swact_circuit::catalog;
+use swact_engine::Engine;
+
+fn bench_batch(c: &mut Criterion) {
+    let circuit = catalog::benchmark("c880").expect("known benchmark");
+    let specs = batch_specs(&circuit, 32);
+    let options = swact::Options::default();
+
+    let mut group = c.benchmark_group("batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(specs.len() as u64));
+    for jobs in [1usize, 2, 4, 8] {
+        let engine = Engine::with_jobs(jobs);
+        let warm = engine
+            .estimate_batch(&circuit, &specs[..1], &options)
+            .expect("compiles");
+        assert!(warm.all_ok());
+        group.bench_function(format!("c880/jobs={jobs}"), |b| {
+            b.iter(|| {
+                let report = engine
+                    .estimate_batch(&circuit, &specs, &options)
+                    .expect("cached model");
+                assert!(report.cache_hit && report.all_ok());
+                report
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -4,10 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use swact_bayesnet::{Factor, VarId};
 
 fn factor_over(vars: &[usize], card: usize, fill: f64) -> Factor {
-    let scope: Vec<(VarId, usize)> = vars
-        .iter()
-        .map(|&v| (VarId::from_index(v), card))
-        .collect();
+    let scope: Vec<(VarId, usize)> = vars.iter().map(|&v| (VarId::from_index(v), card)).collect();
     let size: usize = scope.iter().map(|&(_, c)| c).product();
     Factor::new(scope, (0..size).map(|i| fill + i as f64 * 1e-6).collect())
 }

@@ -11,8 +11,7 @@ fn bench_propagate(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["c17", "c432", "c880", "alu2"] {
         let circuit = catalog::benchmark(name).expect("known benchmark");
-        let mut compiled =
-            CompiledEstimator::compile(&circuit, &Options::default()).expect("compiles");
+        let compiled = CompiledEstimator::compile(&circuit, &Options::default()).expect("compiles");
         let specs: Vec<InputSpec> = (0..4)
             .map(|k| {
                 InputSpec::independent(

@@ -97,8 +97,7 @@ fn triangulation() {
         let lidag = swact::Lidag::build(&circuit, &spec, 4).expect("builds");
         let moral = swact_bayesnet::graph::moral_graph(lidag.net());
         let cards = lidag.net().cards();
-        let fill =
-            swact_bayesnet::triangulate::estimate_cost(&moral, &cards, Heuristic::MinFill);
+        let fill = swact_bayesnet::triangulate::estimate_cost(&moral, &cards, Heuristic::MinFill);
         let degree =
             swact_bayesnet::triangulate::estimate_cost(&moral, &cards, Heuristic::MinDegree);
         println!(
@@ -167,8 +166,7 @@ fn correlation(pairs: usize) {
         let ind_stats = ErrorStats::between(&ind, &truth);
         println!(
             "{:<10} {:>12.4} {:>12.4} {:>12.4}",
-            branches, bn_stats.mean_abs_error, pw_stats.mean_abs_error,
-            ind_stats.mean_abs_error
+            branches, bn_stats.mean_abs_error, pw_stats.mean_abs_error, ind_stats.mean_abs_error
         );
     }
     println!("(all branches share all inputs; higher-order correlation grows with branches)");

@@ -1,0 +1,47 @@
+//! Batch-throughput summary: measures `swact-engine` scenarios/sec at
+//! 1/2/4/8 workers on a segmented benchmark and writes `BENCH_batch.json`.
+//!
+//! ```text
+//! cargo run -p swact-bench --release --bin batch_report [circuit] [scenarios]
+//! ```
+
+use swact_bench::{batch_throughput, batch_throughput_json};
+use swact_circuit::catalog;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "c880".to_string());
+    let scenarios: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let circuit = catalog::benchmark(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark `{name}` (try `swact list`)"));
+
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "batch throughput — {name}: {} inputs, {} gates, {scenarios} scenarios, {cpus} host CPU(s)",
+        circuit.num_inputs(),
+        circuit.num_gates()
+    );
+    if cpus == 1 {
+        println!("note: single-CPU host — multi-worker rows cannot speed up here");
+    }
+    let rows = batch_throughput(&circuit, scenarios, &[1, 2, 4, 8]);
+    println!(
+        "{:>5} {:>10} {:>16} {:>9} {:>7}",
+        "jobs", "wall (s)", "scenarios/sec", "speedup", "cache"
+    );
+    for row in &rows {
+        println!(
+            "{:>5} {:>10.4} {:>16.1} {:>8.2}x {:>7}",
+            row.jobs,
+            row.wall_s,
+            row.scenarios_per_sec,
+            row.speedup,
+            if row.cache_hit { "hit" } else { "miss" }
+        );
+    }
+
+    let json = batch_throughput_json(&name, &rows);
+    let path = "BENCH_batch.json";
+    std::fs::write(path, &json).expect("write BENCH_batch.json");
+    println!("\nwrote {path}");
+}

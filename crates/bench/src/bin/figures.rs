@@ -49,7 +49,11 @@ fn main() {
     for a in 0..moral.num_nodes() {
         for &b in tri.filled.neighbors(a) {
             if b > a {
-                let style = if moral.has_edge(a, b) { "solid" } else { "dashed" };
+                let style = if moral.has_edge(a, b) {
+                    "solid"
+                } else {
+                    "dashed"
+                };
                 fig3.push_str(&format!("  v{a} -- v{b} [style={style}];\n"));
             }
         }
@@ -63,7 +67,11 @@ fn main() {
     fs::write(out_dir.join("fig4_junction_tree.dot"), &fig4).expect("write fig4");
 
     println!("Figures written to {}:", out_dir.display());
-    println!("  fig1_circuit.dot          ({} lines, {} gates)", circuit.num_lines(), circuit.num_gates());
+    println!(
+        "  fig1_circuit.dot          ({} lines, {} gates)",
+        circuit.num_lines(),
+        circuit.num_gates()
+    );
     println!("  fig2_lidag.dot            ({} variables)", net.num_vars());
     println!(
         "  fig3_triangulated.dot     ({} moral edges + {} fill edges)",

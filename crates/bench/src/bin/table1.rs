@@ -16,9 +16,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_PAIRS);
     println!("Table 1 — Bayesian-network switching estimation vs logic simulation");
-    println!(
-        "({pairs} simulated vector pairs per circuit, uniform random inputs)\n"
-    );
+    println!("({pairs} simulated vector pairs per circuit, uniform random inputs)\n");
     let rows = table1(pairs, &Options::default());
     print!("{}", format_table1(&rows));
     println!();

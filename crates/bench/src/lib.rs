@@ -11,12 +11,15 @@
 //!   the triangulated moral graph, and the junction tree, as Graphviz DOT;
 //! * `ablation` — the design-choice studies indexed in DESIGN.md
 //!   (segmentation budget, boundary correlation, triangulation heuristic,
-//!   two- vs four-state variables, input-correlation sensitivity).
+//!   two- vs four-state variables, input-correlation sensitivity);
+//! * `batch_report` — `swact-engine` batch throughput at 1/2/4/8 workers,
+//!   written to `BENCH_batch.json`.
 //!
 //! The Criterion benches in `benches/` measure the compile/propagate split
 //! (paper §6's "circuits can be precompiled; only propagation has to be
 //! done for different input statistics") and the core kernels.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use swact::{CompiledEstimator, ErrorStats, InputSpec, Options};
@@ -60,7 +63,7 @@ pub struct Table1Row {
 pub fn table1_row(name: &str, pairs: usize, options: &Options) -> Table1Row {
     let circuit = catalog::benchmark(name).expect("known benchmark");
     let spec = InputSpec::uniform(circuit.num_inputs());
-    let mut compiled =
+    let compiled =
         CompiledEstimator::compile(&circuit, options).expect("benchmark circuits compile");
     let estimate = compiled.estimate(&spec).expect("uniform spec matches");
     let truth = ground_truth(&circuit, pairs);
@@ -95,8 +98,7 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<10} {:>6} {:>5} {:>9.4} {:>9.4} {:>7.3}% {:>10.4} {:>10.4}\n",
-            r.circuit, r.gates, r.segments, r.mean_err, r.std_err, r.pct_err, r.total_s,
-            r.update_s
+            r.circuit, r.gates, r.segments, r.mean_err, r.std_err, r.pct_err, r.total_s, r.update_s
         ));
     }
     let n = rows.len() as f64;
@@ -154,8 +156,7 @@ pub fn table2_row(
 
     let mut cells = Vec::new();
     let start = Instant::now();
-    let estimate =
-        swact::estimate(&circuit, &spec, options).expect("benchmark circuits compile");
+    let estimate = swact::estimate(&circuit, &spec, options).expect("benchmark circuits compile");
     let bn_time = start.elapsed().as_secs_f64();
     let stats = estimate.compare(&truth);
     cells.push(Table2Cell {
@@ -202,10 +203,7 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
         out.push('\n');
         out.push_str(&format!("{:<10}", ""));
         for _ in &first.cells {
-            out.push_str(&format!(
-                " | {:>8} {:>8} {:>9}",
-                "µErr", "σErr", "time(s)"
-            ));
+            out.push_str(&format!(" | {:>8} {:>8} {:>9}", "µErr", "σErr", "time(s)"));
         }
         out.push('\n');
     }
@@ -232,6 +230,115 @@ pub fn ground_truth(circuit: &Circuit, pairs: usize) -> Vec<f64> {
     measure_activity(circuit, &model, pairs, GROUND_TRUTH_SEED).switching
 }
 
+/// One batch-throughput measurement: `scenarios` input specs pushed through
+/// a [`swact_engine::Engine`] with `jobs` workers.
+#[derive(Debug, Clone)]
+pub struct BatchThroughputRow {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Scenarios in the batch.
+    pub scenarios: usize,
+    /// Wall-clock seconds for the propagation-only batch (model precompiled).
+    pub wall_s: f64,
+    /// Scenarios per wall-clock second.
+    pub scenarios_per_sec: f64,
+    /// Throughput relative to the 1-worker row (1.0 for the first row).
+    pub speedup: f64,
+    /// Whether the engine served the batch from its compiled-model cache.
+    pub cache_hit: bool,
+}
+
+/// Sweep scenario specs: per-input p1 varies with both input position and
+/// scenario index so every scenario re-propagates distinct evidence.
+pub fn batch_specs(circuit: &Circuit, scenarios: usize) -> Vec<InputSpec> {
+    (0..scenarios)
+        .map(|k| {
+            InputSpec::independent(
+                (0..circuit.num_inputs()).map(move |i| 0.1 + 0.08 * ((i + 3 * k) % 10) as f64),
+            )
+        })
+        .collect()
+}
+
+/// Measures batch throughput over `jobs_list` worker counts.
+///
+/// A warm-up batch populates the engine's compiled-model cache first, so
+/// the timed rows measure the paper's "Update" path (propagation only) and
+/// every row after the warm-up is a cache hit.
+///
+/// # Panics
+///
+/// Panics if the circuit fails to compile or any scenario fails.
+pub fn batch_throughput(
+    circuit: &Circuit,
+    scenarios: usize,
+    jobs_list: &[usize],
+) -> Vec<BatchThroughputRow> {
+    let specs = batch_specs(circuit, scenarios);
+    let options = Options::default();
+    let mut rows: Vec<BatchThroughputRow> = Vec::new();
+    for &jobs in jobs_list {
+        let engine = swact_engine::Engine::with_jobs(jobs);
+        // Warm-up: compile into this engine's cache (untimed).
+        let warm = engine
+            .estimate_batch(circuit, &specs[..1], &options)
+            .expect("benchmark circuit compiles");
+        assert!(warm.all_ok(), "warm-up batch failed");
+        let report = engine
+            .estimate_batch(circuit, &specs, &options)
+            .expect("compiled model present");
+        assert!(report.all_ok(), "batch scenario failed");
+        let wall_s = report.wall_time.as_secs_f64();
+        let scenarios_per_sec = report.scenarios_per_sec();
+        let speedup = match rows.first() {
+            Some(base) if base.scenarios_per_sec > 0.0 => {
+                scenarios_per_sec / base.scenarios_per_sec
+            }
+            _ => 1.0,
+        };
+        rows.push(BatchThroughputRow {
+            jobs,
+            scenarios,
+            wall_s,
+            scenarios_per_sec,
+            speedup,
+            cache_hit: report.cache_hit,
+        });
+    }
+    rows
+}
+
+/// Renders throughput rows as a JSON document (hand-rolled: the workspace
+/// deliberately has no serde dependency).
+pub fn batch_throughput_json(circuit_name: &str, rows: &[BatchThroughputRow]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"circuit\": \"{circuit_name}\",");
+    let _ = writeln!(
+        out,
+        "  \"scenarios\": {},",
+        rows.first().map_or(0, |r| r.scenarios)
+    );
+    // Speedup is bounded by the host's cores; record them so a 1.0x row on
+    // a 1-CPU machine is not misread as an engine defect.
+    let _ = writeln!(
+        out,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"jobs\": {}, \"wall_s\": {:.6}, \"scenarios_per_sec\": {:.3}, \
+             \"speedup\": {:.3}, \"cache_hit\": {}}}",
+            row.jobs, row.wall_s, row.scenarios_per_sec, row.speedup, row.cache_hit
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,12 +361,31 @@ mod tests {
     }
 
     #[test]
+    fn batch_throughput_rows_and_json() {
+        let circuit = catalog::benchmark("c17").expect("known benchmark");
+        let rows = batch_throughput(&circuit, 4, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].jobs, 1);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+        assert!(rows.iter().all(|r| r.cache_hit && r.scenarios == 4));
+        let json = batch_throughput_json("c17", &rows);
+        assert!(json.contains("\"circuit\": \"c17\""));
+        assert!(json.contains("\"jobs\": 2"));
+        assert_eq!(json.matches("cache_hit").count(), 2);
+    }
+
+    #[test]
     fn formatting_is_complete() {
         let rows = vec![table1_row("c17", 1 << 14, &Options::default())];
         let text = format_table1(&rows);
         assert!(text.contains("c17"));
         assert!(text.contains("average"));
-        let rows = vec![table2_row("c17", 1 << 14, &Options::default(), &[&Independence])];
+        let rows = vec![table2_row(
+            "c17",
+            1 << 14,
+            &Options::default(),
+            &[&Independence],
+        )];
         let text = format_table2(&rows);
         assert!(text.contains("independence"));
     }

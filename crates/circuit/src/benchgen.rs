@@ -197,8 +197,7 @@ pub fn generate(config: &GeneratorConfig) -> Circuit {
         let mut remaining_unary = unary;
         // Reduce the pool to a single line.
         while pool.len() > 1 || remaining_unary > 0 {
-            let apply_unary =
-                remaining_unary > 0 && (pool.len() == 1 || rng.below(8) == 0);
+            let apply_unary = remaining_unary > 0 && (pool.len() == 1 || rng.below(8) == 0);
             let (kind, chosen) = if apply_unary {
                 remaining_unary -= 1;
                 let kind = if rng.below(4) == 0 {
@@ -225,17 +224,14 @@ pub fn generate(config: &GeneratorConfig) -> Circuit {
                 }
                 // Duplicate leaves are fine for AND/OR-family gates (they
                 // just alias) but make parity gates constant; avoid that.
-                if chosen[0] == chosen[1]
-                    && matches!(kind, GateKind::Xor | GateKind::Xnor)
-                {
+                if chosen[0] == chosen[1] && matches!(kind, GateKind::Xor | GateKind::Xnor) {
                     kind = GateKind::Nand;
                 }
                 (kind, chosen)
             };
             let name = format!("n{gate_no}");
             gate_no += 1;
-            let input_names: Vec<&str> =
-                chosen.iter().map(|&i| names[i].as_str()).collect();
+            let input_names: Vec<&str> = chosen.iter().map(|&i| names[i].as_str()).collect();
             b.gate(&name, kind, &input_names)
                 .expect("generated names are unique");
             pool.push(names.len());
@@ -244,7 +240,8 @@ pub fn generate(config: &GeneratorConfig) -> Circuit {
         b.output(&names[pool[0]]).expect("declared line");
     }
     debug_assert_eq!(gate_no, config.gates);
-    b.finish().expect("generator maintains structural invariants")
+    b.finish()
+        .expect("generator maintains structural invariants")
 }
 
 /// Generates a chain of `depth` alternating gates over `inputs` primary
@@ -341,7 +338,8 @@ pub fn reconvergent(name: &'static str, inputs: usize, branches: usize, seed: u6
         b.gate("y", GateKind::Xor, &refs).expect("unique");
         b.output("y").expect("declared");
     }
-    b.finish().expect("reconvergent generator is structurally valid")
+    b.finish()
+        .expect("reconvergent generator is structurally valid")
 }
 
 /// Returns the ids of all primary-input lines that reach no output — the
@@ -418,11 +416,7 @@ mod tests {
             ..GeneratorConfig::default_for("reconv")
         };
         let c = generate(&config);
-        let multi_fanout = c
-            .fanout_counts()
-            .into_iter()
-            .filter(|&n| n >= 2)
-            .count();
+        let multi_fanout = c.fanout_counts().into_iter().filter(|&n| n >= 2).count();
         assert!(
             multi_fanout >= 10,
             "expected reconvergence, found {multi_fanout} multi-fanout lines"

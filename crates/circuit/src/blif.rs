@@ -104,10 +104,7 @@ pub fn parse_blif(name: &str, source: &str) -> Result<SequentialCircuit, Circuit
                 ));
             }
             _ => {
-                return Err(parse_err(
-                    line_no,
-                    format!("unexpected statement `{text}`"),
-                ));
+                return Err(parse_err(line_no, format!("unexpected statement `{text}`")));
             }
         }
     }
@@ -205,10 +202,7 @@ fn logical_lines(source: &str) -> Vec<(usize, String)> {
 }
 
 /// Rows following a `.names` header until the next dot-statement.
-fn collect_cubes(
-    statements: &[(usize, String)],
-    mut i: usize,
-) -> (Vec<(usize, String)>, usize) {
+fn collect_cubes(statements: &[(usize, String)], mut i: usize) -> (Vec<(usize, String)>, usize) {
     let mut rows = Vec::new();
     while i < statements.len() && !statements[i].1.starts_with('.') {
         rows.push(statements[i].clone());
@@ -385,8 +379,7 @@ mod tests {
         }
         for line in circuit.topo_order() {
             if let Some(g) = circuit.gate(line) {
-                values[line.index()] =
-                    g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+                values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
             }
         }
         values
@@ -410,11 +403,7 @@ mod tests {
             let a = case & 2 == 2;
             let b_in = case & 4 == 4;
             let want = if s { b_in } else { a };
-            assert_eq!(
-                eval(&c, &[s, a, b_in])[y.index()],
-                want,
-                "case {case}"
-            );
+            assert_eq!(eval(&c, &[s, a, b_in])[y.index()], want, "case {case}");
         }
     }
 

@@ -50,25 +50,158 @@ pub struct BenchmarkInfo {
 
 /// All 19 benchmarks of Table 1, in the paper's row order.
 pub const BENCHMARKS: [BenchmarkInfo; 19] = [
-    BenchmarkInfo { name: "c17", family: Family::Iscas85, inputs: 5, outputs: 2, gates: 6, authentic: true },
-    BenchmarkInfo { name: "c432", family: Family::Iscas85, inputs: 36, outputs: 7, gates: 160, authentic: false },
-    BenchmarkInfo { name: "c499", family: Family::Iscas85, inputs: 41, outputs: 32, gates: 202, authentic: false },
-    BenchmarkInfo { name: "c880", family: Family::Iscas85, inputs: 60, outputs: 26, gates: 383, authentic: false },
-    BenchmarkInfo { name: "c1355", family: Family::Iscas85, inputs: 41, outputs: 32, gates: 546, authentic: false },
-    BenchmarkInfo { name: "c1908", family: Family::Iscas85, inputs: 33, outputs: 25, gates: 880, authentic: false },
-    BenchmarkInfo { name: "c2670", family: Family::Iscas85, inputs: 233, outputs: 140, gates: 1193, authentic: false },
-    BenchmarkInfo { name: "c3540", family: Family::Iscas85, inputs: 50, outputs: 22, gates: 1669, authentic: false },
-    BenchmarkInfo { name: "c5315", family: Family::Iscas85, inputs: 178, outputs: 123, gates: 2307, authentic: false },
-    BenchmarkInfo { name: "c6288", family: Family::Iscas85, inputs: 32, outputs: 32, gates: 2416, authentic: false },
-    BenchmarkInfo { name: "c7552", family: Family::Iscas85, inputs: 207, outputs: 108, gates: 3512, authentic: false },
-    BenchmarkInfo { name: "alu2", family: Family::Mcnc89, inputs: 10, outputs: 6, gates: 335, authentic: false },
-    BenchmarkInfo { name: "malu4", family: Family::Mcnc89, inputs: 14, outputs: 8, gates: 100, authentic: false },
-    BenchmarkInfo { name: "max_flat", family: Family::Mcnc89, inputs: 32, outputs: 16, gates: 800, authentic: false },
-    BenchmarkInfo { name: "voter", family: Family::Mcnc89, inputs: 12, outputs: 1, gates: 600, authentic: false },
-    BenchmarkInfo { name: "b9", family: Family::Mcnc89, inputs: 41, outputs: 21, gates: 105, authentic: false },
-    BenchmarkInfo { name: "count", family: Family::Mcnc89, inputs: 35, outputs: 16, gates: 144, authentic: false },
-    BenchmarkInfo { name: "comp", family: Family::Mcnc89, inputs: 32, outputs: 3, gates: 110, authentic: false },
-    BenchmarkInfo { name: "pcler8", family: Family::Mcnc89, inputs: 27, outputs: 17, gates: 72, authentic: false },
+    BenchmarkInfo {
+        name: "c17",
+        family: Family::Iscas85,
+        inputs: 5,
+        outputs: 2,
+        gates: 6,
+        authentic: true,
+    },
+    BenchmarkInfo {
+        name: "c432",
+        family: Family::Iscas85,
+        inputs: 36,
+        outputs: 7,
+        gates: 160,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c499",
+        family: Family::Iscas85,
+        inputs: 41,
+        outputs: 32,
+        gates: 202,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c880",
+        family: Family::Iscas85,
+        inputs: 60,
+        outputs: 26,
+        gates: 383,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c1355",
+        family: Family::Iscas85,
+        inputs: 41,
+        outputs: 32,
+        gates: 546,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c1908",
+        family: Family::Iscas85,
+        inputs: 33,
+        outputs: 25,
+        gates: 880,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c2670",
+        family: Family::Iscas85,
+        inputs: 233,
+        outputs: 140,
+        gates: 1193,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c3540",
+        family: Family::Iscas85,
+        inputs: 50,
+        outputs: 22,
+        gates: 1669,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c5315",
+        family: Family::Iscas85,
+        inputs: 178,
+        outputs: 123,
+        gates: 2307,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c6288",
+        family: Family::Iscas85,
+        inputs: 32,
+        outputs: 32,
+        gates: 2416,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "c7552",
+        family: Family::Iscas85,
+        inputs: 207,
+        outputs: 108,
+        gates: 3512,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "alu2",
+        family: Family::Mcnc89,
+        inputs: 10,
+        outputs: 6,
+        gates: 335,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "malu4",
+        family: Family::Mcnc89,
+        inputs: 14,
+        outputs: 8,
+        gates: 100,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "max_flat",
+        family: Family::Mcnc89,
+        inputs: 32,
+        outputs: 16,
+        gates: 800,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "voter",
+        family: Family::Mcnc89,
+        inputs: 12,
+        outputs: 1,
+        gates: 600,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "b9",
+        family: Family::Mcnc89,
+        inputs: 41,
+        outputs: 21,
+        gates: 105,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "count",
+        family: Family::Mcnc89,
+        inputs: 35,
+        outputs: 16,
+        gates: 144,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "comp",
+        family: Family::Mcnc89,
+        inputs: 32,
+        outputs: 3,
+        gates: 110,
+        authentic: false,
+    },
+    BenchmarkInfo {
+        name: "pcler8",
+        family: Family::Mcnc89,
+        inputs: 27,
+        outputs: 17,
+        gates: 72,
+        authentic: false,
+    },
 ];
 
 /// The subset of [`BENCHMARKS`] used in Table 2 (`c432` … `c7552`).
@@ -186,10 +319,7 @@ mod tests {
     #[test]
     fn c17_is_authentic_shape() {
         let c = c17();
-        assert_eq!(
-            (c.num_inputs(), c.num_outputs(), c.num_gates()),
-            (5, 2, 6)
-        );
+        assert_eq!((c.num_inputs(), c.num_outputs(), c.num_gates()), (5, 2, 6));
         // Reconvergent fanout: line 11 feeds both 16 and 19.
         let l11 = c.find_line("11").unwrap();
         assert_eq!(c.fanout_counts()[l11.index()], 2);
@@ -207,8 +337,7 @@ mod tests {
             }
             for &line in &order {
                 if let Some(g) = c.gate(line) {
-                    values[line.index()] =
-                        g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+                    values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
                 }
             }
             (

@@ -62,18 +62,14 @@ pub fn decompose_fanin(circuit: &Circuit, max_fanin: usize) -> Result<Circuit, C
                 lines.push((name, Driver::Input));
             }
             Driver::Gate(g) => {
-                let mapped: Vec<usize> =
-                    g.inputs.iter().map(|&i| new_index[i.index()]).collect();
+                let mapped: Vec<usize> = g.inputs.iter().map(|&i| new_index[i.index()]).collect();
                 if g.inputs.len() <= max_fanin {
                     new_index[line.index()] = lines.len();
                     lines.push((
                         name,
                         Driver::Gate(Gate {
                             kind: g.kind,
-                            inputs: mapped
-                                .into_iter()
-                                .map(crate::LineId::from_index)
-                                .collect(),
+                            inputs: mapped.into_iter().map(crate::LineId::from_index).collect(),
                         }),
                     ));
                     continue;

@@ -79,8 +79,7 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, CircuitError> {
             if kind_str.eq_ignore_ascii_case("DFF") {
                 return Err(CircuitError::Parse {
                     line_no,
-                    message: "sequential element DFF is not supported (combinational only)"
-                        .into(),
+                    message: "sequential element DFF is not supported (combinational only)".into(),
                 });
             }
             let kind: GateKind = kind_str.parse().map_err(|_| CircuitError::Parse {

@@ -96,9 +96,7 @@ impl SequentialCircuit {
             )));
         }
         for reg in &registers {
-            if reg.state_input >= core.num_inputs()
-                || reg.next_state.index() >= core.num_lines()
-            {
+            if reg.state_input >= core.num_inputs() || reg.next_state.index() >= core.num_lines() {
                 return Err(CircuitError::UnknownLine(reg.name.clone()));
             }
         }
@@ -119,10 +117,7 @@ impl SequentialCircuit {
 /// Returns [`CircuitError::Parse`] for malformed lines and the usual
 /// structural errors for invalid netlists (e.g. a `DFF` whose data line
 /// never appears).
-pub fn parse_bench_sequential(
-    name: &str,
-    source: &str,
-) -> Result<SequentialCircuit, CircuitError> {
+pub fn parse_bench_sequential(name: &str, source: &str) -> Result<SequentialCircuit, CircuitError> {
     // Pre-scan: pull DFF statements out, remember (q, d) pairs, and count
     // the true primary inputs so state inputs can be appended after them.
     let mut combinational = String::new();
@@ -226,40 +221,28 @@ mod tests {
         assert_eq!(seq.core().line_name(seq.state_line(0)), "q0");
         assert_eq!(seq.core().line_name(seq.state_line(1)), "q1");
         // Next-state lines resolve.
-        assert_eq!(
-            seq.core().line_name(seq.registers()[0].next_state),
-            "d0"
-        );
+        assert_eq!(seq.core().line_name(seq.registers()[0].next_state), "d0");
     }
 
     #[test]
     fn combinational_sources_have_no_registers() {
-        let seq = parse_bench_sequential(
-            "comb",
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n",
-        )
-        .unwrap();
+        let seq = parse_bench_sequential("comb", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+            .unwrap();
         assert!(seq.registers().is_empty());
         assert_eq!(seq.num_primary_inputs(), 2);
     }
 
     #[test]
     fn dangling_data_line_rejected() {
-        let err = parse_bench_sequential(
-            "bad",
-            "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_bench_sequential("bad", "INPUT(a)\nOUTPUT(q)\nq = DFF(ghost)\n").unwrap_err();
         assert!(matches!(err, CircuitError::UnknownLine(_)));
     }
 
     #[test]
     fn multi_input_dff_rejected() {
-        let err = parse_bench_sequential(
-            "bad",
-            "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_bench_sequential("bad", "INPUT(a)\nOUTPUT(q)\nq = DFF(a, a)\n").unwrap_err();
         assert!(matches!(err, CircuitError::Parse { .. }));
     }
 
@@ -267,11 +250,9 @@ mod tests {
     fn feedback_through_register_is_legal() {
         // q = DFF(d), d = NOT(q): a combinational cycle would be rejected,
         // but through a register it parses (q is just an input).
-        let seq = parse_bench_sequential(
-            "osc",
-            "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(q, en)\n",
-        )
-        .unwrap();
+        let seq =
+            parse_bench_sequential("osc", "INPUT(en)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(q, en)\n")
+                .unwrap();
         assert_eq!(seq.registers().len(), 1);
     }
 }

@@ -133,9 +133,7 @@ impl Circuit {
     /// outputs).
     pub fn sinks(&self) -> Vec<LineId> {
         let counts = self.fanout_counts();
-        self.line_ids()
-            .filter(|l| counts[l.index()] == 0)
-            .collect()
+        self.line_ids().filter(|l| counts[l.index()] == 0).collect()
     }
 }
 

@@ -120,7 +120,12 @@ pub fn to_verilog(circuit: &Circuit) -> String {
         ports.join(", ")
     );
     for &input in circuit.inputs() {
-        let _ = writeln!(out, "  input {}; // {}", net(input), circuit.line_name(input));
+        let _ = writeln!(
+            out,
+            "  input {}; // {}",
+            net(input),
+            circuit.line_name(input)
+        );
     }
     for &output in circuit.outputs() {
         let _ = writeln!(
@@ -169,7 +174,13 @@ pub fn to_verilog(circuit: &Circuit) -> String {
 fn sanitize_module_name(name: &str) -> String {
     let mut sanitized: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if sanitized
         .chars()
@@ -227,11 +238,17 @@ mod tests {
         b.gate("inv", GateKind::Not, &["a"]).unwrap();
         b.gate("pass", GateKind::Buf, &["b"]).unwrap();
         b.gate("k0", GateKind::Const0, &[]).unwrap();
-        b.gate("top", GateKind::Or, &["g0", "g1", "g2", "g3", "g4", "g5", "inv", "pass", "k0"])
-            .unwrap();
+        b.gate(
+            "top",
+            GateKind::Or,
+            &["g0", "g1", "g2", "g3", "g4", "g5", "inv", "pass", "k0"],
+        )
+        .unwrap();
         b.output("top").unwrap();
         let v = to_verilog(&b.finish().unwrap());
-        for prim in ["and ", "nand ", "or ", "nor ", "xor ", "xnor ", "not ", "buf "] {
+        for prim in [
+            "and ", "nand ", "or ", "nor ", "xor ", "xnor ", "not ", "buf ",
+        ] {
             assert!(v.contains(prim), "missing {prim}");
         }
         assert!(v.contains("assign") && v.contains("1'b0"));

@@ -7,6 +7,7 @@
 //! ```text
 //! swact estimate <netlist.bench> [--p1 P] [--activity A] [--budget N]
 //!                [--single-bn] [--power] [--sequential]
+//! swact batch    <netlist.bench> [--jobs N] [--sweep N] [--spec FILE]
 //! swact compare  <netlist.bench> [--pairs N]
 //! swact bench    <name>
 //! swact dot      <netlist.bench>
@@ -17,11 +18,10 @@ use std::fmt::Write as _;
 
 use swact::sequential::{estimate_sequential, SequentialOptions};
 use swact::{estimate, InputModel, InputSpec, Options, PowerModel};
-use swact_baselines::{
-    Independence, PairwiseCorrelation, SwitchingEstimator, TransitionDensity,
-};
+use swact_baselines::{Independence, PairwiseCorrelation, SwitchingEstimator, TransitionDensity};
 use swact_circuit::sequential::parse_bench_sequential;
 use swact_circuit::{catalog, parse::parse_bench, write, Circuit};
+use swact_engine::Engine;
 use swact_sim::{measure_activity, StreamModel};
 
 /// A user-facing CLI failure: message plus suggested exit code.
@@ -61,6 +61,7 @@ swact — switching-activity and power estimation (Bhanja & Ranganathan, DAC 200
 
 USAGE:
   swact estimate <netlist.bench> [options]   estimate per-line switching
+  swact batch    <netlist.bench> [options]   estimate many input scenarios at once
   swact compare  <netlist.bench> [--pairs N] compare against baselines & simulation
   swact bench    <name>                      print a built-in benchmark as .bench
   swact dot      <netlist.bench>             print the circuit as Graphviz DOT
@@ -74,7 +75,20 @@ ESTIMATE OPTIONS:
   --single-bn      force one exact Bayesian network (may be infeasible)
   --power          also print the dynamic-power report
   --sequential     treat DFFs via fixed-point iteration (default: reject DFFs)
-  --csv            emit per-line results as CSV instead of a table";
+  --csv            emit per-line results as CSV instead of a table
+
+BATCH OPTIONS:
+  --jobs <N>       worker threads (default: all CPUs); results are identical
+                   for every N — the circuit compiles once and all scenarios
+                   propagate over the shared junction trees
+  --sweep <N>      estimate N scenarios with p1 swept over [0.05, 0.95]
+                   (default 8; ignored when --spec is given)
+  --spec <FILE>    read scenarios from FILE: one scenario per line, either a
+                   single p1 for all inputs or one p1 per input
+                   (whitespace/comma separated; `#` starts a comment)
+  --budget <N>     junction-tree state budget per segment (default 131072)
+  --csv            emit per-scenario, per-line switching as CSV
+  --stats          also print timing/cache metrics (not byte-stable)";
 
 /// Parses arguments and runs the requested command, returning the output
 /// text.
@@ -89,6 +103,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let rest: Vec<&String> = it.collect();
     match command.as_str() {
         "estimate" => cmd_estimate(&rest),
+        "batch" => cmd_batch(&rest),
         "compare" => cmd_compare(&rest),
         "bench" => cmd_bench(&rest),
         "dot" => cmd_dot(&rest),
@@ -136,9 +151,10 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                             .map_err(|_| usage_error(format!("bad --p1 value `{value}`")))?
                     }
                     "--activity" => {
-                        parsed.activity = Some(value.parse().map_err(|_| {
-                            usage_error(format!("bad --activity value `{value}`"))
-                        })?)
+                        parsed.activity =
+                            Some(value.parse().map_err(|_| {
+                                usage_error(format!("bad --activity value `{value}`"))
+                            })?)
                     }
                     _ => {
                         parsed.budget = value
@@ -190,8 +206,7 @@ fn load_circuit(path: &str) -> Result<Circuit, CliError> {
     let source = std::fs::read_to_string(path)
         .map_err(|e| runtime_error(format!("cannot read `{path}`: {e}")))?;
     if is_blif(path, &source) {
-        return swact_circuit::blif::parse_blif_combinational(path, &source)
-            .map_err(runtime_error);
+        return swact_circuit::blif::parse_blif_combinational(path, &source).map_err(runtime_error);
     }
     parse_bench(path, &source).map_err(runtime_error)
 }
@@ -251,7 +266,11 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
             seq.registers().len(),
             seq.core().num_gates(),
             result.iterations,
-            if result.converged { "" } else { " (NOT converged)" }
+            if result.converged {
+                ""
+            } else {
+                " (NOT converged)"
+            }
         );
         let _ = writeln!(out, "{:<20} {:>10} {:>10}", "line", "P(switch)", "P(1)");
         for line in seq.core().line_ids() {
@@ -295,7 +314,11 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
             est.signal_probability(line)
         );
     }
-    let _ = writeln!(out, "\nmean switching activity: {:.4}", est.mean_switching());
+    let _ = writeln!(
+        out,
+        "\nmean switching activity: {:.4}",
+        est.mean_switching()
+    );
     if args.power {
         let report = PowerModel::default().power(&circuit, &est);
         let _ = writeln!(out, "dynamic power: {:.3} µW", report.total_watts * 1e6);
@@ -308,6 +331,252 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
                 watts * 1e6
             );
         }
+    }
+    Ok(out)
+}
+
+struct BatchArgs {
+    path: String,
+    jobs: Option<usize>,
+    sweep: usize,
+    spec_file: Option<String>,
+    budget: usize,
+    csv: bool,
+    stats: bool,
+}
+
+fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
+    let mut parsed = BatchArgs {
+        path: String::new(),
+        jobs: None,
+        sweep: 8,
+        spec_file: None,
+        budget: 1 << 17,
+        csv: false,
+        stats: false,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            flag @ ("--jobs" | "--sweep" | "--budget" | "--spec") => {
+                let value = rest
+                    .get(i + 1)
+                    .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
+                match flag {
+                    "--jobs" => {
+                        parsed.jobs = Some(
+                            value
+                                .parse()
+                                .map_err(|_| usage_error(format!("bad --jobs value `{value}`")))?,
+                        )
+                    }
+                    "--sweep" => {
+                        parsed.sweep = value
+                            .parse()
+                            .map_err(|_| usage_error(format!("bad --sweep value `{value}`")))?
+                    }
+                    "--budget" => {
+                        parsed.budget = value
+                            .parse()
+                            .map_err(|_| usage_error(format!("bad --budget value `{value}`")))?
+                    }
+                    _ => parsed.spec_file = Some(value.to_string()),
+                }
+                i += 2;
+            }
+            "--csv" => {
+                parsed.csv = true;
+                i += 1;
+            }
+            "--stats" => {
+                parsed.stats = true;
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(usage_error(format!("unknown option `{flag}`")));
+            }
+            path => {
+                if !parsed.path.is_empty() {
+                    return Err(usage_error("more than one netlist given"));
+                }
+                parsed.path = path.to_string();
+                i += 1;
+            }
+        }
+    }
+    if parsed.path.is_empty() {
+        return Err(usage_error("missing netlist path"));
+    }
+    if parsed.sweep == 0 {
+        return Err(usage_error("--sweep must be at least 1"));
+    }
+    Ok(parsed)
+}
+
+/// Parses a scenario file: one scenario per line, blank lines and `#`
+/// comments skipped; each line is either one p1 (all inputs) or exactly
+/// `num_inputs` p1 values, separated by whitespace and/or commas.
+fn parse_spec_file(source: &str, num_inputs: usize) -> Result<Vec<InputSpec>, CliError> {
+    let mut specs = Vec::new();
+    for (lineno, line) in source.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let values: Vec<f64> = line
+            .split(|c: char| c.is_whitespace() || c == ',')
+            .filter(|t| !t.is_empty())
+            .map(|t| {
+                t.parse().map_err(|_| {
+                    runtime_error(format!("spec line {}: bad p1 value `{t}`", lineno + 1))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let p1s = match values.len() {
+            1 => vec![values[0]; num_inputs],
+            n if n == num_inputs => values,
+            n => {
+                return Err(runtime_error(format!(
+                    "spec line {}: expected 1 or {num_inputs} values, got {n}",
+                    lineno + 1
+                )))
+            }
+        };
+        specs.push(InputSpec::independent(p1s));
+    }
+    if specs.is_empty() {
+        return Err(runtime_error("spec file contains no scenarios"));
+    }
+    Ok(specs)
+}
+
+/// Sweep scenarios: `n` specs with every input's p1 linearly spaced over
+/// [0.05, 0.95].
+fn sweep_specs(n: usize, num_inputs: usize) -> Vec<InputSpec> {
+    (0..n)
+        .map(|i| {
+            let t = if n > 1 {
+                i as f64 / (n - 1) as f64
+            } else {
+                0.5
+            };
+            InputSpec::independent(vec![0.05 + 0.9 * t; num_inputs])
+        })
+        .collect()
+}
+
+fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
+    let args = parse_batch_args(rest)?;
+    let circuit = load_circuit(&args.path)?;
+    let specs = match &args.spec_file {
+        Some(path) => {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| runtime_error(format!("cannot read `{path}`: {e}")))?;
+            parse_spec_file(&source, circuit.num_inputs())?
+        }
+        None => sweep_specs(args.sweep, circuit.num_inputs()),
+    };
+    let engine = match args.jobs {
+        Some(jobs) => Engine::with_jobs(jobs),
+        None => Engine::new(),
+    };
+    let options = Options {
+        segment_budget: args.budget,
+        ..Options::default()
+    };
+    let report = engine
+        .estimate_batch(&circuit, &specs, &options)
+        .map_err(runtime_error)?;
+
+    let mut out = String::new();
+    if args.csv {
+        let _ = write!(out, "scenario,p1_mean,mean_switching");
+        for line in circuit.line_ids() {
+            let _ = write!(out, ",{}", circuit.line_name(line));
+        }
+        out.push('\n');
+        for (item, spec) in report.items.iter().zip(&specs) {
+            let p1_mean: f64 =
+                spec.models().iter().map(InputModel::p1).sum::<f64>() / spec.len() as f64;
+            match &item.result {
+                Ok(est) => {
+                    let _ = write!(
+                        out,
+                        "{},{:.6},{:.6}",
+                        item.index,
+                        p1_mean,
+                        est.mean_switching()
+                    );
+                    for sw in est.switching_all() {
+                        let _ = write!(out, ",{sw:.6}");
+                    }
+                    out.push('\n');
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{},{:.6},error: {e}", item.index, p1_mean);
+                }
+            }
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "{}: {} inputs, {} gates; {} scenario(s) over {} Bayesian network(s)",
+            circuit.name(),
+            circuit.num_inputs(),
+            circuit.num_gates(),
+            specs.len(),
+            report
+                .estimates()
+                .next()
+                .map_or(0, swact::Estimate::num_segments),
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>16}",
+            "scenario", "p1(mean)", "mean P(switch)"
+        );
+        for (item, spec) in report.items.iter().zip(&specs) {
+            let p1_mean: f64 =
+                spec.models().iter().map(InputModel::p1).sum::<f64>() / spec.len() as f64;
+            match &item.result {
+                Ok(est) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:>10.4} {:>16.4}",
+                        item.index,
+                        p1_mean,
+                        est.mean_switching()
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{:<10} {:>10.4} error: {e}", item.index, p1_mean);
+                }
+            }
+        }
+    }
+    if args.stats {
+        // Timing lines are intentionally separate from the deterministic
+        // body above: `batch --jobs 1` and `--jobs N` agree byte-for-byte
+        // without --stats.
+        let metrics = engine.metrics();
+        let _ = writeln!(
+            out,
+            "\njobs {}; cache {}; compile {:?}; wall {:?}; {:.1} scenarios/s",
+            report.jobs,
+            if report.cache_hit { "hit" } else { "miss" },
+            report.compile_time,
+            report.wall_time,
+            report.scenarios_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "requests {} ({} failed); queue depth max {}; propagate total {:?}; queue wait total {:?}",
+            metrics.requests_completed,
+            metrics.requests_failed,
+            metrics.max_queue_depth,
+            metrics.propagate_time,
+            metrics.queue_wait
+        );
     }
     Ok(out)
 }
@@ -355,7 +624,11 @@ fn cmd_compare(rest: &[&String]) -> Result<String, CliError> {
         circuit.num_gates(),
         truth.pairs
     );
-    let _ = writeln!(out, "{:<24} {:>9} {:>9} {:>9}", "method", "µErr", "σErr", "%Err");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9} {:>9} {:>9}",
+        "method", "µErr", "σErr", "%Err"
+    );
     let bn = estimate(&circuit, &spec, &Options::default()).map_err(runtime_error)?;
     let stats = bn.compare(&truth.switching);
     let _ = writeln!(
@@ -491,7 +764,9 @@ mod tests {
     fn estimate_rejects_bad_flags() {
         assert_eq!(run_strs(&["estimate"]).unwrap_err().exit_code, 2);
         assert_eq!(
-            run_strs(&["estimate", "c17", "--p1"]).unwrap_err().exit_code,
+            run_strs(&["estimate", "c17", "--p1"])
+                .unwrap_err()
+                .exit_code,
             2
         );
         assert_eq!(
@@ -501,7 +776,9 @@ mod tests {
             2
         );
         assert_eq!(
-            run_strs(&["estimate", "c17", "--wat"]).unwrap_err().exit_code,
+            run_strs(&["estimate", "c17", "--wat"])
+                .unwrap_err()
+                .exit_code,
             2
         );
         assert_eq!(
@@ -534,11 +811,7 @@ mod tests {
         let dir = std::env::temp_dir().join("swact_cli_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("shift.bench");
-        std::fs::write(
-            &path,
-            "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUF(a)\n",
-        )
-        .unwrap();
+        std::fs::write(&path, "INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = BUF(a)\n").unwrap();
         let path = path.to_string_lossy().to_string();
         let out = run_strs(&["estimate", &path, "--sequential"]).unwrap();
         assert!(out.contains("registers"));
@@ -576,6 +849,73 @@ mod tests {
         let mut lines = out.lines();
         assert!(lines.next().unwrap().starts_with("line,"));
         assert_eq!(lines.count(), 11); // 5 inputs + 6 gates
+    }
+
+    #[test]
+    fn batch_sweep_is_identical_across_job_counts() {
+        let serial = run_strs(&["batch", "c17", "--jobs", "1", "--sweep", "6"]).unwrap();
+        let parallel = run_strs(&["batch", "c17", "--jobs", "4", "--sweep", "6"]).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(serial.contains("6 scenario(s)"));
+        let csv_serial =
+            run_strs(&["batch", "c17", "--jobs", "1", "--sweep", "5", "--csv"]).unwrap();
+        let csv_parallel =
+            run_strs(&["batch", "c17", "--jobs", "4", "--sweep", "5", "--csv"]).unwrap();
+        assert_eq!(csv_serial, csv_parallel);
+        assert!(csv_serial.starts_with("scenario,p1_mean,mean_switching,"));
+        assert_eq!(csv_serial.lines().count(), 6); // header + 5 scenarios
+    }
+
+    #[test]
+    fn batch_reads_scenarios_from_spec_file() {
+        let dir = std::env::temp_dir().join("swact_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenarios.spec");
+        // c17 has 5 inputs: one broadcast line, one per-input line, comments.
+        std::fs::write(
+            &path,
+            "# quiet then busy\n0.1\n0.2, 0.3 0.4,0.5 0.6   # per-input\n\n",
+        )
+        .unwrap();
+        let path = path.to_string_lossy().to_string();
+        let out = run_strs(&["batch", "c17", "--spec", &path, "--jobs", "2"]).unwrap();
+        assert!(out.contains("2 scenario(s)"));
+
+        let bad = dir.join("bad.spec");
+        std::fs::write(&bad, "0.1 0.2\n").unwrap(); // 2 values for 5 inputs
+        let bad = bad.to_string_lossy().to_string();
+        let err = run_strs(&["batch", "c17", "--spec", &bad]).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("expected 1 or 5 values"));
+    }
+
+    #[test]
+    fn batch_stats_flag_reports_cache_and_timings() {
+        let out = run_strs(&["batch", "c17", "--sweep", "3", "--stats"]).unwrap();
+        assert!(out.contains("cache miss"));
+        assert!(out.contains("scenarios/s"));
+        assert!(out.contains("requests 3 (0 failed)"));
+    }
+
+    #[test]
+    fn batch_rejects_bad_flags() {
+        assert_eq!(run_strs(&["batch"]).unwrap_err().exit_code, 2);
+        assert_eq!(
+            run_strs(&["batch", "c17", "--jobs"]).unwrap_err().exit_code,
+            2
+        );
+        assert_eq!(
+            run_strs(&["batch", "c17", "--jobs", "many"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        assert_eq!(
+            run_strs(&["batch", "c17", "--sweep", "0"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 use std::time::{Duration, Instant};
 
+use std::sync::Mutex;
+
 use swact_bayesnet::{
-    initial_potentials, BayesNet, Cpt, Factor, Heuristic, JunctionTree, Propagator, VarId,
+    initial_potentials, BayesNet, CompiledTree, Cpt, Factor, Heuristic, JunctionTree,
+    PropagationState, VarId,
 };
 use swact_circuit::{decompose::decompose_fanin, Circuit, LineId};
 
@@ -97,16 +100,22 @@ pub fn estimate(
     spec: &InputSpec,
     options: &Options,
 ) -> Result<Estimate, EstimateError> {
-    let mut compiled = CompiledEstimator::compile_for(circuit, spec, options)?;
+    let compiled = CompiledEstimator::compile_for(circuit, spec, options)?;
     compiled.estimate(spec)
 }
 
 struct SegmentNet {
-    tree: JunctionTree,
-    /// Initial clique potentials with *uniform* root priors baked in; the
-    /// actual priors are injected per estimate as likelihood weights
-    /// (mathematically identical, but reuses this cached product).
-    init_potentials: Vec<Factor>,
+    /// The immutable propagation artifact: junction tree, message
+    /// schedule, and initial clique potentials with *uniform* root priors
+    /// baked in; the actual priors are injected per estimate as likelihood
+    /// weights (mathematically identical, but reuses this cached product).
+    compiled: CompiledTree,
+    /// Reusable per-request propagation states. Each `run_segment` call
+    /// pops one (or creates one on first use), propagates, and returns it,
+    /// so steady-state estimation allocates no fresh potentials — the
+    /// piece that makes concurrent batch estimation over one compile
+    /// cheap.
+    states: Mutex<Vec<PropagationState>>,
     /// Independent roots with provenance: marginal priors.
     solo_roots: Vec<(LineId, VarId, RootSource)>,
     /// Correlated boundary roots: conditioned on a sibling root through a
@@ -192,7 +201,16 @@ fn run_segment(
     conditionals: &[Option<[f64; 16]>],
     joint_requests: &[(VarId, VarId, usize)],
 ) -> Result<SegmentOutput, EstimateError> {
-    let mut prop = Propagator::from_initial(&segment.tree, segment.init_potentials.clone());
+    let compiled = &segment.compiled;
+    // Reuse a pooled per-request state when one is available; its buffers
+    // survive across requests, so a warm pool propagates without
+    // allocating new potentials.
+    let mut state = {
+        let mut pool = segment.states.lock().expect("state pool lock");
+        pool.pop()
+    }
+    .unwrap_or_else(|| compiled.new_state());
+    state.clear_evidence();
     // The cached potentials carry uniform (1/4) root priors; weighting
     // state s by 4*P(s) as likelihood evidence reproduces the exact
     // prior after normalization.
@@ -201,7 +219,7 @@ fn run_segment(
             RootSource::PrimaryInput(pos) => spec.prior_row(pos),
             RootSource::Boundary => dists[line.index()].as_array().to_vec(),
         };
-        prop.set_likelihood(var, prior.iter().map(|p| 4.0 * p).collect())?;
+        compiled.set_likelihood(&mut state, var, prior.iter().map(|p| 4.0 * p).collect())?;
     }
     // Grouped primary inputs: inject 4*P(child | parent) from the
     // closed-form pair joint of the group model; explicitly paired inputs
@@ -234,28 +252,31 @@ fn run_segment(
             }
         }
         debug_assert!(pair.parent_var < pair.var);
-        prop.insert_factor(Factor::new(
-            vec![(pair.parent_var, 4), (pair.var, 4)],
-            values,
-        ))?;
+        compiled.insert_factor(
+            &mut state,
+            Factor::new(vec![(pair.parent_var, 4), (pair.var, 4)], values),
+        )?;
     }
     // Correlated boundary roots: multiply 4*P(c|p) over the cached
     // uniform conditional, restoring the producer's pairwise joint.
     for pair in &segment.pair_roots {
         let cond = conditionals[pair.slot].expect("producer wave precedes consumers");
-        debug_assert!(pair.parent_var < pair.var, "children are added after parents");
+        debug_assert!(
+            pair.parent_var < pair.var,
+            "children are added after parents"
+        );
         let values: Vec<f64> = cond.iter().map(|&p| 4.0 * p).collect();
-        prop.insert_factor(Factor::new(
-            vec![(pair.parent_var, 4), (pair.var, 4)],
-            values,
-        ))?;
+        compiled.insert_factor(
+            &mut state,
+            Factor::new(vec![(pair.parent_var, 4), (pair.var, 4)], values),
+        )?;
     }
-    prop.calibrate();
+    compiled.calibrate(&mut state);
     let gate_dists = segment
         .gates
         .iter()
         .map(|&(line, var)| {
-            let m = prop.marginal(var);
+            let m = compiled.marginal(&state, var);
             (line, TransitionDist::new([m[0], m[1], m[2], m[3]]))
         })
         .collect();
@@ -265,7 +286,7 @@ fn run_segment(
         if var_a == var_b {
             continue;
         }
-        if let Some(joint) = prop.pairwise_marginal(var_a, var_b) {
+        if let Some(joint) = compiled.pairwise_marginal(&state, var_a, var_b) {
             let a_first = joint.vars()[0] == var_a;
             let mut out = [[0.0f64; 4]; 4];
             for (a_state, row) in out.iter_mut().enumerate() {
@@ -284,8 +305,8 @@ fn run_segment(
     // Export pairwise joints for later segments.
     let mut exports = Vec::new();
     for export in &segment.exports {
-        let joint = prop
-            .pairwise_marginal(export.parent_var, export.child_var)
+        let joint = compiled
+            .pairwise_marginal(&state, export.parent_var, export.child_var)
             .expect("export pairs share a component by construction");
         let parent_first = joint.vars()[0] == export.parent_var;
         let mut cond = [0.0f64; 16];
@@ -304,6 +325,7 @@ fn run_segment(
         }
         exports.push((export.slot, cond));
     }
+    segment.states.lock().expect("state pool lock").push(state);
     Ok(SegmentOutput {
         gate_dists,
         exports,
@@ -322,7 +344,7 @@ fn run_segment(
 ///
 /// # fn main() -> Result<(), swact::EstimateError> {
 /// let c17 = catalog::c17();
-/// let mut compiled = CompiledEstimator::compile(&c17, &Options::default())?;
+/// let compiled = CompiledEstimator::compile(&c17, &Options::default())?;
 /// let uniform = compiled.estimate(&InputSpec::uniform(5))?;
 /// let biased = compiled.estimate(&InputSpec::independent(vec![0.9; 5]))?;
 /// assert_ne!(
@@ -373,7 +395,10 @@ impl CompiledEstimator {
     /// Returns [`EstimateError::TooLarge`] when `options.single_bn` is set
     /// and the whole-circuit tree exceeds the budget, or wrapped
     /// circuit/BN errors.
-    pub fn compile(circuit: &Circuit, options: &Options) -> Result<CompiledEstimator, EstimateError> {
+    pub fn compile(
+        circuit: &Circuit,
+        options: &Options,
+    ) -> Result<CompiledEstimator, EstimateError> {
         CompiledEstimator::compile_impl(circuit, &[], &[], Vec::new(), Vec::new(), options)
     }
 
@@ -482,7 +507,7 @@ impl CompiledEstimator {
                     if source == RootSource::Boundary {
                         let (producer, child_var) = produced_in[&line];
                         let producer_seg = &segments[producer];
-                        let producer_tree = &producer_seg.tree;
+                        let producer_tree = producer_seg.compiled.tree();
                         let child_home = producer_tree.home_clique(child_var);
                         let mut best: Option<(usize, LineId)> = None;
                         for &candidate in &earlier {
@@ -491,14 +516,11 @@ impl CompiledEstimator {
                             {
                                 continue;
                             }
-                            let Some(&cand_var) = producer_seg.line_vars.get(&candidate)
-                            else {
+                            let Some(&cand_var) = producer_seg.line_vars.get(&candidate) else {
                                 continue;
                             };
                             let cand_home = producer_tree.home_clique(cand_var);
-                            if let Some(d) =
-                                producer_tree.clique_distance(child_home, cand_home)
-                            {
+                            if let Some(d) = producer_tree.clique_distance(child_home, cand_home) {
                                 if best.is_none_or(|(bd, _)| d < bd) {
                                     best = Some((d, candidate));
                                 }
@@ -509,11 +531,7 @@ impl CompiledEstimator {
                             *children_of.entry(parent).or_default() += 1;
                             pair_info.insert(
                                 line,
-                                (
-                                    producer,
-                                    segments[producer].line_vars[&parent],
-                                    child_var,
-                                ),
+                                (producer, segments[producer].line_vars[&parent], child_var),
                             );
                         }
                     }
@@ -633,9 +651,7 @@ impl CompiledEstimator {
                             }
                         }
                         if let Some(&Some(group)) = group_of.get(pos) {
-                            if let Some(&(parent_var, parent_pos)) =
-                                last_group_member.get(&group)
-                            {
+                            if let Some(&(parent_var, parent_pos)) = last_group_member.get(&group) {
                                 let var = net.add_var(
                                     working.line_name(line),
                                     4,
@@ -656,12 +672,8 @@ impl CompiledEstimator {
                         }
                     }
                     // Placeholder uniform prior; weighted per estimate.
-                    let var = net.add_var(
-                        working.line_name(line),
-                        4,
-                        &[],
-                        Cpt::prior(vec![0.25; 4]),
-                    )?;
+                    let var =
+                        net.add_var(working.line_name(line), 4, &[], Cpt::prior(vec![0.25; 4]))?;
                     var_of.insert(line, var);
                     if let RootSource::PrimaryInput(pos) = source {
                         if let Some(&Some(group)) = group_of.get(pos) {
@@ -674,10 +686,8 @@ impl CompiledEstimator {
                 for &line in &seg.gates {
                     let gate = working.gate(line).expect("planned lines are gates");
                     let (unique_inputs, cpt) = crate::gate_family(gate.kind, &gate.inputs);
-                    let parents: Vec<VarId> =
-                        unique_inputs.iter().map(|l| var_of[l]).collect();
-                    let var =
-                        net.add_var(working.line_name(line), 4, &parents, cpt)?;
+                    let parents: Vec<VarId> = unique_inputs.iter().map(|l| var_of[l]).collect();
+                    let var = net.add_var(working.line_name(line), 4, &parents, cpt)?;
                     var_of.insert(line, var);
                     gates.push((line, var));
                 }
@@ -721,8 +731,8 @@ impl CompiledEstimator {
                 segments[producer].exports.push(export);
             }
             segments.push(SegmentNet {
-                tree: built.tree,
-                init_potentials,
+                compiled: CompiledTree::from_parts(built.tree, init_potentials),
+                states: Mutex::new(Vec::new()),
                 solo_roots: built.solo_roots,
                 pair_roots: built.pair_roots,
                 input_pairs: built.input_pairs,
@@ -767,11 +777,40 @@ impl CompiledEstimator {
     /// Propagates `spec` through the compiled trees and collects per-line
     /// transition distributions.
     ///
+    /// Takes `&self`: the compiled trees are immutable and each
+    /// propagation works on its own pooled [`PropagationState`], so
+    /// sessions may run concurrently from multiple threads over one
+    /// compiled estimator (the `swact-engine` crate builds on exactly
+    /// this).
+    ///
     /// # Errors
     ///
     /// Returns [`EstimateError::InputCountMismatch`] for a wrong-size spec.
-    pub fn estimate(&mut self, spec: &InputSpec) -> Result<Estimate, EstimateError> {
+    pub fn estimate(&self, spec: &InputSpec) -> Result<Estimate, EstimateError> {
         Ok(self.estimate_with_line_joints(spec, &[])?.0)
+    }
+
+    /// Deprecated alias of [`estimate`](CompiledEstimator::estimate) from
+    /// when propagation needed exclusive access.
+    #[deprecated(since = "0.1.0", note = "estimate now takes &self; call it directly")]
+    pub fn estimate_mut(&mut self, spec: &InputSpec) -> Result<Estimate, EstimateError> {
+        self.estimate(spec)
+    }
+
+    /// Deprecated alias of
+    /// [`estimate_with_line_joints`](CompiledEstimator::estimate_with_line_joints)
+    /// from when propagation needed exclusive access.
+    #[deprecated(
+        since = "0.1.0",
+        note = "estimate_with_line_joints now takes &self; call it directly"
+    )]
+    #[allow(clippy::type_complexity)]
+    pub fn estimate_with_line_joints_mut(
+        &mut self,
+        spec: &InputSpec,
+        line_pairs: &[(LineId, LineId)],
+    ) -> Result<(Estimate, Vec<Option<[[f64; 4]; 4]>>), EstimateError> {
+        self.estimate_with_line_joints(spec, line_pairs)
     }
 
     /// Like [`estimate`](CompiledEstimator::estimate), but additionally
@@ -790,7 +829,7 @@ impl CompiledEstimator {
     /// Same as [`estimate`](CompiledEstimator::estimate).
     #[allow(clippy::type_complexity)]
     pub fn estimate_with_line_joints(
-        &mut self,
+        &self,
         spec: &InputSpec,
         line_pairs: &[(LineId, LineId)],
     ) -> Result<(Estimate, Vec<Option<[[f64; 4]; 4]>>), EstimateError> {
@@ -830,9 +869,11 @@ impl CompiledEstimator {
         for (idx, &(a, b)) in line_pairs.iter().enumerate() {
             let wa = LineId::from_index(self.line_map[a.index()]);
             let wb = LineId::from_index(self.line_map[b.index()]);
-            if let Some(seg_idx) = self.segments.iter().position(|seg| {
-                seg.line_vars.contains_key(&wa) && seg.line_vars.contains_key(&wb)
-            }) {
+            if let Some(seg_idx) = self
+                .segments
+                .iter()
+                .position(|seg| seg.line_vars.contains_key(&wa) && seg.line_vars.contains_key(&wb))
+            {
                 let seg = &self.segments[seg_idx];
                 joint_requests[seg_idx].push((seg.line_vars[&wa], seg.line_vars[&wb], idx));
             }
@@ -864,27 +905,26 @@ impl CompiledEstimator {
             let dists_ref = &dists;
             let conditionals_ref = &conditionals;
             let joint_requests_ref = &joint_requests;
-            let outputs: Vec<Result<SegmentOutput, EstimateError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|&seg_idx| {
-                            scope.spawn(move || {
-                                run_segment(
-                                    &segments[seg_idx],
-                                    spec,
-                                    dists_ref,
-                                    conditionals_ref,
-                                    &joint_requests_ref[seg_idx],
-                                )
-                            })
+            let outputs: Vec<Result<SegmentOutput, EstimateError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|&seg_idx| {
+                        scope.spawn(move || {
+                            run_segment(
+                                &segments[seg_idx],
+                                spec,
+                                dists_ref,
+                                conditionals_ref,
+                                &joint_requests_ref[seg_idx],
+                            )
                         })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("segment worker never panics"))
-                        .collect()
-                });
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("segment worker never panics"))
+                    .collect()
+            });
             for output in outputs {
                 apply_segment_output(
                     output?,
@@ -976,7 +1016,10 @@ mod tests {
     /// pairs weighted by the spec.
     fn exhaustive_switching(circuit: &Circuit, spec: &InputSpec) -> Vec<f64> {
         let n = circuit.num_inputs();
-        assert!(2 * n <= 20, "exhaustive reference limited to small circuits");
+        assert!(
+            2 * n <= 20,
+            "exhaustive reference limited to small circuits"
+        );
         let order = circuit.topo_order();
         let eval = |assignment: &[bool]| -> Vec<bool> {
             let mut values = vec![false; circuit.num_lines()];
@@ -985,8 +1028,7 @@ mod tests {
             }
             for &line in &order {
                 if let Some(g) = circuit.gate(line) {
-                    values[line.index()] =
-                        g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+                    values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
                 }
             }
             values
@@ -1132,7 +1174,7 @@ mod tests {
     #[test]
     fn compiled_estimator_repropagates_consistently() {
         let c17 = catalog::c17();
-        let mut compiled = CompiledEstimator::compile(&c17, &Options::default()).unwrap();
+        let compiled = CompiledEstimator::compile(&c17, &Options::default()).unwrap();
         let spec_a = InputSpec::uniform(5);
         let spec_b = InputSpec::independent([0.8, 0.2, 0.5, 0.9, 0.1]);
         let first = compiled.estimate(&spec_a).unwrap();
@@ -1175,10 +1217,7 @@ mod tests {
     #[test]
     fn frozen_inputs_produce_zero_switching() {
         let c17 = catalog::c17();
-        let spec = InputSpec::from_models(vec![
-            crate::InputModel::new(0.5, 0.0).unwrap();
-            5
-        ]);
+        let spec = InputSpec::from_models(vec![crate::InputModel::new(0.5, 0.0).unwrap(); 5]);
         let est = estimate(&c17, &spec, &Options::default()).unwrap();
         for line in c17.line_ids() {
             assert!(est.switching(line).abs() < 1e-12);
@@ -1191,7 +1230,8 @@ mod tests {
         for n in ["a", "b", "c", "d", "e"] {
             b.input(n).unwrap();
         }
-        b.gate("y", GateKind::Nor, &["a", "b", "c", "d", "e"]).unwrap();
+        b.gate("y", GateKind::Nor, &["a", "b", "c", "d", "e"])
+            .unwrap();
         b.gate("z", GateKind::Xor, &["y", "a"]).unwrap();
         b.output("z").unwrap();
         let c = b.finish().unwrap();

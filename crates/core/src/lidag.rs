@@ -168,10 +168,8 @@ impl Lidag {
                 }
                 Driver::Gate(g) => {
                     let (unique_inputs, cpt) = gate_family(g.kind, &g.inputs);
-                    let parents: Vec<VarId> = unique_inputs
-                        .iter()
-                        .map(|&l| var_of[l.index()])
-                        .collect();
+                    let parents: Vec<VarId> =
+                        unique_inputs.iter().map(|&l| var_of[l.index()]).collect();
                     net.add_var(name, 4, &parents, cpt)?
                 }
             };
@@ -239,9 +237,7 @@ impl Lidag {
     /// Returns wrapped BN errors if compilation fails (e.g. the circuit is
     /// too large for a single junction tree — this is a whole-circuit
     /// query, so segmentation does not apply).
-    pub fn most_probable_transitions(
-        &self,
-    ) -> Result<(Vec<Transition>, f64), EstimateError> {
+    pub fn most_probable_transitions(&self) -> Result<(Vec<Transition>, f64), EstimateError> {
         let tree = swact_bayesnet::JunctionTree::compile(&self.net)?;
         let mut prop = swact_bayesnet::Propagator::new(&tree, &self.net)?;
         prop.max_calibrate();
@@ -304,7 +300,10 @@ mod tests {
         }
         // NOT gate: x01 input → x10 output.
         let inv = gate_cpt(GateKind::Not, 1);
-        assert_eq!(inv.as_rows()[Transition::Rise.index()][Transition::Fall.index()], 1.0);
+        assert_eq!(
+            inv.as_rows()[Transition::Rise.index()][Transition::Fall.index()],
+            1.0
+        );
     }
 
     #[test]
@@ -419,7 +418,10 @@ mod tests {
         let circuit = catalog::c17();
         assert!(matches!(
             Lidag::build(&circuit, &InputSpec::uniform(3), 4),
-            Err(EstimateError::InputCountMismatch { circuit: 5, spec: 3 })
+            Err(EstimateError::InputCountMismatch {
+                circuit: 5,
+                spec: 3
+            })
         ));
     }
 
@@ -458,7 +460,12 @@ mod tests {
                 best = (assignment, weight);
             }
         }
-        assert!((p - best.1).abs() < 1e-12, "probability {} vs {}", p, best.1);
+        assert!(
+            (p - best.1).abs() < 1e-12,
+            "probability {} vs {}",
+            p,
+            best.1
+        );
         // Decode the winning input pattern and check the inputs match
         // (the internal lines are implied).
         let mut rem = best.0;

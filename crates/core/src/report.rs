@@ -120,8 +120,7 @@ impl Estimate {
             self.line_map.len(),
             "estimate belongs to a different circuit"
         );
-        let mut out =
-            String::from("line,p_x00,p_x01,p_x10,p_x11,switching,signal_probability\n");
+        let mut out = String::from("line,p_x00,p_x01,p_x10,p_x11,switching,signal_probability\n");
         for line in circuit.line_ids() {
             let d = self.distribution(line).as_array();
             out.push_str(&format!(
@@ -172,11 +171,7 @@ impl ErrorStats {
         assert_eq!(estimate.len(), reference.len(), "node count mismatch");
         assert!(!estimate.is_empty(), "need at least one node");
         let n = estimate.len() as f64;
-        let errors: Vec<f64> = estimate
-            .iter()
-            .zip(reference)
-            .map(|(e, r)| e - r)
-            .collect();
+        let errors: Vec<f64> = estimate.iter().zip(reference).map(|(e, r)| e - r).collect();
         let mean_abs_error = errors.iter().map(|e| e.abs()).sum::<f64>() / n;
         let mean_err = errors.iter().sum::<f64>() / n;
         let std_error = (errors

@@ -219,12 +219,7 @@ impl<'c> SegmentBuilder<'c> {
         // list is only rooted once.
         for &input in &gate.inputs {
             if !self.driven_here.contains(&input) && !self.local.contains_key(&input) {
-                let source = match self
-                    .circuit
-                    .inputs()
-                    .iter()
-                    .position(|&pi| pi == input)
-                {
+                let source = match self.circuit.inputs().iter().position(|&pi| pi == input) {
                     Some(pos) => RootSource::PrimaryInput(pos),
                     None => RootSource::Boundary,
                 };
@@ -232,8 +227,7 @@ impl<'c> SegmentBuilder<'c> {
                 self.local_index(input);
             }
         }
-        let mut family: Vec<usize> =
-            gate.inputs.iter().map(|&l| self.local_index(l)).collect();
+        let mut family: Vec<usize> = gate.inputs.iter().map(|&l| self.local_index(l)).collect();
         family.push(self.local_index(gate_line));
         family.sort_unstable();
         family.dedup();

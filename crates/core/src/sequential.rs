@@ -129,9 +129,7 @@ pub fn estimate_sequential(
     // pipeline stages, otherwise evaporates). The joints are re-estimated
     // each iteration from the corresponding next-state line pairs.
     let chain: Vec<(usize, usize)> = (1..seq.registers().len())
-        .filter(|&i| {
-            seq.registers()[i - 1].next_state != seq.registers()[i].next_state
-        })
+        .filter(|&i| seq.registers()[i - 1].next_state != seq.registers()[i].next_state)
         .map(|i| (i - 1, i))
         .collect();
     let d_pairs: Vec<(swact_circuit::LineId, swact_circuit::LineId)> = chain
@@ -153,9 +151,7 @@ pub fn estimate_sequential(
         .iter()
         .map(|&(a, b)| independent_joint(&state_models[a], &state_models[b]))
         .collect();
-    let build_spec = |state_models: &[InputModel],
-                      state_joints: &[[[f64; 4]; 4]]|
-     -> InputSpec {
+    let build_spec = |state_models: &[InputModel], state_joints: &[[[f64; 4]; 4]]| -> InputSpec {
         let mut models = primary_spec.models().to_vec();
         models.extend_from_slice(state_models);
         let pair_joints = chain
@@ -171,7 +167,7 @@ pub fn estimate_sequential(
             .with_groups(primary_spec.groups().to_vec())
             .with_pairwise_joints(pair_joints)
     };
-    let mut compiled = CompiledEstimator::compile_for(
+    let compiled = CompiledEstimator::compile_for(
         core,
         &build_spec(&state_models, &state_joints),
         &seq_options.options,
@@ -289,9 +285,7 @@ mod tests {
         // q0's statistics are exactly those of s0 = AND(a, b).
         let q0 = seq.state_line(0);
         let s0 = seq.registers()[0].next_state;
-        assert!(
-            (result.estimate.switching(q0) - result.estimate.switching(s0)).abs() < 1e-9
-        );
+        assert!((result.estimate.switching(q0) - result.estimate.switching(s0)).abs() < 1e-9);
     }
 
     #[test]
@@ -302,12 +296,10 @@ mod tests {
         let mut previous_estimate = 1.1f64;
         for p_load in [0.9, 0.5, 0.2] {
             let spec = InputSpec::independent([p_load, 0.5]);
-            let result =
-                estimate_sequential(&seq, &spec, &SequentialOptions::default()).unwrap();
+            let result = estimate_sequential(&seq, &spec, &SequentialOptions::default()).unwrap();
             assert!(result.converged, "load={p_load}");
             let model = swact_sim::StreamModel::independent([p_load, 0.5]);
-            let sim =
-                swact_sim::measure_activity_sequential(&seq, &model, 1 << 18, 1 << 9, 17);
+            let sim = swact_sim::measure_activity_sequential(&seq, &model, 1 << 18, 1 << 9, 17);
             let q = seq.state_line(0);
             let est = result.estimate.switching(q);
             let truth = sim.switching[q.index()];

@@ -112,8 +112,7 @@ pub fn estimate_two_state(
     }
     for seg in plan.segments() {
         let mut net = BayesNet::new();
-        let mut var_of: std::collections::HashMap<LineId, VarId> =
-            std::collections::HashMap::new();
+        let mut var_of: std::collections::HashMap<LineId, VarId> = std::collections::HashMap::new();
         for &(line, source) in &seg.roots {
             let p = match source {
                 RootSource::PrimaryInput(pos) => spec.model(pos).p1(),
@@ -186,8 +185,7 @@ mod tests {
         let four = estimate(&c17, &spec, &Options::single_bn()).unwrap();
         for line in c17.line_ids() {
             assert!(
-                (two.signal_probability[line.index()] - four.signal_probability(line)).abs()
-                    < 1e-9,
+                (two.signal_probability[line.index()] - four.signal_probability(line)).abs() < 1e-9,
                 "line {}",
                 c17.line_name(line)
             );

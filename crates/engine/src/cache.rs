@@ -1,0 +1,220 @@
+//! Compiled-model cache keyed by circuit structure, options, and input-spec
+//! signature, with LRU eviction weighted by junction-tree state-space cost.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use swact::{CompiledEstimator, InputSpec, Options};
+use swact_circuit::Circuit;
+
+/// Cache key: a structural fingerprint of everything that determines a
+/// compiled model. Collisions would silently reuse the wrong model, so
+/// every structural input — topology, gate kinds, line names, options, and
+/// the spec's group/pair signature — feeds the hash.
+pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) -> u64 {
+    let mut h = DefaultHasher::new();
+
+    // Circuit structure.
+    circuit.num_lines().hash(&mut h);
+    circuit.num_inputs().hash(&mut h);
+    for line in circuit.line_ids() {
+        circuit.line_name(line).hash(&mut h);
+        match circuit.gate(line) {
+            None => 0u8.hash(&mut h),
+            Some(gate) => {
+                1u8.hash(&mut h);
+                gate.kind.hash(&mut h);
+                gate.inputs.len().hash(&mut h);
+                for input in &gate.inputs {
+                    input.index().hash(&mut h);
+                }
+            }
+        }
+    }
+    for output in circuit.outputs() {
+        output.index().hash(&mut h);
+    }
+
+    // Compilation options.
+    options.heuristic.hash(&mut h);
+    options.max_fanin.hash(&mut h);
+    options.segment_budget.hash(&mut h);
+    options.check_interval.hash(&mut h);
+    options.single_bn.hash(&mut h);
+    options.boundary_correlation.hash(&mut h);
+
+    // Spec signature: group membership and pairwise-joint edges become part
+    // of the compiled structure (probabilities do not).
+    spec.groups().len().hash(&mut h);
+    for group in spec.groups() {
+        group.members.hash(&mut h);
+    }
+    spec.pairwise_joints().len().hash(&mut h);
+    for pair in spec.pairwise_joints() {
+        pair.a.hash(&mut h);
+        pair.b.hash(&mut h);
+    }
+
+    h.finish()
+}
+
+struct Entry {
+    model: Arc<CompiledEstimator>,
+    /// Junction-tree state-space size — the model's memory cost proxy.
+    cost: f64,
+    last_used: u64,
+}
+
+/// LRU cache of compiled estimators, bounded by total state-space cost
+/// rather than entry count, so one huge model counts for what it weighs.
+pub(crate) struct ModelCache {
+    entries: HashMap<u64, Entry>,
+    budget: f64,
+    total_cost: f64,
+    tick: u64,
+}
+
+impl ModelCache {
+    pub(crate) fn new(budget_states: f64) -> ModelCache {
+        ModelCache {
+            entries: HashMap::new(),
+            budget: budget_states.max(0.0),
+            total_cost: 0.0,
+            tick: 0,
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: u64) -> Option<Arc<CompiledEstimator>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.model)
+        })
+    }
+
+    /// Inserts a freshly compiled model, evicting least-recently-used
+    /// entries until the state-space budget holds again. The new entry is
+    /// never evicted (a model bigger than the whole budget still gets
+    /// cached — evicting it immediately would defeat the batch that needs
+    /// it). Returns the number of evictions.
+    pub(crate) fn insert(&mut self, key: u64, model: Arc<CompiledEstimator>) -> u64 {
+        self.tick += 1;
+        let cost = model.total_states();
+        if let Some(old) = self.entries.insert(
+            key,
+            Entry {
+                model,
+                cost,
+                last_used: self.tick,
+            },
+        ) {
+            self.total_cost -= old.cost;
+        }
+        self.total_cost += cost;
+
+        let mut evictions = 0;
+        while self.total_cost > self.budget && self.entries.len() > 1 {
+            let oldest = self
+                .entries
+                .iter()
+                .filter(|(&k, _)| k != key)
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(&k, _)| k);
+            match oldest {
+                Some(victim) => {
+                    let entry = self.entries.remove(&victim).expect("victim present");
+                    self.total_cost -= entry.cost;
+                    evictions += 1;
+                }
+                None => break,
+            }
+        }
+        evictions
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn total_cost(&self) -> f64 {
+        self.total_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::parse::parse_bench;
+
+    fn tiny_circuit(tag: &str) -> Circuit {
+        let text = format!("INPUT(a)\nINPUT(b)\n{tag} = NAND(a, b)\nOUTPUT({tag})\n");
+        parse_bench("tiny", &text).expect("parse tiny circuit")
+    }
+
+    fn compiled(circuit: &Circuit) -> Arc<CompiledEstimator> {
+        Arc::new(CompiledEstimator::compile(circuit, &Options::default()).expect("compile"))
+    }
+
+    #[test]
+    fn key_is_stable_and_structure_sensitive() {
+        let c1 = tiny_circuit("y");
+        let c2 = tiny_circuit("y");
+        let c3 = tiny_circuit("z");
+        let spec = InputSpec::uniform(c1.num_inputs());
+        let options = Options::default();
+        assert_eq!(
+            model_key(&c1, &spec, &options),
+            model_key(&c2, &spec, &options)
+        );
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c3, &spec, &options)
+        );
+
+        let other_options = Options {
+            max_fanin: 2,
+            ..Options::default()
+        };
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c1, &spec, &other_options)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_by_state_space_budget() {
+        let circuit = tiny_circuit("y");
+        let model = compiled(&circuit);
+        let cost = model.total_states();
+        // Budget fits exactly two models of this size.
+        let mut cache = ModelCache::new(2.0 * cost);
+
+        cache.insert(1, Arc::clone(&model));
+        cache.insert(2, Arc::clone(&model));
+        assert_eq!(cache.len(), 2);
+
+        // Touch key 1 so key 2 is the LRU victim.
+        assert!(cache.get(1).is_some());
+        let evicted = cache.insert(3, Arc::clone(&model));
+        assert_eq!(evicted, 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert!(cache.total_cost() <= 2.0 * cost + 1e-9);
+    }
+
+    #[test]
+    fn oversized_model_still_cached() {
+        let circuit = tiny_circuit("y");
+        let model = compiled(&circuit);
+        let mut cache = ModelCache::new(0.0);
+        let evicted = cache.insert(7, Arc::clone(&model));
+        assert_eq!(evicted, 0);
+        assert!(cache.get(7).is_some());
+    }
+}

@@ -1,0 +1,480 @@
+//! swact-engine: concurrent batch-inference engine over shared compiled
+//! junction trees.
+//!
+//! The paper's central economics (Table 1) are *compile once, propagate
+//! many*: junction-tree compilation dominates total runtime while each
+//! evidence update runs in milliseconds. This crate turns that asymmetry
+//! into a service-shaped API — an [`Engine`] owns
+//!
+//! 1. a **compiled-model cache** keyed by (circuit structure, [`Options`],
+//!    input-spec signature), LRU-evicted by junction-tree state-space cost,
+//!    so repeated batches over the same circuit never recompile;
+//! 2. a **fixed worker pool** of plain `std::thread`s sharing each
+//!    `Arc<CompiledEstimator>` — the `&self` propagation API introduced
+//!    alongside this crate lets one compiled model serve all workers
+//!    concurrently, each borrowing pooled
+//!    [`PropagationState`](swact_bayesnet::PropagationState) scratch; and
+//! 3. **observability counters** ([`MetricsSnapshot`]): cache hits/misses,
+//!    evictions, per-stage compile/propagate/queue-wait timings, and queue
+//!    depth.
+//!
+//! Results are returned in *submission order* regardless of worker count:
+//! [`Engine::estimate_batch`] with `jobs = 1` and `jobs = N` produce
+//! bit-identical estimates.
+//!
+//! # Example
+//!
+//! ```
+//! use swact::{InputSpec, Options};
+//! use swact_circuit::catalog;
+//! use swact_engine::Engine;
+//!
+//! let engine = Engine::with_jobs(2);
+//! let circuit = catalog::c17();
+//! let specs: Vec<InputSpec> = (1..=4)
+//!     .map(|i| {
+//!         InputSpec::independent(vec![0.1 * i as f64; circuit.num_inputs()])
+//!     })
+//!     .collect();
+//!
+//! let report = engine
+//!     .estimate_batch(&circuit, &specs, &Options::default())
+//!     .unwrap();
+//! assert_eq!(report.items.len(), 4);
+//! assert!(!report.cache_hit); // first batch compiles ...
+//!
+//! let again = engine
+//!     .estimate_batch(&circuit, &specs, &Options::default())
+//!     .unwrap();
+//! assert!(again.cache_hit); // ... later batches reuse the junction trees
+//! ```
+
+mod cache;
+mod metrics;
+mod pool;
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use swact::{CompiledEstimator, Estimate, EstimateError, InputSpec, Options};
+use swact_circuit::Circuit;
+
+use cache::{model_key, ModelCache};
+use metrics::EngineMetrics;
+pub use metrics::MetricsSnapshot;
+use pool::WorkerPool;
+
+/// Default cache budget: total junction-tree states the cache may hold
+/// (2²⁴ ≈ 16.7M states ≈ 134 MB of f64 potentials).
+pub const DEFAULT_CACHE_BUDGET_STATES: f64 = (1u64 << 24) as f64;
+
+/// Result of one scenario in a batch, tagged with its submission index.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Position of the scenario in the submitted spec slice.
+    pub index: usize,
+    /// The estimate, or the per-scenario error (other scenarios still run).
+    pub result: Result<Estimate, EstimateError>,
+    /// Time the scenario sat in the queue before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Time the worker spent propagating this scenario.
+    pub run_time: Duration,
+}
+
+/// Outcome of [`Engine::estimate_batch`]: per-scenario results in
+/// submission order plus batch-level accounting.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One entry per submitted spec, sorted by `index` (submission order).
+    pub items: Vec<BatchItem>,
+    /// Whether the compiled model came from the cache.
+    pub cache_hit: bool,
+    /// Time spent compiling for this batch (zero on a cache hit).
+    pub compile_time: Duration,
+    /// Wall-clock time of the whole batch, compile included.
+    pub wall_time: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl BatchReport {
+    /// Successful estimates in submission order.
+    pub fn estimates(&self) -> impl Iterator<Item = &Estimate> {
+        self.items
+            .iter()
+            .filter_map(|item| item.result.as_ref().ok())
+    }
+
+    /// Whether every scenario succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.items.iter().all(|item| item.result.is_ok())
+    }
+
+    /// Scenario throughput: scenarios per wall-clock second.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            return 0.0;
+        }
+        self.items.len() as f64 / self.wall_time.as_secs_f64()
+    }
+}
+
+/// Concurrent batch-inference engine over shared compiled junction trees.
+///
+/// Cheap to keep around: workers sleep on a condvar between batches, and
+/// the cache holds `Arc`s that batches in flight also share. Dropping the
+/// engine drains queued jobs and joins the workers.
+pub struct Engine {
+    pool: WorkerPool,
+    cache: Mutex<ModelCache>,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Engine with one worker per available CPU and the default cache
+    /// budget ([`DEFAULT_CACHE_BUDGET_STATES`]).
+    pub fn new() -> Engine {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Engine::with_jobs(jobs)
+    }
+
+    /// Engine with an explicit worker count (`0` means one worker).
+    pub fn with_jobs(jobs: usize) -> Engine {
+        Engine::with_jobs_and_cache(jobs, DEFAULT_CACHE_BUDGET_STATES)
+    }
+
+    /// Engine with explicit worker count and cache budget (total
+    /// junction-tree states the compiled-model cache may retain).
+    pub fn with_jobs_and_cache(jobs: usize, cache_budget_states: f64) -> Engine {
+        Engine {
+            pool: WorkerPool::new(jobs),
+            cache: Mutex::new(ModelCache::new(cache_budget_states)),
+            metrics: Arc::new(EngineMetrics::default()),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn jobs(&self) -> usize {
+        self.pool.jobs()
+    }
+
+    /// A point-in-time copy of the engine's counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Number of compiled models currently cached.
+    pub fn cached_models(&self) -> usize {
+        self.cache.lock().expect("model cache lock").len()
+    }
+
+    /// Estimates every spec in `specs` against `circuit`, reusing one
+    /// compiled model across all of them and across calls.
+    ///
+    /// All specs in a batch must share the same group/pairwise *signature*
+    /// (the same sets of correlated inputs — probabilities are free to
+    /// differ), because the signature is compiled into the model: the
+    /// model is compiled for `specs[0]`, and scenarios whose signature
+    /// differs fail individually with
+    /// [`EstimateError::GroupStructureMismatch`] in their [`BatchItem`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if *compilation* fails (e.g.
+    /// [`EstimateError::TooLarge`] in single-BN mode). Per-scenario
+    /// propagation errors are reported in the items, not here.
+    pub fn estimate_batch(
+        &self,
+        circuit: &Circuit,
+        specs: &[InputSpec],
+        options: &Options,
+    ) -> Result<BatchReport, EstimateError> {
+        let wall_start = Instant::now();
+        if specs.is_empty() {
+            return Ok(BatchReport {
+                items: Vec::new(),
+                cache_hit: true,
+                compile_time: Duration::ZERO,
+                wall_time: wall_start.elapsed(),
+                jobs: self.pool.jobs(),
+            });
+        }
+
+        let (model, cache_hit, compile_time) = self.compiled_model(circuit, &specs[0], options)?;
+
+        // One slot per scenario, filled by workers in arbitrary order and
+        // read back by index — submission order survives any scheduling.
+        let slots: Arc<Vec<Mutex<Option<BatchItem>>>> =
+            Arc::new((0..specs.len()).map(|_| Mutex::new(None)).collect());
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+
+        for (index, spec) in specs.iter().enumerate() {
+            let model = Arc::clone(&model);
+            let spec = spec.clone();
+            let slots = Arc::clone(&slots);
+            let done = Arc::clone(&done);
+            let metrics = Arc::clone(&self.metrics);
+            let enqueued_at = Instant::now();
+            self.metrics.enqueue();
+            self.pool.submit(Box::new(move || {
+                let queue_wait = enqueued_at.elapsed();
+                metrics.dequeue();
+
+                let run_start = Instant::now();
+                let result = model.estimate(&spec);
+                let run_time = run_start.elapsed();
+
+                EngineMetrics::add_nanos(&metrics.queue_wait_nanos, queue_wait);
+                EngineMetrics::add_nanos(&metrics.propagate_nanos, run_time);
+                metrics
+                    .requests_completed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if result.is_err() {
+                    metrics
+                        .requests_failed
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+
+                *slots[index].lock().expect("batch slot lock") = Some(BatchItem {
+                    index,
+                    result,
+                    queue_wait,
+                    run_time,
+                });
+                let (count, signal) = &*done;
+                *count.lock().expect("batch done lock") += 1;
+                signal.notify_all();
+            }));
+        }
+
+        let (count, signal) = &*done;
+        let mut finished = count.lock().expect("batch done lock");
+        while *finished < specs.len() {
+            finished = signal.wait(finished).expect("batch done lock poisoned");
+        }
+        drop(finished);
+
+        let items = slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("batch slot lock")
+                    .take()
+                    .expect("every slot filled before the batch returns")
+            })
+            .collect();
+
+        Ok(BatchReport {
+            items,
+            cache_hit,
+            compile_time,
+            wall_time: wall_start.elapsed(),
+            jobs: self.pool.jobs(),
+        })
+    }
+
+    /// Looks the model up in the cache, compiling (and inserting) on miss.
+    ///
+    /// Compilation happens *outside* the cache lock so a slow compile for
+    /// one circuit never blocks cache hits for others; if two threads race
+    /// to compile the same key, the loser discards its copy and both count
+    /// as misses (they both did the work).
+    fn compiled_model(
+        &self,
+        circuit: &Circuit,
+        spec: &InputSpec,
+        options: &Options,
+    ) -> Result<(Arc<CompiledEstimator>, bool, Duration), EstimateError> {
+        use std::sync::atomic::Ordering;
+
+        let key = model_key(circuit, spec, options);
+        if let Some(model) = self.cache.lock().expect("model cache lock").get(key) {
+            self.metrics.compile_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((model, true, Duration::ZERO));
+        }
+
+        let compile_start = Instant::now();
+        let model = Arc::new(CompiledEstimator::compile_for(circuit, spec, options)?);
+        let compile_time = compile_start.elapsed();
+        self.metrics.compile_misses.fetch_add(1, Ordering::Relaxed);
+        EngineMetrics::add_nanos(&self.metrics.compile_nanos, compile_time);
+
+        let mut cache = self.cache.lock().expect("model cache lock");
+        let model = match cache.get(key) {
+            // Lost a compile race — reuse the winner's model so the whole
+            // engine shares one set of junction trees per key.
+            Some(existing) => existing,
+            None => {
+                let evicted = cache.insert(key, Arc::clone(&model));
+                if evicted > 0 {
+                    self.metrics.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
+                model
+            }
+        };
+        Ok((model, false, compile_time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swact_circuit::catalog;
+
+    fn specs_for(circuit: &Circuit, n: usize) -> Vec<InputSpec> {
+        (0..n)
+            .map(|i| {
+                let p = 0.05 + 0.9 * (i as f64) / (n.max(2) - 1) as f64;
+                InputSpec::independent(vec![p; circuit.num_inputs()])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_results_keep_submission_order_and_match_direct_estimation() {
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 6);
+        let engine = Engine::with_jobs(3);
+
+        let report = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(report.all_ok());
+        assert_eq!(report.jobs, 3);
+        assert_eq!(
+            report.items.iter().map(|i| i.index).collect::<Vec<_>>(),
+            (0..specs.len()).collect::<Vec<_>>()
+        );
+
+        let direct = CompiledEstimator::compile_for(&circuit, &specs[0], &options).unwrap();
+        for (item, spec) in report.items.iter().zip(&specs) {
+            let expected = direct.estimate(spec).unwrap();
+            let got = item.result.as_ref().unwrap();
+            assert_eq!(got.switching_all(), expected.switching_all());
+        }
+    }
+
+    #[test]
+    fn single_and_multi_worker_batches_are_bit_identical() {
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 8);
+
+        let serial = Engine::with_jobs(1)
+            .estimate_batch(&circuit, &specs, &options)
+            .unwrap();
+        let parallel = Engine::with_jobs(4)
+            .estimate_batch(&circuit, &specs, &options)
+            .unwrap();
+
+        for (a, b) in serial.items.iter().zip(&parallel.items) {
+            assert_eq!(a.index, b.index);
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            // Bit-identical, not approximately equal.
+            for (x, y) in a.switching_all().iter().zip(b.switching_all().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_recompilation() {
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 3);
+        let engine = Engine::with_jobs(2);
+
+        let first = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(!first.cache_hit);
+        let second = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.compile_time, Duration::ZERO);
+
+        let metrics = engine.metrics();
+        assert_eq!(metrics.compile_misses, 1);
+        assert_eq!(metrics.compile_hits, 1);
+        assert_eq!(metrics.requests_completed, 2 * specs.len() as u64);
+        assert_eq!(metrics.requests_failed, 0);
+        assert_eq!(metrics.queue_depth, 0);
+        assert_eq!(engine.cached_models(), 1);
+    }
+
+    #[test]
+    fn distinct_options_get_distinct_cache_entries() {
+        let circuit = catalog::c17();
+        let specs = specs_for(&circuit, 2);
+        let engine = Engine::with_jobs(2);
+
+        engine
+            .estimate_batch(&circuit, &specs, &Options::default())
+            .unwrap();
+        engine
+            .estimate_batch(&circuit, &specs, &Options::with_budget(1 << 10))
+            .unwrap();
+
+        assert_eq!(engine.cached_models(), 2);
+        assert_eq!(engine.metrics().compile_misses, 2);
+    }
+
+    #[test]
+    fn tiny_cache_budget_evicts_older_models() {
+        let circuit = catalog::c17();
+        let other = catalog::paper_example();
+        let specs = specs_for(&circuit, 1);
+        let other_specs = specs_for(&other, 1);
+        // Budget below one model's state space: each new circuit evicts
+        // the previous one.
+        let engine = Engine::with_jobs_and_cache(1, 1.0);
+
+        engine
+            .estimate_batch(&circuit, &specs, &Options::default())
+            .unwrap();
+        engine
+            .estimate_batch(&other, &other_specs, &Options::default())
+            .unwrap();
+
+        assert_eq!(engine.cached_models(), 1);
+        assert_eq!(engine.metrics().evictions, 1);
+
+        // The evicted circuit recompiles on return.
+        let third = engine
+            .estimate_batch(&circuit, &specs, &Options::default())
+            .unwrap();
+        assert!(!third.cache_hit);
+    }
+
+    #[test]
+    fn per_scenario_errors_do_not_poison_the_batch() {
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let mut specs = specs_for(&circuit, 3);
+        // Wrong input count for the middle scenario only.
+        specs[1] = InputSpec::uniform(circuit.num_inputs() + 1);
+        let engine = Engine::with_jobs(2);
+
+        let report = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(report.items[0].result.is_ok());
+        assert!(report.items[1].result.is_err());
+        assert!(report.items[2].result.is_ok());
+        assert_eq!(engine.metrics().requests_failed, 1);
+        assert_eq!(engine.metrics().requests_completed, 3);
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let circuit = catalog::c17();
+        let engine = Engine::with_jobs(1);
+        let report = engine
+            .estimate_batch(&circuit, &[], &Options::default())
+            .unwrap();
+        assert!(report.items.is_empty());
+        assert_eq!(engine.metrics().requests_completed, 0);
+    }
+}

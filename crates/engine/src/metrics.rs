@@ -1,0 +1,81 @@
+//! Lock-free observability counters for the engine.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Internal counters, updated with relaxed atomics on the hot path and
+/// read out as a coherent-enough [`MetricsSnapshot`]. Monotonic except for
+/// `queue_depth`, which is a gauge.
+#[derive(Debug, Default)]
+pub(crate) struct EngineMetrics {
+    pub(crate) compile_hits: AtomicU64,
+    pub(crate) compile_misses: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) requests_completed: AtomicU64,
+    pub(crate) requests_failed: AtomicU64,
+    pub(crate) queue_depth: AtomicUsize,
+    pub(crate) max_queue_depth: AtomicUsize,
+    pub(crate) compile_nanos: AtomicU64,
+    pub(crate) propagate_nanos: AtomicU64,
+    pub(crate) queue_wait_nanos: AtomicU64,
+}
+
+impl EngineMetrics {
+    pub(crate) fn enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dequeue(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_nanos(target: &AtomicU64, elapsed: Duration) {
+        target.fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            compile_hits: self.compile_hits.load(Ordering::Relaxed),
+            compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            requests_completed: self.requests_completed.load(Ordering::Relaxed),
+            requests_failed: self.requests_failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
+            propagate_time: Duration::from_nanos(self.propagate_nanos.load(Ordering::Relaxed)),
+            queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of the engine's counters.
+///
+/// `propagate_time` and `queue_wait` are *sums over requests*, so with `N`
+/// workers busy the propagate total grows up to `N`× faster than the wall
+/// clock — compare against `wall_time × jobs` for utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Batches served from the compiled-model cache.
+    pub compile_hits: u64,
+    /// Batches that had to compile their model.
+    pub compile_misses: u64,
+    /// Compiled models evicted to respect the cache budget.
+    pub evictions: u64,
+    /// Scenario requests finished (successfully or not).
+    pub requests_completed: u64,
+    /// Scenario requests that returned an error.
+    pub requests_failed: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+    /// Total time spent compiling models (cache misses only).
+    pub compile_time: Duration,
+    /// Total propagation time summed over requests.
+    pub propagate_time: Duration,
+    /// Total time requests waited in the queue before a worker picked
+    /// them up.
+    pub queue_wait: Duration,
+}

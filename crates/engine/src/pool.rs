@@ -1,0 +1,139 @@
+//! A from-scratch fixed-size worker pool over `std::thread`.
+//!
+//! Deliberately minimal — a `Mutex<VecDeque>` of boxed jobs, a `Condvar`,
+//! and N parked threads — because the engine's jobs are coarse (one full
+//! propagation each), so queue overhead is irrelevant and determinism and
+//! debuggability win over cleverness.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Fixed-size worker pool; dropped pools finish queued jobs and join.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `jobs` worker threads (at least one).
+    pub(crate) fn new(jobs: usize) -> WorkerPool {
+        let shared = Arc::new(Shared::default());
+        let workers = (0..jobs.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("swact-engine-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn jobs(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some idle worker will pick it up.
+    pub(crate) fn submit(&self, job: Job) {
+        let mut queue = self.shared.queue.lock().expect("pool queue lock");
+        queue.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .expect("pool queue lock poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.jobs(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let (count, signal) = &*done;
+                *count.lock().unwrap() += 1;
+                signal.notify_all();
+            }));
+        }
+        let (count, signal) = &*done;
+        let mut finished = count.lock().unwrap();
+        while *finished < 64 {
+            finished = signal.wait(finished).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn drop_finishes_queued_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                pool.submit(Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        // Drop joined the worker, which drains the queue before exiting.
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn zero_requested_workers_still_runs() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.jobs(), 1);
+    }
+}

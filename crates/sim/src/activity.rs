@@ -144,7 +144,10 @@ pub fn replay_vectors(circuit: &Circuit, vectors: &[Vec<bool>]) -> ActivityMeasu
     }
     let pairs = vectors.len() - 1;
     ActivityMeasurement {
-        switching: toggles.into_iter().map(|c| c as f64 / pairs as f64).collect(),
+        switching: toggles
+            .into_iter()
+            .map(|c| c as f64 / pairs as f64)
+            .collect(),
         signal_probability: ones
             .into_iter()
             .map(|c| c as f64 / vectors.len() as f64)
@@ -156,8 +159,8 @@ pub fn replay_vectors(circuit: &Circuit, vectors: &[Vec<bool>]) -> ActivityMeasu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use swact_circuit::{catalog, CircuitBuilder, GateKind};
     use crate::SignalModel;
+    use swact_circuit::{catalog, CircuitBuilder, GateKind};
 
     #[test]
     fn inverter_matches_input_statistics() {
@@ -233,13 +236,7 @@ mod tests {
         b.gate("y", GateKind::Not, &["a"]).unwrap();
         b.output("y").unwrap();
         let c = b.finish().unwrap();
-        let trace = vec![
-            vec![false],
-            vec![true],
-            vec![true],
-            vec![false],
-            vec![true],
-        ];
+        let trace = vec![vec![false], vec![true], vec![true], vec![false], vec![true]];
         let m = replay_vectors(&c, &trace);
         // a toggles on pairs 0,2,3 → 3 of 4.
         let a = c.find_line("a").unwrap();
@@ -265,8 +262,7 @@ mod tests {
         let streamed = measure_activity(&c17, &StreamModel::uniform(5), 256_000, 5);
         for line in c17.line_ids() {
             assert!(
-                (replayed.switching[line.index()] - streamed.switching[line.index()]).abs()
-                    < 0.02,
+                (replayed.switching[line.index()] - streamed.switching[line.index()]).abs() < 0.02,
                 "line {}",
                 c17.line_name(line)
             );

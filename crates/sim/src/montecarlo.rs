@@ -93,7 +93,12 @@ impl MonteCarloEstimator {
         let mut half_width = f64::INFINITY;
 
         for batch in 0..opts.max_batches {
-            let m = measure_activity(circuit, model, opts.batch_pairs, seed.wrapping_add(batch as u64 * 0x9e37_79b9));
+            let m = measure_activity(
+                circuit,
+                model,
+                opts.batch_pairs,
+                seed.wrapping_add(batch as u64 * 0x9e37_79b9),
+            );
             pairs += m.pairs;
             for (acc, s) in per_line_sum.iter_mut().zip(&m.switching) {
                 *acc += s;

@@ -91,7 +91,10 @@ pub fn measure_activity_sequential(
     }
     let total = (measured_steps * 64).max(1) as f64;
     ActivityMeasurement {
-        switching: toggle_counts.into_iter().map(|c| c as f64 / total).collect(),
+        switching: toggle_counts
+            .into_iter()
+            .map(|c| c as f64 / total)
+            .collect(),
         signal_probability: one_counts.into_iter().map(|c| c as f64 / total).collect(),
         pairs: (measured_steps * 64) as usize,
     }
@@ -121,8 +124,16 @@ mod tests {
         let m = measure_activity_sequential(&seq, &model, 256_000, 512, 3);
         let q0 = seq.state_line(0);
         let q1 = seq.state_line(1);
-        assert!((m.switching[q0.index()] - 0.5).abs() < 0.02, "{}", m.switching[q0.index()]);
-        assert!((m.switching[q1.index()] - 0.25).abs() < 0.02, "{}", m.switching[q1.index()]);
+        assert!(
+            (m.switching[q0.index()] - 0.5).abs() < 0.02,
+            "{}",
+            m.switching[q0.index()]
+        );
+        assert!(
+            (m.switching[q1.index()] - 0.25).abs() < 0.02,
+            "{}",
+            m.switching[q1.index()]
+        );
         // Counter bits are uniform in steady state.
         assert!((m.signal_probability[q0.index()] - 0.5).abs() < 0.02);
     }

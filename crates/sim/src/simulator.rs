@@ -101,9 +101,8 @@ mod tests {
         }
         let packed = sim.eval_words(&words);
         for case in 0..32u64 {
-            let scalar: Vec<bool> = sim.eval(
-                &(0..5).map(|i| case >> i & 1 == 1).collect::<Vec<_>>(),
-            );
+            let scalar: Vec<bool> =
+                sim.eval(&(0..5).map(|i| case >> i & 1 == 1).collect::<Vec<_>>());
             for line in c17.line_ids() {
                 assert_eq!(
                     packed[line.index()] >> case & 1 == 1,

@@ -65,11 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (pattern, p) = lidag.most_probable_transitions()?;
     println!("\nmost probable transition pattern (P = {p:.4}):");
     for line in circuit.line_ids() {
-        println!(
-            "  {:<6} {}",
-            circuit.line_name(line),
-            pattern[line.index()]
-        );
+        println!("  {:<6} {}", circuit.line_name(line), pattern[line.index()]);
     }
     Ok(())
 }

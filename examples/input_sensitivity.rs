@@ -15,7 +15,7 @@ use swact_circuit::catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = catalog::benchmark("c432").expect("known benchmark");
-    let mut compiled = CompiledEstimator::compile(&circuit, &Options::default())?;
+    let compiled = CompiledEstimator::compile(&circuit, &Options::default())?;
     println!(
         "compiled {} ({} gates) into {} Bayesian networks in {:?}\n",
         circuit.name(),
@@ -29,10 +29,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let power_model = PowerModel::default();
     for activity in [0.5, 0.4, 0.3, 0.2, 0.1, 0.05, 0.01] {
-        let spec = InputSpec::from_models(vec![
-            InputModel::new(0.5, activity)?;
-            circuit.num_inputs()
-        ]);
+        let spec =
+            InputSpec::from_models(vec![InputModel::new(0.5, activity)?; circuit.num_inputs()]);
         let estimate = compiled.estimate(&spec)?;
         let power = power_model.power(&circuit, &estimate);
         println!(

@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Full estimate.
     let est = estimate(&circuit, &spec, &Options::default())?;
-    println!("\n{:<6} {:>10} distribution [x00 x01 x10 x11]", "line", "P(switch)");
+    println!(
+        "\n{:<6} {:>10} distribution [x00 x01 x10 x11]",
+        "line", "P(switch)"
+    );
     for line in circuit.line_ids() {
         println!(
             "{:<6} {:>10.4} {}",

@@ -12,7 +12,9 @@ use swact_circuit::catalog;
 use swact_sim::{measure_activity, StreamModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "c880".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "c880".to_string());
     let circuit = catalog::benchmark(&name).ok_or("unknown benchmark")?;
     println!(
         "{}: {} inputs, {} gates\n",
@@ -23,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Scenario A: busy bus (uniform random), scenario B: idle-ish traffic.
     let busy = InputSpec::uniform(circuit.num_inputs());
-    let idle = InputSpec::from_models(vec![
-        InputModel::new(0.5, 0.05)?;
-        circuit.num_inputs()
-    ]);
+    let idle = InputSpec::from_models(vec![InputModel::new(0.5, 0.05)?; circuit.num_inputs()]);
     let model = PowerModel::default();
 
     for (label, spec) in [("busy", &busy), ("idle", &idle)] {

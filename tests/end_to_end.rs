@@ -45,7 +45,11 @@ fn segmented_circuits_stay_in_the_papers_error_band() {
             "{name}: µErr {}",
             stats.mean_abs_error
         );
-        assert!(stats.percent_error < 1.0, "{name}: %Err {}", stats.percent_error);
+        assert!(
+            stats.percent_error < 1.0,
+            "{name}: %Err {}",
+            stats.percent_error
+        );
     }
 }
 
@@ -74,7 +78,7 @@ fn temporally_correlated_inputs_are_tracked() {
 #[test]
 fn precompiled_reestimation_matches_fresh_estimation() {
     let circuit = catalog::benchmark("malu4").unwrap();
-    let mut compiled = CompiledEstimator::compile(&circuit, &Options::default()).unwrap();
+    let compiled = CompiledEstimator::compile(&circuit, &Options::default()).unwrap();
     for p in [0.2, 0.5, 0.8] {
         let spec = InputSpec::independent(vec![p; circuit.num_inputs()]);
         let reused = compiled.estimate(&spec).unwrap();
@@ -95,7 +99,7 @@ fn precompiled_reestimation_matches_fresh_estimation() {
 fn power_tracks_activity_scenarios() {
     let circuit = catalog::benchmark("pcler8").unwrap();
     let model = PowerModel::default();
-    let mut compiled = CompiledEstimator::compile(&circuit, &Options::default()).unwrap();
+    let compiled = CompiledEstimator::compile(&circuit, &Options::default()).unwrap();
     let mut previous = f64::INFINITY;
     for activity in [0.5, 0.25, 0.1, 0.02] {
         let spec = InputSpec::from_models(vec![
@@ -125,6 +129,86 @@ fn bench_format_file_can_round_trip_through_estimator() {
         assert!(
             (a.switching(line) - b.switching(other)).abs() < 1e-12,
             "line {name}"
+        );
+    }
+}
+
+#[test]
+fn batch_engine_is_deterministic_across_worker_counts() {
+    // The engine's headline guarantee: a segmented circuit, many input
+    // scenarios, and any worker count produce bit-identical estimates in
+    // submission order.
+    let circuit = catalog::benchmark("c432").unwrap();
+    let specs: Vec<InputSpec> = (0..10)
+        .map(|k| {
+            InputSpec::independent(
+                (0..circuit.num_inputs()).map(move |i| 0.1 + 0.08 * ((i + k) % 10) as f64),
+            )
+        })
+        .collect();
+    let options = Options::default();
+
+    let serial = swact_engine::Engine::with_jobs(1)
+        .estimate_batch(&circuit, &specs, &options)
+        .unwrap();
+    let parallel = swact_engine::Engine::with_jobs(4)
+        .estimate_batch(&circuit, &specs, &options)
+        .unwrap();
+    assert!(serial.all_ok() && parallel.all_ok());
+
+    for (a, b) in serial.items.iter().zip(&parallel.items) {
+        assert_eq!(a.index, b.index);
+        let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        for (x, y) in a.switching_all().iter().zip(b.switching_all().iter()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "scenario outputs must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_engine_reuses_one_compiled_model_across_batches() {
+    // Re-propagating over a cached junction tree must equal a fresh
+    // compile — the scratch-state reuse inside the compiled model cannot
+    // leak evidence between requests.
+    let circuit = catalog::benchmark("c880").unwrap();
+    let options = Options::default();
+    let busy = InputSpec::independent(vec![0.5; circuit.num_inputs()]);
+    let quiet = InputSpec::independent(vec![0.05; circuit.num_inputs()]);
+    let engine = swact_engine::Engine::with_jobs(2);
+
+    let first = engine
+        .estimate_batch(&circuit, std::slice::from_ref(&busy), &options)
+        .unwrap();
+    assert!(!first.cache_hit);
+    // Different evidence in between dirties every pooled propagation state.
+    engine
+        .estimate_batch(&circuit, std::slice::from_ref(&quiet), &options)
+        .unwrap();
+    let second = engine
+        .estimate_batch(&circuit, std::slice::from_ref(&busy), &options)
+        .unwrap();
+    assert!(second.cache_hit, "same circuit+options must hit the cache");
+    assert_eq!(engine.metrics().compile_misses, 1);
+    assert!(engine.metrics().compile_hits >= 2);
+
+    let fresh = CompiledEstimator::compile(&circuit, &options)
+        .unwrap()
+        .estimate(&busy)
+        .unwrap();
+    let cached = second.items[0].result.as_ref().unwrap();
+    for (x, y) in cached
+        .switching_all()
+        .iter()
+        .zip(fresh.switching_all().iter())
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "cached tree must match fresh compile"
         );
     }
 }

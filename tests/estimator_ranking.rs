@@ -62,8 +62,14 @@ fn estimator_ranking_on_benchmarks() {
             &truth,
         );
         let ind_err = mean_abs_error(&Independence.estimate(&circuit, &spec).unwrap(), &truth);
-        assert!(bn_err <= pw_err + 1e-3, "{name}: BN {bn_err} vs pairwise {pw_err}");
-        assert!(pw_err <= ind_err + 1e-3, "{name}: pairwise {pw_err} vs indep {ind_err}");
+        assert!(
+            bn_err <= pw_err + 1e-3,
+            "{name}: BN {bn_err} vs pairwise {pw_err}"
+        );
+        assert!(
+            pw_err <= ind_err + 1e-3,
+            "{name}: pairwise {pw_err} vs indep {ind_err}"
+        );
         assert!(
             ind_err < 3.0 * bn_err + 0.5,
             "sanity: independence should not be absurd"

@@ -91,7 +91,7 @@ fn ignoring_correlation_is_visibly_worse() {
 fn group_structure_is_part_of_the_compiled_network() {
     let circuit = catalog::c17();
     let (spec, _) = correlated_pair_setup(&circuit, 0.7);
-    let mut compiled = CompiledEstimator::compile_for(&circuit, &spec, &Options::default()).unwrap();
+    let compiled = CompiledEstimator::compile_for(&circuit, &spec, &Options::default()).unwrap();
     // Same structure, different probabilities: fine.
     let (spec2, _) = correlated_pair_setup(&circuit, 0.2);
     assert!(compiled.estimate(&spec2).is_ok());
@@ -126,11 +126,8 @@ fn explicit_pairwise_joints_match_exhaustive_enumeration() {
             *slot = 0.25 * if a == b { 0.7 + 0.3 * 0.25 } else { 0.3 * 0.25 };
         }
     }
-    let spec = InputSpec::uniform(5).with_pairwise_joints(vec![PairwiseJoint {
-        a: 0,
-        b: 1,
-        joint,
-    }]);
+    let spec =
+        InputSpec::uniform(5).with_pairwise_joints(vec![PairwiseJoint { a: 0, b: 1, joint }]);
     let est = estimate(&circuit, &spec, &Options::single_bn()).unwrap();
 
     // Exhaustive reference.
@@ -142,8 +139,7 @@ fn explicit_pairwise_joints_match_exhaustive_enumeration() {
         }
         for &line in &order {
             if let Some(g) = circuit.gate(line) {
-                values[line.index()] =
-                    g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
+                values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
             }
         }
         values
@@ -195,7 +191,7 @@ fn pairwise_joint_structure_is_compiled() {
         b: 1,
         joint: identity,
     }]);
-    let mut compiled =
+    let compiled =
         swact::CompiledEstimator::compile_for(&circuit, &spec, &Options::default()).unwrap();
     // Same pair structure with different numbers: fine.
     assert!(compiled.estimate(&spec).is_ok());

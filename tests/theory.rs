@@ -71,10 +71,7 @@ fn dsep_symmetry_and_decomposition_axioms() {
     let (x, z) = (vec![v("1")], vec![v("5")]);
     let yw = vec![v("2"), v("3")];
     // Symmetry.
-    assert_eq!(
-        d_separated(net, &x, &yw, &z),
-        d_separated(net, &yw, &x, &z)
-    );
+    assert_eq!(d_separated(net, &x, &yw, &z), d_separated(net, &yw, &x, &z));
     // Decomposition: I(X, Z, Y ∪ W) ⇒ I(X, Z, Y) and I(X, Z, W).
     if d_separated(net, &x, &yw, &z) {
         assert!(d_separated(net, &x, &[yw[0]], &z));

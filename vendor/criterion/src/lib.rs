@@ -1,0 +1,247 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace's benches must compile (and be runnable) in sandboxes with
+//! no registry access, so the small slice of criterion's API they use is
+//! reimplemented here (see the workspace `Cargo.toml`, which wires this in
+//! as a path dependency). Instead of criterion's bootstrapped statistics
+//! and HTML reports, each benchmark is timed for a fixed number of
+//! wall-clock samples and a `median / mean / throughput` line is printed to
+//! stdout. That is enough to compare configurations by eye and to drive
+//! the repo's JSON-emitting bench binaries; it makes no attempt at
+//! criterion's noise rejection.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized; accepted for source compatibility, and
+/// only used to pick an iteration count per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: many iterations per sample.
+    SmallInput,
+    /// Large per-iteration inputs: one iteration per sample.
+    LargeInput,
+    /// Per-iteration setup dominates: one iteration per sample.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, recording one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the recorded durations.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = size;
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named family of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&full, &samples, self.throughput);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Ends the group (kept for source compatibility; reporting happens
+    /// per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(10);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_count: 10,
+        };
+        f(&mut bencher);
+        report(&id, &samples, None);
+        self
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let mut line = format!(
+        "{name:<48} median {:>12} mean {:>12} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        sorted.len()
+    );
+    if let Some(tp) = throughput {
+        let secs = median.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.1} elem/s", n as f64 / secs));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.1} B/s", n as f64 / secs));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collects benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group, mirroring `criterion::criterion_main!`.
+/// CLI filter arguments accepted by real criterion are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(7);
+        group.throughput(Throughput::Elements(3));
+        let mut runs = 0usize;
+        group.bench_function("iter", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 7);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut setups = 0usize;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 8]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 10);
+    }
+}

@@ -1,0 +1,740 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The workspace's property tests must run in sandboxes with **no registry
+//! access**, so the strategy combinators and macros they use are
+//! reimplemented here from scratch (see the workspace `Cargo.toml`, which
+//! wires this in as a path dependency). Semantics:
+//!
+//! * Strategies are pure generators — `generate(rng) -> Value` — with the
+//!   combinators the workspace uses: [`Strategy::prop_map`],
+//!   [`Strategy::prop_flat_map`], [`Strategy::prop_recursive`],
+//!   [`Strategy::boxed`], tuples, ranges, [`strategy::Just`],
+//!   [`arbitrary::any`], [`collection::vec`], [`sample::select`],
+//!   [`sample::subsequence`], and [`prop_oneof!`].
+//! * The [`proptest!`] macro runs each test body for
+//!   [`ProptestConfig::cases`](test_runner::ProptestConfig) deterministic
+//!   pseudo-random cases (seeded from the test's module path, so runs are
+//!   reproducible across machines).
+//! * `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` forward to the
+//!   standard assertion macros; [`prop_assume!`] rejects the current case
+//!   and draws a fresh one.
+//! * **No shrinking**: a failing case reports its case number and panics
+//!   with the original assertion message. That trades minimal
+//!   counterexamples for zero dependencies, which is the right trade for
+//!   an air-gapped CI sandbox.
+
+pub mod test_runner {
+    //! Deterministic case scheduling: RNG, config, and the rejection
+    //! signal `prop_assume!` raises.
+
+    /// How many random cases a `proptest!` test runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases to execute.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running exactly `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Panic payload used by `prop_assume!` to reject a case; the
+    /// `proptest!` harness catches it and draws a fresh case instead of
+    /// failing the test.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// SplitMix64 — a tiny, statistically solid generator; each test case
+    /// gets an independent stream derived from (test name, case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The deterministic generator for one test case.
+        pub fn for_case(name_hash: u64, case: u32) -> TestRng {
+            TestRng {
+                state: name_hash ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform on `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0`.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// FNV-1a hash of a test's fully qualified name, used as the base seed.
+    pub fn hash_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking; a
+    /// strategy is simply a deterministic function of an RNG stream.
+    pub trait Strategy: 'static {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` derives
+        /// from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S + 'static,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Recursive strategies: `self` generates leaves; `recurse` builds
+        /// a strategy for one more level on top of an inner strategy. A
+        /// random depth up to `max_depth` is chosen per case.
+        ///
+        /// `desired_size` and `expected_branch_size` are accepted for
+        /// source compatibility and ignored (they tune proptest's size
+        /// accounting, which this shim does not model).
+        fn prop_recursive<S, F>(
+            self,
+            max_depth: u32,
+            desired_size: u32,
+            expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized,
+            S: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        {
+            let _ = (desired_size, expected_branch_size);
+            Recursive {
+                base: self.boxed(),
+                max_depth,
+                recurse: Rc::new(move |inner| recurse(inner).boxed()),
+            }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+        {
+            let me = Rc::new(self);
+            BoxedStrategy(Rc::new(move |rng| me.generate(rng)))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + 'static,
+        O: 'static,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2 + 'static,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        max_depth: u32,
+        recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let depth = rng.below(self.max_depth as usize + 1);
+            let mut strat = self.base.clone();
+            for _ in 0..depth {
+                strat = (self.recurse)(strat);
+            }
+            strat.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between strategies of a common value type; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: 'static> Union<T> {
+        /// A union over the given arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.below(self.arms.len());
+            self.arms[k].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start
+                        .wrapping_add((u128::from(rng.next_u64()) % span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                    lo.wrapping_add((u128::from(rng.next_u64()) % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ ))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies for primitive types.
+
+    use std::marker::PhantomData;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical [`any`] strategy.
+    pub trait Arbitrary: Sized + 'static {
+        /// Generates one uniformly distributed value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive length range for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below(self.hi - self.lo + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub(crate) use SizeRange as SizeRangeInternal;
+}
+
+pub mod sample {
+    //! Sampling from fixed pools.
+
+    use crate::collection::SizeRangeInternal as SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T> {
+        pool: Vec<T>,
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.pool[rng.below(self.pool.len())].clone()
+        }
+    }
+
+    /// One element of `pool`, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on generation) if `pool` is empty.
+    pub fn select<T: Clone + 'static>(pool: Vec<T>) -> Select<T> {
+        Select { pool }
+    }
+
+    /// The strategy returned by [`subsequence`].
+    pub struct Subsequence<T> {
+        pool: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone + 'static> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let want = self.size.pick(rng).min(self.pool.len());
+            // Reservoir-free order-preserving subset: walk the pool and
+            // keep each element with the probability needed to hit `want`.
+            let mut out = Vec::with_capacity(want);
+            let mut remaining_pool = self.pool.len();
+            let mut remaining_want = want;
+            for item in &self.pool {
+                if remaining_want == 0 {
+                    break;
+                }
+                // P(keep) = want-left / pool-left keeps all subsets of the
+                // chosen size equally likely.
+                if rng.below(remaining_pool) < remaining_want {
+                    out.push(item.clone());
+                    remaining_want -= 1;
+                }
+                remaining_pool -= 1;
+            }
+            out
+        }
+    }
+
+    /// An order-preserving random subsequence of `pool` with a length in
+    /// `size` (clamped to the pool length).
+    pub fn subsequence<T: Clone + 'static>(
+        pool: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence {
+            pool,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything property tests normally import.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Rejects the current case (the harness draws a fresh one) when the
+/// condition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            ::std::panic::panic_any($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies;
+/// see the crate docs for the differences from real proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __name_hash = $crate::test_runner::hash_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __case: u32 = 0;
+            let mut __attempt: u32 = 0;
+            // Rejections (prop_assume!) do not count as cases; give up
+            // quietly if the assumption is almost never satisfiable.
+            while __case < __config.cases && __attempt < __config.cases.saturating_mul(64) {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__name_hash, __attempt);
+                __attempt += 1;
+                $(
+                    let $arg = {
+                        let __s = $strat;
+                        $crate::strategy::Strategy::generate(&__s, &mut __rng)
+                    };
+                )+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || { $body })
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(_) => {
+                        __case += 1;
+                    }
+                    ::std::result::Result::Err(__payload) => {
+                        if __payload
+                            .downcast_ref::<$crate::test_runner::Rejected>()
+                            .is_some()
+                        {
+                            continue;
+                        }
+                        ::std::eprintln!(
+                            "proptest: `{}` failed on generated case #{} (attempt {})",
+                            stringify!($name),
+                            __case,
+                            __attempt - 1,
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn strategies_are_deterministic_per_stream() {
+        let strat = crate::collection::vec(0.0f64..4.0, 1..5);
+        let mut a = TestRng::for_case(1, 2);
+        let mut b = TestRng::for_case(1, 2);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_bounds() {
+        let pool: Vec<usize> = (0..10).collect();
+        let strat = crate::sample::subsequence(pool, 1..=10);
+        let mut rng = TestRng::for_case(3, 4);
+        for _ in 0..200 {
+            let sub = strat.generate(&mut rng);
+            assert!(!sub.is_empty() && sub.len() <= 10);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "{sub:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0usize..4)
+            .prop_map(|_| Tree::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::for_case(9, 0);
+        let mut max_seen = 0;
+        for _ in 0..100 {
+            max_seen = max_seen.max(depth(&strat.generate(&mut rng)));
+        }
+        assert!((1..=3).contains(&max_seen), "depth {max_seen}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(x in 3usize..7, p in 0.0f64..=1.0) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just_mix(v in prop_oneof![Just(1usize), 5usize..8]) {
+            prop_assert!(v == 1 || (5..8).contains(&v));
+        }
+    }
+}
