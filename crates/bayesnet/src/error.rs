@@ -58,6 +58,24 @@ pub enum BayesError {
     },
     /// The network has no variables.
     Empty,
+    /// Two factors disagree on a shared variable's cardinality.
+    FactorCardinalityMismatch {
+        /// The shared variable's id.
+        var: u32,
+        /// Cardinality on the left operand.
+        left: usize,
+        /// Cardinality on the right operand.
+        right: usize,
+    },
+    /// Factor division requires both operands over the identical scope.
+    FactorScopeMismatch,
+    /// Factor division hit `x / 0` with `x ≠ 0`. Under the HUGIN
+    /// convention only `0 / 0` (= 0) is well-defined; a nonzero numerator
+    /// indicates inconsistent operands.
+    FactorDivisionByZero {
+        /// The nonzero numerator.
+        value: f64,
+    },
 }
 
 impl fmt::Display for BayesError {
@@ -91,6 +109,15 @@ impl fmt::Display for BayesError {
                 write!(f, "no clique contains the factor scope {vars:?}")
             }
             BayesError::Empty => write!(f, "network has no variables"),
+            BayesError::FactorCardinalityMismatch { var, left, right } => {
+                write!(f, "cardinality mismatch for X{var}: {left} vs {right}")
+            }
+            BayesError::FactorScopeMismatch => {
+                write!(f, "division requires identical scope")
+            }
+            BayesError::FactorDivisionByZero { value } => {
+                write!(f, "division of nonzero {value} by zero sepset entry")
+            }
         }
     }
 }

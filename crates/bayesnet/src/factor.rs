@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::BayesError;
+
 /// Identifier of a random variable within one [`BayesNet`] / factor system.
 ///
 /// Ids are dense (`0..n`) and define the canonical variable order inside
@@ -182,11 +184,9 @@ impl Factor {
         assignment
     }
 
-    /// Pointwise product, over the union of the two scopes.
-    ///
-    /// Shared variables must have matching cardinalities (panics otherwise).
-    pub fn product(&self, other: &Factor) -> Factor {
-        // Merge scopes.
+    /// Merges the two scopes (sorted union), checking that shared
+    /// variables agree on cardinality.
+    fn merged_scope(&self, other: &Factor) -> Result<Vec<(VarId, usize)>, BayesError> {
         let mut scope: Vec<(VarId, usize)> = Vec::with_capacity(self.vars.len() + other.vars.len());
         let (mut i, mut j) = (0, 0);
         while i < self.vars.len() || j < other.vars.len() {
@@ -194,11 +194,13 @@ impl Factor {
                 j >= other.vars.len() || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
             if take_self {
                 if j < other.vars.len() && self.vars[i] == other.vars[j] {
-                    assert_eq!(
-                        self.cards[i], other.cards[j],
-                        "cardinality mismatch for {}",
-                        self.vars[i]
-                    );
+                    if self.cards[i] != other.cards[j] {
+                        return Err(BayesError::FactorCardinalityMismatch {
+                            var: self.vars[i].0,
+                            left: self.cards[i],
+                            right: other.cards[j],
+                        });
+                    }
                     j += 1;
                 }
                 scope.push((self.vars[i], self.cards[i]));
@@ -208,6 +210,26 @@ impl Factor {
                 j += 1;
             }
         }
+        Ok(scope)
+    }
+
+    /// Pointwise product, over the union of the two scopes.
+    ///
+    /// Shared variables must have matching cardinalities (panics
+    /// otherwise); [`try_product`](Factor::try_product) is the fallible
+    /// form.
+    pub fn product(&self, other: &Factor) -> Factor {
+        self.try_product(other).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Pointwise product, over the union of the two scopes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::FactorCardinalityMismatch`] when a shared
+    /// variable's cardinalities disagree.
+    pub fn try_product(&self, other: &Factor) -> Result<Factor, BayesError> {
+        let scope = self.merged_scope(other)?;
         let result_cards: Vec<usize> = scope.iter().map(|&(_, c)| c).collect();
         let size: usize = result_cards.iter().product();
         // Per result position: stride into each operand (0 when absent).
@@ -241,11 +263,11 @@ impl Factor {
                 ib -= sb[pos] * result_cards[pos];
             }
         }
-        Factor {
+        Ok(Factor {
             vars: scope.iter().map(|&(v, _)| v).collect(),
             cards: result_cards,
             values,
-        }
+        })
     }
 
     /// Fused `product(other).marginalize_keep(keep)` without materializing
@@ -256,34 +278,12 @@ impl Factor {
     /// Shared variables must have matching cardinalities (panics
     /// otherwise).
     pub fn product_marginalize(&self, other: &Factor, keep: &[VarId]) -> Factor {
-        // Merge scopes (same walk as `product`).
-        let mut scope: Vec<(VarId, usize)> = Vec::with_capacity(self.vars.len() + other.vars.len());
-        let (mut i, mut j) = (0, 0);
-        while i < self.vars.len() || j < other.vars.len() {
-            let take_self =
-                j >= other.vars.len() || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
-            if take_self {
-                if j < other.vars.len() && self.vars[i] == other.vars[j] {
-                    assert_eq!(
-                        self.cards[i], other.cards[j],
-                        "cardinality mismatch for {}",
-                        self.vars[i]
-                    );
-                    j += 1;
-                }
-                scope.push((self.vars[i], self.cards[i]));
-                i += 1;
-            } else {
-                scope.push((other.vars[j], other.cards[j]));
-                j += 1;
-            }
-        }
+        let scope = self.merged_scope(other).unwrap_or_else(|e| panic!("{e}"));
         let full_cards: Vec<usize> = scope.iter().map(|&(_, c)| c).collect();
         let size: usize = full_cards.iter().product();
         // Target scope and strides.
-        let kept: Vec<usize> = (0..scope.len())
-            .filter(|&k| keep.contains(&scope[k].0))
-            .collect();
+        let scope_vars: Vec<VarId> = scope.iter().map(|&(v, _)| v).collect();
+        let kept = kept_positions(&scope_vars, keep);
         let target_scope: Vec<(VarId, usize)> = kept.iter().map(|&k| scope[k]).collect();
         let target_size: usize = target_scope.iter().map(|&(_, c)| c).product();
         let mut values = vec![0.0f64; target_size.max(1)];
@@ -419,35 +419,47 @@ impl Factor {
     /// # Panics
     ///
     /// Panics if the scopes differ, or on `x / 0` with `x != 0` (which would
-    /// indicate a propagation-order bug, not a data condition).
+    /// indicate a propagation-order bug, not a data condition);
+    /// [`try_divide_same_domain`](Factor::try_divide_same_domain) is the
+    /// fallible form.
     pub fn divide_same_domain(&self, other: &Factor) -> Factor {
-        assert_eq!(self.vars, other.vars, "division requires identical scope");
-        let values = self
-            .values
-            .iter()
-            .zip(&other.values)
-            .map(|(&a, &b)| {
-                if b == 0.0 {
-                    assert!(a == 0.0, "division of nonzero {a} by zero sepset entry");
-                    0.0
-                } else {
-                    a / b
+        self.try_divide_same_domain(other)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Pointwise division by a factor over the *same* scope, with the HUGIN
+    /// convention `0 / 0 = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::FactorScopeMismatch`] when the scopes differ
+    /// and [`BayesError::FactorDivisionByZero`] on `x / 0` with `x ≠ 0`.
+    pub fn try_divide_same_domain(&self, other: &Factor) -> Result<Factor, BayesError> {
+        if self.vars != other.vars || self.cards != other.cards {
+            return Err(BayesError::FactorScopeMismatch);
+        }
+        let mut values = Vec::with_capacity(self.values.len());
+        for (&a, &b) in self.values.iter().zip(&other.values) {
+            if b == 0.0 {
+                if a != 0.0 {
+                    return Err(BayesError::FactorDivisionByZero { value: a });
                 }
-            })
-            .collect();
-        Factor {
+                values.push(0.0);
+            } else {
+                values.push(a / b);
+            }
+        }
+        Ok(Factor {
             vars: self.vars.clone(),
             cards: self.cards.clone(),
             values,
-        }
+        })
     }
 
     /// Sums out every variable *not* in `keep`, returning the marginal over
     /// `keep ∩ scope` (missing variables are ignored).
     pub fn marginalize_keep(&self, keep: &[VarId]) -> Factor {
-        let kept: Vec<usize> = (0..self.vars.len())
-            .filter(|&i| keep.contains(&self.vars[i]))
-            .collect();
+        let kept = kept_positions(&self.vars, keep);
         if kept.len() == self.vars.len() {
             return self.clone();
         }
@@ -493,9 +505,7 @@ impl Factor {
     /// maximum instead of the sum over eliminated variables — the kernel of
     /// max-product (MPE) propagation.
     pub fn max_marginalize_keep(&self, keep: &[VarId]) -> Factor {
-        let kept: Vec<usize> = (0..self.vars.len())
-            .filter(|&i| keep.contains(&self.vars[i]))
-            .collect();
+        let kept = kept_positions(&self.vars, keep);
         if kept.len() == self.vars.len() {
             return self.clone();
         }
@@ -631,6 +641,25 @@ impl Factor {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
     }
+}
+
+/// Positions `i` of `vars` (sorted ascending) with `vars[i] ∈ keep`, via a
+/// sorted merge — O(|vars| + |keep| log |keep|) instead of the quadratic
+/// `keep.contains` scan. `keep` need not be sorted or deduplicated.
+fn kept_positions(vars: &[VarId], keep: &[VarId]) -> Vec<usize> {
+    let mut keep_sorted: Vec<VarId> = keep.to_vec();
+    keep_sorted.sort_unstable();
+    let mut kept = Vec::with_capacity(keep_sorted.len().min(vars.len()));
+    let mut j = 0;
+    for (i, &v) in vars.iter().enumerate() {
+        while j < keep_sorted.len() && keep_sorted[j] < v {
+            j += 1;
+        }
+        if j < keep_sorted.len() && keep_sorted[j] == v {
+            kept.push(i);
+        }
+    }
+    kept
 }
 
 impl fmt::Display for Factor {
@@ -831,5 +860,54 @@ mod tests {
     fn display_formats() {
         let f = Factor::ones(vec![(v(0), 2), (v(2), 4)]);
         assert_eq!(f.to_string(), "Factor(X0:2, X2:4) [8 entries]");
+    }
+
+    #[test]
+    fn try_product_reports_cardinality_mismatch() {
+        let a = Factor::ones(vec![(v(0), 2)]);
+        let b = Factor::ones(vec![(v(0), 3)]);
+        assert_eq!(
+            a.try_product(&b),
+            Err(crate::BayesError::FactorCardinalityMismatch {
+                var: 0,
+                left: 2,
+                right: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn try_divide_reports_typed_errors() {
+        let a = Factor::new(vec![(v(0), 2)], vec![0.5, 0.6]);
+        let zero = Factor::new(vec![(v(0), 2)], vec![0.0, 0.3]);
+        assert_eq!(
+            a.try_divide_same_domain(&zero),
+            Err(crate::BayesError::FactorDivisionByZero { value: 0.5 })
+        );
+        let other_scope = Factor::ones(vec![(v(1), 2)]);
+        assert_eq!(
+            a.try_divide_same_domain(&other_scope),
+            Err(crate::BayesError::FactorScopeMismatch)
+        );
+        // 0/0 keeps the HUGIN convention through the fallible path too.
+        let num = Factor::new(vec![(v(0), 2)], vec![0.0, 0.6]);
+        let ok = num.try_divide_same_domain(&zero).unwrap();
+        assert_eq!(ok.values(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn marginalize_keep_accepts_unsorted_keep() {
+        // The pairwise-marginal path pushes an extra variable onto a
+        // sorted sepset, producing an unsorted keep list.
+        let f = Factor::new(
+            vec![(v(0), 2), (v(1), 2), (v(2), 2)],
+            (0..8).map(|i| i as f64).collect(),
+        );
+        let sorted = f.marginalize_keep(&[v(0), v(2)]);
+        let unsorted = f.marginalize_keep(&[v(2), v(0)]);
+        assert_eq!(sorted, unsorted);
+        let max_sorted = f.max_marginalize_keep(&[v(0), v(2)]);
+        let max_unsorted = f.max_marginalize_keep(&[v(2), v(0)]);
+        assert_eq!(max_sorted, max_unsorted);
     }
 }

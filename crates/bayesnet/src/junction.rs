@@ -259,6 +259,21 @@ impl JunctionTree {
             .fold(0.0, f64::max)
     }
 
+    /// Size (in states) of the largest sepset — the scratch-buffer bound
+    /// of one propagation message.
+    pub fn max_sepset_states(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|e| {
+                e.sepset
+                    .iter()
+                    .map(|v| self.cards[v.index()])
+                    .product::<usize>()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     pub(crate) fn edge(&self, idx: usize) -> &TreeEdge {
         &self.edges[idx]
     }

@@ -56,6 +56,7 @@ pub mod graph;
 mod junction;
 mod network;
 mod propagate;
+mod sparse;
 pub mod triangulate;
 
 pub use error::BayesError;
@@ -63,4 +64,5 @@ pub use factor::{Factor, VarId};
 pub use junction::JunctionTree;
 pub use network::{BayesNet, Cpt};
 pub use propagate::{initial_potentials, CompiledTree, PropagationState, Propagator};
+pub use sparse::SparseMode;
 pub use triangulate::Heuristic;

@@ -1,5 +1,6 @@
 use crate::junction::JunctionTree;
-use crate::{BayesError, BayesNet, Factor, VarId};
+use crate::sparse::{self, PropagationKernels};
+use crate::{BayesError, BayesNet, Factor, SparseMode, VarId};
 
 /// The immutable half of HUGIN propagation: clique structure, initial
 /// potentials, and the collect/distribute message schedule.
@@ -30,6 +31,11 @@ pub struct CompiledTree {
     /// Collect schedule: edges as (from_clique, edge_idx, to_clique), leaves
     /// towards roots. Distribution replays it reversed and flipped.
     schedule: Vec<(usize, usize, usize)>,
+    /// Precomputed absorb kernels: per-edge projection tables plus
+    /// per-clique zero-compression supports (see the `sparse` module).
+    kernels: PropagationKernels,
+    /// The zero-compression policy the kernels were built with.
+    mode: SparseMode,
 }
 
 // The whole point of the split: compiled trees are shareable across
@@ -62,19 +68,41 @@ impl CompiledTree {
 
     /// Builds the artifact from precomputed initial clique potentials (as
     /// produced by [`initial_potentials`]) — the fast path when the caller
-    /// has already assembled potentials itself.
+    /// has already assembled potentials itself. Zero compression follows
+    /// [`SparseMode::Auto`]; use
+    /// [`from_parts_with`](CompiledTree::from_parts_with) to choose.
     ///
     /// # Panics
     ///
     /// Panics if the potential count or any potential's scope disagrees
     /// with the tree.
     pub fn from_parts(tree: JunctionTree, potentials: Vec<Factor>) -> CompiledTree {
+        CompiledTree::from_parts_with(tree, potentials, SparseMode::default())
+    }
+
+    /// [`from_parts`](CompiledTree::from_parts) with an explicit
+    /// zero-compression policy. All modes produce bit-identical
+    /// propagation results (see [`SparseMode`]); the mode only selects
+    /// which kernels run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the potential count or any potential's scope disagrees
+    /// with the tree.
+    pub fn from_parts_with(
+        tree: JunctionTree,
+        potentials: Vec<Factor>,
+        mode: SparseMode,
+    ) -> CompiledTree {
         validate_potentials(&tree, &potentials);
         let schedule = build_schedule(&tree);
+        let kernels = PropagationKernels::build(&tree, &potentials, mode);
         CompiledTree {
             tree,
             init_clique_pot: potentials,
             schedule,
+            kernels,
+            mode,
         }
     }
 
@@ -101,6 +129,34 @@ impl CompiledTree {
         self.init_clique_pot.iter().map(Factor::len).sum()
     }
 
+    /// Nonzero entries across all initial clique potentials — the actual
+    /// propagation work under zero compression, and the better cache cost
+    /// proxy for LIDAG models whose deterministic CPTs zero out most of
+    /// the state space.
+    pub fn nnz(&self) -> usize {
+        self.kernels.nnz
+    }
+
+    /// Fraction of the state space that is structural zeros, in `[0, 1]`.
+    pub fn zero_fraction(&self) -> f64 {
+        let total = self.state_space();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// The zero-compression policy this tree was compiled with.
+    pub fn sparse_mode(&self) -> SparseMode {
+        self.mode
+    }
+
+    /// How many cliques actually got a zero-compressed support list.
+    pub fn compressed_cliques(&self) -> usize {
+        self.kernels.compressed_cliques()
+    }
+
     /// A fresh mutable state for this tree. States are reusable: a second
     /// `calibrate` on the same state reuses its buffers instead of
     /// reallocating, which is what per-request pooling exploits.
@@ -111,6 +167,7 @@ impl CompiledTree {
             evidence: vec![None; self.tree.num_vars()],
             likelihood: vec![None; self.tree.num_vars()],
             soft_factors: Vec::new(),
+            scratch: Vec::with_capacity(self.tree.max_sepset_states()),
             calibrated: false,
             max_mode: false,
             evidence_probability: 1.0,
@@ -169,6 +226,7 @@ impl CompiledTree {
     pub fn calibrate(&self, state: &mut PropagationState) {
         calibrate_impl(
             &self.tree,
+            &self.kernels,
             &self.init_clique_pot,
             &self.schedule,
             state,
@@ -181,6 +239,7 @@ impl CompiledTree {
     pub fn max_calibrate(&self, state: &mut PropagationState) {
         calibrate_impl(
             &self.tree,
+            &self.kernels,
             &self.init_clique_pot,
             &self.schedule,
             state,
@@ -251,6 +310,9 @@ pub struct PropagationState {
     /// Multi-variable soft evidence, multiplied into a containing clique
     /// at calibration time.
     soft_factors: Vec<Factor>,
+    /// Sepset-sized message buffer reused by every absorb, so calibration
+    /// allocates nothing in steady state.
+    scratch: Vec<f64>,
     calibrated: bool,
     /// Whether the last calibration was sum-product or max-product.
     max_mode: bool,
@@ -321,6 +383,10 @@ pub struct Propagator<'t> {
     init_clique_pot: Vec<Factor>,
     /// Collect schedule shared with [`CompiledTree`]; see there.
     schedule: Vec<(usize, usize, usize)>,
+    /// Precomputed absorb kernels (rebuilt on
+    /// [`reinitialize`](Propagator::reinitialize) — the zero pattern
+    /// belongs to the potentials, not the tree).
+    kernels: PropagationKernels,
     state: PropagationState,
 }
 
@@ -355,12 +421,14 @@ impl<'t> Propagator<'t> {
     pub fn from_initial(tree: &'t JunctionTree, potentials: Vec<Factor>) -> Propagator<'t> {
         validate_potentials(tree, &potentials);
         let schedule = build_schedule(tree);
+        let kernels = PropagationKernels::build(tree, &potentials, SparseMode::default());
         let state = PropagationState {
             clique_pot: potentials.clone(),
             sep_pot: ones_sepsets(tree),
             evidence: vec![None; tree.num_vars()],
             likelihood: vec![None; tree.num_vars()],
             soft_factors: Vec::new(),
+            scratch: Vec::with_capacity(tree.max_sepset_states()),
             calibrated: false,
             max_mode: false,
             evidence_probability: 1.0,
@@ -369,6 +437,7 @@ impl<'t> Propagator<'t> {
             tree,
             init_clique_pot: potentials,
             schedule,
+            kernels,
             state,
         }
     }
@@ -383,6 +452,7 @@ impl<'t> Propagator<'t> {
     /// count or cardinalities).
     pub fn reinitialize(&mut self, net: &BayesNet) {
         let pots = initial_potentials(self.tree, net);
+        self.kernels = PropagationKernels::build(self.tree, &pots, SparseMode::default());
         self.state.clique_pot = pots.clone();
         self.init_clique_pot = pots;
         self.state.sep_pot = ones_sepsets(self.tree);
@@ -435,6 +505,7 @@ impl<'t> Propagator<'t> {
     pub fn calibrate(&mut self) {
         calibrate_impl(
             self.tree,
+            &self.kernels,
             &self.init_clique_pot,
             &self.schedule,
             &mut self.state,
@@ -451,6 +522,7 @@ impl<'t> Propagator<'t> {
     pub fn max_calibrate(&mut self) {
         calibrate_impl(
             self.tree,
+            &self.kernels,
             &self.init_clique_pot,
             &self.schedule,
             &mut self.state,
@@ -612,6 +684,7 @@ fn insert_factor_impl(
 
 fn calibrate_impl(
     tree: &JunctionTree,
+    kernels: &PropagationKernels,
     init_clique_pot: &[Factor],
     schedule: &[(usize, usize, usize)],
     state: &mut PropagationState,
@@ -670,11 +743,11 @@ fn calibrate_impl(
     }
     // Collect: leaves towards roots.
     for &(from, edge, to) in schedule {
-        absorb(tree, state, from, edge, to, max_mode);
+        absorb(tree, kernels, state, from, edge, to, max_mode);
     }
     // Distribute: roots towards leaves.
     for &(from, edge, to) in schedule.iter().rev() {
-        absorb(tree, state, to, edge, from, max_mode);
+        absorb(tree, kernels, state, to, edge, from, max_mode);
     }
     // Probability of evidence: product over components of clique mass.
     let mut p = 1.0;
@@ -686,24 +759,61 @@ fn calibrate_impl(
     state.max_mode = max_mode;
 }
 
-/// One HUGIN absorption: `to` absorbs from `from` across `edge`.
+/// One HUGIN absorption: `to` absorbs from `from` across `edge`, entirely
+/// through the compile-time projection tables — no scope merges, no
+/// odometer walks, no allocation (the message lives in `state.scratch`).
 fn absorb(
     tree: &JunctionTree,
+    kernels: &PropagationKernels,
     state: &mut PropagationState,
     from: usize,
     edge: usize,
     to: usize,
     max_mode: bool,
 ) {
-    let sepset = &tree.edge(edge).sepset;
-    let new_sep = if max_mode {
-        state.clique_pot[from].max_marginalize_keep(sepset)
+    let e = tree.edge(edge);
+    let proj = &kernels.edge_proj[edge];
+    let (proj_from, proj_to) = if from == e.a {
+        (&proj.a, &proj.b)
     } else {
-        state.clique_pot[from].marginalize_keep(sepset)
+        (&proj.b, &proj.a)
     };
-    let update = new_sep.divide_same_domain(&state.sep_pot[edge]);
-    state.clique_pot[to].mul_assign_sub(&update);
-    state.sep_pot[edge] = new_sep;
+    let sep_len = state.sep_pot[edge].len();
+    state.scratch.resize(sep_len, 0.0);
+    let scratch = &mut state.scratch[..sep_len];
+    // (1) New sepset potential: marginalize the sender into scratch.
+    sparse::marginalize_into(
+        state.clique_pot[from].values(),
+        kernels.support[from].as_deref(),
+        proj_from,
+        scratch,
+        max_mode,
+    );
+    // (2) Store it, turning scratch into the update ratio new/old with the
+    // HUGIN convention 0/0 = 0 (nonzero/0 would mean the sender gained
+    // mass the old sepset never saw — a propagation-order bug).
+    for (slot, msg) in state.sep_pot[edge]
+        .values_mut()
+        .iter_mut()
+        .zip(scratch.iter_mut())
+    {
+        let old = *slot;
+        let new = *msg;
+        *slot = new;
+        *msg = if old == 0.0 {
+            assert!(new == 0.0, "division of nonzero {new} by zero sepset entry");
+            0.0
+        } else {
+            new / old
+        };
+    }
+    // (3) Multiply the update into the receiver.
+    sparse::multiply_from(
+        state.clique_pot[to].values_mut(),
+        kernels.support[to].as_deref(),
+        proj_to,
+        scratch,
+    );
 }
 
 fn marginal_impl(tree: &JunctionTree, state: &PropagationState, var: VarId) -> Vec<f64> {
@@ -1392,5 +1502,89 @@ mod tests {
         let expected: usize = compiled.initial_potentials().iter().map(Factor::len).sum();
         assert_eq!(compiled.state_space(), expected);
         assert!(compiled.state_space() > 0);
+    }
+
+    /// A net dominated by deterministic CPTs, LIDAG-style: two priors and
+    /// a chain of AND/XOR truth-table nodes.
+    fn deterministic_net() -> (BayesNet, [VarId; 4]) {
+        let and_rows = Cpt::rows(vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ]);
+        let xor_rows = Cpt::rows(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ]);
+        let mut net = BayesNet::new();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.6, 0.4]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.3, 0.7]))
+            .unwrap();
+        let c = net.add_var("c", 2, &[a, b], and_rows).unwrap();
+        let d = net.add_var("d", 2, &[a, c], xor_rows).unwrap();
+        (net, [a, b, c, d])
+    }
+
+    #[test]
+    fn sparse_modes_are_bit_identical() {
+        for (net, vars) in [sprinkler(), deterministic_net()] {
+            let tree = JunctionTree::compile(&net).unwrap();
+            let pots = initial_potentials(&tree, &net);
+            let compile = |mode| CompiledTree::from_parts_with(tree.clone(), pots.clone(), mode);
+            let off = compile(SparseMode::Off);
+            assert_eq!(off.compressed_cliques(), 0);
+            for mode in [SparseMode::Auto, SparseMode::On] {
+                let on = compile(mode);
+                assert_eq!(on.nnz(), off.nnz(), "nnz is a property of the potentials");
+                // Sum propagation with soft evidence.
+                let mut s_off = off.new_state();
+                let mut s_on = on.new_state();
+                for s in [&mut s_off, &mut s_on] {
+                    s.clear_evidence();
+                }
+                off.set_evidence(&mut s_off, vars[3], 1).unwrap();
+                on.set_evidence(&mut s_on, vars[3], 1).unwrap();
+                off.set_likelihood(&mut s_off, vars[1], vec![0.2, 0.8])
+                    .unwrap();
+                on.set_likelihood(&mut s_on, vars[1], vec![0.2, 0.8])
+                    .unwrap();
+                off.calibrate(&mut s_off);
+                on.calibrate(&mut s_on);
+                for &var in &vars {
+                    assert_eq!(off.marginal(&s_off, var), on.marginal(&s_on, var));
+                }
+                assert_eq!(s_off.evidence_probability(), s_on.evidence_probability());
+                // Max propagation.
+                s_off.clear_evidence();
+                s_on.clear_evidence();
+                off.max_calibrate(&mut s_off);
+                on.max_calibrate(&mut s_on);
+                assert_eq!(
+                    off.most_probable_assignment(&s_off),
+                    on.most_probable_assignment(&s_on)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_mode_compresses_deterministic_cpts() {
+        let (net, _) = deterministic_net();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        assert_eq!(compiled.sparse_mode(), SparseMode::Auto);
+        assert!(
+            compiled.zero_fraction() >= 0.5,
+            "truth-table CPTs must zero out most of the state space, got {}",
+            compiled.zero_fraction()
+        );
+        assert!(compiled.compressed_cliques() > 0);
+        assert!(compiled.nnz() < compiled.state_space());
     }
 }

@@ -1,0 +1,439 @@
+//! Determinism-aware sparse kernels for HUGIN propagation.
+//!
+//! Gate CPTs in the paper's LIDAG construction are *deterministic* (truth
+//! tables, Def. 8), so the clique potentials they multiply into are
+//! dominated by exact structural zeros — typically 75% of entries for
+//! four-state transition variables. Those zeros are fixed at compile time:
+//! every later operation on a working potential (evidence reduction,
+//! likelihood scaling, sepset-update multiplication) is multiplicative, so
+//! the nonzero *support* of a working potential is always a subset of the
+//! initial potential's support.
+//!
+//! This module exploits that in two ways, both precomputed once per
+//! [`CompiledTree`](crate::CompiledTree) and reused across every
+//! propagation:
+//!
+//! 1. **Projection tables**: for each (clique, sepset) edge pair, a flat
+//!    `Vec<u32>` mapping clique table entries to sepset entries, replacing
+//!    the per-call scope-merge and odometer walks of the generic
+//!    [`Factor`](crate::Factor) kernels with branch-free gather/scatter
+//!    loops.
+//! 2. **Zero compression** (HUGIN's classic optimization, Jensen &
+//!    Andersen 1990): cliques whose zero fraction crosses a threshold
+//!    iterate only their support index list, skipping structural zeros in
+//!    both the marginalize (scatter-add) and multiply (gather) directions.
+//!
+//! Skipping a structural zero never changes a sum-propagation result *at
+//! all*: potentials are non-negative, `x + 0.0 == x` exactly in IEEE 754,
+//! and the iteration order over the surviving entries (ascending linear
+//! index) is unchanged — so the sparse path is bit-identical to the dense
+//! path, not merely close. Max-propagation relies on non-negativity the
+//! same way (an all-zero group maxes to `0.0` on both paths).
+
+use crate::junction::JunctionTree;
+use crate::{Factor, VarId};
+
+/// Zero-compression policy for compiled junction trees.
+///
+/// `Auto` (the default) compresses a clique when at least half of its
+/// initial potential is exact zeros — the regime where skipping zeros pays
+/// for the indirection. `On` forces compression of every clique with at
+/// least one zero; `Off` keeps the flat dense loops everywhere (the two
+/// paths are equivalence-tested, so `Off` is a debugging aid and
+/// regression baseline, not a different answer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SparseMode {
+    /// Compress cliques whose zero fraction is at least one half.
+    #[default]
+    Auto,
+    /// Compress every clique that contains a structural zero.
+    On,
+    /// Dense kernels everywhere.
+    Off,
+}
+
+impl SparseMode {
+    /// All modes, for CLI help and error messages.
+    pub const ALL: [SparseMode; 3] = [SparseMode::Auto, SparseMode::On, SparseMode::Off];
+}
+
+impl std::fmt::Display for SparseMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SparseMode::Auto => "auto",
+            SparseMode::On => "on",
+            SparseMode::Off => "off",
+        })
+    }
+}
+
+impl std::str::FromStr for SparseMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SparseMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(SparseMode::Auto),
+            "on" => Ok(SparseMode::On),
+            "off" => Ok(SparseMode::Off),
+            other => Err(format!(
+                "unknown sparse mode `{other}` (expected auto, on, or off)"
+            )),
+        }
+    }
+}
+
+/// Minimum zero fraction at which `SparseMode::Auto` compresses a clique.
+pub(crate) const AUTO_ZERO_FRACTION: f64 = 0.5;
+
+/// Projection tables of one junction-tree edge: entry-to-sepset index maps
+/// for both endpoint cliques, aligned with the owning clique's support
+/// list when that clique is compressed and with its full table otherwise.
+#[derive(Debug, Clone)]
+pub(crate) struct EdgeProj {
+    pub(crate) a: Vec<u32>,
+    pub(crate) b: Vec<u32>,
+}
+
+/// Everything the absorb kernels need, computed once at compile time.
+#[derive(Debug, Clone)]
+pub(crate) struct PropagationKernels {
+    /// Per clique: ascending nonzero indices of the initial potential when
+    /// zero-compressed, `None` for dense iteration.
+    pub(crate) support: Vec<Option<Vec<u32>>>,
+    /// Per edge: projection tables for both endpoint cliques.
+    pub(crate) edge_proj: Vec<EdgeProj>,
+    /// Total nonzero entries across all initial clique potentials.
+    pub(crate) nnz: usize,
+}
+
+impl PropagationKernels {
+    /// Builds supports and projection tables for `potentials` over `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any clique potential exceeds `u32::MAX` entries (such a
+    /// table could not be allocated anyway).
+    pub(crate) fn build(
+        tree: &JunctionTree,
+        potentials: &[Factor],
+        mode: SparseMode,
+    ) -> PropagationKernels {
+        let mut nnz = 0usize;
+        let support: Vec<Option<Vec<u32>>> = potentials
+            .iter()
+            .map(|pot| {
+                assert!(
+                    u32::try_from(pot.len()).is_ok(),
+                    "clique potential exceeds u32 index range"
+                );
+                let nonzero = support_of(pot.values());
+                nnz += nonzero.len();
+                if compress(mode, nonzero.len(), pot.len()) {
+                    Some(nonzero)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let edge_proj = (0..tree.num_edges())
+            .map(|e| {
+                let edge = tree.edge(e);
+                EdgeProj {
+                    a: clique_to_sepset(
+                        &potentials[edge.a],
+                        &edge.sepset,
+                        support[edge.a].as_deref(),
+                    ),
+                    b: clique_to_sepset(
+                        &potentials[edge.b],
+                        &edge.sepset,
+                        support[edge.b].as_deref(),
+                    ),
+                }
+            })
+            .collect();
+        PropagationKernels {
+            support,
+            edge_proj,
+            nnz,
+        }
+    }
+
+    /// Number of zero-compressed cliques.
+    pub(crate) fn compressed_cliques(&self) -> usize {
+        self.support.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Ascending indices of the nonzero entries of a table.
+fn support_of(values: &[f64]) -> Vec<u32> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Whether a clique with `nnz` of `len` nonzero entries gets compressed.
+fn compress(mode: SparseMode, nnz: usize, len: usize) -> bool {
+    match mode {
+        SparseMode::Off => false,
+        SparseMode::On => nnz < len,
+        SparseMode::Auto => (len - nnz) as f64 >= AUTO_ZERO_FRACTION * len as f64,
+    }
+}
+
+/// The sepset linear index of every iterated clique entry: one slot per
+/// support position when `support` is given, else per clique linear index.
+///
+/// The walk mirrors `Factor::marginalize_keep`'s odometer but runs once at
+/// compile time instead of once per message.
+fn clique_to_sepset(clique: &Factor, sepset: &[VarId], support: Option<&[u32]>) -> Vec<u32> {
+    let vars = clique.vars();
+    let cards = clique.cards();
+    let mut target_strides = vec![0usize; vars.len()];
+    {
+        // Sepsets are sorted subsets of the clique scope; walk both in
+        // lockstep assigning row-major strides (last sepset var fastest).
+        let mut stride = 1usize;
+        let mut j = sepset.len();
+        for i in (0..vars.len()).rev() {
+            if j > 0 && vars[i] == sepset[j - 1] {
+                j -= 1;
+                target_strides[i] = stride;
+                stride *= cards[i];
+            }
+        }
+        assert_eq!(j, 0, "sepset must be contained in the clique scope");
+    }
+    let mut full = Vec::with_capacity(clique.len());
+    let mut digits = vec![0usize; vars.len()];
+    let mut target = 0usize;
+    for _ in 0..clique.len() {
+        full.push(target as u32);
+        for pos in (0..vars.len()).rev() {
+            digits[pos] += 1;
+            target += target_strides[pos];
+            if digits[pos] < cards[pos] {
+                break;
+            }
+            digits[pos] = 0;
+            target -= target_strides[pos] * cards[pos];
+        }
+    }
+    match support {
+        Some(support) => support.iter().map(|&i| full[i as usize]).collect(),
+        None => full,
+    }
+}
+
+/// Marginalizes a clique table into `target` (a sepset-sized buffer)
+/// through a precomputed projection: scatter-add for sum propagation,
+/// scatter-max for max propagation. `target` is (re)initialized here.
+///
+/// With a support list only the listed entries are visited; the skipped
+/// entries are exact zeros, which contribute nothing to a sum and nothing
+/// above `0.0` to a max of non-negative values, so both variants match the
+/// dense loops bit for bit.
+pub(crate) fn marginalize_into(
+    values: &[f64],
+    support: Option<&[u32]>,
+    proj: &[u32],
+    target: &mut [f64],
+    max_mode: bool,
+) {
+    match (support, max_mode) {
+        (None, false) => {
+            target.fill(0.0);
+            for (i, &p) in proj.iter().enumerate() {
+                target[p as usize] += values[i];
+            }
+        }
+        (None, true) => {
+            // Every sepset entry has at least one clique extension, so
+            // every slot is written and the initial value never survives.
+            target.fill(f64::NEG_INFINITY);
+            for (i, &p) in proj.iter().enumerate() {
+                let v = values[i];
+                let t = &mut target[p as usize];
+                if v > *t {
+                    *t = v;
+                }
+            }
+        }
+        (Some(support), false) => {
+            target.fill(0.0);
+            for (k, &idx) in support.iter().enumerate() {
+                target[proj[k] as usize] += values[idx as usize];
+            }
+        }
+        (Some(support), true) => {
+            // Skipped entries are zeros: groups with no surviving entry
+            // max to 0.0, exactly what the dense loop produces.
+            target.fill(0.0);
+            for (k, &idx) in support.iter().enumerate() {
+                let v = values[idx as usize];
+                let t = &mut target[proj[k] as usize];
+                if v > *t {
+                    *t = v;
+                }
+            }
+        }
+    }
+}
+
+/// Multiplies a sepset-sized `update` into a clique table through a
+/// precomputed projection (the second half of HUGIN absorption). With a
+/// support list only nonzero entries are touched; the skipped entries are
+/// zeros and stay zeros.
+pub(crate) fn multiply_from(
+    values: &mut [f64],
+    support: Option<&[u32]>,
+    proj: &[u32],
+    update: &[f64],
+) {
+    match support {
+        None => {
+            for (i, v) in values.iter_mut().enumerate() {
+                *v *= update[proj[i] as usize];
+            }
+        }
+        Some(support) => {
+            for (k, &idx) in support.iter().enumerate() {
+                values[idx as usize] *= update[proj[k] as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in SparseMode::ALL {
+            assert_eq!(mode.to_string().parse::<SparseMode>(), Ok(mode));
+        }
+        assert_eq!("AUTO".parse::<SparseMode>(), Ok(SparseMode::Auto));
+        assert!("sometimes".parse::<SparseMode>().is_err());
+        assert_eq!(SparseMode::default(), SparseMode::Auto);
+    }
+
+    #[test]
+    fn compress_thresholds() {
+        assert!(!compress(SparseMode::Off, 0, 8));
+        assert!(compress(SparseMode::On, 7, 8));
+        assert!(!compress(SparseMode::On, 8, 8));
+        assert!(compress(SparseMode::Auto, 4, 8)); // exactly half zero
+        assert!(!compress(SparseMode::Auto, 5, 8));
+    }
+
+    /// A factor over `n` four-state variables with the given zero pattern.
+    fn pattern_factor(n: usize, values: Vec<f64>) -> Factor {
+        Factor::new((0..n).map(|i| (v(i), 4)).collect(), values)
+    }
+
+    /// Reference path: dense `Factor` kernels.
+    fn dense_absorb_halves(clique: &Factor, sepset: &[VarId], max_mode: bool) -> Factor {
+        if max_mode {
+            clique.max_marginalize_keep(sepset)
+        } else {
+            clique.marginalize_keep(sepset)
+        }
+    }
+
+    /// Kernel path: projection + optional support, as used by `CompiledTree`.
+    fn kernel_marginalize(clique: &Factor, sepset: &[VarId], max_mode: bool) -> Vec<f64> {
+        let support = support_of(clique.values());
+        let proj = clique_to_sepset(clique, sepset, Some(&support));
+        let proj_dense = clique_to_sepset(clique, sepset, None);
+        let sep_len: usize = sepset
+            .iter()
+            .map(|s| clique.cards()[clique.position(*s).unwrap()])
+            .product();
+        let mut sparse = vec![f64::NAN; sep_len];
+        let mut dense = vec![f64::NAN; sep_len];
+        marginalize_into(
+            clique.values(),
+            Some(&support),
+            &proj,
+            &mut sparse,
+            max_mode,
+        );
+        marginalize_into(clique.values(), None, &proj_dense, &mut dense, max_mode);
+        assert_eq!(sparse, dense, "sparse and dense kernels must agree");
+        sparse
+    }
+
+    /// Strategy: 2–3 four-state variables, each entry zero with the given
+    /// percent probability — `75` mimics a deterministic gate CPT's shape.
+    fn arb_clique(zero_pct: u32) -> impl Strategy<Value = Factor> {
+        (2usize..=3).prop_flat_map(move |n| {
+            proptest::collection::vec((0u32..100, 0.01f64..1.0), 4usize.pow(n as u32)).prop_map(
+                move |cells| {
+                    let values = cells
+                        .into_iter()
+                        .map(|(r, v)| if r < zero_pct { 0.0 } else { v })
+                        .collect();
+                    pattern_factor(n, values)
+                },
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn sparse_marginalize_matches_dense(clique in arb_clique(75)) {
+            // Keep a strict prefix of the scope as the "sepset".
+            let sepset: Vec<VarId> = clique.vars()[..clique.vars().len() - 1].to_vec();
+            for max_mode in [false, true] {
+                let reference = dense_absorb_halves(&clique, &sepset, max_mode);
+                let got = kernel_marginalize(&clique, &sepset, max_mode);
+                prop_assert_eq!(got.as_slice(), reference.values());
+            }
+        }
+
+        #[test]
+        fn sparse_multiply_matches_mul_assign_sub(clique in arb_clique(75), dense_update in arb_clique(0)) {
+            // Restrict the update to a sepset-shaped factor over a prefix.
+            let sepset: Vec<VarId> = clique.vars()[..clique.vars().len() - 1].to_vec();
+            let update = dense_update.marginalize_keep(&sepset);
+            let mut reference = clique.clone();
+            reference.mul_assign_sub(&update);
+
+            let support = support_of(clique.values());
+            let proj = clique_to_sepset(&clique, &sepset, Some(&support));
+            let mut got = clique.clone();
+            multiply_from(got.values_mut(), Some(&support), &proj, update.values());
+            // Entries outside the support are zeros on both sides (0 * x
+            // may differ in zero sign only, which == treats as equal).
+            prop_assert_eq!(got.values(), reference.values());
+        }
+
+        #[test]
+        fn fully_dense_cliques_take_the_dense_path(clique in arb_clique(0)) {
+            prop_assert_eq!(support_of(clique.values()).len(), clique.len());
+            prop_assert!(!compress(SparseMode::Auto, clique.len(), clique.len()));
+        }
+    }
+
+    #[test]
+    fn projection_matches_marginalize_on_interior_sepset() {
+        // Sepset that is not a scope prefix: keep the middle variable.
+        let clique = pattern_factor(3, (0..64).map(|i| (i % 4) as f64).collect());
+        let sepset = vec![v(1)];
+        let proj = clique_to_sepset(&clique, &sepset, None);
+        let mut target = vec![0.0f64; 4];
+        marginalize_into(clique.values(), None, &proj, &mut target, false);
+        assert_eq!(target.as_slice(), clique.marginalize_keep(&sepset).values());
+    }
+}

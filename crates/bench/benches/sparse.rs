@@ -1,0 +1,44 @@
+//! Sparse-kernel benchmark: propagation (the paper's cheap "Update" path)
+//! with zero-compressed clique potentials against the dense baseline, on
+//! the same precompiled circuits. Gate truth tables zero out most of each
+//! clique table, so the sparse kernels touch a fraction of the entries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swact::{CompiledEstimator, InputSpec, Options, SparseMode};
+use swact_circuit::catalog;
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse");
+    group.sample_size(10);
+    for name in ["c17", "c432", "c880", "alu2"] {
+        let circuit = catalog::benchmark(name).expect("known benchmark");
+        let specs: Vec<InputSpec> = (0..4)
+            .map(|k| {
+                InputSpec::independent(
+                    (0..circuit.num_inputs()).map(move |i| 0.2 + 0.15 * ((i + k) % 5) as f64),
+                )
+            })
+            .collect();
+        for (label, sparse) in [("dense", SparseMode::Off), ("sparse", SparseMode::Auto)] {
+            let options = Options {
+                sparse,
+                ..Options::default()
+            };
+            let compiled = CompiledEstimator::compile(&circuit, &options).expect("compiles");
+            let mut k = 0usize;
+            group.bench_function(format!("{name}/{label}"), |b| {
+                b.iter(|| {
+                    // Rotate input statistics so every iteration
+                    // re-propagates rather than hitting a warm result.
+                    let est = compiled.estimate(&specs[k % specs.len()]).expect("matches");
+                    k += 1;
+                    est
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse);
+criterion_main!(benches);

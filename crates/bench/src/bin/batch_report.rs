@@ -5,15 +5,16 @@
 //! cargo run -p swact-bench --release --bin batch_report [circuit] [scenarios]
 //! ```
 
-use swact_bench::{batch_throughput, batch_throughput_json};
-use swact_circuit::catalog;
+use swact_bench::{batch_throughput, batch_throughput_json, lookup_benchmark};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "c880".to_string());
     let scenarios: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
-    let circuit = catalog::benchmark(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}` (try `swact list`)"));
+    let circuit = lookup_benchmark(&name).unwrap_or_else(|message| {
+        eprintln!("{message}");
+        std::process::exit(2);
+    });
 
     let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     println!(
@@ -42,6 +43,9 @@ fn main() {
 
     let json = batch_throughput_json(&name, &rows);
     let path = "BENCH_batch.json";
-    std::fs::write(path, &json).expect("write BENCH_batch.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(1);
+    }
     println!("\nwrote {path}");
 }

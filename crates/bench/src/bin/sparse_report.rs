@@ -1,0 +1,41 @@
+//! Sparse-vs-dense propagation summary: times the precompiled "Update"
+//! path under `SparseMode::Off` and `SparseMode::Auto` on a set of
+//! benchmarks and writes `BENCH_sparse.json`.
+//!
+//! ```text
+//! cargo run -p swact-bench --release --bin sparse_report [reps]
+//! ```
+
+use swact_bench::{sparse_throughput, sparse_throughput_json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let names = ["c17", "c432", "c880", "alu2"];
+
+    println!("sparse vs dense propagation — {reps} repetitions per circuit");
+    println!(
+        "{:<8} {:>12} {:>9} {:>14} {:>14} {:>9}",
+        "circuit", "nnz", "zero%", "dense (ms)", "sparse (ms)", "speedup"
+    );
+    let rows = sparse_throughput(&names, reps);
+    for row in &rows {
+        println!(
+            "{:<8} {:>12} {:>8.1}% {:>14.3} {:>14.3} {:>8.2}x",
+            row.circuit,
+            row.nnz,
+            row.zero_fraction * 100.0,
+            row.dense_s * 1e3,
+            row.sparse_s * 1e3,
+            row.speedup
+        );
+    }
+
+    let json = sparse_throughput_json(&rows, reps);
+    let path = "BENCH_sparse.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}

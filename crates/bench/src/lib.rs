@@ -250,6 +250,18 @@ pub struct BatchThroughputRow {
 
 /// Sweep scenario specs: per-input p1 varies with both input position and
 /// scenario index so every scenario re-propagates distinct evidence.
+/// Resolves a benchmark name against the built-in catalog; unknown names
+/// get an error message listing every valid name, ready to print as-is.
+pub fn lookup_benchmark(name: &str) -> Result<Circuit, String> {
+    catalog::benchmark(name).ok_or_else(|| {
+        let mut msg = format!("unknown benchmark `{name}`; valid names are:");
+        for info in catalog::BENCHMARKS {
+            let _ = write!(msg, "\n  {}", info.name);
+        }
+        msg
+    })
+}
+
 pub fn batch_specs(circuit: &Circuit, scenarios: usize) -> Vec<InputSpec> {
     (0..scenarios)
         .map(|k| {
@@ -308,6 +320,109 @@ pub fn batch_throughput(
     rows
 }
 
+/// One circuit's sparse-vs-dense propagation measurement.
+#[derive(Debug, Clone)]
+pub struct SparseThroughputRow {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Nonzero clique-potential entries (identical for both modes).
+    pub nnz: usize,
+    /// Fraction of clique-potential entries that are structural zeros.
+    pub zero_fraction: f64,
+    /// Cliques stored zero-compressed under `SparseMode::Auto`.
+    pub compressed_cliques: usize,
+    /// Propagate-only wall clock under `SparseMode::Off`, seconds.
+    pub dense_s: f64,
+    /// Propagate-only wall clock under `SparseMode::Auto`, seconds.
+    pub sparse_s: f64,
+    /// `dense_s / sparse_s`.
+    pub speedup: f64,
+}
+
+/// Times the precompiled propagate-only path dense vs sparse, `reps`
+/// repetitions per mode per circuit (input statistics rotate so no
+/// iteration can reuse a warm result). Compilation is untimed; both modes
+/// propagate the same rotated specs, so the wall-clock difference isolates
+/// the kernels.
+///
+/// # Panics
+///
+/// Panics if any name is unknown or a circuit fails to compile.
+pub fn sparse_throughput(names: &[&str], reps: usize) -> Vec<SparseThroughputRow> {
+    names
+        .iter()
+        .map(|&name| {
+            let circuit = catalog::benchmark(name).expect("known benchmark");
+            let specs = batch_specs(&circuit, 8);
+            let time_mode = |sparse| {
+                let options = Options {
+                    sparse,
+                    ..Options::default()
+                };
+                let compiled =
+                    CompiledEstimator::compile(&circuit, &options).expect("benchmark compiles");
+                // One untimed propagation warms allocator and caches.
+                compiled.estimate(&specs[0]).expect("estimates");
+                let start = Instant::now();
+                for k in 0..reps {
+                    compiled
+                        .estimate(&specs[k % specs.len()])
+                        .expect("estimates");
+                }
+                (start.elapsed().as_secs_f64(), compiled)
+            };
+            let (dense_s, _) = time_mode(swact::SparseMode::Off);
+            let (sparse_s, compiled) = time_mode(swact::SparseMode::Auto);
+            SparseThroughputRow {
+                circuit: name.to_string(),
+                nnz: compiled.nnz(),
+                zero_fraction: compiled.zero_fraction(),
+                compressed_cliques: compiled.compressed_cliques(),
+                dense_s,
+                sparse_s,
+                speedup: if sparse_s > 0.0 {
+                    dense_s / sparse_s
+                } else {
+                    1.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders sparse-vs-dense rows as a JSON document with host metadata
+/// (hand-rolled: the workspace deliberately has no serde dependency).
+pub fn sparse_throughput_json(rows: &[SparseThroughputRow], reps: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(
+        out,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let _ = writeln!(out, "  \"host_os\": \"{}\",", std::env::consts::OS);
+    let _ = writeln!(out, "  \"host_arch\": \"{}\",", std::env::consts::ARCH);
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"circuit\": \"{}\", \"nnz\": {}, \"zero_fraction\": {:.6}, \
+             \"compressed_cliques\": {}, \"dense_s\": {:.6}, \"sparse_s\": {:.6}, \
+             \"speedup\": {:.3}}}",
+            row.circuit,
+            row.nnz,
+            row.zero_fraction,
+            row.compressed_cliques,
+            row.dense_s,
+            row.sparse_s,
+            row.speedup
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Renders throughput rows as a JSON document (hand-rolled: the workspace
 /// deliberately has no serde dependency).
 pub fn batch_throughput_json(circuit_name: &str, rows: &[BatchThroughputRow]) -> String {
@@ -358,6 +473,34 @@ mod tests {
         assert_eq!(row.cells.len(), 2);
         assert_eq!(row.cells[0].method, "bayesian-network");
         assert!(row.cells[0].mean_err <= row.cells[1].mean_err + 1e-9);
+    }
+
+    #[test]
+    fn lookup_benchmark_lists_catalog_on_miss() {
+        assert!(lookup_benchmark("c17").is_ok());
+        let msg = lookup_benchmark("c9999").unwrap_err();
+        assert!(msg.contains("unknown benchmark `c9999`"));
+        for info in catalog::BENCHMARKS {
+            assert!(
+                msg.contains(info.name),
+                "catalog entry {} missing",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_throughput_rows_and_json() {
+        let rows = sparse_throughput(&["c17"], 2);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].nnz > 0);
+        assert!(rows[0].zero_fraction > 0.0);
+        assert!(rows[0].compressed_cliques > 0);
+        assert!(rows[0].dense_s > 0.0 && rows[0].sparse_s > 0.0);
+        let json = sparse_throughput_json(&rows, 2);
+        assert!(json.contains("\"circuit\": \"c17\""));
+        assert!(json.contains("\"host_cpus\""));
+        assert!(json.contains("\"zero_fraction\""));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!   (one AND per cube, an OR across cubes, complemented for off-set
 //!   covers) over `NOT`/`AND`/`OR`/`BUF` gates,
 //! * `.latch` elements, mapped to registers of a
-//!   [`SequentialCircuit`](crate::sequential::SequentialCircuit),
+//!   [`SequentialCircuit`],
 //! * `.end` and `#` comments.
 //!
 //! Helper lines introduced by cover synthesis are named

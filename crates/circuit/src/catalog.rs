@@ -13,7 +13,7 @@
 //! deterministic synthetic circuit with the published primary-input /
 //! primary-output / gate counts and heavy reconvergent fan-out (see
 //! [`benchgen`](crate::benchgen) and DESIGN.md §4). Real `.bench` files can
-//! be parsed with [`parse_bench`](crate::parse::parse_bench) and run through
+//! be parsed with [`parse_bench`] and run through
 //! the same pipeline.
 
 use crate::benchgen::{generate, GeneratorConfig};

@@ -112,9 +112,15 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, CircuitError> {
 }
 
 fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
-    let rest = line
-        .strip_prefix(keyword)
-        .or_else(|| line.strip_prefix(&keyword.to_lowercase()))?;
+    // ISCAS-89 tools emit INPUT/input/Input interchangeably; keywords are
+    // ASCII, so a byte-wise case-insensitive prefix match is safe.
+    if line.len() < keyword.len() || !line.is_char_boundary(keyword.len()) {
+        return None;
+    }
+    let (head, rest) = line.split_at(keyword.len());
+    if !head.eq_ignore_ascii_case(keyword) {
+        return None;
+    }
     let rest = rest.trim_start();
     let inner = rest.strip_prefix('(')?.strip_suffix(')')?;
     let inner = inner.trim();
@@ -188,6 +194,24 @@ mod tests {
         let c = parse_bench("t", src).unwrap();
         let t = c.find_line("t").unwrap();
         assert_eq!(c.gate(t).unwrap().kind, GateKind::Buf);
+    }
+
+    #[test]
+    fn directives_are_case_insensitive() {
+        // Netlists in the wild mix INPUT/Input/input (and the same for
+        // OUTPUT); all spellings must parse to the same circuit.
+        let src = "Input(a)\ninput(b)\nINPUT(c)\nOutput(y)\nt = AND(a, b)\ny = OR(t, c)\n";
+        let c = parse_bench("mixed", src).unwrap();
+        assert_eq!(c.num_inputs(), 3);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_gates(), 2);
+        // A gate line whose name merely starts with a keyword is not a
+        // directive.
+        let src = "INPUT(a)\nOUTPUT(inputy)\ninputy = NOT(a)\n";
+        let c = parse_bench("prefix", src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+        // Non-ASCII input cannot panic the byte-wise prefix check.
+        assert!(parse_bench("utf8", "Ínput(a)\n").is_err());
     }
 
     #[test]

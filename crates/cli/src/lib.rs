@@ -17,7 +17,7 @@
 use std::fmt::Write as _;
 
 use swact::sequential::{estimate_sequential, SequentialOptions};
-use swact::{estimate, InputModel, InputSpec, Options, PowerModel};
+use swact::{estimate, InputModel, InputSpec, Options, PowerModel, SparseMode};
 use swact_baselines::{Independence, PairwiseCorrelation, SwitchingEstimator, TransitionDensity};
 use swact_circuit::sequential::parse_bench_sequential;
 use swact_circuit::{catalog, parse::parse_bench, write, Circuit};
@@ -73,6 +73,8 @@ ESTIMATE OPTIONS:
   --activity <A>   switching activity for every input (default 2·P·(1−P))
   --budget <N>     junction-tree state budget per segment (default 131072)
   --single-bn      force one exact Bayesian network (may be infeasible)
+  --sparse <MODE>  zero-compress clique potentials: auto, on, or off
+                   (default auto; results are bit-identical across modes)
   --power          also print the dynamic-power report
   --sequential     treat DFFs via fixed-point iteration (default: reject DFFs)
   --csv            emit per-line results as CSV instead of a table
@@ -87,6 +89,7 @@ BATCH OPTIONS:
                    single p1 for all inputs or one p1 per input
                    (whitespace/comma separated; `#` starts a comment)
   --budget <N>     junction-tree state budget per segment (default 131072)
+  --sparse <MODE>  zero-compress clique potentials: auto, on, or off
   --csv            emit per-scenario, per-line switching as CSV
   --stats          also print timing/cache metrics (not byte-stable)";
 
@@ -120,9 +123,18 @@ struct EstimateArgs {
     activity: Option<f64>,
     budget: usize,
     single_bn: bool,
+    sparse: SparseMode,
     power: bool,
     sequential: bool,
     csv: bool,
+}
+
+fn parse_sparse(value: &str) -> Result<SparseMode, CliError> {
+    value.parse().map_err(|_| {
+        usage_error(format!(
+            "bad --sparse value `{value}` (expected auto, on, or off)"
+        ))
+    })
 }
 
 fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
@@ -132,6 +144,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
         activity: None,
         budget: 1 << 17,
         single_bn: false,
+        sparse: SparseMode::Auto,
         power: false,
         sequential: false,
         csv: false,
@@ -139,7 +152,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--p1" | "--activity" | "--budget" => {
+            "--p1" | "--activity" | "--budget" | "--sparse" => {
                 let flag = rest[i].as_str();
                 let value = rest
                     .get(i + 1)
@@ -156,6 +169,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                                 usage_error(format!("bad --activity value `{value}`"))
                             })?)
                     }
+                    "--sparse" => parsed.sparse = parse_sparse(value)?,
                     _ => {
                         parsed.budget = value
                             .parse()
@@ -233,6 +247,7 @@ fn estimator_options(args: &EstimateArgs) -> Options {
     Options {
         segment_budget: args.budget,
         single_bn: args.single_bn,
+        sparse: args.sparse,
         ..Options::default()
     }
 }
@@ -341,6 +356,7 @@ struct BatchArgs {
     sweep: usize,
     spec_file: Option<String>,
     budget: usize,
+    sparse: SparseMode,
     csv: bool,
     stats: bool,
 }
@@ -352,13 +368,14 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
         sweep: 8,
         spec_file: None,
         budget: 1 << 17,
+        sparse: SparseMode::Auto,
         csv: false,
         stats: false,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            flag @ ("--jobs" | "--sweep" | "--budget" | "--spec") => {
+            flag @ ("--jobs" | "--sweep" | "--budget" | "--spec" | "--sparse") => {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
@@ -380,6 +397,7 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
                             .parse()
                             .map_err(|_| usage_error(format!("bad --budget value `{value}`")))?
                     }
+                    "--sparse" => parsed.sparse = parse_sparse(value)?,
                     _ => parsed.spec_file = Some(value.to_string()),
                 }
                 i += 2;
@@ -482,6 +500,7 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
     };
     let options = Options {
         segment_budget: args.budget,
+        sparse: args.sparse,
         ..Options::default()
     };
     let report = engine
@@ -758,6 +777,33 @@ mod tests {
                 .expect("mean line present")
         };
         assert!(mean(&quiet) < mean(&busy));
+    }
+
+    #[test]
+    fn sparse_modes_produce_identical_output() {
+        let auto = run_strs(&["estimate", "c17"]).unwrap();
+        let on = run_strs(&["estimate", "c17", "--sparse", "on"]).unwrap();
+        let off = run_strs(&["estimate", "c17", "--sparse", "OFF"]).unwrap();
+        // Compile/propagate timings differ; the result tables must not.
+        let table = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(table(&auto), table(&on));
+        assert_eq!(table(&auto), table(&off));
+
+        let batch_on = run_strs(&["batch", "c17", "--sweep", "4", "--sparse", "on"]).unwrap();
+        let batch_off = run_strs(&["batch", "c17", "--sweep", "4", "--sparse", "off"]).unwrap();
+        assert_eq!(batch_on, batch_off);
+    }
+
+    #[test]
+    fn sparse_rejects_bad_mode() {
+        for cmd in ["estimate", "batch"] {
+            let err = run_strs(&[cmd, "c17", "--sparse", "sometimes"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains("bad --sparse value"));
+            let err = run_strs(&[cmd, "c17", "--sparse"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains("--sparse needs a value"));
+        }
     }
 
     #[test]

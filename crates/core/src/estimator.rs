@@ -4,7 +4,7 @@ use std::sync::Mutex;
 
 use swact_bayesnet::{
     initial_potentials, BayesNet, CompiledTree, Cpt, Factor, Heuristic, JunctionTree,
-    PropagationState, VarId,
+    PropagationState, SparseMode, VarId,
 };
 use swact_circuit::{decompose::decompose_fanin, Circuit, LineId};
 
@@ -41,6 +41,13 @@ pub struct Options {
     /// would otherwise drop; disable to reproduce the paper's plain
     /// marginal forwarding (ablation E6).
     pub boundary_correlation: bool,
+    /// Zero-compression policy for compiled clique potentials. Logic
+    /// circuits produce LIDAG CPTs that are mostly deterministic, so clique
+    /// tables carry large numbers of structural zeros; compressed cliques
+    /// iterate only their nonzero support during propagation. The default
+    /// [`SparseMode::Auto`] compresses a clique when at least half its
+    /// entries are zero. Results are bit-identical across modes.
+    pub sparse: SparseMode,
 }
 
 impl Default for Options {
@@ -52,6 +59,7 @@ impl Default for Options {
             check_interval: 4,
             single_bn: false,
             boundary_correlation: true,
+            sparse: SparseMode::Auto,
         }
     }
 }
@@ -731,7 +739,11 @@ impl CompiledEstimator {
                 segments[producer].exports.push(export);
             }
             segments.push(SegmentNet {
-                compiled: CompiledTree::from_parts(built.tree, init_potentials),
+                compiled: CompiledTree::from_parts_with(
+                    built.tree,
+                    init_potentials,
+                    options.sparse,
+                ),
                 states: Mutex::new(Vec::new()),
                 solo_roots: built.solo_roots,
                 pair_roots: built.pair_roots,
@@ -972,6 +984,31 @@ impl CompiledEstimator {
     /// Largest clique state count across segments.
     pub fn max_clique_states(&self) -> f64 {
         self.max_clique_states
+    }
+
+    /// Total number of nonzero initial clique-potential entries across
+    /// segments — the work the propagation hot path actually touches once
+    /// zero-compressed cliques skip their structural zeros.
+    pub fn nnz(&self) -> usize {
+        self.segments.iter().map(|s| s.compiled.nnz()).sum()
+    }
+
+    /// Fraction of compiled clique-potential entries that are structural
+    /// zeros (deterministic-CPT induced); `0.0` for an empty estimator.
+    pub fn zero_fraction(&self) -> f64 {
+        let states: usize = self.segments.iter().map(|s| s.compiled.state_space()).sum();
+        if states == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / states as f64
+    }
+
+    /// Number of cliques stored in zero-compressed form.
+    pub fn compressed_cliques(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.compiled.compressed_cliques())
+            .sum()
     }
 
     /// The options the estimator was compiled with.

@@ -64,4 +64,5 @@ pub use lidag::{gate_cpt, gate_family, Lidag};
 pub use power::{PowerModel, PowerReport};
 pub use report::{ErrorStats, Estimate};
 pub use segment::SegmentationPlan;
+pub use swact_bayesnet::SparseMode;
 pub use transition::{Transition, TransitionDist};

@@ -1,5 +1,8 @@
 //! Compiled-model cache keyed by circuit structure, options, and input-spec
-//! signature, with LRU eviction weighted by junction-tree state-space cost.
+//! signature, with LRU eviction weighted by the junction trees' nonzero
+//! potential entries (nnz) — the memory a compiled model actually retains
+//! and the work its propagations actually do once zero-compressed cliques
+//! skip structural zeros.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -44,6 +47,7 @@ pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) 
     options.check_interval.hash(&mut h);
     options.single_bn.hash(&mut h);
     options.boundary_correlation.hash(&mut h);
+    options.sparse.hash(&mut h);
 
     // Spec signature: group membership and pairwise-joint edges become part
     // of the compiled structure (probabilities do not).
@@ -62,13 +66,14 @@ pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) 
 
 struct Entry {
     model: Arc<CompiledEstimator>,
-    /// Junction-tree state-space size — the model's memory cost proxy.
+    /// Nonzero junction-tree potential entries — the model's memory cost
+    /// proxy (equals the full state-space size for uncompressed models).
     cost: f64,
     last_used: u64,
 }
 
-/// LRU cache of compiled estimators, bounded by total state-space cost
-/// rather than entry count, so one huge model counts for what it weighs.
+/// LRU cache of compiled estimators, bounded by total nnz cost rather than
+/// entry count, so one huge model counts for what it weighs.
 pub(crate) struct ModelCache {
     entries: HashMap<u64, Entry>,
     budget: f64,
@@ -96,13 +101,13 @@ impl ModelCache {
     }
 
     /// Inserts a freshly compiled model, evicting least-recently-used
-    /// entries until the state-space budget holds again. The new entry is
+    /// entries until the nnz budget holds again. The new entry is
     /// never evicted (a model bigger than the whole budget still gets
     /// cached — evicting it immediately would defeat the batch that needs
     /// it). Returns the number of evictions.
     pub(crate) fn insert(&mut self, key: u64, model: Arc<CompiledEstimator>) -> u64 {
         self.tick += 1;
-        let cost = model.total_states();
+        let cost = model.nnz() as f64;
         if let Some(old) = self.entries.insert(
             key,
             Entry {
@@ -183,13 +188,23 @@ mod tests {
             model_key(&c1, &spec, &options),
             model_key(&c1, &spec, &other_options)
         );
+
+        let sparse_off = Options {
+            sparse: swact::SparseMode::Off,
+            ..Options::default()
+        };
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c1, &spec, &sparse_off)
+        );
     }
 
     #[test]
-    fn lru_evicts_by_state_space_budget() {
+    fn lru_evicts_by_nnz_budget() {
         let circuit = tiny_circuit("y");
         let model = compiled(&circuit);
-        let cost = model.total_states();
+        let cost = model.nnz() as f64;
+        assert!(cost > 0.0);
         // Budget fits exactly two models of this size.
         let mut cache = ModelCache::new(2.0 * cost);
 

@@ -7,13 +7,14 @@
 //! into a service-shaped API — an [`Engine`] owns
 //!
 //! 1. a **compiled-model cache** keyed by (circuit structure, [`Options`],
-//!    input-spec signature), LRU-evicted by junction-tree state-space cost,
-//!    so repeated batches over the same circuit never recompile;
+//!    input-spec signature), LRU-evicted by the models' nonzero
+//!    clique-potential entries (nnz — what a model actually costs once
+//!    zero-compressed cliques drop their structural zeros), so repeated
+//!    batches over the same circuit never recompile;
 //! 2. a **fixed worker pool** of plain `std::thread`s sharing each
 //!    `Arc<CompiledEstimator>` — the `&self` propagation API introduced
 //!    alongside this crate lets one compiled model serve all workers
-//!    concurrently, each borrowing pooled
-//!    [`PropagationState`](swact_bayesnet::PropagationState) scratch; and
+//!    concurrently, each borrowing pooled `PropagationState` scratch; and
 //! 3. **observability counters** ([`MetricsSnapshot`]): cache hits/misses,
 //!    evictions, per-stage compile/propagate/queue-wait timings, and queue
 //!    depth.
@@ -306,6 +307,12 @@ impl Engine {
         let compile_time = compile_start.elapsed();
         self.metrics.compile_misses.fetch_add(1, Ordering::Relaxed);
         EngineMetrics::add_nanos(&self.metrics.compile_nanos, compile_time);
+        self.metrics
+            .compiled_nnz
+            .fetch_add(model.nnz() as u64, Ordering::Relaxed);
+        self.metrics
+            .compiled_states
+            .fetch_add(model.total_states() as u64, Ordering::Relaxed);
 
         let mut cache = self.cache.lock().expect("model cache lock");
         let model = match cache.get(key) {
@@ -404,6 +411,11 @@ mod tests {
         assert_eq!(metrics.requests_failed, 0);
         assert_eq!(metrics.queue_depth, 0);
         assert_eq!(engine.cached_models(), 1);
+        // c17 is all NAND gates, so its deterministic CPTs zero out a large
+        // share of the clique tables; one compile must have recorded that.
+        assert!(metrics.compiled_nnz > 0);
+        assert!(metrics.compiled_nnz < metrics.compiled_states);
+        assert!(metrics.zero_fraction() > 0.0);
     }
 
     #[test]

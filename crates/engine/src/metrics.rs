@@ -18,6 +18,8 @@ pub(crate) struct EngineMetrics {
     pub(crate) compile_nanos: AtomicU64,
     pub(crate) propagate_nanos: AtomicU64,
     pub(crate) queue_wait_nanos: AtomicU64,
+    pub(crate) compiled_nnz: AtomicU64,
+    pub(crate) compiled_states: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -46,6 +48,8 @@ impl EngineMetrics {
             compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
             propagate_time: Duration::from_nanos(self.propagate_nanos.load(Ordering::Relaxed)),
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
+            compiled_nnz: self.compiled_nnz.load(Ordering::Relaxed),
+            compiled_states: self.compiled_states.load(Ordering::Relaxed),
         }
     }
 }
@@ -78,4 +82,22 @@ pub struct MetricsSnapshot {
     /// Total time requests waited in the queue before a worker picked
     /// them up.
     pub queue_wait: Duration,
+    /// Nonzero clique-potential entries summed over compiled models
+    /// (cache misses only) — the propagation work actually performed.
+    pub compiled_nnz: u64,
+    /// Full clique state-space entries summed over compiled models (cache
+    /// misses only); `compiled_nnz / compiled_states` under 1.0 means
+    /// zero-compression is paying off.
+    pub compiled_states: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of compiled clique-potential entries that were structural
+    /// zeros; `0.0` before any model has been compiled.
+    pub fn zero_fraction(&self) -> f64 {
+        if self.compiled_states == 0 {
+            return 0.0;
+        }
+        1.0 - self.compiled_nnz as f64 / self.compiled_states as f64
+    }
 }

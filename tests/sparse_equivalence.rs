@@ -1,0 +1,104 @@
+//! End-to-end determinism of the zero-compressed propagation path: an
+//! estimate computed with `sparse = on` must be *bit-identical* to
+//! `sparse = off` — compression only skips structural zeros, it never
+//! reorders or approximates the arithmetic.
+
+use swact::{estimate, CompiledEstimator, InputSpec, Options, SparseMode};
+use swact_circuit::{catalog, parse::parse_bench, Circuit};
+
+/// A small reconvergent circuit: both NANDs share input `b`, and their
+/// outputs reconverge in `y` — the dependency pattern the paper's
+/// Bayesian-network approach exists to capture (and where the junction
+/// tree's sepsets actually carry information).
+fn reconvergent() -> Circuit {
+    let src = "\
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+u = NAND(a, b)
+v = NAND(b, c)
+w = XOR(u, v)
+y = AND(w, u)
+";
+    parse_bench("reconv", src).expect("reconvergent circuit parses")
+}
+
+fn options(sparse: SparseMode) -> Options {
+    Options {
+        sparse,
+        ..Options::default()
+    }
+}
+
+fn assert_estimates_identical(circuit: &Circuit, spec: &InputSpec) {
+    let off = estimate(circuit, spec, &options(SparseMode::Off)).expect("dense estimate");
+    for mode in [SparseMode::Auto, SparseMode::On] {
+        let on = estimate(circuit, spec, &options(mode)).expect("sparse estimate");
+        for line in circuit.line_ids() {
+            assert_eq!(
+                off.switching(line).to_bits(),
+                on.switching(line).to_bits(),
+                "{mode} switching differs on {}",
+                circuit.line_name(line)
+            );
+            assert_eq!(
+                off.signal_probability(line).to_bits(),
+                on.signal_probability(line).to_bits(),
+                "{mode} P(1) differs on {}",
+                circuit.line_name(line)
+            );
+        }
+        assert_eq!(
+            off.mean_switching().to_bits(),
+            on.mean_switching().to_bits()
+        );
+    }
+}
+
+#[test]
+fn c17_estimates_are_bit_identical_across_sparse_modes() {
+    let circuit = catalog::benchmark("c17").unwrap();
+    for spec in [
+        InputSpec::uniform(circuit.num_inputs()),
+        InputSpec::independent(vec![0.1, 0.3, 0.5, 0.7, 0.9]),
+    ] {
+        assert_estimates_identical(&circuit, &spec);
+    }
+}
+
+#[test]
+fn reconvergent_estimates_are_bit_identical_across_sparse_modes() {
+    let circuit = reconvergent();
+    for spec in [
+        InputSpec::uniform(circuit.num_inputs()),
+        InputSpec::independent(vec![0.2, 0.8, 0.4]),
+    ] {
+        assert_estimates_identical(&circuit, &spec);
+    }
+}
+
+#[test]
+fn gate_circuits_actually_compress() {
+    // Truth-table CPTs dominate any gate-level LIDAG, so the compiled
+    // estimator must report substantial structural sparsity on c17 —
+    // this is the fraction of propagation work the sparse kernels skip.
+    let circuit = catalog::benchmark("c17").unwrap();
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let auto = CompiledEstimator::compile_for(&circuit, &spec, &options(SparseMode::Auto))
+        .expect("compiles");
+    assert!(auto.nnz() > 0);
+    assert!((auto.nnz() as f64) < auto.total_states());
+    assert!(
+        auto.zero_fraction() > 0.3,
+        "expected deterministic CPTs to zero out a large share, got {}",
+        auto.zero_fraction()
+    );
+    assert!(auto.compressed_cliques() > 0);
+
+    let off = CompiledEstimator::compile_for(&circuit, &spec, &options(SparseMode::Off))
+        .expect("compiles");
+    assert_eq!(off.compressed_cliques(), 0);
+    // nnz is a property of the potentials, not of the mode.
+    assert_eq!(off.nnz(), auto.nnz());
+}

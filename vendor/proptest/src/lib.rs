@@ -7,9 +7,10 @@
 //! wires this in as a path dependency). Semantics:
 //!
 //! * Strategies are pure generators — `generate(rng) -> Value` — with the
-//!   combinators the workspace uses: [`Strategy::prop_map`],
-//!   [`Strategy::prop_flat_map`], [`Strategy::prop_recursive`],
-//!   [`Strategy::boxed`], tuples, ranges, [`strategy::Just`],
+//!   combinators the workspace uses: [`prop_map`](strategy::Strategy::prop_map),
+//!   [`prop_flat_map`](strategy::Strategy::prop_flat_map),
+//!   [`prop_recursive`](strategy::Strategy::prop_recursive),
+//!   [`boxed`](strategy::Strategy::boxed), tuples, ranges, [`strategy::Just`],
 //!   [`arbitrary::any`], [`collection::vec`], [`sample::select`],
 //!   [`sample::subsequence`], and [`prop_oneof!`].
 //! * The [`proptest!`] macro runs each test body for
@@ -450,7 +451,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
