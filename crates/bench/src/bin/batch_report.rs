@@ -1,6 +1,11 @@
 //! Batch-throughput summary: measures `swact-engine` scenarios/sec at
 //! 1/2/4/8 workers on a segmented benchmark and writes `BENCH_batch.json`.
 //!
+//! JSON schema 2 (the file carries a `"schema"` field): rows gained
+//! `propagate_s` and `forward_s` — per-stage seconds summed over the
+//! batch's scenarios, breaking the update path into junction-tree
+//! propagation vs boundary forwarding.
+//!
 //! ```text
 //! cargo run -p swact-bench --release --bin batch_report [circuit] [scenarios]
 //! ```
@@ -27,17 +32,19 @@ fn main() {
     }
     let rows = batch_throughput(&circuit, scenarios, &[1, 2, 4, 8]);
     println!(
-        "{:>5} {:>10} {:>16} {:>9} {:>7}",
-        "jobs", "wall (s)", "scenarios/sec", "speedup", "cache"
+        "{:>5} {:>10} {:>16} {:>9} {:>7} {:>12} {:>11}",
+        "jobs", "wall (s)", "scenarios/sec", "speedup", "cache", "propagate(s)", "forward(s)"
     );
     for row in &rows {
         println!(
-            "{:>5} {:>10.4} {:>16.1} {:>8.2}x {:>7}",
+            "{:>5} {:>10.4} {:>16.1} {:>8.2}x {:>7} {:>12.4} {:>11.4}",
             row.jobs,
             row.wall_s,
             row.scenarios_per_sec,
             row.speedup,
-            if row.cache_hit { "hit" } else { "miss" }
+            if row.cache_hit { "hit" } else { "miss" },
+            row.propagate_s,
+            row.forward_s
         );
     }
 

@@ -246,6 +246,11 @@ pub struct BatchThroughputRow {
     pub speedup: f64,
     /// Whether the engine served the batch from its compiled-model cache.
     pub cache_hit: bool,
+    /// Propagation seconds summed over scenarios (exceeds `wall_s` when
+    /// multiple workers overlap).
+    pub propagate_s: f64,
+    /// Boundary-forwarding seconds summed over scenarios.
+    pub forward_s: f64,
 }
 
 /// Sweep scenario specs: per-input p1 varies with both input position and
@@ -315,6 +320,8 @@ pub fn batch_throughput(
             scenarios_per_sec,
             speedup,
             cache_hit: report.cache_hit,
+            propagate_s: report.stages.propagate.as_secs_f64(),
+            forward_s: report.stages.forward.as_secs_f64(),
         });
     }
     rows
@@ -427,6 +434,9 @@ pub fn sparse_throughput_json(rows: &[SparseThroughputRow], reps: usize) -> Stri
 /// deliberately has no serde dependency).
 pub fn batch_throughput_json(circuit_name: &str, rows: &[BatchThroughputRow]) -> String {
     let mut out = String::from("{\n");
+    // Schema 2: rows gained per-stage `propagate_s`/`forward_s` seconds
+    // (summed over scenarios) alongside the wall clock.
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"circuit\": \"{circuit_name}\",");
     let _ = writeln!(
         out,
@@ -445,8 +455,15 @@ pub fn batch_throughput_json(circuit_name: &str, rows: &[BatchThroughputRow]) ->
         let _ = write!(
             out,
             "    {{\"jobs\": {}, \"wall_s\": {:.6}, \"scenarios_per_sec\": {:.3}, \
-             \"speedup\": {:.3}, \"cache_hit\": {}}}",
-            row.jobs, row.wall_s, row.scenarios_per_sec, row.speedup, row.cache_hit
+             \"speedup\": {:.3}, \"cache_hit\": {}, \"propagate_s\": {:.6}, \
+             \"forward_s\": {:.6}}}",
+            row.jobs,
+            row.wall_s,
+            row.scenarios_per_sec,
+            row.speedup,
+            row.cache_hit,
+            row.propagate_s,
+            row.forward_s
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -511,10 +528,14 @@ mod tests {
         assert_eq!(rows[0].jobs, 1);
         assert!((rows[0].speedup - 1.0).abs() < 1e-12);
         assert!(rows.iter().all(|r| r.cache_hit && r.scenarios == 4));
+        assert!(rows.iter().all(|r| r.propagate_s > 0.0));
         let json = batch_throughput_json("c17", &rows);
+        assert!(json.contains("\"schema\": 2"));
         assert!(json.contains("\"circuit\": \"c17\""));
         assert!(json.contains("\"jobs\": 2"));
         assert_eq!(json.matches("cache_hit").count(), 2);
+        assert_eq!(json.matches("propagate_s").count(), 2);
+        assert_eq!(json.matches("forward_s").count(), 2);
     }
 
     #[test]

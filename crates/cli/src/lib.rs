@@ -17,7 +17,7 @@
 use std::fmt::Write as _;
 
 use swact::sequential::{estimate_sequential, SequentialOptions};
-use swact::{estimate, InputModel, InputSpec, Options, PowerModel, SparseMode};
+use swact::{estimate, Backend, InputModel, InputSpec, Options, PowerModel, SparseMode};
 use swact_baselines::{Independence, PairwiseCorrelation, SwitchingEstimator, TransitionDensity};
 use swact_circuit::sequential::parse_bench_sequential;
 use swact_circuit::{catalog, parse::parse_bench, write, Circuit};
@@ -75,6 +75,8 @@ ESTIMATE OPTIONS:
   --single-bn      force one exact Bayesian network (may be infeasible)
   --sparse <MODE>  zero-compress clique potentials: auto, on, or off
                    (default auto; results are bit-identical across modes)
+  --backend <B>    inference backend: jtree (exact junction trees, default),
+                   bdd (exact per-segment OBDDs), or twostate (2p(1−p) proxy)
   --power          also print the dynamic-power report
   --sequential     treat DFFs via fixed-point iteration (default: reject DFFs)
   --csv            emit per-line results as CSV instead of a table
@@ -90,8 +92,11 @@ BATCH OPTIONS:
                    (whitespace/comma separated; `#` starts a comment)
   --budget <N>     junction-tree state budget per segment (default 131072)
   --sparse <MODE>  zero-compress clique potentials: auto, on, or off
+  --backend <B>    inference backend: jtree (default), bdd, or twostate
   --csv            emit per-scenario, per-line switching as CSV
-  --stats          also print timing/cache metrics (not byte-stable)";
+  --stats          also print timing/cache metrics and the per-stage
+                   plan/model/compile/propagate/forward breakdown
+                   (not byte-stable)";
 
 /// Parses arguments and runs the requested command, returning the output
 /// text.
@@ -124,6 +129,7 @@ struct EstimateArgs {
     budget: usize,
     single_bn: bool,
     sparse: SparseMode,
+    backend: Backend,
     power: bool,
     sequential: bool,
     csv: bool,
@@ -137,6 +143,10 @@ fn parse_sparse(value: &str) -> Result<SparseMode, CliError> {
     })
 }
 
+fn parse_backend(value: &str) -> Result<Backend, CliError> {
+    value.parse().map_err(usage_error)
+}
+
 fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
     let mut parsed = EstimateArgs {
         path: String::new(),
@@ -145,6 +155,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
         budget: 1 << 17,
         single_bn: false,
         sparse: SparseMode::Auto,
+        backend: Backend::Jtree,
         power: false,
         sequential: false,
         csv: false,
@@ -152,7 +163,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--p1" | "--activity" | "--budget" | "--sparse" => {
+            "--p1" | "--activity" | "--budget" | "--sparse" | "--backend" => {
                 let flag = rest[i].as_str();
                 let value = rest
                     .get(i + 1)
@@ -170,6 +181,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                             })?)
                     }
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
+                    "--backend" => parsed.backend = parse_backend(value)?,
                     _ => {
                         parsed.budget = value
                             .parse()
@@ -248,6 +260,7 @@ fn estimator_options(args: &EstimateArgs) -> Options {
         segment_budget: args.budget,
         single_bn: args.single_bn,
         sparse: args.sparse,
+        backend: args.backend,
         ..Options::default()
     }
 }
@@ -357,6 +370,7 @@ struct BatchArgs {
     spec_file: Option<String>,
     budget: usize,
     sparse: SparseMode,
+    backend: Backend,
     csv: bool,
     stats: bool,
 }
@@ -369,13 +383,14 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
         spec_file: None,
         budget: 1 << 17,
         sparse: SparseMode::Auto,
+        backend: Backend::Jtree,
         csv: false,
         stats: false,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            flag @ ("--jobs" | "--sweep" | "--budget" | "--spec" | "--sparse") => {
+            flag @ ("--jobs" | "--sweep" | "--budget" | "--spec" | "--sparse" | "--backend") => {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
@@ -398,6 +413,7 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
                             .map_err(|_| usage_error(format!("bad --budget value `{value}`")))?
                     }
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
+                    "--backend" => parsed.backend = parse_backend(value)?,
                     _ => parsed.spec_file = Some(value.to_string()),
                 }
                 i += 2;
@@ -501,6 +517,7 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
     let options = Options {
         segment_budget: args.budget,
         sparse: args.sparse,
+        backend: args.backend,
         ..Options::default()
     };
     let report = engine
@@ -595,6 +612,12 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
             metrics.max_queue_depth,
             metrics.propagate_time,
             metrics.queue_wait
+        );
+        let stages = report.stages;
+        let _ = writeln!(
+            out,
+            "stages: plan {:?}; model {:?}; compile {:?}; propagate {:?}; forward {:?}",
+            stages.plan, stages.model, stages.compile, stages.propagate, stages.forward
         );
     }
     Ok(out)
@@ -807,6 +830,38 @@ mod tests {
     }
 
     #[test]
+    fn backend_flag_selects_inference_engine() {
+        // Both exact backends print the same estimate table (timing line
+        // differs), and the OBDD one runs end-to-end from the CLI.
+        let table = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let jtree = run_strs(&["estimate", "c17", "--backend", "jtree"]).unwrap();
+        let bdd = run_strs(&["estimate", "c17", "--backend", "bdd"]).unwrap();
+        assert_eq!(table(&jtree), table(&bdd));
+
+        // Under pure signal probabilities the two-state proxy still runs;
+        // with default temporally independent inputs it matches on c17's
+        // fanout-free input cones but is a valid command either way.
+        let two = run_strs(&["estimate", "c17", "--backend", "twostate"]).unwrap();
+        assert!(two.contains("mean switching activity"));
+
+        let batch = run_strs(&["batch", "c17", "--sweep", "3", "--backend", "bdd"]).unwrap();
+        assert!(batch.contains("scenario"));
+        assert!(!batch.contains("error:"));
+    }
+
+    #[test]
+    fn backend_flag_rejects_unknown_names() {
+        for cmd in ["estimate", "batch"] {
+            let err = run_strs(&[cmd, "c17", "--backend", "quantum"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains("unknown backend"));
+            let err = run_strs(&[cmd, "c17", "--backend"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains("--backend needs a value"));
+        }
+    }
+
+    #[test]
     fn estimate_rejects_bad_flags() {
         assert_eq!(run_strs(&["estimate"]).unwrap_err().exit_code, 2);
         assert_eq!(
@@ -941,6 +996,8 @@ mod tests {
         assert!(out.contains("cache miss"));
         assert!(out.contains("scenarios/s"));
         assert!(out.contains("requests 3 (0 failed)"));
+        assert!(out.contains("stages: plan"));
+        assert!(out.contains("forward"));
     }
 
     #[test]

@@ -35,6 +35,35 @@ pub enum EstimateError {
         /// The configured budget.
         budget: f64,
     },
+    /// The selected inference backend cannot model a requested feature
+    /// (e.g. input groups or pairwise joints outside the junction-tree
+    /// backend).
+    BackendUnsupported {
+        /// Backend name (see [`Backend::name`](crate::pipeline::Backend)).
+        backend: &'static str,
+        /// Human-readable name of the unsupported feature.
+        feature: &'static str,
+    },
+    /// A backend-internal failure (e.g. the OBDD node budget was
+    /// exhausted while compiling a segment).
+    Backend {
+        /// Backend name.
+        backend: &'static str,
+        /// Backend-specific failure description.
+        message: String,
+    },
+    /// Boundary-correlation parents widened a segment's junction tree
+    /// past the tolerated blowup (4× the segment budget). This is an
+    /// internal signal: the pipeline driver answers it by recompiling the
+    /// segment with plain marginal forwarding, so it only escapes through
+    /// direct [`InferenceBackend::compile`](crate::pipeline::InferenceBackend::compile)
+    /// calls.
+    CorrelationBlowup {
+        /// Junction-tree state count with correlation parents.
+        states: f64,
+        /// The configured per-segment budget.
+        budget: f64,
+    },
     /// An underlying structural circuit error (e.g. during fan-in
     /// decomposition).
     Circuit(CircuitError),
@@ -60,6 +89,18 @@ impl fmt::Display for EstimateError {
             EstimateError::TooLarge { states, budget } => write!(
                 f,
                 "single-BN junction tree needs {states:.3e} states, budget is {budget:.3e}"
+            ),
+            EstimateError::BackendUnsupported { backend, feature } => write!(
+                f,
+                "backend '{backend}' does not support {feature}; use the jtree backend"
+            ),
+            EstimateError::Backend { backend, message } => {
+                write!(f, "backend '{backend}' failed: {message}")
+            }
+            EstimateError::CorrelationBlowup { states, budget } => write!(
+                f,
+                "boundary-correlation parents widened the segment tree to {states:.3e} states \
+                 (budget {budget:.3e}); the pipeline falls back to marginal forwarding"
             ),
             EstimateError::Circuit(e) => write!(f, "circuit error: {e}"),
             EstimateError::Bayes(e) => write!(f, "bayesian network error: {e}"),

@@ -1,16 +1,19 @@
-use std::time::{Duration, Instant};
+//! The estimator facade: configuration ([`Options`]) and the compiled,
+//! re-propagatable estimator ([`CompiledEstimator`]).
+//!
+//! The actual staged machinery — planning, per-segment modeling, backend
+//! compilation, wave-scheduled propagation with boundary forwarding —
+//! lives in [`crate::pipeline`]; this module only wraps it behind the
+//! original public API.
 
-use std::sync::Mutex;
+use std::time::Duration;
 
-use swact_bayesnet::{
-    initial_potentials, BayesNet, CompiledTree, Cpt, Factor, Heuristic, JunctionTree,
-    PropagationState, SparseMode, VarId,
-};
-use swact_circuit::{decompose::decompose_fanin, Circuit, LineId};
+use swact_bayesnet::{Heuristic, SparseMode};
+use swact_circuit::{Circuit, LineId};
 
+use crate::pipeline::{Backend, CompiledPipeline, SegmentTimings, StageTimings};
 use crate::report::Estimate;
-use crate::segment::{RootSource, SegmentationPlan};
-use crate::{EstimateError, InputSpec, TransitionDist};
+use crate::{EstimateError, InputSpec};
 
 /// Configuration of the estimator.
 ///
@@ -39,7 +42,9 @@ pub struct Options {
     /// shares a clique there) enters as `P(line | sibling)` instead of an
     /// independent marginal. Recovers most of the correlation segmentation
     /// would otherwise drop; disable to reproduce the paper's plain
-    /// marginal forwarding (ablation E6).
+    /// marginal forwarding (ablation E6). Only the junction-tree backend
+    /// can export pairwise joints, so other backends always forward plain
+    /// marginals regardless of this flag.
     pub boundary_correlation: bool,
     /// Zero-compression policy for compiled clique potentials. Logic
     /// circuits produce LIDAG CPTs that are mostly deterministic, so clique
@@ -48,6 +53,12 @@ pub struct Options {
     /// [`SparseMode::Auto`] compresses a clique when at least half its
     /// entries are zero. Results are bit-identical across modes.
     pub sparse: SparseMode,
+    /// Which inference engine evaluates each segment's Bayesian network.
+    /// The default [`Backend::Jtree`] is the paper's exact junction-tree
+    /// propagation; [`Backend::Bdd`] computes per-segment switching
+    /// exactly on OBDDs; [`Backend::TwoState`] is the classic
+    /// signal-probability ablation with the `2p(1−p)` switching proxy.
+    pub backend: Backend,
 }
 
 impl Default for Options {
@@ -60,6 +71,7 @@ impl Default for Options {
             single_bn: false,
             boundary_correlation: true,
             sparse: SparseMode::Auto,
+            backend: Backend::Jtree,
         }
     }
 }
@@ -80,6 +92,14 @@ impl Options {
     pub fn with_budget(segment_budget: usize) -> Options {
         Options {
             segment_budget,
+            ..Options::default()
+        }
+    }
+
+    /// Options with an explicit inference backend.
+    pub fn with_backend(backend: Backend) -> Options {
+        Options {
+            backend,
             ..Options::default()
         }
     }
@@ -112,235 +132,6 @@ pub fn estimate(
     compiled.estimate(spec)
 }
 
-struct SegmentNet {
-    /// The immutable propagation artifact: junction tree, message
-    /// schedule, and initial clique potentials with *uniform* root priors
-    /// baked in; the actual priors are injected per estimate as likelihood
-    /// weights (mathematically identical, but reuses this cached product).
-    compiled: CompiledTree,
-    /// Reusable per-request propagation states. Each `run_segment` call
-    /// pops one (or creates one on first use), propagates, and returns it,
-    /// so steady-state estimation allocates no fresh potentials — the
-    /// piece that makes concurrent batch estimation over one compile
-    /// cheap.
-    states: Mutex<Vec<PropagationState>>,
-    /// Independent roots with provenance: marginal priors.
-    solo_roots: Vec<(LineId, VarId, RootSource)>,
-    /// Correlated boundary roots: conditioned on a sibling root through a
-    /// pairwise joint exported by the producing segment.
-    pair_roots: Vec<PairRoot>,
-    /// Primary-input roots chained to a sibling of the same spatial group.
-    input_pairs: Vec<InputPair>,
-    /// Gate-output variables, in topological order.
-    gates: Vec<(LineId, VarId)>,
-    /// Pairwise joints this segment must export after calibration.
-    exports: Vec<Export>,
-    /// Every line with a variable in this segment (roots and gates) —
-    /// consulted when later segments look for correlation parents.
-    line_vars: std::collections::HashMap<LineId, VarId>,
-}
-
-/// A grouped primary-input root conditioned on the group member rooted
-/// just before it in the same segment; the conditional comes from the
-/// closed-form pair joint of the group model at estimate time.
-struct InputPair {
-    var: VarId,
-    parent_var: VarId,
-    child_pos: usize,
-    parent_pos: usize,
-    /// `Some(g)` when the conditional comes from spatial group `g`'s
-    /// model; `None` when it comes from the spec's explicit joint for
-    /// `child_pos`.
-    group: Option<usize>,
-}
-
-/// A boundary root whose prior is `P(line | parent line)`, restoring the
-/// pairwise dependence the producing segment knew about.
-struct PairRoot {
-    var: VarId,
-    parent_var: VarId,
-    /// Index into the estimate-time conditional store.
-    slot: usize,
-}
-
-/// A `(parent, child)` joint the owning (producing) segment computes after
-/// calibration for a later segment's [`PairRoot`].
-struct Export {
-    parent_var: VarId,
-    child_var: VarId,
-    slot: usize,
-}
-
-/// Everything one segment's propagation produces, merged into the global
-/// state after the segment (or its whole wave) finishes.
-struct SegmentOutput {
-    gate_dists: Vec<(LineId, TransitionDist)>,
-    exports: Vec<(usize, [f64; 16])>,
-    joints: Vec<(usize, [[f64; 4]; 4])>,
-}
-
-fn apply_segment_output(
-    output: SegmentOutput,
-    dists: &mut [TransitionDist],
-    known: &mut [bool],
-    conditionals: &mut [Option<[f64; 16]>],
-    joints: &mut [Option<[[f64; 4]; 4]>],
-) {
-    for (line, dist) in output.gate_dists {
-        dists[line.index()] = dist;
-        known[line.index()] = true;
-    }
-    for (slot, cond) in output.exports {
-        conditionals[slot] = Some(cond);
-    }
-    for (idx, joint) in output.joints {
-        joints[idx] = Some(joint);
-    }
-}
-
-/// Initializes, calibrates, and reads out one segment's Bayesian network.
-/// Pure with respect to the global state (reads `dists`/`conditionals`,
-/// returns its contributions), so segments within a wave can run on
-/// separate threads.
-fn run_segment(
-    segment: &SegmentNet,
-    spec: &InputSpec,
-    dists: &[TransitionDist],
-    conditionals: &[Option<[f64; 16]>],
-    joint_requests: &[(VarId, VarId, usize)],
-) -> Result<SegmentOutput, EstimateError> {
-    let compiled = &segment.compiled;
-    // Reuse a pooled per-request state when one is available; its buffers
-    // survive across requests, so a warm pool propagates without
-    // allocating new potentials.
-    let mut state = {
-        let mut pool = segment.states.lock().expect("state pool lock");
-        pool.pop()
-    }
-    .unwrap_or_else(|| compiled.new_state());
-    state.clear_evidence();
-    // The cached potentials carry uniform (1/4) root priors; weighting
-    // state s by 4*P(s) as likelihood evidence reproduces the exact
-    // prior after normalization.
-    for &(line, var, source) in &segment.solo_roots {
-        let prior = match source {
-            RootSource::PrimaryInput(pos) => spec.prior_row(pos),
-            RootSource::Boundary => dists[line.index()].as_array().to_vec(),
-        };
-        compiled.set_likelihood(&mut state, var, prior.iter().map(|p| 4.0 * p).collect())?;
-    }
-    // Grouped primary inputs: inject 4*P(child | parent) from the
-    // closed-form pair joint of the group model; explicitly paired inputs
-    // take their conditional from the spec.
-    for pair in &segment.input_pairs {
-        let rows: [[f64; 4]; 4] = match pair.group {
-            Some(group) => {
-                let joint = spec.groups()[group]
-                    .member_pair_joint(spec.model(pair.parent_pos), spec.model(pair.child_pos));
-                let mut rows = [[0.25f64; 4]; 4];
-                for (a, row) in joint.iter().enumerate() {
-                    let mass: f64 = row.iter().sum();
-                    if mass > 0.0 {
-                        for (b, &p) in row.iter().enumerate() {
-                            rows[a][b] = p / mass;
-                        }
-                    }
-                }
-                rows
-            }
-            None => spec
-                .pair_conditioning(pair.child_pos)
-                .expect("signature guarantees the pair exists")
-                .conditional_rows(),
-        };
-        let mut values = Vec::with_capacity(16);
-        for row in &rows {
-            for &conditional in row {
-                values.push(4.0 * conditional);
-            }
-        }
-        debug_assert!(pair.parent_var < pair.var);
-        compiled.insert_factor(
-            &mut state,
-            Factor::new(vec![(pair.parent_var, 4), (pair.var, 4)], values),
-        )?;
-    }
-    // Correlated boundary roots: multiply 4*P(c|p) over the cached
-    // uniform conditional, restoring the producer's pairwise joint.
-    for pair in &segment.pair_roots {
-        let cond = conditionals[pair.slot].expect("producer wave precedes consumers");
-        debug_assert!(
-            pair.parent_var < pair.var,
-            "children are added after parents"
-        );
-        let values: Vec<f64> = cond.iter().map(|&p| 4.0 * p).collect();
-        compiled.insert_factor(
-            &mut state,
-            Factor::new(vec![(pair.parent_var, 4), (pair.var, 4)], values),
-        )?;
-    }
-    compiled.calibrate(&mut state);
-    let gate_dists = segment
-        .gates
-        .iter()
-        .map(|&(line, var)| {
-            let m = compiled.marginal(&state, var);
-            (line, TransitionDist::new([m[0], m[1], m[2], m[3]]))
-        })
-        .collect();
-    // Serve requested line-pair joints from this segment.
-    let mut joints = Vec::new();
-    for &(var_a, var_b, idx) in joint_requests {
-        if var_a == var_b {
-            continue;
-        }
-        if let Some(joint) = compiled.pairwise_marginal(&state, var_a, var_b) {
-            let a_first = joint.vars()[0] == var_a;
-            let mut out = [[0.0f64; 4]; 4];
-            for (a_state, row) in out.iter_mut().enumerate() {
-                for (b_state, slot) in row.iter_mut().enumerate() {
-                    let k = if a_first {
-                        a_state * 4 + b_state
-                    } else {
-                        b_state * 4 + a_state
-                    };
-                    *slot = joint.values()[k];
-                }
-            }
-            joints.push((idx, out));
-        }
-    }
-    // Export pairwise joints for later segments.
-    let mut exports = Vec::new();
-    for export in &segment.exports {
-        let joint = compiled
-            .pairwise_marginal(&state, export.parent_var, export.child_var)
-            .expect("export pairs share a component by construction");
-        let parent_first = joint.vars()[0] == export.parent_var;
-        let mut cond = [0.0f64; 16];
-        for p in 0..4 {
-            let mut row = [0.0f64; 4];
-            for (c, slot) in row.iter_mut().enumerate() {
-                let idx = if parent_first { p * 4 + c } else { c * 4 + p };
-                *slot = joint.values()[idx];
-            }
-            let mass: f64 = row.iter().sum();
-            for (c, &v) in row.iter().enumerate() {
-                // Zero-mass parent states get a uniform row; they never
-                // matter because P(parent = p) is zero.
-                cond[p * 4 + c] = if mass > 0.0 { v / mass } else { 0.25 };
-            }
-        }
-        exports.push((export.slot, cond));
-    }
-    segment.states.lock().expect("state pool lock").push(state);
-    Ok(SegmentOutput {
-        gate_dists,
-        exports,
-        joints,
-    })
-}
-
 /// A circuit whose segment Bayesian networks and junction trees have been
 /// compiled once and can be re-propagated cheaply for any input statistics.
 ///
@@ -363,40 +154,27 @@ fn run_segment(
 /// # }
 /// ```
 pub struct CompiledEstimator {
-    working: Circuit,
-    /// Original line index → working line index.
-    line_map: Vec<usize>,
-    segments: Vec<SegmentNet>,
-    /// Number of cross-segment conditional slots.
-    num_slots: usize,
-    /// Input-group membership the networks were compiled for.
-    group_signature: Vec<Vec<usize>>,
-    /// Pairwise-joint edges (a, b) the networks were compiled for.
-    pair_signature: Vec<(usize, usize)>,
-    /// Segments grouped into dependency waves: every segment's boundary
-    /// producers live in strictly earlier waves, so segments within one
-    /// wave are independent and propagate in parallel.
-    waves: Vec<Vec<usize>>,
-    compile_time: Duration,
-    total_states: f64,
-    max_clique_states: f64,
-    options: Options,
+    pipeline: CompiledPipeline,
 }
 
 impl std::fmt::Debug for CompiledEstimator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompiledEstimator")
-            .field("working_lines", &self.working.num_lines())
-            .field("segments", &self.segments.len())
-            .field("total_states", &self.total_states)
-            .field("compile_time", &self.compile_time)
+            .field(
+                "working_lines",
+                &self.pipeline.working_circuit().num_lines(),
+            )
+            .field("segments", &self.pipeline.num_segments())
+            .field("total_states", &self.pipeline.total_states())
+            .field("compile_time", &self.pipeline.compile_time())
             .finish()
     }
 }
 
 impl CompiledEstimator {
     /// Compiles the circuit: fan-in decomposition, segmentation planning,
-    /// per-segment LIDAG construction and junction-tree compilation.
+    /// per-segment LIDAG construction, and backend compilation (junction
+    /// trees for the default [`Backend::Jtree`]).
     ///
     /// # Errors
     ///
@@ -407,7 +185,9 @@ impl CompiledEstimator {
         circuit: &Circuit,
         options: &Options,
     ) -> Result<CompiledEstimator, EstimateError> {
-        CompiledEstimator::compile_impl(circuit, &[], &[], Vec::new(), Vec::new(), options)
+        Ok(CompiledEstimator {
+            pipeline: CompiledPipeline::compile(circuit, None, options)?,
+        })
     }
 
     /// Compiles the circuit *for a given input specification*: in addition
@@ -420,369 +200,16 @@ impl CompiledEstimator {
     ///
     /// # Errors
     ///
-    /// Same as [`compile`](CompiledEstimator::compile).
+    /// Same as [`compile`](CompiledEstimator::compile), plus
+    /// [`EstimateError::BackendUnsupported`] when the spec uses input
+    /// groups or pairwise joints with a non-junction-tree backend.
     pub fn compile_for(
         circuit: &Circuit,
         spec: &InputSpec,
         options: &Options,
     ) -> Result<CompiledEstimator, EstimateError> {
-        let mut group_of = vec![None; circuit.num_inputs()];
-        for (g, group) in spec.groups().iter().enumerate() {
-            for &member in &group.members {
-                group_of[member] = Some(g);
-            }
-        }
-        let mut pair_parent_of = vec![None; circuit.num_inputs()];
-        for pair in spec.pairwise_joints() {
-            pair_parent_of[pair.b] = Some(pair.a);
-        }
-        let signature = spec.groups().iter().map(|g| g.members.clone()).collect();
-        let pair_signature = spec.pairwise_joints().iter().map(|p| (p.a, p.b)).collect();
-        CompiledEstimator::compile_impl(
-            circuit,
-            &group_of,
-            &pair_parent_of,
-            signature,
-            pair_signature,
-            options,
-        )
-    }
-
-    fn compile_impl(
-        circuit: &Circuit,
-        group_of: &[Option<usize>],
-        pair_parent_of: &[Option<usize>],
-        group_signature: Vec<Vec<usize>>,
-        pair_signature: Vec<(usize, usize)>,
-        options: &Options,
-    ) -> Result<CompiledEstimator, EstimateError> {
-        let start = Instant::now();
-        let working = decompose_fanin(circuit, options.max_fanin.max(2))?;
-        let plan = if options.single_bn {
-            SegmentationPlan::plan(&working, 4, usize::MAX, usize::MAX - 1, options.heuristic)
-        } else {
-            SegmentationPlan::plan(
-                &working,
-                4,
-                options.segment_budget,
-                options.check_interval,
-                options.heuristic,
-            )
-        };
-
-        let mut segments: Vec<SegmentNet> = Vec::with_capacity(plan.segments().len());
-        let mut total_states = 0.0;
-        let mut max_clique_states = 0.0f64;
-        let mut num_slots = 0usize;
-        // Where each gate line was produced: (segment index, var there).
-        let mut produced_in: std::collections::HashMap<LineId, (usize, VarId)> =
-            std::collections::HashMap::new();
-        // Per segment: the producer segments its boundary roots come from.
-        let mut seg_deps: Vec<std::collections::HashSet<usize>> = Vec::new();
-        for seg in plan.segments() {
-            let seg_idx = segments.len();
-            seg_deps.push(
-                seg.roots
-                    .iter()
-                    .filter(|(_, source)| *source == RootSource::Boundary)
-                    .map(|(line, _)| produced_in[line].0)
-                    .collect(),
-            );
-            // Assign boundary-correlation parents: a boundary root may be
-            // conditioned on an earlier boundary root of this segment when
-            // both were produced in the same earlier segment and share a
-            // clique there (so that segment can export their exact joint).
-            let mut parent_of: std::collections::HashMap<LineId, LineId> =
-                std::collections::HashMap::new();
-            // Per paired child line: (producer segment, parent var there,
-            // child var there) — the joint the producer must export.
-            let mut pair_info: std::collections::HashMap<LineId, (usize, VarId, VarId)> =
-                std::collections::HashMap::new();
-            if options.boundary_correlation {
-                // Each correlated boundary root is conditioned on ONE
-                // earlier root of this segment — the structurally closest
-                // line (smallest clique distance) that also has a variable
-                // in the producing segment. Primary inputs qualify too:
-                // a boundary line is often most correlated with the very
-                // inputs it computes, and those reappear here as roots.
-                // Parents must themselves be plain roots (no chains) and
-                // serve at most two children, so the extra edges stay
-                // tree-ish and cannot explode the consumer's width.
-                let mut children_of: std::collections::HashMap<LineId, usize> =
-                    std::collections::HashMap::new();
-                let mut earlier: Vec<LineId> = Vec::new();
-                for &(line, source) in &seg.roots {
-                    if source == RootSource::Boundary {
-                        let (producer, child_var) = produced_in[&line];
-                        let producer_seg = &segments[producer];
-                        let producer_tree = producer_seg.compiled.tree();
-                        let child_home = producer_tree.home_clique(child_var);
-                        let mut best: Option<(usize, LineId)> = None;
-                        for &candidate in &earlier {
-                            if parent_of.contains_key(&candidate)
-                                || children_of.get(&candidate).copied().unwrap_or(0) >= 2
-                            {
-                                continue;
-                            }
-                            let Some(&cand_var) = producer_seg.line_vars.get(&candidate) else {
-                                continue;
-                            };
-                            let cand_home = producer_tree.home_clique(cand_var);
-                            if let Some(d) = producer_tree.clique_distance(child_home, cand_home) {
-                                if best.is_none_or(|(bd, _)| d < bd) {
-                                    best = Some((d, candidate));
-                                }
-                            }
-                        }
-                        if let Some((_, parent)) = best {
-                            parent_of.insert(line, parent);
-                            *children_of.entry(parent).or_default() += 1;
-                            pair_info.insert(
-                                line,
-                                (producer, segments[producer].line_vars[&parent], child_var),
-                            );
-                        }
-                    }
-                    earlier.push(line);
-                }
-            }
-
-            struct Built {
-                net: BayesNet,
-                tree: JunctionTree,
-                solo_roots: Vec<(LineId, VarId, RootSource)>,
-                pair_roots: Vec<PairRoot>,
-                input_pairs: Vec<InputPair>,
-                exports_by_producer: Vec<(usize, Export)>,
-                gates: Vec<(LineId, VarId)>,
-                line_vars: std::collections::HashMap<LineId, VarId>,
-            }
-            let build = |parent_of: &std::collections::HashMap<LineId, LineId>,
-                         slot_base: usize|
-             -> Result<Built, EstimateError> {
-                let mut net = BayesNet::new();
-                let mut solo_roots = Vec::new();
-                let mut pair_roots: Vec<PairRoot> = Vec::new();
-                let mut input_pairs: Vec<InputPair> = Vec::new();
-                let mut exports_by_producer: Vec<(usize, Export)> = Vec::new();
-                let mut var_of: std::collections::HashMap<LineId, VarId> =
-                    std::collections::HashMap::new();
-                // Per spatial group: the member most recently rooted in
-                // this segment, to chain the next member onto.
-                let mut last_group_member: std::collections::HashMap<usize, (VarId, usize)> =
-                    std::collections::HashMap::new();
-                // Reorder roots so explicit pairwise-joint parents precede
-                // their children (the edges form a forest, so a DFS emit
-                // terminates).
-                let root_entries: Vec<(LineId, RootSource)> = {
-                    let by_pos: std::collections::HashMap<usize, (LineId, RootSource)> = seg
-                        .roots
-                        .iter()
-                        .filter_map(|&(line, source)| match source {
-                            RootSource::PrimaryInput(pos) => Some((pos, (line, source))),
-                            RootSource::Boundary => None,
-                        })
-                        .collect();
-                    let mut emitted: std::collections::HashSet<LineId> =
-                        std::collections::HashSet::new();
-                    let mut ordered = Vec::with_capacity(seg.roots.len());
-                    for &(line, source) in &seg.roots {
-                        let mut chain = vec![(line, source)];
-                        if let RootSource::PrimaryInput(mut pos) = source {
-                            while let Some(&Some(parent_pos)) = pair_parent_of.get(pos) {
-                                match by_pos.get(&parent_pos) {
-                                    Some(&entry) => chain.push(entry),
-                                    None => break,
-                                }
-                                pos = parent_pos;
-                            }
-                        }
-                        for &entry in chain.iter().rev() {
-                            if emitted.insert(entry.0) {
-                                ordered.push(entry);
-                            }
-                        }
-                    }
-                    ordered
-                };
-                for &(line, source) in &root_entries {
-                    if let Some(&parent_line) = parent_of.get(&line) {
-                        let parent_var = var_of[&parent_line];
-                        // Placeholder uniform conditional; the real
-                        // P(child | parent) is injected per estimate.
-                        let var = net.add_var(
-                            working.line_name(line),
-                            4,
-                            &[parent_var],
-                            Cpt::rows(vec![vec![0.25; 4]; 4]),
-                        )?;
-                        var_of.insert(line, var);
-                        let slot = slot_base + pair_roots.len();
-                        pair_roots.push(PairRoot {
-                            var,
-                            parent_var,
-                            slot,
-                        });
-                        let (producer, producer_parent, producer_child) = pair_info[&line];
-                        exports_by_producer.push((
-                            producer,
-                            Export {
-                                parent_var: producer_parent,
-                                child_var: producer_child,
-                                slot,
-                            },
-                        ));
-                        continue;
-                    }
-                    // Grouped primary inputs chain onto the group member
-                    // rooted just before them in this segment; explicitly
-                    // paired inputs chain onto their conditioning input.
-                    if let RootSource::PrimaryInput(pos) = source {
-                        if let Some(&Some(parent_pos)) = pair_parent_of.get(pos) {
-                            let parent_line = working.inputs()[parent_pos];
-                            if let Some(&parent_var) = var_of.get(&parent_line) {
-                                let var = net.add_var(
-                                    working.line_name(line),
-                                    4,
-                                    &[parent_var],
-                                    Cpt::rows(vec![vec![0.25; 4]; 4]),
-                                )?;
-                                var_of.insert(line, var);
-                                input_pairs.push(InputPair {
-                                    var,
-                                    parent_var,
-                                    child_pos: pos,
-                                    parent_pos,
-                                    group: None,
-                                });
-                                continue;
-                            }
-                        }
-                        if let Some(&Some(group)) = group_of.get(pos) {
-                            if let Some(&(parent_var, parent_pos)) = last_group_member.get(&group) {
-                                let var = net.add_var(
-                                    working.line_name(line),
-                                    4,
-                                    &[parent_var],
-                                    Cpt::rows(vec![vec![0.25; 4]; 4]),
-                                )?;
-                                var_of.insert(line, var);
-                                input_pairs.push(InputPair {
-                                    var,
-                                    parent_var,
-                                    child_pos: pos,
-                                    parent_pos,
-                                    group: Some(group),
-                                });
-                                last_group_member.insert(group, (var, pos));
-                                continue;
-                            }
-                        }
-                    }
-                    // Placeholder uniform prior; weighted per estimate.
-                    let var =
-                        net.add_var(working.line_name(line), 4, &[], Cpt::prior(vec![0.25; 4]))?;
-                    var_of.insert(line, var);
-                    if let RootSource::PrimaryInput(pos) = source {
-                        if let Some(&Some(group)) = group_of.get(pos) {
-                            last_group_member.insert(group, (var, pos));
-                        }
-                    }
-                    solo_roots.push((line, var, source));
-                }
-                let mut gates = Vec::with_capacity(seg.gates.len());
-                for &line in &seg.gates {
-                    let gate = working.gate(line).expect("planned lines are gates");
-                    let (unique_inputs, cpt) = crate::gate_family(gate.kind, &gate.inputs);
-                    let parents: Vec<VarId> = unique_inputs.iter().map(|l| var_of[l]).collect();
-                    let var = net.add_var(working.line_name(line), 4, &parents, cpt)?;
-                    var_of.insert(line, var);
-                    gates.push((line, var));
-                }
-                let tree = JunctionTree::compile_with(&net, options.heuristic)?;
-                Ok(Built {
-                    net,
-                    tree,
-                    solo_roots,
-                    pair_roots,
-                    input_pairs,
-                    exports_by_producer,
-                    gates,
-                    line_vars: var_of,
-                })
-            };
-
-            let mut built = build(&parent_of, num_slots)?;
-            // Boundary-correlation edges can widen the tree; if the blowup
-            // is severe, fall back to plain marginal forwarding for this
-            // segment (keeping the planned budget meaningful).
-            if !built.pair_roots.is_empty()
-                && !options.single_bn
-                && built.tree.total_states() > 4.0 * options.segment_budget as f64
-            {
-                built = build(&std::collections::HashMap::new(), num_slots)?;
-            }
-            num_slots += built.pair_roots.len();
-            for &(line, var) in &built.gates {
-                produced_in.insert(line, (seg_idx, var));
-            }
-            total_states += built.tree.total_states();
-            max_clique_states = max_clique_states.max(built.tree.max_clique_states());
-            if options.single_bn && total_states > options.segment_budget as f64 {
-                return Err(EstimateError::TooLarge {
-                    states: total_states,
-                    budget: options.segment_budget as f64,
-                });
-            }
-            let init_potentials = initial_potentials(&built.tree, &built.net);
-            for (producer, export) in built.exports_by_producer {
-                segments[producer].exports.push(export);
-            }
-            segments.push(SegmentNet {
-                compiled: CompiledTree::from_parts_with(
-                    built.tree,
-                    init_potentials,
-                    options.sparse,
-                ),
-                states: Mutex::new(Vec::new()),
-                solo_roots: built.solo_roots,
-                pair_roots: built.pair_roots,
-                input_pairs: built.input_pairs,
-                gates: built.gates,
-                exports: Vec::new(),
-                line_vars: built.line_vars,
-            });
-        }
-        // Dependency waves: wave(s) = 1 + max(wave of producers).
-        let mut wave_of = vec![0usize; segments.len()];
-        for (s_idx, deps) in seg_deps.iter().enumerate() {
-            wave_of[s_idx] = deps.iter().map(|&d| wave_of[d] + 1).max().unwrap_or(0);
-        }
-        let num_waves = wave_of.iter().max().map_or(0, |&w| w + 1);
-        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); num_waves];
-        for (s_idx, &w) in wave_of.iter().enumerate() {
-            waves[w].push(s_idx);
-        }
-        let line_map = (0..circuit.num_lines())
-            .map(|i| {
-                working
-                    .find_line(circuit.line_name(LineId::from_index(i)))
-                    .expect("decomposition preserves line names")
-                    .index()
-            })
-            .collect();
         Ok(CompiledEstimator {
-            working,
-            line_map,
-            segments,
-            num_slots,
-            group_signature,
-            pair_signature,
-            waves,
-            compile_time: start.elapsed(),
-            total_states,
-            max_clique_states,
-            options: *options,
+            pipeline: CompiledPipeline::compile(circuit, Some(spec), options)?,
         })
     }
 
@@ -790,10 +217,9 @@ impl CompiledEstimator {
     /// transition distributions.
     ///
     /// Takes `&self`: the compiled trees are immutable and each
-    /// propagation works on its own pooled [`PropagationState`], so
-    /// sessions may run concurrently from multiple threads over one
-    /// compiled estimator (the `swact-engine` crate builds on exactly
-    /// this).
+    /// propagation works on its own pooled propagation state, so sessions
+    /// may run concurrently from multiple threads over one compiled
+    /// estimator (the `swact-engine` crate builds on exactly this).
     ///
     /// # Errors
     ///
@@ -802,36 +228,14 @@ impl CompiledEstimator {
         Ok(self.estimate_with_line_joints(spec, &[])?.0)
     }
 
-    /// Deprecated alias of [`estimate`](CompiledEstimator::estimate) from
-    /// when propagation needed exclusive access.
-    #[deprecated(since = "0.1.0", note = "estimate now takes &self; call it directly")]
-    pub fn estimate_mut(&mut self, spec: &InputSpec) -> Result<Estimate, EstimateError> {
-        self.estimate(spec)
-    }
-
-    /// Deprecated alias of
-    /// [`estimate_with_line_joints`](CompiledEstimator::estimate_with_line_joints)
-    /// from when propagation needed exclusive access.
-    #[deprecated(
-        since = "0.1.0",
-        note = "estimate_with_line_joints now takes &self; call it directly"
-    )]
-    #[allow(clippy::type_complexity)]
-    pub fn estimate_with_line_joints_mut(
-        &mut self,
-        spec: &InputSpec,
-        line_pairs: &[(LineId, LineId)],
-    ) -> Result<(Estimate, Vec<Option<[[f64; 4]; 4]>>), EstimateError> {
-        self.estimate_with_line_joints(spec, line_pairs)
-    }
-
     /// Like [`estimate`](CompiledEstimator::estimate), but additionally
     /// returns the estimated 4×4 joint transition distribution for each
     /// requested (original-circuit) line pair — `None` when the two lines
     /// never share a segment's Bayesian network (their joint is then
-    /// simply the product of marginals under this model). Joints come from
-    /// exact pairwise marginalization over the first segment containing
-    /// both lines.
+    /// simply the product of marginals under this model) or when the
+    /// backend cannot compute pairwise joints (only [`Backend::Jtree`]
+    /// can). Joints come from exact pairwise marginalization over the
+    /// first segment containing both lines.
     ///
     /// The sequential estimator uses this to feed register-pair
     /// correlation back between fixed-point iterations.
@@ -845,470 +249,88 @@ impl CompiledEstimator {
         spec: &InputSpec,
         line_pairs: &[(LineId, LineId)],
     ) -> Result<(Estimate, Vec<Option<[[f64; 4]; 4]>>), EstimateError> {
-        if spec.len() != self.working.num_inputs() {
-            return Err(EstimateError::InputCountMismatch {
-                circuit: self.working.num_inputs(),
-                spec: spec.len(),
-            });
-        }
-        let spec_signature: Vec<Vec<usize>> =
-            spec.groups().iter().map(|g| g.members.clone()).collect();
-        if spec_signature != self.group_signature {
-            return Err(EstimateError::GroupStructureMismatch);
-        }
-        let spec_pairs: Vec<(usize, usize)> =
-            spec.pairwise_joints().iter().map(|p| (p.a, p.b)).collect();
-        if spec_pairs != self.pair_signature {
-            return Err(EstimateError::GroupStructureMismatch);
-        }
-        let start = Instant::now();
-        let placeholder = TransitionDist::new([1.0, 0.0, 0.0, 0.0]);
-        let mut dists: Vec<TransitionDist> = vec![placeholder; self.working.num_lines()];
-        let mut known = vec![false; self.working.num_lines()];
-        // Primary inputs take their (group-adjusted) spec distribution.
-        for (i, &pi) in self.working.inputs().iter().enumerate() {
-            dists[pi.index()] = spec.effective_distribution(i);
-            known[pi.index()] = true;
-        }
-        // Cross-segment conditionals, filled by producers before consumers
-        // run (segments are in topological order). Each entry holds
-        // `P(child = c | parent = p)` flattened as `p·4 + c`.
-        let mut conditionals: Vec<Option<[f64; 16]>> = vec![None; self.num_slots];
-        // Requested line-pair joints: (segment, var_a, var_b, request idx).
-        let mut joint_requests: Vec<Vec<(VarId, VarId, usize)>> =
-            vec![Vec::new(); self.segments.len()];
-        let mut joints: Vec<Option<[[f64; 4]; 4]>> = vec![None; line_pairs.len()];
-        for (idx, &(a, b)) in line_pairs.iter().enumerate() {
-            let wa = LineId::from_index(self.line_map[a.index()]);
-            let wb = LineId::from_index(self.line_map[b.index()]);
-            if let Some(seg_idx) = self
-                .segments
-                .iter()
-                .position(|seg| seg.line_vars.contains_key(&wa) && seg.line_vars.contains_key(&wb))
-            {
-                let seg = &self.segments[seg_idx];
-                joint_requests[seg_idx].push((seg.line_vars[&wa], seg.line_vars[&wb], idx));
-            }
-        }
-        for wave in &self.waves {
-            if wave.len() == 1 {
-                let seg_idx = wave[0];
-                let output = run_segment(
-                    &self.segments[seg_idx],
-                    spec,
-                    &dists,
-                    &conditionals,
-                    &joint_requests[seg_idx],
-                )?;
-                apply_segment_output(
-                    output,
-                    &mut dists,
-                    &mut known,
-                    &mut conditionals,
-                    &mut joints,
-                );
-                continue;
-            }
-            // Independent segments (no boundary lines between them)
-            // propagate concurrently — the paper's §5 observation that
-            // junction-tree messages on disjoint branches are independent,
-            // lifted to segment granularity.
-            let segments = &self.segments;
-            let dists_ref = &dists;
-            let conditionals_ref = &conditionals;
-            let joint_requests_ref = &joint_requests;
-            let outputs: Vec<Result<SegmentOutput, EstimateError>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = wave
-                    .iter()
-                    .map(|&seg_idx| {
-                        scope.spawn(move || {
-                            run_segment(
-                                &segments[seg_idx],
-                                spec,
-                                dists_ref,
-                                conditionals_ref,
-                                &joint_requests_ref[seg_idx],
-                            )
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("segment worker never panics"))
-                    .collect()
-            });
-            for output in outputs {
-                apply_segment_output(
-                    output?,
-                    &mut dists,
-                    &mut known,
-                    &mut conditionals,
-                    &mut joints,
-                );
-            }
-        }
-        let propagate_time = start.elapsed();
-        debug_assert!(known.iter().all(|&k| k), "every line estimated");
-        let estimate = Estimate::new(
-            dists,
-            self.line_map.clone(),
-            self.compile_time,
-            propagate_time,
-            self.segments.len(),
-            self.total_states,
-            self.max_clique_states,
-        );
-        Ok((estimate, joints))
+        self.pipeline.estimate_with_line_joints(spec, line_pairs)
     }
 
     /// The working (fan-in-decomposed) circuit the estimator runs over.
     pub fn working_circuit(&self) -> &Circuit {
-        &self.working
+        self.pipeline.working_circuit()
     }
 
     /// Number of segments (Bayesian networks) the circuit was split into.
     pub fn num_segments(&self) -> usize {
-        self.segments.len()
+        self.pipeline.num_segments()
     }
 
     /// Compilation wall-clock time.
     pub fn compile_time(&self) -> Duration {
-        self.compile_time
+        self.pipeline.compile_time()
     }
 
     /// Total junction-tree state count across segments.
     pub fn total_states(&self) -> f64 {
-        self.total_states
+        self.pipeline.total_states()
     }
 
     /// Largest clique state count across segments.
     pub fn max_clique_states(&self) -> f64 {
-        self.max_clique_states
+        self.pipeline.max_clique_states()
     }
 
     /// Total number of nonzero initial clique-potential entries across
     /// segments — the work the propagation hot path actually touches once
     /// zero-compressed cliques skip their structural zeros.
     pub fn nnz(&self) -> usize {
-        self.segments.iter().map(|s| s.compiled.nnz()).sum()
+        self.pipeline.nnz()
     }
 
     /// Fraction of compiled clique-potential entries that are structural
     /// zeros (deterministic-CPT induced); `0.0` for an empty estimator.
     pub fn zero_fraction(&self) -> f64 {
-        let states: usize = self.segments.iter().map(|s| s.compiled.state_space()).sum();
-        if states == 0 {
-            return 0.0;
-        }
-        1.0 - self.nnz() as f64 / states as f64
+        self.pipeline.zero_fraction()
     }
 
     /// Number of cliques stored in zero-compressed form.
     pub fn compressed_cliques(&self) -> usize {
-        self.segments
-            .iter()
-            .map(|s| s.compiled.compressed_cliques())
-            .sum()
+        self.pipeline.compressed_cliques()
     }
 
     /// The options the estimator was compiled with.
     pub fn options(&self) -> &Options {
-        &self.options
+        self.pipeline.options()
+    }
+
+    /// The inference backend the estimator was compiled with.
+    pub fn backend(&self) -> Backend {
+        self.pipeline.backend()
+    }
+
+    /// Compile-side stage breakdown (`plan`/`model`/`compile`; the
+    /// propagation-side stages are zero here and filled per
+    /// [`Estimate`](crate::Estimate)).
+    pub fn stage_timings(&self) -> StageTimings {
+        self.pipeline.stage_timings()
+    }
+
+    /// Per-segment model/compile times.
+    pub fn segment_timings(&self) -> &[SegmentTimings] {
+        self.pipeline.segment_timings()
     }
 
     /// Number of boundary roots entering later segments with a forwarded
     /// pairwise joint (vs. an independent marginal).
     pub fn num_correlated_boundaries(&self) -> usize {
-        self.num_slots
+        self.pipeline.num_correlated_boundaries()
     }
 
     /// Number of dependency waves segments are scheduled into; segments
     /// within a wave propagate on separate threads.
     pub fn num_waves(&self) -> usize {
-        self.waves.len()
+        self.pipeline.num_waves()
     }
 
     /// Total number of boundary-root connections across segments.
     pub fn num_boundary_roots(&self) -> usize {
-        self.segments
-            .iter()
-            .map(|s| {
-                s.pair_roots.len()
-                    + s.solo_roots
-                        .iter()
-                        .filter(|(_, _, src)| *src == RootSource::Boundary)
-                        .count()
-            })
-            .sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::Transition;
-    use swact_circuit::{catalog, CircuitBuilder, GateKind};
-
-    /// Brute-force exact switching by enumerating all (prev, next) input
-    /// pairs weighted by the spec.
-    fn exhaustive_switching(circuit: &Circuit, spec: &InputSpec) -> Vec<f64> {
-        let n = circuit.num_inputs();
-        assert!(
-            2 * n <= 20,
-            "exhaustive reference limited to small circuits"
-        );
-        let order = circuit.topo_order();
-        let eval = |assignment: &[bool]| -> Vec<bool> {
-            let mut values = vec![false; circuit.num_lines()];
-            for (i, &pi) in circuit.inputs().iter().enumerate() {
-                values[pi.index()] = assignment[i];
-            }
-            for &line in &order {
-                if let Some(g) = circuit.gate(line) {
-                    values[line.index()] = g.kind.eval(g.inputs.iter().map(|&l| values[l.index()]));
-                }
-            }
-            values
-        };
-        let mut switching = vec![0.0; circuit.num_lines()];
-        for prev_case in 0..1usize << n {
-            let prev: Vec<bool> = (0..n).map(|i| prev_case >> i & 1 == 1).collect();
-            let prev_vals = eval(&prev);
-            for next_case in 0..1usize << n {
-                let next: Vec<bool> = (0..n).map(|i| next_case >> i & 1 == 1).collect();
-                let mut weight = 1.0;
-                for i in 0..n {
-                    let t = Transition::from_values(prev[i], next[i]);
-                    weight *= spec.model(i).to_distribution().p(t);
-                }
-                if weight == 0.0 {
-                    continue;
-                }
-                let next_vals = eval(&next);
-                for line in circuit.line_ids() {
-                    if prev_vals[line.index()] != next_vals[line.index()] {
-                        switching[line.index()] += weight;
-                    }
-                }
-            }
-        }
-        switching
-    }
-
-    #[test]
-    fn single_bn_estimate_is_exact_on_c17() {
-        let c17 = catalog::c17();
-        let spec = InputSpec::uniform(5);
-        let est = estimate(&c17, &spec, &Options::single_bn()).unwrap();
-        assert_eq!(est.num_segments(), 1);
-        let exact = exhaustive_switching(&c17, &spec);
-        for line in c17.line_ids() {
-            assert!(
-                (est.switching(line) - exact[line.index()]).abs() < 1e-9,
-                "line {}: {} vs {}",
-                c17.line_name(line),
-                est.switching(line),
-                exact[line.index()]
-            );
-        }
-    }
-
-    #[test]
-    fn exact_under_biased_and_correlated_inputs() {
-        let c17 = catalog::c17();
-        let spec = InputSpec::from_models(vec![
-            crate::InputModel::new(0.3, 0.2).unwrap(),
-            crate::InputModel::independent(0.9),
-            crate::InputModel::new(0.5, 0.1).unwrap(),
-            crate::InputModel::independent(0.2),
-            crate::InputModel::new(0.7, 0.3).unwrap(),
-        ]);
-        let est = estimate(&c17, &spec, &Options::single_bn()).unwrap();
-        let exact = exhaustive_switching(&c17, &spec);
-        for line in c17.line_ids() {
-            assert!(
-                (est.switching(line) - exact[line.index()]).abs() < 1e-9,
-                "line {}",
-                c17.line_name(line)
-            );
-        }
-    }
-
-    #[test]
-    fn exact_on_paper_example() {
-        let circuit = catalog::paper_example();
-        let spec = InputSpec::independent([0.4, 0.6, 0.5, 0.3]);
-        let est = estimate(&circuit, &spec, &Options::single_bn()).unwrap();
-        let exact = exhaustive_switching(&circuit, &spec);
-        for line in circuit.line_ids() {
-            assert!((est.switching(line) - exact[line.index()]).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn reconvergent_fanout_handled_exactly() {
-        // The regime where independence assumptions fail: shared inputs.
-        let c = swact_circuit::benchgen::reconvergent("rc", 4, 3, 11);
-        let spec = InputSpec::uniform(4);
-        let est = estimate(&c, &spec, &Options::single_bn()).unwrap();
-        let exact = exhaustive_switching(&c, &spec);
-        for line in c.line_ids() {
-            assert!(
-                (est.switching(line) - exact[line.index()]).abs() < 1e-9,
-                "line {}",
-                c.line_name(line)
-            );
-        }
-    }
-
-    #[test]
-    fn segmentation_error_is_small() {
-        // Force many segments on a circuit small enough for the exhaustive
-        // reference, and check the boundary-induced error stays tiny.
-        let c = swact_circuit::benchgen::generate(&swact_circuit::benchgen::GeneratorConfig {
-            inputs: 8,
-            outputs: 3,
-            gates: 40,
-            ..swact_circuit::benchgen::GeneratorConfig::default_for("segtest")
-        });
-        let spec = InputSpec::uniform(8);
-        let exact = exhaustive_switching(&c, &spec);
-        let run = |budget: usize| {
-            let est = estimate(
-                &c,
-                &spec,
-                &Options {
-                    segment_budget: budget,
-                    check_interval: 1,
-                    ..Options::default()
-                },
-            )
-            .unwrap();
-            let stats = est.compare(&exact);
-            (est.num_segments(), stats)
-        };
-        let (segments_small, stats_small) = run(1 << 9);
-        assert!(segments_small > 1, "budget must force splitting");
-        // Boundary-marginal forwarding keeps node errors modest even with
-        // absurdly tiny segments, and the circuit-average stays tight
-        // (the paper's σ ~ 1e-3 regime corresponds to far larger budgets).
-        assert!(
-            stats_small.mean_abs_error < 0.05,
-            "mean segmentation error {}",
-            stats_small.mean_abs_error
-        );
-        assert!(
-            stats_small.max_abs_error < 0.25,
-            "worst segmentation error {}",
-            stats_small.max_abs_error
-        );
-        // A larger budget gives fewer segments and no worse average error.
-        let (segments_large, stats_large) = run(1 << 18);
-        assert!(segments_large < segments_small);
-        assert!(stats_large.mean_abs_error <= stats_small.mean_abs_error + 1e-3);
-    }
-
-    #[test]
-    fn compiled_estimator_repropagates_consistently() {
-        let c17 = catalog::c17();
-        let compiled = CompiledEstimator::compile(&c17, &Options::default()).unwrap();
-        let spec_a = InputSpec::uniform(5);
-        let spec_b = InputSpec::independent([0.8, 0.2, 0.5, 0.9, 0.1]);
-        let first = compiled.estimate(&spec_a).unwrap();
-        let _second = compiled.estimate(&spec_b).unwrap();
-        let third = compiled.estimate(&spec_a).unwrap();
-        for line in c17.line_ids() {
-            assert!(
-                (first.switching(line) - third.switching(line)).abs() < 1e-12,
-                "re-propagation must be idempotent"
-            );
-        }
-    }
-
-    #[test]
-    fn single_bn_too_large_is_reported() {
-        let c = catalog::benchmark("c880").unwrap();
-        let result = estimate(
-            &c,
-            &InputSpec::uniform(c.num_inputs()),
-            &Options {
-                single_bn: true,
-                // Even a tree-shaped 383-gate circuit needs far more than
-                // 2⁸ junction-tree states.
-                segment_budget: 1 << 8,
-                ..Options::default()
-            },
-        );
-        assert!(matches!(result, Err(EstimateError::TooLarge { .. })));
-    }
-
-    #[test]
-    fn spec_size_checked() {
-        let c17 = catalog::c17();
-        assert!(matches!(
-            estimate(&c17, &InputSpec::uniform(4), &Options::default()),
-            Err(EstimateError::InputCountMismatch { .. })
-        ));
-    }
-
-    #[test]
-    fn frozen_inputs_produce_zero_switching() {
-        let c17 = catalog::c17();
-        let spec = InputSpec::from_models(vec![crate::InputModel::new(0.5, 0.0).unwrap(); 5]);
-        let est = estimate(&c17, &spec, &Options::default()).unwrap();
-        for line in c17.line_ids() {
-            assert!(est.switching(line).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn wide_gate_circuit_estimates_match_exhaustive() {
-        let mut b = CircuitBuilder::new("wide");
-        for n in ["a", "b", "c", "d", "e"] {
-            b.input(n).unwrap();
-        }
-        b.gate("y", GateKind::Nor, &["a", "b", "c", "d", "e"])
-            .unwrap();
-        b.gate("z", GateKind::Xor, &["y", "a"]).unwrap();
-        b.output("z").unwrap();
-        let c = b.finish().unwrap();
-        let spec = InputSpec::independent([0.2, 0.4, 0.6, 0.8, 0.5]);
-        let est = estimate(
-            &c,
-            &spec,
-            &Options {
-                max_fanin: 2,
-                ..Options::single_bn()
-            },
-        )
-        .unwrap();
-        let exact = exhaustive_switching(&c, &spec);
-        for line in c.line_ids() {
-            assert!(
-                (est.switching(line) - exact[line.index()]).abs() < 1e-9,
-                "line {} (through decomposition)",
-                c.line_name(line)
-            );
-        }
-    }
-
-    #[test]
-    fn stationarity_of_internal_lines() {
-        // Stationary inputs make every internal line stationary too.
-        let c = catalog::paper_example();
-        let spec = InputSpec::from_models(vec![
-            crate::InputModel::new(0.3, 0.1).unwrap(),
-            crate::InputModel::new(0.7, 0.2).unwrap(),
-            crate::InputModel::independent(0.5),
-            crate::InputModel::new(0.4, 0.3).unwrap(),
-        ]);
-        let est = estimate(&c, &spec, &Options::single_bn()).unwrap();
-        for line in c.line_ids() {
-            assert!(
-                est.distribution(line).is_stationary(1e-9),
-                "line {} not stationary",
-                c.line_name(line)
-            );
-        }
+        self.pipeline.num_boundary_roots()
     }
 }

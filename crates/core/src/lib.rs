@@ -50,6 +50,7 @@ mod error;
 mod estimator;
 mod input;
 mod lidag;
+pub mod pipeline;
 mod power;
 mod report;
 mod segment;
@@ -61,8 +62,9 @@ pub use error::EstimateError;
 pub use estimator::{estimate, CompiledEstimator, Options};
 pub use input::{most_likely, InputGroup, InputModel, InputSpec, PairwiseJoint};
 pub use lidag::{gate_cpt, gate_family, Lidag};
+pub use pipeline::{Backend, SegmentTimings, StageTimings};
 pub use power::{PowerModel, PowerReport};
 pub use report::{ErrorStats, Estimate};
-pub use segment::SegmentationPlan;
+pub use segment::{RootSource, Segment, SegmentationPlan};
 pub use swact_bayesnet::SparseMode;
 pub use transition::{Transition, TransitionDist};

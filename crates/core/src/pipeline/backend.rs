@@ -1,0 +1,266 @@
+//! The pluggable inference-backend abstraction.
+//!
+//! A backend turns one [`SegmentModel`] into an opaque propagation artifact
+//! ([`CompiledSegment`]) and later evaluates that artifact against concrete
+//! root statistics ([`RootDists`]), producing the segment's posterior line
+//! distributions ([`SegmentPosterior`]). The pipeline driver owns
+//! everything else — planning, wave scheduling, boundary forwarding — so a
+//! backend only ever sees one segment at a time.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::str::FromStr;
+
+use swact_bayesnet::VarId;
+use swact_circuit::LineId;
+
+use crate::estimator::Options;
+use crate::pipeline::model::{Export, SegmentModel};
+use crate::{EstimateError, InputSpec, TransitionDist};
+
+/// Which inference engine evaluates each segment's Bayesian network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Exact junction-tree (HUGIN) propagation over the 4-state LIDAG —
+    /// the paper's method and the default. Supports input groups,
+    /// explicit pairwise joints, and boundary-correlation forwarding.
+    #[default]
+    Jtree,
+    /// Exact switching probabilities from per-segment OBDDs over
+    /// interleaved (previous, next) input variables. Within a segment the
+    /// result is exact; across segments only boundary *marginals* are
+    /// forwarded (boundary-correlation export is a junction-tree notion).
+    Bdd,
+    /// The classic two-state ablation: signal probabilities only, with
+    /// switching approximated as `2·p·(1−p)`. Exact for temporally
+    /// independent inputs, blind to temporal correlation.
+    TwoState,
+}
+
+impl Backend {
+    /// Stable lower-case name (`jtree`, `bdd`, `twostate`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Jtree => "jtree",
+            Backend::Bdd => "bdd",
+            Backend::TwoState => "twostate",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Backend, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "jtree" | "junction-tree" | "hugin" => Ok(Backend::Jtree),
+            "bdd" | "obdd" => Ok(Backend::Bdd),
+            "twostate" | "two-state" | "2state" => Ok(Backend::TwoState),
+            other => Err(format!(
+                "unknown backend '{other}' (expected jtree, bdd, or twostate)"
+            )),
+        }
+    }
+}
+
+/// Size statistics of one compiled segment, in backend-native units
+/// (junction-tree states and nonzeros for `jtree`, BDD nodes for `bdd`,
+/// 2-state tree sizes for `twostate`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SegmentStats {
+    /// Total state count of the propagation artifact.
+    pub total_states: f64,
+    /// Largest single-clique (or equivalent) state count.
+    pub max_clique_states: f64,
+    /// Nonzero potential entries the hot path actually touches.
+    pub nnz: usize,
+    /// Dense state-space size `nnz` is measured against.
+    pub state_space: usize,
+    /// Number of cliques stored in zero-compressed form.
+    pub compressed_cliques: usize,
+}
+
+/// One segment compiled by an [`InferenceBackend`]: the backend's opaque
+/// propagation artifact plus the driver-facing metadata every backend must
+/// provide (size stats and the line → variable map used for joint routing
+/// and boundary-correlation parent search).
+pub struct CompiledSegment {
+    artifact: Box<dyn Any + Send + Sync>,
+    stats: SegmentStats,
+    lines: HashMap<LineId, VarId>,
+}
+
+impl CompiledSegment {
+    /// Wraps a backend artifact with its stats; `lines` maps every line
+    /// that has a variable in this segment (roots and gates).
+    pub fn new(
+        artifact: Box<dyn Any + Send + Sync>,
+        stats: SegmentStats,
+        lines: HashMap<LineId, VarId>,
+    ) -> CompiledSegment {
+        CompiledSegment {
+            artifact,
+            stats,
+            lines,
+        }
+    }
+
+    /// The backend-specific artifact, for downcasting inside the backend.
+    pub fn artifact(&self) -> &(dyn Any + Send + Sync) {
+        &*self.artifact
+    }
+
+    /// Size statistics of this segment.
+    pub fn stats(&self) -> &SegmentStats {
+        &self.stats
+    }
+
+    /// Line → variable map over this segment's roots and gates.
+    pub fn lines(&self) -> &HashMap<LineId, VarId> {
+        &self.lines
+    }
+}
+
+impl std::fmt::Debug for CompiledSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSegment")
+            .field("stats", &self.stats)
+            .field("lines", &self.lines.len())
+            .finish()
+    }
+}
+
+/// Everything one propagation of a segment reads: the input spec, the
+/// global per-line distributions produced by earlier waves, forwarded
+/// boundary conditionals, the pairwise joints this segment must export,
+/// and any requested in-segment line-pair joints.
+pub struct RootDists<'a> {
+    pub(crate) spec: &'a InputSpec,
+    pub(crate) dists: &'a [TransitionDist],
+    pub(crate) conditionals: &'a [Option<[f64; 16]>],
+    pub(crate) exports: &'a [Export],
+    pub(crate) joint_requests: &'a [(VarId, VarId, usize)],
+}
+
+impl<'a> RootDists<'a> {
+    /// The input specification being propagated.
+    pub fn spec(&self) -> &'a InputSpec {
+        self.spec
+    }
+
+    /// The transition distribution of a boundary line produced by an
+    /// earlier wave (placeholder for lines not yet computed).
+    pub fn boundary(&self, line: LineId) -> &TransitionDist {
+        &self.dists[line.index()]
+    }
+}
+
+/// Everything one segment's propagation produces, merged into the global
+/// state after the segment (or its whole wave) finishes.
+#[derive(Debug, Default)]
+pub struct SegmentPosterior {
+    /// Posterior transition distribution per gate line of the segment.
+    pub(crate) gate_dists: Vec<(LineId, TransitionDist)>,
+    /// `(slot, P(child|parent))` conditionals exported for later segments.
+    pub(crate) exports: Vec<(usize, [f64; 16])>,
+    /// `(request index, 4×4 joint)` answers to in-segment joint requests.
+    pub(crate) joints: Vec<(usize, [[f64; 4]; 4])>,
+}
+
+impl SegmentPosterior {
+    /// A posterior carrying only per-line distributions (no exports or
+    /// joints) — what backends without pairwise-joint support return.
+    pub fn from_gate_dists(gate_dists: Vec<(LineId, TransitionDist)>) -> SegmentPosterior {
+        SegmentPosterior {
+            gate_dists,
+            ..SegmentPosterior::default()
+        }
+    }
+
+    /// The per-gate-line posterior distributions.
+    pub fn gate_dists(&self) -> &[(LineId, TransitionDist)] {
+        &self.gate_dists
+    }
+}
+
+/// A pluggable inference engine: compiles one [`SegmentModel`] into a
+/// [`CompiledSegment`] and later propagates concrete root statistics
+/// through it. Implementations must be thread-safe — segments of one wave
+/// propagate concurrently, each against `&self`.
+pub trait InferenceBackend: Send + Sync {
+    /// Stable backend name (matches [`Backend::name`] for built-ins).
+    fn name(&self) -> &'static str;
+
+    /// Compiles a segment model into this backend's propagation artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`EstimateError::BackendUnsupported`] when the model uses a feature
+    /// the backend cannot express (input groups, pairwise joints),
+    /// [`EstimateError::TooLarge`] / [`EstimateError::Backend`] when the
+    /// artifact exceeds its size budget, and
+    /// [`EstimateError::CorrelationBlowup`] — an internal signal the
+    /// pipeline driver answers by retrying the segment with plain marginal
+    /// forwarding.
+    fn compile(
+        &self,
+        model: &SegmentModel,
+        options: &Options,
+    ) -> Result<CompiledSegment, EstimateError>;
+
+    /// Propagates root statistics through a compiled segment.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific propagation failures, wrapped in
+    /// [`EstimateError`].
+    fn propagate(
+        &self,
+        segment: &CompiledSegment,
+        roots: &RootDists<'_>,
+    ) -> Result<SegmentPosterior, EstimateError>;
+
+    /// Structural distance between two lines inside a compiled segment,
+    /// used to pick boundary-correlation parents; `None` disables
+    /// correlation forwarding from this segment (the default — only
+    /// backends that can export exact pairwise joints override it).
+    fn correlation_distance(
+        &self,
+        segment: &CompiledSegment,
+        child: LineId,
+        candidate: LineId,
+    ) -> Option<usize> {
+        let _ = (segment, child, candidate);
+        None
+    }
+}
+
+/// The built-in backend implementation for a [`Backend`] selector.
+pub(crate) fn backend_impl(backend: Backend) -> Box<dyn InferenceBackend> {
+    match backend {
+        Backend::Jtree => Box::new(crate::pipeline::jtree::JtreeBackend),
+        Backend::Bdd => Box::new(crate::pipeline::bddexact::BddBackend),
+        Backend::TwoState => Box::new(crate::pipeline::twostate::TwoStateBackend),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parses_and_prints() {
+        assert_eq!("jtree".parse::<Backend>().unwrap(), Backend::Jtree);
+        assert_eq!("BDD".parse::<Backend>().unwrap(), Backend::Bdd);
+        assert_eq!("two-state".parse::<Backend>().unwrap(), Backend::TwoState);
+        assert!("gibbs".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Jtree);
+        assert_eq!(Backend::Bdd.to_string(), "bdd");
+    }
+}

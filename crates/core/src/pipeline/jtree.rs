@@ -1,0 +1,257 @@
+//! The junction-tree (HUGIN) inference backend — the paper's method and
+//! the default.
+
+use std::sync::Mutex;
+
+use swact_bayesnet::{
+    initial_potentials, CompiledTree, Factor, JunctionTree, PropagationState, VarId,
+};
+use swact_circuit::LineId;
+
+use crate::estimator::Options;
+use crate::pipeline::backend::{
+    CompiledSegment, InferenceBackend, RootDists, SegmentPosterior, SegmentStats,
+};
+use crate::pipeline::model::{InputPair, PairRoot, SegmentModel};
+use crate::segment::RootSource;
+use crate::{EstimateError, TransitionDist};
+
+/// Exact junction-tree propagation over the 4-state LIDAG. Supports input
+/// groups, explicit pairwise joints, and boundary-correlation forwarding —
+/// the only backend that can export pairwise joints across segment
+/// boundaries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JtreeBackend;
+
+/// The junction-tree propagation artifact of one segment.
+pub(crate) struct JtreeSegment {
+    /// The immutable propagation artifact: junction tree, message
+    /// schedule, and initial clique potentials with *uniform* root priors
+    /// baked in; the actual priors are injected per estimate as likelihood
+    /// weights (mathematically identical, but reuses this cached product).
+    pub(crate) compiled: CompiledTree,
+    /// Reusable per-request propagation states. Each propagate call pops
+    /// one (or creates one on first use), propagates, and returns it, so
+    /// steady-state estimation allocates no fresh potentials — the piece
+    /// that makes concurrent batch estimation over one compile cheap.
+    states: Mutex<Vec<PropagationState>>,
+    solo_roots: Vec<(LineId, VarId, RootSource)>,
+    pair_roots: Vec<PairRoot>,
+    input_pairs: Vec<InputPair>,
+    gates: Vec<(LineId, VarId)>,
+}
+
+impl InferenceBackend for JtreeBackend {
+    fn name(&self) -> &'static str {
+        "jtree"
+    }
+
+    fn compile(
+        &self,
+        model: &SegmentModel,
+        options: &Options,
+    ) -> Result<CompiledSegment, EstimateError> {
+        let tree = JunctionTree::compile_with(&model.net, options.heuristic)?;
+        // Boundary-correlation edges can widen the tree; report a severe
+        // blowup so the driver can fall back to plain marginal forwarding
+        // for this segment (keeping the planned budget meaningful) —
+        // crucially *before* materializing the oversized potentials.
+        if !model.pair_roots.is_empty()
+            && !options.single_bn
+            && tree.total_states() > 4.0 * options.segment_budget as f64
+        {
+            return Err(EstimateError::CorrelationBlowup {
+                states: tree.total_states(),
+                budget: options.segment_budget as f64,
+            });
+        }
+        if options.single_bn && tree.total_states() > options.segment_budget as f64 {
+            return Err(EstimateError::TooLarge {
+                states: tree.total_states(),
+                budget: options.segment_budget as f64,
+            });
+        }
+        let init_potentials = initial_potentials(&tree, &model.net);
+        let total_states = tree.total_states();
+        let max_clique_states = tree.max_clique_states();
+        let compiled = CompiledTree::from_parts_with(tree, init_potentials, options.sparse);
+        let stats = SegmentStats {
+            total_states,
+            max_clique_states,
+            nnz: compiled.nnz(),
+            state_space: compiled.state_space(),
+            compressed_cliques: compiled.compressed_cliques(),
+        };
+        Ok(CompiledSegment::new(
+            Box::new(JtreeSegment {
+                compiled,
+                states: Mutex::new(Vec::new()),
+                solo_roots: model.solo_roots.clone(),
+                pair_roots: model.pair_roots.clone(),
+                input_pairs: model.input_pairs.clone(),
+                gates: model.gates.clone(),
+            }),
+            stats,
+            model.line_vars.clone(),
+        ))
+    }
+
+    /// Initializes, calibrates, and reads out one segment's Bayesian
+    /// network. Pure with respect to the global state (reads the forwarded
+    /// `roots`, returns its contributions), so segments within a wave can
+    /// run on separate threads.
+    fn propagate(
+        &self,
+        segment: &CompiledSegment,
+        roots: &RootDists<'_>,
+    ) -> Result<SegmentPosterior, EstimateError> {
+        let art = segment
+            .artifact()
+            .downcast_ref::<JtreeSegment>()
+            .expect("jtree backend propagates jtree artifacts");
+        let spec = roots.spec;
+        let compiled = &art.compiled;
+        // Reuse a pooled per-request state when one is available; its
+        // buffers survive across requests, so a warm pool propagates
+        // without allocating new potentials.
+        let mut state = {
+            let mut pool = art.states.lock().expect("state pool lock");
+            pool.pop()
+        }
+        .unwrap_or_else(|| compiled.new_state());
+        state.clear_evidence();
+        // The cached potentials carry uniform (1/4) root priors; weighting
+        // state s by 4*P(s) as likelihood evidence reproduces the exact
+        // prior after normalization.
+        for &(line, var, source) in &art.solo_roots {
+            let prior = match source {
+                RootSource::PrimaryInput(pos) => spec.prior_row(pos),
+                RootSource::Boundary => roots.dists[line.index()].as_array().to_vec(),
+            };
+            compiled.set_likelihood(&mut state, var, prior.iter().map(|p| 4.0 * p).collect())?;
+        }
+        // Grouped primary inputs: inject 4*P(child | parent) from the
+        // closed-form pair joint of the group model; explicitly paired
+        // inputs take their conditional from the spec.
+        for pair in &art.input_pairs {
+            let rows: [[f64; 4]; 4] = match pair.group {
+                Some(group) => {
+                    let joint = spec.groups()[group]
+                        .member_pair_joint(spec.model(pair.parent_pos), spec.model(pair.child_pos));
+                    let mut rows = [[0.25f64; 4]; 4];
+                    for (a, row) in joint.iter().enumerate() {
+                        let mass: f64 = row.iter().sum();
+                        if mass > 0.0 {
+                            for (b, &p) in row.iter().enumerate() {
+                                rows[a][b] = p / mass;
+                            }
+                        }
+                    }
+                    rows
+                }
+                None => spec
+                    .pair_conditioning(pair.child_pos)
+                    .expect("signature guarantees the pair exists")
+                    .conditional_rows(),
+            };
+            let mut values = Vec::with_capacity(16);
+            for row in &rows {
+                for &conditional in row {
+                    values.push(4.0 * conditional);
+                }
+            }
+            debug_assert!(pair.parent_var < pair.var);
+            compiled.insert_factor(
+                &mut state,
+                Factor::new(vec![(pair.parent_var, 4), (pair.var, 4)], values),
+            )?;
+        }
+        // Correlated boundary roots: multiply 4*P(c|p) over the cached
+        // uniform conditional, restoring the producer's pairwise joint.
+        for pair in &art.pair_roots {
+            let cond = roots.conditionals[pair.slot].expect("producer wave precedes consumers");
+            debug_assert!(
+                pair.parent_var < pair.var,
+                "children are added after parents"
+            );
+            let values: Vec<f64> = cond.iter().map(|&p| 4.0 * p).collect();
+            compiled.insert_factor(
+                &mut state,
+                Factor::new(vec![(pair.parent_var, 4), (pair.var, 4)], values),
+            )?;
+        }
+        compiled.calibrate(&mut state);
+        let gate_dists = art
+            .gates
+            .iter()
+            .map(|&(line, var)| {
+                let m = compiled.marginal(&state, var);
+                (line, TransitionDist::new([m[0], m[1], m[2], m[3]]))
+            })
+            .collect();
+        // Serve requested line-pair joints from this segment.
+        let mut joints = Vec::new();
+        for &(var_a, var_b, idx) in roots.joint_requests {
+            if var_a == var_b {
+                continue;
+            }
+            if let Some(joint) = compiled.pairwise_marginal(&state, var_a, var_b) {
+                let a_first = joint.vars()[0] == var_a;
+                let mut out = [[0.0f64; 4]; 4];
+                for (a_state, row) in out.iter_mut().enumerate() {
+                    for (b_state, slot) in row.iter_mut().enumerate() {
+                        let k = if a_first {
+                            a_state * 4 + b_state
+                        } else {
+                            b_state * 4 + a_state
+                        };
+                        *slot = joint.values()[k];
+                    }
+                }
+                joints.push((idx, out));
+            }
+        }
+        // Export pairwise joints for later segments.
+        let mut exports = Vec::new();
+        for export in roots.exports {
+            let joint = compiled
+                .pairwise_marginal(&state, export.parent_var, export.child_var)
+                .expect("export pairs share a component by construction");
+            let parent_first = joint.vars()[0] == export.parent_var;
+            let mut cond = [0.0f64; 16];
+            for p in 0..4 {
+                let mut row = [0.0f64; 4];
+                for (c, slot) in row.iter_mut().enumerate() {
+                    let idx = if parent_first { p * 4 + c } else { c * 4 + p };
+                    *slot = joint.values()[idx];
+                }
+                let mass: f64 = row.iter().sum();
+                for (c, &v) in row.iter().enumerate() {
+                    // Zero-mass parent states get a uniform row; they never
+                    // matter because P(parent = p) is zero.
+                    cond[p * 4 + c] = if mass > 0.0 { v / mass } else { 0.25 };
+                }
+            }
+            exports.push((export.slot, cond));
+        }
+        art.states.lock().expect("state pool lock").push(state);
+        Ok(SegmentPosterior {
+            gate_dists,
+            exports,
+            joints,
+        })
+    }
+
+    fn correlation_distance(
+        &self,
+        segment: &CompiledSegment,
+        child: LineId,
+        candidate: LineId,
+    ) -> Option<usize> {
+        let art = segment.artifact().downcast_ref::<JtreeSegment>()?;
+        let child_var = *segment.lines().get(&child)?;
+        let cand_var = *segment.lines().get(&candidate)?;
+        let tree = art.compiled.tree();
+        tree.clique_distance(tree.home_clique(child_var), tree.home_clique(cand_var))
+    }
+}

@@ -1,0 +1,474 @@
+//! The staged estimation pipeline.
+//!
+//! The paper's workflow is an explicit pipeline; this module makes each
+//! stage a typed artifact with a pluggable inference engine between the
+//! last two:
+//!
+//! 1. **Plan** ([`PlannedCircuit`]) — fan-in decomposition and
+//!    segmentation planning over the working circuit.
+//! 2. **Model** ([`SegmentModel`]) — per-segment LIDAG/CPT construction,
+//!    including boundary-correlation parent selection.
+//! 3. **Compile** ([`CompiledSegment`]) — an [`InferenceBackend`] turns
+//!    each model into its propagation artifact (junction tree, OBDDs, or
+//!    a two-state network).
+//! 4. **Schedule** ([`WaveSchedule`]) — segments are grouped into
+//!    dependency waves for topologically ordered propagation.
+//! 5. **Propagate + forward** — per estimate, the backend propagates each
+//!    wave and the driver forwards boundary marginals (and, for the
+//!    junction-tree backend, pairwise joints) to later segments.
+//!
+//! [`StageTimings`] instruments every stage; the facade in
+//! [`crate::CompiledEstimator`] wraps the whole pipeline behind the
+//! original API.
+
+pub mod backend;
+mod bddexact;
+mod jtree;
+mod model;
+mod plan;
+mod schedule;
+mod timing;
+
+pub use backend::{
+    Backend, CompiledSegment, InferenceBackend, RootDists, SegmentPosterior, SegmentStats,
+};
+pub use model::SegmentModel;
+pub use plan::PlannedCircuit;
+pub use schedule::WaveSchedule;
+pub use timing::{SegmentTimings, StageTimings};
+
+mod twostate;
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use swact_bayesnet::VarId;
+use swact_circuit::{Circuit, LineId};
+
+use crate::estimator::Options;
+use crate::pipeline::backend::backend_impl;
+use crate::pipeline::model::Export;
+use crate::report::Estimate;
+use crate::segment::RootSource;
+use crate::{EstimateError, InputSpec, TransitionDist};
+
+/// The compiled pipeline: planned circuit, per-segment backend artifacts,
+/// export routing, and the wave schedule. The public face of this type is
+/// [`crate::CompiledEstimator`].
+pub(crate) struct CompiledPipeline {
+    planned: PlannedCircuit,
+    backend_kind: Backend,
+    backend: Box<dyn InferenceBackend>,
+    segments: Vec<CompiledSegment>,
+    /// Per segment: pairwise joints it must export after calibration
+    /// (requested by later consumer segments at compile time).
+    exports: Vec<Vec<Export>>,
+    /// Number of cross-segment conditional slots.
+    num_slots: usize,
+    num_boundary_roots: usize,
+    schedule: WaveSchedule,
+    compile_time: Duration,
+    /// Compile-side stage breakdown (propagate/forward stay zero here).
+    stages: StageTimings,
+    /// Per-segment model/compile times (propagate filled per estimate).
+    seg_timings: Vec<SegmentTimings>,
+    total_states: f64,
+    max_clique_states: f64,
+    options: Options,
+}
+
+impl CompiledPipeline {
+    pub(crate) fn compile(
+        circuit: &Circuit,
+        spec: Option<&InputSpec>,
+        options: &Options,
+    ) -> Result<CompiledPipeline, EstimateError> {
+        let start = Instant::now();
+        let backend_kind = options.backend;
+        let backend = backend_impl(backend_kind);
+        let planned = match spec {
+            Some(spec) => PlannedCircuit::for_spec(circuit, spec, options)?,
+            None => PlannedCircuit::new(circuit, options)?,
+        };
+        if backend_kind != Backend::Jtree
+            && (!planned.group_signature.is_empty() || !planned.pair_signature.is_empty())
+        {
+            return Err(EstimateError::BackendUnsupported {
+                backend: backend_kind.name(),
+                feature: "input groups / explicit pairwise joints",
+            });
+        }
+        let plan_time = start.elapsed();
+        let schedule = WaveSchedule::from_plan(&planned.plan);
+
+        let mut segments: Vec<CompiledSegment> = Vec::with_capacity(planned.num_segments());
+        let mut exports: Vec<Vec<Export>> = Vec::with_capacity(planned.num_segments());
+        let mut seg_timings: Vec<SegmentTimings> = Vec::with_capacity(planned.num_segments());
+        let mut total_states = 0.0;
+        let mut max_clique_states = 0.0f64;
+        let mut num_slots = 0usize;
+        let mut num_boundary_roots = 0usize;
+        let mut model_time = Duration::ZERO;
+        let mut compile_stage_time = Duration::ZERO;
+        // Where each gate line was produced: (segment index, var there).
+        let mut produced_in: HashMap<LineId, (usize, VarId)> = HashMap::new();
+        for (seg_idx, seg) in planned.plan.segments().iter().enumerate() {
+            exports.push(Vec::new());
+            let model_start = Instant::now();
+            // Assign boundary-correlation parents: a boundary root may be
+            // conditioned on an earlier boundary root of this segment when
+            // both were produced in the same earlier segment and share a
+            // clique there (so that segment can export their exact joint).
+            let mut parent_of: HashMap<LineId, LineId> = HashMap::new();
+            // Per paired child line: (producer segment, parent var there,
+            // child var there) — the joint the producer must export.
+            let mut pair_info: HashMap<LineId, (usize, VarId, VarId)> = HashMap::new();
+            if options.boundary_correlation {
+                // Each correlated boundary root is conditioned on ONE
+                // earlier root of this segment — the structurally closest
+                // line (smallest clique distance) that also has a variable
+                // in the producing segment. Primary inputs qualify too:
+                // a boundary line is often most correlated with the very
+                // inputs it computes, and those reappear here as roots.
+                // Parents must themselves be plain roots (no chains) and
+                // serve at most two children, so the extra edges stay
+                // tree-ish and cannot explode the consumer's width.
+                let mut children_of: HashMap<LineId, usize> = HashMap::new();
+                let mut earlier: Vec<LineId> = Vec::new();
+                for &(line, source) in &seg.roots {
+                    if source == RootSource::Boundary {
+                        let (producer, child_var) = produced_in[&line];
+                        let producer_seg = &segments[producer];
+                        let mut best: Option<(usize, LineId)> = None;
+                        for &candidate in &earlier {
+                            if parent_of.contains_key(&candidate)
+                                || children_of.get(&candidate).copied().unwrap_or(0) >= 2
+                            {
+                                continue;
+                            }
+                            if let Some(d) =
+                                backend.correlation_distance(producer_seg, line, candidate)
+                            {
+                                if best.is_none_or(|(bd, _)| d < bd) {
+                                    best = Some((d, candidate));
+                                }
+                            }
+                        }
+                        if let Some((_, parent)) = best {
+                            parent_of.insert(line, parent);
+                            *children_of.entry(parent).or_default() += 1;
+                            pair_info
+                                .insert(line, (producer, producer_seg.lines()[&parent], child_var));
+                        }
+                    }
+                    earlier.push(line);
+                }
+            }
+
+            let mut model = SegmentModel::build_with_parents(
+                &planned, seg_idx, seg, &parent_of, &pair_info, num_slots,
+            )?;
+            let seg_model_time = model_start.elapsed();
+            let compile_start = Instant::now();
+            let compiled = match backend.compile(&model, options) {
+                // Boundary-correlation edges widened this segment's tree
+                // past the tolerated blowup: retry with plain marginal
+                // forwarding for this segment.
+                Err(EstimateError::CorrelationBlowup { .. }) => {
+                    model = SegmentModel::build_with_parents(
+                        &planned,
+                        seg_idx,
+                        seg,
+                        &HashMap::new(),
+                        &HashMap::new(),
+                        num_slots,
+                    )?;
+                    backend.compile(&model, options)?
+                }
+                other => other?,
+            };
+            let seg_compile_time = compile_start.elapsed();
+            model_time += seg_model_time;
+            compile_stage_time += seg_compile_time;
+            seg_timings.push(SegmentTimings {
+                model: seg_model_time,
+                compile: seg_compile_time,
+                propagate: Duration::ZERO,
+            });
+            num_slots += model.pair_roots.len();
+            num_boundary_roots += model.pair_roots.len()
+                + model
+                    .solo_roots
+                    .iter()
+                    .filter(|(_, _, src)| *src == RootSource::Boundary)
+                    .count();
+            for &(line, var) in &model.gates {
+                produced_in.insert(line, (seg_idx, var));
+            }
+            total_states += compiled.stats().total_states;
+            max_clique_states = max_clique_states.max(compiled.stats().max_clique_states);
+            for (producer, export) in model.exports_by_producer {
+                exports[producer].push(export);
+            }
+            segments.push(compiled);
+        }
+        Ok(CompiledPipeline {
+            planned,
+            backend_kind,
+            backend,
+            segments,
+            exports,
+            num_slots,
+            num_boundary_roots,
+            schedule,
+            compile_time: start.elapsed(),
+            stages: StageTimings {
+                plan: plan_time,
+                model: model_time,
+                compile: compile_stage_time,
+                ..StageTimings::default()
+            },
+            seg_timings,
+            total_states,
+            max_clique_states,
+            options: *options,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn estimate_with_line_joints(
+        &self,
+        spec: &InputSpec,
+        line_pairs: &[(LineId, LineId)],
+    ) -> Result<(Estimate, Vec<Option<[[f64; 4]; 4]>>), EstimateError> {
+        let working = &self.planned.working;
+        if spec.len() != working.num_inputs() {
+            return Err(EstimateError::InputCountMismatch {
+                circuit: working.num_inputs(),
+                spec: spec.len(),
+            });
+        }
+        let spec_signature: Vec<Vec<usize>> =
+            spec.groups().iter().map(|g| g.members.clone()).collect();
+        if spec_signature != self.planned.group_signature {
+            return Err(EstimateError::GroupStructureMismatch);
+        }
+        let spec_pairs: Vec<(usize, usize)> =
+            spec.pairwise_joints().iter().map(|p| (p.a, p.b)).collect();
+        if spec_pairs != self.planned.pair_signature {
+            return Err(EstimateError::GroupStructureMismatch);
+        }
+        let start = Instant::now();
+        let placeholder = TransitionDist::new([1.0, 0.0, 0.0, 0.0]);
+        let mut dists: Vec<TransitionDist> = vec![placeholder; working.num_lines()];
+        let mut known = vec![false; working.num_lines()];
+        // Primary inputs take their (group-adjusted) spec distribution.
+        for (i, &pi) in working.inputs().iter().enumerate() {
+            dists[pi.index()] = spec.effective_distribution(i);
+            known[pi.index()] = true;
+        }
+        // Cross-segment conditionals, filled by producers before consumers
+        // run (segments are in topological order). Each entry holds
+        // `P(child = c | parent = p)` flattened as `p·4 + c`.
+        let mut conditionals: Vec<Option<[f64; 16]>> = vec![None; self.num_slots];
+        // Requested line-pair joints: (segment, var_a, var_b, request idx).
+        let mut joint_requests: Vec<Vec<(VarId, VarId, usize)>> =
+            vec![Vec::new(); self.segments.len()];
+        let mut joints: Vec<Option<[[f64; 4]; 4]>> = vec![None; line_pairs.len()];
+        for (idx, &(a, b)) in line_pairs.iter().enumerate() {
+            let wa = LineId::from_index(self.planned.line_map[a.index()]);
+            let wb = LineId::from_index(self.planned.line_map[b.index()]);
+            if let Some(seg_idx) = self
+                .segments
+                .iter()
+                .position(|seg| seg.lines().contains_key(&wa) && seg.lines().contains_key(&wb))
+            {
+                let seg = &self.segments[seg_idx];
+                joint_requests[seg_idx].push((seg.lines()[&wa], seg.lines()[&wb], idx));
+            }
+        }
+        let mut propagate_wall = Duration::ZERO;
+        let mut seg_propagate: Vec<Duration> = vec![Duration::ZERO; self.segments.len()];
+        for wave in self.schedule.waves() {
+            let wave_start = Instant::now();
+            if wave.len() == 1 {
+                let seg_idx = wave[0];
+                let output = self.backend.propagate(
+                    &self.segments[seg_idx],
+                    &RootDists {
+                        spec,
+                        dists: &dists,
+                        conditionals: &conditionals,
+                        exports: &self.exports[seg_idx],
+                        joint_requests: &joint_requests[seg_idx],
+                    },
+                )?;
+                let elapsed = wave_start.elapsed();
+                seg_propagate[seg_idx] = elapsed;
+                propagate_wall += elapsed;
+                apply_segment_output(
+                    output,
+                    &mut dists,
+                    &mut known,
+                    &mut conditionals,
+                    &mut joints,
+                );
+                continue;
+            }
+            // Independent segments (no boundary lines between them)
+            // propagate concurrently — the paper's §5 observation that
+            // junction-tree messages on disjoint branches are independent,
+            // lifted to segment granularity.
+            let backend = &*self.backend;
+            let segments = &self.segments;
+            let exports = &self.exports;
+            let dists_ref = &dists;
+            let conditionals_ref = &conditionals;
+            let joint_requests_ref = &joint_requests;
+            let outputs: Vec<(usize, Duration, Result<SegmentPosterior, EstimateError>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&seg_idx| {
+                            scope.spawn(move || {
+                                let seg_start = Instant::now();
+                                let result = backend.propagate(
+                                    &segments[seg_idx],
+                                    &RootDists {
+                                        spec,
+                                        dists: dists_ref,
+                                        conditionals: conditionals_ref,
+                                        exports: &exports[seg_idx],
+                                        joint_requests: &joint_requests_ref[seg_idx],
+                                    },
+                                );
+                                (seg_idx, seg_start.elapsed(), result)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("segment worker never panics"))
+                        .collect()
+                });
+            propagate_wall += wave_start.elapsed();
+            for (seg_idx, elapsed, output) in outputs {
+                seg_propagate[seg_idx] = elapsed;
+                apply_segment_output(
+                    output?,
+                    &mut dists,
+                    &mut known,
+                    &mut conditionals,
+                    &mut joints,
+                );
+            }
+        }
+        let propagate_time = start.elapsed();
+        debug_assert!(known.iter().all(|&k| k), "every line estimated");
+        let mut stages = self.stages;
+        stages.propagate = propagate_wall;
+        stages.forward = propagate_time.saturating_sub(propagate_wall);
+        let mut per_segment = self.seg_timings.clone();
+        for (timing, elapsed) in per_segment.iter_mut().zip(&seg_propagate) {
+            timing.propagate = *elapsed;
+        }
+        let estimate = Estimate::new(
+            dists,
+            self.planned.line_map.clone(),
+            self.compile_time,
+            propagate_time,
+            self.segments.len(),
+            self.total_states,
+            self.max_clique_states,
+            stages,
+            per_segment,
+        );
+        Ok((estimate, joints))
+    }
+
+    pub(crate) fn working_circuit(&self) -> &Circuit {
+        &self.planned.working
+    }
+
+    pub(crate) fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub(crate) fn compile_time(&self) -> Duration {
+        self.compile_time
+    }
+
+    pub(crate) fn total_states(&self) -> f64 {
+        self.total_states
+    }
+
+    pub(crate) fn max_clique_states(&self) -> f64 {
+        self.max_clique_states
+    }
+
+    pub(crate) fn nnz(&self) -> usize {
+        self.segments.iter().map(|s| s.stats().nnz).sum()
+    }
+
+    pub(crate) fn zero_fraction(&self) -> f64 {
+        let states: usize = self.segments.iter().map(|s| s.stats().state_space).sum();
+        if states == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / states as f64
+    }
+
+    pub(crate) fn compressed_cliques(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.stats().compressed_cliques)
+            .sum()
+    }
+
+    pub(crate) fn options(&self) -> &Options {
+        &self.options
+    }
+
+    pub(crate) fn backend(&self) -> Backend {
+        self.backend_kind
+    }
+
+    pub(crate) fn stage_timings(&self) -> StageTimings {
+        self.stages
+    }
+
+    pub(crate) fn segment_timings(&self) -> &[SegmentTimings] {
+        &self.seg_timings
+    }
+
+    pub(crate) fn num_correlated_boundaries(&self) -> usize {
+        self.num_slots
+    }
+
+    pub(crate) fn num_waves(&self) -> usize {
+        self.schedule.num_waves()
+    }
+
+    pub(crate) fn num_boundary_roots(&self) -> usize {
+        self.num_boundary_roots
+    }
+}
+
+fn apply_segment_output(
+    output: SegmentPosterior,
+    dists: &mut [TransitionDist],
+    known: &mut [bool],
+    conditionals: &mut [Option<[f64; 16]>],
+    joints: &mut [Option<[[f64; 4]; 4]>],
+) {
+    for (line, dist) in output.gate_dists {
+        dists[line.index()] = dist;
+        known[line.index()] = true;
+    }
+    for (slot, cond) in output.exports {
+        conditionals[slot] = Some(cond);
+    }
+    for (idx, joint) in output.joints {
+        joints[idx] = Some(joint);
+    }
+}

@@ -1,0 +1,56 @@
+//! Stage 4: boundary-forwarding order.
+//!
+//! Segments are grouped into dependency waves: every segment's boundary
+//! producers live in strictly earlier waves, so segments within one wave
+//! are independent and may propagate on separate threads — the paper's §5
+//! observation that junction-tree messages on disjoint branches are
+//! independent, lifted to segment granularity.
+
+use std::collections::HashMap;
+
+use swact_circuit::LineId;
+
+use crate::segment::{RootSource, SegmentationPlan};
+
+/// The topological wave order segments propagate in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveSchedule {
+    waves: Vec<Vec<usize>>,
+}
+
+impl WaveSchedule {
+    /// Derives the wave schedule of a segmentation plan:
+    /// `wave(s) = 1 + max(wave of s's boundary producers)`.
+    pub fn from_plan(plan: &SegmentationPlan) -> WaveSchedule {
+        let mut produced_in: HashMap<LineId, usize> = HashMap::new();
+        let mut wave_of = vec![0usize; plan.segments().len()];
+        for (s_idx, seg) in plan.segments().iter().enumerate() {
+            wave_of[s_idx] = seg
+                .roots
+                .iter()
+                .filter(|(_, source)| *source == RootSource::Boundary)
+                .map(|(line, _)| wave_of[produced_in[line]] + 1)
+                .max()
+                .unwrap_or(0);
+            for &line in &seg.gates {
+                produced_in.insert(line, s_idx);
+            }
+        }
+        let num_waves = wave_of.iter().max().map_or(0, |&w| w + 1);
+        let mut waves: Vec<Vec<usize>> = vec![Vec::new(); num_waves];
+        for (s_idx, &w) in wave_of.iter().enumerate() {
+            waves[w].push(s_idx);
+        }
+        WaveSchedule { waves }
+    }
+
+    /// The waves, each a list of segment indices, in propagation order.
+    pub fn waves(&self) -> &[Vec<usize>] {
+        &self.waves
+    }
+
+    /// Number of waves.
+    pub fn num_waves(&self) -> usize {
+        self.waves.len()
+    }
+}

@@ -2,6 +2,7 @@ use std::time::Duration;
 
 use swact_circuit::LineId;
 
+use crate::pipeline::{SegmentTimings, StageTimings};
 use crate::TransitionDist;
 
 /// The result of one estimation pass: a transition distribution for every
@@ -18,6 +19,8 @@ pub struct Estimate {
     segments: usize,
     total_states: f64,
     max_clique_states: f64,
+    stages: StageTimings,
+    per_segment: Vec<SegmentTimings>,
 }
 
 impl Estimate {
@@ -30,6 +33,8 @@ impl Estimate {
         segments: usize,
         total_states: f64,
         max_clique_states: f64,
+        stages: StageTimings,
+        per_segment: Vec<SegmentTimings>,
     ) -> Estimate {
         Estimate {
             dists,
@@ -39,6 +44,8 @@ impl Estimate {
             segments,
             total_states,
             max_clique_states,
+            stages,
+            per_segment,
         }
     }
 
@@ -95,6 +102,19 @@ impl Estimate {
     /// Compile + propagate.
     pub fn total_time(&self) -> Duration {
         self.compile_time + self.propagate_time
+    }
+
+    /// Per-stage wall-clock breakdown: `plan`/`model`/`compile` from the
+    /// compiled pipeline this estimate ran over, `propagate`/`forward`
+    /// from this propagation pass.
+    pub fn stage_timings(&self) -> StageTimings {
+        self.stages
+    }
+
+    /// Per-segment stage breakdown (model/compile from compilation,
+    /// propagate from this pass).
+    pub fn segment_timings(&self) -> &[SegmentTimings] {
+        &self.per_segment
     }
 
     /// Total junction-tree state count across segments.

@@ -1,0 +1,107 @@
+//! Cross-backend equivalence: the junction-tree and OBDD backends are
+//! both exact within a segment, so in single-BN mode they must agree on
+//! every line to floating-point round-off. The two-state backend drops
+//! temporal correlation by construction and must *disagree* under
+//! temporally correlated inputs — that divergence is the paper's argument
+//! for four-state transition variables.
+
+use swact::{estimate, Backend, InputModel, InputSpec, Options};
+use swact_circuit::{catalog, Circuit};
+
+fn options_for(backend: Backend) -> Options {
+    Options {
+        backend,
+        ..Options::single_bn()
+    }
+}
+
+fn correlated_spec(n: usize) -> InputSpec {
+    InputSpec::from_models(vec![InputModel::new(0.5, 0.1).unwrap(); n])
+}
+
+fn assert_backends_agree(circuit: &Circuit, spec: &InputSpec) {
+    let jtree = estimate(circuit, spec, &options_for(Backend::Jtree)).unwrap();
+    let bdd = estimate(circuit, spec, &options_for(Backend::Bdd)).unwrap();
+    for line in circuit.line_ids() {
+        let a = jtree.distribution(line).as_array();
+        let b = bdd.distribution(line).as_array();
+        for t in 0..4 {
+            assert!(
+                (a[t] - b[t]).abs() < 1e-12,
+                "line {} state {}: jtree {} vs bdd {}",
+                circuit.line_name(line),
+                t,
+                a[t],
+                b[t]
+            );
+        }
+    }
+}
+
+#[test]
+fn jtree_and_bdd_agree_on_c17() {
+    let c17 = catalog::c17();
+    assert_backends_agree(&c17, &InputSpec::uniform(5));
+    assert_backends_agree(&c17, &correlated_spec(5));
+}
+
+#[test]
+fn jtree_and_bdd_agree_on_reconvergent_netlist() {
+    // Reconvergent fanout is exactly where approximate methods diverge;
+    // both exact backends must still match.
+    let c = swact_circuit::benchgen::reconvergent("rc", 4, 3, 11);
+    assert_backends_agree(&c, &InputSpec::uniform(4));
+    assert_backends_agree(&c, &correlated_spec(4));
+}
+
+#[test]
+fn twostate_diverges_under_temporal_correlation() {
+    // Inputs hold their value 90% of the time (switching activity 0.1).
+    // The two-state proxy sees only p1 = 0.5 and predicts 2p(1−p) = 0.5
+    // switching everywhere, so it must overshoot the exact answer badly.
+    let c17 = catalog::c17();
+    let spec = correlated_spec(5);
+    let exact = estimate(&c17, &spec, &options_for(Backend::Jtree)).unwrap();
+    let two = estimate(&c17, &spec, &options_for(Backend::TwoState)).unwrap();
+    let max_diff = c17
+        .outputs()
+        .iter()
+        .map(|&o| (exact.switching(o) - two.switching(o)).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_diff > 0.05,
+        "two-state should diverge under temporal correlation, max diff {max_diff}"
+    );
+}
+
+#[test]
+fn twostate_matches_signal_probabilities_without_temporal_correlation() {
+    // With temporally independent inputs on a fanout-free (tree) circuit,
+    // the two-state product model and the exact model coincide.
+    let c = {
+        let mut b = swact_circuit::CircuitBuilder::new("tree");
+        for n in ["a", "b", "c", "d"] {
+            b.input(n).unwrap();
+        }
+        b.gate("x", swact_circuit::GateKind::And, &["a", "b"])
+            .unwrap();
+        b.gate("y", swact_circuit::GateKind::Or, &["c", "d"])
+            .unwrap();
+        b.gate("z", swact_circuit::GateKind::Nand, &["x", "y"])
+            .unwrap();
+        b.output("z").unwrap();
+        b.finish().unwrap()
+    };
+    let spec = InputSpec::independent([0.3, 0.8, 0.5, 0.6]);
+    let exact = estimate(&c, &spec, &options_for(Backend::Jtree)).unwrap();
+    let two = estimate(&c, &spec, &options_for(Backend::TwoState)).unwrap();
+    for line in c.line_ids() {
+        assert!(
+            (exact.switching(line) - two.switching(line)).abs() < 1e-9,
+            "line {}: exact {} vs twostate {}",
+            c.line_name(line),
+            exact.switching(line),
+            two.switching(line)
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Bit-identity regression: the default jtree backend must reproduce the
+//! pre-pipeline-refactor estimates exactly (`f64::to_bits` equality).
+//!
+//! The golden fingerprints below were captured from the monolithic
+//! `estimator.rs` immediately before it was split into `pipeline/`
+//! modules: FNV-1a 64 over the little-endian `to_bits()` bytes of all
+//! four transition-distribution entries of every line, in
+//! `circuit.line_ids()` order, under a uniform spec and default options.
+//! Any change to floating-point evaluation order in the jtree path shows
+//! up here as a hash mismatch.
+
+use swact::{estimate, InputSpec, Options};
+use swact_circuit::catalog;
+
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint(name: &str) -> (usize, u64, u64) {
+    let circuit = catalog::benchmark(name).unwrap();
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let est = estimate(&circuit, &spec, &Options::default()).unwrap();
+    let mut bytes = Vec::new();
+    for line in circuit.line_ids() {
+        for p in est.distribution(line).as_array() {
+            bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+        }
+    }
+    (
+        est.num_segments(),
+        fnv1a(bytes.into_iter()),
+        est.mean_switching().to_bits(),
+    )
+}
+
+#[test]
+fn jtree_backend_is_bit_identical_to_pre_refactor_on_c17() {
+    assert_eq!(
+        fingerprint("c17"),
+        (1, 0x0820f9a42e22330d, 0x3fde1745d1745d17)
+    );
+}
+
+#[test]
+fn jtree_backend_is_bit_identical_to_pre_refactor_on_c432() {
+    assert_eq!(
+        fingerprint("c432"),
+        (4, 0x1c5e3e532e60b850, 0x3fd85a8073860d61)
+    );
+}
+
+#[test]
+fn jtree_backend_is_bit_identical_to_pre_refactor_on_alu2() {
+    assert_eq!(
+        fingerprint("alu2"),
+        (4, 0x6e9823d657c42a74, 0x3fd67a8890c91701)
+    );
+}

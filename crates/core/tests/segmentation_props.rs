@@ -1,0 +1,105 @@
+//! Property tests for [`SegmentationPlan`] over randomly generated
+//! netlists: whatever the budget, the plan must cover every gate exactly
+//! once, give every root a valid provenance, and order segments (and
+//! gates within them) topologically.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use swact::{RootSource, SegmentationPlan};
+use swact_bayesnet::Heuristic;
+use swact_circuit::benchgen::{generate, GeneratorConfig};
+use swact_circuit::decompose::decompose_fanin;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plans_are_exact_covers_with_valid_roots(
+        inputs in 3usize..9,
+        gates in 8usize..60,
+        seed in 0u64..1_000_000,
+        locality in 0.3f64..1.0,
+        budget_bits in 6u32..16,
+        check_interval in 1usize..6,
+    ) {
+        let circuit = generate(&GeneratorConfig {
+            name: "prop",
+            inputs,
+            outputs: 1 + gates % 3,
+            gates,
+            seed,
+            locality,
+            max_fanin: 4,
+        });
+        // The planner operates on the fan-in-decomposed working circuit,
+        // exactly as the pipeline prepares it.
+        let working = decompose_fanin(&circuit, 4).unwrap();
+        let plan = SegmentationPlan::plan(
+            &working,
+            4,
+            1usize << budget_bits,
+            check_interval,
+            Heuristic::MinFill,
+        );
+
+        // 1. Every gate of the working circuit in exactly one segment.
+        let mut seen_gates = HashSet::new();
+        for seg in plan.segments() {
+            for &g in &seg.gates {
+                prop_assert!(working.gate(g).is_some(), "root listed as gate");
+                prop_assert!(seen_gates.insert(g), "gate {g:?} appears twice");
+            }
+        }
+        prop_assert_eq!(seen_gates.len(), working.num_gates());
+
+        // 2. Root provenance: a PrimaryInput root names its PI position; a
+        //    Boundary root was produced as a gate of an EARLIER segment.
+        let mut produced_in: HashMap<_, usize> = HashMap::new();
+        for (idx, seg) in plan.segments().iter().enumerate() {
+            for &g in &seg.gates {
+                produced_in.insert(g, idx);
+            }
+        }
+        for (idx, seg) in plan.segments().iter().enumerate() {
+            let root_lines: HashSet<_> = seg.roots.iter().map(|&(l, _)| l).collect();
+            prop_assert_eq!(root_lines.len(), seg.roots.len(), "duplicate roots");
+            for &(line, source) in &seg.roots {
+                match source {
+                    RootSource::PrimaryInput(pos) => {
+                        prop_assert_eq!(working.inputs()[pos], line);
+                    }
+                    RootSource::Boundary => {
+                        let producer = produced_in.get(&line);
+                        prop_assert!(
+                            matches!(producer, Some(&p) if p < idx),
+                            "boundary root {line:?} of segment {idx} produced in {producer:?}"
+                        );
+                    }
+                }
+            }
+
+            // 3. Topological order inside the segment: every gate's inputs
+            //    are segment roots or earlier gates of the same segment.
+            let mut available = root_lines;
+            for &g in &seg.gates {
+                for &input in &working.gate(g).unwrap().inputs {
+                    prop_assert!(
+                        available.contains(&input),
+                        "gate {g:?} reads {input:?} before it is available"
+                    );
+                }
+                available.insert(g);
+            }
+        }
+
+        // 4. The boundary-root count accessor agrees with the segments.
+        let boundary: usize = plan
+            .segments()
+            .iter()
+            .flat_map(|s| &s.roots)
+            .filter(|(_, src)| *src == RootSource::Boundary)
+            .count();
+        prop_assert_eq!(plan.boundary_roots(), boundary);
+    }
+}

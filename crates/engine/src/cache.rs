@@ -48,6 +48,9 @@ pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) 
     options.single_bn.hash(&mut h);
     options.boundary_correlation.hash(&mut h);
     options.sparse.hash(&mut h);
+    // Backends produce different artifacts (and different numbers): a
+    // cached jtree model must never serve a bdd/twostate request.
+    options.backend.hash(&mut h);
 
     // Spec signature: group membership and pairwise-joint edges become part
     // of the compiled structure (probabilities do not).
@@ -197,6 +200,15 @@ mod tests {
             model_key(&c1, &spec, &options),
             model_key(&c1, &spec, &sparse_off)
         );
+
+        // Same circuit and spec under a different backend must be a
+        // different model — the cache may never mix backends.
+        for backend in [swact::Backend::Bdd, swact::Backend::TwoState] {
+            assert_ne!(
+                model_key(&c1, &spec, &options),
+                model_key(&c1, &spec, &Options::with_backend(backend))
+            );
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ mod pool;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use swact::{CompiledEstimator, Estimate, EstimateError, InputSpec, Options};
+use swact::{CompiledEstimator, Estimate, EstimateError, InputSpec, Options, StageTimings};
 use swact_circuit::Circuit;
 
 use cache::{model_key, ModelCache};
@@ -96,6 +96,11 @@ pub struct BatchReport {
     pub wall_time: Duration,
     /// Worker threads used.
     pub jobs: usize,
+    /// Per-stage breakdown: `plan`/`model`/`compile` cover this batch's
+    /// compile pass (zero on a cache hit), while `propagate`/`forward` sum
+    /// over the batch's successful scenarios — so with multiple workers
+    /// they can exceed `wall_time`.
+    pub stages: StageTimings,
 }
 
 impl BatchReport {
@@ -206,10 +211,16 @@ impl Engine {
                 compile_time: Duration::ZERO,
                 wall_time: wall_start.elapsed(),
                 jobs: self.pool.jobs(),
+                stages: StageTimings::default(),
             });
         }
 
         let (model, cache_hit, compile_time) = self.compiled_model(circuit, &specs[0], options)?;
+        let mut stages = if cache_hit {
+            StageTimings::default()
+        } else {
+            model.stage_timings()
+        };
 
         // One slot per scenario, filled by workers in arbitrary order and
         // read back by index — submission order survives any scheduling.
@@ -235,6 +246,12 @@ impl Engine {
 
                 EngineMetrics::add_nanos(&metrics.queue_wait_nanos, queue_wait);
                 EngineMetrics::add_nanos(&metrics.propagate_nanos, run_time);
+                if let Ok(estimate) = &result {
+                    EngineMetrics::add_nanos(
+                        &metrics.forward_nanos,
+                        estimate.stage_timings().forward,
+                    );
+                }
                 metrics
                     .requests_completed
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -263,7 +280,7 @@ impl Engine {
         }
         drop(finished);
 
-        let items = slots
+        let items: Vec<BatchItem> = slots
             .iter()
             .map(|slot| {
                 slot.lock()
@@ -273,12 +290,21 @@ impl Engine {
             })
             .collect();
 
+        for item in &items {
+            if let Ok(estimate) = &item.result {
+                let run = estimate.stage_timings();
+                stages.propagate += run.propagate;
+                stages.forward += run.forward;
+            }
+        }
+
         Ok(BatchReport {
             items,
             cache_hit,
             compile_time,
             wall_time: wall_start.elapsed(),
             jobs: self.pool.jobs(),
+            stages,
         })
     }
 
@@ -307,6 +333,9 @@ impl Engine {
         let compile_time = compile_start.elapsed();
         self.metrics.compile_misses.fetch_add(1, Ordering::Relaxed);
         EngineMetrics::add_nanos(&self.metrics.compile_nanos, compile_time);
+        let stages = model.stage_timings();
+        EngineMetrics::add_nanos(&self.metrics.plan_nanos, stages.plan);
+        EngineMetrics::add_nanos(&self.metrics.model_nanos, stages.model);
         self.metrics
             .compiled_nnz
             .fetch_add(model.nnz() as u64, Ordering::Relaxed);
@@ -477,6 +506,61 @@ mod tests {
         assert!(report.items[2].result.is_ok());
         assert_eq!(engine.metrics().requests_failed, 1);
         assert_eq!(engine.metrics().requests_completed, 3);
+    }
+
+    #[test]
+    fn stage_breakdown_reported_per_batch_and_in_metrics() {
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 4);
+        let engine = Engine::with_jobs(2);
+
+        let miss = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(!miss.cache_hit);
+        assert!(miss.stages.model > Duration::ZERO);
+        assert!(miss.stages.compile > Duration::ZERO);
+        assert!(miss.stages.propagate > Duration::ZERO);
+
+        let hit = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(hit.cache_hit);
+        // Cache hits do no compile-side work; propagation still happens.
+        assert_eq!(hit.stages.plan, Duration::ZERO);
+        assert_eq!(hit.stages.model, Duration::ZERO);
+        assert_eq!(hit.stages.compile, Duration::ZERO);
+        assert!(hit.stages.propagate > Duration::ZERO);
+
+        let metrics = engine.metrics();
+        assert!(metrics.model_time > Duration::ZERO);
+        assert!(metrics.model_time <= metrics.compile_time);
+        assert!(metrics.plan_time <= metrics.compile_time);
+    }
+
+    #[test]
+    fn backends_get_distinct_cache_entries_and_both_run() {
+        let circuit = catalog::c17();
+        let specs = specs_for(&circuit, 2);
+        let engine = Engine::with_jobs(2);
+
+        let jtree = engine
+            .estimate_batch(&circuit, &specs, &Options::default())
+            .unwrap();
+        let bdd = engine
+            .estimate_batch(
+                &circuit,
+                &specs,
+                &Options::with_backend(swact::Backend::Bdd),
+            )
+            .unwrap();
+        assert!(jtree.all_ok() && bdd.all_ok());
+        assert!(!bdd.cache_hit, "bdd batch must not reuse the jtree model");
+        assert_eq!(engine.cached_models(), 2);
+
+        // Both exact backends agree on the estimates themselves.
+        for (a, b) in jtree.estimates().zip(bdd.estimates()) {
+            for (x, y) in a.switching_all().iter().zip(b.switching_all().iter()) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
     }
 
     #[test]

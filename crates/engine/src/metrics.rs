@@ -16,7 +16,10 @@ pub(crate) struct EngineMetrics {
     pub(crate) queue_depth: AtomicUsize,
     pub(crate) max_queue_depth: AtomicUsize,
     pub(crate) compile_nanos: AtomicU64,
+    pub(crate) plan_nanos: AtomicU64,
+    pub(crate) model_nanos: AtomicU64,
     pub(crate) propagate_nanos: AtomicU64,
+    pub(crate) forward_nanos: AtomicU64,
     pub(crate) queue_wait_nanos: AtomicU64,
     pub(crate) compiled_nnz: AtomicU64,
     pub(crate) compiled_states: AtomicU64,
@@ -46,7 +49,10 @@ impl EngineMetrics {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             compile_time: Duration::from_nanos(self.compile_nanos.load(Ordering::Relaxed)),
+            plan_time: Duration::from_nanos(self.plan_nanos.load(Ordering::Relaxed)),
+            model_time: Duration::from_nanos(self.model_nanos.load(Ordering::Relaxed)),
             propagate_time: Duration::from_nanos(self.propagate_nanos.load(Ordering::Relaxed)),
+            forward_time: Duration::from_nanos(self.forward_nanos.load(Ordering::Relaxed)),
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
             compiled_nnz: self.compiled_nnz.load(Ordering::Relaxed),
             compiled_states: self.compiled_states.load(Ordering::Relaxed),
@@ -75,10 +81,21 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// High-water mark of the queue depth.
     pub max_queue_depth: usize,
-    /// Total time spent compiling models (cache misses only).
+    /// Total time spent compiling models (cache misses only). This is the
+    /// whole compile pass; `plan_time` and `model_time` break out its
+    /// planning and BN-construction stages.
     pub compile_time: Duration,
+    /// Time spent in the planning stage (fan-in decomposition +
+    /// segmentation) of cache-miss compiles.
+    pub plan_time: Duration,
+    /// Time spent building per-segment Bayesian networks during cache-miss
+    /// compiles.
+    pub model_time: Duration,
     /// Total propagation time summed over requests.
     pub propagate_time: Duration,
+    /// Time spent forwarding boundary distributions between segments,
+    /// summed over requests (part of each request's run time).
+    pub forward_time: Duration,
     /// Total time requests waited in the queue before a worker picked
     /// them up.
     pub queue_wait: Duration,
