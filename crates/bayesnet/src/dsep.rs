@@ -182,6 +182,7 @@ pub fn independent_in_joint(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Cpt;

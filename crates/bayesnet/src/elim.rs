@@ -153,6 +153,7 @@ fn elimination_order(net: &BayesNet, keep: VarId, heuristic: Heuristic) -> Vec<V
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Cpt;

@@ -125,6 +125,7 @@ impl fmt::Display for BayesError {
 impl Error for BayesError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

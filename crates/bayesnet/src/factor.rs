@@ -676,6 +676,7 @@ impl fmt::Display for Factor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -175,6 +175,7 @@ pub fn moral_neighbors(net: &BayesNet, var: VarId) -> Vec<VarId> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Cpt;

@@ -100,8 +100,11 @@ impl JunctionTree {
             }
         }
         candidates.sort_by(|x, y| {
+            // total_cmp: state counts are products of positive cardinalities
+            // and so never NaN, but a total order costs nothing and removes
+            // the panic path entirely.
             y.0.cmp(&x.0)
-                .then(x.1.partial_cmp(&y.1).expect("finite state counts"))
+                .then(x.1.total_cmp(&y.1))
                 .then(x.2.cmp(&y.2))
                 .then(x.3.cmp(&y.3))
         });
@@ -409,6 +412,7 @@ fn sorted_intersection(a: &[VarId], b: &[VarId]) -> Vec<VarId> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{Cpt, Heuristic};

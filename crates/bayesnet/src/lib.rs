@@ -48,6 +48,11 @@
 //! # }
 //! ```
 
+// The propagate/junction hot path runs on untrusted netlist-derived
+// structures; every residual panic site must be an `expect` documenting a
+// real invariant, never a bare `unwrap`.
+#![deny(clippy::unwrap_used)]
+
 pub mod dsep;
 pub mod elim;
 mod error;

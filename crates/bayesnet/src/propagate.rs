@@ -867,7 +867,9 @@ fn pairwise_marginal_impl(
     // calibrated joint factorizes as Π φ_C / Π φ_S along the path.
     // Marginalizing *before* multiplying into the next clique keeps
     // every intermediate at sepset-plus-one-variable size.
-    let (first_edge, _) = path[0];
+    // An empty path means ca == cb, which joint_marginal_impl above would
+    // have handled; bail out rather than panic if that invariant slips.
+    let (first_edge, _) = *path.first()?;
     let mut keep: Vec<VarId> = tree.edge(first_edge).sepset.clone();
     keep.push(a);
     let mut message = state.clique_pot[ca].marginalize_keep(&keep);
@@ -881,7 +883,7 @@ fn pairwise_marginal_impl(
         next_message.div_assign_sub(&state.sep_pot[next_edge]);
         message = next_message;
     }
-    let (_, last_clique) = *path.last().expect("non-empty path");
+    let (_, last_clique) = *path.last()?;
     let mut joint =
         state.clique_pot[last_clique].product_marginalize(&message, &[a.min(b), a.max(b)]);
     joint.normalize();
@@ -1002,6 +1004,7 @@ fn build_schedule(tree: &JunctionTree) -> Vec<(usize, usize, usize)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::{Cpt, JunctionTree};

@@ -308,6 +308,7 @@ pub(crate) fn multiply_from(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

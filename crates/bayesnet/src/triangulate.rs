@@ -215,6 +215,7 @@ pub fn is_perfect_elimination_order(graph: &UndirectedGraph, order: &[usize]) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

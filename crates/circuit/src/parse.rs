@@ -13,6 +13,8 @@
 //! `DFF` (sequential elements from the ISCAS-89 extension) is rejected —
 //! this crate models combinational logic only, as does the paper.
 
+use std::collections::HashMap;
+
 use crate::{Circuit, CircuitBuilder, CircuitError, GateKind};
 
 /// Parses `.bench` source text into a [`Circuit`].
@@ -42,6 +44,12 @@ use crate::{Circuit, CircuitBuilder, CircuitError, GateKind};
 /// ```
 pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, CircuitError> {
     let mut builder = CircuitBuilder::new(name);
+    // Structural errors (cycles, undriven nets) only surface when the
+    // whole netlist is assembled in `finish()`, long after the offending
+    // source line went by — so remember where each net was declared and
+    // first referenced to point the eventual error back at its line.
+    let mut declared_at: HashMap<String, usize> = HashMap::new();
+    let mut referenced_at: HashMap<String, usize> = HashMap::new();
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
         let line = match raw.find('#') {
@@ -53,8 +61,10 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, CircuitError> {
             continue;
         }
         if let Some(rest) = strip_directive(line, "INPUT") {
+            declared_at.entry(rest.to_string()).or_insert(line_no);
             builder.input(rest).map_err(|e| parse_err(line_no, e))?;
         } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            referenced_at.entry(rest.to_string()).or_insert(line_no);
             builder.output(rest).map_err(|e| parse_err(line_no, e))?;
         } else if let Some(eq) = line.find('=') {
             let output = line[..eq].trim();
@@ -98,6 +108,10 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, CircuitError> {
                     message: "empty argument in gate input list".into(),
                 });
             }
+            declared_at.entry(output.to_string()).or_insert(line_no);
+            for arg in &args {
+                referenced_at.entry((*arg).to_string()).or_insert(line_no);
+            }
             builder
                 .gate(output, kind, &args)
                 .map_err(|e| parse_err(line_no, e))?;
@@ -108,7 +122,23 @@ pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, CircuitError> {
             });
         }
     }
-    builder.finish()
+    builder.finish().map_err(|e| {
+        // Cycles point at the gate declaring the looping net; undriven
+        // nets point at the statement that first referenced them.
+        // Whole-file errors (NoInputs/NoOutputs) have no single line.
+        let at = match &e {
+            CircuitError::Cycle(name) => declared_at.get(name).copied(),
+            CircuitError::UnknownLine(name) => referenced_at.get(name).copied(),
+            _ => None,
+        };
+        match at {
+            Some(line_no) => CircuitError::Parse {
+                line_no,
+                message: e.to_string(),
+            },
+            None => e,
+        }
+    })
 }
 
 fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
@@ -249,5 +279,70 @@ mod tests {
     fn structural_error_carries_line_number() {
         let err = parse_bench("g", "INPUT(a)\nINPUT(a)\n").unwrap_err();
         assert!(matches!(err, CircuitError::Parse { line_no: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_cycle_with_line_number() {
+        let src = "INPUT(a)\nOUTPUT(y)\nx = AND(a, y)\ny = AND(a, x)\n";
+        let err = parse_bench("g", src).unwrap_err();
+        match err {
+            CircuitError::Parse { line_no, message } => {
+                assert!(line_no == 3 || line_no == 4, "line_no = {line_no}");
+                assert!(message.contains("cycle"), "message = {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop_with_line_number() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, y)\n";
+        let err = parse_bench("g", src).unwrap_err();
+        match err {
+            CircuitError::Parse { line_no, message } => {
+                assert_eq!(line_no, 3);
+                assert!(message.contains("cycle"), "message = {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_undriven_net_with_line_number() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        let err = parse_bench("g", src).unwrap_err();
+        match err {
+            CircuitError::Parse { line_no, message } => {
+                assert_eq!(line_no, 3);
+                assert!(message.contains("ghost"), "message = {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_undriven_output_with_line_number() {
+        let src = "INPUT(a)\nOUTPUT(ghost)\nt = NOT(a)\nOUTPUT(t)\n";
+        let err = parse_bench("g", src).unwrap_err();
+        match err {
+            CircuitError::Parse { line_no, message } => {
+                assert_eq!(line_no, 2);
+                assert!(message.contains("ghost"), "message = {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_driver_with_line_number() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
+        let err = parse_bench("g", src).unwrap_err();
+        match err {
+            CircuitError::Parse { line_no, message } => {
+                assert_eq!(line_no, 4);
+                assert!(message.contains('y'), "message = {message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 }

@@ -17,7 +17,7 @@
 use std::fmt::Write as _;
 
 use swact::sequential::{estimate_sequential, SequentialOptions};
-use swact::{estimate, Backend, InputModel, InputSpec, Options, PowerModel, SparseMode};
+use swact::{estimate, Backend, Budget, InputModel, InputSpec, Options, PowerModel, SparseMode};
 use swact_baselines::{Independence, PairwiseCorrelation, SwitchingEstimator, TransitionDensity};
 use swact_circuit::sequential::parse_bench_sequential;
 use swact_circuit::{catalog, parse::parse_bench, write, Circuit};
@@ -72,6 +72,13 @@ ESTIMATE OPTIONS:
   --p1 <P>         signal probability for every input (default 0.5)
   --activity <A>   switching activity for every input (default 2·P·(1−P))
   --budget <N>     junction-tree state budget per segment (default 131072)
+  --budget-states <N>  hard cap on estimated junction-tree states per
+                   segment; over-budget segments are replanned tighter or
+                   fall back to the twostate backend (reported as degraded)
+  --deadline-ms <MS>   per-stage wall-clock deadline (compile/propagate),
+                   checked cooperatively at segment/wave boundaries
+  --no-fallback    fail with a typed error instead of degrading when a
+                   segment exceeds --budget-states
   --single-bn      force one exact Bayesian network (may be infeasible)
   --sparse <MODE>  zero-compress clique potentials: auto, on, or off
                    (default auto; results are bit-identical across modes)
@@ -91,6 +98,11 @@ BATCH OPTIONS:
                    single p1 for all inputs or one p1 per input
                    (whitespace/comma separated; `#` starts a comment)
   --budget <N>     junction-tree state budget per segment (default 131072)
+  --budget-states <N>  hard per-segment state cap (degrade-or-report; see
+                   ESTIMATE OPTIONS)
+  --deadline-ms <MS>   per-stage deadline; also sheds scenarios whose queue
+                   wait exceeds it
+  --no-fallback    fail compilation instead of degrading over-budget segments
   --sparse <MODE>  zero-compress clique potentials: auto, on, or off
   --backend <B>    inference backend: jtree (default), bdd, or twostate
   --csv            emit per-scenario, per-line switching as CSV
@@ -127,6 +139,9 @@ struct EstimateArgs {
     p1: f64,
     activity: Option<f64>,
     budget: usize,
+    budget_states: Option<f64>,
+    deadline_ms: Option<u64>,
+    no_fallback: bool,
     single_bn: bool,
     sparse: SparseMode,
     backend: Backend,
@@ -153,6 +168,9 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
         p1: 0.5,
         activity: None,
         budget: 1 << 17,
+        budget_states: None,
+        deadline_ms: None,
+        no_fallback: false,
         single_bn: false,
         sparse: SparseMode::Auto,
         backend: Backend::Jtree,
@@ -163,7 +181,8 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            "--p1" | "--activity" | "--budget" | "--sparse" | "--backend" => {
+            "--p1" | "--activity" | "--budget" | "--budget-states" | "--deadline-ms"
+            | "--sparse" | "--backend" => {
                 let flag = rest[i].as_str();
                 let value = rest
                     .get(i + 1)
@@ -180,6 +199,16 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                                 usage_error(format!("bad --activity value `{value}`"))
                             })?)
                     }
+                    "--budget-states" => {
+                        parsed.budget_states = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --budget-states value `{value}`"))
+                        })?)
+                    }
+                    "--deadline-ms" => {
+                        parsed.deadline_ms = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --deadline-ms value `{value}`"))
+                        })?)
+                    }
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
                     "--backend" => parsed.backend = parse_backend(value)?,
                     _ => {
@@ -189,6 +218,10 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                     }
                 }
                 i += 2;
+            }
+            "--no-fallback" => {
+                parsed.no_fallback = true;
+                i += 1;
             }
             "--single-bn" => {
                 parsed.single_bn = true;
@@ -255,12 +288,22 @@ fn spec_for(args: &EstimateArgs, num_inputs: usize) -> Result<InputSpec, CliErro
     Ok(InputSpec::from_models(vec![model; num_inputs]))
 }
 
+fn resource_budget(budget_states: Option<f64>, deadline_ms: Option<u64>) -> Budget {
+    Budget {
+        max_states: budget_states,
+        max_factor_bytes: None,
+        deadline: deadline_ms.map(std::time::Duration::from_millis),
+    }
+}
+
 fn estimator_options(args: &EstimateArgs) -> Options {
     Options {
         segment_budget: args.budget,
         single_bn: args.single_bn,
         sparse: args.sparse,
         backend: args.backend,
+        budget: resource_budget(args.budget_states, args.deadline_ms),
+        no_fallback: args.no_fallback,
         ..Options::default()
     }
 }
@@ -332,6 +375,11 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
         est.compile_time(),
         est.propagate_time()
     );
+    // Degraded results must announce themselves: absent any degradation
+    // these lines are absent too, keeping the common output unchanged.
+    for report in est.degradations() {
+        let _ = writeln!(out, "degraded: {report}");
+    }
     let _ = writeln!(out, "{:<20} {:>10} {:>10}", "line", "P(switch)", "P(1)");
     for line in circuit.line_ids() {
         let _ = writeln!(
@@ -369,6 +417,9 @@ struct BatchArgs {
     sweep: usize,
     spec_file: Option<String>,
     budget: usize,
+    budget_states: Option<f64>,
+    deadline_ms: Option<u64>,
+    no_fallback: bool,
     sparse: SparseMode,
     backend: Backend,
     csv: bool,
@@ -382,6 +433,9 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
         sweep: 8,
         spec_file: None,
         budget: 1 << 17,
+        budget_states: None,
+        deadline_ms: None,
+        no_fallback: false,
         sparse: SparseMode::Auto,
         backend: Backend::Jtree,
         csv: false,
@@ -390,7 +444,8 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            flag @ ("--jobs" | "--sweep" | "--budget" | "--spec" | "--sparse" | "--backend") => {
+            flag @ ("--jobs" | "--sweep" | "--budget" | "--budget-states" | "--deadline-ms"
+            | "--spec" | "--sparse" | "--backend") => {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
@@ -412,11 +467,25 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
                             .parse()
                             .map_err(|_| usage_error(format!("bad --budget value `{value}`")))?
                     }
+                    "--budget-states" => {
+                        parsed.budget_states = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --budget-states value `{value}`"))
+                        })?)
+                    }
+                    "--deadline-ms" => {
+                        parsed.deadline_ms = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --deadline-ms value `{value}`"))
+                        })?)
+                    }
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
                     "--backend" => parsed.backend = parse_backend(value)?,
                     _ => parsed.spec_file = Some(value.to_string()),
                 }
                 i += 2;
+            }
+            "--no-fallback" => {
+                parsed.no_fallback = true;
+                i += 1;
             }
             "--csv" => {
                 parsed.csv = true;
@@ -518,6 +587,8 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
         segment_budget: args.budget,
         sparse: args.sparse,
         backend: args.backend,
+        budget: resource_budget(args.budget_states, args.deadline_ms),
+        no_fallback: args.no_fallback,
         ..Options::default()
     };
     let report = engine
@@ -612,6 +683,14 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
             metrics.max_queue_depth,
             metrics.propagate_time,
             metrics.queue_wait
+        );
+        let _ = writeln!(
+            out,
+            "robustness: {} degraded scenario(s); {} degraded segment(s); {} panic(s); {} retrie(s)",
+            report.degraded_scenarios(),
+            metrics.degraded_segments,
+            metrics.jobs_panicked,
+            metrics.retries
         );
         let stages = report.stages;
         let _ = writeln!(
@@ -1019,6 +1098,68 @@ mod tests {
                 .exit_code,
             2
         );
+    }
+
+    #[test]
+    fn budget_flags_degrade_and_report() {
+        // A 256-state cap forces the ladder on c432; the report announces
+        // itself in the header.
+        let out = run_strs(&["estimate", "c432", "--budget-states", "256"]).unwrap();
+        assert!(out.contains("degraded: segment"));
+        assert!(out.contains("mean switching activity"));
+
+        // Without a cap the degraded lines are absent.
+        let plain = run_strs(&["estimate", "c432"]).unwrap();
+        assert!(!plain.contains("degraded:"));
+
+        // --no-fallback turns the same cap into a runtime error.
+        let err = run_strs(&[
+            "estimate",
+            "c432",
+            "--budget-states",
+            "256",
+            "--no-fallback",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("budget"), "message = {}", err.message);
+    }
+
+    #[test]
+    fn batch_stats_reports_degradations() {
+        let out = run_strs(&[
+            "batch",
+            "c432",
+            "--sweep",
+            "3",
+            "--budget-states",
+            "256",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(out.contains("3 degraded scenario(s)"));
+        assert!(!out.contains("error:"));
+        // Non-stats output stays free of robustness lines.
+        let quiet = run_strs(&["batch", "c432", "--sweep", "3", "--budget-states", "256"]).unwrap();
+        assert!(!quiet.contains("robustness:"));
+    }
+
+    #[test]
+    fn deadline_flag_parses_and_passes_through() {
+        // A generous deadline changes nothing about the result table.
+        let plain = run_strs(&["estimate", "c17"]).unwrap();
+        let deadlined = run_strs(&["estimate", "c17", "--deadline-ms", "60000"]).unwrap();
+        let table = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(table(&plain), table(&deadlined));
+
+        for cmd in ["estimate", "batch"] {
+            let err = run_strs(&[cmd, "c17", "--deadline-ms", "soon"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains("bad --deadline-ms value"));
+            let err = run_strs(&[cmd, "c17", "--budget-states", "lots"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains("bad --budget-states value"));
+        }
     }
 
     #[test]

@@ -64,11 +64,68 @@ pub enum EstimateError {
         /// The configured per-segment budget.
         budget: f64,
     },
+    /// A resource budget ([`Budget`](crate::Budget)) was exceeded while
+    /// compiling a segment, and the degradation ladder was disabled (or
+    /// exhausted) for it.
+    BudgetExceeded {
+        /// Segment index in the final plan.
+        segment: usize,
+        /// Estimated junction-tree state count of the offending segment.
+        states: f64,
+        /// The configured budget it violated.
+        budget: f64,
+    },
+    /// A per-stage wall-clock deadline ([`Budget::deadline`](crate::Budget))
+    /// elapsed. Deadlines are cooperative: the stage checks them at
+    /// segment/wave boundaries, so the stage finishes its current unit of
+    /// work before reporting. Retryable — a later attempt on a less loaded
+    /// worker may fit.
+    DeadlineExceeded {
+        /// Pipeline stage that ran out of time (`"compile"`,
+        /// `"propagate"`, or `"queue"`).
+        stage: &'static str,
+        /// The configured deadline.
+        deadline: std::time::Duration,
+    },
+    /// A worker panicked while evaluating this request; the panic was
+    /// caught at the job boundary and converted to an error so the batch
+    /// (and the worker) survive. Retryable — panics from transient faults
+    /// disappear on re-execution.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// An underlying structural circuit error (e.g. during fan-in
     /// decomposition).
     Circuit(CircuitError),
     /// An underlying Bayesian-network error.
     Bayes(BayesError),
+}
+
+impl EstimateError {
+    /// Whether retrying the same request may succeed. True only for
+    /// transient failures ([`Panicked`](EstimateError::Panicked),
+    /// [`DeadlineExceeded`](EstimateError::DeadlineExceeded)); structural
+    /// errors (bad spec, budget exhaustion, circuit/BN construction) are
+    /// deterministic and retrying them wastes work.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            EstimateError::Panicked { .. } | EstimateError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// Converts a caught panic payload (from `catch_unwind` or a failed
+    /// thread join) into [`EstimateError::Panicked`], extracting the
+    /// message when the payload is a string.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> EstimateError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        EstimateError::Panicked { message }
+    }
 }
 
 impl fmt::Display for EstimateError {
@@ -102,6 +159,21 @@ impl fmt::Display for EstimateError {
                 "boundary-correlation parents widened the segment tree to {states:.3e} states \
                  (budget {budget:.3e}); the pipeline falls back to marginal forwarding"
             ),
+            EstimateError::BudgetExceeded {
+                segment,
+                states,
+                budget,
+            } => write!(
+                f,
+                "segment {segment} needs {states:.3e} states, budget is {budget:.3e} \
+                 and fallback is disabled or exhausted"
+            ),
+            EstimateError::DeadlineExceeded { stage, deadline } => {
+                write!(f, "{stage} stage exceeded its {deadline:?} deadline")
+            }
+            EstimateError::Panicked { message } => {
+                write!(f, "worker panicked: {message}")
+            }
             EstimateError::Circuit(e) => write!(f, "circuit error: {e}"),
             EstimateError::Bayes(e) => write!(f, "bayesian network error: {e}"),
         }
@@ -152,5 +224,45 @@ mod tests {
     fn is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<EstimateError>();
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(EstimateError::Panicked {
+            message: "boom".into(),
+        }
+        .retryable());
+        assert!(EstimateError::DeadlineExceeded {
+            stage: "compile",
+            deadline: std::time::Duration::from_millis(5),
+        }
+        .retryable());
+        assert!(!EstimateError::BudgetExceeded {
+            segment: 0,
+            states: 1e9,
+            budget: 1e3,
+        }
+        .retryable());
+        assert!(!EstimateError::GroupStructureMismatch.retryable());
+        assert!(!EstimateError::from(CircuitError::NoInputs).retryable());
+    }
+
+    #[test]
+    fn new_variants_display() {
+        let e = EstimateError::BudgetExceeded {
+            segment: 3,
+            states: 1e9,
+            budget: 1e3,
+        };
+        assert!(e.to_string().contains("segment 3"));
+        let e = EstimateError::DeadlineExceeded {
+            stage: "propagate",
+            deadline: std::time::Duration::from_millis(7),
+        };
+        assert!(e.to_string().contains("propagate"));
+        let e = EstimateError::Panicked {
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("panicked"));
     }
 }

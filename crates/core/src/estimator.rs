@@ -11,6 +11,7 @@ use std::time::Duration;
 use swact_bayesnet::{Heuristic, SparseMode};
 use swact_circuit::{Circuit, LineId};
 
+use crate::budget::{Budget, DegradationReport};
 use crate::pipeline::{Backend, CompiledPipeline, SegmentTimings, StageTimings};
 use crate::report::Estimate;
 use crate::{EstimateError, InputSpec};
@@ -59,6 +60,15 @@ pub struct Options {
     /// exactly on OBDDs; [`Backend::TwoState`] is the classic
     /// signal-probability ablation with the `2p(1−p)` switching proxy.
     pub backend: Backend,
+    /// Hard resource limits (state-space cap, resident factor bytes,
+    /// per-stage deadline) checked at stage boundaries. Unlimited by
+    /// default; see [`Budget`] for the degradation ladder exceeding them
+    /// triggers.
+    pub budget: Budget,
+    /// Disable the degradation ladder: budget exhaustion errors with
+    /// [`EstimateError::BudgetExceeded`] instead of replanning or falling
+    /// back to the `twostate` backend for the offending segment.
+    pub no_fallback: bool,
 }
 
 impl Default for Options {
@@ -72,6 +82,8 @@ impl Default for Options {
             boundary_correlation: true,
             sparse: SparseMode::Auto,
             backend: Backend::Jtree,
+            budget: Budget::UNLIMITED,
+            no_fallback: false,
         }
     }
 }
@@ -100,6 +112,14 @@ impl Options {
     pub fn with_backend(backend: Backend) -> Options {
         Options {
             backend,
+            ..Options::default()
+        }
+    }
+
+    /// Options with an explicit resource [`Budget`].
+    pub fn with_resource_budget(budget: Budget) -> Options {
+        Options {
+            budget,
             ..Options::default()
         }
     }
@@ -332,5 +352,11 @@ impl CompiledEstimator {
     /// Total number of boundary-root connections across segments.
     pub fn num_boundary_roots(&self) -> usize {
         self.pipeline.num_boundary_roots()
+    }
+
+    /// Per-segment degradation records from the compile-time budget
+    /// ladder; empty when every segment compiled within budget.
+    pub fn degradations(&self) -> &[DegradationReport] {
+        self.pipeline.degradations()
     }
 }

@@ -1,0 +1,181 @@
+//! Deterministic fault injection at named pipeline points.
+//!
+//! Behind the `fault-inject` cargo feature, a test arms a [`FaultPlan`]
+//! that injects panics, stage delays, or synthetic budget pressure at
+//! named points the pipeline and engine call through [`hit`] /
+//! [`budget_pressure`]. With the feature off (the default, and every
+//! production build) the hooks compile to inlined no-ops, so the hot path
+//! pays nothing.
+//!
+//! Determinism: injection is driven purely by (point name, index) — never
+//! by wall clock, thread identity, or randomness — and every planned
+//! fault fires **exactly once** (one-shot consumption), so a faulted run
+//! is reproducible and scenarios the plan does not name are untouched.
+//! [`arm`] also takes a process-wide serialization lock, released when the
+//! returned [`FaultGuard`] drops, so concurrent tests cannot observe each
+//! other's faults.
+//!
+//! Named points currently wired:
+//!
+//! | point | index | placed at |
+//! |---|---|---|
+//! | `pipeline:plan` | – | after segmentation planning |
+//! | `pipeline:admission` | segment | budget admission check per planned segment |
+//! | `pipeline:compile` | segment | before backend-compiling a segment |
+//! | `pipeline:propagate:wave` | wave | before each propagation wave |
+//! | `engine:job` | scenario | inside a batch worker, before estimating |
+
+use std::time::Duration;
+
+/// What an armed fault does when its point is hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Panic with a recognizable message (`"injected fault: <point>"`).
+    Panic,
+    /// Sleep for the given duration (models a stalled stage; pair with a
+    /// [`Budget::deadline`](crate::Budget::deadline) to exercise deadline
+    /// handling).
+    Delay(Duration),
+    /// Make the next [`budget_pressure`] query at the point report
+    /// synthetic exhaustion, as if the admission estimate had exceeded
+    /// the budget.
+    BudgetPressure,
+}
+
+/// A deterministic set of one-shot faults keyed by pipeline point.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<(String, Option<usize>, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault firing at the first hit of `point`, whatever its
+    /// index.
+    pub fn fault(mut self, point: &str, action: FaultAction) -> FaultPlan {
+        self.faults.push((point.to_string(), None, action));
+        self
+    }
+
+    /// Adds a fault firing only when `point` is hit with exactly `index`
+    /// (segment, wave, or scenario number depending on the point).
+    pub fn fault_at(mut self, point: &str, index: usize, action: FaultAction) -> FaultPlan {
+        self.faults.push((point.to_string(), Some(index), action));
+        self
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+mod armed {
+    use super::{FaultAction, FaultPlan};
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+    /// Serializes tests that arm faults; injected panics poison nothing
+    /// here because hooks never panic while holding `PLAN`.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    /// RAII guard for an armed plan: disarms on drop and holds the
+    /// process-wide fault serialization lock.
+    pub struct FaultGuard {
+        _serial: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            *PLAN.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+    }
+
+    /// Arms `plan` process-wide until the returned guard drops.
+    pub fn arm(plan: FaultPlan) -> FaultGuard {
+        let serial = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        *PLAN.lock().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+        FaultGuard { _serial: serial }
+    }
+
+    /// Consumes the first armed fault matching `(point, index)` whose
+    /// action satisfies `wanted`.
+    fn take(
+        point: &str,
+        index: Option<usize>,
+        wanted: fn(&FaultAction) -> bool,
+    ) -> Option<FaultAction> {
+        let mut plan = PLAN.lock().unwrap_or_else(PoisonError::into_inner);
+        let faults = &mut plan.as_mut()?.faults;
+        let pos = faults
+            .iter()
+            .position(|(p, i, a)| p == point && (i.is_none() || *i == index) && wanted(a))?;
+        Some(faults.remove(pos).2)
+    }
+
+    /// Executes any armed panic/delay fault at `(point, index)`.
+    pub fn hit(point: &str, index: Option<usize>) {
+        match take(point, index, |a| {
+            matches!(a, FaultAction::Panic | FaultAction::Delay(_))
+        }) {
+            Some(FaultAction::Panic) => panic!("injected fault: {point}"),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            _ => {}
+        }
+    }
+
+    /// Whether an armed synthetic-budget-pressure fault fires at
+    /// `(point, index)`.
+    pub fn budget_pressure(point: &str, index: Option<usize>) -> bool {
+        matches!(
+            take(point, index, |a| matches!(a, FaultAction::BudgetPressure)),
+            Some(FaultAction::BudgetPressure)
+        )
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use armed::{arm, budget_pressure, hit, FaultGuard};
+
+#[cfg(not(feature = "fault-inject"))]
+mod disarmed {
+    /// No-op: fault injection is compiled out.
+    #[inline(always)]
+    pub fn hit(_point: &str, _index: Option<usize>) {}
+
+    /// No-op: fault injection is compiled out.
+    #[inline(always)]
+    pub fn budget_pressure(_point: &str, _index: Option<usize>) -> bool {
+        false
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+pub use disarmed::{budget_pressure, hit};
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_are_one_shot_and_index_matched() {
+        let guard = arm(FaultPlan::new()
+            .fault_at("p", 1, FaultAction::BudgetPressure)
+            .fault("q", FaultAction::BudgetPressure));
+        assert!(!budget_pressure("p", Some(0)));
+        assert!(budget_pressure("p", Some(1)));
+        assert!(!budget_pressure("p", Some(1)), "one-shot");
+        assert!(budget_pressure("q", Some(7)), "no index matches any");
+        assert!(!budget_pressure("q", Some(7)));
+        drop(guard);
+        let _guard = arm(FaultPlan::new());
+        assert!(!budget_pressure("p", Some(1)), "disarmed on drop");
+    }
+
+    #[test]
+    fn hit_ignores_budget_pressure_entries() {
+        let _guard = arm(FaultPlan::new().fault("r", FaultAction::BudgetPressure));
+        hit("r", None); // must not consume the pressure entry
+        assert!(budget_pressure("r", None));
+    }
+}

@@ -46,8 +46,10 @@
 //! junction trees — the paper's precompile-once/propagate-often workflow —
 //! via [`CompiledEstimator`].
 
+mod budget;
 mod error;
 mod estimator;
+pub mod faults;
 mod input;
 mod lidag;
 pub mod pipeline;
@@ -58,6 +60,7 @@ pub mod sequential;
 mod transition;
 pub mod twostate;
 
+pub use budget::{Budget, DegradationCause, DegradationReport, Fallback};
 pub use error::EstimateError;
 pub use estimator::{estimate, CompiledEstimator, Options};
 pub use input::{most_likely, InputGroup, InputModel, InputSpec, PairwiseJoint};

@@ -45,11 +45,13 @@ use std::time::{Duration, Instant};
 use swact_bayesnet::VarId;
 use swact_circuit::{Circuit, LineId};
 
+use crate::budget::{DegradationCause, DegradationReport, Fallback};
 use crate::estimator::Options;
+use crate::faults;
 use crate::pipeline::backend::backend_impl;
 use crate::pipeline::model::Export;
 use crate::report::Estimate;
-use crate::segment::RootSource;
+use crate::segment::{estimate_segment_cost, replan_segment, RootSource, Segment};
 use crate::{EstimateError, InputSpec, TransitionDist};
 
 /// The compiled pipeline: planned circuit, per-segment backend artifacts,
@@ -59,6 +61,13 @@ pub(crate) struct CompiledPipeline {
     planned: PlannedCircuit,
     backend_kind: Backend,
     backend: Box<dyn InferenceBackend>,
+    /// Rung-2 fallback engine for segments degraded to [`Backend::TwoState`].
+    fallback: Box<dyn InferenceBackend>,
+    /// Which engine compiled each segment (the primary `backend_kind`, or
+    /// [`Backend::TwoState`] after degradation).
+    seg_kinds: Vec<Backend>,
+    /// Compile-time budget-ladder provenance, per degraded segment.
+    degradations: Vec<DegradationReport>,
     segments: Vec<CompiledSegment>,
     /// Per segment: pairwise joints it must export after calibration
     /// (requested by later consumer segments at compile time).
@@ -99,8 +108,39 @@ impl CompiledPipeline {
             });
         }
         let plan_time = start.elapsed();
-        let schedule = WaveSchedule::from_plan(&planned.plan);
+        faults::hit("pipeline:plan", None);
 
+        let budget = options.budget;
+        let fallback = backend_impl(Backend::TwoState);
+        // Space budgets are hard admission checks on the planner's *soft*
+        // target: the estimate is re-derived per segment and violations
+        // walk the degradation ladder below instead of allocating an
+        // exponential potential.
+        let checks_space = budget.max_states.is_some() || budget.max_factor_bytes.is_some();
+        let space_violation = |est: f64, resident: usize| -> Option<DegradationCause> {
+            if let Some(max_states) = budget.max_states {
+                if est > max_states {
+                    return Some(DegradationCause::StateBudget {
+                        estimated: est,
+                        budget: max_states,
+                    });
+                }
+            }
+            if let Some(max_bytes) = budget.max_factor_bytes {
+                let projected = resident.saturating_add((est * 8.0) as usize);
+                if projected > max_bytes {
+                    return Some(DegradationCause::FactorBytes {
+                        bytes: projected,
+                        budget: max_bytes,
+                    });
+                }
+            }
+            None
+        };
+
+        let mut final_segments: Vec<Segment> = Vec::with_capacity(planned.num_segments());
+        let mut seg_kinds: Vec<Backend> = Vec::with_capacity(planned.num_segments());
+        let mut degradations: Vec<DegradationReport> = Vec::new();
         let mut segments: Vec<CompiledSegment> = Vec::with_capacity(planned.num_segments());
         let mut exports: Vec<Vec<Export>> = Vec::with_capacity(planned.num_segments());
         let mut seg_timings: Vec<SegmentTimings> = Vec::with_capacity(planned.num_segments());
@@ -110,112 +150,242 @@ impl CompiledPipeline {
         let mut num_boundary_roots = 0usize;
         let mut model_time = Duration::ZERO;
         let mut compile_stage_time = Duration::ZERO;
+        // Resident compiled-potential bytes so far (8 per stored entry).
+        let mut resident_bytes = 0usize;
         // Where each gate line was produced: (segment index, var there).
         let mut produced_in: HashMap<LineId, (usize, VarId)> = HashMap::new();
-        for (seg_idx, seg) in planned.plan.segments().iter().enumerate() {
-            exports.push(Vec::new());
-            let model_start = Instant::now();
-            // Assign boundary-correlation parents: a boundary root may be
-            // conditioned on an earlier boundary root of this segment when
-            // both were produced in the same earlier segment and share a
-            // clique there (so that segment can export their exact joint).
-            let mut parent_of: HashMap<LineId, LineId> = HashMap::new();
-            // Per paired child line: (producer segment, parent var there,
-            // child var there) — the joint the producer must export.
-            let mut pair_info: HashMap<LineId, (usize, VarId, VarId)> = HashMap::new();
-            if options.boundary_correlation {
-                // Each correlated boundary root is conditioned on ONE
-                // earlier root of this segment — the structurally closest
-                // line (smallest clique distance) that also has a variable
-                // in the producing segment. Primary inputs qualify too:
-                // a boundary line is often most correlated with the very
-                // inputs it computes, and those reappear here as roots.
-                // Parents must themselves be plain roots (no chains) and
-                // serve at most two children, so the extra edges stay
-                // tree-ish and cannot explode the consumer's width.
-                let mut children_of: HashMap<LineId, usize> = HashMap::new();
-                let mut earlier: Vec<LineId> = Vec::new();
-                for &(line, source) in &seg.roots {
-                    if source == RootSource::Boundary {
-                        let (producer, child_var) = produced_in[&line];
-                        let producer_seg = &segments[producer];
-                        let mut best: Option<(usize, LineId)> = None;
-                        for &candidate in &earlier {
-                            if parent_of.contains_key(&candidate)
-                                || children_of.get(&candidate).copied().unwrap_or(0) >= 2
-                            {
-                                continue;
+        for (plan_idx, planned_seg) in planned.plan.segments().iter().enumerate() {
+            if let Some(deadline) = budget.deadline {
+                if start.elapsed() > deadline {
+                    return Err(EstimateError::DeadlineExceeded {
+                        stage: "compile",
+                        deadline,
+                    });
+                }
+            }
+            // Admission + degradation ladder: decide which pieces this
+            // planned segment becomes and which engine runs each piece.
+            let pressure = faults::budget_pressure("pipeline:admission", Some(plan_idx));
+            let mut admitted: Vec<(Segment, Backend)> = Vec::new();
+            if checks_space || pressure {
+                let est =
+                    estimate_segment_cost(&planned.working, 4, planned_seg, options.heuristic);
+                let cause = if pressure {
+                    // Synthetic exhaustion from the fault harness: treat
+                    // the segment as over the state budget.
+                    Some(DegradationCause::StateBudget {
+                        estimated: est,
+                        budget: budget.max_states.unwrap_or(planned.plan.budget()),
+                    })
+                } else {
+                    space_violation(est, resident_bytes)
+                };
+                match cause {
+                    None => admitted.push((planned_seg.clone(), backend_kind)),
+                    Some(cause) => {
+                        if options.no_fallback || options.single_bn {
+                            return Err(EstimateError::BudgetExceeded {
+                                segment: final_segments.len(),
+                                states: est,
+                                budget: match cause {
+                                    DegradationCause::StateBudget { budget, .. } => budget,
+                                    DegradationCause::FactorBytes { budget, .. } => budget as f64,
+                                },
+                            });
+                        }
+                        // Rung 1: replan just this segment under a tighter
+                        // state target so it splits into sub-segments.
+                        let target = match cause {
+                            DegradationCause::StateBudget { estimated, budget } => {
+                                budget.min(estimated)
                             }
-                            if let Some(d) =
-                                backend.correlation_distance(producer_seg, line, candidate)
-                            {
-                                if best.is_none_or(|(bd, _)| d < bd) {
-                                    best = Some((d, candidate));
+                            DegradationCause::FactorBytes { budget, .. } => {
+                                (budget.saturating_sub(resident_bytes) / 8).max(1) as f64
+                            }
+                        };
+                        let tighter = (target / 4.0).max(16.0);
+                        let subs = replan_segment(
+                            &planned.working,
+                            4,
+                            planned_seg,
+                            tighter,
+                            1,
+                            options.heuristic,
+                        );
+                        let could_split = subs.len() > 1;
+                        if could_split {
+                            degradations.push(DegradationReport {
+                                segment: final_segments.len(),
+                                cause,
+                                fallback: Fallback::Replanned {
+                                    subsegments: subs.len(),
+                                },
+                            });
+                        }
+                        // Projected resident bytes across the sub-segments
+                        // not yet compiled (actuals land after compile).
+                        let mut sub_resident = resident_bytes;
+                        for sub in subs {
+                            let sub_cause = if !could_split {
+                                // Unsplittable (single-family) segment:
+                                // the replan rung cannot help.
+                                Some(cause)
+                            } else if pressure {
+                                None
+                            } else {
+                                let sub_est = estimate_segment_cost(
+                                    &planned.working,
+                                    4,
+                                    &sub,
+                                    options.heuristic,
+                                );
+                                sub_resident =
+                                    sub_resident.saturating_add((sub_est * 8.0) as usize);
+                                space_violation(sub_est, sub_resident)
+                            };
+                            match sub_cause {
+                                None => admitted.push((sub, backend_kind)),
+                                Some(sub_cause) => {
+                                    // Rung 2: evaluate this piece with the
+                                    // linear-cost twostate engine.
+                                    degradations.push(DegradationReport {
+                                        segment: final_segments.len() + admitted.len(),
+                                        cause: sub_cause,
+                                        fallback: Fallback::TwoState,
+                                    });
+                                    admitted.push((sub, Backend::TwoState));
                                 }
                             }
                         }
-                        if let Some((_, parent)) = best {
-                            parent_of.insert(line, parent);
-                            *children_of.entry(parent).or_default() += 1;
-                            pair_info
-                                .insert(line, (producer, producer_seg.lines()[&parent], child_var));
-                        }
                     }
-                    earlier.push(line);
                 }
+            } else {
+                admitted.push((planned_seg.clone(), backend_kind));
             }
 
-            let mut model = SegmentModel::build_with_parents(
-                &planned, seg_idx, seg, &parent_of, &pair_info, num_slots,
-            )?;
-            let seg_model_time = model_start.elapsed();
-            let compile_start = Instant::now();
-            let compiled = match backend.compile(&model, options) {
-                // Boundary-correlation edges widened this segment's tree
-                // past the tolerated blowup: retry with plain marginal
-                // forwarding for this segment.
-                Err(EstimateError::CorrelationBlowup { .. }) => {
-                    model = SegmentModel::build_with_parents(
-                        &planned,
-                        seg_idx,
-                        seg,
-                        &HashMap::new(),
-                        &HashMap::new(),
-                        num_slots,
-                    )?;
-                    backend.compile(&model, options)?
+            for (seg, kind) in admitted {
+                let seg_idx = final_segments.len();
+                exports.push(Vec::new());
+                let model_start = Instant::now();
+                // Assign boundary-correlation parents: a boundary root may be
+                // conditioned on an earlier boundary root of this segment when
+                // both were produced in the same earlier segment and share a
+                // clique there (so that segment can export their exact joint).
+                let mut parent_of: HashMap<LineId, LineId> = HashMap::new();
+                // Per paired child line: (producer segment, parent var there,
+                // child var there) — the joint the producer must export.
+                let mut pair_info: HashMap<LineId, (usize, VarId, VarId)> = HashMap::new();
+                // Degraded (twostate) segments cannot consume pair roots, so
+                // they always use plain marginal forwarding.
+                if options.boundary_correlation && kind == backend_kind {
+                    // Each correlated boundary root is conditioned on ONE
+                    // earlier root of this segment — the structurally closest
+                    // line (smallest clique distance) that also has a variable
+                    // in the producing segment. Primary inputs qualify too:
+                    // a boundary line is often most correlated with the very
+                    // inputs it computes, and those reappear here as roots.
+                    // Parents must themselves be plain roots (no chains) and
+                    // serve at most two children, so the extra edges stay
+                    // tree-ish and cannot explode the consumer's width.
+                    let mut children_of: HashMap<LineId, usize> = HashMap::new();
+                    let mut earlier: Vec<LineId> = Vec::new();
+                    for &(line, source) in &seg.roots {
+                        if source == RootSource::Boundary {
+                            let (producer, child_var) = produced_in[&line];
+                            let producer_seg = &segments[producer];
+                            let mut best: Option<(usize, LineId)> = None;
+                            for &candidate in &earlier {
+                                if parent_of.contains_key(&candidate)
+                                    || children_of.get(&candidate).copied().unwrap_or(0) >= 2
+                                {
+                                    continue;
+                                }
+                                if let Some(d) =
+                                    backend.correlation_distance(producer_seg, line, candidate)
+                                {
+                                    if best.is_none_or(|(bd, _)| d < bd) {
+                                        best = Some((d, candidate));
+                                    }
+                                }
+                            }
+                            if let Some((_, parent)) = best {
+                                parent_of.insert(line, parent);
+                                *children_of.entry(parent).or_default() += 1;
+                                pair_info.insert(
+                                    line,
+                                    (producer, producer_seg.lines()[&parent], child_var),
+                                );
+                            }
+                        }
+                        earlier.push(line);
+                    }
                 }
-                other => other?,
-            };
-            let seg_compile_time = compile_start.elapsed();
-            model_time += seg_model_time;
-            compile_stage_time += seg_compile_time;
-            seg_timings.push(SegmentTimings {
-                model: seg_model_time,
-                compile: seg_compile_time,
-                propagate: Duration::ZERO,
-            });
-            num_slots += model.pair_roots.len();
-            num_boundary_roots += model.pair_roots.len()
-                + model
-                    .solo_roots
-                    .iter()
-                    .filter(|(_, _, src)| *src == RootSource::Boundary)
-                    .count();
-            for &(line, var) in &model.gates {
-                produced_in.insert(line, (seg_idx, var));
+
+                let mut model = SegmentModel::build_with_parents(
+                    &planned, seg_idx, &seg, &parent_of, &pair_info, num_slots,
+                )?;
+                let seg_model_time = model_start.elapsed();
+                faults::hit("pipeline:compile", Some(seg_idx));
+                let compile_start = Instant::now();
+                let engine: &dyn InferenceBackend = if kind == backend_kind {
+                    &*backend
+                } else {
+                    &*fallback
+                };
+                let compiled = match engine.compile(&model, options) {
+                    // Boundary-correlation edges widened this segment's tree
+                    // past the tolerated blowup: retry with plain marginal
+                    // forwarding for this segment.
+                    Err(EstimateError::CorrelationBlowup { .. }) => {
+                        model = SegmentModel::build_with_parents(
+                            &planned,
+                            seg_idx,
+                            &seg,
+                            &HashMap::new(),
+                            &HashMap::new(),
+                            num_slots,
+                        )?;
+                        engine.compile(&model, options)?
+                    }
+                    other => other?,
+                };
+                let seg_compile_time = compile_start.elapsed();
+                model_time += seg_model_time;
+                compile_stage_time += seg_compile_time;
+                seg_timings.push(SegmentTimings {
+                    model: seg_model_time,
+                    compile: seg_compile_time,
+                    propagate: Duration::ZERO,
+                });
+                num_slots += model.pair_roots.len();
+                num_boundary_roots += model.pair_roots.len()
+                    + model
+                        .solo_roots
+                        .iter()
+                        .filter(|(_, _, src)| *src == RootSource::Boundary)
+                        .count();
+                for &(line, var) in &model.gates {
+                    produced_in.insert(line, (seg_idx, var));
+                }
+                total_states += compiled.stats().total_states;
+                max_clique_states = max_clique_states.max(compiled.stats().max_clique_states);
+                resident_bytes = resident_bytes.saturating_add(compiled.stats().nnz * 8);
+                for (producer, export) in model.exports_by_producer {
+                    exports[producer].push(export);
+                }
+                segments.push(compiled);
+                final_segments.push(seg);
+                seg_kinds.push(kind);
             }
-            total_states += compiled.stats().total_states;
-            max_clique_states = max_clique_states.max(compiled.stats().max_clique_states);
-            for (producer, export) in model.exports_by_producer {
-                exports[producer].push(export);
-            }
-            segments.push(compiled);
         }
+        let schedule = WaveSchedule::from_segments(&final_segments);
         Ok(CompiledPipeline {
             planned,
             backend_kind,
             backend,
+            fallback,
+            seg_kinds,
+            degradations,
             segments,
             exports,
             num_slots,
@@ -289,11 +459,23 @@ impl CompiledPipeline {
         }
         let mut propagate_wall = Duration::ZERO;
         let mut seg_propagate: Vec<Duration> = vec![Duration::ZERO; self.segments.len()];
-        for wave in self.schedule.waves() {
+        for (wave_idx, wave) in self.schedule.waves().iter().enumerate() {
+            faults::hit("pipeline:propagate:wave", Some(wave_idx));
+            // Cooperative per-stage deadline: checked at wave boundaries,
+            // so numerics are never altered by time pressure — a run that
+            // completes is bit-identical to an undeadlined run.
+            if let Some(deadline) = self.options.budget.deadline {
+                if start.elapsed() > deadline {
+                    return Err(EstimateError::DeadlineExceeded {
+                        stage: "propagate",
+                        deadline,
+                    });
+                }
+            }
             let wave_start = Instant::now();
             if wave.len() == 1 {
                 let seg_idx = wave[0];
-                let output = self.backend.propagate(
+                let output = self.backend_for(seg_idx).propagate(
                     &self.segments[seg_idx],
                     &RootDists {
                         spec,
@@ -319,7 +501,6 @@ impl CompiledPipeline {
             // propagate concurrently — the paper's §5 observation that
             // junction-tree messages on disjoint branches are independent,
             // lifted to segment granularity.
-            let backend = &*self.backend;
             let segments = &self.segments;
             let exports = &self.exports;
             let dists_ref = &dists;
@@ -332,7 +513,7 @@ impl CompiledPipeline {
                         .map(|&seg_idx| {
                             scope.spawn(move || {
                                 let seg_start = Instant::now();
-                                let result = backend.propagate(
+                                let result = self.backend_for(seg_idx).propagate(
                                     &segments[seg_idx],
                                     &RootDists {
                                         spec,
@@ -346,9 +527,19 @@ impl CompiledPipeline {
                             })
                         })
                         .collect();
+                    // A panicked segment worker becomes this segment's
+                    // error instead of poisoning the whole estimate.
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("segment worker never panics"))
+                        .zip(wave.iter())
+                        .map(|(h, &seg_idx)| match h.join() {
+                            Ok(out) => out,
+                            Err(payload) => (
+                                seg_idx,
+                                Duration::ZERO,
+                                Err(EstimateError::from_panic(payload.as_ref())),
+                            ),
+                        })
                         .collect()
                 });
             propagate_wall += wave_start.elapsed();
@@ -382,8 +573,24 @@ impl CompiledPipeline {
             self.max_clique_states,
             stages,
             per_segment,
+            self.degradations.clone(),
         );
         Ok((estimate, joints))
+    }
+
+    /// The engine that compiled (and therefore propagates) segment
+    /// `seg_idx` — the primary backend, or the twostate fallback after
+    /// degradation.
+    fn backend_for(&self, seg_idx: usize) -> &dyn InferenceBackend {
+        if self.seg_kinds[seg_idx] == self.backend_kind {
+            &*self.backend
+        } else {
+            &*self.fallback
+        }
+    }
+
+    pub(crate) fn degradations(&self) -> &[DegradationReport] {
+        &self.degradations
     }
 
     pub(crate) fn working_circuit(&self) -> &Circuit {

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use swact_circuit::LineId;
 
-use crate::segment::{RootSource, SegmentationPlan};
+use crate::segment::{RootSource, Segment, SegmentationPlan};
 
 /// The topological wave order segments propagate in.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,9 +22,16 @@ impl WaveSchedule {
     /// Derives the wave schedule of a segmentation plan:
     /// `wave(s) = 1 + max(wave of s's boundary producers)`.
     pub fn from_plan(plan: &SegmentationPlan) -> WaveSchedule {
+        WaveSchedule::from_segments(plan.segments())
+    }
+
+    /// Derives the wave schedule of an explicit segment list — used after
+    /// the degradation ladder replans segments, when the final list no
+    /// longer matches the original plan.
+    pub(crate) fn from_segments(segments: &[Segment]) -> WaveSchedule {
         let mut produced_in: HashMap<LineId, usize> = HashMap::new();
-        let mut wave_of = vec![0usize; plan.segments().len()];
-        for (s_idx, seg) in plan.segments().iter().enumerate() {
+        let mut wave_of = vec![0usize; segments.len()];
+        for (s_idx, seg) in segments.iter().enumerate() {
             wave_of[s_idx] = seg
                 .roots
                 .iter()

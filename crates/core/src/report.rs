@@ -2,6 +2,7 @@ use std::time::Duration;
 
 use swact_circuit::LineId;
 
+use crate::budget::DegradationReport;
 use crate::pipeline::{SegmentTimings, StageTimings};
 use crate::TransitionDist;
 
@@ -21,6 +22,7 @@ pub struct Estimate {
     max_clique_states: f64,
     stages: StageTimings,
     per_segment: Vec<SegmentTimings>,
+    degradations: Vec<DegradationReport>,
 }
 
 impl Estimate {
@@ -35,6 +37,7 @@ impl Estimate {
         max_clique_states: f64,
         stages: StageTimings,
         per_segment: Vec<SegmentTimings>,
+        degradations: Vec<DegradationReport>,
     ) -> Estimate {
         Estimate {
             dists,
@@ -46,6 +49,7 @@ impl Estimate {
             max_clique_states,
             stages,
             per_segment,
+            degradations,
         }
     }
 
@@ -125,6 +129,19 @@ impl Estimate {
     /// Largest clique state count across segments.
     pub fn max_clique_states(&self) -> f64 {
         self.max_clique_states
+    }
+
+    /// Per-segment degradation provenance from the compile-time budget
+    /// ladder (replans and twostate fallbacks); empty when every segment
+    /// compiled within budget. A non-empty list means some lines carry
+    /// reduced accuracy — inspect the reports before trusting tails.
+    pub fn degradations(&self) -> &[DegradationReport] {
+        &self.degradations
+    }
+
+    /// Whether any segment was degraded to stay within budget.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 
     /// Renders the estimate as CSV with one row per line of `circuit`:

@@ -132,6 +132,57 @@ impl SegmentationPlan {
     }
 }
 
+/// Estimated junction-tree state count of one already-planned segment —
+/// the same quick-triangulation admission figure the planner uses, exposed
+/// so the pipeline can hard-check a [`Budget`](crate::Budget) *before*
+/// allocating the segment's potentials.
+pub(crate) fn estimate_segment_cost(
+    circuit: &Circuit,
+    card: usize,
+    seg: &Segment,
+    heuristic: Heuristic,
+) -> f64 {
+    let mut builder = SegmentBuilder::new(circuit, card);
+    for &gate in &seg.gates {
+        builder.push_gate(gate);
+    }
+    builder.estimated_cost(heuristic)
+}
+
+/// Replans a single over-budget segment under a tighter state budget,
+/// splitting its gates (kept in their existing topological order) into
+/// sub-segments exactly as [`SegmentationPlan::plan`] would. Sub-segment
+/// roots are recomputed from scratch, so lines produced by an earlier
+/// sub-segment become ordinary boundary roots of later ones.
+pub(crate) fn replan_segment(
+    circuit: &Circuit,
+    card: usize,
+    seg: &Segment,
+    budget: f64,
+    check_interval: usize,
+    heuristic: Heuristic,
+) -> Vec<Segment> {
+    assert!(check_interval > 0, "check interval must be positive");
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut builder = SegmentBuilder::new(circuit, card);
+    let mut since_check = 0usize;
+    for &gate in &seg.gates {
+        builder.push_gate(gate);
+        since_check += 1;
+        if since_check >= check_interval {
+            since_check = 0;
+            if builder.estimated_cost(heuristic) > budget && builder.gates.len() > 1 {
+                segments.push(builder.finish());
+                builder = SegmentBuilder::new(circuit, card);
+            }
+        }
+    }
+    if !builder.gates.is_empty() {
+        segments.push(builder.finish());
+    }
+    segments
+}
+
 /// Gate lines in a *cone-clustered* topological order: a depth-first
 /// post-order from each primary output, so the logic feeding one output is
 /// contiguous. Cutting such an order into segments keeps correlated

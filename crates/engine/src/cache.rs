@@ -51,6 +51,14 @@ pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) 
     // Backends produce different artifacts (and different numbers): a
     // cached jtree model must never serve a bdd/twostate request.
     options.backend.hash(&mut h);
+    // Resource governance is compiled in: a degraded model must never
+    // serve a request with a looser budget (or vice versa). f64 limits
+    // hash by bit pattern; the deadline only governs runtime but still
+    // keys the model so per-batch deadlines never alias.
+    options.budget.max_states.map(f64::to_bits).hash(&mut h);
+    options.budget.max_factor_bytes.hash(&mut h);
+    options.budget.deadline.hash(&mut h);
+    options.no_fallback.hash(&mut h);
 
     // Spec signature: group membership and pairwise-joint edges become part
     // of the compiled structure (probabilities do not).
@@ -209,6 +217,29 @@ mod tests {
                 model_key(&c1, &spec, &Options::with_backend(backend))
             );
         }
+
+        // A budget-governed model must not alias the unlimited one.
+        let budgeted = Options::with_resource_budget(swact::Budget::states(1e4));
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c1, &spec, &budgeted)
+        );
+        let strict = Options {
+            no_fallback: true,
+            ..budgeted
+        };
+        assert_ne!(
+            model_key(&c1, &spec, &budgeted),
+            model_key(&c1, &spec, &strict)
+        );
+        let deadlined = Options {
+            budget: swact::Budget::deadline(std::time::Duration::from_millis(50)),
+            ..Options::default()
+        };
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c1, &spec, &deadlined)
+        );
     }
 
     #[test]

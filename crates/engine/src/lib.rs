@@ -50,11 +50,17 @@
 //! assert!(again.cache_hit); // ... later batches reuse the junction trees
 //! ```
 
+// A panic reaching `.unwrap()` in engine code takes a worker (and its
+// batch) down; failures must flow through `EstimateError` instead.
+// Invariant-protected `.expect()`s remain allowed, each documented.
+#![deny(clippy::unwrap_used)]
+
 mod cache;
 mod metrics;
 mod pool;
 
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use swact::{CompiledEstimator, Estimate, EstimateError, InputSpec, Options, StageTimings};
@@ -114,6 +120,13 @@ impl BatchReport {
     /// Whether every scenario succeeded.
     pub fn all_ok(&self) -> bool {
         self.items.iter().all(|item| item.result.is_ok())
+    }
+
+    /// Number of successful scenarios whose estimate carries
+    /// budget-degradation reports (see
+    /// [`Estimate::degradations`](swact::Estimate::degradations)).
+    pub fn degraded_scenarios(&self) -> usize {
+        self.estimates().filter(|e| e.is_degraded()).count()
     }
 
     /// Scenario throughput: scenarios per wall-clock second.
@@ -179,7 +192,13 @@ impl Engine {
 
     /// Number of compiled models currently cached.
     pub fn cached_models(&self) -> usize {
-        self.cache.lock().expect("model cache lock").len()
+        // Cache-lock poison recovery: every critical section in
+        // `compiled_model` is a lookup or insert on an LRU map that keeps
+        // its invariants on panic, so the data is safe to keep using.
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Estimates every spec in `specs` against `circuit`, reusing one
@@ -234,6 +253,7 @@ impl Engine {
             let slots = Arc::clone(&slots);
             let done = Arc::clone(&done);
             let metrics = Arc::clone(&self.metrics);
+            let opts = *options;
             let enqueued_at = Instant::now();
             self.metrics.enqueue();
             self.pool.submit(Box::new(move || {
@@ -241,7 +261,7 @@ impl Engine {
                 metrics.dequeue();
 
                 let run_start = Instant::now();
-                let result = model.estimate(&spec);
+                let result = run_scenario(&model, &spec, index, &opts, queue_wait, &metrics);
                 let run_time = run_start.elapsed();
 
                 EngineMetrics::add_nanos(&metrics.queue_wait_nanos, queue_wait);
@@ -261,22 +281,27 @@ impl Engine {
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }
 
-                *slots[index].lock().expect("batch slot lock") = Some(BatchItem {
+                // Slot/done-lock poison recovery: each critical section is
+                // a single assignment, so poisoned state is still valid —
+                // and refusing to fill the slot would hang `wait` forever.
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(BatchItem {
                     index,
                     result,
                     queue_wait,
                     run_time,
                 });
                 let (count, signal) = &*done;
-                *count.lock().expect("batch done lock") += 1;
+                *count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
                 signal.notify_all();
             }));
         }
 
         let (count, signal) = &*done;
-        let mut finished = count.lock().expect("batch done lock");
+        let mut finished = count.lock().unwrap_or_else(PoisonError::into_inner);
         while *finished < specs.len() {
-            finished = signal.wait(finished).expect("batch done lock poisoned");
+            finished = signal
+                .wait(finished)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(finished);
 
@@ -284,8 +309,11 @@ impl Engine {
             .iter()
             .map(|slot| {
                 slot.lock()
-                    .expect("batch slot lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
+                    // Invariant: the wait loop above returned only after
+                    // every job bumped the done count, and each job fills
+                    // its slot before doing so.
                     .expect("every slot filled before the batch returns")
             })
             .collect();
@@ -323,7 +351,12 @@ impl Engine {
         use std::sync::atomic::Ordering;
 
         let key = model_key(circuit, spec, options);
-        if let Some(model) = self.cache.lock().expect("model cache lock").get(key) {
+        if let Some(model) = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
             self.metrics.compile_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((model, true, Duration::ZERO));
         }
@@ -342,8 +375,11 @@ impl Engine {
         self.metrics
             .compiled_states
             .fetch_add(model.total_states() as u64, Ordering::Relaxed);
+        self.metrics
+            .degraded_segments
+            .fetch_add(model.degradations().len() as u64, Ordering::Relaxed);
 
-        let mut cache = self.cache.lock().expect("model cache lock");
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         let model = match cache.get(key) {
             // Lost a compile race — reuse the winner's model so the whole
             // engine shares one set of junction trees per key.
@@ -360,7 +396,58 @@ impl Engine {
     }
 }
 
+/// Bounded number of re-executions of a scenario after a retryable error.
+const MAX_RETRIES: u32 = 2;
+
+/// Runs one scenario with the engine's fault envelope: a per-job queue
+/// deadline, panic containment at the job boundary, and bounded
+/// retry-with-backoff for errors classified retryable
+/// ([`EstimateError::retryable`]).
+fn run_scenario(
+    model: &CompiledEstimator,
+    spec: &InputSpec,
+    index: usize,
+    options: &Options,
+    queue_wait: Duration,
+    metrics: &EngineMetrics,
+) -> Result<Estimate, EstimateError> {
+    use std::sync::atomic::Ordering;
+
+    // A scenario that already overshot its deadline in the queue is shed
+    // immediately instead of occupying a worker.
+    if let Some(deadline) = options.budget.deadline {
+        if queue_wait > deadline {
+            return Err(EstimateError::DeadlineExceeded {
+                stage: "queue",
+                deadline,
+            });
+        }
+    }
+    let attempt = || {
+        catch_unwind(AssertUnwindSafe(|| {
+            swact::faults::hit("engine:job", Some(index));
+            model.estimate(spec)
+        }))
+        .unwrap_or_else(|payload| {
+            metrics.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+            Err(EstimateError::from_panic(payload.as_ref()))
+        })
+    };
+    let mut result = attempt();
+    let mut retries = 0u32;
+    while retries < MAX_RETRIES && result.as_ref().err().is_some_and(EstimateError::retryable) {
+        retries += 1;
+        metrics.retries.fetch_add(1, Ordering::Relaxed);
+        // Deterministic bounded backoff; transient faults (another
+        // tenant's memory spike, a caught panic) often clear immediately.
+        std::thread::sleep(Duration::from_millis(1 << retries));
+        result = attempt();
+    }
+    result
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use swact_circuit::catalog;

@@ -23,6 +23,9 @@ pub(crate) struct EngineMetrics {
     pub(crate) queue_wait_nanos: AtomicU64,
     pub(crate) compiled_nnz: AtomicU64,
     pub(crate) compiled_states: AtomicU64,
+    pub(crate) jobs_panicked: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) degraded_segments: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -56,6 +59,9 @@ impl EngineMetrics {
             queue_wait: Duration::from_nanos(self.queue_wait_nanos.load(Ordering::Relaxed)),
             compiled_nnz: self.compiled_nnz.load(Ordering::Relaxed),
             compiled_states: self.compiled_states.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_segments: self.degraded_segments.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,6 +112,15 @@ pub struct MetricsSnapshot {
     /// misses only); `compiled_nnz / compiled_states` under 1.0 means
     /// zero-compression is paying off.
     pub compiled_states: u64,
+    /// Worker panics caught at the job boundary and converted to
+    /// per-scenario [`Panicked`](swact::EstimateError::Panicked) errors.
+    pub jobs_panicked: u64,
+    /// Scenario attempts re-executed after a retryable error
+    /// (panic/deadline).
+    pub retries: u64,
+    /// Segments degraded by the compile-time budget ladder, summed over
+    /// cache-miss compiles.
+    pub degraded_segments: u64,
 }
 
 impl MetricsSnapshot {

@@ -6,8 +6,9 @@
 //! debuggability win over cleverness.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -47,8 +48,17 @@ impl WorkerPool {
     }
 
     /// Enqueues a job; some idle worker will pick it up.
+    ///
+    /// Recovers from a poisoned queue mutex: the queue is a plain
+    /// `VecDeque` whose every mutation is a single non-panicking push/pop,
+    /// so a poison mark only means some *job* panicked while a worker
+    /// held an unrelated lock — the queue itself is still consistent.
     pub(crate) fn submit(&self, job: Job) {
-        let mut queue = self.shared.queue.lock().expect("pool queue lock");
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         queue.push_back(job);
         drop(queue);
         self.shared.available.notify_one();
@@ -68,7 +78,9 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("pool queue lock");
+            // Poison recovery (see `submit`): one panicked job must not
+            // wedge every subsequent batch behind a poisoned queue lock.
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -79,14 +91,19 @@ fn worker_loop(shared: &Shared) {
                 queue = shared
                     .available
                     .wait(queue)
-                    .expect("pool queue lock poisoned");
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        job();
+        // Defense in depth: the engine already converts panics to
+        // per-scenario errors at the job boundary, but a raw job that
+        // slips a panic through must kill neither this worker nor the
+        // process (abort on double panic during unwind).
+        let _ = catch_unwind(AssertUnwindSafe(job));
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
@@ -135,5 +152,25 @@ mod tests {
     fn zero_requested_workers_still_runs() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.jobs(), 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker_or_wedge_the_pool() {
+        let pool = WorkerPool::new(1);
+        pool.submit(Box::new(|| panic!("job blows up")));
+        // The same single worker must survive to run the next job, and
+        // submit must not find a poisoned queue.
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let done2 = Arc::clone(&done);
+        pool.submit(Box::new(move || {
+            let (flag, signal) = &*done2;
+            *flag.lock().unwrap() = true;
+            signal.notify_all();
+        }));
+        let (flag, signal) = &*done;
+        let mut ran = flag.lock().unwrap();
+        while !*ran {
+            ran = signal.wait(ran).unwrap();
+        }
     }
 }

@@ -1,0 +1,122 @@
+//! Resource-governance integration tests: real (non-injected) budgets
+//! driving the degradation ladder end to end.
+//!
+//! The contract under test: any parser-accepted netlist estimated under a
+//! state budget either produces an estimate (possibly degraded, with the
+//! degradations reported) or a typed error — never a panic or abort.
+
+use proptest::prelude::*;
+use swact::{estimate, Budget, CompiledEstimator, EstimateError, Fallback, InputSpec, Options};
+use swact_circuit::benchgen::{generate, GeneratorConfig};
+use swact_circuit::catalog;
+
+#[test]
+fn c432_under_tiny_budget_completes_with_recorded_fallbacks() {
+    let circuit = catalog::benchmark("c432").expect("known benchmark");
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let options = Options::with_resource_budget(Budget::states(256.0));
+
+    let compiled = CompiledEstimator::compile_for(&circuit, &spec, &options)
+        .expect("tiny budget must degrade, not fail");
+    assert!(
+        !compiled.degradations().is_empty(),
+        "a 256-state budget on c432 must trip the ladder"
+    );
+    // Every report names a real segment and a concrete fallback.
+    let num_segments = compiled.num_segments();
+    for report in compiled.degradations() {
+        assert!(report.segment < num_segments, "segment index out of range");
+        match report.fallback {
+            Fallback::Replanned { subsegments } => assert!(subsegments >= 1),
+            Fallback::TwoState => {}
+            _ => {}
+        }
+    }
+
+    let est = compiled.estimate(&spec).expect("degraded model still runs");
+    assert!(est.is_degraded());
+    assert_eq!(est.degradations(), compiled.degradations());
+    for line in circuit.line_ids() {
+        let sw = est.switching(line);
+        assert!(
+            (0.0..=1.0).contains(&sw),
+            "switching out of range on {:?}: {sw}",
+            circuit.line_name(line)
+        );
+    }
+
+    // Degradation is deterministic: same budget, same ladder, same numbers.
+    let again = estimate(&circuit, &spec, &options).expect("rerun");
+    assert_eq!(est.switching_all(), again.switching_all());
+}
+
+#[test]
+fn no_fallback_turns_budget_exhaustion_into_a_typed_error() {
+    let circuit = catalog::benchmark("c432").expect("known benchmark");
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let options = Options {
+        no_fallback: true,
+        ..Options::with_resource_budget(Budget::states(256.0))
+    };
+    let err = CompiledEstimator::compile_for(&circuit, &spec, &options)
+        .expect_err("no-fallback compile must abort");
+    match err {
+        EstimateError::BudgetExceeded { states, budget, .. } => {
+            assert!(states > budget);
+            assert_eq!(budget, 256.0);
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+}
+
+#[test]
+fn unlimited_budget_changes_nothing() {
+    // A present-but-unlimited budget must be bit-identical to no budget at
+    // all: admission checks may run, but the plan must not change.
+    let circuit = catalog::c17();
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let plain = estimate(&circuit, &spec, &Options::default()).expect("plain");
+    let governed = estimate(
+        &circuit,
+        &spec,
+        &Options::with_resource_budget(Budget::UNLIMITED),
+    )
+    .expect("governed");
+    assert!(!governed.is_degraded());
+    assert_eq!(plain.switching_all(), governed.switching_all());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ladder's completion guarantee: generated netlists under an
+    /// arbitrary (often absurdly small) state budget always estimate —
+    /// degraded if need be, panicking never.
+    #[test]
+    fn budgeted_estimation_never_aborts(
+        inputs in 3usize..8,
+        gates in 8usize..48,
+        seed in 0u64..1u64 << 32,
+        budget in 32f64..4096.0,
+    ) {
+        let circuit = generate(&GeneratorConfig {
+            inputs,
+            outputs: 1 + gates / 8,
+            gates,
+            seed,
+            ..GeneratorConfig::default_for("budget-prop")
+        });
+        let spec = InputSpec::uniform(circuit.num_inputs());
+        let options = Options::with_resource_budget(Budget::states(budget));
+        let est = estimate(&circuit, &spec, &options)
+            .expect("budgeted estimation must complete");
+        for line in circuit.line_ids() {
+            let sw = est.switching(line);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&sw), "switching {sw}");
+        }
+        // Reports, when present, must name real segments.
+        for report in est.degradations() {
+            prop_assert!(report.segment < est.num_segments());
+        }
+    }
+}
