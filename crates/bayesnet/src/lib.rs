@@ -68,6 +68,8 @@ pub use error::BayesError;
 pub use factor::{Factor, VarId};
 pub use junction::JunctionTree;
 pub use network::{BayesNet, Cpt};
-pub use propagate::{initial_potentials, CompiledTree, PropagationState, Propagator};
+pub use propagate::{
+    initial_potentials, CompiledTree, MessageCache, PropagationMode, PropagationState, Propagator,
+};
 pub use sparse::SparseMode;
 pub use triangulate::Heuristic;

@@ -1,3 +1,5 @@
+use std::sync::{Mutex, PoisonError};
+
 use crate::junction::JunctionTree;
 use crate::sparse::{self, PropagationKernels};
 use crate::{BayesError, BayesNet, Factor, SparseMode, VarId};
@@ -36,6 +38,13 @@ pub struct CompiledTree {
     kernels: PropagationKernels,
     /// The zero-compression policy the kernels were built with.
     mode: SparseMode,
+    /// Dependency mask: for each clique, the evidence variables whose
+    /// observations are entered *at* that clique (its home variables).
+    /// Evidence anywhere else reaches the clique only through messages, so
+    /// hashing these per clique and folding the hashes along the collect
+    /// schedule yields, per edge, a bit-exact key over every prior the
+    /// message can depend on.
+    home_vars: Vec<Vec<VarId>>,
 }
 
 // The whole point of the split: compiled trees are shareable across
@@ -46,6 +55,7 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<CompiledTree>();
     assert_send_sync::<PropagationState>();
+    assert_send_sync::<MessageCache>();
 };
 
 impl CompiledTree {
@@ -97,12 +107,18 @@ impl CompiledTree {
         validate_potentials(&tree, &potentials);
         let schedule = build_schedule(&tree);
         let kernels = PropagationKernels::build(&tree, &potentials, mode);
+        let mut home_vars: Vec<Vec<VarId>> = vec![Vec::new(); tree.num_cliques()];
+        for raw in 0..tree.num_vars() {
+            let var = VarId::from_index(raw);
+            home_vars[tree.home_clique(var)].push(var);
+        }
         CompiledTree {
             tree,
             init_clique_pot: potentials,
             schedule,
             kernels,
             mode,
+            home_vars,
         }
     }
 
@@ -157,6 +173,25 @@ impl CompiledTree {
         self.kernels.compressed_cliques()
     }
 
+    /// The dependency mask of clique `i`: the variables whose evidence is
+    /// entered at that clique. Evidence on any other variable influences
+    /// the clique only through sepset messages.
+    pub fn clique_dependencies(&self, i: usize) -> &[VarId] {
+        &self.home_vars[i]
+    }
+
+    /// A message cache sized for this tree, for use with
+    /// [`calibrate_with_cache`](CompiledTree::calibrate_with_cache). One
+    /// slot per edge (its memory is bounded by the tree's sepset totals),
+    /// shareable across threads and across [`PropagationState`]s.
+    pub fn new_message_cache(&self) -> MessageCache {
+        MessageCache {
+            slots: (0..self.tree.num_edges())
+                .map(|_| Mutex::new(None))
+                .collect(),
+        }
+    }
+
     /// A fresh mutable state for this tree. States are reusable: a second
     /// `calibrate` on the same state reuses its buffers instead of
     /// reallocating, which is what per-request pooling exploits.
@@ -171,6 +206,7 @@ impl CompiledTree {
             calibrated: false,
             max_mode: false,
             evidence_probability: 1.0,
+            mode: PropagationMode::default(),
         }
     }
 
@@ -232,6 +268,43 @@ impl CompiledTree {
             state,
             false,
         );
+    }
+
+    /// [`calibrate`](CompiledTree::calibrate) with a per-edge collect
+    /// message cache: each collect message is keyed by a bit-exact
+    /// (`f64::to_bits`) hash of all evidence reachable from the sender's
+    /// subtree, and on a key match ([`PropagationMode::Warm`] states only)
+    /// the cached message is copied in verbatim instead of re-marginalizing
+    /// the sender — bit-identical by construction, because the key covers
+    /// every input the skipped marginalization could read. The sepset
+    /// update and receiver multiply always run, so every clique potential
+    /// evolves exactly as in a cold calibration.
+    ///
+    /// [`PropagationMode::Cold`] states never *read* the cache but still
+    /// refresh it, so a cold run warms the cache for subsequent sweeps.
+    /// Sum-product only; [`max_calibrate`](CompiledTree::max_calibrate)
+    /// never consults a cache (max-product messages differ).
+    ///
+    /// Returns `(reused, recomputed)` collect-message counts.
+    pub fn calibrate_with_cache(
+        &self,
+        state: &mut PropagationState,
+        cache: &MessageCache,
+    ) -> (u64, u64) {
+        assert_eq!(
+            cache.slots.len(),
+            self.tree.num_edges(),
+            "message cache belongs to a different compiled tree"
+        );
+        calibrate_cached_impl(
+            &self.tree,
+            &self.kernels,
+            &self.init_clique_pot,
+            &self.schedule,
+            &self.home_vars,
+            state,
+            cache,
+        )
     }
 
     /// Max-product calibration of `state`; see
@@ -307,9 +380,11 @@ pub struct PropagationState {
     evidence: Vec<Option<usize>>,
     /// Soft evidence: per variable an optional likelihood vector.
     likelihood: Vec<Option<Vec<f64>>>,
-    /// Multi-variable soft evidence, multiplied into a containing clique
-    /// at calibration time.
-    soft_factors: Vec<Factor>,
+    /// Multi-variable soft evidence as `(host_clique, factor)`, multiplied
+    /// into the host at calibration time. The host is resolved once at
+    /// insertion (first containing clique) so the same scope always lands
+    /// in the same clique — message-cache keys depend on it.
+    soft_factors: Vec<(usize, Factor)>,
     /// Sepset-sized message buffer reused by every absorb, so calibration
     /// allocates nothing in steady state.
     scratch: Vec<f64>,
@@ -318,9 +393,59 @@ pub struct PropagationState {
     max_mode: bool,
     /// Probability of the inserted evidence, valid after calibration.
     evidence_probability: f64,
+    /// Whether [`CompiledTree::calibrate_with_cache`] may *read* cached
+    /// messages ([`Warm`](PropagationMode::Warm)) or only refresh them
+    /// ([`Cold`](PropagationMode::Cold), the default).
+    mode: PropagationMode,
+}
+
+/// Cache policy of a [`PropagationState`] under
+/// [`CompiledTree::calibrate_with_cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationMode {
+    /// Never read cached messages; recompute everything (and refresh the
+    /// cache with the results). The verification baseline.
+    #[default]
+    Cold,
+    /// Reuse cached collect messages whose dependency key matches
+    /// bit-exactly; recompute the rest.
+    Warm,
+}
+
+/// Per-edge collect-message cache for
+/// [`CompiledTree::calibrate_with_cache`]: one slot per junction-tree
+/// edge, holding the latest message and its dependency key. Slots are
+/// individually locked, so concurrent propagations over one shared
+/// compiled tree stay safe (and correct, since any hit is bit-identical
+/// to recomputation by construction).
+///
+/// Memory is bounded by the tree's sepset totals; the cache lives and dies
+/// with the compiled artifact that owns it, so model-cache eviction (e.g.
+/// the engine's LRU) reclaims it automatically.
+#[derive(Debug, Default)]
+pub struct MessageCache {
+    slots: Vec<Mutex<Option<CachedMessage>>>,
+}
+
+#[derive(Debug)]
+struct CachedMessage {
+    key: u128,
+    values: Vec<f64>,
 }
 
 impl PropagationState {
+    /// The cache policy [`CompiledTree::calibrate_with_cache`] applies to
+    /// this state.
+    pub fn mode(&self) -> PropagationMode {
+        self.mode
+    }
+
+    /// Sets the cache policy. Does not invalidate the calibration: the
+    /// mode changes *how* messages are obtained, never their values.
+    pub fn set_mode(&mut self, mode: PropagationMode) {
+        self.mode = mode;
+    }
+
     /// Removes all evidence (hard and soft) and invalidates the
     /// calibration, making the state ready for the next request.
     pub fn clear_evidence(&mut self) {
@@ -432,6 +557,7 @@ impl<'t> Propagator<'t> {
             calibrated: false,
             max_mode: false,
             evidence_probability: 1.0,
+            mode: PropagationMode::default(),
         };
         Propagator {
             tree,
@@ -666,30 +792,25 @@ fn insert_factor_impl(
     state: &mut PropagationState,
     factor: Factor,
 ) -> Result<(), BayesError> {
-    let contained = (0..tree.num_cliques()).any(|c| {
+    let host = (0..tree.num_cliques()).find(|&c| {
         factor
             .vars()
             .iter()
             .all(|v| tree.clique(c).binary_search(v).is_ok())
     });
-    if !contained {
+    let Some(host) = host else {
         return Err(BayesError::FactorOutsideClique {
             vars: factor.vars().iter().map(|v| v.index() as u32).collect(),
         });
-    }
-    state.soft_factors.push(factor);
+    };
+    state.soft_factors.push((host, factor));
     state.calibrated = false;
     Ok(())
 }
 
-fn calibrate_impl(
-    tree: &JunctionTree,
-    kernels: &PropagationKernels,
-    init_clique_pot: &[Factor],
-    schedule: &[(usize, usize, usize)],
-    state: &mut PropagationState,
-    max_mode: bool,
-) {
+/// Shared calibration prologue: reset working potentials to the initials
+/// and enter all recorded evidence, in a deterministic order.
+fn enter_evidence(tree: &JunctionTree, init_clique_pot: &[Factor], state: &mut PropagationState) {
     assert_eq!(
         state.evidence.len(),
         tree.num_vars(),
@@ -730,25 +851,13 @@ fn calibrate_impl(
             }
         }
     }
-    for factor in &state.soft_factors {
-        let clique = (0..tree.num_cliques())
-            .find(|&c| {
-                factor
-                    .vars()
-                    .iter()
-                    .all(|v| tree.clique(c).binary_search(v).is_ok())
-            })
-            .expect("scope containment checked at insertion");
-        state.clique_pot[clique].mul_assign_sub(factor);
+    for (host, factor) in &state.soft_factors {
+        state.clique_pot[*host].mul_assign_sub(factor);
     }
-    // Collect: leaves towards roots.
-    for &(from, edge, to) in schedule {
-        absorb(tree, kernels, state, from, edge, to, max_mode);
-    }
-    // Distribute: roots towards leaves.
-    for &(from, edge, to) in schedule.iter().rev() {
-        absorb(tree, kernels, state, to, edge, from, max_mode);
-    }
+}
+
+/// Shared calibration epilogue: evidence probability and flags.
+fn finish_calibration(tree: &JunctionTree, state: &mut PropagationState, max_mode: bool) {
     // Probability of evidence: product over components of clique mass.
     let mut p = 1.0;
     for &root in tree.roots() {
@@ -757,6 +866,132 @@ fn calibrate_impl(
     state.evidence_probability = p;
     state.calibrated = true;
     state.max_mode = max_mode;
+}
+
+fn calibrate_impl(
+    tree: &JunctionTree,
+    kernels: &PropagationKernels,
+    init_clique_pot: &[Factor],
+    schedule: &[(usize, usize, usize)],
+    state: &mut PropagationState,
+    max_mode: bool,
+) {
+    enter_evidence(tree, init_clique_pot, state);
+    // Collect: leaves towards roots.
+    for &(from, edge, to) in schedule {
+        absorb(tree, kernels, state, from, edge, to, max_mode);
+    }
+    // Distribute: roots towards leaves.
+    for &(from, edge, to) in schedule.iter().rev() {
+        absorb(tree, kernels, state, to, edge, from, max_mode);
+    }
+    finish_calibration(tree, state, max_mode);
+}
+
+/// 128-bit FNV-1a over little-endian bytes — the dependency-key hash.
+/// 128 bits keep accidental collisions (which would silently reuse a
+/// stale message) out of reach for any realistic sweep length.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+fn fnv_u64(mut h: u128, word: u64) -> u128 {
+    for byte in word.to_le_bytes() {
+        h ^= u128::from(byte);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+fn fnv_u128(h: u128, word: u128) -> u128 {
+    fnv_u64(fnv_u64(h, word as u64), (word >> 64) as u64)
+}
+
+/// Per-clique hash of the evidence entered *at* each clique: hard
+/// evidence and likelihoods of the clique's home variables plus soft
+/// factors hosted there, all keyed by `f64::to_bits` so equality means
+/// bit-identical inputs.
+fn clique_evidence_hashes(home_vars: &[Vec<VarId>], state: &PropagationState) -> Vec<u128> {
+    let mut hashes: Vec<u128> = home_vars
+        .iter()
+        .map(|vars| {
+            let mut h = FNV128_OFFSET;
+            for &var in vars {
+                if let Some(value) = state.evidence[var.index()] {
+                    h = fnv_u64(h, 1);
+                    h = fnv_u64(h, var.index() as u64);
+                    h = fnv_u64(h, value as u64);
+                }
+                if let Some(weights) = &state.likelihood[var.index()] {
+                    h = fnv_u64(h, 2);
+                    h = fnv_u64(h, var.index() as u64);
+                    for &w in weights {
+                        h = fnv_u64(h, w.to_bits());
+                    }
+                }
+            }
+            h
+        })
+        .collect();
+    for (host, factor) in &state.soft_factors {
+        let mut h = hashes[*host];
+        h = fnv_u64(h, 3);
+        for v in factor.vars() {
+            h = fnv_u64(h, v.index() as u64);
+        }
+        for &x in factor.values() {
+            h = fnv_u64(h, x.to_bits());
+        }
+        hashes[*host] = h;
+    }
+    hashes
+}
+
+fn calibrate_cached_impl(
+    tree: &JunctionTree,
+    kernels: &PropagationKernels,
+    init_clique_pot: &[Factor],
+    schedule: &[(usize, usize, usize)],
+    home_vars: &[Vec<VarId>],
+    state: &mut PropagationState,
+    cache: &MessageCache,
+) -> (u64, u64) {
+    enter_evidence(tree, init_clique_pot, state);
+    // Dependency keys, folded along the collect schedule: when edge
+    // (from → to) is processed, every child of `from` has already folded
+    // its subtree key into `acc[from]` (children precede parents), so
+    // `acc[from]` covers exactly the evidence the message depends on.
+    let mut acc = clique_evidence_hashes(home_vars, state);
+    let mut edge_key = vec![0u128; tree.num_edges()];
+    for &(from, edge, to) in schedule {
+        edge_key[edge] = acc[from];
+        acc[to] = fnv_u128(acc[to], edge_key[edge]);
+    }
+    // Collect, reusing cached messages where the key matches.
+    let mut reused = 0u64;
+    let mut recomputed = 0u64;
+    for &(from, edge, to) in schedule {
+        if absorb_cached(
+            tree,
+            kernels,
+            state,
+            (from, edge, to),
+            edge_key[edge],
+            cache,
+        ) {
+            reused += 1;
+        } else {
+            recomputed += 1;
+        }
+    }
+    // Distribute: a parent-to-child message depends on evidence in the
+    // *whole* tree minus the child's subtree — in a sweep that always
+    // includes the perturbed prior, so caching it could never hit.
+    // Whole-tree reuse is the segment memoization layer's job.
+    for &(from, edge, to) in schedule.iter().rev() {
+        absorb(tree, kernels, state, to, edge, from, false);
+    }
+    finish_calibration(tree, state, false);
+    (reused, recomputed)
 }
 
 /// One HUGIN absorption: `to` absorbs from `from` across `edge`, entirely
@@ -780,22 +1015,101 @@ fn absorb(
     };
     let sep_len = state.sep_pot[edge].len();
     state.scratch.resize(sep_len, 0.0);
-    let scratch = &mut state.scratch[..sep_len];
     // (1) New sepset potential: marginalize the sender into scratch.
     sparse::marginalize_into(
         state.clique_pot[from].values(),
         kernels.support[from].as_deref(),
         proj_from,
-        scratch,
+        &mut state.scratch[..sep_len],
         max_mode,
     );
-    // (2) Store it, turning scratch into the update ratio new/old with the
-    // HUGIN convention 0/0 = 0 (nonzero/0 would mean the sender gained
-    // mass the old sepset never saw — a propagation-order bug).
+    commit_message(kernels, state, edge, to, proj_to);
+}
+
+/// [`absorb`] with a per-edge message cache (sum-product only): on a
+/// dependency-key match ([`PropagationMode::Warm`] states) the cached
+/// message is copied into scratch instead of re-marginalizing the sender;
+/// otherwise the message is computed and the slot refreshed. The sepset
+/// store and receiver multiply run either way, keeping the state's
+/// evolution bit-identical to [`absorb`]. Returns whether the message was
+/// reused.
+fn absorb_cached(
+    tree: &JunctionTree,
+    kernels: &PropagationKernels,
+    state: &mut PropagationState,
+    (from, edge, to): (usize, usize, usize),
+    key: u128,
+    cache: &MessageCache,
+) -> bool {
+    let e = tree.edge(edge);
+    let proj = &kernels.edge_proj[edge];
+    let (proj_from, proj_to) = if from == e.a {
+        (&proj.a, &proj.b)
+    } else {
+        (&proj.b, &proj.a)
+    };
+    let sep_len = state.sep_pot[edge].len();
+    state.scratch.resize(sep_len, 0.0);
+    // Cached-message lock poison recovery: slots hold plain owned data
+    // that is consistent after any panic (key and values are written
+    // together under the lock), so the entry stays usable.
+    let mut reused = false;
+    if state.mode == PropagationMode::Warm {
+        let slot = cache.slots[edge]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(cached) = slot.as_ref().filter(|c| c.key == key) {
+            state.scratch[..sep_len].copy_from_slice(&cached.values);
+            reused = true;
+        }
+    }
+    if !reused {
+        sparse::marginalize_into(
+            state.clique_pot[from].values(),
+            kernels.support[from].as_deref(),
+            proj_from,
+            &mut state.scratch[..sep_len],
+            false,
+        );
+        let mut slot = cache.slots[edge]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match &mut *slot {
+            Some(cached) => {
+                cached.key = key;
+                cached.values.clear();
+                cached.values.extend_from_slice(&state.scratch[..sep_len]);
+            }
+            None => {
+                *slot = Some(CachedMessage {
+                    key,
+                    values: state.scratch[..sep_len].to_vec(),
+                });
+            }
+        }
+    }
+    commit_message(kernels, state, edge, to, proj_to);
+    reused
+}
+
+/// Steps (2) and (3) of an absorption, shared by the cold and cached
+/// paths: store the new sepset potential (turning scratch into the
+/// update ratio) and multiply the update into the receiver.
+fn commit_message(
+    kernels: &PropagationKernels,
+    state: &mut PropagationState,
+    edge: usize,
+    to: usize,
+    proj_to: &[u32],
+) {
+    let sep_len = state.sep_pot[edge].len();
+    // (2) Store the message, turning scratch into the update ratio new/old
+    // with the HUGIN convention 0/0 = 0 (nonzero/0 would mean the sender
+    // gained mass the old sepset never saw — a propagation-order bug).
     for (slot, msg) in state.sep_pot[edge]
         .values_mut()
         .iter_mut()
-        .zip(scratch.iter_mut())
+        .zip(state.scratch[..sep_len].iter_mut())
     {
         let old = *slot;
         let new = *msg;
@@ -812,7 +1126,7 @@ fn absorb(
         state.clique_pot[to].values_mut(),
         kernels.support[to].as_deref(),
         proj_to,
-        scratch,
+        &state.scratch[..sep_len],
     );
 }
 
@@ -1574,6 +1888,157 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cached_calibration_is_bit_identical_and_reuses_clean_messages() {
+        let (net, [cloudy, _, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        let cache = compiled.new_message_cache();
+
+        // Cold pass populates the cache without reading it.
+        let mut warm = compiled.new_state();
+        assert_eq!(warm.mode(), PropagationMode::Cold);
+        compiled
+            .set_likelihood(&mut warm, rain, vec![0.3, 0.7])
+            .unwrap();
+        let (reused, recomputed) = compiled.calibrate_with_cache(&mut warm, &cache);
+        assert_eq!(reused, 0);
+        assert_eq!(recomputed, compiled.message_schedule().len() as u64);
+
+        // Identical evidence, warm mode: every collect message reused, and
+        // every read is bit-identical to an uncached calibration.
+        warm.set_mode(PropagationMode::Warm);
+        warm.clear_evidence();
+        compiled
+            .set_likelihood(&mut warm, rain, vec![0.3, 0.7])
+            .unwrap();
+        let (reused, recomputed) = compiled.calibrate_with_cache(&mut warm, &cache);
+        assert_eq!(reused, compiled.message_schedule().len() as u64);
+        assert_eq!(recomputed, 0);
+        let mut cold = compiled.new_state();
+        compiled
+            .set_likelihood(&mut cold, rain, vec![0.3, 0.7])
+            .unwrap();
+        compiled.calibrate(&mut cold);
+        for var in [cloudy, rain, wet] {
+            let a = compiled.marginal(&warm, var);
+            let b = compiled.marginal(&cold, var);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(
+            warm.evidence_probability().to_bits(),
+            cold.evidence_probability().to_bits()
+        );
+
+        // Perturbed evidence in *both* cliques (cloudy and wet never share
+        // one): whichever clique is the collect child is now dirty, so at
+        // least one message recomputes; results stay bit-identical to cold.
+        warm.clear_evidence();
+        compiled
+            .set_likelihood(&mut warm, cloudy, vec![0.4, 0.6])
+            .unwrap();
+        compiled
+            .set_likelihood(&mut warm, wet, vec![0.9, 0.1])
+            .unwrap();
+        let (_, recomputed) = compiled.calibrate_with_cache(&mut warm, &cache);
+        assert!(recomputed > 0, "dirty subtree must recompute");
+        let mut cold2 = compiled.new_state();
+        compiled
+            .set_likelihood(&mut cold2, cloudy, vec![0.4, 0.6])
+            .unwrap();
+        compiled
+            .set_likelihood(&mut cold2, wet, vec![0.9, 0.1])
+            .unwrap();
+        compiled.calibrate(&mut cold2);
+        for var in [cloudy, rain, wet] {
+            assert_eq!(
+                compiled.marginal(&warm, var),
+                compiled.marginal(&cold2, var)
+            );
+        }
+    }
+
+    #[test]
+    fn cached_calibration_distinguishes_evidence_kinds() {
+        // Hard evidence wet=1 and likelihood [0,1] on wet give the same
+        // posterior but must not share cache keys with *different*
+        // evidence; and a state carrying no evidence must not reuse
+        // messages computed under evidence.
+        let (net, [cloudy, .., wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        let cache = compiled.new_message_cache();
+
+        let mut state = compiled.new_state();
+        state.set_mode(PropagationMode::Warm);
+        compiled.set_evidence(&mut state, wet, 1).unwrap();
+        compiled.calibrate_with_cache(&mut state, &cache);
+        let with_evidence = compiled.marginal(&state, cloudy);
+
+        state.clear_evidence();
+        let (reused, _) = compiled.calibrate_with_cache(&mut state, &cache);
+        assert_eq!(reused, 0, "no-evidence run must miss evidence-keyed slots");
+        let without = compiled.marginal(&state, cloudy);
+        assert_ne!(with_evidence, without);
+
+        let mut cold = compiled.new_state();
+        compiled.calibrate(&mut cold);
+        assert_eq!(without, compiled.marginal(&cold, cloudy));
+    }
+
+    #[test]
+    fn dependency_mask_covers_every_variable_once() {
+        let (net, _) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        let mut seen = vec![0usize; compiled.tree().num_vars()];
+        for c in 0..compiled.tree().num_cliques() {
+            for &var in compiled.clique_dependencies(c) {
+                assert_eq!(compiled.tree().home_clique(var), c);
+                seen[var.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "each var has one home");
+    }
+
+    #[test]
+    fn message_cache_is_safe_under_concurrent_mixed_scenarios() {
+        // Two threads sweep different likelihoods through one shared
+        // cache; every result must equal its cold reference bit-for-bit
+        // even while the slots churn.
+        let (net, [_, _, rain, wet]) = sprinkler();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        let cache = compiled.new_message_cache();
+        std::thread::scope(|scope| {
+            for t in 0..2 {
+                let compiled = &compiled;
+                let cache = &cache;
+                scope.spawn(move || {
+                    let mut state = compiled.new_state();
+                    state.set_mode(PropagationMode::Warm);
+                    for k in 0..8 {
+                        let p = 0.1 + 0.1 * (t as f64) + 0.05 * (k as f64);
+                        state.clear_evidence();
+                        compiled
+                            .set_likelihood(&mut state, rain, vec![p, 1.0 - p])
+                            .unwrap();
+                        compiled.calibrate_with_cache(&mut state, cache);
+                        let got = compiled.marginal(&state, wet);
+                        let mut cold = compiled.new_state();
+                        compiled
+                            .set_likelihood(&mut cold, rain, vec![p, 1.0 - p])
+                            .unwrap();
+                        compiled.calibrate(&mut cold);
+                        assert_eq!(got, compiled.marginal(&cold, wet));
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Cold-vs-incremental sweep summary: times a single-input sweep over one
+//! precompiled estimator with incremental reuse off and on, verifies the
+//! two modes bit-identical, and writes `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run -p swact-bench --release --bin sweep_report [scenarios]
+//! ```
+
+use swact_bench::{sweep_throughput, sweep_throughput_json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scenarios: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    let names = ["c17", "c432", "c880", "alu2"];
+
+    println!("cold vs incremental single-input sweep — {scenarios} scenarios per circuit");
+    println!(
+        "{:<8} {:>5} {:>6} {:>12} {:>12} {:>9} {:>8} {:>10}",
+        "circuit", "BNs", "input", "cold (ms)", "incr (ms)", "speedup", "reuse%", "memo-skips"
+    );
+    let rows = sweep_throughput(&names, scenarios);
+    for row in &rows {
+        println!(
+            "{:<8} {:>5} {:>6} {:>12.3} {:>12.3} {:>8.2}x {:>7.1}% {:>10}",
+            row.circuit,
+            row.segments,
+            row.swept_input,
+            row.cold_s * 1e3,
+            row.incremental_s * 1e3,
+            row.speedup,
+            row.reuse_ratio * 100.0,
+            row.segments_skipped
+        );
+    }
+
+    let json = sweep_throughput_json(&rows);
+    let path = "BENCH_sweep.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}

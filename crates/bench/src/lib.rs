@@ -295,7 +295,11 @@ pub fn batch_throughput(
     let options = Options::default();
     let mut rows: Vec<BatchThroughputRow> = Vec::new();
     for &jobs in jobs_list {
-        let engine = swact_engine::Engine::with_jobs(jobs);
+        // Forced: this bench measures scheduler behavior at *exactly* the
+        // requested worker count, including deliberate oversubscription
+        // (the default engine clamps to available CPUs precisely because
+        // of what this bench recorded).
+        let engine = swact_engine::Engine::with_jobs_forced(jobs);
         // Warm-up: compile into this engine's cache (untimed).
         let warm = engine
             .estimate_batch(circuit, &specs[..1], &options)
@@ -430,6 +434,226 @@ pub fn sparse_throughput_json(rows: &[SparseThroughputRow], reps: usize) -> Stri
     out
 }
 
+/// One circuit's cold-vs-incremental sweep measurement: a single-input
+/// sweep re-propagated over one compiled estimator, once with incremental
+/// reuse disabled and once enabled.
+#[derive(Debug, Clone)]
+pub struct SweepThroughputRow {
+    /// Benchmark name.
+    pub circuit: String,
+    /// Segments (Bayesian networks) the circuit compiled into.
+    pub segments: usize,
+    /// The primary input the sweep perturbs (chosen by
+    /// [`best_sweep_input`]: the input whose dirty cone touches the
+    /// fewest segments).
+    pub swept_input: usize,
+    /// Scenarios in the sweep.
+    pub scenarios: usize,
+    /// Propagate-only wall clock with `incremental: false`, seconds.
+    pub cold_s: f64,
+    /// Propagate-only wall clock with `incremental: true` (caches warmed
+    /// by one untimed pass), seconds.
+    pub incremental_s: f64,
+    /// `cold_s / incremental_s`.
+    pub speedup: f64,
+    /// Collect messages served from the per-edge cache across the sweep.
+    pub messages_reused: u64,
+    /// Collect messages recomputed across the sweep.
+    pub messages_recomputed: u64,
+    /// Whole segments served from the posterior memo across the sweep.
+    pub segments_skipped: u64,
+    /// `messages_reused / (messages_reused + messages_recomputed)`.
+    pub reuse_ratio: f64,
+}
+
+/// Sweep specs that perturb only input `input`: every other input stays at
+/// p1 = 0.5 while the swept input's p1 moves linearly over [0.05, 0.95] —
+/// the paper's sensitivity-sweep workload, and the best case for
+/// incremental re-propagation (everything outside the swept input's fanout
+/// cone is provably unchanged).
+pub fn single_input_sweep_specs(
+    circuit: &Circuit,
+    input: usize,
+    scenarios: usize,
+) -> Vec<InputSpec> {
+    (0..scenarios)
+        .map(|k| {
+            let t = if scenarios > 1 {
+                k as f64 / (scenarios - 1) as f64
+            } else {
+                0.5
+            };
+            let mut p1s = vec![0.5; circuit.num_inputs()];
+            p1s[input] = 0.05 + 0.9 * t;
+            InputSpec::independent(p1s)
+        })
+        .collect()
+}
+
+/// Picks the sweep input whose perturbation dirties the fewest segments:
+/// each input is probed with a two-scenario perturbation against a
+/// compiled estimator and the one with the most memo-skipped segments
+/// wins (lowest index on ties — including the all-zero single-segment
+/// case). Incremental reuse is topology-dependent: an input feeding the
+/// root segment dirties every downstream boundary, while one entering a
+/// late segment leaves the rest of the circuit provably unchanged, so a
+/// sweep benchmark must say which case it measures.
+pub fn best_sweep_input(circuit: &Circuit) -> usize {
+    let compiled =
+        CompiledEstimator::compile(circuit, &Options::default()).expect("benchmark compiles");
+    let n = circuit.num_inputs();
+    let mut best = (0usize, 0u64);
+    for input in 0..n {
+        let mut p1s = vec![0.5; n];
+        p1s[input] = 0.3;
+        compiled
+            .estimate(&InputSpec::independent(p1s.clone()))
+            .expect("estimates");
+        p1s[input] = 0.7;
+        let est = compiled
+            .estimate(&InputSpec::independent(p1s))
+            .expect("estimates");
+        let skips = est.reuse_stats().segments_skipped;
+        if skips > best.1 {
+            best = (input, skips);
+        }
+    }
+    best.0
+}
+
+/// Times a single-input sweep over one precompiled estimator, cold
+/// (`incremental: false`) vs incremental, and asserts the two modes'
+/// posteriors bit-identical per scenario. The swept input is chosen per
+/// circuit by [`best_sweep_input`] (smallest dirty cone — the use case
+/// incremental re-propagation targets; the chosen index is reported in
+/// the row). Compilation is untimed; one untimed warm-up pass precedes
+/// each timed loop so the incremental run starts with populated caches
+/// (the steady-state sweep regime) and the cold run has a warmed
+/// allocator.
+///
+/// # Panics
+///
+/// Panics if any name is unknown, a circuit fails to compile, or the two
+/// modes disagree on any bit of any posterior.
+pub fn sweep_throughput(names: &[&str], scenarios: usize) -> Vec<SweepThroughputRow> {
+    names
+        .iter()
+        .map(|&name| {
+            let circuit = catalog::benchmark(name).expect("known benchmark");
+            let swept_input = best_sweep_input(&circuit);
+            let specs = single_input_sweep_specs(&circuit, swept_input, scenarios);
+            let run_mode = |incremental: bool| {
+                let options = Options {
+                    incremental,
+                    ..Options::default()
+                };
+                let compiled =
+                    CompiledEstimator::compile(&circuit, &options).expect("benchmark compiles");
+                for spec in &specs {
+                    // Untimed pass: warms allocator (both modes) and the
+                    // message caches / posterior memos (incremental mode).
+                    compiled.estimate(spec).expect("estimates");
+                }
+                let start = Instant::now();
+                let mut estimates = Vec::with_capacity(specs.len());
+                for spec in &specs {
+                    estimates.push(compiled.estimate(spec).expect("estimates"));
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                (elapsed, estimates, compiled)
+            };
+            let (cold_s, cold_estimates, _) = run_mode(false);
+            let (incremental_s, warm_estimates, compiled) = run_mode(true);
+            let mut messages_reused = 0u64;
+            let mut messages_recomputed = 0u64;
+            let mut segments_skipped = 0u64;
+            for (cold, warm) in cold_estimates.iter().zip(&warm_estimates) {
+                for (x, y) in cold.switching_all().iter().zip(warm.switching_all().iter()) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "incremental sweep diverged from cold on {name}"
+                    );
+                }
+                let reuse = warm.reuse_stats();
+                messages_reused += reuse.messages_reused;
+                messages_recomputed += reuse.messages_recomputed;
+                segments_skipped += reuse.segments_skipped;
+            }
+            let message_total = messages_reused + messages_recomputed;
+            SweepThroughputRow {
+                circuit: name.to_string(),
+                segments: compiled.num_segments(),
+                swept_input,
+                scenarios,
+                cold_s,
+                incremental_s,
+                speedup: if incremental_s > 0.0 {
+                    cold_s / incremental_s
+                } else {
+                    1.0
+                },
+                messages_reused,
+                messages_recomputed,
+                segments_skipped,
+                reuse_ratio: if message_total > 0 {
+                    messages_reused as f64 / message_total as f64
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders sweep rows as a JSON document with host metadata (hand-rolled:
+/// the workspace deliberately has no serde dependency).
+pub fn sweep_throughput_json(rows: &[SweepThroughputRow]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(
+        out,
+        "  \"scenarios\": {},",
+        rows.first().map_or(0, |r| r.scenarios)
+    );
+    let _ = writeln!(
+        out,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let _ = writeln!(out, "  \"host_os\": \"{}\",", std::env::consts::OS);
+    let _ = writeln!(out, "  \"host_arch\": \"{}\",", std::env::consts::ARCH);
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let per_cold = row.cold_s / row.scenarios.max(1) as f64;
+        let per_warm = row.incremental_s / row.scenarios.max(1) as f64;
+        let _ = write!(
+            out,
+            "    {{\"circuit\": \"{}\", \"segments\": {}, \"swept_input\": {}, \
+             \"cold_s\": {:.6}, \
+             \"incremental_s\": {:.6}, \"cold_per_scenario_s\": {:.8}, \
+             \"incremental_per_scenario_s\": {:.8}, \"speedup\": {:.3}, \
+             \"messages_reused\": {}, \"messages_recomputed\": {}, \
+             \"segments_skipped\": {}, \"reuse_ratio\": {:.4}}}",
+            row.circuit,
+            row.segments,
+            row.swept_input,
+            row.cold_s,
+            row.incremental_s,
+            per_cold,
+            per_warm,
+            row.speedup,
+            row.messages_reused,
+            row.messages_recomputed,
+            row.segments_skipped,
+            row.reuse_ratio
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Renders throughput rows as a JSON document (hand-rolled: the workspace
 /// deliberately has no serde dependency).
 pub fn batch_throughput_json(circuit_name: &str, rows: &[BatchThroughputRow]) -> String {
@@ -536,6 +760,44 @@ mod tests {
         assert_eq!(json.matches("cache_hit").count(), 2);
         assert_eq!(json.matches("propagate_s").count(), 2);
         assert_eq!(json.matches("forward_s").count(), 2);
+    }
+
+    #[test]
+    fn sweep_throughput_rows_and_json() {
+        let rows = sweep_throughput(&["c17"], 4);
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.scenarios, 4);
+        assert!(row.segments >= 1);
+        assert!(row.cold_s > 0.0 && row.incremental_s > 0.0);
+        // The steady-state incremental sweep must reuse messages and/or
+        // skip segments — a sweep with zero reuse means the cache is dead.
+        assert!(
+            row.messages_reused + row.segments_skipped > 0,
+            "incremental sweep reused nothing: {row:?}"
+        );
+        let json = sweep_throughput_json(&rows);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"circuit\": \"c17\""));
+        assert!(json.contains("\"cold_per_scenario_s\""));
+        assert!(json.contains("\"reuse_ratio\""));
+        assert!(json.contains("\"segments_skipped\""));
+    }
+
+    #[test]
+    fn single_input_sweep_perturbs_one_input() {
+        let circuit = catalog::benchmark("c17").expect("known benchmark");
+        let specs = single_input_sweep_specs(&circuit, 2, 5);
+        assert_eq!(specs.len(), 5);
+        for spec in &specs {
+            for (i, model) in spec.models().iter().enumerate() {
+                if i != 2 {
+                    assert_eq!(model.p1(), 0.5);
+                }
+            }
+        }
+        assert!((specs[0].models()[2].p1() - 0.05).abs() < 1e-12);
+        assert!((specs[4].models()[2].p1() - 0.95).abs() < 1e-12);
     }
 
     #[test]

@@ -89,9 +89,15 @@ ESTIMATE OPTIONS:
   --csv            emit per-line results as CSV instead of a table
 
 BATCH OPTIONS:
-  --jobs <N>       worker threads (default: all CPUs); results are identical
-                   for every N — the circuit compiles once and all scenarios
-                   propagate over the shared junction trees
+  --jobs <N>       worker threads (default: all CPUs, never more than the
+                   host offers); results are identical for every N — the
+                   circuit compiles once and all scenarios propagate over
+                   the shared junction trees
+  --jobs-force <N> exact worker count, bypassing the available-CPU clamp
+                   (benchmarking aid; oversubscription only slows batches)
+  --no-incremental disable cross-scenario reuse (per-edge message cache and
+                   segment posterior memo); results are bit-identical with
+                   or without it — this only measures the cold baseline
   --sweep <N>      estimate N scenarios with p1 swept over [0.05, 0.95]
                    (default 8; ignored when --spec is given)
   --spec <FILE>    read scenarios from FILE: one scenario per line, either a
@@ -414,12 +420,14 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
 struct BatchArgs {
     path: String,
     jobs: Option<usize>,
+    jobs_force: Option<usize>,
     sweep: usize,
     spec_file: Option<String>,
     budget: usize,
     budget_states: Option<f64>,
     deadline_ms: Option<u64>,
     no_fallback: bool,
+    no_incremental: bool,
     sparse: SparseMode,
     backend: Backend,
     csv: bool,
@@ -430,12 +438,14 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
     let mut parsed = BatchArgs {
         path: String::new(),
         jobs: None,
+        jobs_force: None,
         sweep: 8,
         spec_file: None,
         budget: 1 << 17,
         budget_states: None,
         deadline_ms: None,
         no_fallback: false,
+        no_incremental: false,
         sparse: SparseMode::Auto,
         backend: Backend::Jtree,
         csv: false,
@@ -444,8 +454,8 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
-            flag @ ("--jobs" | "--sweep" | "--budget" | "--budget-states" | "--deadline-ms"
-            | "--spec" | "--sparse" | "--backend") => {
+            flag @ ("--jobs" | "--jobs-force" | "--sweep" | "--budget" | "--budget-states"
+            | "--deadline-ms" | "--spec" | "--sparse" | "--backend") => {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
@@ -456,6 +466,11 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
                                 .parse()
                                 .map_err(|_| usage_error(format!("bad --jobs value `{value}`")))?,
                         )
+                    }
+                    "--jobs-force" => {
+                        parsed.jobs_force = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --jobs-force value `{value}`"))
+                        })?)
                     }
                     "--sweep" => {
                         parsed.sweep = value
@@ -485,6 +500,10 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
             }
             "--no-fallback" => {
                 parsed.no_fallback = true;
+                i += 1;
+            }
+            "--no-incremental" => {
+                parsed.no_incremental = true;
                 i += 1;
             }
             "--csv" => {
@@ -579,9 +598,10 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
         }
         None => sweep_specs(args.sweep, circuit.num_inputs()),
     };
-    let engine = match args.jobs {
-        Some(jobs) => Engine::with_jobs(jobs),
-        None => Engine::new(),
+    let engine = match (args.jobs_force, args.jobs) {
+        (Some(jobs), _) => Engine::with_jobs_forced(jobs),
+        (None, Some(jobs)) => Engine::with_jobs(jobs),
+        (None, None) => Engine::new(),
     };
     let options = Options {
         segment_budget: args.budget,
@@ -589,6 +609,7 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
         backend: args.backend,
         budget: resource_budget(args.budget_states, args.deadline_ms),
         no_fallback: args.no_fallback,
+        incremental: !args.no_incremental,
         ..Options::default()
     };
     let report = engine
@@ -691,6 +712,14 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
             metrics.degraded_segments,
             metrics.jobs_panicked,
             metrics.retries
+        );
+        let _ = writeln!(
+            out,
+            "reuse: {} message(s) cached / {} recomputed ({:.1}% reuse); {} segment(s) memo-skipped",
+            metrics.messages_reused,
+            metrics.messages_recomputed,
+            100.0 * metrics.message_reuse_ratio(),
+            metrics.segments_skipped
         );
         let stages = report.stages;
         let _ = writeln!(
@@ -1077,6 +1106,40 @@ mod tests {
         assert!(out.contains("requests 3 (0 failed)"));
         assert!(out.contains("stages: plan"));
         assert!(out.contains("forward"));
+        assert!(out.contains("reuse:"));
+        assert!(out.contains("memo-skipped"));
+    }
+
+    #[test]
+    fn batch_jobs_force_and_no_incremental_flags() {
+        // Forced oversubscription still produces the same deterministic
+        // body as the default engine.
+        let forced = run_strs(&["batch", "c17", "--jobs-force", "3", "--sweep", "4"]).unwrap();
+        let plain = run_strs(&["batch", "c17", "--sweep", "4"]).unwrap();
+        assert_eq!(forced, plain);
+
+        // Cold (non-incremental) runs are bit-identical to warm ones.
+        let cold =
+            run_strs(&["batch", "c17", "--sweep", "4", "--no-incremental", "--csv"]).unwrap();
+        let warm = run_strs(&["batch", "c17", "--sweep", "4", "--csv"]).unwrap();
+        assert_eq!(cold, warm);
+
+        // A cold run reports no reuse.
+        let stats = run_strs(&[
+            "batch",
+            "c17",
+            "--sweep",
+            "3",
+            "--no-incremental",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(stats.contains("reuse: 0 message(s) cached"));
+        assert!(stats.contains("0 segment(s) memo-skipped"));
+
+        let err = run_strs(&["batch", "c17", "--jobs-force", "many"]).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("bad --jobs-force value"));
     }
 
     #[test]

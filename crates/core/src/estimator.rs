@@ -69,6 +69,13 @@ pub struct Options {
     /// [`EstimateError::BudgetExceeded`] instead of replanning or falling
     /// back to the `twostate` backend for the offending segment.
     pub no_fallback: bool,
+    /// Reuse work across successive `estimate` calls on one compiled
+    /// estimator: collect messages whose source subtree saw no evidence
+    /// change are served from a per-edge cache, and whole segments whose
+    /// root statistics are unchanged are served from a memoized posterior.
+    /// Results are bit-identical (`f64::to_bits`) to cold propagation by
+    /// construction; disable only to measure the cold baseline.
+    pub incremental: bool,
 }
 
 impl Default for Options {
@@ -84,6 +91,7 @@ impl Default for Options {
             backend: Backend::Jtree,
             budget: Budget::UNLIMITED,
             no_fallback: false,
+            incremental: true,
         }
     }
 }

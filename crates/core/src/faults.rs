@@ -11,9 +11,10 @@
 //! by wall clock, thread identity, or randomness — and every planned
 //! fault fires **exactly once** (one-shot consumption), so a faulted run
 //! is reproducible and scenarios the plan does not name are untouched.
-//! [`arm`] also takes a process-wide serialization lock, released when the
-//! returned [`FaultGuard`] drops, so concurrent tests cannot observe each
-//! other's faults.
+//! `arm` also takes a process-wide serialization lock, released when the
+//! returned `FaultGuard` drops, so concurrent tests cannot observe each
+//! other's faults (both items exist only with the feature on, hence the
+//! plain code spans).
 //!
 //! Named points currently wired:
 //!

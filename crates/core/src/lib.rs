@@ -67,7 +67,7 @@ pub use input::{most_likely, InputGroup, InputModel, InputSpec, PairwiseJoint};
 pub use lidag::{gate_cpt, gate_family, Lidag};
 pub use pipeline::{Backend, SegmentTimings, StageTimings};
 pub use power::{PowerModel, PowerReport};
-pub use report::{ErrorStats, Estimate};
+pub use report::{ErrorStats, Estimate, ReuseStats};
 pub use segment::{RootSource, Segment, SegmentationPlan};
 pub use swact_bayesnet::SparseMode;
 pub use transition::{Transition, TransitionDist};

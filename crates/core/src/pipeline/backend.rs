@@ -163,7 +163,10 @@ impl<'a> RootDists<'a> {
 
 /// Everything one segment's propagation produces, merged into the global
 /// state after the segment (or its whole wave) finishes.
-#[derive(Debug, Default)]
+///
+/// `Clone` so the pipeline's boundary-marginal memoization can serve a
+/// stored posterior verbatim when a segment's inputs are unchanged.
+#[derive(Debug, Default, Clone)]
 pub struct SegmentPosterior {
     /// Posterior transition distribution per gate line of the segment.
     pub(crate) gate_dists: Vec<(LineId, TransitionDist)>,
@@ -171,6 +174,11 @@ pub struct SegmentPosterior {
     pub(crate) exports: Vec<(usize, [f64; 16])>,
     /// `(request index, 4×4 joint)` answers to in-segment joint requests.
     pub(crate) joints: Vec<(usize, [[f64; 4]; 4])>,
+    /// Collect messages served from the backend's message cache.
+    pub(crate) messages_reused: u64,
+    /// Collect messages recomputed (zero when the whole segment was
+    /// served from the posterior memo).
+    pub(crate) messages_recomputed: u64,
 }
 
 impl SegmentPosterior {
@@ -225,6 +233,18 @@ pub trait InferenceBackend: Send + Sync {
         segment: &CompiledSegment,
         roots: &RootDists<'_>,
     ) -> Result<SegmentPosterior, EstimateError>;
+
+    /// A bit-exact (`f64::to_bits`) fingerprint of everything `propagate`
+    /// would read from `roots` for this segment: solo-root priors,
+    /// input-pair conditionals, forwarded boundary conditionals, and the
+    /// joint requests routed here. Two calls with equal signatures are
+    /// guaranteed to produce bit-identical posteriors, so the pipeline may
+    /// serve a memoized [`SegmentPosterior`] instead of re-propagating.
+    /// `None` (the default) disables memoization for this backend.
+    fn root_signature(&self, segment: &CompiledSegment, roots: &RootDists<'_>) -> Option<u128> {
+        let _ = (segment, roots);
+        None
+    }
 
     /// Structural distance between two lines inside a compiled segment,
     /// used to pick boundary-correlation parents; `None` disables

@@ -4,7 +4,8 @@
 use std::sync::Mutex;
 
 use swact_bayesnet::{
-    initial_potentials, CompiledTree, Factor, JunctionTree, PropagationState, VarId,
+    initial_potentials, CompiledTree, Factor, JunctionTree, MessageCache, PropagationMode,
+    PropagationState, VarId,
 };
 use swact_circuit::LineId;
 
@@ -14,7 +15,7 @@ use crate::pipeline::backend::{
 };
 use crate::pipeline::model::{InputPair, PairRoot, SegmentModel};
 use crate::segment::RootSource;
-use crate::{EstimateError, TransitionDist};
+use crate::{EstimateError, InputSpec, TransitionDist};
 
 /// Exact junction-tree propagation over the 4-state LIDAG. Supports input
 /// groups, explicit pairwise joints, and boundary-correlation forwarding —
@@ -35,10 +36,45 @@ pub(crate) struct JtreeSegment {
     /// steady-state estimation allocates no fresh potentials — the piece
     /// that makes concurrent batch estimation over one compile cheap.
     states: Mutex<Vec<PropagationState>>,
+    /// Shared per-edge collect-message cache: concurrent and consecutive
+    /// propagations over this compile reuse messages whose evidence
+    /// dependencies are bit-identical. Lives (and is evicted) with the
+    /// compiled artifact.
+    msg_cache: MessageCache,
+    /// Whether propagations may *read* the message cache (baked in from
+    /// [`Options::incremental`] at compile time, since `propagate` has no
+    /// options parameter).
+    incremental: bool,
     solo_roots: Vec<(LineId, VarId, RootSource)>,
     pair_roots: Vec<PairRoot>,
     input_pairs: Vec<InputPair>,
     gates: Vec<(LineId, VarId)>,
+}
+
+/// The 4×4 conditional rows `P(child | parent)` a grouped or explicitly
+/// paired primary-input pair injects — shared by `propagate` (which
+/// multiplies them in) and `root_signature` (which hashes them).
+fn input_pair_rows(spec: &InputSpec, pair: &InputPair) -> [[f64; 4]; 4] {
+    match pair.group {
+        Some(group) => {
+            let joint = spec.groups()[group]
+                .member_pair_joint(spec.model(pair.parent_pos), spec.model(pair.child_pos));
+            let mut rows = [[0.25f64; 4]; 4];
+            for (a, row) in joint.iter().enumerate() {
+                let mass: f64 = row.iter().sum();
+                if mass > 0.0 {
+                    for (b, &p) in row.iter().enumerate() {
+                        rows[a][b] = p / mass;
+                    }
+                }
+            }
+            rows
+        }
+        None => spec
+            .pair_conditioning(pair.child_pos)
+            .expect("signature guarantees the pair exists")
+            .conditional_rows(),
+    }
 }
 
 impl InferenceBackend for JtreeBackend {
@@ -82,10 +118,13 @@ impl InferenceBackend for JtreeBackend {
             state_space: compiled.state_space(),
             compressed_cliques: compiled.compressed_cliques(),
         };
+        let msg_cache = compiled.new_message_cache();
         Ok(CompiledSegment::new(
             Box::new(JtreeSegment {
                 compiled,
                 states: Mutex::new(Vec::new()),
+                msg_cache,
+                incremental: options.incremental,
                 solo_roots: model.solo_roots.clone(),
                 pair_roots: model.pair_roots.clone(),
                 input_pairs: model.input_pairs.clone(),
@@ -134,26 +173,7 @@ impl InferenceBackend for JtreeBackend {
         // closed-form pair joint of the group model; explicitly paired
         // inputs take their conditional from the spec.
         for pair in &art.input_pairs {
-            let rows: [[f64; 4]; 4] = match pair.group {
-                Some(group) => {
-                    let joint = spec.groups()[group]
-                        .member_pair_joint(spec.model(pair.parent_pos), spec.model(pair.child_pos));
-                    let mut rows = [[0.25f64; 4]; 4];
-                    for (a, row) in joint.iter().enumerate() {
-                        let mass: f64 = row.iter().sum();
-                        if mass > 0.0 {
-                            for (b, &p) in row.iter().enumerate() {
-                                rows[a][b] = p / mass;
-                            }
-                        }
-                    }
-                    rows
-                }
-                None => spec
-                    .pair_conditioning(pair.child_pos)
-                    .expect("signature guarantees the pair exists")
-                    .conditional_rows(),
-            };
+            let rows = input_pair_rows(spec, pair);
             let mut values = Vec::with_capacity(16);
             for row in &rows {
                 for &conditional in row {
@@ -180,7 +200,16 @@ impl InferenceBackend for JtreeBackend {
                 Factor::new(vec![(pair.parent_var, 4), (pair.var, 4)], values),
             )?;
         }
-        compiled.calibrate(&mut state);
+        // Warm states may reuse cached collect messages (bit-identical by
+        // construction); with incremental propagation off the state runs
+        // cold but still refreshes the cache.
+        state.set_mode(if art.incremental {
+            PropagationMode::Warm
+        } else {
+            PropagationMode::Cold
+        });
+        let (messages_reused, messages_recomputed) =
+            compiled.calibrate_with_cache(&mut state, &art.msg_cache);
         let gate_dists = art
             .gates
             .iter()
@@ -239,7 +268,56 @@ impl InferenceBackend for JtreeBackend {
             gate_dists,
             exports,
             joints,
+            messages_reused,
+            messages_recomputed,
         })
+    }
+
+    /// Hashes exactly what `propagate` reads from `roots`: solo-root
+    /// priors (spec rows for primary inputs, forwarded marginals for
+    /// boundary lines), input-pair conditional rows, forwarded boundary
+    /// conditionals, and the joint requests routed to this segment. Equal
+    /// signatures therefore guarantee bit-identical posteriors.
+    fn root_signature(&self, segment: &CompiledSegment, roots: &RootDists<'_>) -> Option<u128> {
+        let art = segment.artifact().downcast_ref::<JtreeSegment>()?;
+        let spec = roots.spec;
+        let mut h = sig::OFFSET;
+        for &(line, _, source) in &art.solo_roots {
+            h = sig::word(h, line.index() as u64);
+            match source {
+                RootSource::PrimaryInput(pos) => {
+                    for p in spec.prior_row(pos) {
+                        h = sig::word(h, p.to_bits());
+                    }
+                }
+                RootSource::Boundary => {
+                    for p in roots.dists[line.index()].as_array() {
+                        h = sig::word(h, p.to_bits());
+                    }
+                }
+            }
+        }
+        for pair in &art.input_pairs {
+            h = sig::word(h, pair.child_pos as u64);
+            for row in input_pair_rows(spec, pair) {
+                for p in row {
+                    h = sig::word(h, p.to_bits());
+                }
+            }
+        }
+        for pair in &art.pair_roots {
+            h = sig::word(h, pair.slot as u64);
+            let cond = roots.conditionals[pair.slot]?;
+            for p in cond {
+                h = sig::word(h, p.to_bits());
+            }
+        }
+        for &(var_a, var_b, idx) in roots.joint_requests {
+            h = sig::word(h, var_a.index() as u64);
+            h = sig::word(h, var_b.index() as u64);
+            h = sig::word(h, idx as u64);
+        }
+        Some(h)
     }
 
     fn correlation_distance(
@@ -253,5 +331,21 @@ impl InferenceBackend for JtreeBackend {
         let cand_var = *segment.lines().get(&candidate)?;
         let tree = art.compiled.tree();
         tree.clique_distance(tree.home_clique(child_var), tree.home_clique(cand_var))
+    }
+}
+
+/// 128-bit FNV-1a for root signatures. Wide enough that an accidental
+/// collision (which would silently serve a stale posterior) is out of
+/// reach for any realistic sweep length.
+mod sig {
+    pub(super) const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    pub(super) fn word(mut h: u128, word: u64) -> u128 {
+        for byte in word.to_le_bytes() {
+            h ^= u128::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
     }
 }

@@ -40,6 +40,7 @@ pub use timing::{SegmentTimings, StageTimings};
 mod twostate;
 
 use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use swact_bayesnet::VarId;
@@ -84,6 +85,13 @@ pub(crate) struct CompiledPipeline {
     total_states: f64,
     max_clique_states: f64,
     options: Options,
+    /// Per-segment boundary-marginal memo: the last propagated posterior
+    /// keyed by the backend's root signature. A segment whose incoming
+    /// priors, boundary marginals, and forwarded conditionals are all
+    /// bit-unchanged since the previous estimate is served from here
+    /// without re-propagating. Only primary-backend segments participate
+    /// (degraded segments never memoize — see `propagate_segment`).
+    memo: Vec<Mutex<Option<(u128, SegmentPosterior)>>>,
 }
 
 impl CompiledPipeline {
@@ -379,6 +387,7 @@ impl CompiledPipeline {
             }
         }
         let schedule = WaveSchedule::from_segments(&final_segments);
+        let memo = (0..segments.len()).map(|_| Mutex::new(None)).collect();
         Ok(CompiledPipeline {
             planned,
             backend_kind,
@@ -402,7 +411,54 @@ impl CompiledPipeline {
             total_states,
             max_clique_states,
             options: *options,
+            memo,
         })
+    }
+
+    /// Propagates one segment, consulting the posterior memo first: when
+    /// incremental mode is on and the backend reports a root signature
+    /// equal to the stored one, the memoized posterior is cloned instead
+    /// of re-propagated (bit-identical by the
+    /// [`InferenceBackend::root_signature`] contract). Returns the
+    /// posterior and whether it was served from the memo. Degraded
+    /// segments run on the fallback engine and never participate, so a
+    /// budget-governed run can never serve a posterior cached under
+    /// different governance.
+    fn propagate_segment(
+        &self,
+        seg_idx: usize,
+        roots: &RootDists<'_>,
+    ) -> Result<(SegmentPosterior, bool), EstimateError> {
+        let engine = self.backend_for(seg_idx);
+        let signature = if self.options.incremental && self.seg_kinds[seg_idx] == self.backend_kind
+        {
+            engine.root_signature(&self.segments[seg_idx], roots)
+        } else {
+            None
+        };
+        if let Some(sig) = signature {
+            let slot = self.memo[seg_idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some((stored_sig, posterior)) = slot.as_ref() {
+                if *stored_sig == sig {
+                    return Ok((posterior.clone(), true));
+                }
+            }
+        }
+        let output = engine.propagate(&self.segments[seg_idx], roots)?;
+        if let Some(sig) = signature {
+            // The stored copy zeroes the message counters: a memo hit did
+            // no message work, so a served posterior must not re-report
+            // the original run's counts.
+            let mut stored = output.clone();
+            stored.messages_reused = 0;
+            stored.messages_recomputed = 0;
+            *self.memo[seg_idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some((sig, stored));
+        }
+        Ok((output, false))
     }
 
     #[allow(clippy::type_complexity)]
@@ -459,6 +515,9 @@ impl CompiledPipeline {
         }
         let mut propagate_wall = Duration::ZERO;
         let mut seg_propagate: Vec<Duration> = vec![Duration::ZERO; self.segments.len()];
+        let mut messages_reused = 0u64;
+        let mut messages_recomputed = 0u64;
+        let mut segments_skipped = 0u64;
         for (wave_idx, wave) in self.schedule.waves().iter().enumerate() {
             faults::hit("pipeline:propagate:wave", Some(wave_idx));
             // Cooperative per-stage deadline: checked at wave boundaries,
@@ -475,8 +534,8 @@ impl CompiledPipeline {
             let wave_start = Instant::now();
             if wave.len() == 1 {
                 let seg_idx = wave[0];
-                let output = self.backend_for(seg_idx).propagate(
-                    &self.segments[seg_idx],
+                let (output, skipped) = self.propagate_segment(
+                    seg_idx,
                     &RootDists {
                         spec,
                         dists: &dists,
@@ -488,6 +547,9 @@ impl CompiledPipeline {
                 let elapsed = wave_start.elapsed();
                 seg_propagate[seg_idx] = elapsed;
                 propagate_wall += elapsed;
+                messages_reused += output.messages_reused;
+                messages_recomputed += output.messages_recomputed;
+                segments_skipped += u64::from(skipped);
                 apply_segment_output(
                     output,
                     &mut dists,
@@ -501,52 +563,59 @@ impl CompiledPipeline {
             // propagate concurrently — the paper's §5 observation that
             // junction-tree messages on disjoint branches are independent,
             // lifted to segment granularity.
-            let segments = &self.segments;
             let exports = &self.exports;
             let dists_ref = &dists;
             let conditionals_ref = &conditionals;
             let joint_requests_ref = &joint_requests;
-            let outputs: Vec<(usize, Duration, Result<SegmentPosterior, EstimateError>)> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = wave
-                        .iter()
-                        .map(|&seg_idx| {
-                            scope.spawn(move || {
-                                let seg_start = Instant::now();
-                                let result = self.backend_for(seg_idx).propagate(
-                                    &segments[seg_idx],
-                                    &RootDists {
-                                        spec,
-                                        dists: dists_ref,
-                                        conditionals: conditionals_ref,
-                                        exports: &exports[seg_idx],
-                                        joint_requests: &joint_requests_ref[seg_idx],
-                                    },
-                                );
-                                (seg_idx, seg_start.elapsed(), result)
-                            })
-                        })
-                        .collect();
-                    // A panicked segment worker becomes this segment's
-                    // error instead of poisoning the whole estimate.
-                    handles
-                        .into_iter()
-                        .zip(wave.iter())
-                        .map(|(h, &seg_idx)| match h.join() {
-                            Ok(out) => out,
-                            Err(payload) => (
+            #[allow(clippy::type_complexity)]
+            let outputs: Vec<(
+                usize,
+                Duration,
+                Result<(SegmentPosterior, bool), EstimateError>,
+            )> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wave
+                    .iter()
+                    .map(|&seg_idx| {
+                        scope.spawn(move || {
+                            let seg_start = Instant::now();
+                            let result = self.propagate_segment(
                                 seg_idx,
-                                Duration::ZERO,
-                                Err(EstimateError::from_panic(payload.as_ref())),
-                            ),
+                                &RootDists {
+                                    spec,
+                                    dists: dists_ref,
+                                    conditionals: conditionals_ref,
+                                    exports: &exports[seg_idx],
+                                    joint_requests: &joint_requests_ref[seg_idx],
+                                },
+                            );
+                            (seg_idx, seg_start.elapsed(), result)
                         })
-                        .collect()
-                });
+                    })
+                    .collect();
+                // A panicked segment worker becomes this segment's
+                // error instead of poisoning the whole estimate.
+                handles
+                    .into_iter()
+                    .zip(wave.iter())
+                    .map(|(h, &seg_idx)| match h.join() {
+                        Ok(out) => out,
+                        Err(payload) => (
+                            seg_idx,
+                            Duration::ZERO,
+                            Err(EstimateError::from_panic(payload.as_ref())),
+                        ),
+                    })
+                    .collect()
+            });
             propagate_wall += wave_start.elapsed();
             for (seg_idx, elapsed, output) in outputs {
                 seg_propagate[seg_idx] = elapsed;
+                let (output, skipped) = output?;
+                messages_reused += output.messages_reused;
+                messages_recomputed += output.messages_recomputed;
+                segments_skipped += u64::from(skipped);
                 apply_segment_output(
-                    output?,
+                    output,
                     &mut dists,
                     &mut known,
                     &mut conditionals,
@@ -574,6 +643,11 @@ impl CompiledPipeline {
             stages,
             per_segment,
             self.degradations.clone(),
+            crate::report::ReuseStats {
+                messages_reused,
+                messages_recomputed,
+                segments_skipped,
+            },
         );
         Ok((estimate, joints))
     }

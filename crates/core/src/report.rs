@@ -6,6 +6,35 @@ use crate::budget::DegradationReport;
 use crate::pipeline::{SegmentTimings, StageTimings};
 use crate::TransitionDist;
 
+/// Work-reuse counters from one incremental propagation pass (see
+/// [`Options::incremental`](crate::Options)). All zero when incremental
+/// mode is off or on the first (cold) estimate over a compiled estimator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Collect messages served verbatim from the per-edge message cache.
+    pub messages_reused: u64,
+    /// Collect messages recomputed because evidence in their source
+    /// subtree changed (or the cache was cold).
+    pub messages_recomputed: u64,
+    /// Segments whose whole posterior was served from the
+    /// boundary-marginal memo without touching the junction tree.
+    pub segments_skipped: u64,
+}
+
+impl ReuseStats {
+    /// Fraction of collect messages served from the cache
+    /// (`reused / (reused + recomputed)`); `0.0` when no messages were
+    /// processed. Messages of memo-skipped segments count as neither.
+    pub fn message_reuse_ratio(&self) -> f64 {
+        let total = self.messages_reused + self.messages_recomputed;
+        if total == 0 {
+            0.0
+        } else {
+            self.messages_reused as f64 / total as f64
+        }
+    }
+}
+
 /// The result of one estimation pass: a transition distribution for every
 /// line, plus timing and structure statistics matching the paper's Table 1
 /// columns.
@@ -23,6 +52,7 @@ pub struct Estimate {
     stages: StageTimings,
     per_segment: Vec<SegmentTimings>,
     degradations: Vec<DegradationReport>,
+    reuse: ReuseStats,
 }
 
 impl Estimate {
@@ -38,6 +68,7 @@ impl Estimate {
         stages: StageTimings,
         per_segment: Vec<SegmentTimings>,
         degradations: Vec<DegradationReport>,
+        reuse: ReuseStats,
     ) -> Estimate {
         Estimate {
             dists,
@@ -50,6 +81,7 @@ impl Estimate {
             stages,
             per_segment,
             degradations,
+            reuse,
         }
     }
 
@@ -142,6 +174,12 @@ impl Estimate {
     /// Whether any segment was degraded to stay within budget.
     pub fn is_degraded(&self) -> bool {
         !self.degradations.is_empty()
+    }
+
+    /// Work-reuse counters from this propagation pass (message-cache hits
+    /// and memo-skipped segments); all zero on cold runs.
+    pub fn reuse_stats(&self) -> ReuseStats {
+        self.reuse
     }
 
     /// Renders the estimate as CSV with one row per line of `circuit`:

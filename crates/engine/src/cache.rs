@@ -59,6 +59,10 @@ pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) 
     options.budget.max_factor_bytes.hash(&mut h);
     options.budget.deadline.hash(&mut h);
     options.no_fallback.hash(&mut h);
+    // Incremental and cold-baseline models are distinct cache entries:
+    // a cold-mode batch measuring the baseline must never warm (or be
+    // served by) an incremental model's message caches and memos.
+    options.incremental.hash(&mut h);
 
     // Spec signature: group membership and pairwise-joint edges become part
     // of the compiled structure (probabilities do not).

@@ -165,19 +165,46 @@ impl Engine {
         Engine::with_jobs(jobs)
     }
 
-    /// Engine with an explicit worker count (`0` means one worker).
+    /// Engine with an explicit worker count (`0` means one worker),
+    /// clamped to the host's available parallelism: the workers are plain
+    /// compute-bound threads, so oversubscribing CPUs only adds
+    /// context-switch overhead (measured as a 0.43× throughput *loss* at
+    /// `jobs = 8` on one CPU). Use
+    /// [`with_jobs_forced`](Engine::with_jobs_forced) to bypass the clamp.
     pub fn with_jobs(jobs: usize) -> Engine {
         Engine::with_jobs_and_cache(jobs, DEFAULT_CACHE_BUDGET_STATES)
     }
 
-    /// Engine with explicit worker count and cache budget (total
-    /// junction-tree states the compiled-model cache may retain).
+    /// Engine with exactly `jobs` workers (`0` means one worker), without
+    /// the available-parallelism clamp — for benchmarking scheduler
+    /// behavior or when the host reports its CPU count wrong.
+    pub fn with_jobs_forced(jobs: usize) -> Engine {
+        Engine::with_jobs_forced_and_cache(jobs, DEFAULT_CACHE_BUDGET_STATES)
+    }
+
+    /// Engine with explicit worker count (clamped to available
+    /// parallelism) and cache budget (total junction-tree states the
+    /// compiled-model cache may retain).
     pub fn with_jobs_and_cache(jobs: usize, cache_budget_states: f64) -> Engine {
+        Engine::with_jobs_forced_and_cache(Engine::clamp_jobs(jobs), cache_budget_states)
+    }
+
+    /// Engine with exactly `jobs` workers (no clamp) and an explicit cache
+    /// budget.
+    pub fn with_jobs_forced_and_cache(jobs: usize, cache_budget_states: f64) -> Engine {
         Engine {
             pool: WorkerPool::new(jobs),
             cache: Mutex::new(ModelCache::new(cache_budget_states)),
             metrics: Arc::new(EngineMetrics::default()),
         }
+    }
+
+    /// Requested worker count clamped to `[1, available_parallelism]`.
+    fn clamp_jobs(jobs: usize) -> usize {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        jobs.clamp(1, cpus)
     }
 
     /// Number of worker threads.
@@ -271,6 +298,17 @@ impl Engine {
                         &metrics.forward_nanos,
                         estimate.stage_timings().forward,
                     );
+                    let reuse = estimate.reuse_stats();
+                    metrics
+                        .messages_reused
+                        .fetch_add(reuse.messages_reused, std::sync::atomic::Ordering::Relaxed);
+                    metrics.messages_recomputed.fetch_add(
+                        reuse.messages_recomputed,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                    metrics
+                        .segments_skipped
+                        .fetch_add(reuse.segments_skipped, std::sync::atomic::Ordering::Relaxed);
                 }
                 metrics
                     .requests_completed
@@ -466,7 +504,7 @@ mod tests {
         let circuit = catalog::c17();
         let options = Options::default();
         let specs = specs_for(&circuit, 6);
-        let engine = Engine::with_jobs(3);
+        let engine = Engine::with_jobs_forced(3);
 
         let report = engine.estimate_batch(&circuit, &specs, &options).unwrap();
         assert!(report.all_ok());
@@ -493,7 +531,7 @@ mod tests {
         let serial = Engine::with_jobs(1)
             .estimate_batch(&circuit, &specs, &options)
             .unwrap();
-        let parallel = Engine::with_jobs(4)
+        let parallel = Engine::with_jobs_forced(4)
             .estimate_batch(&circuit, &specs, &options)
             .unwrap();
 
@@ -648,6 +686,96 @@ mod tests {
                 assert!((x - y).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn with_jobs_clamps_to_available_parallelism() {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(Engine::with_jobs(cpus * 8).jobs(), cpus);
+        assert_eq!(Engine::with_jobs(0).jobs(), 1);
+        assert_eq!(Engine::with_jobs_forced(cpus * 8).jobs(), cpus * 8);
+        assert_eq!(Engine::new().jobs(), cpus);
+    }
+
+    #[test]
+    fn repeated_scenarios_hit_the_posterior_memo() {
+        let circuit = catalog::c17();
+        let options = Options::default();
+        // One distinct spec followed by identical repeats: the repeats'
+        // root signatures match the memoized posterior, so their segments
+        // are skipped outright.
+        let spec = InputSpec::independent(vec![0.3; circuit.num_inputs()]);
+        let specs = vec![spec; 4];
+        let engine = Engine::with_jobs(1);
+
+        let report = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(report.all_ok());
+        let metrics = engine.metrics();
+        assert!(
+            metrics.segments_skipped > 0,
+            "identical scenarios must be served from the memo"
+        );
+        // All items are bit-identical regardless of which were memo-served.
+        let first = report.items[0].result.as_ref().unwrap().switching_all();
+        for item in &report.items[1..] {
+            let got = item.result.as_ref().unwrap().switching_all();
+            for (x, y) in first.iter().zip(&got) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_off_never_reuses_work() {
+        let circuit = catalog::c17();
+        let options = Options {
+            incremental: false,
+            ..Options::default()
+        };
+        let spec = InputSpec::independent(vec![0.3; circuit.num_inputs()]);
+        let specs = vec![spec; 3];
+        let engine = Engine::with_jobs(1);
+        let report = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(report.all_ok());
+        let metrics = engine.metrics();
+        assert_eq!(metrics.segments_skipped, 0);
+        assert_eq!(metrics.messages_reused, 0);
+        assert!(metrics.messages_recomputed > 0);
+        assert_eq!(metrics.message_reuse_ratio(), 0.0);
+    }
+
+    /// Regression for the BENCH_batch.json finding that oversubscribing
+    /// workers (jobs=8 on 1 CPU) *lost* 0.43× throughput: with the clamp,
+    /// `with_jobs(8)` must be no slower than serial (1.1× tolerance plus
+    /// an absolute grace for timer noise on tiny batches).
+    #[test]
+    fn oversubscribed_jobs_are_no_slower_than_serial() {
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 64);
+        let serial = Engine::with_jobs(1);
+        let over = Engine::with_jobs(8);
+        let min_wall = |engine: &Engine| {
+            // Min-of-3 after a cache-warming run: measures steady-state
+            // propagation, robust to one-off scheduler hiccups.
+            let mut best = Duration::MAX;
+            for _ in 0..3 {
+                let report = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+                assert!(report.all_ok());
+                best = best.min(report.wall_time);
+            }
+            best
+        };
+        serial.estimate_batch(&circuit, &specs, &options).unwrap();
+        over.estimate_batch(&circuit, &specs, &options).unwrap();
+        let t_serial = min_wall(&serial);
+        let t_over = min_wall(&over);
+        assert!(
+            t_over <= t_serial.mul_f64(1.1) + Duration::from_millis(20),
+            "jobs=8 ({t_over:?}) must not be slower than jobs=1 ({t_serial:?})"
+        );
     }
 
     #[test]

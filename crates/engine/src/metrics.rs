@@ -26,6 +26,9 @@ pub(crate) struct EngineMetrics {
     pub(crate) jobs_panicked: AtomicU64,
     pub(crate) retries: AtomicU64,
     pub(crate) degraded_segments: AtomicU64,
+    pub(crate) messages_reused: AtomicU64,
+    pub(crate) messages_recomputed: AtomicU64,
+    pub(crate) segments_skipped: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -62,6 +65,9 @@ impl EngineMetrics {
             jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             degraded_segments: self.degraded_segments.load(Ordering::Relaxed),
+            messages_reused: self.messages_reused.load(Ordering::Relaxed),
+            messages_recomputed: self.messages_recomputed.load(Ordering::Relaxed),
+            segments_skipped: self.segments_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +127,15 @@ pub struct MetricsSnapshot {
     /// Segments degraded by the compile-time budget ladder, summed over
     /// cache-miss compiles.
     pub degraded_segments: u64,
+    /// Collect messages served verbatim from per-edge message caches,
+    /// summed over requests.
+    pub messages_reused: u64,
+    /// Collect messages recomputed (dirty subtree or cold cache), summed
+    /// over requests.
+    pub messages_recomputed: u64,
+    /// Segments served whole from the boundary-marginal posterior memo,
+    /// summed over requests.
+    pub segments_skipped: u64,
 }
 
 impl MetricsSnapshot {
@@ -131,5 +146,16 @@ impl MetricsSnapshot {
             return 0.0;
         }
         1.0 - self.compiled_nnz as f64 / self.compiled_states as f64
+    }
+
+    /// Fraction of collect messages served from cache
+    /// (`reused / (reused + recomputed)`); `0.0` before any propagation.
+    pub fn message_reuse_ratio(&self) -> f64 {
+        let total = self.messages_reused + self.messages_recomputed;
+        if total == 0 {
+            0.0
+        } else {
+            self.messages_reused as f64 / total as f64
+        }
     }
 }
