@@ -66,6 +66,7 @@ USAGE:
   swact bench    <name>                      print a built-in benchmark as .bench
   swact dot      <netlist.bench>             print the circuit as Graphviz DOT
   swact verilog  <netlist.bench>             print the circuit as structural Verilog
+  swact serve    [options]                   run the HTTP/JSON inference service
   swact list                                 list built-in benchmarks
 
 ESTIMATE OPTIONS:
@@ -114,7 +115,21 @@ BATCH OPTIONS:
   --csv            emit per-scenario, per-line switching as CSV
   --stats          also print timing/cache metrics and the per-stage
                    plan/model/compile/propagate/forward breakdown
-                   (not byte-stable)";
+                   (not byte-stable)
+
+SERVE OPTIONS:
+  --addr <A>       bind address (default 127.0.0.1:7878; use :0 for an
+                   ephemeral port)
+  --jobs <N>       engine worker threads (default: all CPUs)
+  --handlers <N>   connection-handler threads (default 4)
+  --clients-config <FILE>  JSON admission policies: per-token in-flight
+                   quotas and resource budgets (see swact-serve docs)
+  --addr-file <FILE>  write the bound address to FILE once listening
+                   (for scripts that bind an ephemeral port)
+  --drain-ms <MS>  graceful-shutdown drain deadline (default 10000)
+
+  The server runs until SIGINT/SIGTERM or POST /admin/shutdown, then
+  drains in-flight requests and exits.";
 
 /// Parses arguments and runs the requested command, returning the output
 /// text.
@@ -134,6 +149,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench" => cmd_bench(&rest),
         "dot" => cmd_dot(&rest),
         "verilog" => cmd_verilog(&rest),
+        "serve" => cmd_serve(&rest),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(usage_error(format!("unknown command `{other}`"))),
@@ -837,6 +853,71 @@ fn cmd_verilog(rest: &[&String]) -> Result<String, CliError> {
     Ok(write::to_verilog(&circuit))
 }
 
+fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
+    let mut config = swact_serve::ServerConfig::default();
+    let mut addr_file: Option<String> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--addr" => {
+                config.addr = take_value(rest, &mut i, "--addr")?.to_string();
+            }
+            "--jobs" => {
+                config.jobs = parse_count(take_value(rest, &mut i, "--jobs")?, "--jobs")?;
+            }
+            "--handlers" => {
+                config.handlers =
+                    parse_count(take_value(rest, &mut i, "--handlers")?, "--handlers")?;
+            }
+            "--clients-config" => {
+                let path = take_value(rest, &mut i, "--clients-config")?;
+                let source = std::fs::read_to_string(path)
+                    .map_err(|e| runtime_error(format!("cannot read `{path}`: {e}")))?;
+                config.clients = swact_serve::admission::ClientTable::from_json(&source)
+                    .map_err(|e| runtime_error(format!("bad clients config `{path}`: {e}")))?;
+            }
+            "--addr-file" => {
+                addr_file = Some(take_value(rest, &mut i, "--addr-file")?.to_string());
+            }
+            "--drain-ms" => {
+                let ms = parse_count(take_value(rest, &mut i, "--drain-ms")?, "--drain-ms")?;
+                config.drain = std::time::Duration::from_millis(ms as u64);
+            }
+            other => return Err(usage_error(format!("unknown serve option `{other}`"))),
+        }
+        i += 1;
+    }
+
+    swact_serve::install_signal_handler();
+    let server = swact_serve::Server::start(config)
+        .map_err(|e| runtime_error(format!("cannot bind: {e}")))?;
+    let addr = server.local_addr();
+    if let Some(path) = addr_file {
+        std::fs::write(&path, addr.to_string())
+            .map_err(|e| runtime_error(format!("cannot write `{path}`: {e}")))?;
+    }
+    eprintln!("swact-serve listening on http://{addr} (POST /admin/shutdown or SIGTERM to stop)");
+    let handle = server.handle();
+    server.wait();
+    Ok(format!(
+        "swact-serve on {addr}: shut down cleanly ({} scenarios served)\n",
+        handle.engine_metrics().requests_completed
+    ))
+}
+
+fn take_value<'a>(rest: &[&'a String], i: &mut usize, flag: &str) -> Result<&'a str, CliError> {
+    *i += 1;
+    rest.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| usage_error(format!("{flag} needs a value")))
+}
+
+fn parse_count(value: &str, flag: &str) -> Result<usize, CliError> {
+    value
+        .parse()
+        .map_err(|_| usage_error(format!("bad {flag} value `{value}`")))
+}
+
 fn cmd_list() -> String {
     let mut out = String::from("built-in benchmarks (synthetic stand-ins except c17):\n");
     for info in catalog::BENCHMARKS {
@@ -1232,5 +1313,102 @@ mod tests {
         assert!(out.contains("pairwise-correlation"));
         assert!(out.contains("independence"));
         assert!(out.contains("transition-density"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags_without_binding() {
+        let err = run_strs(&["serve", "--port", "80"]).unwrap_err();
+        assert_eq!(err.exit_code, 2);
+        assert!(err.message.contains("unknown serve option"));
+        let err = run_strs(&["serve", "--jobs"]).unwrap_err();
+        assert!(err.message.contains("--jobs needs a value"));
+        let err = run_strs(&["serve", "--clients-config", "/no/such/file"]).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn serve_full_cycle_over_an_ephemeral_port() {
+        use std::io::{Read as _, Write as _};
+
+        let dir = std::env::temp_dir();
+        let tag = std::process::id();
+        let addr_file = dir.join(format!("swact-serve-test-{tag}.addr"));
+        let config_file = dir.join(format!("swact-serve-test-{tag}.json"));
+        std::fs::write(
+            &config_file,
+            r#"{"clients": {"blocked": {"max_in_flight": 0}}}"#,
+        )
+        .unwrap();
+
+        let args: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "1",
+            "--handlers",
+            "2",
+            "--drain-ms",
+            "3000",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--clients-config",
+            config_file.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let serve = std::thread::spawn(move || run(&args));
+
+        // The server writes its bound address once listening.
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                    if !text.is_empty() {
+                        break text;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 500, "server never wrote its address file");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+
+        let exchange = |request: String| -> String {
+            let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+            stream.write_all(request.as_bytes()).expect("send");
+            let mut raw = String::new();
+            stream.read_to_string(&mut raw).expect("read");
+            raw
+        };
+
+        let estimate = exchange(format!(
+            "POST /v1/estimate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            r#"{"circuit":"c17"}"#.len(),
+            r#"{"circuit":"c17"}"#
+        ));
+        assert!(estimate.starts_with("HTTP/1.1 200"), "got: {estimate}");
+        assert!(estimate.contains("\"circuit\":\"c17\""));
+
+        let blocked = exchange(format!(
+            "POST /v1/estimate HTTP/1.1\r\nHost: t\r\nX-Swact-Client: blocked\r\nContent-Length: {}\r\n\r\n{}",
+            r#"{"circuit":"c17"}"#.len(),
+            r#"{"circuit":"c17"}"#
+        ));
+        assert!(blocked.starts_with("HTTP/1.1 429"), "got: {blocked}");
+
+        let stop = exchange(
+            "POST /admin/shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n".to_string(),
+        );
+        assert!(stop.starts_with("HTTP/1.1 202"), "got: {stop}");
+
+        let out = serve.join().expect("serve thread").expect("clean exit");
+        assert!(out.contains("shut down cleanly"), "got: {out}");
+        assert!(out.contains("1 scenarios served"), "got: {out}");
+
+        std::fs::remove_file(&addr_file).ok();
+        std::fs::remove_file(&config_file).ok();
     }
 }

@@ -95,6 +95,11 @@ pub enum EstimateError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The request was cancelled before (or instead of) running — e.g. it
+    /// was still queued when the engine began shutting down. Not
+    /// retryable against the same engine (it is going away), but a client
+    /// may resubmit elsewhere.
+    Cancelled,
     /// An underlying structural circuit error (e.g. during fan-in
     /// decomposition).
     Circuit(CircuitError),
@@ -174,6 +179,9 @@ impl fmt::Display for EstimateError {
             EstimateError::Panicked { message } => {
                 write!(f, "worker panicked: {message}")
             }
+            EstimateError::Cancelled => {
+                write!(f, "request cancelled during engine shutdown")
+            }
             EstimateError::Circuit(e) => write!(f, "circuit error: {e}"),
             EstimateError::Bayes(e) => write!(f, "bayesian network error: {e}"),
         }
@@ -244,6 +252,7 @@ mod tests {
         }
         .retryable());
         assert!(!EstimateError::GroupStructureMismatch.retryable());
+        assert!(!EstimateError::Cancelled.retryable());
         assert!(!EstimateError::from(CircuitError::NoInputs).retryable());
     }
 

@@ -59,6 +59,7 @@ mod segment;
 pub mod sequential;
 mod transition;
 pub mod twostate;
+pub mod wire;
 
 pub use budget::{Budget, DegradationCause, DegradationReport, Fallback};
 pub use error::EstimateError;

@@ -60,6 +60,7 @@ mod metrics;
 mod pool;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -69,6 +70,7 @@ use swact_circuit::Circuit;
 use cache::{model_key, ModelCache};
 use metrics::EngineMetrics;
 pub use metrics::MetricsSnapshot;
+pub use pool::ShutdownMode;
 use pool::WorkerPool;
 
 /// Default cache budget: total junction-tree states the cache may hold
@@ -147,6 +149,9 @@ pub struct Engine {
     pool: WorkerPool,
     cache: Mutex<ModelCache>,
     metrics: Arc<EngineMetrics>,
+    /// Set by [`shutdown`](Engine::shutdown); batches submitted afterwards
+    /// fail fast with [`EstimateError::Cancelled`].
+    closed: AtomicBool,
 }
 
 impl Default for Engine {
@@ -196,7 +201,34 @@ impl Engine {
             pool: WorkerPool::new(jobs),
             cache: Mutex::new(ModelCache::new(cache_budget_states)),
             metrics: Arc::new(EngineMetrics::default()),
+            closed: AtomicBool::new(false),
         }
+    }
+
+    /// Shuts the engine down deterministically and blocks until workers
+    /// are quiescent.
+    ///
+    /// * [`ShutdownMode::Drain`] — every queued scenario still runs;
+    ///   in-flight batches complete normally.
+    /// * [`ShutdownMode::CancelQueued`] — scenarios still in the queue are
+    ///   resolved as [`EstimateError::Cancelled`] items (their batch
+    ///   returns instead of hanging); scenarios already on a worker
+    ///   finish.
+    ///
+    /// After shutdown, [`estimate_batch`](Engine::estimate_batch) fails
+    /// fast with [`EstimateError::Cancelled`]. Idempotent and callable
+    /// from any thread (e.g. while another thread is blocked inside
+    /// `estimate_batch`). `Drop` performs a draining shutdown, so merely
+    /// dropping an engine with a full queue neither hangs nor loses the
+    /// deterministic drain.
+    pub fn shutdown(&self, mode: ShutdownMode) {
+        self.closed.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.pool.shutdown(mode);
+    }
+
+    /// Whether [`shutdown`](Engine::shutdown) has been called.
+    pub fn is_shut_down(&self) -> bool {
+        self.closed.load(std::sync::atomic::Ordering::SeqCst) || self.pool.is_shut_down()
     }
 
     /// Requested worker count clamped to `[1, available_parallelism]`.
@@ -250,6 +282,9 @@ impl Engine {
         options: &Options,
     ) -> Result<BatchReport, EstimateError> {
         let wall_start = Instant::now();
+        if self.is_shut_down() {
+            return Err(EstimateError::Cancelled);
+        }
         if specs.is_empty() {
             return Ok(BatchReport {
                 items: Vec::new(),
@@ -283,55 +318,86 @@ impl Engine {
             let opts = *options;
             let enqueued_at = Instant::now();
             self.metrics.enqueue();
-            self.pool.submit(Box::new(move || {
-                let queue_wait = enqueued_at.elapsed();
-                metrics.dequeue();
+            // A cancelling shutdown runs this instead of the job: the slot
+            // still fills and the done count still bumps, so this batch's
+            // wait loop below terminates with a typed per-scenario error
+            // rather than hanging on a job that will never run.
+            let cancel = {
+                let slots = Arc::clone(&slots);
+                let done = Arc::clone(&done);
+                let metrics = Arc::clone(&self.metrics);
+                Box::new(move || {
+                    use std::sync::atomic::Ordering;
+                    metrics.dequeue();
+                    metrics.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                    metrics.requests_completed.fetch_add(1, Ordering::Relaxed);
+                    metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(BatchItem {
+                            index,
+                            result: Err(EstimateError::Cancelled),
+                            queue_wait: enqueued_at.elapsed(),
+                            run_time: Duration::ZERO,
+                        });
+                    let (count, signal) = &*done;
+                    *count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+                    signal.notify_all();
+                })
+            };
+            self.pool.submit_cancellable(
+                Box::new(move || {
+                    let queue_wait = enqueued_at.elapsed();
+                    metrics.dequeue();
 
-                let run_start = Instant::now();
-                let result = run_scenario(&model, &spec, index, &opts, queue_wait, &metrics);
-                let run_time = run_start.elapsed();
+                    let run_start = Instant::now();
+                    let result = run_scenario(&model, &spec, index, &opts, queue_wait, &metrics);
+                    let run_time = run_start.elapsed();
 
-                EngineMetrics::add_nanos(&metrics.queue_wait_nanos, queue_wait);
-                EngineMetrics::add_nanos(&metrics.propagate_nanos, run_time);
-                if let Ok(estimate) = &result {
-                    EngineMetrics::add_nanos(
-                        &metrics.forward_nanos,
-                        estimate.stage_timings().forward,
-                    );
-                    let reuse = estimate.reuse_stats();
+                    EngineMetrics::add_nanos(&metrics.queue_wait_nanos, queue_wait);
+                    EngineMetrics::add_nanos(&metrics.propagate_nanos, run_time);
+                    if let Ok(estimate) = &result {
+                        EngineMetrics::add_nanos(
+                            &metrics.forward_nanos,
+                            estimate.stage_timings().forward,
+                        );
+                        let reuse = estimate.reuse_stats();
+                        metrics
+                            .messages_reused
+                            .fetch_add(reuse.messages_reused, std::sync::atomic::Ordering::Relaxed);
+                        metrics.messages_recomputed.fetch_add(
+                            reuse.messages_recomputed,
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                        metrics.segments_skipped.fetch_add(
+                            reuse.segments_skipped,
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }
                     metrics
-                        .messages_reused
-                        .fetch_add(reuse.messages_reused, std::sync::atomic::Ordering::Relaxed);
-                    metrics.messages_recomputed.fetch_add(
-                        reuse.messages_recomputed,
-                        std::sync::atomic::Ordering::Relaxed,
-                    );
-                    metrics
-                        .segments_skipped
-                        .fetch_add(reuse.segments_skipped, std::sync::atomic::Ordering::Relaxed);
-                }
-                metrics
-                    .requests_completed
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if result.is_err() {
-                    metrics
-                        .requests_failed
+                        .requests_completed
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                }
+                    if result.is_err() {
+                        metrics
+                            .requests_failed
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
 
-                // Slot/done-lock poison recovery: each critical section is
-                // a single assignment, so poisoned state is still valid —
-                // and refusing to fill the slot would hang `wait` forever.
-                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(BatchItem {
-                    index,
-                    result,
-                    queue_wait,
-                    run_time,
-                });
-                let (count, signal) = &*done;
-                *count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
-                signal.notify_all();
-            }));
+                    // Slot/done-lock poison recovery: each critical section is
+                    // a single assignment, so poisoned state is still valid —
+                    // and refusing to fill the slot would hang `wait` forever.
+                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(BatchItem {
+                            index,
+                            result,
+                            queue_wait,
+                            run_time,
+                        });
+                    let (count, signal) = &*done;
+                    *count.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+                    signal.notify_all();
+                }),
+                cancel,
+            );
         }
 
         let (count, signal) = &*done;
@@ -787,5 +853,111 @@ mod tests {
             .unwrap();
         assert!(report.items.is_empty());
         assert_eq!(engine.metrics().requests_completed, 0);
+    }
+
+    #[test]
+    fn estimate_batch_after_shutdown_fails_fast() {
+        let circuit = catalog::c17();
+        let engine = Engine::with_jobs(1);
+        engine.shutdown(ShutdownMode::Drain);
+        assert!(engine.is_shut_down());
+        // Idempotent: a second shutdown (any mode) is a no-op.
+        engine.shutdown(ShutdownMode::CancelQueued);
+        let err = engine
+            .estimate_batch(&circuit, &specs_for(&circuit, 2), &Options::default())
+            .unwrap_err();
+        assert!(matches!(err, EstimateError::Cancelled));
+        assert_eq!(engine.metrics().requests_completed, 0);
+    }
+
+    /// A draining shutdown lets every already-queued scenario run to
+    /// completion — only batches *submitted* afterwards are refused.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn draining_shutdown_finishes_in_flight_batch() {
+        use swact::faults::{arm, FaultAction, FaultPlan};
+
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let engine = Arc::new(Engine::with_jobs_forced(1));
+        let specs = specs_for(&circuit, 8);
+
+        // Pin the worker inside scenario 0 so the batch thread finishes
+        // submitting all scenarios before the drain lands (a drain that
+        // races the submit loop cancels the still-unsubmitted tail — see
+        // `submit_after_shutdown_cancels_immediately` in the pool tests).
+        let _guard = arm(FaultPlan::new().fault_at(
+            "engine:job",
+            0,
+            FaultAction::Delay(Duration::from_millis(300)),
+        ));
+
+        let batch = {
+            let engine = Arc::clone(&engine);
+            let circuit = circuit.clone();
+            let specs = specs.clone();
+            std::thread::spawn(move || engine.estimate_batch(&circuit, &specs, &options))
+        };
+        while engine.metrics().queue_depth != specs.len() - 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        engine.shutdown(ShutdownMode::Drain);
+        let report = batch.join().unwrap().unwrap();
+        assert!(report.all_ok());
+        assert_eq!(report.items.len(), specs.len());
+        assert_eq!(engine.metrics().jobs_cancelled, 0);
+    }
+
+    /// Satellite regression: shutting down (and then dropping) an engine
+    /// whose queue is full neither hangs the in-flight batch nor panics —
+    /// every queued scenario resolves as [`EstimateError::Cancelled`].
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn cancelling_shutdown_resolves_queued_scenarios_and_drop_is_clean() {
+        use swact::faults::{arm, FaultAction, FaultPlan};
+
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let engine = Arc::new(Engine::with_jobs_forced(1));
+        let specs = specs_for(&circuit, 8);
+
+        // Pin the single worker inside scenario 0 for long enough that the
+        // other seven scenarios are deterministically still queued when the
+        // cancelling shutdown lands.
+        let _guard = arm(FaultPlan::new().fault_at(
+            "engine:job",
+            0,
+            FaultAction::Delay(Duration::from_millis(500)),
+        ));
+
+        let batch = {
+            let engine = Arc::clone(&engine);
+            let circuit = circuit.clone();
+            let specs = specs.clone();
+            std::thread::spawn(move || engine.estimate_batch(&circuit, &specs, &options))
+        };
+        // Scenario 0 dequeues on pickup, so depth 7 means: worker stalled
+        // in scenario 0, scenarios 1..8 all queued.
+        while engine.metrics().queue_depth != specs.len() - 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        engine.shutdown(ShutdownMode::CancelQueued);
+
+        let report = batch.join().unwrap().unwrap();
+        assert_eq!(report.items.len(), specs.len());
+        assert!(
+            report.items[0].result.is_ok(),
+            "in-flight scenario finishes"
+        );
+        for item in &report.items[1..] {
+            assert!(matches!(item.result, Err(EstimateError::Cancelled)));
+        }
+        let metrics = engine.metrics();
+        assert_eq!(metrics.jobs_cancelled, specs.len() as u64 - 1);
+        assert_eq!(metrics.queue_depth, 0);
+        assert_eq!(metrics.requests_completed, specs.len() as u64);
+
+        let engine = Arc::into_inner(engine).expect("batch thread joined");
+        drop(engine); // must not hang in the pool's Drop drain
     }
 }

@@ -24,6 +24,7 @@ pub(crate) struct EngineMetrics {
     pub(crate) compiled_nnz: AtomicU64,
     pub(crate) compiled_states: AtomicU64,
     pub(crate) jobs_panicked: AtomicU64,
+    pub(crate) jobs_cancelled: AtomicU64,
     pub(crate) retries: AtomicU64,
     pub(crate) degraded_segments: AtomicU64,
     pub(crate) messages_reused: AtomicU64,
@@ -63,6 +64,7 @@ impl EngineMetrics {
             compiled_nnz: self.compiled_nnz.load(Ordering::Relaxed),
             compiled_states: self.compiled_states.load(Ordering::Relaxed),
             jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             degraded_segments: self.degraded_segments.load(Ordering::Relaxed),
             messages_reused: self.messages_reused.load(Ordering::Relaxed),
@@ -121,6 +123,10 @@ pub struct MetricsSnapshot {
     /// Worker panics caught at the job boundary and converted to
     /// per-scenario [`Panicked`](swact::EstimateError::Panicked) errors.
     pub jobs_panicked: u64,
+    /// Queued scenarios evicted by a cancelling engine shutdown and
+    /// resolved as per-scenario
+    /// [`Cancelled`](swact::EstimateError::Cancelled) errors.
+    pub jobs_cancelled: u64,
     /// Scenario attempts re-executed after a retryable error
     /// (panic/deadline).
     pub retries: u64,
@@ -157,5 +163,36 @@ impl MetricsSnapshot {
         } else {
             self.messages_reused as f64 / total as f64
         }
+    }
+
+    /// Every counter as a `(name, value)` pair in a stable order, with
+    /// durations converted to seconds (`*_seconds` names) — the flat view
+    /// scrape endpoints and log sinks consume without matching struct
+    /// fields one by one. Names are valid Prometheus metric-name suffixes.
+    pub fn fields(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("compile_hits", self.compile_hits as f64),
+            ("compile_misses", self.compile_misses as f64),
+            ("evictions", self.evictions as f64),
+            ("requests_completed", self.requests_completed as f64),
+            ("requests_failed", self.requests_failed as f64),
+            ("queue_depth", self.queue_depth as f64),
+            ("max_queue_depth", self.max_queue_depth as f64),
+            ("compile_seconds", self.compile_time.as_secs_f64()),
+            ("plan_seconds", self.plan_time.as_secs_f64()),
+            ("model_seconds", self.model_time.as_secs_f64()),
+            ("propagate_seconds", self.propagate_time.as_secs_f64()),
+            ("forward_seconds", self.forward_time.as_secs_f64()),
+            ("queue_wait_seconds", self.queue_wait.as_secs_f64()),
+            ("compiled_nnz", self.compiled_nnz as f64),
+            ("compiled_states", self.compiled_states as f64),
+            ("jobs_panicked", self.jobs_panicked as f64),
+            ("jobs_cancelled", self.jobs_cancelled as f64),
+            ("retries", self.retries as f64),
+            ("degraded_segments", self.degraded_segments as f64),
+            ("messages_reused", self.messages_reused as f64),
+            ("messages_recomputed", self.messages_recomputed as f64),
+            ("segments_skipped", self.segments_skipped as f64),
+        ]
     }
 }

@@ -4,23 +4,55 @@
 //! and N parked threads — because the engine's jobs are coarse (one full
 //! propagation each), so queue overhead is irrelevant and determinism and
 //! debuggability win over cleverness.
+//!
+//! Shutdown is explicit and deterministic: [`WorkerPool::shutdown`] either
+//! **drains** (workers finish every queued job, the default and the `Drop`
+//! behavior) or **cancels** (queued jobs are pulled off the queue and their
+//! cancel thunks run, so waiting submitters observe a typed cancellation
+//! instead of hanging). Both modes then wait until every in-flight job has
+//! finished, so after `shutdown` returns no worker is touching shared
+//! state.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+type Thunk = Box<dyn FnOnce() + Send + 'static>;
+
+/// A queued unit of work: `run` executes on a worker; `cancel` (when
+/// present) runs instead if the job is evicted by a cancelling shutdown —
+/// it must unblock whoever is waiting on the job's result.
+struct Job {
+    run: Thunk,
+    cancel: Option<Thunk>,
+}
+
+/// How a shutdown (pool- or [`Engine`](crate::Engine)-level) treats jobs
+/// still sitting in the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Workers finish every queued job before exiting.
+    Drain,
+    /// Queued jobs never run; their cancel thunks execute instead.
+    /// In-flight jobs still finish (jobs are not interruptible).
+    CancelQueued,
+}
 
 #[derive(Default)]
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
+    /// Signalled whenever a worker finishes a job and the queue is empty;
+    /// paired with `queue` for idle waits.
+    idle: Condvar,
     shutdown: AtomicBool,
+    /// Jobs currently executing on a worker.
+    busy: AtomicUsize,
 }
 
-/// Fixed-size worker pool; dropped pools finish queued jobs and join.
+/// Fixed-size worker pool; dropped pools drain queued jobs and join.
 pub(crate) struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -47,28 +79,106 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Enqueues a job; some idle worker will pick it up.
-    ///
+    /// Enqueues a job with no cancellation path; a cancelling shutdown
+    /// silently discards it if it never started.
+    #[cfg(test)]
+    pub(crate) fn submit(&self, run: Thunk) {
+        self.submit_job(Job { run, cancel: None });
+    }
+
+    /// Enqueues a job with a cancel thunk that runs (on the shutting-down
+    /// thread) if the job is evicted before a worker picks it up.
+    pub(crate) fn submit_cancellable(&self, run: Thunk, cancel: Thunk) {
+        self.submit_job(Job {
+            run,
+            cancel: Some(cancel),
+        });
+    }
+
     /// Recovers from a poisoned queue mutex: the queue is a plain
     /// `VecDeque` whose every mutation is a single non-panicking push/pop,
     /// so a poison mark only means some *job* panicked while a worker
     /// held an unrelated lock — the queue itself is still consistent.
-    pub(crate) fn submit(&self, job: Job) {
+    fn submit_job(&self, job: Job) {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            // The workers are gone (or going): queued work would never
+            // run. Cancel immediately so submitters never hang.
+            if let Some(cancel) = job.cancel {
+                let _ = catch_unwind(AssertUnwindSafe(cancel));
+            }
+            return;
+        }
         let mut queue = self
             .shared
             .queue
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        // Re-check under the lock: a concurrent cancelling shutdown drains
+        // the queue exactly once, so a job slipping in after that drain
+        // must cancel itself.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            drop(queue);
+            if let Some(cancel) = job.cancel {
+                let _ = catch_unwind(AssertUnwindSafe(cancel));
+            }
+            return;
+        }
         queue.push_back(job);
         drop(queue);
         self.shared.available.notify_one();
+    }
+
+    /// Stops the pool: queued jobs drain or cancel per `mode`, then the
+    /// call blocks until every in-flight job has finished. Idempotent —
+    /// later calls (and `Drop`) find an empty queue and return
+    /// immediately. Does not join the worker threads (that happens in
+    /// `Drop`); after this returns the workers are exiting or parked.
+    pub(crate) fn shutdown(&self, mode: ShutdownMode) {
+        let cancelled: Vec<Job> = {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+            match mode {
+                ShutdownMode::Drain => Vec::new(),
+                ShutdownMode::CancelQueued => queue.drain(..).collect(),
+            }
+        };
+        self.shared.available.notify_all();
+        for job in cancelled {
+            if let Some(cancel) = job.cancel {
+                // A panicking cancel thunk must not abort the shutdown of
+                // every job behind it.
+                let _ = catch_unwind(AssertUnwindSafe(cancel));
+            }
+        }
+        // Wait for in-flight jobs (and, in drain mode, the queue) to
+        // finish so callers observe a quiescent pool.
+        let mut queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !queue.is_empty() || self.shared.busy.load(Ordering::SeqCst) > 0 {
+            queue = self
+                .shared
+                .idle
+                .wait(queue)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Whether `shutdown` has been initiated.
+    pub(crate) fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.available.notify_all();
+        self.shutdown(ShutdownMode::Drain);
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -78,11 +188,16 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            // Poison recovery (see `submit`): one panicked job must not
-            // wedge every subsequent batch behind a poisoned queue lock.
+            // Poison recovery (see `submit_job`): one panicked job must
+            // not wedge every subsequent batch behind a poisoned queue
+            // lock.
             let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(job) = queue.pop_front() {
+                    // Marked busy *before* releasing the lock so an idle
+                    // waiter never sees empty-queue + zero-busy while this
+                    // job is in limbo.
+                    shared.busy.fetch_add(1, Ordering::SeqCst);
                     break job;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -98,7 +213,15 @@ fn worker_loop(shared: &Shared) {
         // per-scenario errors at the job boundary, but a raw job that
         // slips a panic through must kill neither this worker nor the
         // process (abort on double panic during unwind).
-        let _ = catch_unwind(AssertUnwindSafe(job));
+        let _ = catch_unwind(AssertUnwindSafe(job.run));
+        // Take the queue lock before signalling idle so the busy decrement
+        // can't race between an idle waiter's check and its wait.
+        let queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+        if queue.is_empty() {
+            shared.idle.notify_all();
+        }
+        drop(queue);
     }
 }
 
@@ -107,6 +230,7 @@ fn worker_loop(shared: &Shared) {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
 
     #[test]
     fn runs_all_jobs_across_workers() {
@@ -144,8 +268,90 @@ mod tests {
                 }));
             }
         }
-        // Drop joined the worker, which drains the queue before exiting.
+        // Drop drains the queue (and joins) before returning.
         assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn cancelling_shutdown_runs_cancel_thunks_for_queued_jobs() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let cancelled = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1);
+        // Plug the single worker so everything behind the plug stays
+        // queued until shutdown.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(Box::new(move || {
+                let (open, signal) = &*gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = signal.wait(open).unwrap();
+                }
+            }));
+        }
+        for _ in 0..8 {
+            let ran = Arc::clone(&ran);
+            let cancelled = Arc::clone(&cancelled);
+            pool.submit_cancellable(
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }),
+                Box::new(move || {
+                    cancelled.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        // Unplug the worker from another thread once shutdown is under
+        // way, then cancel the queue. Ordering here is deterministic: the
+        // queue is drained before shutdown() waits for the in-flight job.
+        let unplug = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                let (open, signal) = &*gate;
+                *open.lock().unwrap() = true;
+                signal.notify_all();
+            })
+        };
+        pool.shutdown(ShutdownMode::CancelQueued);
+        unplug.join().unwrap();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "queued jobs must not run");
+        assert_eq!(cancelled.load(Ordering::SeqCst), 8);
+        assert!(pool.is_shut_down());
+    }
+
+    #[test]
+    fn submit_after_shutdown_cancels_immediately() {
+        let pool = WorkerPool::new(1);
+        pool.shutdown(ShutdownMode::Drain);
+        let cancelled = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&cancelled);
+        pool.submit_cancellable(
+            Box::new(|| panic!("must not run")),
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(cancelled.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_waits_for_in_flight() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                counter.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown(ShutdownMode::Drain);
+        // All jobs finished *before* shutdown returned.
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        pool.shutdown(ShutdownMode::Drain);
+        pool.shutdown(ShutdownMode::CancelQueued);
     }
 
     #[test]

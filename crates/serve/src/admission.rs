@@ -1,0 +1,271 @@
+//! Per-client admission control: token → resource [`Budget`] plus an
+//! in-flight request quota.
+//!
+//! Clients identify themselves with the `X-Swact-Client` header. Each
+//! configured token maps to a [`ClientPolicy`]; unknown or anonymous
+//! clients share the `default` policy (and its quota counter, so a fleet
+//! of anonymous callers competes for one allowance rather than each
+//! minting their own). Admission is a single atomic increment guarded by
+//! the quota; the returned [`AdmissionGuard`] decrements on drop, so
+//! every exit path — success, error, panic unwinding through the handler
+//! — releases the slot.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use swact::Budget;
+
+use crate::json::{self, Value};
+
+/// What one client token is allowed to do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientPolicy {
+    /// Concurrent requests this token may have in flight; `None` is
+    /// unlimited, `Some(0)` rejects every request (useful for revoking a
+    /// token without editing it out of the config).
+    pub max_in_flight: Option<usize>,
+    /// Resource budget applied to every estimate this client runs,
+    /// merged over any per-request options.
+    pub budget: Budget,
+}
+
+/// A client's policy plus its live in-flight counter.
+#[derive(Debug)]
+pub(crate) struct ClientState {
+    pub(crate) policy: ClientPolicy,
+    in_flight: AtomicUsize,
+}
+
+/// The admission table: configured clients plus the shared default.
+#[derive(Debug)]
+pub struct ClientTable {
+    clients: HashMap<String, Arc<ClientState>>,
+    default: Arc<ClientState>,
+}
+
+impl Default for ClientTable {
+    /// A table that admits everyone with no quota and no budget.
+    fn default() -> ClientTable {
+        ClientTable::with_default(ClientPolicy::default())
+    }
+}
+
+impl ClientTable {
+    /// An empty table with the given default (anonymous/unknown) policy.
+    pub fn with_default(default: ClientPolicy) -> ClientTable {
+        ClientTable {
+            clients: HashMap::new(),
+            default: Arc::new(ClientState {
+                policy: default,
+                in_flight: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Adds (or replaces) a client token's policy.
+    pub fn insert(&mut self, token: impl Into<String>, policy: ClientPolicy) {
+        self.clients.insert(
+            token.into(),
+            Arc::new(ClientState {
+                policy,
+                in_flight: AtomicUsize::new(0),
+            }),
+        );
+    }
+
+    /// Parses the `--clients-config` JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "default": {"max_in_flight": 8},
+    ///   "clients": {
+    ///     "alice":   {"max_in_flight": 2, "deadline_ms": 5000},
+    ///     "batch":   {"max_states": 1e6, "max_factor_bytes": 8000000},
+    ///     "revoked": {"max_in_flight": 0}
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Every field is optional; omitted fields mean "unlimited".
+    pub fn from_json(source: &str) -> Result<ClientTable, String> {
+        let doc = json::parse(source).map_err(|e| e.to_string())?;
+        if !matches!(doc, Value::Object(_)) {
+            return Err("clients config must be a JSON object".into());
+        }
+        let default = match doc.get("default") {
+            Some(v) => parse_policy(v)?,
+            None => ClientPolicy::default(),
+        };
+        let mut table = ClientTable::with_default(default);
+        if let Some(clients) = doc.get("clients") {
+            let Value::Object(members) = clients else {
+                return Err("`clients` must be an object".into());
+            };
+            for (token, policy) in members {
+                table.insert(token.clone(), parse_policy(policy)?);
+            }
+        }
+        Ok(table)
+    }
+
+    /// The policy a token resolves to (the default for `None`/unknown).
+    pub fn policy(&self, token: Option<&str>) -> ClientPolicy {
+        self.state(token).policy
+    }
+
+    fn state(&self, token: Option<&str>) -> &Arc<ClientState> {
+        token
+            .and_then(|t| self.clients.get(t))
+            .unwrap_or(&self.default)
+    }
+
+    /// Tries to admit one request for `token`. `Err` means the client is
+    /// at its in-flight quota (HTTP 429); otherwise the guard holds the
+    /// slot until dropped.
+    pub fn try_admit(&self, token: Option<&str>) -> Result<AdmissionGuard, ClientPolicy> {
+        let state = Arc::clone(self.state(token));
+        let quota = state.policy.max_in_flight;
+        let prev = state.in_flight.fetch_add(1, Ordering::SeqCst);
+        if quota.is_some_and(|q| prev >= q) {
+            let policy = state.policy;
+            state.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return Err(policy);
+        }
+        Ok(AdmissionGuard { state })
+    }
+
+    /// Total requests currently admitted across all clients.
+    pub fn total_in_flight(&self) -> usize {
+        self.clients
+            .values()
+            .chain(std::iter::once(&self.default))
+            .map(|s| s.in_flight.load(Ordering::SeqCst))
+            .sum()
+    }
+}
+
+/// RAII token for one admitted request; dropping releases the slot.
+#[derive(Debug)]
+pub struct AdmissionGuard {
+    state: Arc<ClientState>,
+}
+
+impl AdmissionGuard {
+    /// The budget the admitted client's work must run under.
+    pub fn budget(&self) -> Budget {
+        self.state.policy.budget
+    }
+}
+
+impl Drop for AdmissionGuard {
+    fn drop(&mut self) {
+        self.state.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn parse_policy(v: &Value) -> Result<ClientPolicy, String> {
+    let Value::Object(members) = v else {
+        return Err("client policy must be an object".into());
+    };
+    let mut policy = ClientPolicy::default();
+    for (key, value) in members {
+        match key.as_str() {
+            "max_in_flight" => {
+                policy.max_in_flight =
+                    Some(value.as_usize().ok_or("`max_in_flight` must be a count")?);
+            }
+            "deadline_ms" => {
+                let ms = value.as_usize().ok_or("`deadline_ms` must be a count")?;
+                policy.budget.deadline = Some(Duration::from_millis(ms as u64));
+            }
+            "max_states" => {
+                policy.budget.max_states =
+                    Some(value.as_f64().ok_or("`max_states` must be a number")?);
+            }
+            "max_factor_bytes" => {
+                policy.budget.max_factor_bytes = Some(
+                    value
+                        .as_usize()
+                        .ok_or("`max_factor_bytes` must be a count")?,
+                );
+            }
+            other => return Err(format!("unknown client-policy field `{other}`")),
+        }
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_admits_up_to_the_limit_and_releases_on_drop() {
+        let mut table = ClientTable::default();
+        table.insert(
+            "alice",
+            ClientPolicy {
+                max_in_flight: Some(2),
+                budget: Budget::UNLIMITED,
+            },
+        );
+        let a = table.try_admit(Some("alice")).expect("slot 1");
+        let _b = table.try_admit(Some("alice")).expect("slot 2");
+        assert!(table.try_admit(Some("alice")).is_err(), "over quota");
+        assert_eq!(table.total_in_flight(), 2);
+        drop(a);
+        assert!(table.try_admit(Some("alice")).is_ok(), "slot freed");
+    }
+
+    #[test]
+    fn zero_quota_rejects_and_unknown_tokens_use_the_default() {
+        let mut table = ClientTable::with_default(ClientPolicy {
+            max_in_flight: Some(1),
+            budget: Budget::UNLIMITED,
+        });
+        table.insert(
+            "revoked",
+            ClientPolicy {
+                max_in_flight: Some(0),
+                budget: Budget::UNLIMITED,
+            },
+        );
+        assert!(table.try_admit(Some("revoked")).is_err());
+        // Anonymous and unknown tokens share the default policy's counter.
+        let _anon = table.try_admit(None).expect("default slot");
+        assert!(table.try_admit(Some("never-configured")).is_err());
+    }
+
+    #[test]
+    fn config_json_parses_policies_and_budgets() {
+        let table = ClientTable::from_json(
+            r#"{
+                "default": {"max_in_flight": 8},
+                "clients": {
+                    "alice": {"max_in_flight": 2, "deadline_ms": 5000},
+                    "batch": {"max_states": 1e6, "max_factor_bytes": 8000000}
+                }
+            }"#,
+        )
+        .expect("valid config");
+        assert_eq!(table.policy(None).max_in_flight, Some(8));
+        let alice = table.policy(Some("alice"));
+        assert_eq!(alice.max_in_flight, Some(2));
+        assert_eq!(alice.budget.deadline, Some(Duration::from_millis(5000)));
+        let batch = table.policy(Some("batch"));
+        assert_eq!(batch.max_in_flight, None);
+        assert_eq!(batch.budget.max_states, Some(1e6));
+        assert_eq!(batch.budget.max_factor_bytes, Some(8_000_000));
+    }
+
+    #[test]
+    fn config_rejects_unknown_fields_and_bad_shapes() {
+        assert!(ClientTable::from_json("[]").is_err());
+        assert!(ClientTable::from_json(r#"{"clients": []}"#).is_err());
+        assert!(ClientTable::from_json(r#"{"clients": {"a": {"max_inflight": 1}}}"#).is_err());
+        assert!(ClientTable::from_json(r#"{"default": {"deadline_ms": -3}}"#).is_err());
+    }
+}

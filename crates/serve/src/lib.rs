@@ -1,0 +1,742 @@
+//! swact-serve: a networked switching-activity inference service.
+//!
+//! Wraps a [`swact_engine::Engine`] in a small HTTP/1.1 + JSON server
+//! built entirely on `std::net` (the workspace is vendored/offline — no
+//! async runtime, no HTTP framework). The service turns the engine's
+//! compile-once/propagate-many economics into a long-running process:
+//! compiled junction trees stay cached across requests, so the steady
+//! state is pure propagation.
+//!
+//! # Endpoints
+//!
+//! | Endpoint                | Body | Response |
+//! |-------------------------|------|----------|
+//! | `POST /v1/estimate`     | one circuit + input spec | the full [`Estimate`](swact::Estimate) as JSON |
+//! | `POST /v1/batch`        | one circuit + N scenarios | per-scenario results in submission order |
+//! | `POST /v1/sweep`        | one circuit + N scenarios | chunked stream: one JSON line per scenario |
+//! | `GET /metrics`          | — | Prometheus text: engine + server counters |
+//! | `GET /healthz`          | — | `200` serving / `503` draining |
+//! | `POST /admin/shutdown`  | — | `202`, then graceful drain |
+//!
+//! # Admission control
+//!
+//! Clients identify with `X-Swact-Client`; each token maps to an
+//! in-flight quota and a resource [`Budget`](swact::Budget) (see
+//! [`admission`]). Over-quota requests get `429`; engine failures map to
+//! typed statuses (`504` deadline, `422` budget, `500` panic) with
+//! structured JSON error bodies — see [`error_status`].
+//!
+//! # Determinism
+//!
+//! Responses are byte-deterministic for a given engine state: floats are
+//! encoded shortest-round-trip ([`swact::wire`]), object keys have fixed
+//! order, and batch items come back in submission order. A client
+//! parsing the JSON recovers the exact bits a direct [`Engine`] call
+//! produces.
+
+#![deny(clippy::unwrap_used)]
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod metrics;
+
+mod signal;
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use swact::{wire, EstimateError, InputModel, InputSpec, Options};
+use swact_circuit::{catalog, Circuit};
+use swact_engine::{Engine, ShutdownMode};
+
+use admission::ClientTable;
+use http::{ChunkedWriter, HttpError, Request};
+use json::Value;
+use metrics::{classify, Endpoint, ServerMetrics};
+
+pub use admission::{AdmissionGuard, ClientPolicy};
+pub use signal::install_signal_handler;
+
+/// How a [`Server`] is built.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral
+    /// port — read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Engine worker threads (`0` = one per CPU).
+    pub jobs: usize,
+    /// Connection-handler threads.
+    pub handlers: usize,
+    /// Per-client admission policies.
+    pub clients: ClientTable,
+    /// How long a graceful shutdown waits for in-flight work before
+    /// cancelling whatever is still queued in the engine.
+    pub drain: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            jobs: 0,
+            handlers: 4,
+            clients: ClientTable::default(),
+            drain: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Shared server state: the engine, admission table, counters, and the
+/// coordination flags the acceptor/handlers/shutdown paths agree on.
+struct Inner {
+    engine: Engine,
+    clients: ClientTable,
+    metrics: ServerMetrics,
+    /// Set once by any shutdown trigger; the acceptor stops accepting and
+    /// `/healthz` flips to 503.
+    stop: AtomicBool,
+    /// Connections accepted but not yet picked up by a handler.
+    queue: Mutex<VecDeque<TcpStream>>,
+    /// Signals handlers when a connection (or shutdown) is ready.
+    available: Condvar,
+}
+
+impl Inner {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
+/// A running service instance.
+///
+/// [`Server::start`] spawns the acceptor and handler threads and returns
+/// immediately; [`Server::wait`] blocks until the server has shut down
+/// (via [`ServerHandle::shutdown`], `POST /admin/shutdown`, or an
+/// installed signal handler). Dropping the server also shuts it down.
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: std::net::SocketAddr,
+    drain: Duration,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    handlers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// A cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+}
+
+impl ServerHandle {
+    /// Triggers a graceful shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.inner.request_stop();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.stopping()
+    }
+
+    /// A point-in-time copy of the engine's counters (usable after the
+    /// server itself has been consumed by [`Server::wait`]).
+    pub fn engine_metrics(&self) -> swact_engine::MetricsSnapshot {
+        self.inner.engine.metrics()
+    }
+}
+
+impl Server {
+    /// Binds the listener, spins up the engine and thread pools, and
+    /// starts serving.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking accept + short sleeps: lets the acceptor poll the
+        // stop flag (set by handlers or a signal) without a self-pipe.
+        listener.set_nonblocking(true)?;
+
+        let engine = match config.jobs {
+            0 => Engine::new(),
+            n => Engine::with_jobs(n),
+        };
+        let inner = Arc::new(Inner {
+            engine,
+            clients: config.clients,
+            metrics: ServerMetrics::default(),
+            stop: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        let handlers = (0..config.handlers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || handler_loop(&inner))
+            })
+            .collect();
+
+        Ok(Server {
+            inner,
+            local_addr,
+            drain: config.drain,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// A remote control usable from other threads (and the signal path).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// A point-in-time copy of the engine's counters.
+    pub fn engine_metrics(&self) -> swact_engine::MetricsSnapshot {
+        self.inner.engine.metrics()
+    }
+
+    /// Blocks until the server shuts down, then drains: stops accepting,
+    /// waits up to the configured drain deadline for in-flight requests,
+    /// cancels any engine work still queued past the deadline, and joins
+    /// every thread.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return; // already joined
+        };
+        // Acceptor exits on its own once `stop` is set (or a signal
+        // arrives); it notifies the handlers on the way out.
+        let _ = acceptor.join();
+
+        // Drain phase: give in-flight connections until the deadline,
+        // then cancel queued engine jobs so handlers come home fast.
+        let deadline = Instant::now() + self.drain;
+        loop {
+            let idle = {
+                let queue = self
+                    .inner
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue.is_empty() && self.inner.clients.total_in_flight() == 0
+            };
+            if idle {
+                break;
+            }
+            if Instant::now() >= deadline {
+                self.inner.engine.shutdown(ShutdownMode::CancelQueued);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.inner.available.notify_all();
+        for handler in self.handlers.drain(..) {
+            let _ = handler.join();
+        }
+        // Idempotent if the deadline path already cancelled.
+        self.inner.engine.shutdown(ShutdownMode::Drain);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.request_stop();
+        self.join_all();
+    }
+}
+
+/// Accepts connections until shutdown, pushing them to the handler queue.
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    loop {
+        if inner.stopping() || signal::signalled() {
+            inner.request_stop();
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                inner.metrics.connection_accepted();
+                inner
+                    .queue
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push_back(stream);
+                inner.available.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            // Transient accept errors (EMFILE, aborted handshake): keep
+            // serving; the alternative is taking the whole service down.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Pops connections and serves them until shutdown *and* queue empty.
+fn handler_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut queue = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if inner.stopping() {
+                    break None;
+                }
+                queue = inner
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        handle_connection(inner, &mut stream);
+    }
+}
+
+/// One request-response exchange (connections are `Connection: close`).
+fn handle_connection(inner: &Inner, stream: &mut TcpStream) {
+    // A peer that connects and goes silent must not pin a handler.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match http::read_request(stream) {
+        Ok(request) => request,
+        Err(HttpError::BadRequest(message)) => {
+            let _ = respond_error(stream, 400, "bad_request", &message);
+            return;
+        }
+        Err(HttpError::Io(_)) => return, // peer went away; nothing to say
+    };
+
+    let endpoint = classify(&request.method, &request.path);
+    inner.metrics.request_started(endpoint);
+    let started = Instant::now();
+    let status = route(inner, stream, endpoint, &request).unwrap_or(0);
+    inner
+        .metrics
+        .request_finished(endpoint, status, started.elapsed());
+}
+
+/// Dispatches one request; returns the response status for accounting
+/// (`Err` means the socket died mid-response).
+fn route(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    endpoint: Endpoint,
+    request: &Request,
+) -> io::Result<u16> {
+    match endpoint {
+        Endpoint::Healthz => {
+            if inner.stopping() {
+                respond_json(stream, 503, "{\"status\":\"draining\"}")
+            } else {
+                respond_json(stream, 200, "{\"status\":\"ok\"}")
+            }
+        }
+        Endpoint::Metrics => {
+            let body = inner.metrics.render_prometheus(&inner.engine.metrics());
+            http::write_response(
+                stream,
+                200,
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+                &[],
+            )?;
+            Ok(200)
+        }
+        Endpoint::Shutdown => {
+            inner.request_stop();
+            respond_json(stream, 202, "{\"status\":\"shutting-down\"}")
+        }
+        Endpoint::Estimate | Endpoint::Batch | Endpoint::Sweep => {
+            if inner.stopping() {
+                return respond_error(stream, 503, "draining", "server is shutting down");
+            }
+            let token = request.header("x-swact-client");
+            let guard = match inner.clients.try_admit(token) {
+                Ok(guard) => guard,
+                Err(_policy) => {
+                    inner.metrics.throttled();
+                    http::write_response(
+                        stream,
+                        429,
+                        "application/json",
+                        error_body("over_quota", "client in-flight quota exhausted").as_bytes(),
+                        &[("Retry-After", "1".to_string())],
+                    )?;
+                    return Ok(429);
+                }
+            };
+            match parse_inference_request(request, endpoint) {
+                Ok(parsed) => serve_inference(inner, stream, endpoint, &parsed, &guard),
+                Err((status, code, message)) => respond_error(stream, status, code, &message),
+            }
+        }
+        Endpoint::Other => respond_error(
+            stream,
+            404,
+            "not_found",
+            &format!("no route for {} {}", request.method, request.path),
+        ),
+    }
+}
+
+/// A validated inference request: the circuit plus one spec per scenario.
+struct InferenceRequest {
+    circuit: Circuit,
+    scenarios: Vec<InputSpec>,
+}
+
+type RequestError = (u16, &'static str, String);
+
+fn bad(code: &'static str, message: impl Into<String>) -> RequestError {
+    (400, code, message.into())
+}
+
+/// Parses and validates an estimate/batch/sweep body.
+///
+/// ```json
+/// {
+///   "circuit": "c17",              // catalog name, or
+///   "bench": "INPUT(a) ...",       // inline ISCAS-85 netlist
+///   "p1": [0.5, ...],              // estimate: one spec inline
+///   "activity": [0.4, ...],        // optional, with "p1"
+///   "scenarios": [{"p1": [...]}]   // batch/sweep: many specs
+/// }
+/// ```
+fn parse_inference_request(
+    request: &Request,
+    endpoint: Endpoint,
+) -> Result<InferenceRequest, RequestError> {
+    let body = request
+        .body_utf8()
+        .map_err(|e| bad("bad_request", e.to_string()))?;
+    let doc = json::parse(body).map_err(|e| bad("bad_json", e.to_string()))?;
+
+    let circuit = match (doc.get("circuit"), doc.get("bench")) {
+        (Some(name), None) => {
+            let name = name
+                .as_str()
+                .ok_or_else(|| bad("bad_request", "`circuit` must be a string"))?;
+            catalog::benchmark(name).ok_or_else(|| {
+                (
+                    404,
+                    "unknown_circuit",
+                    format!("`{name}` is not a catalog benchmark"),
+                )
+            })?
+        }
+        (None, Some(bench)) => {
+            let source = bench
+                .as_str()
+                .ok_or_else(|| bad("bad_request", "`bench` must be a string"))?;
+            swact_circuit::parse::parse_bench("inline", source)
+                .map_err(|e| bad("bad_netlist", e.to_string()))?
+        }
+        _ => {
+            return Err(bad(
+                "bad_request",
+                "body must have exactly one of `circuit` (catalog name) or `bench` (netlist)",
+            ));
+        }
+    };
+
+    let scenarios = match endpoint {
+        Endpoint::Estimate => vec![parse_spec(&doc, &circuit)?],
+        _ => {
+            let list = doc
+                .get("scenarios")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("bad_request", "`scenarios` must be an array"))?;
+            if list.is_empty() {
+                return Err(bad("bad_request", "`scenarios` must not be empty"));
+            }
+            list.iter()
+                .map(|s| parse_spec(s, &circuit))
+                .collect::<Result<_, _>>()?
+        }
+    };
+
+    Ok(InferenceRequest { circuit, scenarios })
+}
+
+/// One input spec: `{"p1": [...]}` with optional matching `"activity"`;
+/// no `p1` at all means uniform inputs.
+fn parse_spec(v: &Value, circuit: &Circuit) -> Result<InputSpec, RequestError> {
+    let Some(p1) = v.get("p1") else {
+        return Ok(InputSpec::uniform(circuit.num_inputs()));
+    };
+    let p1: Vec<f64> = p1
+        .as_array()
+        .ok_or_else(|| bad("bad_request", "`p1` must be an array of probabilities"))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| bad("bad_request", "`p1` entries must be numbers"))
+        })
+        .collect::<Result<_, _>>()?;
+    match v.get("activity") {
+        None => Ok(InputSpec::independent(p1)),
+        Some(activity) => {
+            let activity: Vec<f64> = activity
+                .as_array()
+                .ok_or_else(|| bad("bad_request", "`activity` must be an array"))?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| bad("bad_request", "`activity` entries must be numbers"))
+                })
+                .collect::<Result<_, _>>()?;
+            if activity.len() != p1.len() {
+                return Err(bad("bad_request", "`activity` must match `p1` in length"));
+            }
+            let models = p1
+                .iter()
+                .zip(&activity)
+                .map(|(&p, &a)| InputModel::new(p, a))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| bad("bad_request", e.to_string()))?;
+            Ok(InputSpec::from_models(models))
+        }
+    }
+}
+
+/// Runs the engine and writes the endpoint-appropriate response.
+fn serve_inference(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    endpoint: Endpoint,
+    parsed: &InferenceRequest,
+    guard: &AdmissionGuard,
+) -> io::Result<u16> {
+    let options = Options {
+        budget: guard.budget(),
+        ..Options::default()
+    };
+    match endpoint {
+        Endpoint::Estimate => {
+            let report =
+                match inner
+                    .engine
+                    .estimate_batch(&parsed.circuit, &parsed.scenarios, &options)
+                {
+                    Ok(report) => report,
+                    Err(e) => return respond_estimate_error(stream, &e),
+                };
+            match &report.items[0].result {
+                Ok(estimate) => {
+                    respond_json(stream, 200, &wire::estimate_json(estimate, &parsed.circuit))
+                }
+                Err(e) => respond_estimate_error(stream, e),
+            }
+        }
+        Endpoint::Batch => {
+            let report =
+                match inner
+                    .engine
+                    .estimate_batch(&parsed.circuit, &parsed.scenarios, &options)
+                {
+                    Ok(report) => report,
+                    Err(e) => return respond_estimate_error(stream, &e),
+                };
+            let mut body = format!(
+                "{{\"circuit\":\"{}\",\"cache_hit\":{},\"items\":[",
+                wire::escape(parsed.circuit.name()),
+                report.cache_hit
+            );
+            for (i, item) in report.items.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                match &item.result {
+                    Ok(estimate) => {
+                        body.push_str(&format!(
+                            "{{\"index\":{i},\"ok\":{}}}",
+                            wire::estimate_json(estimate, &parsed.circuit)
+                        ));
+                    }
+                    Err(e) => {
+                        let (_, code) = error_status(e);
+                        body.push_str(&format!(
+                            "{{\"index\":{i},\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
+                            wire::escape(&e.to_string())
+                        ));
+                    }
+                }
+            }
+            body.push_str("]}");
+            respond_json(stream, 200, &body)
+        }
+        Endpoint::Sweep => serve_sweep(inner, stream, parsed, &options),
+        _ => unreachable!("serve_inference is only called for inference endpoints"),
+    }
+}
+
+/// Streams a sweep: scenarios run one at a time (sharing the engine's
+/// compiled-model cache and the model's incremental message caches, so
+/// later scenarios reuse earlier propagation work), each emitted as one
+/// JSON line in its own chunk the moment it completes.
+fn serve_sweep(
+    inner: &Inner,
+    stream: &mut TcpStream,
+    parsed: &InferenceRequest,
+    options: &Options,
+) -> io::Result<u16> {
+    // Run scenario 0 *before* committing to a 200 chunked response:
+    // compile-stage failures (bad budget, unsupported backend) become
+    // proper error statuses instead of a mid-stream abort.
+    let first = match inner
+        .engine
+        .estimate_batch(&parsed.circuit, &parsed.scenarios[..1], options)
+    {
+        Ok(report) => report,
+        Err(e) => return respond_estimate_error(stream, &e),
+    };
+
+    let mut writer = ChunkedWriter::start(stream, 200, "application/x-ndjson")?;
+    writer.chunk(sweep_line(0, &first.items[0].result, &parsed.circuit).as_bytes())?;
+    for (index, spec) in parsed.scenarios.iter().enumerate().skip(1) {
+        let result =
+            match inner
+                .engine
+                .estimate_batch(&parsed.circuit, std::slice::from_ref(spec), options)
+            {
+                Ok(report) => report
+                    .items
+                    .into_iter()
+                    .next()
+                    .map(|item| item.result)
+                    .unwrap_or(Err(EstimateError::Cancelled)),
+                Err(e) => Err(e),
+            };
+        writer.chunk(sweep_line(index, &result, &parsed.circuit).as_bytes())?;
+    }
+    writer.finish()?;
+    Ok(200)
+}
+
+/// One NDJSON line of a sweep stream.
+fn sweep_line(
+    index: usize,
+    result: &Result<swact::Estimate, EstimateError>,
+    circuit: &Circuit,
+) -> String {
+    match result {
+        Ok(estimate) => format!(
+            "{{\"index\":{index},\"ok\":{}}}\n",
+            wire::estimate_json(estimate, circuit)
+        ),
+        Err(e) => {
+            let (_, code) = error_status(e);
+            format!(
+                "{{\"index\":{index},\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}\n",
+                wire::escape(&e.to_string())
+            )
+        }
+    }
+}
+
+/// Maps an [`EstimateError`] to its HTTP status and stable error code.
+///
+/// | Error | Status |
+/// |-------|--------|
+/// | `DeadlineExceeded` | `504` |
+/// | `BudgetExceeded`, `TooLarge`, `CorrelationBlowup` | `422` |
+/// | `Panicked` | `500` |
+/// | `Cancelled` | `503` |
+/// | everything else (malformed specs, circuit errors) | `400` |
+pub fn error_status(e: &EstimateError) -> (u16, &'static str) {
+    match e {
+        EstimateError::DeadlineExceeded { .. } => (504, "deadline_exceeded"),
+        EstimateError::BudgetExceeded { .. } => (422, "budget_exceeded"),
+        EstimateError::TooLarge { .. } => (422, "too_large"),
+        EstimateError::CorrelationBlowup { .. } => (422, "correlation_blowup"),
+        EstimateError::Panicked { .. } => (500, "panicked"),
+        EstimateError::Cancelled => (503, "cancelled"),
+        _ => (400, "invalid_request"),
+    }
+}
+
+fn error_body(code: &str, message: &str) -> String {
+    format!(
+        "{{\"error\":{{\"code\":\"{code}\",\"message\":\"{}\"}}}}",
+        wire::escape(message)
+    )
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<u16> {
+    http::write_response(stream, status, "application/json", body.as_bytes(), &[])?;
+    Ok(status)
+}
+
+fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    code: &str,
+    message: &str,
+) -> io::Result<u16> {
+    respond_json(stream, status, &error_body(code, message))
+}
+
+fn respond_estimate_error(stream: &mut TcpStream, e: &EstimateError) -> io::Result<u16> {
+    let (status, code) = error_status(e);
+    respond_error(stream, status, code, &e.to_string())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_statuses_follow_the_documented_table() {
+        assert_eq!(
+            error_status(&EstimateError::DeadlineExceeded {
+                stage: "queue",
+                deadline: Duration::from_secs(1),
+            }),
+            (504, "deadline_exceeded")
+        );
+        assert_eq!(
+            error_status(&EstimateError::Panicked {
+                message: "boom".into()
+            })
+            .0,
+            500
+        );
+        assert_eq!(error_status(&EstimateError::Cancelled).0, 503);
+        assert_eq!(error_status(&EstimateError::GroupStructureMismatch).0, 400);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let config = ServerConfig::default();
+        assert_eq!(config.addr, "127.0.0.1:7878");
+        assert!(config.handlers >= 1);
+        assert!(config.drain > Duration::ZERO);
+    }
+}

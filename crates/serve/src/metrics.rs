@@ -1,0 +1,284 @@
+//! Server-side observability: connection/request counters and
+//! per-endpoint latency histograms, rendered — together with the engine's
+//! [`MetricsSnapshot`] — in the Prometheus text exposition format.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use swact_engine::MetricsSnapshot;
+
+/// The endpoints the server tracks individually; everything else (404s,
+/// bad requests) lands in `Other`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/estimate`
+    Estimate,
+    /// `POST /v1/batch`
+    Batch,
+    /// `POST /v1/sweep`
+    Sweep,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /healthz`
+    Healthz,
+    /// `POST /admin/shutdown`
+    Shutdown,
+    /// Anything unrouted.
+    Other,
+}
+
+/// All tracked endpoints in rendering order.
+const ENDPOINTS: [(Endpoint, &str); 7] = [
+    (Endpoint::Estimate, "estimate"),
+    (Endpoint::Batch, "batch"),
+    (Endpoint::Sweep, "sweep"),
+    (Endpoint::Metrics, "metrics"),
+    (Endpoint::Healthz, "healthz"),
+    (Endpoint::Shutdown, "shutdown"),
+    (Endpoint::Other, "other"),
+];
+
+impl Endpoint {
+    fn index(self) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|(e, _)| *e == self)
+            .expect("every endpoint variant is listed in ENDPOINTS")
+    }
+}
+
+/// Cumulative histogram bucket upper bounds, in seconds. Spans the
+/// service's realistic range: sub-millisecond health checks up to
+/// multi-second compiles of large netlists.
+const LATENCY_BUCKETS_SECONDS: [f64; 10] =
+    [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0];
+
+/// One endpoint's latency histogram plus request/response counters.
+#[derive(Debug, Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    latency_sum_nanos: AtomicU64,
+    latency_count: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_SECONDS.len()],
+}
+
+/// Server-wide counters, updated lock-free from handler threads.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted since startup.
+    connections: AtomicU64,
+    /// Requests currently being handled (gauge).
+    in_flight: AtomicUsize,
+    /// Requests rejected by admission control (subset of 4xx).
+    throttled: AtomicU64,
+    per_endpoint: [EndpointStats; ENDPOINTS.len()],
+}
+
+impl ServerMetrics {
+    pub(crate) fn connection_accepted(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_started(&self, endpoint: Endpoint) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        self.per_endpoint[endpoint.index()]
+            .requests
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn throttled(&self) {
+        self.throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn request_finished(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let stats = &self.per_endpoint[endpoint.index()];
+        let class = match status {
+            200..=299 => &stats.responses_2xx,
+            400..=499 => &stats.responses_4xx,
+            _ => &stats.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        stats
+            .latency_sum_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        stats.latency_count.fetch_add(1, Ordering::Relaxed);
+        for (i, &bound) in LATENCY_BUCKETS_SECONDS.iter().enumerate() {
+            if secs <= bound {
+                stats.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Connections accepted since startup.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by admission control.
+    pub fn throttled_total(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+
+    /// Renders every server counter plus the engine snapshot in the
+    /// Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Engine counters appear as `swact_engine_<field>` straight from
+    /// [`MetricsSnapshot::fields`]; server counters as `swact_server_*`
+    /// with per-endpoint labels.
+    pub fn render_prometheus(&self, engine: &MetricsSnapshot) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# TYPE swact_server_connections_total counter\n");
+        out.push_str(&format!(
+            "swact_server_connections_total {}\n",
+            self.connections()
+        ));
+        out.push_str("# TYPE swact_server_in_flight gauge\n");
+        out.push_str(&format!(
+            "swact_server_in_flight {}\n",
+            self.in_flight.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE swact_server_throttled_total counter\n");
+        out.push_str(&format!(
+            "swact_server_throttled_total {}\n",
+            self.throttled_total()
+        ));
+
+        out.push_str("# TYPE swact_server_requests_total counter\n");
+        for (endpoint, name) in ENDPOINTS {
+            let stats = &self.per_endpoint[endpoint.index()];
+            out.push_str(&format!(
+                "swact_server_requests_total{{endpoint=\"{name}\"}} {}\n",
+                stats.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE swact_server_responses_total counter\n");
+        for (endpoint, name) in ENDPOINTS {
+            let stats = &self.per_endpoint[endpoint.index()];
+            for (class, counter) in [
+                ("2xx", &stats.responses_2xx),
+                ("4xx", &stats.responses_4xx),
+                ("5xx", &stats.responses_5xx),
+            ] {
+                out.push_str(&format!(
+                    "swact_server_responses_total{{endpoint=\"{name}\",class=\"{class}\"}} {}\n",
+                    counter.load(Ordering::Relaxed)
+                ));
+            }
+        }
+
+        out.push_str("# TYPE swact_server_latency_seconds histogram\n");
+        for (endpoint, name) in ENDPOINTS {
+            let stats = &self.per_endpoint[endpoint.index()];
+            for (i, bound) in LATENCY_BUCKETS_SECONDS.iter().enumerate() {
+                out.push_str(&format!(
+                    "swact_server_latency_seconds_bucket{{endpoint=\"{name}\",le=\"{bound}\"}} {}\n",
+                    stats.latency_buckets[i].load(Ordering::Relaxed)
+                ));
+            }
+            let count = stats.latency_count.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "swact_server_latency_seconds_bucket{{endpoint=\"{name}\",le=\"+Inf\"}} {count}\n"
+            ));
+            out.push_str(&format!(
+                "swact_server_latency_seconds_sum{{endpoint=\"{name}\"}} {}\n",
+                stats.latency_sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+            ));
+            out.push_str(&format!(
+                "swact_server_latency_seconds_count{{endpoint=\"{name}\"}} {count}\n"
+            ));
+        }
+
+        for (field, value) in engine.fields() {
+            out.push_str(&format!("swact_engine_{field} {value}\n"));
+        }
+        out
+    }
+}
+
+/// Maps a request to its tracked endpoint.
+pub fn classify(method: &str, path: &str) -> Endpoint {
+    match (method, path) {
+        ("POST", "/v1/estimate") => Endpoint::Estimate,
+        ("POST", "/v1/batch") => Endpoint::Batch,
+        ("POST", "/v1/sweep") => Endpoint::Sweep,
+        ("GET", "/metrics") => Endpoint::Metrics,
+        ("GET", "/healthz") => Endpoint::Healthz,
+        ("POST", "/admin/shutdown") => Endpoint::Shutdown,
+        _ => Endpoint::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_routes_known_endpoints() {
+        assert_eq!(classify("POST", "/v1/estimate"), Endpoint::Estimate);
+        assert_eq!(classify("GET", "/healthz"), Endpoint::Healthz);
+        // Wrong method ⇒ unrouted.
+        assert_eq!(classify("GET", "/v1/estimate"), Endpoint::Other);
+        assert_eq!(classify("POST", "/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = ServerMetrics::default();
+        m.connection_accepted();
+        m.request_started(Endpoint::Estimate);
+        m.request_finished(Endpoint::Estimate, 200, Duration::from_millis(3));
+        m.request_started(Endpoint::Estimate);
+        m.request_finished(Endpoint::Estimate, 429, Duration::from_micros(50));
+        m.throttled();
+
+        let text = m.render_prometheus(&swact_engine::Engine::with_jobs(1).metrics());
+        assert!(text.contains("swact_server_connections_total 1\n"));
+        assert!(text.contains("swact_server_in_flight 0\n"));
+        assert!(text.contains("swact_server_throttled_total 1\n"));
+        assert!(text.contains("swact_server_requests_total{endpoint=\"estimate\"} 2\n"));
+        assert!(
+            text.contains("swact_server_responses_total{endpoint=\"estimate\",class=\"2xx\"} 1\n")
+        );
+        assert!(
+            text.contains("swact_server_responses_total{endpoint=\"estimate\",class=\"4xx\"} 1\n")
+        );
+        // 3ms lands in the 5ms bucket but not the 1ms one.
+        assert!(text.contains(
+            "swact_server_latency_seconds_bucket{endpoint=\"estimate\",le=\"0.001\"} 1\n"
+        ));
+        assert!(text.contains(
+            "swact_server_latency_seconds_bucket{endpoint=\"estimate\",le=\"0.005\"} 2\n"
+        ));
+        assert!(text.contains(
+            "swact_server_latency_seconds_bucket{endpoint=\"estimate\",le=\"+Inf\"} 2\n"
+        ));
+        assert!(text.contains("swact_server_latency_seconds_count{endpoint=\"estimate\"} 2\n"));
+        // Engine counters ride along under their own prefix.
+        assert!(text.contains("swact_engine_compile_hits 0\n"));
+        assert!(text.contains("swact_engine_jobs_cancelled 0\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = ServerMetrics::default();
+        m.request_started(Endpoint::Batch);
+        m.request_finished(Endpoint::Batch, 200, Duration::from_secs(2));
+        let text = m.render_prometheus(&swact_engine::Engine::with_jobs(1).metrics());
+        // 2s misses every bucket up to 1.0 but lands in 5.0 and above.
+        assert!(
+            text.contains("swact_server_latency_seconds_bucket{endpoint=\"batch\",le=\"1\"} 0\n")
+        );
+        assert!(
+            text.contains("swact_server_latency_seconds_bucket{endpoint=\"batch\",le=\"5\"} 1\n")
+        );
+        assert!(
+            text.contains("swact_server_latency_seconds_bucket{endpoint=\"batch\",le=\"60\"} 1\n")
+        );
+    }
+}
