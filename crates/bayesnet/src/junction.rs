@@ -285,6 +285,63 @@ impl JunctionTree {
         &self.incident[clique]
     }
 
+    /// Every field of the compiled tree, for the [`crate::codec`] encoder.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn codec_parts(
+        &self,
+    ) -> (
+        &[Vec<VarId>],
+        &[TreeEdge],
+        &[Vec<usize>],
+        &[usize],
+        &[usize],
+        &[usize],
+        &[usize],
+        usize,
+        f64,
+    ) {
+        (
+            &self.cliques,
+            &self.edges,
+            &self.incident,
+            &self.roots,
+            &self.home_clique,
+            &self.cpt_clique,
+            &self.cards,
+            self.fill_edges,
+            self.total_states,
+        )
+    }
+
+    /// Rebuilds a tree from decoded fields without re-running compilation.
+    /// The [`crate::codec`] decoder is the only caller; it verifies a
+    /// payload checksum before trusting the fields, so no structural
+    /// re-validation happens here.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_codec_parts(
+        cliques: Vec<Vec<VarId>>,
+        edges: Vec<TreeEdge>,
+        incident: Vec<Vec<usize>>,
+        roots: Vec<usize>,
+        home_clique: Vec<usize>,
+        cpt_clique: Vec<usize>,
+        cards: Vec<usize>,
+        fill_edges: usize,
+        total_states: f64,
+    ) -> JunctionTree {
+        JunctionTree {
+            cliques,
+            edges,
+            incident,
+            roots,
+            home_clique,
+            cpt_clique,
+            cards,
+            fill_edges,
+            total_states,
+        }
+    }
+
     /// The unique path between two cliques as a list of `(edge index,
     /// clique reached)` steps, or `None` when the cliques are in different
     /// components. An empty path means `from == to`.

@@ -53,6 +53,7 @@
 // real invariant, never a bare `unwrap`.
 #![deny(clippy::unwrap_used)]
 
+pub mod codec;
 pub mod dsep;
 pub mod elim;
 mod error;

@@ -173,6 +173,71 @@ impl CompiledTree {
         self.kernels.compressed_cliques()
     }
 
+    /// Cost-model estimate of one propagation sweep's kernel work, in
+    /// weighted table loads: a zero-compressed clique pays
+    /// [`sparse::SPARSE_COST_PER_ENTRY`] indexed loads per surviving entry
+    /// where a dense clique pays one (prefetched, sequential) load per
+    /// table entry. [`SparseMode::Auto`] minimizes exactly this quantity
+    /// per clique, so `Auto`'s cost is never above `Off`'s — pinned by the
+    /// c880 regression test that caught `Auto` losing to dense.
+    pub fn kernel_cost(&self) -> usize {
+        self.kernels
+            .support
+            .iter()
+            .zip(&self.init_clique_pot)
+            .map(|(support, pot)| match support {
+                Some(s) => sparse::SPARSE_COST_PER_ENTRY * s.len(),
+                None => pot.len(),
+            })
+            .sum()
+    }
+
+    /// Every field of the artifact, for the [`crate::codec`] encoder.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn codec_parts(
+        &self,
+    ) -> (
+        &JunctionTree,
+        &[Factor],
+        &[(usize, usize, usize)],
+        &PropagationKernels,
+        SparseMode,
+        &[Vec<VarId>],
+    ) {
+        (
+            &self.tree,
+            &self.init_clique_pot,
+            &self.schedule,
+            &self.kernels,
+            self.mode,
+            &self.home_vars,
+        )
+    }
+
+    /// Rebuilds the artifact from decoded fields — schedule, kernels, and
+    /// home-variable masks included — without re-running
+    /// [`from_parts_with`](CompiledTree::from_parts_with), so a loaded
+    /// artifact is field-for-field (and therefore bit-for-bit) the struct
+    /// the original compile produced. Only the [`crate::codec`] decoder
+    /// calls this, after checksum verification.
+    pub(crate) fn from_codec_parts(
+        tree: JunctionTree,
+        init_clique_pot: Vec<Factor>,
+        schedule: Vec<(usize, usize, usize)>,
+        kernels: PropagationKernels,
+        mode: SparseMode,
+        home_vars: Vec<Vec<VarId>>,
+    ) -> CompiledTree {
+        CompiledTree {
+            tree,
+            init_clique_pot,
+            schedule,
+            kernels,
+            mode,
+            home_vars,
+        }
+    }
+
     /// The dependency mask of clique `i`: the variables whose evidence is
     /// entered at that clique. Evidence on any other variable influences
     /// the clique only through sepset messages.
@@ -2042,7 +2107,12 @@ mod tests {
     }
 
     #[test]
-    fn auto_mode_compresses_deterministic_cpts() {
+    fn auto_mode_uses_the_per_clique_cost_model() {
+        // Binary truth tables zero out exactly half of a clique's states.
+        // That is *not* enough for the sparse kernels — three indexed loads
+        // per surviving entry — to beat the dense sequential sweep, so auto
+        // must keep these cliques dense. (This is the c880 regression: the
+        // old global ≥50% rule compressed half-zero cliques and lost.)
         let (net, _) = deterministic_net();
         let tree = JunctionTree::compile(&net).unwrap();
         let compiled = CompiledTree::new(tree, &net).unwrap();
@@ -2052,7 +2122,58 @@ mod tests {
             "truth-table CPTs must zero out most of the state space, got {}",
             compiled.zero_fraction()
         );
-        assert!(compiled.compressed_cliques() > 0);
+        assert_eq!(
+            compiled.compressed_cliques(),
+            0,
+            "half-zero cliques lose on the sparse path and must stay dense"
+        );
         assert!(compiled.nnz() < compiled.state_space());
+        // Auto's kernel cost never exceeds the all-dense cost by
+        // construction: it only compresses cliques where sparse wins.
+        let dense = CompiledTree::from_parts_with(
+            JunctionTree::compile(&net).unwrap(),
+            initial_potentials(&JunctionTree::compile(&net).unwrap(), &net),
+            SparseMode::Off,
+        );
+        assert!(compiled.kernel_cost() <= dense.kernel_cost());
+    }
+
+    #[test]
+    fn auto_mode_compresses_past_the_break_even_point() {
+        // A one-hot CPT for a 4-valued child of two binary inputs leaves
+        // 4 of 16 clique states alive (zero fraction 0.75 > 2/3), so the
+        // per-clique cost model picks the sparse path for it.
+        let one_hot = |i: usize| {
+            let mut row = vec![0.0; 4];
+            row[i] = 1.0;
+            row
+        };
+        let mut net = BayesNet::new();
+        let a = net
+            .add_var("a", 2, &[], Cpt::prior(vec![0.6, 0.4]))
+            .unwrap();
+        let b = net
+            .add_var("b", 2, &[], Cpt::prior(vec![0.3, 0.7]))
+            .unwrap();
+        net.add_var(
+            "pair",
+            4,
+            &[a, b],
+            Cpt::rows(vec![one_hot(0), one_hot(1), one_hot(2), one_hot(3)]),
+        )
+        .unwrap();
+        let tree = JunctionTree::compile(&net).unwrap();
+        let compiled = CompiledTree::new(tree, &net).unwrap();
+        assert_eq!(compiled.sparse_mode(), SparseMode::Auto);
+        assert!(
+            compiled.compressed_cliques() > 0,
+            "a 75%-zero clique clears the 3·nnz < len break-even point"
+        );
+        let dense = CompiledTree::from_parts_with(
+            JunctionTree::compile(&net).unwrap(),
+            initial_potentials(&JunctionTree::compile(&net).unwrap(), &net),
+            SparseMode::Off,
+        );
+        assert!(compiled.kernel_cost() < dense.kernel_cost());
     }
 }

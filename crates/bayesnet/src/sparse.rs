@@ -35,15 +35,21 @@ use crate::{Factor, VarId};
 
 /// Zero-compression policy for compiled junction trees.
 ///
-/// `Auto` (the default) compresses a clique when at least half of its
-/// initial potential is exact zeros — the regime where skipping zeros pays
-/// for the indirection. `On` forces compression of every clique with at
-/// least one zero; `Off` keeps the flat dense loops everywhere (the two
-/// paths are equivalence-tested, so `Off` is a debugging aid and
-/// regression baseline, not a different answer).
+/// `Auto` (the default) decides per clique on a measured cost model:
+/// iterating a support list costs [`SPARSE_COST_PER_ENTRY`] indexed loads
+/// per surviving entry where the dense loops cost one sequential
+/// (prefetch-friendly) load per table entry, so a clique is compressed
+/// only when `SPARSE_COST_PER_ENTRY · nnz < len` — more than two thirds
+/// of its entries must be zero before skipping them wins. `On` forces
+/// compression of every clique with at least one zero; `Off` keeps the
+/// flat dense loops everywhere (the two paths are equivalence-tested, so
+/// `Off` is a debugging aid and regression baseline, not a different
+/// answer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SparseMode {
-    /// Compress cliques whose zero fraction is at least one half.
+    /// Compress each clique only when its nonzero count is low enough
+    /// that support iteration beats the dense loop under the
+    /// [`SPARSE_COST_PER_ENTRY`] cost model.
     #[default]
     Auto,
     /// Compress every clique that contains a structural zero.
@@ -82,8 +88,19 @@ impl std::str::FromStr for SparseMode {
     }
 }
 
-/// Minimum zero fraction at which `SparseMode::Auto` compresses a clique.
-pub(crate) const AUTO_ZERO_FRACTION: f64 = 0.5;
+/// Relative cost of one support-list entry versus one dense table entry.
+///
+/// The sparse kernels touch three indexed words per surviving entry (the
+/// support index, the projection slot, and the value it gathers/scatters)
+/// where the dense loops stream one sequential word per table entry behind
+/// the hardware prefetcher. `SparseMode::Auto` compresses a clique only
+/// when `SPARSE_COST_PER_ENTRY · nnz < len`, i.e. when more than two
+/// thirds of the table is zero. The old rule (compress at ≥ 50% zeros)
+/// made `Auto` *slower* than dense on c880, whose cliques sit right at the
+/// half-zero break-even (BENCH_sparse.json, 0.934x); the 75%-zero
+/// deterministic-gate cliques the optimization exists for still clear this
+/// bar comfortably.
+pub const SPARSE_COST_PER_ENTRY: usize = 3;
 
 /// Projection tables of one junction-tree edge: entry-to-sepset index maps
 /// for both endpoint cliques, aligned with the owning clique's support
@@ -180,7 +197,9 @@ fn compress(mode: SparseMode, nnz: usize, len: usize) -> bool {
     match mode {
         SparseMode::Off => false,
         SparseMode::On => nnz < len,
-        SparseMode::Auto => (len - nnz) as f64 >= AUTO_ZERO_FRACTION * len as f64,
+        // Per-clique cost model: support iteration only wins when its
+        // weighted entry count undercuts the dense sweep of the full table.
+        SparseMode::Auto => SPARSE_COST_PER_ENTRY * nnz < len,
     }
 }
 
@@ -332,8 +351,14 @@ mod tests {
         assert!(!compress(SparseMode::Off, 0, 8));
         assert!(compress(SparseMode::On, 7, 8));
         assert!(!compress(SparseMode::On, 8, 8));
-        assert!(compress(SparseMode::Auto, 4, 8)); // exactly half zero
-        assert!(!compress(SparseMode::Auto, 5, 8));
+        // Auto follows the cost model: 3·nnz must undercut the table size.
+        assert!(compress(SparseMode::Auto, 2, 8)); // 6 < 8: support wins
+        assert!(!compress(SparseMode::Auto, 3, 8)); // 9 ≥ 8: dense wins
+                                                    // Exactly half zero — the old rule compressed this and lost on
+                                                    // c880; the cost model keeps it dense.
+        assert!(!compress(SparseMode::Auto, 4, 8));
+        // A 75%-zero deterministic-gate table still compresses.
+        assert!(compress(SparseMode::Auto, 16, 64));
     }
 
     /// A factor over `n` four-state variables with the given zero pattern.

@@ -139,9 +139,13 @@ proptest! {
 }
 
 #[test]
-fn deterministic_chain_compresses_under_auto() {
-    // A 6-gate XOR/AND chain: every non-root CPT is a truth table, so at
-    // least three quarters of each big clique table is structural zeros.
+fn deterministic_chain_stays_dense_under_auto() {
+    // A 6-gate XOR/AND chain: every non-root CPT is a truth table, which
+    // zeros out exactly half of each clique's state space. Half-zero is
+    // *below* the sparse kernels' break-even point (three indexed loads
+    // per surviving entry vs one sequential load per dense entry), so the
+    // per-clique cost model keeps every clique dense — compressing them is
+    // the c880 `auto` regression this rule fixed. `On` still compresses.
     let mut net = BayesNet::new();
     let xor = Cpt::rows(vec![
         vec![1.0, 0.0],
@@ -172,5 +176,21 @@ fn deterministic_chain_compresses_under_auto() {
         "{}",
         compiled.zero_fraction()
     );
-    assert!(compiled.compressed_cliques() > 0);
+    assert_eq!(
+        compiled.compressed_cliques(),
+        0,
+        "half-zero cliques must stay on the dense path under Auto"
+    );
+    let forced = CompiledTree::from_parts_with(
+        JunctionTree::compile(&net).unwrap(),
+        initial_potentials(&JunctionTree::compile(&net).unwrap(), &net),
+        SparseMode::On,
+    );
+    assert!(forced.compressed_cliques() > 0);
+    assert!(
+        compiled.kernel_cost() <= forced.kernel_cost(),
+        "auto ({}) must not cost more than forced-sparse ({}) here",
+        compiled.kernel_cost(),
+        forced.kernel_cost()
+    );
 }

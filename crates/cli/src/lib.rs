@@ -67,6 +67,7 @@ USAGE:
   swact dot      <netlist.bench>             print the circuit as Graphviz DOT
   swact verilog  <netlist.bench>             print the circuit as structural Verilog
   swact serve    [options]                   run the HTTP/JSON inference service
+  swact cache    <ls|verify|rm> <DIR>        inspect or prune a compiled-artifact cache
   swact list                                 list built-in benchmarks
 
 ESTIMATE OPTIONS:
@@ -85,6 +86,9 @@ ESTIMATE OPTIONS:
                    (default auto; results are bit-identical across modes)
   --backend <B>    inference backend: jtree (exact junction trees, default),
                    bdd (exact per-segment OBDDs), or twostate (2p(1−p) proxy)
+  --cache-dir <DIR>  reuse compiled models across processes: load the
+                   compiled pipeline from DIR when a bit-identical artifact
+                   exists, otherwise compile and persist one
   --power          also print the dynamic-power report
   --sequential     treat DFFs via fixed-point iteration (default: reject DFFs)
   --csv            emit per-line results as CSV instead of a table
@@ -112,6 +116,9 @@ BATCH OPTIONS:
   --no-fallback    fail compilation instead of degrading over-budget segments
   --sparse <MODE>  zero-compress clique potentials: auto, on, or off
   --backend <B>    inference backend: jtree (default), bdd, or twostate
+  --cache-dir <DIR>  two-tier compiled-model cache: misses consult DIR
+                   before compiling, compiles persist back for the next
+                   process (warm start)
   --csv            emit per-scenario, per-line switching as CSV
   --stats          also print timing/cache metrics and the per-stage
                    plan/model/compile/propagate/forward breakdown
@@ -127,9 +134,21 @@ SERVE OPTIONS:
   --addr-file <FILE>  write the bound address to FILE once listening
                    (for scripts that bind an ephemeral port)
   --drain-ms <MS>  graceful-shutdown drain deadline (default 10000)
+  --cache-dir <DIR>  compiled-artifact cache: pre-warmed into memory at
+                   boot (GET /healthz answers 503 `warming` until done);
+                   compiles persist back for the next boot
 
   The server runs until SIGINT/SIGTERM or POST /admin/shutdown, then
-  drains in-flight requests and exits.";
+  drains in-flight requests and exits.
+
+CACHE SUBCOMMANDS:
+  swact cache ls <DIR>       list artifacts: model key, version, size
+  swact cache verify <DIR>   fully validate every artifact (header,
+                             checksum, structural decode); exits nonzero
+                             if any artifact is corrupt or stale
+  swact cache rm <DIR>       delete every artifact in DIR (only files
+                             named like artifacts are touched)
+  swact cache rm <DIR> --key <HEX>  delete one artifact by model key";
 
 /// Parses arguments and runs the requested command, returning the output
 /// text.
@@ -150,6 +169,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "dot" => cmd_dot(&rest),
         "verilog" => cmd_verilog(&rest),
         "serve" => cmd_serve(&rest),
+        "cache" => cmd_cache(&rest),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(usage_error(format!("unknown command `{other}`"))),
@@ -170,6 +190,7 @@ struct EstimateArgs {
     power: bool,
     sequential: bool,
     csv: bool,
+    cache_dir: Option<String>,
 }
 
 fn parse_sparse(value: &str) -> Result<SparseMode, CliError> {
@@ -199,12 +220,13 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
         power: false,
         sequential: false,
         csv: false,
+        cache_dir: None,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--p1" | "--activity" | "--budget" | "--budget-states" | "--deadline-ms"
-            | "--sparse" | "--backend" => {
+            | "--sparse" | "--backend" | "--cache-dir" => {
                 let flag = rest[i].as_str();
                 let value = rest
                     .get(i + 1)
@@ -233,6 +255,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                     }
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
                     "--backend" => parsed.backend = parse_backend(value)?,
+                    "--cache-dir" => parsed.cache_dir = Some(value.to_string()),
                     _ => {
                         parsed.budget = value
                             .parse()
@@ -330,10 +353,43 @@ fn estimator_options(args: &EstimateArgs) -> Options {
     }
 }
 
+/// Runs one estimate through the on-disk artifact cache: load the compiled
+/// pipeline from `dir` when a valid artifact for this exact model exists,
+/// otherwise compile and persist one. Loaded and fresh pipelines produce
+/// bit-identical estimates, so the cache never changes results — only
+/// whether the compile happens.
+fn estimate_via_cache(
+    dir: &str,
+    circuit: &Circuit,
+    spec: &InputSpec,
+    options: &Options,
+) -> Result<swact::Estimate, CliError> {
+    use swact::artifact;
+    let key = artifact::model_key(circuit, Some(spec), options);
+    let path = std::path::Path::new(dir).join(artifact::artifact_file_name(key));
+    match artifact::read_artifact(&path, Some(key)) {
+        Ok((_, compiled)) => return compiled.estimate(spec).map_err(runtime_error),
+        Err(artifact::ArtifactError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!("swact: ignoring unusable artifact {}: {e}", path.display()),
+    }
+    let compiled =
+        swact::CompiledEstimator::compile_for(circuit, spec, options).map_err(runtime_error)?;
+    if let Err(e) = artifact::write_artifact(std::path::Path::new(dir), key, &compiled) {
+        eprintln!("swact: cannot persist artifact to `{dir}`: {e}");
+    }
+    compiled.estimate(spec).map_err(runtime_error)
+}
+
 fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
     let args = parse_estimate_args(rest)?;
     let mut out = String::new();
     if args.sequential {
+        if args.cache_dir.is_some() {
+            return Err(usage_error(
+                "--cache-dir does not apply to --sequential (the fixed-point \
+                 loop recompiles the feedback model every iteration)",
+            ));
+        }
         let source = std::fs::read_to_string(&args.path)
             .map_err(|e| runtime_error(format!("cannot read `{}`: {e}", args.path)))?;
         let seq = if is_blif(&args.path, &source) {
@@ -383,7 +439,11 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
     }
     let circuit = load_circuit(&args.path)?;
     let spec = spec_for(&args, circuit.num_inputs())?;
-    let est = estimate(&circuit, &spec, &estimator_options(&args)).map_err(runtime_error)?;
+    let options = estimator_options(&args);
+    let est = match &args.cache_dir {
+        Some(dir) => estimate_via_cache(dir, &circuit, &spec, &options)?,
+        None => estimate(&circuit, &spec, &options).map_err(runtime_error)?,
+    };
     if args.csv {
         return Ok(est.to_csv(&circuit));
     }
@@ -448,6 +508,7 @@ struct BatchArgs {
     backend: Backend,
     csv: bool,
     stats: bool,
+    cache_dir: Option<String>,
 }
 
 fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
@@ -466,12 +527,13 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
         backend: Backend::Jtree,
         csv: false,
         stats: false,
+        cache_dir: None,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             flag @ ("--jobs" | "--jobs-force" | "--sweep" | "--budget" | "--budget-states"
-            | "--deadline-ms" | "--spec" | "--sparse" | "--backend") => {
+            | "--deadline-ms" | "--spec" | "--sparse" | "--backend" | "--cache-dir") => {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
@@ -510,6 +572,7 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
                     }
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
                     "--backend" => parsed.backend = parse_backend(value)?,
+                    "--cache-dir" => parsed.cache_dir = Some(value.to_string()),
                     _ => parsed.spec_file = Some(value.to_string()),
                 }
                 i += 2;
@@ -614,11 +677,14 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
         }
         None => sweep_specs(args.sweep, circuit.num_inputs()),
     };
-    let engine = match (args.jobs_force, args.jobs) {
+    let mut engine = match (args.jobs_force, args.jobs) {
         (Some(jobs), _) => Engine::with_jobs_forced(jobs),
         (None, Some(jobs)) => Engine::with_jobs(jobs),
         (None, None) => Engine::new(),
     };
+    if let Some(dir) = &args.cache_dir {
+        engine = engine.with_cache_dir(dir);
+    }
     let options = Options {
         segment_budget: args.budget,
         sparse: args.sparse,
@@ -729,6 +795,13 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
             metrics.jobs_panicked,
             metrics.retries
         );
+        if args.cache_dir.is_some() {
+            let _ = writeln!(
+                out,
+                "artifacts: {} loaded from disk; {} persisted; {} rejected",
+                metrics.artifacts_loaded, metrics.artifacts_persisted, metrics.artifacts_rejected
+            );
+        }
         let _ = writeln!(
             out,
             "reuse: {} message(s) cached / {} recomputed ({:.1}% reuse); {} segment(s) memo-skipped",
@@ -883,6 +956,13 @@ fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
                 let ms = parse_count(take_value(rest, &mut i, "--drain-ms")?, "--drain-ms")?;
                 config.drain = std::time::Duration::from_millis(ms as u64);
             }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(take_value(
+                    rest,
+                    &mut i,
+                    "--cache-dir",
+                )?));
+            }
             other => return Err(usage_error(format!("unknown serve option `{other}`"))),
         }
         i += 1;
@@ -903,6 +983,122 @@ fn cmd_serve(rest: &[&String]) -> Result<String, CliError> {
         "swact-serve on {addr}: shut down cleanly ({} scenarios served)\n",
         handle.engine_metrics().requests_completed
     ))
+}
+
+/// Artifact files under `dir`, sorted by model key. Files not named like
+/// artifacts (`<32-hex-digit-key>.swact`) are ignored, so `rm` can never
+/// delete anything the cache did not write.
+fn cache_entries(dir: &str) -> Result<Vec<(u128, std::path::PathBuf)>, CliError> {
+    let mut entries = Vec::new();
+    let read_dir = std::fs::read_dir(dir)
+        .map_err(|e| runtime_error(format!("cannot read cache dir `{dir}`: {e}")))?;
+    for entry in read_dir {
+        let entry =
+            entry.map_err(|e| runtime_error(format!("cannot read cache dir `{dir}`: {e}")))?;
+        if let Some(key) = entry
+            .file_name()
+            .to_str()
+            .and_then(swact::artifact::parse_artifact_file_name)
+        {
+            entries.push((key, entry.path()));
+        }
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn cmd_cache(rest: &[&String]) -> Result<String, CliError> {
+    use swact::artifact;
+    let sub = rest
+        .first()
+        .ok_or_else(|| usage_error("cache needs a subcommand: ls, verify, or rm"))?;
+    if !matches!(sub.as_str(), "ls" | "verify" | "rm") {
+        return Err(usage_error(format!(
+            "unknown cache subcommand `{sub}` (expected ls, verify, or rm)"
+        )));
+    }
+    let dir = rest
+        .get(1)
+        .ok_or_else(|| usage_error(format!("cache {sub} needs a cache directory")))?
+        .as_str();
+    let mut key_filter: Option<u128> = None;
+    let mut i = 2;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--key" => {
+                let value = take_value(rest, &mut i, "--key")?;
+                key_filter = Some(u128::from_str_radix(value, 16).map_err(|_| {
+                    usage_error(format!("bad --key value `{value}` (expected hex)"))
+                })?);
+            }
+            other => return Err(usage_error(format!("unknown cache option `{other}`"))),
+        }
+        i += 1;
+    }
+    if key_filter.is_some() && sub.as_str() != "rm" {
+        return Err(usage_error("--key only applies to `cache rm`"));
+    }
+    let mut entries = cache_entries(dir)?;
+    if let Some(key) = key_filter {
+        entries.retain(|(k, _)| *k == key);
+        if entries.is_empty() {
+            return Err(runtime_error(format!(
+                "no artifact with key {key:032x} in `{dir}`"
+            )));
+        }
+    }
+    let mut out = String::new();
+    match sub.as_str() {
+        "ls" => {
+            let _ = writeln!(out, "{dir}: {} artifact(s)", entries.len());
+            for (key, path) in &entries {
+                match artifact::read_header(path) {
+                    Ok(header) => {
+                        let _ = writeln!(
+                            out,
+                            "  {key:032x}  workspace {}  format {}  payload {} bytes",
+                            header.workspace_version, header.format_version, header.payload_len
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "  {key:032x}  unreadable: {e}");
+                    }
+                }
+            }
+        }
+        "verify" => {
+            let mut failed = 0usize;
+            for (key, path) in &entries {
+                match artifact::verify_artifact(path) {
+                    Ok(_) => {
+                        let _ = writeln!(out, "  {key:032x}  ok");
+                    }
+                    Err(e) => {
+                        failed += 1;
+                        let _ = writeln!(out, "  {key:032x}  FAIL: {e}");
+                    }
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{dir}: {} artifact(s) verified, {failed} failed",
+                entries.len()
+            );
+            if failed > 0 {
+                return Err(runtime_error(out.trim_end()));
+            }
+        }
+        "rm" => {
+            for (_, path) in &entries {
+                std::fs::remove_file(path).map_err(|e| {
+                    runtime_error(format!("cannot remove `{}`: {e}", path.display()))
+                })?;
+            }
+            let _ = writeln!(out, "{dir}: removed {} artifact(s)", entries.len());
+        }
+        _ => unreachable!("subcommand validated above"),
+    }
+    Ok(out)
 }
 
 fn take_value<'a>(rest: &[&'a String], i: &mut usize, flag: &str) -> Result<&'a str, CliError> {
@@ -1410,5 +1606,225 @@ mod tests {
 
         std::fs::remove_file(&addr_file).ok();
         std::fs::remove_file(&config_file).ok();
+    }
+
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("swact-cli-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn swact_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+        let mut files: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "swact"))
+            .collect();
+        files.sort();
+        files
+    }
+
+    #[test]
+    fn estimate_cache_dir_warm_starts_bit_identically() {
+        let dir = temp_cache_dir("estimate");
+        let dir_str = dir.to_str().unwrap();
+
+        let cold = run_strs(&["estimate", "c17", "--cache-dir", dir_str, "--csv"]).unwrap();
+        assert_eq!(swact_files(&dir).len(), 1, "one artifact persisted");
+
+        let warm = run_strs(&["estimate", "c17", "--cache-dir", dir_str, "--csv"]).unwrap();
+        assert_eq!(cold, warm, "warm start must be bit-identical");
+        assert_eq!(swact_files(&dir).len(), 1, "warm start writes nothing new");
+
+        // A different model (other backend) gets its own artifact.
+        let bdd = run_strs(&[
+            "estimate",
+            "c17",
+            "--cache-dir",
+            dir_str,
+            "--csv",
+            "--backend",
+            "bdd",
+        ])
+        .unwrap();
+        assert_eq!(cold, bdd, "exact backends agree on c17");
+        assert_eq!(swact_files(&dir).len(), 2, "distinct model key per backend");
+
+        // A different sweep point reuses the same artifact: probabilities
+        // are not part of the model key.
+        run_strs(&[
+            "estimate",
+            "c17",
+            "--cache-dir",
+            dir_str,
+            "--csv",
+            "--p1",
+            "0.3",
+        ])
+        .unwrap();
+        assert_eq!(swact_files(&dir).len(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn estimate_cache_dir_recovers_from_corruption() {
+        let dir = temp_cache_dir("corrupt");
+        let dir_str = dir.to_str().unwrap();
+
+        let cold = run_strs(&["estimate", "c17", "--cache-dir", dir_str, "--csv"]).unwrap();
+        let artifact = swact_files(&dir).pop().unwrap();
+        let bytes = std::fs::read(&artifact).unwrap();
+        std::fs::write(&artifact, &bytes[..bytes.len() / 2]).unwrap();
+
+        // The truncated artifact is rejected, recompiled, and re-persisted.
+        let recovered = run_strs(&["estimate", "c17", "--cache-dir", dir_str, "--csv"]).unwrap();
+        assert_eq!(cold, recovered);
+        assert!(swact::artifact::verify_artifact(&artifact).is_ok());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_cache_dir_warm_starts_bit_identically() {
+        let dir = temp_cache_dir("batch");
+        let dir_str = dir.to_str().unwrap();
+
+        let cold = run_strs(&[
+            "batch",
+            "c17",
+            "--cache-dir",
+            dir_str,
+            "--csv",
+            "--sweep",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(swact_files(&dir).len(), 1);
+        let warm = run_strs(&[
+            "batch",
+            "c17",
+            "--cache-dir",
+            dir_str,
+            "--csv",
+            "--sweep",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(cold, warm, "warm batch must be bit-identical");
+
+        let stats = run_strs(&[
+            "batch",
+            "c17",
+            "--cache-dir",
+            dir_str,
+            "--sweep",
+            "3",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(
+            stats.contains("artifacts: 1 loaded from disk; 0 persisted; 0 rejected"),
+            "got: {stats}"
+        );
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_subcommand_lists_verifies_and_removes() {
+        let dir = temp_cache_dir("subcommand");
+        let dir_str = dir.to_str().unwrap();
+        run_strs(&["estimate", "c17", "--cache-dir", dir_str, "--csv"]).unwrap();
+        run_strs(&[
+            "estimate",
+            "c17",
+            "--cache-dir",
+            dir_str,
+            "--csv",
+            "--backend",
+            "twostate",
+        ])
+        .unwrap();
+
+        let ls = run_strs(&["cache", "ls", dir_str]).unwrap();
+        assert!(ls.contains("2 artifact(s)"), "got: {ls}");
+        assert!(ls.contains(&format!("workspace {}", env!("CARGO_PKG_VERSION"))));
+
+        let verify = run_strs(&["cache", "verify", dir_str]).unwrap();
+        assert!(
+            verify.contains("2 artifact(s) verified, 0 failed"),
+            "got: {verify}"
+        );
+
+        // Corrupt one artifact: verify fails with exit code 1 and names it.
+        let victim = swact_files(&dir).remove(0);
+        let key = swact::artifact::parse_artifact_file_name(
+            victim.file_name().unwrap().to_str().unwrap(),
+        )
+        .unwrap();
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() - 1]).unwrap();
+        let err = run_strs(&["cache", "verify", dir_str]).unwrap_err();
+        assert_eq!(err.exit_code, 1);
+        assert!(err.message.contains("FAIL"), "got: {}", err.message);
+
+        // Remove just the corrupt one by key, then everything.
+        let rm_one = run_strs(&["cache", "rm", dir_str, "--key", &format!("{key:032x}")]).unwrap();
+        assert!(rm_one.contains("removed 1 artifact(s)"), "got: {rm_one}");
+        assert_eq!(swact_files(&dir).len(), 1);
+        let rm_all = run_strs(&["cache", "rm", dir_str]).unwrap();
+        assert!(rm_all.contains("removed 1 artifact(s)"), "got: {rm_all}");
+        assert!(swact_files(&dir).is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_subcommand_rejects_bad_usage() {
+        let dir = temp_cache_dir("usage");
+        assert_eq!(run_strs(&["cache"]).unwrap_err().exit_code, 2);
+        assert_eq!(run_strs(&["cache", "ls"]).unwrap_err().exit_code, 2);
+        assert_eq!(
+            run_strs(&["cache", "frobnicate", "somewhere"])
+                .unwrap_err()
+                .exit_code,
+            2
+        );
+        let dir_str = dir.to_str().unwrap();
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(
+            run_strs(&["cache", "ls", dir_str, "--key", "ff"])
+                .unwrap_err()
+                .exit_code,
+            2,
+            "--key only applies to rm"
+        );
+        assert_eq!(
+            run_strs(&["cache", "rm", dir_str, "--key", "zz"])
+                .unwrap_err()
+                .exit_code,
+            2,
+            "non-hex key is a usage error"
+        );
+        let err = run_strs(&["cache", "rm", dir_str, "--key", "ff"]).unwrap_err();
+        assert_eq!(err.exit_code, 1, "absent key is a runtime error");
+        assert!(err.message.contains("no artifact"));
+        // A nonexistent directory is a runtime error, not a panic.
+        let missing = dir.join("missing").to_str().unwrap().to_string();
+        assert_eq!(
+            run_strs(&["cache", "ls", &missing]).unwrap_err().exit_code,
+            1
+        );
+
+        assert_eq!(
+            run_strs(&["estimate", "c17", "--sequential", "--cache-dir", dir_str])
+                .unwrap_err()
+                .exit_code,
+            2,
+            "--cache-dir and --sequential are incompatible"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -51,8 +51,11 @@ pub struct Options {
     /// circuits produce LIDAG CPTs that are mostly deterministic, so clique
     /// tables carry large numbers of structural zeros; compressed cliques
     /// iterate only their nonzero support during propagation. The default
-    /// [`SparseMode::Auto`] compresses a clique when at least half its
-    /// entries are zero. Results are bit-identical across modes.
+    /// [`SparseMode::Auto`] decides per clique on the measured nonzero
+    /// count: sparse iteration costs about three indexed loads per
+    /// surviving entry vs one sequential load per dense entry, so a clique
+    /// is compressed only when `3·nnz` beats its dense length (more than
+    /// two thirds zeros). Results are bit-identical across modes.
     pub sparse: SparseMode,
     /// Which inference engine evaluates each segment's Bayesian network.
     /// The default [`Backend::Jtree`] is the paper's exact junction-tree
@@ -200,6 +203,16 @@ impl std::fmt::Debug for CompiledEstimator {
 }
 
 impl CompiledEstimator {
+    /// Wraps a pipeline reconstructed from a persisted artifact.
+    pub(crate) fn from_pipeline(pipeline: CompiledPipeline) -> CompiledEstimator {
+        CompiledEstimator { pipeline }
+    }
+
+    /// The underlying pipeline, for the artifact encoder.
+    pub(crate) fn pipeline(&self) -> &CompiledPipeline {
+        &self.pipeline
+    }
+
     /// Compiles the circuit: fan-in decomposition, segmentation planning,
     /// per-segment LIDAG construction, and backend compilation (junction
     /// trees for the default [`Backend::Jtree`]).
@@ -321,6 +334,16 @@ impl CompiledEstimator {
     /// Number of cliques stored in zero-compressed form.
     pub fn compressed_cliques(&self) -> usize {
         self.pipeline.compressed_cliques()
+    }
+
+    /// Cost-model estimate of one propagation sweep across all segments,
+    /// in weighted table loads: dense cliques pay one sequential load per
+    /// state, zero-compressed cliques pay `SPARSE_COST_PER_ENTRY` indexed
+    /// loads per surviving entry. [`SparseMode`](crate::SparseMode)`::Auto`
+    /// minimizes this per clique, so its total never exceeds
+    /// `SparseMode::Off`'s — the invariant the c880 regression test pins.
+    pub fn kernel_cost(&self) -> usize {
+        self.pipeline.kernel_cost()
     }
 
     /// The options the estimator was compiled with.

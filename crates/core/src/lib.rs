@@ -46,6 +46,7 @@
 //! junction trees — the paper's precompile-once/propagate-often workflow —
 //! via [`CompiledEstimator`].
 
+pub mod artifact;
 mod budget;
 mod error;
 mod estimator;
@@ -61,6 +62,7 @@ mod transition;
 pub mod twostate;
 pub mod wire;
 
+pub use artifact::{model_key, ArtifactError, ArtifactHeader};
 pub use budget::{Budget, DegradationCause, DegradationReport, Fallback};
 pub use error::EstimateError;
 pub use estimator::{estimate, CompiledEstimator, Options};

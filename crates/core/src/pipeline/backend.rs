@@ -84,6 +84,11 @@ pub struct SegmentStats {
     pub state_space: usize,
     /// Number of cliques stored in zero-compressed form.
     pub compressed_cliques: usize,
+    /// Cost-model estimate of one propagation sweep, in weighted table
+    /// loads (see `CompiledTree::kernel_cost`): the deterministic quantity
+    /// `SparseMode::Auto` minimizes per clique, so auto's total never
+    /// exceeds dense's.
+    pub kernel_cost: usize,
 }
 
 /// One segment compiled by an [`InferenceBackend`]: the backend's opaque

@@ -26,21 +26,21 @@ use crate::{EstimateError, TransitionDist};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BddBackend;
 
-struct GateNodes {
-    line: LineId,
+pub(crate) struct GateNodes {
+    pub(crate) line: LineId,
     /// `¬f_prev ∧ f_next` — probability of a 0→1 transition.
-    p01: NodeId,
+    pub(crate) p01: NodeId,
     /// `f_prev ∧ ¬f_next` — probability of a 1→0 transition.
-    p10: NodeId,
+    pub(crate) p10: NodeId,
     /// `f_prev ∧ f_next` — probability of staying 1.
-    p11: NodeId,
+    pub(crate) p11: NodeId,
 }
 
-struct BddSegment {
-    bdd: Bdd,
+pub(crate) struct BddSegment {
+    pub(crate) bdd: Bdd,
     /// Roots in BDD variable-pair order: root `j` owns vars `2j`, `2j+1`.
-    roots: Vec<LineId>,
-    gates: Vec<GateNodes>,
+    pub(crate) roots: Vec<LineId>,
+    pub(crate) gates: Vec<GateNodes>,
 }
 
 fn bdd_error(e: BddError) -> EstimateError {
@@ -101,6 +101,8 @@ impl InferenceBackend for BddBackend {
             nnz: nodes,
             state_space: nodes,
             compressed_cliques: 0,
+            // One pass over the unique table per propagation.
+            kernel_cost: nodes,
         };
         Ok(CompiledSegment::new(
             Box::new(BddSegment { bdd, roots, gates }),

@@ -35,20 +35,20 @@ pub(crate) struct JtreeSegment {
     /// one (or creates one on first use), propagates, and returns it, so
     /// steady-state estimation allocates no fresh potentials — the piece
     /// that makes concurrent batch estimation over one compile cheap.
-    states: Mutex<Vec<PropagationState>>,
+    pub(crate) states: Mutex<Vec<PropagationState>>,
     /// Shared per-edge collect-message cache: concurrent and consecutive
     /// propagations over this compile reuse messages whose evidence
     /// dependencies are bit-identical. Lives (and is evicted) with the
     /// compiled artifact.
-    msg_cache: MessageCache,
+    pub(crate) msg_cache: MessageCache,
     /// Whether propagations may *read* the message cache (baked in from
     /// [`Options::incremental`] at compile time, since `propagate` has no
     /// options parameter).
-    incremental: bool,
-    solo_roots: Vec<(LineId, VarId, RootSource)>,
-    pair_roots: Vec<PairRoot>,
-    input_pairs: Vec<InputPair>,
-    gates: Vec<(LineId, VarId)>,
+    pub(crate) incremental: bool,
+    pub(crate) solo_roots: Vec<(LineId, VarId, RootSource)>,
+    pub(crate) pair_roots: Vec<PairRoot>,
+    pub(crate) input_pairs: Vec<InputPair>,
+    pub(crate) gates: Vec<(LineId, VarId)>,
 }
 
 /// The 4×4 conditional rows `P(child | parent)` a grouped or explicitly
@@ -117,6 +117,7 @@ impl InferenceBackend for JtreeBackend {
             nnz: compiled.nnz(),
             state_space: compiled.state_space(),
             compressed_cliques: compiled.compressed_cliques(),
+            kernel_cost: compiled.kernel_cost(),
         };
         let msg_cache = compiled.new_message_cache();
         Ok(CompiledSegment::new(

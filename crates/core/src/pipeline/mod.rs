@@ -25,6 +25,7 @@ pub mod backend;
 mod bddexact;
 mod jtree;
 mod model;
+pub(crate) mod persist;
 mod plan;
 mod schedule;
 mod timing;
@@ -704,6 +705,10 @@ impl CompiledPipeline {
             .iter()
             .map(|s| s.stats().compressed_cliques)
             .sum()
+    }
+
+    pub(crate) fn kernel_cost(&self) -> usize {
+        self.segments.iter().map(|s| s.stats().kernel_cost).sum()
     }
 
     pub(crate) fn options(&self) -> &Options {

@@ -1,0 +1,893 @@
+//! Serialization of a whole [`CompiledPipeline`] — the payload of the
+//! on-disk artifact format in [`crate::artifact`].
+//!
+//! The encoding is *self-contained*: it carries the working circuit
+//! (replayed structurally through [`CircuitBuilder`], which assigns line
+//! ids in declaration order so indices round-trip exactly), the full
+//! [`Options`], the final post-degradation segment artifacts, export
+//! routing, and the wave schedule. Loading therefore needs nothing but the
+//! bytes — no original netlist, no recompilation — and produces a pipeline
+//! whose estimates are bit-identical (`f64::to_bits`) to the one that was
+//! persisted, because every potential, projection table, and BDD node
+//! travels as its exact bit pattern via the [`swact_bayesnet::codec`]
+//! primitives.
+//!
+//! Per-process mutable state (propagation-state pools, message caches, the
+//! posterior memo, BDD apply caches) is deliberately *not* serialized; it
+//! is recreated empty at load and warms up per process.
+//!
+//! Decoding trusts its input only as far as not panicking: every length is
+//! bounds-checked and cross-references are validated, so corrupt bytes
+//! yield a [`CodecError`]. Integrity is the artifact layer's job (the
+//! payload checksum is verified before this decoder runs).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use swact_bayesnet::codec::{read_compiled_tree, write_compiled_tree, CodecError, Reader, Writer};
+use swact_bayesnet::{Heuristic, SparseMode, VarId};
+use swact_bdd::{Bdd, NodeId};
+use swact_circuit::{Circuit, CircuitBuilder, Driver, GateKind, LineId};
+
+use crate::budget::{Budget, DegradationCause, DegradationReport, Fallback};
+use crate::estimator::Options;
+use crate::pipeline::backend::{backend_impl, Backend, CompiledSegment, SegmentStats};
+use crate::pipeline::bddexact::{BddSegment, GateNodes};
+use crate::pipeline::jtree::JtreeSegment;
+use crate::pipeline::model::{Export, InputPair, PairRoot};
+use crate::pipeline::plan::PlannedCircuit;
+use crate::pipeline::twostate::TwoStateSegment;
+use crate::pipeline::{CompiledPipeline, StageTimings, WaveSchedule};
+use crate::segment::{RootSource, SegmentationPlan};
+use crate::SegmentTimings;
+
+fn malformed(message: impl Into<String>) -> CodecError {
+    CodecError::Malformed(message.into())
+}
+
+// ---------------------------------------------------------------------------
+// Small shared pieces
+// ---------------------------------------------------------------------------
+
+fn write_line(w: &mut Writer, line: LineId) {
+    w.u32(line.index() as u32);
+}
+
+fn read_line(r: &mut Reader<'_>, num_lines: usize) -> Result<LineId, CodecError> {
+    let idx = r.u32()? as usize;
+    if idx >= num_lines {
+        return Err(malformed(format!("line index {idx} out of {num_lines}")));
+    }
+    Ok(LineId::from_index(idx))
+}
+
+fn write_var(w: &mut Writer, var: VarId) {
+    w.u32(var.index() as u32);
+}
+
+fn read_var(r: &mut Reader<'_>) -> Result<VarId, CodecError> {
+    Ok(VarId::from_index(r.u32()? as usize))
+}
+
+fn write_duration(w: &mut Writer, d: Duration) {
+    w.u64(d.as_nanos() as u64);
+}
+
+fn read_duration(r: &mut Reader<'_>) -> Result<Duration, CodecError> {
+    Ok(Duration::from_nanos(r.u64()?))
+}
+
+fn write_root_source(w: &mut Writer, source: RootSource) {
+    match source {
+        RootSource::PrimaryInput(pos) => {
+            w.u8(0);
+            w.usize(pos);
+        }
+        RootSource::Boundary => w.u8(1),
+    }
+}
+
+fn read_root_source(r: &mut Reader<'_>) -> Result<RootSource, CodecError> {
+    match r.u8()? {
+        0 => Ok(RootSource::PrimaryInput(r.usize()?)),
+        1 => Ok(RootSource::Boundary),
+        other => Err(malformed(format!("unknown root-source tag {other}"))),
+    }
+}
+
+fn backend_tag(backend: Backend) -> u8 {
+    match backend {
+        Backend::Jtree => 0,
+        Backend::Bdd => 1,
+        Backend::TwoState => 2,
+    }
+}
+
+fn backend_from_tag(tag: u8) -> Result<Backend, CodecError> {
+    match tag {
+        0 => Ok(Backend::Jtree),
+        1 => Ok(Backend::Bdd),
+        2 => Ok(Backend::TwoState),
+        other => Err(malformed(format!("unknown backend tag {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Circuit: structural replay through CircuitBuilder
+// ---------------------------------------------------------------------------
+
+pub(crate) fn write_circuit(w: &mut Writer, circuit: &Circuit) {
+    w.str(circuit.name());
+    w.usize(circuit.num_lines());
+    for idx in 0..circuit.num_lines() {
+        let line = LineId::from_index(idx);
+        w.str(circuit.line_name(line));
+        match circuit.driver(line) {
+            Driver::Input => w.u8(0),
+            Driver::Gate(gate) => {
+                w.u8(1);
+                let kind = GateKind::ALL
+                    .iter()
+                    .position(|&k| k == gate.kind)
+                    .expect("GateKind::ALL is exhaustive");
+                w.u8(kind as u8);
+                w.usize(gate.inputs.len());
+                for &input in &gate.inputs {
+                    write_line(w, input);
+                }
+            }
+        }
+    }
+    w.usize(circuit.outputs().len());
+    for &output in circuit.outputs() {
+        write_line(w, output);
+    }
+}
+
+/// One decoded line record: its name, and for gate lines the kind plus
+/// input line indices (inputs may point at lines declared later).
+type LineRecord = (String, Option<(GateKind, Vec<usize>)>);
+
+fn read_circuit(r: &mut Reader<'_>) -> Result<Circuit, CodecError> {
+    let name = r.str()?;
+    let num_lines = r.len(2)?;
+    // Gate inputs may reference lines declared later, so collect every
+    // record first and replay through the builder once all names exist.
+    let mut records: Vec<LineRecord> = Vec::with_capacity(num_lines);
+    for _ in 0..num_lines {
+        let line_name = r.str()?;
+        let driver = match r.u8()? {
+            0 => None,
+            1 => {
+                let kind_idx = r.u8()? as usize;
+                let kind = *GateKind::ALL
+                    .get(kind_idx)
+                    .ok_or_else(|| malformed(format!("unknown gate kind {kind_idx}")))?;
+                let n_inputs = r.len(4)?;
+                let mut inputs = Vec::with_capacity(n_inputs);
+                for _ in 0..n_inputs {
+                    let idx = r.u32()? as usize;
+                    if idx >= num_lines {
+                        return Err(malformed("gate input references a missing line"));
+                    }
+                    inputs.push(idx);
+                }
+                Some((kind, inputs))
+            }
+            other => return Err(malformed(format!("unknown driver tag {other}"))),
+        };
+        records.push((line_name, driver));
+    }
+    let num_outputs = r.len(4)?;
+    let mut outputs = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        let idx = r.u32()? as usize;
+        if idx >= num_lines {
+            return Err(malformed("output references a missing line"));
+        }
+        outputs.push(idx);
+    }
+    let mut builder = CircuitBuilder::new(name);
+    for (line_name, driver) in &records {
+        match driver {
+            None => builder.input(line_name),
+            Some((kind, inputs)) => {
+                let input_names: Vec<&str> =
+                    inputs.iter().map(|&i| records[i].0.as_str()).collect();
+                builder.gate(line_name, *kind, &input_names)
+            }
+        }
+        .map_err(|e| malformed(format!("circuit replay: {e}")))?;
+    }
+    for &idx in &outputs {
+        builder
+            .output(&records[idx].0)
+            .map_err(|e| malformed(format!("circuit replay: {e}")))?;
+    }
+    builder
+        .finish()
+        .map_err(|e| malformed(format!("circuit replay: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Options (including the resource budget)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn write_options(w: &mut Writer, options: &Options) {
+    w.u8(match options.heuristic {
+        Heuristic::MinFill => 0,
+        Heuristic::MinDegree => 1,
+    });
+    w.usize(options.max_fanin);
+    w.usize(options.segment_budget);
+    w.usize(options.check_interval);
+    w.bool(options.single_bn);
+    w.bool(options.boundary_correlation);
+    w.u8(match options.sparse {
+        SparseMode::Auto => 0,
+        SparseMode::On => 1,
+        SparseMode::Off => 2,
+    });
+    w.u8(backend_tag(options.backend));
+    match options.budget.max_states {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            w.f64_bits(v);
+        }
+    }
+    match options.budget.max_factor_bytes {
+        None => w.u8(0),
+        Some(v) => {
+            w.u8(1);
+            w.usize(v);
+        }
+    }
+    match options.budget.deadline {
+        None => w.u8(0),
+        Some(d) => {
+            w.u8(1);
+            write_duration(w, d);
+        }
+    }
+    w.bool(options.no_fallback);
+    w.bool(options.incremental);
+}
+
+fn read_options(r: &mut Reader<'_>) -> Result<Options, CodecError> {
+    let heuristic = match r.u8()? {
+        0 => Heuristic::MinFill,
+        1 => Heuristic::MinDegree,
+        other => return Err(malformed(format!("unknown heuristic tag {other}"))),
+    };
+    let max_fanin = r.usize()?;
+    let segment_budget = r.usize()?;
+    let check_interval = r.usize()?;
+    let single_bn = r.bool()?;
+    let boundary_correlation = r.bool()?;
+    let sparse = match r.u8()? {
+        0 => SparseMode::Auto,
+        1 => SparseMode::On,
+        2 => SparseMode::Off,
+        other => return Err(malformed(format!("unknown sparse tag {other}"))),
+    };
+    let backend = backend_from_tag(r.u8()?)?;
+    let max_states = match r.u8()? {
+        0 => None,
+        1 => Some(r.f64_bits()?),
+        other => return Err(malformed(format!("bad option byte {other}"))),
+    };
+    let max_factor_bytes = match r.u8()? {
+        0 => None,
+        1 => Some(r.usize()?),
+        other => return Err(malformed(format!("bad option byte {other}"))),
+    };
+    let deadline = match r.u8()? {
+        0 => None,
+        1 => Some(read_duration(r)?),
+        other => return Err(malformed(format!("bad option byte {other}"))),
+    };
+    Ok(Options {
+        heuristic,
+        max_fanin,
+        segment_budget,
+        check_interval,
+        single_bn,
+        boundary_correlation,
+        sparse,
+        backend,
+        budget: Budget {
+            max_states,
+            max_factor_bytes,
+            deadline,
+        },
+        no_fallback: r.bool()?,
+        incremental: r.bool()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Degradation provenance
+// ---------------------------------------------------------------------------
+
+fn write_degradation(w: &mut Writer, report: &DegradationReport) {
+    w.usize(report.segment);
+    match report.cause {
+        DegradationCause::StateBudget { estimated, budget } => {
+            w.u8(0);
+            w.f64_bits(estimated);
+            w.f64_bits(budget);
+        }
+        DegradationCause::FactorBytes { bytes, budget } => {
+            w.u8(1);
+            w.usize(bytes);
+            w.usize(budget);
+        }
+    }
+    match report.fallback {
+        Fallback::Replanned { subsegments } => {
+            w.u8(0);
+            w.usize(subsegments);
+        }
+        Fallback::TwoState => w.u8(1),
+    }
+}
+
+fn read_degradation(r: &mut Reader<'_>) -> Result<DegradationReport, CodecError> {
+    let segment = r.usize()?;
+    let cause = match r.u8()? {
+        0 => DegradationCause::StateBudget {
+            estimated: r.f64_bits()?,
+            budget: r.f64_bits()?,
+        },
+        1 => DegradationCause::FactorBytes {
+            bytes: r.usize()?,
+            budget: r.usize()?,
+        },
+        other => return Err(malformed(format!("unknown degradation cause {other}"))),
+    };
+    let fallback = match r.u8()? {
+        0 => Fallback::Replanned {
+            subsegments: r.usize()?,
+        },
+        1 => Fallback::TwoState,
+        other => return Err(malformed(format!("unknown fallback tag {other}"))),
+    };
+    Ok(DegradationReport {
+        segment,
+        cause,
+        fallback,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Segment artifacts (one per backend)
+// ---------------------------------------------------------------------------
+
+fn write_jtree_segment(w: &mut Writer, seg: &JtreeSegment) {
+    write_compiled_tree(w, &seg.compiled);
+    w.usize(seg.solo_roots.len());
+    for &(line, var, source) in &seg.solo_roots {
+        write_line(w, line);
+        write_var(w, var);
+        write_root_source(w, source);
+    }
+    w.usize(seg.pair_roots.len());
+    for pair in &seg.pair_roots {
+        write_var(w, pair.var);
+        write_var(w, pair.parent_var);
+        w.usize(pair.slot);
+    }
+    w.usize(seg.input_pairs.len());
+    for pair in &seg.input_pairs {
+        write_var(w, pair.var);
+        write_var(w, pair.parent_var);
+        w.usize(pair.child_pos);
+        w.usize(pair.parent_pos);
+        match pair.group {
+            None => w.u8(0),
+            Some(g) => {
+                w.u8(1);
+                w.usize(g);
+            }
+        }
+    }
+    w.usize(seg.gates.len());
+    for &(line, var) in &seg.gates {
+        write_line(w, line);
+        write_var(w, var);
+    }
+}
+
+fn read_jtree_segment(
+    r: &mut Reader<'_>,
+    num_lines: usize,
+    options: &Options,
+) -> Result<JtreeSegment, CodecError> {
+    let compiled = read_compiled_tree(r)?;
+    let n_solo = r.len(9)?;
+    let mut solo_roots = Vec::with_capacity(n_solo);
+    for _ in 0..n_solo {
+        let line = read_line(r, num_lines)?;
+        let var = read_var(r)?;
+        let source = read_root_source(r)?;
+        solo_roots.push((line, var, source));
+    }
+    let n_pairs = r.len(16)?;
+    let mut pair_roots = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        pair_roots.push(PairRoot {
+            var: read_var(r)?,
+            parent_var: read_var(r)?,
+            slot: r.usize()?,
+        });
+    }
+    let n_input_pairs = r.len(25)?;
+    let mut input_pairs = Vec::with_capacity(n_input_pairs);
+    for _ in 0..n_input_pairs {
+        input_pairs.push(InputPair {
+            var: read_var(r)?,
+            parent_var: read_var(r)?,
+            child_pos: r.usize()?,
+            parent_pos: r.usize()?,
+            group: match r.u8()? {
+                0 => None,
+                1 => Some(r.usize()?),
+                other => return Err(malformed(format!("bad group byte {other}"))),
+            },
+        });
+    }
+    let n_gates = r.len(8)?;
+    let mut gates = Vec::with_capacity(n_gates);
+    for _ in 0..n_gates {
+        let line = read_line(r, num_lines)?;
+        let var = read_var(r)?;
+        gates.push((line, var));
+    }
+    let msg_cache = compiled.new_message_cache();
+    Ok(JtreeSegment {
+        compiled,
+        states: Mutex::new(Vec::new()),
+        msg_cache,
+        incremental: options.incremental,
+        solo_roots,
+        pair_roots,
+        input_pairs,
+        gates,
+    })
+}
+
+fn write_twostate_segment(w: &mut Writer, seg: &TwoStateSegment) {
+    write_compiled_tree(w, &seg.compiled);
+    w.usize(seg.roots.len());
+    for &(line, var, source) in &seg.roots {
+        write_line(w, line);
+        write_var(w, var);
+        write_root_source(w, source);
+    }
+    w.usize(seg.gates.len());
+    for &(line, var) in &seg.gates {
+        write_line(w, line);
+        write_var(w, var);
+    }
+}
+
+fn read_twostate_segment(
+    r: &mut Reader<'_>,
+    num_lines: usize,
+) -> Result<TwoStateSegment, CodecError> {
+    let compiled = read_compiled_tree(r)?;
+    let n_roots = r.len(9)?;
+    let mut roots = Vec::with_capacity(n_roots);
+    for _ in 0..n_roots {
+        let line = read_line(r, num_lines)?;
+        let var = read_var(r)?;
+        let source = read_root_source(r)?;
+        roots.push((line, var, source));
+    }
+    let n_gates = r.len(8)?;
+    let mut gates = Vec::with_capacity(n_gates);
+    for _ in 0..n_gates {
+        let line = read_line(r, num_lines)?;
+        let var = read_var(r)?;
+        gates.push((line, var));
+    }
+    Ok(TwoStateSegment {
+        compiled,
+        states: Mutex::new(Vec::new()),
+        roots,
+        gates,
+    })
+}
+
+fn write_bdd_segment(w: &mut Writer, seg: &BddSegment) {
+    w.usize(seg.bdd.num_vars());
+    w.usize(seg.bdd.node_limit());
+    let table = seg.bdd.export_table();
+    w.usize(table.len());
+    for [level, lo, hi] in table {
+        w.u32(level);
+        w.u32(lo);
+        w.u32(hi);
+    }
+    w.usize(seg.roots.len());
+    for &line in &seg.roots {
+        write_line(w, line);
+    }
+    w.usize(seg.gates.len());
+    for gate in &seg.gates {
+        write_line(w, gate.line);
+        w.u32(gate.p01.index() as u32);
+        w.u32(gate.p10.index() as u32);
+        w.u32(gate.p11.index() as u32);
+    }
+}
+
+fn read_bdd_segment(r: &mut Reader<'_>, num_lines: usize) -> Result<BddSegment, CodecError> {
+    let num_vars = r.usize()?;
+    let node_limit = r.usize()?;
+    let n_nodes = r.len(12)?;
+    let mut table = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        table.push([r.u32()?, r.u32()?, r.u32()?]);
+    }
+    let bdd =
+        Bdd::from_table(num_vars, node_limit, &table).map_err(|e| malformed(e.to_string()))?;
+    let n_roots = r.len(4)?;
+    let mut roots = Vec::with_capacity(n_roots);
+    for _ in 0..n_roots {
+        roots.push(read_line(r, num_lines)?);
+    }
+    let n_gates = r.len(16)?;
+    let mut gates = Vec::with_capacity(n_gates);
+    let node = |r: &mut Reader<'_>| -> Result<NodeId, CodecError> {
+        let idx = r.u32()? as usize;
+        if idx >= bdd.num_nodes() {
+            return Err(malformed("gate node references a missing bdd node"));
+        }
+        Ok(NodeId::from_index(idx))
+    };
+    for _ in 0..n_gates {
+        let line = read_line(r, num_lines)?;
+        gates.push(GateNodes {
+            line,
+            p01: node(r)?,
+            p10: node(r)?,
+            p11: node(r)?,
+        });
+    }
+    Ok(BddSegment { bdd, roots, gates })
+}
+
+fn write_segment(w: &mut Writer, segment: &CompiledSegment) {
+    let stats = segment.stats();
+    w.f64_bits(stats.total_states);
+    w.f64_bits(stats.max_clique_states);
+    w.usize(stats.nnz);
+    w.usize(stats.state_space);
+    w.usize(stats.compressed_cliques);
+    w.usize(stats.kernel_cost);
+    // Stable order: HashMap iteration would make the bytes (and thus the
+    // artifact checksum) nondeterministic across processes.
+    let mut lines: Vec<(LineId, VarId)> = segment.lines().iter().map(|(&l, &v)| (l, v)).collect();
+    lines.sort_by_key(|&(l, _)| l);
+    w.usize(lines.len());
+    for (line, var) in lines {
+        write_line(w, line);
+        write_var(w, var);
+    }
+    let artifact = segment.artifact();
+    if let Some(seg) = artifact.downcast_ref::<JtreeSegment>() {
+        w.u8(0);
+        write_jtree_segment(w, seg);
+    } else if let Some(seg) = artifact.downcast_ref::<TwoStateSegment>() {
+        w.u8(2);
+        write_twostate_segment(w, seg);
+    } else if let Some(seg) = artifact.downcast_ref::<BddSegment>() {
+        w.u8(1);
+        write_bdd_segment(w, seg);
+    } else {
+        unreachable!("every built-in backend artifact is serializable");
+    }
+}
+
+fn read_segment(
+    r: &mut Reader<'_>,
+    num_lines: usize,
+    options: &Options,
+) -> Result<CompiledSegment, CodecError> {
+    let stats = SegmentStats {
+        total_states: r.f64_bits()?,
+        max_clique_states: r.f64_bits()?,
+        nnz: r.usize()?,
+        state_space: r.usize()?,
+        compressed_cliques: r.usize()?,
+        kernel_cost: r.usize()?,
+    };
+    let n_lines = r.len(8)?;
+    let mut lines = HashMap::with_capacity(n_lines);
+    for _ in 0..n_lines {
+        let line = read_line(r, num_lines)?;
+        let var = read_var(r)?;
+        lines.insert(line, var);
+    }
+    let artifact: Box<dyn std::any::Any + Send + Sync> = match r.u8()? {
+        0 => Box::new(read_jtree_segment(r, num_lines, options)?),
+        1 => Box::new(read_bdd_segment(r, num_lines)?),
+        2 => Box::new(read_twostate_segment(r, num_lines)?),
+        other => return Err(malformed(format!("unknown segment kind {other}"))),
+    };
+    Ok(CompiledSegment::new(artifact, stats, lines))
+}
+
+// ---------------------------------------------------------------------------
+// The whole pipeline
+// ---------------------------------------------------------------------------
+
+/// Serializes a compiled pipeline into the artifact payload bytes. The
+/// encoding is deterministic: the same pipeline produces the same bytes
+/// in every process.
+pub(crate) fn encode_pipeline(pipeline: &CompiledPipeline) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_circuit(&mut w, &pipeline.planned.working);
+    w.usize(pipeline.planned.line_map.len());
+    for &idx in &pipeline.planned.line_map {
+        w.usize(idx);
+    }
+    w.usize(pipeline.planned.group_signature.len());
+    for group in &pipeline.planned.group_signature {
+        w.usize(group.len());
+        for &member in group {
+            w.usize(member);
+        }
+    }
+    w.usize(pipeline.planned.pair_signature.len());
+    for &(a, b) in &pipeline.planned.pair_signature {
+        w.usize(a);
+        w.usize(b);
+    }
+    write_options(&mut w, &pipeline.options);
+    w.usize(pipeline.seg_kinds.len());
+    for &kind in &pipeline.seg_kinds {
+        w.u8(backend_tag(kind));
+    }
+    w.usize(pipeline.degradations.len());
+    for report in &pipeline.degradations {
+        write_degradation(&mut w, report);
+    }
+    w.usize(pipeline.exports.len());
+    for exports in &pipeline.exports {
+        w.usize(exports.len());
+        for export in exports {
+            write_var(&mut w, export.parent_var);
+            write_var(&mut w, export.child_var);
+            w.usize(export.slot);
+        }
+    }
+    w.usize(pipeline.num_slots);
+    w.usize(pipeline.num_boundary_roots);
+    w.usize(pipeline.schedule.waves().len());
+    for wave in pipeline.schedule.waves() {
+        w.usize(wave.len());
+        for &seg in wave {
+            w.usize(seg);
+        }
+    }
+    // Wall-clock instrumentation (compile_time, stage/segment timings) is
+    // deliberately not persisted: it varies run to run and would make the
+    // bytes — and thus the artifact checksum — nondeterministic. A loaded
+    // pipeline reports zero compile time, which is what actually happened.
+    w.f64_bits(pipeline.total_states);
+    w.f64_bits(pipeline.max_clique_states);
+    w.usize(pipeline.segments.len());
+    for segment in &pipeline.segments {
+        write_segment(&mut w, segment);
+    }
+    w.into_bytes()
+}
+
+/// Reconstructs a compiled pipeline from [`encode_pipeline`] bytes.
+/// Per-process state (state pools, message caches, the posterior memo) is
+/// created fresh; everything the numerics read is restored bit-for-bit.
+pub(crate) fn decode_pipeline(bytes: &[u8]) -> Result<CompiledPipeline, CodecError> {
+    let mut r = Reader::new(bytes);
+    let working = read_circuit(&mut r)?;
+    let num_lines = working.num_lines();
+    let num_inputs = working.num_inputs();
+    let n_map = r.len(8)?;
+    let mut line_map = Vec::with_capacity(n_map);
+    for _ in 0..n_map {
+        let idx = r.usize()?;
+        if idx >= num_lines {
+            return Err(malformed("line map references a missing working line"));
+        }
+        line_map.push(idx);
+    }
+    let n_groups = r.len(8)?;
+    let mut group_signature = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let n_members = r.len(8)?;
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            members.push(r.usize()?);
+        }
+        group_signature.push(members);
+    }
+    let n_pairs = r.len(16)?;
+    let mut pair_signature = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        pair_signature.push((r.usize()?, r.usize()?));
+    }
+    let options = read_options(&mut r)?;
+    let n_kinds = r.len(1)?;
+    let mut seg_kinds = Vec::with_capacity(n_kinds);
+    for _ in 0..n_kinds {
+        seg_kinds.push(backend_from_tag(r.u8()?)?);
+    }
+    let n_degradations = r.len(10)?;
+    let mut degradations = Vec::with_capacity(n_degradations);
+    for _ in 0..n_degradations {
+        degradations.push(read_degradation(&mut r)?);
+    }
+    let n_exports = r.len(8)?;
+    let mut exports = Vec::with_capacity(n_exports);
+    for _ in 0..n_exports {
+        let n = r.len(16)?;
+        let mut list = Vec::with_capacity(n);
+        for _ in 0..n {
+            list.push(Export {
+                parent_var: read_var(&mut r)?,
+                child_var: read_var(&mut r)?,
+                slot: r.usize()?,
+            });
+        }
+        exports.push(list);
+    }
+    let num_slots = r.usize()?;
+    let num_boundary_roots = r.usize()?;
+    let n_waves = r.len(8)?;
+    let mut waves = Vec::with_capacity(n_waves);
+    for _ in 0..n_waves {
+        let n = r.len(8)?;
+        let mut wave = Vec::with_capacity(n);
+        for _ in 0..n {
+            wave.push(r.usize()?);
+        }
+        waves.push(wave);
+    }
+    let total_states = r.f64_bits()?;
+    let max_clique_states = r.f64_bits()?;
+    let n_segments = r.len(1)?;
+    if seg_kinds.len() != n_segments || exports.len() != n_segments {
+        return Err(malformed("per-segment tables disagree on segment count"));
+    }
+    for wave in &waves {
+        if wave.iter().any(|&s| s >= n_segments) {
+            return Err(malformed("schedule references a missing segment"));
+        }
+    }
+    for report in &degradations {
+        if report.segment >= n_segments {
+            return Err(malformed("degradation references a missing segment"));
+        }
+    }
+    let mut segments = Vec::with_capacity(n_segments);
+    for _ in 0..n_segments {
+        segments.push(read_segment(&mut r, num_lines, &options)?);
+    }
+    r.finish()?;
+
+    // group_of / pair_parent_of are pure functions of the signatures.
+    let mut group_of = vec![None; num_inputs];
+    for (g, group) in group_signature.iter().enumerate() {
+        for &member in group {
+            if member >= num_inputs {
+                return Err(malformed("group member out of input range"));
+            }
+            group_of[member] = Some(g);
+        }
+    }
+    let mut pair_parent_of = vec![None; num_inputs];
+    for &(a, b) in &pair_signature {
+        if a >= num_inputs || b >= num_inputs {
+            return Err(malformed("pair signature out of input range"));
+        }
+        pair_parent_of[b] = Some(a);
+    }
+    let backend_kind = options.backend;
+    let memo = (0..segments.len()).map(|_| Mutex::new(None)).collect();
+    Ok(CompiledPipeline {
+        planned: PlannedCircuit {
+            working,
+            line_map,
+            // The original plan is only consulted during compilation; a
+            // loaded pipeline carries the final segment artifacts directly.
+            plan: SegmentationPlan::empty(options.segment_budget as f64),
+            group_of,
+            pair_parent_of,
+            group_signature,
+            pair_signature,
+        },
+        backend_kind,
+        backend: backend_impl(backend_kind),
+        fallback: backend_impl(Backend::TwoState),
+        seg_kinds,
+        degradations,
+        segments,
+        exports,
+        num_slots,
+        num_boundary_roots,
+        schedule: WaveSchedule::from_waves(waves),
+        compile_time: Duration::ZERO,
+        stages: StageTimings::default(),
+        seg_timings: vec![SegmentTimings::default(); n_segments],
+        total_states,
+        max_clique_states,
+        options,
+        memo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompiledEstimator, InputSpec};
+    use swact_circuit::catalog;
+
+    fn round_trip(options: &Options) {
+        let c17 = catalog::c17();
+        let compiled = CompiledEstimator::compile(&c17, options).expect("compiles");
+        let bytes = encode_pipeline(compiled.pipeline());
+        let decoded = decode_pipeline(&bytes).expect("decodes");
+        let restored = CompiledEstimator::from_pipeline(decoded);
+        let spec = InputSpec::independent(vec![0.2, 0.4, 0.6, 0.8, 0.35]);
+        let fresh = compiled.estimate(&spec).expect("fresh estimate");
+        let warm = restored.estimate(&spec).expect("restored estimate");
+        for line in c17.line_ids() {
+            let a = fresh.distribution(line).as_array();
+            let b = warm.distribution(line).as_array();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "line {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_round_trips_bit_identically_per_backend() {
+        for backend in [Backend::Jtree, Backend::Bdd, Backend::TwoState] {
+            round_trip(&Options {
+                backend,
+                ..Options::default()
+            });
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let c17 = catalog::c17();
+        let compiled = CompiledEstimator::compile(&c17, &Options::default()).expect("compiles");
+        let a = encode_pipeline(compiled.pipeline());
+        let b = encode_pipeline(compiled.pipeline());
+        assert_eq!(a, b, "same pipeline must encode to the same bytes");
+        let again = CompiledEstimator::compile(&c17, &Options::default()).expect("compiles");
+        assert_eq!(
+            a,
+            encode_pipeline(again.pipeline()),
+            "recompiling the same circuit must produce identical bytes"
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_error_cleanly() {
+        let c17 = catalog::c17();
+        let compiled = CompiledEstimator::compile(&c17, &Options::default()).expect("compiles");
+        let bytes = encode_pipeline(compiled.pipeline());
+        for cut in [0, 1, bytes.len() / 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_pipeline(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_pipeline(&trailing).is_err(), "trailing byte");
+    }
+}

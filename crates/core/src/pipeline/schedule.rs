@@ -51,6 +51,11 @@ impl WaveSchedule {
         WaveSchedule { waves }
     }
 
+    /// Rebuilds a schedule from its serialized wave lists (artifact load).
+    pub(crate) fn from_waves(waves: Vec<Vec<usize>>) -> WaveSchedule {
+        WaveSchedule { waves }
+    }
+
     /// The waves, each a list of segment indices, in propagation order.
     pub fn waves(&self) -> &[Vec<usize>] {
         &self.waves

@@ -30,11 +30,11 @@ use crate::{EstimateError, TransitionDist};
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TwoStateBackend;
 
-struct TwoStateSegment {
-    compiled: CompiledTree,
-    states: Mutex<Vec<PropagationState>>,
-    roots: Vec<(LineId, VarId, RootSource)>,
-    gates: Vec<(LineId, VarId)>,
+pub(crate) struct TwoStateSegment {
+    pub(crate) compiled: CompiledTree,
+    pub(crate) states: Mutex<Vec<PropagationState>>,
+    pub(crate) roots: Vec<(LineId, VarId, RootSource)>,
+    pub(crate) gates: Vec<(LineId, VarId)>,
 }
 
 impl InferenceBackend for TwoStateBackend {
@@ -93,6 +93,7 @@ impl InferenceBackend for TwoStateBackend {
             nnz: compiled.nnz(),
             state_space: compiled.state_space(),
             compressed_cliques: compiled.compressed_cliques(),
+            kernel_cost: compiled.kernel_cost(),
         };
         Ok(CompiledSegment::new(
             Box::new(TwoStateSegment {

@@ -76,6 +76,17 @@ impl SegmentationPlan {
     /// # Panics
     ///
     /// Panics if `check_interval` is zero.
+    /// A plan with no segments, used when reconstructing a compiled
+    /// pipeline from a persisted artifact — the final (post-degradation)
+    /// segment list is stored separately, so the original plan is not
+    /// needed and is not persisted.
+    pub(crate) fn empty(budget: f64) -> SegmentationPlan {
+        SegmentationPlan {
+            segments: Vec::new(),
+            budget,
+        }
+    }
+
     pub fn plan(
         circuit: &Circuit,
         card: usize,

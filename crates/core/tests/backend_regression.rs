@@ -9,7 +9,7 @@
 //! Any change to floating-point evaluation order in the jtree path shows
 //! up here as a hash mismatch.
 
-use swact::{estimate, InputSpec, Options};
+use swact::{estimate, CompiledEstimator, InputSpec, Options, SparseMode};
 use swact_circuit::catalog;
 
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
@@ -60,4 +60,45 @@ fn jtree_backend_is_bit_identical_to_pre_refactor_on_alu2() {
         fingerprint("alu2"),
         (4, 0x6e9823d657c42a74, 0x3fd67a8890c91701)
     );
+}
+
+/// The c880 sparse regression, pinned at the cost-model level: the old
+/// global "compress when ≥50% zeros" rule zero-compressed c880's half-zero
+/// cliques (zero fraction 0.173 overall, but many binary truth tables) and
+/// made `SparseMode::Auto` *slower* than dense (0.934× in
+/// BENCH_sparse.json). The per-clique cost model only compresses a clique
+/// when `3·nnz < len`, so auto's kernel cost can never exceed dense's —
+/// and results stay bit-identical either way.
+#[test]
+fn sparse_auto_never_costs_more_than_dense_on_c880() {
+    let circuit = catalog::benchmark("c880").unwrap();
+    let spec = InputSpec::uniform(circuit.num_inputs());
+    let compile = |sparse| {
+        let options = Options {
+            sparse,
+            ..Options::default()
+        };
+        CompiledEstimator::compile(&circuit, &options).unwrap()
+    };
+    let auto = compile(SparseMode::Auto);
+    let dense = compile(SparseMode::Off);
+    assert!(
+        auto.kernel_cost() <= dense.kernel_cost(),
+        "auto ({}) must never out-cost dense ({})",
+        auto.kernel_cost(),
+        dense.kernel_cost()
+    );
+    // Auto still finds genuinely sparse cliques on c880 — it is a
+    // per-clique choice, not a blanket "stay dense".
+    assert!(auto.compressed_cliques() > 0);
+    let from_auto = auto.estimate(&spec).unwrap();
+    let from_dense = dense.estimate(&spec).unwrap();
+    for line in circuit.line_ids() {
+        assert_eq!(
+            from_auto.switching(line).to_bits(),
+            from_dense.switching(line).to_bits(),
+            "sparse storage must not change results on {}",
+            circuit.line_name(line)
+        );
+    }
 }

@@ -4,79 +4,23 @@
 //! and the work its propagations actually do once zero-compressed cliques
 //! skip structural zeros.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use swact::{CompiledEstimator, InputSpec, Options};
 use swact_circuit::Circuit;
 
 /// Cache key: a structural fingerprint of everything that determines a
-/// compiled model. Collisions would silently reuse the wrong model, so
-/// every structural input — topology, gate kinds, line names, options, and
-/// the spec's group/pair signature — feeds the hash.
-pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) -> u64 {
-    let mut h = DefaultHasher::new();
-
-    // Circuit structure.
-    circuit.num_lines().hash(&mut h);
-    circuit.num_inputs().hash(&mut h);
-    for line in circuit.line_ids() {
-        circuit.line_name(line).hash(&mut h);
-        match circuit.gate(line) {
-            None => 0u8.hash(&mut h),
-            Some(gate) => {
-                1u8.hash(&mut h);
-                gate.kind.hash(&mut h);
-                gate.inputs.len().hash(&mut h);
-                for input in &gate.inputs {
-                    input.index().hash(&mut h);
-                }
-            }
-        }
-    }
-    for output in circuit.outputs() {
-        output.index().hash(&mut h);
-    }
-
-    // Compilation options.
-    options.heuristic.hash(&mut h);
-    options.max_fanin.hash(&mut h);
-    options.segment_budget.hash(&mut h);
-    options.check_interval.hash(&mut h);
-    options.single_bn.hash(&mut h);
-    options.boundary_correlation.hash(&mut h);
-    options.sparse.hash(&mut h);
-    // Backends produce different artifacts (and different numbers): a
-    // cached jtree model must never serve a bdd/twostate request.
-    options.backend.hash(&mut h);
-    // Resource governance is compiled in: a degraded model must never
-    // serve a request with a looser budget (or vice versa). f64 limits
-    // hash by bit pattern; the deadline only governs runtime but still
-    // keys the model so per-batch deadlines never alias.
-    options.budget.max_states.map(f64::to_bits).hash(&mut h);
-    options.budget.max_factor_bytes.hash(&mut h);
-    options.budget.deadline.hash(&mut h);
-    options.no_fallback.hash(&mut h);
-    // Incremental and cold-baseline models are distinct cache entries:
-    // a cold-mode batch measuring the baseline must never warm (or be
-    // served by) an incremental model's message caches and memos.
-    options.incremental.hash(&mut h);
-
-    // Spec signature: group membership and pairwise-joint edges become part
-    // of the compiled structure (probabilities do not).
-    spec.groups().len().hash(&mut h);
-    for group in spec.groups() {
-        group.members.hash(&mut h);
-    }
-    spec.pairwise_joints().len().hash(&mut h);
-    for pair in spec.pairwise_joints() {
-        pair.a.hash(&mut h);
-        pair.b.hash(&mut h);
-    }
-
-    h.finish()
+/// compiled model — topology, gate kinds, line names, options, and the
+/// spec's group/pair signature. Collisions would silently reuse the wrong
+/// model, so all of it feeds the hash.
+///
+/// Delegates to [`swact::artifact::model_key`]: the same key names on-disk
+/// artifacts, so the in-memory and disk tiers of the cache agree on
+/// identity across processes (a `DefaultHasher` key would be randomized
+/// per process and could never address a shared cache directory).
+pub(crate) fn model_key(circuit: &Circuit, spec: &InputSpec, options: &Options) -> u128 {
+    swact::artifact::model_key(circuit, Some(spec), options)
 }
 
 struct Entry {
@@ -90,7 +34,7 @@ struct Entry {
 /// LRU cache of compiled estimators, bounded by total nnz cost rather than
 /// entry count, so one huge model counts for what it weighs.
 pub(crate) struct ModelCache {
-    entries: HashMap<u64, Entry>,
+    entries: HashMap<u128, Entry>,
     budget: f64,
     total_cost: f64,
     tick: u64,
@@ -106,7 +50,7 @@ impl ModelCache {
         }
     }
 
-    pub(crate) fn get(&mut self, key: u64) -> Option<Arc<CompiledEstimator>> {
+    pub(crate) fn get(&mut self, key: u128) -> Option<Arc<CompiledEstimator>> {
         self.tick += 1;
         let tick = self.tick;
         self.entries.get_mut(&key).map(|entry| {
@@ -120,7 +64,7 @@ impl ModelCache {
     /// never evicted (a model bigger than the whole budget still gets
     /// cached — evicting it immediately would defeat the batch that needs
     /// it). Returns the number of evictions.
-    pub(crate) fn insert(&mut self, key: u64, model: Arc<CompiledEstimator>) -> u64 {
+    pub(crate) fn insert(&mut self, key: u128, model: Arc<CompiledEstimator>) -> u64 {
         self.tick += 1;
         let cost = model.nnz() as f64;
         if let Some(old) = self.entries.insert(

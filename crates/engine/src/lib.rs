@@ -60,10 +60,12 @@ mod metrics;
 mod pool;
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use swact::artifact;
 use swact::{CompiledEstimator, Estimate, EstimateError, InputSpec, Options, StageTimings};
 use swact_circuit::Circuit;
 
@@ -148,6 +150,10 @@ impl BatchReport {
 pub struct Engine {
     pool: WorkerPool,
     cache: Mutex<ModelCache>,
+    /// Disk tier of the model cache: memory misses consult this directory
+    /// before compiling, and fresh compiles are persisted back. `None`
+    /// keeps the cache memory-only.
+    cache_dir: Option<PathBuf>,
     metrics: Arc<EngineMetrics>,
     /// Set by [`shutdown`](Engine::shutdown); batches submitted afterwards
     /// fail fast with [`EstimateError::Cancelled`].
@@ -200,9 +206,72 @@ impl Engine {
         Engine {
             pool: WorkerPool::new(jobs),
             cache: Mutex::new(ModelCache::new(cache_budget_states)),
+            cache_dir: None,
             metrics: Arc::new(EngineMetrics::default()),
             closed: AtomicBool::new(false),
         }
+    }
+
+    /// Adds a disk tier to the compiled-model cache: memory misses consult
+    /// `dir` for a persisted artifact before compiling, and every fresh
+    /// compile is written back (atomically) for other — and future —
+    /// processes. Corrupt, stale-version, or foreign artifacts are counted
+    /// in [`MetricsSnapshot::artifacts_rejected`] and fall through to a
+    /// clean compile; they are never an error.
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Engine {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The disk tier's directory, when one is configured.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.cache_dir.as_deref()
+    }
+
+    /// Loads every readable artifact in the cache directory into the
+    /// in-memory tier, so the first request for a known model is a memory
+    /// hit instead of a disk read. Returns the number of models loaded;
+    /// unreadable or invalid artifacts count as
+    /// [`MetricsSnapshot::artifacts_rejected`] and are skipped. A no-op
+    /// without a cache directory (returns 0).
+    pub fn prewarm(&self) -> usize {
+        use std::sync::atomic::Ordering;
+
+        let Some(dir) = self.cache_dir.as_deref() else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        let mut loaded = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(key) = name.to_str().and_then(artifact::parse_artifact_file_name) else {
+                continue;
+            };
+            match artifact::read_artifact(&entry.path(), Some(key)) {
+                Ok((_, model)) => {
+                    self.metrics
+                        .artifacts_loaded
+                        .fetch_add(1, Ordering::Relaxed);
+                    let evicted = self
+                        .cache
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(key, Arc::new(model));
+                    if evicted > 0 {
+                        self.metrics.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    }
+                    loaded += 1;
+                }
+                Err(_) => {
+                    self.metrics
+                        .artifacts_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        loaded
     }
 
     /// Shuts the engine down deterministically and blocks until workers
@@ -465,6 +534,41 @@ impl Engine {
             return Ok((model, true, Duration::ZERO));
         }
 
+        // Disk tier: a sibling (or earlier) process may have persisted this
+        // exact model. Any rejection — missing, corrupt, stale version,
+        // foreign key — falls through to a clean compile.
+        if let Some(dir) = self.cache_dir.as_deref() {
+            let path = dir.join(artifact::artifact_file_name(key));
+            match artifact::read_artifact(&path, Some(key)) {
+                Ok((_, model)) => {
+                    self.metrics
+                        .artifacts_loaded
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.metrics.compile_hits.fetch_add(1, Ordering::Relaxed);
+                    let model = Arc::new(model);
+                    let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+                    let model = match cache.get(key) {
+                        Some(existing) => existing,
+                        None => {
+                            let evicted = cache.insert(key, Arc::clone(&model));
+                            if evicted > 0 {
+                                self.metrics.evictions.fetch_add(evicted, Ordering::Relaxed);
+                            }
+                            model
+                        }
+                    };
+                    return Ok((model, true, Duration::ZERO));
+                }
+                Err(artifact::ArtifactError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                }
+                Err(_) => {
+                    self.metrics
+                        .artifacts_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
         let compile_start = Instant::now();
         let model = Arc::new(CompiledEstimator::compile_for(circuit, spec, options)?);
         let compile_time = compile_start.elapsed();
@@ -482,6 +586,17 @@ impl Engine {
         self.metrics
             .degraded_segments
             .fetch_add(model.degradations().len() as u64, Ordering::Relaxed);
+
+        // Write-back to the disk tier (outside the cache lock — disk i/o
+        // must not block memory hits). A failed write is not an error for
+        // this batch; the model simply is not shared.
+        if let Some(dir) = self.cache_dir.as_deref() {
+            if artifact::write_artifact(dir, key, &model).is_ok() {
+                self.metrics
+                    .artifacts_persisted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
 
         let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         let model = match cache.get(key) {
@@ -609,6 +724,119 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    fn temp_cache_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("swact-engine-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn disk_tier_warm_starts_a_fresh_engine_bit_identically() {
+        let dir = temp_cache_dir("warm");
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 3);
+
+        // First engine compiles and persists.
+        let cold = Engine::with_jobs(1).with_cache_dir(&dir);
+        let first = cold.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(!first.cache_hit);
+        let cold_metrics = cold.metrics();
+        assert_eq!(cold_metrics.artifacts_persisted, 1);
+        assert_eq!(cold_metrics.artifacts_loaded, 0);
+        drop(cold);
+
+        // A fresh engine (new process stand-in: empty memory tier) loads
+        // the artifact instead of compiling.
+        let warm = Engine::with_jobs(1).with_cache_dir(&dir);
+        let second = warm.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(second.cache_hit, "disk hit must skip the compile");
+        let warm_metrics = warm.metrics();
+        assert_eq!(warm_metrics.artifacts_loaded, 1);
+        assert_eq!(
+            warm_metrics.compile_misses, 0,
+            "zero compiles on warm start"
+        );
+
+        for (a, b) in first.items.iter().zip(&second.items) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            for (x, y) in a.switching_all().iter().zip(b.switching_all().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected_and_recompiled() {
+        let dir = temp_cache_dir("corrupt");
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 2);
+
+        let writer = Engine::with_jobs(1).with_cache_dir(&dir);
+        writer.estimate_batch(&circuit, &specs, &options).unwrap();
+        drop(writer);
+
+        // Truncate the artifact in place.
+        let artifact_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "swact"))
+            .expect("one artifact persisted");
+        let bytes = std::fs::read(&artifact_path).unwrap();
+        std::fs::write(&artifact_path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let reader = Engine::with_jobs(1).with_cache_dir(&dir);
+        let report = reader.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(report.all_ok());
+        assert!(!report.cache_hit, "rejected artifact must recompile");
+        let metrics = reader.metrics();
+        assert_eq!(metrics.artifacts_rejected, 1);
+        assert_eq!(metrics.artifacts_loaded, 0);
+        assert_eq!(metrics.compile_misses, 1);
+        // The recompile overwrote the corrupt file with a good one.
+        assert_eq!(metrics.artifacts_persisted, 1);
+        assert!(swact::artifact::verify_artifact(&artifact_path).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prewarm_fills_the_memory_tier() {
+        let dir = temp_cache_dir("prewarm");
+        let circuit = catalog::c17();
+        let options = Options::default();
+        let specs = specs_for(&circuit, 2);
+
+        let writer = Engine::with_jobs(1).with_cache_dir(&dir);
+        writer.estimate_batch(&circuit, &specs, &options).unwrap();
+        drop(writer);
+        // A stray non-artifact file is ignored, a corrupt artifact is
+        // rejected without failing the scan.
+        std::fs::write(dir.join("notes.txt"), b"not an artifact").unwrap();
+        std::fs::write(
+            dir.join(swact::artifact::artifact_file_name(99)),
+            b"garbage",
+        )
+        .unwrap();
+
+        let engine = Engine::with_jobs(1).with_cache_dir(&dir);
+        assert_eq!(engine.prewarm(), 1);
+        assert_eq!(engine.cached_models(), 1);
+        let report = engine.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(report.cache_hit, "prewarmed model must be a memory hit");
+        let metrics = engine.metrics();
+        assert_eq!(metrics.artifacts_loaded, 1);
+        assert_eq!(metrics.artifacts_rejected, 1);
+        assert_eq!(metrics.compile_misses, 0);
+
+        // Without a cache dir prewarm is a no-op.
+        assert_eq!(Engine::with_jobs(1).prewarm(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub(crate) struct EngineMetrics {
     pub(crate) compile_hits: AtomicU64,
     pub(crate) compile_misses: AtomicU64,
     pub(crate) evictions: AtomicU64,
+    pub(crate) artifacts_loaded: AtomicU64,
+    pub(crate) artifacts_persisted: AtomicU64,
+    pub(crate) artifacts_rejected: AtomicU64,
     pub(crate) requests_completed: AtomicU64,
     pub(crate) requests_failed: AtomicU64,
     pub(crate) queue_depth: AtomicUsize,
@@ -51,6 +54,9 @@ impl EngineMetrics {
             compile_hits: self.compile_hits.load(Ordering::Relaxed),
             compile_misses: self.compile_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            artifacts_loaded: self.artifacts_loaded.load(Ordering::Relaxed),
+            artifacts_persisted: self.artifacts_persisted.load(Ordering::Relaxed),
+            artifacts_rejected: self.artifacts_rejected.load(Ordering::Relaxed),
             requests_completed: self.requests_completed.load(Ordering::Relaxed),
             requests_failed: self.requests_failed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -87,6 +93,15 @@ pub struct MetricsSnapshot {
     pub compile_misses: u64,
     /// Compiled models evicted to respect the cache budget.
     pub evictions: u64,
+    /// Compiled models loaded from the on-disk artifact cache (warm
+    /// starts) instead of being compiled.
+    pub artifacts_loaded: u64,
+    /// Compiled models persisted to the on-disk artifact cache after a
+    /// compile.
+    pub artifacts_persisted: u64,
+    /// On-disk artifacts rejected (corrupt, stale version, foreign key, or
+    /// unreadable) and recompiled from scratch.
+    pub artifacts_rejected: u64,
     /// Scenario requests finished (successfully or not).
     pub requests_completed: u64,
     /// Scenario requests that returned an error.
@@ -174,6 +189,9 @@ impl MetricsSnapshot {
             ("compile_hits", self.compile_hits as f64),
             ("compile_misses", self.compile_misses as f64),
             ("evictions", self.evictions as f64),
+            ("artifacts_loaded", self.artifacts_loaded as f64),
+            ("artifacts_persisted", self.artifacts_persisted as f64),
+            ("artifacts_rejected", self.artifacts_rejected as f64),
             ("requests_completed", self.requests_completed as f64),
             ("requests_failed", self.requests_failed as f64),
             ("queue_depth", self.queue_depth as f64),

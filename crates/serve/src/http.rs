@@ -121,15 +121,27 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = headers
-        .iter()
-        .find(|(n, _)| n == "content-length")
+    // This codec only reads fixed-length bodies. A `Transfer-Encoding`
+    // header (chunked or otherwise) would make the framing ambiguous —
+    // the classic request-smuggling vector — so it is rejected outright
+    // rather than ignored.
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(HttpError::bad("Transfer-Encoding is not supported"));
+    }
+    // Likewise, two `Content-Length` headers (even agreeing ones) mean the
+    // peer and any intermediary may disagree on where the body ends.
+    let mut content_lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let content_length = content_lengths
+        .next()
         .map(|(_, v)| {
             v.parse::<usize>()
                 .map_err(|_| HttpError::bad("bad Content-Length"))
         })
         .transpose()?
         .unwrap_or(0);
+    if content_lengths.next().is_some() {
+        return Err(HttpError::bad("duplicate Content-Length"));
+    }
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::bad("body too large"));
     }
@@ -303,6 +315,39 @@ mod tests {
         ));
         assert!(matches!(
             exchange(b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Conflicting lengths are ambiguous framing.
+        assert!(matches!(
+            exchange(b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nbody"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Even agreeing duplicates are rejected: an intermediary may have
+        // seen different values than we do.
+        assert!(matches!(
+            exchange(b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_transfer_encoding_requests() {
+        assert!(matches!(
+            exchange(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n"
+            ),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Transfer-Encoding alongside Content-Length is the smuggling
+        // shape proper; it must not fall back to the Content-Length.
+        assert!(matches!(
+            exchange(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\nbody"
+            ),
             Err(HttpError::BadRequest(_))
         ));
     }

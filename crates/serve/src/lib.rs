@@ -77,6 +77,11 @@ pub struct ServerConfig {
     /// How long a graceful shutdown waits for in-flight work before
     /// cancelling whatever is still queued in the engine.
     pub drain: Duration,
+    /// Disk tier for compiled models: the engine consults this directory
+    /// before compiling and persists fresh compiles back, and the server
+    /// pre-warms from it at boot (`/healthz` answers `503 warming` until
+    /// the scan finishes). `None` keeps the cache memory-only.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +92,7 @@ impl Default for ServerConfig {
             handlers: 4,
             clients: ClientTable::default(),
             drain: Duration::from_secs(10),
+            cache_dir: None,
         }
     }
 }
@@ -100,6 +106,13 @@ struct Inner {
     /// Set once by any shutdown trigger; the acceptor stops accepting and
     /// `/healthz` flips to 503.
     stop: AtomicBool,
+    /// Cleared until the boot-time artifact pre-warm finishes; `/healthz`
+    /// answers `503 warming` while it is unset so orchestrators do not
+    /// route traffic at a cold cache. Starts `true` without a cache dir.
+    ready: AtomicBool,
+    /// Connection-handler thread count — the denominator when deriving
+    /// `Retry-After` from backlog.
+    handlers: usize,
     /// Connections accepted but not yet picked up by a handler.
     queue: Mutex<VecDeque<TcpStream>>,
     /// Signals handlers when a connection (or shutdown) is ready.
@@ -165,18 +178,35 @@ impl Server {
         // stop flag (set by handlers or a signal) without a self-pipe.
         listener.set_nonblocking(true)?;
 
-        let engine = match config.jobs {
+        let mut engine = match config.jobs {
             0 => Engine::new(),
             n => Engine::with_jobs(n),
         };
+        if let Some(dir) = &config.cache_dir {
+            engine = engine.with_cache_dir(dir);
+        }
+        let warm_start = config.cache_dir.is_some();
         let inner = Arc::new(Inner {
             engine,
             clients: config.clients,
             metrics: ServerMetrics::default(),
             stop: AtomicBool::new(false),
+            ready: AtomicBool::new(!warm_start),
+            handlers: config.handlers.max(1),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
+
+        if warm_start {
+            // Pre-warm off the startup path: the listener is live (so
+            // `/healthz` can answer `warming`), but readiness flips only
+            // once every persisted model is in the memory tier.
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                inner.engine.prewarm();
+                inner.ready.store(true, Ordering::SeqCst);
+            });
+        }
 
         let acceptor = {
             let inner = Arc::clone(&inner);
@@ -353,6 +383,8 @@ fn route(
         Endpoint::Healthz => {
             if inner.stopping() {
                 respond_json(stream, 503, "{\"status\":\"draining\"}")
+            } else if !inner.ready.load(Ordering::SeqCst) {
+                respond_json(stream, 503, "{\"status\":\"warming\"}")
             } else {
                 respond_json(stream, 200, "{\"status\":\"ok\"}")
             }
@@ -381,12 +413,22 @@ fn route(
                 Ok(guard) => guard,
                 Err(_policy) => {
                     inner.metrics.throttled();
+                    let queued = inner
+                        .queue
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .len();
+                    let backoff = retry_after_seconds(
+                        queued,
+                        inner.clients.total_in_flight(),
+                        inner.handlers,
+                    );
                     http::write_response(
                         stream,
                         429,
                         "application/json",
                         error_body("over_quota", "client in-flight quota exhausted").as_bytes(),
-                        &[("Retry-After", "1".to_string())],
+                        &[("Retry-After", backoff.to_string())],
                     )?;
                     return Ok(429);
                 }
@@ -660,6 +702,17 @@ fn sweep_line(
     }
 }
 
+/// Seconds an over-quota client should wait before retrying, derived from
+/// the server's actual backlog: queued connections plus requests in
+/// flight, divided by the handler threads that drain them — i.e. roughly
+/// how many "rounds" of service stand between the client and a free slot.
+/// Deterministic in its inputs, at least 1 (the client *is* over quota,
+/// so "now" is never the answer), clamped to 30 so a transient spike
+/// never advises a multi-minute backoff.
+fn retry_after_seconds(queued: usize, in_flight: usize, handlers: usize) -> u64 {
+    (1 + (queued + in_flight) as u64 / handlers.max(1) as u64).min(30)
+}
+
 /// Maps an [`EstimateError`] to its HTTP status and stable error code.
 ///
 /// | Error | Status |
@@ -738,5 +791,20 @@ mod tests {
         assert_eq!(config.addr, "127.0.0.1:7878");
         assert!(config.handlers >= 1);
         assert!(config.drain > Duration::ZERO);
+        assert!(config.cache_dir.is_none());
+    }
+
+    #[test]
+    fn retry_after_tracks_backlog() {
+        // Idle server: retry immediately-ish, never 0.
+        assert_eq!(retry_after_seconds(0, 0, 4), 1);
+        // Light load still rounds down to the minimum.
+        assert_eq!(retry_after_seconds(1, 2, 4), 1);
+        // Saturated: backlog many rounds deep scales the advice.
+        assert_eq!(retry_after_seconds(20, 20, 4), 11);
+        // Clamped: a huge spike never advises more than 30 s.
+        assert_eq!(retry_after_seconds(10_000, 0, 4), 30);
+        // A zero handler count must not divide by zero.
+        assert_eq!(retry_after_seconds(5, 0, 0), 6);
     }
 }

@@ -98,12 +98,17 @@ fn get(path: &str) -> String {
 }
 
 fn start_server(clients: ClientTable) -> Server {
+    start_server_with(clients, None)
+}
+
+fn start_server_with(clients: ClientTable, cache_dir: Option<std::path::PathBuf>) -> Server {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         jobs: 2,
         handlers: 3,
         clients,
         drain: Duration::from_secs(5),
+        cache_dir,
     })
     .expect("bind ephemeral port")
 }
@@ -437,4 +442,61 @@ fn graceful_shutdown_drains_and_flips_healthz() {
 
     // wait() returns: acceptor and handlers all joined.
     server.wait();
+}
+
+#[test]
+fn warm_start_serves_bit_identical_estimates_without_compiling() {
+    let dir = std::env::temp_dir().join(format!("swact-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let body = r#"{"circuit":"c17","p1":[0.2,0.4,0.6,0.8,0.35]}"#;
+
+    // First server lifetime: compile once, persist the artifact.
+    let cold = start_server_with(ClientTable::default(), Some(dir.clone()));
+    let cold_addr = cold.local_addr();
+    let first = call(cold_addr, &post("/v1/estimate", None, body));
+    assert_eq!(first.status, 200);
+    let cold_metrics = cold.engine_metrics();
+    assert_eq!(cold_metrics.artifacts_persisted, 1);
+    cold.handle().shutdown();
+    cold.wait();
+
+    // Second lifetime (fresh engine = fresh process stand-in): healthz
+    // reports warming until the pre-warm scan finishes, then the same
+    // request is served from the loaded artifact with zero compiles.
+    let warm = start_server_with(ClientTable::default(), Some(dir.clone()));
+    let warm_addr = warm.local_addr();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let health = call(warm_addr, &get("/healthz"));
+        if health.status == 200 {
+            break;
+        }
+        assert_eq!(health.status, 503);
+        assert_eq!(health.body, "{\"status\":\"warming\"}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pre-warm never finished"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let second = call(warm_addr, &post("/v1/estimate", None, body));
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        second.body, first.body,
+        "warm-start responses must be byte-identical"
+    );
+    let warm_metrics = warm.engine_metrics();
+    assert_eq!(warm_metrics.artifacts_loaded, 1);
+    assert_eq!(
+        warm_metrics.compile_misses, 0,
+        "warm start must not compile"
+    );
+
+    // The artifact counters surface on /metrics for operators.
+    let metrics = call(warm_addr, &get("/metrics"));
+    assert!(metrics.body.contains("swact_engine_artifacts_loaded 1\n"));
+
+    warm.handle().shutdown();
+    warm.wait();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
