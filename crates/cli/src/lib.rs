@@ -17,7 +17,10 @@
 use std::fmt::Write as _;
 
 use swact::sequential::{estimate_sequential, SequentialOptions};
-use swact::{estimate, Backend, Budget, InputModel, InputSpec, Options, PowerModel, SparseMode};
+use swact::{
+    estimate, Backend, Budget, InputModel, InputSpec, Options, OrderingStrategy, PowerModel,
+    SegmentationStrategy, SparseMode, StructureStrategy,
+};
 use swact_baselines::{Independence, PairwiseCorrelation, SwitchingEstimator, TransitionDensity};
 use swact_circuit::sequential::parse_bench_sequential;
 use swact_circuit::{catalog, parse::parse_bench, write, Circuit};
@@ -61,6 +64,7 @@ swact — switching-activity and power estimation (Bhanja & Ranganathan, DAC 200
 
 USAGE:
   swact estimate <netlist.bench> [options]   estimate per-line switching
+  swact plan     <netlist.bench> [options]   show the segmentation plan without compiling
   swact batch    <netlist.bench> [options]   estimate many input scenarios at once
   swact compare  <netlist.bench> [--pairs N] compare against baselines & simulation
   swact bench    <name>                      print a built-in benchmark as .bench
@@ -89,9 +93,20 @@ ESTIMATE OPTIONS:
   --cache-dir <DIR>  reuse compiled models across processes: load the
                    compiled pipeline from DIR when a bit-identical artifact
                    exists, otherwise compile and persist one
+  --ordering <O>   structure-ordering strategy: greedy (default) or force
+                   (FORCE iterative layout; the compiled artifact keeps
+                   whichever order is cheaper, so results never regress)
+  --seg-search     balanced-cut segmentation search: backtrack each budget
+                   trip to the checkpoint with the smallest boundary cut
   --power          also print the dynamic-power report
   --sequential     treat DFFs via fixed-point iteration (default: reject DFFs)
   --csv            emit per-line results as CSV instead of a table
+
+PLAN OPTIONS:
+  accepts the ESTIMATE options that shape the plan (--budget, --ordering,
+  --seg-search, --single-bn) and prints the segmentation the estimator
+  would compile: per-segment gates, roots, boundary roots, and the
+  planner's estimated junction-tree states — no model is compiled
 
 BATCH OPTIONS:
   --jobs <N>       worker threads (default: all CPUs, never more than the
@@ -163,6 +178,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let rest: Vec<&String> = it.collect();
     match command.as_str() {
         "estimate" => cmd_estimate(&rest),
+        "plan" => cmd_plan(&rest),
         "batch" => cmd_batch(&rest),
         "compare" => cmd_compare(&rest),
         "bench" => cmd_bench(&rest),
@@ -191,6 +207,8 @@ struct EstimateArgs {
     sequential: bool,
     csv: bool,
     cache_dir: Option<String>,
+    ordering: OrderingStrategy,
+    seg_search: bool,
 }
 
 fn parse_sparse(value: &str) -> Result<SparseMode, CliError> {
@@ -203,6 +221,21 @@ fn parse_sparse(value: &str) -> Result<SparseMode, CliError> {
 
 fn parse_backend(value: &str) -> Result<Backend, CliError> {
     value.parse().map_err(usage_error)
+}
+
+fn parse_ordering(value: &str) -> Result<OrderingStrategy, CliError> {
+    value.parse().map_err(usage_error)
+}
+
+fn strategy_for(ordering: OrderingStrategy, seg_search: bool) -> StructureStrategy {
+    StructureStrategy {
+        ordering,
+        segmentation: if seg_search {
+            SegmentationStrategy::BalancedCut
+        } else {
+            SegmentationStrategy::TopoCover
+        },
+    }
 }
 
 fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
@@ -221,12 +254,14 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
         sequential: false,
         csv: false,
         cache_dir: None,
+        ordering: OrderingStrategy::Greedy,
+        seg_search: false,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--p1" | "--activity" | "--budget" | "--budget-states" | "--deadline-ms"
-            | "--sparse" | "--backend" | "--cache-dir" => {
+            | "--sparse" | "--backend" | "--cache-dir" | "--ordering" => {
                 let flag = rest[i].as_str();
                 let value = rest
                     .get(i + 1)
@@ -256,6 +291,7 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
                     "--backend" => parsed.backend = parse_backend(value)?,
                     "--cache-dir" => parsed.cache_dir = Some(value.to_string()),
+                    "--ordering" => parsed.ordering = parse_ordering(value)?,
                     _ => {
                         parsed.budget = value
                             .parse()
@@ -263,6 +299,10 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                     }
                 }
                 i += 2;
+            }
+            "--seg-search" => {
+                parsed.seg_search = true;
+                i += 1;
             }
             "--no-fallback" => {
                 parsed.no_fallback = true;
@@ -349,6 +389,7 @@ fn estimator_options(args: &EstimateArgs) -> Options {
         backend: args.backend,
         budget: resource_budget(args.budget_states, args.deadline_ms),
         no_fallback: args.no_fallback,
+        strategy: strategy_for(args.ordering, args.seg_search),
         ..Options::default()
     }
 }
@@ -493,6 +534,66 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `swact plan`: run only the planning stage (fan-in decomposition +
+/// segmentation) and print what the estimator would compile — the cheap
+/// way to compare structure strategies before paying for a compile.
+fn cmd_plan(rest: &[&String]) -> Result<String, CliError> {
+    let args = parse_estimate_args(rest)?;
+    let circuit = load_circuit(&args.path)?;
+    let options = estimator_options(&args);
+    let working = swact_circuit::decompose::decompose_fanin(&circuit, options.max_fanin.max(2))
+        .map_err(runtime_error)?;
+    let plan = if options.single_bn {
+        swact::SegmentationPlan::plan(&working, 4, usize::MAX, usize::MAX - 1, options.heuristic)
+    } else {
+        swact::SegmentationPlan::plan_with(
+            &working,
+            4,
+            options.segment_budget,
+            options.check_interval,
+            options.heuristic,
+            options.strategy.segmentation,
+        )
+    };
+    let costs = plan.estimated_costs(&working, 4, options.heuristic);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} inputs, {} gates ({} after fan-in decomposition); strategy {}; budget {}",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_gates(),
+        working.num_gates(),
+        options.strategy,
+        options.segment_budget,
+    );
+    let _ = writeln!(
+        out,
+        "{} segment(s), {} boundary root(s)",
+        plan.segments().len(),
+        plan.boundary_roots()
+    );
+    let _ = writeln!(
+        out,
+        "{:>4} {:>7} {:>7} {:>9} {:>14}",
+        "seg", "gates", "roots", "boundary", "est. states"
+    );
+    for (i, (seg, cost)) in plan.segments().iter().zip(&costs).enumerate() {
+        let boundary = seg
+            .roots
+            .iter()
+            .filter(|(_, src)| *src == swact::RootSource::Boundary)
+            .count();
+        let _ = writeln!(
+            out,
+            "{i:>4} {:>7} {:>7} {boundary:>9} {cost:>14.0}",
+            seg.gates.len(),
+            seg.roots.len(),
+        );
+    }
+    Ok(out)
+}
+
 struct BatchArgs {
     path: String,
     jobs: Option<usize>,
@@ -509,6 +610,8 @@ struct BatchArgs {
     csv: bool,
     stats: bool,
     cache_dir: Option<String>,
+    ordering: OrderingStrategy,
+    seg_search: bool,
 }
 
 fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
@@ -528,12 +631,15 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
         csv: false,
         stats: false,
         cache_dir: None,
+        ordering: OrderingStrategy::Greedy,
+        seg_search: false,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             flag @ ("--jobs" | "--jobs-force" | "--sweep" | "--budget" | "--budget-states"
-            | "--deadline-ms" | "--spec" | "--sparse" | "--backend" | "--cache-dir") => {
+            | "--deadline-ms" | "--spec" | "--sparse" | "--backend" | "--cache-dir"
+            | "--ordering") => {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
@@ -573,9 +679,14 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
                     "--sparse" => parsed.sparse = parse_sparse(value)?,
                     "--backend" => parsed.backend = parse_backend(value)?,
                     "--cache-dir" => parsed.cache_dir = Some(value.to_string()),
+                    "--ordering" => parsed.ordering = parse_ordering(value)?,
                     _ => parsed.spec_file = Some(value.to_string()),
                 }
                 i += 2;
+            }
+            "--seg-search" => {
+                parsed.seg_search = true;
+                i += 1;
             }
             "--no-fallback" => {
                 parsed.no_fallback = true;
@@ -692,6 +803,7 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
         budget: resource_budget(args.budget_states, args.deadline_ms),
         no_fallback: args.no_fallback,
         incremental: !args.no_incremental,
+        strategy: strategy_for(args.ordering, args.seg_search),
         ..Options::default()
     };
     let report = engine
@@ -1244,6 +1356,37 @@ mod tests {
             assert_eq!(err.exit_code, 2);
             assert!(err.message.contains("--backend needs a value"));
         }
+    }
+
+    #[test]
+    fn structure_strategy_flags() {
+        // FORCE only changes structure, never probabilities: the estimate
+        // table must match the default bit-for-bit (timing line differs).
+        let table = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let greedy = run_strs(&["estimate", "c17"]).unwrap();
+        let force = run_strs(&["estimate", "c17", "--ordering", "force"]).unwrap();
+        assert_eq!(table(&greedy), table(&force));
+        let search = run_strs(&["estimate", "c17", "--seg-search"]).unwrap();
+        assert!(search.contains("mean switching activity"));
+
+        for cmd in ["estimate", "batch"] {
+            let err = run_strs(&[cmd, "c17", "--ordering", "random"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains("unknown ordering strategy"));
+            let err = run_strs(&[cmd, "c17", "--ordering"]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+        }
+    }
+
+    #[test]
+    fn plan_subcommand_prints_segmentation() {
+        let topo = run_strs(&["plan", "c432"]).unwrap();
+        assert!(topo.contains("greedy/topo-cover"));
+        assert!(topo.contains("segment(s)"));
+        assert!(topo.contains("boundary root(s)"));
+        let cut = run_strs(&["plan", "c432", "--seg-search", "--budget", "1024"]).unwrap();
+        assert!(cut.contains("greedy/balanced-cut"));
+        assert!(run_strs(&["plan"]).is_err());
     }
 
     #[test]

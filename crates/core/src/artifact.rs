@@ -64,8 +64,9 @@ pub const MAGIC: [u8; 8] = *b"SWACTBN1";
 
 /// Version of the on-disk encoding. Any change to the payload layout (or
 /// the header after the version field) must bump this; readers reject
-/// every other version.
-pub const FORMAT_VERSION: u32 = 1;
+/// every other version. Version 2 added the structure-strategy tags to
+/// the options codec and the `force_ordered` flag to segment stats.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Extension used by [`artifact_file_name`].
 pub const ARTIFACT_EXTENSION: &str = "swact";
@@ -377,7 +378,7 @@ pub fn write_artifact(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Backend, InputGroup, InputModel};
+    use crate::{Backend, InputGroup, InputModel, StructureStrategy};
     use swact_circuit::catalog;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -427,6 +428,24 @@ mod tests {
             model_key(&c17, Some(&a), &options),
             model_key(&c17, Some(&b), &options),
             "group probabilities are propagate-time data"
+        );
+        // The structure strategy shapes the compiled artifact, so it is
+        // identity: orderings must never mix.
+        assert_ne!(
+            key,
+            model_key(
+                &c17,
+                None,
+                &Options::with_strategy(StructureStrategy::force())
+            )
+        );
+        assert_ne!(
+            key,
+            model_key(
+                &c17,
+                None,
+                &Options::with_strategy(StructureStrategy::balanced_cut())
+            )
         );
     }
 

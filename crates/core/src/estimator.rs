@@ -14,6 +14,7 @@ use swact_circuit::{Circuit, LineId};
 use crate::budget::{Budget, DegradationReport};
 use crate::pipeline::{Backend, CompiledPipeline, SegmentTimings, StageTimings};
 use crate::report::Estimate;
+use crate::strategy::StructureStrategy;
 use crate::{EstimateError, InputSpec};
 
 /// Configuration of the estimator.
@@ -27,6 +28,14 @@ use crate::{EstimateError, InputSpec};
 pub struct Options {
     /// Triangulation heuristic for junction-tree compilation.
     pub heuristic: Heuristic,
+    /// Structure-optimization policy: how elimination/variable orders and
+    /// segment boundaries are found. The default
+    /// [`StructureStrategy::GREEDY`] reproduces the pre-strategy pipeline
+    /// bit-identically; FORCE orderings and balanced-cut segmentation
+    /// search are opt-in. The strategy is hashed into the
+    /// [`model_key`](crate::model_key), so artifacts and cache entries
+    /// compiled under different strategies never mix.
+    pub strategy: StructureStrategy,
     /// Gates wider than this are decomposed into two-input trees first.
     pub max_fanin: usize,
     /// Per-segment junction-tree state budget; lower values mean more,
@@ -85,6 +94,7 @@ impl Default for Options {
     fn default() -> Options {
         Options {
             heuristic: Heuristic::MinFill,
+            strategy: StructureStrategy::GREEDY,
             max_fanin: 4,
             segment_budget: 1 << 17,
             check_interval: 4,
@@ -131,6 +141,14 @@ impl Options {
     pub fn with_resource_budget(budget: Budget) -> Options {
         Options {
             budget,
+            ..Options::default()
+        }
+    }
+
+    /// Options with an explicit [`StructureStrategy`].
+    pub fn with_strategy(strategy: StructureStrategy) -> Options {
+        Options {
+            strategy,
             ..Options::default()
         }
     }
@@ -344,6 +362,13 @@ impl CompiledEstimator {
     /// `SparseMode::Off`'s — the invariant the c880 regression test pins.
     pub fn kernel_cost(&self) -> usize {
         self.pipeline.kernel_cost()
+    }
+
+    /// Number of segments whose compiled artifact came from a
+    /// FORCE-searched order that beat the greedy one (always zero under
+    /// [`OrderingStrategy::Greedy`](crate::OrderingStrategy::Greedy)).
+    pub fn force_ordered_segments(&self) -> usize {
+        self.pipeline.force_ordered_segments()
     }
 
     /// The options the estimator was compiled with.

@@ -58,6 +58,7 @@ mod power;
 mod report;
 mod segment;
 pub mod sequential;
+mod strategy;
 mod transition;
 pub mod twostate;
 pub mod wire;
@@ -72,5 +73,6 @@ pub use pipeline::{Backend, SegmentTimings, StageTimings};
 pub use power::{PowerModel, PowerReport};
 pub use report::{ErrorStats, Estimate, ReuseStats};
 pub use segment::{RootSource, Segment, SegmentationPlan};
+pub use strategy::{OrderingStrategy, SegmentationStrategy, StructureStrategy};
 pub use swact_bayesnet::SparseMode;
 pub use transition::{Transition, TransitionDist};

@@ -84,14 +84,18 @@ impl PlannedCircuit {
     ) -> Result<PlannedCircuit, EstimateError> {
         let working = decompose_fanin(circuit, options.max_fanin.max(2))?;
         let plan = if options.single_bn {
+            // One segment regardless of strategy: with an unbounded budget
+            // the balanced-cut search never trips, so TopoCover is both
+            // equivalent and cheaper.
             SegmentationPlan::plan(&working, 4, usize::MAX, usize::MAX - 1, options.heuristic)
         } else {
-            SegmentationPlan::plan(
+            SegmentationPlan::plan_with(
                 &working,
                 4,
                 options.segment_budget,
                 options.check_interval,
                 options.heuristic,
+                options.strategy.segmentation,
             )
         };
         let line_map = (0..circuit.num_lines())

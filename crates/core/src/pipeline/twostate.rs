@@ -94,6 +94,7 @@ impl InferenceBackend for TwoStateBackend {
             state_space: compiled.state_space(),
             compressed_cliques: compiled.compressed_cliques(),
             kernel_cost: compiled.kernel_cost(),
+            force_ordered: false,
         };
         Ok(CompiledSegment::new(
             Box::new(TwoStateSegment {

@@ -15,11 +15,13 @@
 //! the junction-tree state count of its LIDAG (estimated by a quick
 //! min-degree triangulation) exceeds the configured budget.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use swact_bayesnet::graph::UndirectedGraph;
 use swact_bayesnet::triangulate::{estimate_cost, Heuristic};
 use swact_circuit::{Circuit, LineId};
+
+use crate::strategy::SegmentationStrategy;
 
 /// Where a segment's root variable comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,27 +96,69 @@ impl SegmentationPlan {
         check_interval: usize,
         heuristic: Heuristic,
     ) -> SegmentationPlan {
+        SegmentationPlan::plan_with(
+            circuit,
+            card,
+            budget,
+            check_interval,
+            heuristic,
+            SegmentationStrategy::TopoCover,
+        )
+    }
+
+    /// Plans segments under an explicit [`SegmentationStrategy`].
+    ///
+    /// [`TopoCover`](SegmentationStrategy::TopoCover) is [`plan`]'s
+    /// behavior verbatim. [`BalancedCut`](SegmentationStrategy::BalancedCut)
+    /// records a checkpoint (estimated cost, boundary-cut size) at every
+    /// budget check of the same walk and, when the budget finally trips,
+    /// backtracks to the qualifying checkpoint with the smallest cut —
+    /// trading a little state-space balance for fewer boundary roots, each
+    /// of which is a dropped cross-segment correlation. A checkpoint
+    /// qualifies when its estimated cost is at least a quarter of the
+    /// budget, so the search cannot degenerate into many tiny segments.
+    ///
+    /// [`plan`]: SegmentationPlan::plan
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_interval` is zero.
+    pub fn plan_with(
+        circuit: &Circuit,
+        card: usize,
+        budget: usize,
+        check_interval: usize,
+        heuristic: Heuristic,
+        strategy: SegmentationStrategy,
+    ) -> SegmentationPlan {
         assert!(check_interval > 0, "check interval must be positive");
         let budget = budget as f64;
         let order = cone_order(circuit);
-
-        let mut segments: Vec<Segment> = Vec::new();
-        let mut builder = SegmentBuilder::new(circuit, card);
-        let mut since_check = 0usize;
-        for &gate in &order {
-            builder.push_gate(gate);
-            since_check += 1;
-            if since_check >= check_interval {
-                since_check = 0;
-                if builder.estimated_cost(heuristic) > budget && builder.gates.len() > 1 {
-                    segments.push(builder.finish());
-                    builder = SegmentBuilder::new(circuit, card);
+        let segments = match strategy {
+            SegmentationStrategy::TopoCover => {
+                let mut segments: Vec<Segment> = Vec::new();
+                let mut builder = SegmentBuilder::new(circuit, card);
+                let mut since_check = 0usize;
+                for &gate in &order {
+                    builder.push_gate(gate);
+                    since_check += 1;
+                    if since_check >= check_interval {
+                        since_check = 0;
+                        if builder.estimated_cost(heuristic) > budget && builder.gates.len() > 1 {
+                            segments.push(builder.finish());
+                            builder = SegmentBuilder::new(circuit, card);
+                        }
+                    }
                 }
+                if !builder.gates.is_empty() {
+                    segments.push(builder.finish());
+                }
+                segments
             }
-        }
-        if !builder.gates.is_empty() {
-            segments.push(builder.finish());
-        }
+            SegmentationStrategy::BalancedCut => {
+                balanced_cut_segments(circuit, card, budget, check_interval, heuristic, &order)
+            }
+        };
         SegmentationPlan { segments, budget }
     }
 
@@ -126,6 +170,21 @@ impl SegmentationPlan {
     /// The state budget the plan was built for.
     pub fn budget(&self) -> f64 {
         self.budget
+    }
+
+    /// The planner's estimated junction-tree state count for each segment
+    /// (the quick-triangulation admission figure, not the compiled size) —
+    /// what `swact plan` prints to explain where a plan's budget went.
+    pub fn estimated_costs(
+        &self,
+        circuit: &Circuit,
+        card: usize,
+        heuristic: Heuristic,
+    ) -> Vec<f64> {
+        self.segments
+            .iter()
+            .map(|seg| estimate_segment_cost(circuit, card, seg, heuristic))
+            .collect()
     }
 
     /// Number of boundary-root connections across all segments — a proxy
@@ -186,6 +245,103 @@ pub(crate) fn replan_segment(
                 segments.push(builder.finish());
                 builder = SegmentBuilder::new(circuit, card);
             }
+        }
+    }
+    if !builder.gates.is_empty() {
+        segments.push(builder.finish());
+    }
+    segments
+}
+
+/// One recorded budget-check state of the balanced-cut walk.
+struct Checkpoint {
+    /// Number of gates in the segment at this checkpoint.
+    len: usize,
+    /// Estimated junction-tree state count of the segment's LIDAG here.
+    cost: f64,
+    /// Lines driven by the segment so far that a later gate consumes —
+    /// the boundary roots this cut would force onto later segments.
+    cut: usize,
+}
+
+/// The balanced-cut segmentation search (see
+/// [`SegmentationPlan::plan_with`]). Gates stay in the given cone order —
+/// only where segments *close* differs from the topological cover: when
+/// the budget trips, the walk backtracks to the recorded checkpoint with
+/// the smallest boundary cut whose cost is at least `budget / 4`, and the
+/// gates after it are replayed into the next segment. Fully deterministic.
+fn balanced_cut_segments(
+    circuit: &Circuit,
+    card: usize,
+    budget: f64,
+    check_interval: usize,
+    heuristic: Heuristic,
+    order: &[LineId],
+) -> Vec<Segment> {
+    // Global position of each gate in the walk, and the last position at
+    // which each line is consumed by a gate. A line whose last consumer
+    // lies beyond a candidate boundary becomes a boundary root there.
+    let mut pos_of: HashMap<LineId, usize> = HashMap::with_capacity(order.len());
+    let mut last_use: HashMap<LineId, usize> = HashMap::new();
+    for (p, &gate) in order.iter().enumerate() {
+        pos_of.insert(gate, p);
+        for &input in &circuit.gate(gate).expect("gate-driven line").inputs {
+            last_use.insert(input, p);
+        }
+    }
+    let cut_at = |gates: &[LineId], p: usize| -> usize {
+        gates
+            .iter()
+            .filter(|g| last_use.get(g).is_some_and(|&u| u > p))
+            .count()
+    };
+
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut queue: VecDeque<LineId> = order.iter().copied().collect();
+    let mut builder = SegmentBuilder::new(circuit, card);
+    let mut checkpoints: Vec<Checkpoint> = Vec::new();
+    let mut since_check = 0usize;
+    while let Some(gate) = queue.pop_front() {
+        builder.push_gate(gate);
+        since_check += 1;
+        if since_check < check_interval {
+            continue;
+        }
+        since_check = 0;
+        let cost = builder.estimated_cost(heuristic);
+        let here = pos_of[&gate];
+        if cost > budget && builder.gates.len() > 1 {
+            // Backtrack: among checkpoints heavy enough to be worth a
+            // segment (cost ≥ budget/4), take the smallest cut; ties go to
+            // the latest checkpoint (largest prefix). Without a qualifying
+            // checkpoint, close here exactly as the topological cover does.
+            let best_len = checkpoints
+                .iter()
+                .filter(|c| c.cost * 4.0 >= budget)
+                .min_by(|a, b| a.cut.cmp(&b.cut).then(b.len.cmp(&a.len)))
+                .map(|c| c.len);
+            match best_len {
+                Some(keep) if keep < builder.gates.len() => {
+                    let tail: Vec<LineId> = builder.gates[keep..].to_vec();
+                    let mut head = SegmentBuilder::new(circuit, card);
+                    for &g in &builder.gates[..keep] {
+                        head.push_gate(g);
+                    }
+                    segments.push(head.finish());
+                    for &g in tail.iter().rev() {
+                        queue.push_front(g);
+                    }
+                }
+                _ => segments.push(builder.finish()),
+            }
+            builder = SegmentBuilder::new(circuit, card);
+            checkpoints.clear();
+        } else {
+            checkpoints.push(Checkpoint {
+                len: builder.gates.len(),
+                cost,
+                cut: cut_at(&builder.gates, here),
+            });
         }
     }
     if !builder.gates.is_empty() {
@@ -368,6 +524,115 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), c.num_gates());
+    }
+
+    fn assert_valid_plan(c: &Circuit, plan: &SegmentationPlan) {
+        let mut seen = std::collections::HashSet::new();
+        let mut done = std::collections::HashSet::new();
+        for seg in plan.segments() {
+            for (line, source) in &seg.roots {
+                match source {
+                    RootSource::PrimaryInput(pos) => assert_eq!(c.inputs()[*pos], *line),
+                    RootSource::Boundary => assert!(
+                        done.contains(line),
+                        "boundary root must come from an earlier segment"
+                    ),
+                }
+            }
+            for &g in &seg.gates {
+                assert!(seen.insert(g), "gate planned twice");
+                done.insert(g);
+            }
+        }
+        assert_eq!(seen.len(), c.num_gates());
+    }
+
+    #[test]
+    fn balanced_cut_covers_every_gate_topologically() {
+        for name in ["count", "pcler8", "c432"] {
+            let c = catalog::benchmark(name).unwrap();
+            let plan = SegmentationPlan::plan_with(
+                &c,
+                4,
+                1 << 10,
+                2,
+                Heuristic::MinDegree,
+                SegmentationStrategy::BalancedCut,
+            );
+            assert_valid_plan(&c, &plan);
+        }
+    }
+
+    #[test]
+    fn topo_cover_is_plan_verbatim() {
+        let c = catalog::benchmark("count").unwrap();
+        let legacy = SegmentationPlan::plan(&c, 4, 1 << 10, 2, Heuristic::MinDegree);
+        let explicit = SegmentationPlan::plan_with(
+            &c,
+            4,
+            1 << 10,
+            2,
+            Heuristic::MinDegree,
+            SegmentationStrategy::TopoCover,
+        );
+        assert_eq!(legacy.segments().len(), explicit.segments().len());
+        for (a, b) in legacy.segments().iter().zip(explicit.segments()) {
+            assert_eq!(a.gates, b.gates);
+            assert_eq!(a.roots, b.roots);
+        }
+    }
+
+    #[test]
+    fn balanced_cut_narrows_boundary_where_search_has_room() {
+        // Not a guarantee on every circuit, but where the checkpoint
+        // search has room to move a boundary it exists to win: fewer
+        // boundary roots than the plain topological cover at the same
+        // budget.
+        for (name, shift) in [("pcler8", 10), ("count", 14)] {
+            let c = catalog::benchmark(name).unwrap();
+            let topo = SegmentationPlan::plan(&c, 4, 1 << shift, 2, Heuristic::MinDegree);
+            let cut = SegmentationPlan::plan_with(
+                &c,
+                4,
+                1 << shift,
+                2,
+                Heuristic::MinDegree,
+                SegmentationStrategy::BalancedCut,
+            );
+            assert_valid_plan(&c, &cut);
+            assert!(
+                cut.boundary_roots() < topo.boundary_roots(),
+                "{name}: balanced cut should narrow the boundary: {} vs {}",
+                cut.boundary_roots(),
+                topo.boundary_roots()
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_cut_is_deterministic() {
+        let c = catalog::benchmark("c432").unwrap();
+        let a = SegmentationPlan::plan_with(
+            &c,
+            4,
+            1 << 10,
+            2,
+            Heuristic::MinDegree,
+            SegmentationStrategy::BalancedCut,
+        );
+        let b = SegmentationPlan::plan_with(
+            &c,
+            4,
+            1 << 10,
+            2,
+            Heuristic::MinDegree,
+            SegmentationStrategy::BalancedCut,
+        );
+        assert_eq!(a.segments().len(), b.segments().len());
+        for (x, y) in a.segments().iter().zip(b.segments()) {
+            assert_eq!(x.gates, y.gates);
+            assert_eq!(x.roots, y.roots);
+        }
     }
 
     #[test]

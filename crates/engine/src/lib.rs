@@ -586,6 +586,12 @@ impl Engine {
         self.metrics
             .degraded_segments
             .fetch_add(model.degradations().len() as u64, Ordering::Relaxed);
+        self.metrics
+            .force_ordered_segments
+            .fetch_add(model.force_ordered_segments() as u64, Ordering::Relaxed);
+        self.metrics
+            .compiled_max_clique_states
+            .fetch_max(model.max_clique_states() as u64, Ordering::Relaxed);
 
         // Write-back to the disk tier (outside the cache lock — disk i/o
         // must not block memory hits). A failed write is not an error for
@@ -881,6 +887,30 @@ mod tests {
 
         assert_eq!(engine.cached_models(), 2);
         assert_eq!(engine.metrics().compile_misses, 2);
+    }
+
+    #[test]
+    fn structure_strategies_never_share_a_cache_entry() {
+        let circuit = catalog::c17();
+        let specs = specs_for(&circuit, 2);
+        let engine = Engine::with_jobs(2);
+
+        engine
+            .estimate_batch(&circuit, &specs, &Options::default())
+            .unwrap();
+        engine
+            .estimate_batch(
+                &circuit,
+                &specs,
+                &Options::with_strategy(swact::StructureStrategy::force()),
+            )
+            .unwrap();
+
+        // The FORCE request must compile its own model, never be served
+        // the greedy-ordered artifact from the cache.
+        assert_eq!(engine.cached_models(), 2);
+        assert_eq!(engine.metrics().compile_misses, 2);
+        assert_eq!(engine.metrics().compile_hits, 0);
     }
 
     #[test]
