@@ -1,0 +1,133 @@
+//! Anytime sampling-backend report: error against the exact junction-tree
+//! estimate and wall-clock as a function of the sample budget (the
+//! confidence-interval target), on the mid-size benchmarks. Writes
+//! `BENCH_anytime.json`.
+//!
+//! ```text
+//! cargo run -p swact-bench --release --bin anytime_report [seed]
+//! ```
+//!
+//! Each row tightens `ci_half_width`, so the sampler draws more batches:
+//! the report shows the anytime contract directly — error and reported
+//! half-width shrink as wall-clock grows, and the exact twostate-proxy
+//! error column anchors where the degradation ladder's bottom rung sits.
+
+use std::time::Instant;
+
+use swact::wire::number;
+use swact::{estimate, Backend, Estimate, InputSpec, Options};
+use swact_bench::lookup_benchmark;
+
+struct Row {
+    circuit: String,
+    ci_target: f64,
+    samples: u64,
+    converged: bool,
+    half_width: f64,
+    wall_s: f64,
+    mean_abs_err: f64,
+    max_abs_err: f64,
+    twostate_mean_abs_err: f64,
+}
+
+fn switching_errors(a: &Estimate, b: &Estimate) -> (f64, f64) {
+    let (xs, ys) = (a.switching_all(), b.switching_all());
+    let mut sum = 0.0;
+    let mut max: f64 = 0.0;
+    for (x, y) in xs.iter().zip(&ys) {
+        let err = (x - y).abs();
+        sum += err;
+        max = max.max(err);
+    }
+    (sum / xs.len() as f64, max)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let names = ["c432", "alu2", "c880"];
+    let ci_targets = [0.02, 0.01, 0.005, 0.002];
+
+    println!("anytime sampling backend — error vs jtree as the CI target tightens (seed {seed})");
+    println!(
+        "{:<8} {:>9} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "circuit", "ci", "samples", "conv", "±reported", "wall (ms)", "mean|err|", "max|err|"
+    );
+    let mut rows = Vec::new();
+    for name in names {
+        let circuit = lookup_benchmark(name).expect("built-in benchmark");
+        let spec = InputSpec::uniform(circuit.num_inputs());
+        let exact = estimate(&circuit, &spec, &Options::default()).expect("jtree estimate");
+        let twostate = estimate(&circuit, &spec, &Options::with_backend(Backend::TwoState))
+            .expect("twostate estimate");
+        let (twostate_mean_abs_err, _) = switching_errors(&twostate, &exact);
+        for ci_target in ci_targets {
+            let options = Options {
+                backend: Backend::Sampling,
+                seed,
+                ci_half_width: ci_target,
+                ..Options::default()
+            };
+            let start = Instant::now();
+            let sampled = estimate(&circuit, &spec, &options).expect("sampled estimate");
+            let wall_s = start.elapsed().as_secs_f64();
+            let accuracy = *sampled
+                .accuracy()
+                .expect("sampled estimates carry accuracy");
+            let (mean_abs_err, max_abs_err) = switching_errors(&sampled, &exact);
+            println!(
+                "{:<8} {:>9.3} {:>9} {:>10} {:>10.4} {:>10.3} {:>10.5} {:>10.5}",
+                name,
+                ci_target,
+                accuracy.samples,
+                if accuracy.converged { "yes" } else { "no" },
+                accuracy.half_width,
+                wall_s * 1e3,
+                mean_abs_err,
+                max_abs_err,
+            );
+            rows.push(Row {
+                circuit: name.to_string(),
+                ci_target,
+                samples: accuracy.samples,
+                converged: accuracy.converged,
+                half_width: accuracy.half_width,
+                wall_s,
+                mean_abs_err,
+                max_abs_err,
+                twostate_mean_abs_err,
+            });
+        }
+    }
+
+    let mut json = String::from("{\"bench\":\"anytime\",\"seed\":");
+    json.push_str(&seed.to_string());
+    json.push_str(",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"circuit\":\"{}\",\"ci_target\":{},\"samples\":{},\"converged\":{},\
+             \"half_width\":{},\"wall_s\":{},\"mean_abs_err\":{},\"max_abs_err\":{},\
+             \"twostate_mean_abs_err\":{}}}",
+            r.circuit,
+            number(r.ci_target),
+            r.samples,
+            r.converged,
+            number(r.half_width),
+            number(r.wall_s),
+            number(r.mean_abs_err),
+            number(r.max_abs_err),
+            number(r.twostate_mean_abs_err),
+        ));
+    }
+    json.push_str("]}");
+
+    let path = "BENCH_anytime.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write `{path}`: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {path}");
+}

@@ -89,7 +89,16 @@ ESTIMATE OPTIONS:
   --sparse <MODE>  zero-compress clique potentials: auto, on, or off
                    (default auto; results are bit-identical across modes)
   --backend <B>    inference backend: jtree (exact junction trees, default),
-                   bdd (exact per-segment OBDDs), or twostate (2p(1−p) proxy)
+                   bdd (exact per-segment OBDDs), sampling (anytime
+                   likelihood weighting with a confidence interval), or
+                   twostate (2p(1−p) proxy)
+  --seed <N>       RNG seed for the sampling backend (default 0); a fixed
+                   seed gives bit-identical results across job counts and
+                   warm/cold caches
+  --ci-half-width <W>  sampling stops once the mean-switching confidence
+                   half-width is ≤ W (default 0.01)
+  --ci-z <Z>       z-score for the sampling confidence interval
+                   (default 1.96 ≈ 95%)
   --cache-dir <DIR>  reuse compiled models across processes: load the
                    compiled pipeline from DIR when a bit-identical artifact
                    exists, otherwise compile and persist one
@@ -106,7 +115,10 @@ PLAN OPTIONS:
   accepts the ESTIMATE options that shape the plan (--budget, --ordering,
   --seg-search, --single-bn) and prints the segmentation the estimator
   would compile: per-segment gates, roots, boundary roots, and the
-  planner's estimated junction-tree states — no model is compiled
+  planner's estimated junction-tree states — no model is compiled;
+  with --budget-states it also predicts the degradation-ladder rung
+  each segment would land on (primary backend, sampling, twostate, or
+  error under --no-fallback)
 
 BATCH OPTIONS:
   --jobs <N>       worker threads (default: all CPUs, never more than the
@@ -130,7 +142,11 @@ BATCH OPTIONS:
                    wait exceeds it
   --no-fallback    fail compilation instead of degrading over-budget segments
   --sparse <MODE>  zero-compress clique potentials: auto, on, or off
-  --backend <B>    inference backend: jtree (default), bdd, or twostate
+  --backend <B>    inference backend: jtree (default), bdd, sampling, or
+                   twostate
+  --seed <N>       sampling RNG seed (default 0; see ESTIMATE OPTIONS)
+  --ci-half-width <W>  sampling confidence-interval target (default 0.01)
+  --ci-z <Z>       sampling confidence z-score (default 1.96)
   --cache-dir <DIR>  two-tier compiled-model cache: misses consult DIR
                    before compiling, compiles persist back for the next
                    process (warm start)
@@ -209,6 +225,9 @@ struct EstimateArgs {
     cache_dir: Option<String>,
     ordering: OrderingStrategy,
     seg_search: bool,
+    seed: u64,
+    ci_half_width: Option<f64>,
+    ci_z: Option<f64>,
 }
 
 fn parse_sparse(value: &str) -> Result<SparseMode, CliError> {
@@ -256,12 +275,16 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
         cache_dir: None,
         ordering: OrderingStrategy::Greedy,
         seg_search: false,
+        seed: 0,
+        ci_half_width: None,
+        ci_z: None,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--p1" | "--activity" | "--budget" | "--budget-states" | "--deadline-ms"
-            | "--sparse" | "--backend" | "--cache-dir" | "--ordering" => {
+            | "--sparse" | "--backend" | "--cache-dir" | "--ordering" | "--seed"
+            | "--ci-half-width" | "--ci-z" => {
                 let flag = rest[i].as_str();
                 let value = rest
                     .get(i + 1)
@@ -292,6 +315,23 @@ fn parse_estimate_args(rest: &[&String]) -> Result<EstimateArgs, CliError> {
                     "--backend" => parsed.backend = parse_backend(value)?,
                     "--cache-dir" => parsed.cache_dir = Some(value.to_string()),
                     "--ordering" => parsed.ordering = parse_ordering(value)?,
+                    "--seed" => {
+                        parsed.seed = value
+                            .parse()
+                            .map_err(|_| usage_error(format!("bad --seed value `{value}`")))?
+                    }
+                    "--ci-half-width" => {
+                        parsed.ci_half_width = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --ci-half-width value `{value}`"))
+                        })?)
+                    }
+                    "--ci-z" => {
+                        parsed.ci_z = Some(
+                            value
+                                .parse()
+                                .map_err(|_| usage_error(format!("bad --ci-z value `{value}`")))?,
+                        )
+                    }
                     _ => {
                         parsed.budget = value
                             .parse()
@@ -382,6 +422,7 @@ fn resource_budget(budget_states: Option<f64>, deadline_ms: Option<u64>) -> Budg
 }
 
 fn estimator_options(args: &EstimateArgs) -> Options {
+    let defaults = Options::default();
     Options {
         segment_budget: args.budget,
         single_bn: args.single_bn,
@@ -390,7 +431,10 @@ fn estimator_options(args: &EstimateArgs) -> Options {
         budget: resource_budget(args.budget_states, args.deadline_ms),
         no_fallback: args.no_fallback,
         strategy: strategy_for(args.ordering, args.seg_search),
-        ..Options::default()
+        seed: args.seed,
+        ci_half_width: args.ci_half_width.unwrap_or(defaults.ci_half_width),
+        ci_z: args.ci_z.unwrap_or(defaults.ci_z),
+        ..defaults
     }
 }
 
@@ -503,6 +547,22 @@ fn cmd_estimate(rest: &[&String]) -> Result<String, CliError> {
     for report in est.degradations() {
         let _ = writeln!(out, "degraded: {report}");
     }
+    // Sampled estimates carry their confidence interval; exact estimates
+    // print nothing here.
+    if let Some(a) = est.accuracy() {
+        let _ = writeln!(
+            out,
+            "sampled: ±{:.4} at z={} over {} samples ({})",
+            a.half_width,
+            a.z,
+            a.samples,
+            if a.converged {
+                "converged"
+            } else {
+                "budget exhausted"
+            }
+        );
+    }
     let _ = writeln!(out, "{:<20} {:>10} {:>10}", "line", "P(switch)", "P(1)");
     for line in circuit.line_ids() {
         let _ = writeln!(
@@ -573,23 +633,62 @@ fn cmd_plan(rest: &[&String]) -> Result<String, CliError> {
         plan.segments().len(),
         plan.boundary_roots()
     );
-    let _ = writeln!(
-        out,
-        "{:>4} {:>7} {:>7} {:>9} {:>14}",
-        "seg", "gates", "roots", "boundary", "est. states"
-    );
+    // With a --budget-states cap the plan also predicts which rung of the
+    // degradation ladder each segment would land on: segments within
+    // budget run the primary backend; over-budget segments degrade to the
+    // anytime sampling rung (twostate when that *is* the primary backend),
+    // unless --no-fallback turns the trip into a hard error. A replan may
+    // still split an over-budget segment back under the cap at compile
+    // time, so the prediction is the rung's worst case.
+    let predicted_rung = |cost: f64| -> &'static str {
+        match options.budget.max_states {
+            Some(budget) if cost > budget => {
+                if options.no_fallback {
+                    "error"
+                } else if options.backend == Backend::TwoState {
+                    "twostate"
+                } else {
+                    "sampling"
+                }
+            }
+            _ => options.backend.name(),
+        }
+    };
+    if options.budget.max_states.is_some() {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>7} {:>7} {:>9} {:>14} {:>10}",
+            "seg", "gates", "roots", "boundary", "est. states", "rung"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>7} {:>7} {:>9} {:>14}",
+            "seg", "gates", "roots", "boundary", "est. states"
+        );
+    }
     for (i, (seg, cost)) in plan.segments().iter().zip(&costs).enumerate() {
         let boundary = seg
             .roots
             .iter()
             .filter(|(_, src)| *src == swact::RootSource::Boundary)
             .count();
-        let _ = writeln!(
-            out,
-            "{i:>4} {:>7} {:>7} {boundary:>9} {cost:>14.0}",
-            seg.gates.len(),
-            seg.roots.len(),
-        );
+        if options.budget.max_states.is_some() {
+            let _ = writeln!(
+                out,
+                "{i:>4} {:>7} {:>7} {boundary:>9} {cost:>14.0} {:>10}",
+                seg.gates.len(),
+                seg.roots.len(),
+                predicted_rung(*cost),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{i:>4} {:>7} {:>7} {boundary:>9} {cost:>14.0}",
+                seg.gates.len(),
+                seg.roots.len(),
+            );
+        }
     }
     Ok(out)
 }
@@ -612,6 +711,9 @@ struct BatchArgs {
     cache_dir: Option<String>,
     ordering: OrderingStrategy,
     seg_search: bool,
+    seed: u64,
+    ci_half_width: Option<f64>,
+    ci_z: Option<f64>,
 }
 
 fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
@@ -633,13 +735,16 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
         cache_dir: None,
         ordering: OrderingStrategy::Greedy,
         seg_search: false,
+        seed: 0,
+        ci_half_width: None,
+        ci_z: None,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             flag @ ("--jobs" | "--jobs-force" | "--sweep" | "--budget" | "--budget-states"
             | "--deadline-ms" | "--spec" | "--sparse" | "--backend" | "--cache-dir"
-            | "--ordering") => {
+            | "--ordering" | "--seed" | "--ci-half-width" | "--ci-z") => {
                 let value = rest
                     .get(i + 1)
                     .ok_or_else(|| usage_error(format!("{flag} needs a value")))?;
@@ -680,6 +785,23 @@ fn parse_batch_args(rest: &[&String]) -> Result<BatchArgs, CliError> {
                     "--backend" => parsed.backend = parse_backend(value)?,
                     "--cache-dir" => parsed.cache_dir = Some(value.to_string()),
                     "--ordering" => parsed.ordering = parse_ordering(value)?,
+                    "--seed" => {
+                        parsed.seed = value
+                            .parse()
+                            .map_err(|_| usage_error(format!("bad --seed value `{value}`")))?
+                    }
+                    "--ci-half-width" => {
+                        parsed.ci_half_width = Some(value.parse().map_err(|_| {
+                            usage_error(format!("bad --ci-half-width value `{value}`"))
+                        })?)
+                    }
+                    "--ci-z" => {
+                        parsed.ci_z = Some(
+                            value
+                                .parse()
+                                .map_err(|_| usage_error(format!("bad --ci-z value `{value}`")))?,
+                        )
+                    }
                     _ => parsed.spec_file = Some(value.to_string()),
                 }
                 i += 2;
@@ -796,6 +918,7 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
     if let Some(dir) = &args.cache_dir {
         engine = engine.with_cache_dir(dir);
     }
+    let defaults = Options::default();
     let options = Options {
         segment_budget: args.budget,
         sparse: args.sparse,
@@ -804,7 +927,10 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
         no_fallback: args.no_fallback,
         incremental: !args.no_incremental,
         strategy: strategy_for(args.ordering, args.seg_search),
-        ..Options::default()
+        seed: args.seed,
+        ci_half_width: args.ci_half_width.unwrap_or(defaults.ci_half_width),
+        ci_z: args.ci_z.unwrap_or(defaults.ci_z),
+        ..defaults
     };
     let report = engine
         .estimate_batch(&circuit, &specs, &options)
@@ -907,6 +1033,33 @@ fn cmd_batch(rest: &[&String]) -> Result<String, CliError> {
             metrics.jobs_panicked,
             metrics.retries
         );
+        // Per-rung fallback counts over all scenarios' degradation
+        // reports, plus the sampling rung's anytime counters.
+        let (mut replanned, mut twostate, mut sampling) = (0u64, 0u64, 0u64);
+        for est in report.estimates() {
+            for d in est.degradations() {
+                match d.fallback {
+                    swact::Fallback::Replanned { .. } => replanned += 1,
+                    swact::Fallback::TwoState => twostate += 1,
+                    swact::Fallback::Sampling => sampling += 1,
+                    _ => {}
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "rungs: {replanned} replanned; {sampling} sampling; {twostate} twostate"
+        );
+        if metrics.sampled_segments > 0 || metrics.samples_drawn > 0 {
+            let _ = writeln!(
+                out,
+                "sampling: {} segment(s); {} sample(s) drawn; {} converged / {} timed out",
+                metrics.sampled_segments,
+                metrics.samples_drawn,
+                metrics.sampling_converged,
+                metrics.sampling_timed_out
+            );
+        }
         if args.cache_dir.is_some() {
             let _ = writeln!(
                 out,
@@ -1347,6 +1500,58 @@ mod tests {
     }
 
     #[test]
+    fn sampling_backend_runs_and_reports_its_interval() {
+        let out = run_strs(&["estimate", "c17", "--backend", "sampling", "--seed", "3"]).unwrap();
+        assert!(out.contains("sampled: ±"), "got: {out}");
+        assert!(out.contains("samples"));
+        assert!(out.contains("mean switching activity"));
+        // Exact backends never print the sampled line.
+        let exact = run_strs(&["estimate", "c17"]).unwrap();
+        assert!(!exact.contains("sampled:"));
+
+        // Same seed ⇒ byte-identical table; different seed ⇒ a different
+        // random stream (the estimates differ in the low bits).
+        let table = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let again = run_strs(&["estimate", "c17", "--backend", "sampling", "--seed", "3"]).unwrap();
+        assert_eq!(table(&out), table(&again));
+        let other = run_strs(&["estimate", "c17", "--backend", "sampling", "--seed", "4"]).unwrap();
+        assert_ne!(table(&out), table(&other));
+
+        for (flag, bad) in [
+            ("--seed", "entropy"),
+            ("--ci-half-width", "narrow"),
+            ("--ci-z", "wide"),
+        ] {
+            let err = run_strs(&["estimate", "c17", flag, bad]).unwrap_err();
+            assert_eq!(err.exit_code, 2);
+            assert!(err.message.contains(&format!("bad {flag} value")));
+        }
+    }
+
+    #[test]
+    fn sampling_batch_is_identical_across_job_counts() {
+        fn args(jobs: &str) -> [&str; 11] {
+            [
+                "batch",
+                "c17",
+                "--jobs",
+                jobs,
+                "--sweep",
+                "4",
+                "--backend",
+                "sampling",
+                "--seed",
+                "11",
+                "--csv",
+            ]
+        }
+        let serial = run_strs(&args("1")).unwrap();
+        let parallel = run_strs(&args("4")).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.lines().count(), 5); // header + 4 scenarios
+    }
+
+    #[test]
     fn backend_flag_rejects_unknown_names() {
         for cmd in ["estimate", "batch"] {
             let err = run_strs(&[cmd, "c17", "--backend", "quantum"]).unwrap_err();
@@ -1387,6 +1592,27 @@ mod tests {
         let cut = run_strs(&["plan", "c432", "--seg-search", "--budget", "1024"]).unwrap();
         assert!(cut.contains("greedy/balanced-cut"));
         assert!(run_strs(&["plan"]).is_err());
+    }
+
+    #[test]
+    fn plan_predicts_degradation_rungs_under_a_budget() {
+        // Without --budget-states there is no rung column.
+        let plain = run_strs(&["plan", "c432"]).unwrap();
+        assert!(!plain.contains("rung"));
+        // A tripping budget predicts the sampling rung for over-budget
+        // segments while within-budget segments keep the primary backend.
+        let tight = run_strs(&["plan", "c432", "--budget-states", "256"]).unwrap();
+        assert!(tight.contains("rung"));
+        assert!(tight.contains("sampling"), "got: {tight}");
+        // An enormous budget keeps every segment on the primary backend.
+        let loose = run_strs(&["plan", "c432", "--budget-states", "1e18"]).unwrap();
+        assert!(loose.contains("rung"));
+        assert!(!loose.contains("sampling"));
+        assert!(loose.contains("jtree"));
+        // --no-fallback turns the trip into a predicted hard error.
+        let strict =
+            run_strs(&["plan", "c432", "--budget-states", "256", "--no-fallback"]).unwrap();
+        assert!(strict.contains("error"));
     }
 
     #[test]
@@ -1622,9 +1848,15 @@ mod tests {
         .unwrap();
         assert!(out.contains("3 degraded scenario(s)"));
         assert!(!out.contains("error:"));
+        // The per-rung summary names each ladder rung with its count.
+        assert!(out.contains("rungs:"), "got: {out}");
+        assert!(out.contains("replanned"));
+        assert!(out.contains("sampling"));
+        assert!(out.contains("twostate"));
         // Non-stats output stays free of robustness lines.
         let quiet = run_strs(&["batch", "c432", "--sweep", "3", "--budget-states", "256"]).unwrap();
         assert!(!quiet.contains("robustness:"));
+        assert!(!quiet.contains("rungs:"));
     }
 
     #[test]

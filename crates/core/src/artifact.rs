@@ -65,8 +65,10 @@ pub const MAGIC: [u8; 8] = *b"SWACTBN1";
 /// Version of the on-disk encoding. Any change to the payload layout (or
 /// the header after the version field) must bump this; readers reject
 /// every other version. Version 2 added the structure-strategy tags to
-/// the options codec and the `force_ordered` flag to segment stats.
-pub const FORMAT_VERSION: u32 = 2;
+/// the options codec and the `force_ordered` flag to segment stats;
+/// version 3 added the sampling backend (seed/CI options, sampling
+/// segment artifacts, and the `Fallback::Sampling` degradation tag).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Extension used by [`artifact_file_name`].
 pub const ARTIFACT_EXTENSION: &str = "swact";

@@ -12,8 +12,15 @@
 //! 1. replan the offending segment alone under a tighter
 //!    `segment_budget`, splitting it into smaller sub-segments;
 //! 2. if a sub-segment still exceeds the budget, evaluate it with the
-//!    `twostate` backend (exact signal probabilities under independence,
-//!    `2p(1−p)` switching) — linear-cost, never exponential.
+//!    anytime `sampling` backend — forward sampling over the full
+//!    4-state LIDAG with a deterministic seeded stream, stopping on a
+//!    confidence half-width target or the remaining deadline, and
+//!    reporting the achieved interval
+//!    ([`AccuracyReport`](crate::AccuracyReport));
+//! 3. if the sampler cannot model the segment (in-segment pairwise
+//!    conditioning), evaluate it with the `twostate` backend (exact
+//!    signal probabilities under independence, `2p(1−p)` switching) —
+//!    linear-cost, never exponential, but blind to temporal correlation.
 //!
 //! Every rung taken is recorded as a [`DegradationReport`] inside the
 //! [`Estimate`](crate::Estimate), so degraded results carry provenance
@@ -125,6 +132,11 @@ pub enum Fallback {
         /// Number of sub-segments the offending segment became.
         subsegments: usize,
     },
+    /// The (sub-)segment is evaluated by the anytime `sampling` backend:
+    /// forward sampling over the full 4-state LIDAG, deterministic for a
+    /// fixed seed, with a reported confidence interval
+    /// ([`AccuracyReport`](crate::AccuracyReport)).
+    Sampling,
     /// The (sub-)segment is evaluated by the `twostate` backend: signal
     /// probabilities under root independence with the `2p(1−p)` switching
     /// proxy — approximate, but linear-cost.
@@ -137,6 +149,7 @@ impl fmt::Display for Fallback {
             Fallback::Replanned { subsegments } => {
                 write!(f, "replanned into {subsegments} sub-segments")
             }
+            Fallback::Sampling => write!(f, "sampling backend"),
             Fallback::TwoState => write!(f, "twostate backend"),
         }
     }

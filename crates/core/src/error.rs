@@ -74,6 +74,11 @@ pub enum EstimateError {
         states: f64,
         /// The configured budget it violated.
         budget: f64,
+        /// The ladder rung that actually exhausted the budget: the
+        /// backend whose compile attempt could not fit (`"jtree"`,
+        /// `"bdd"`, `"sampling"`, `"twostate"` — or the primary backend's
+        /// name when the ladder is disabled via `no_fallback`).
+        rung: &'static str,
     },
     /// A per-stage wall-clock deadline ([`Budget::deadline`](crate::Budget))
     /// elapsed. Deadlines are cooperative: the stage checks them at
@@ -168,10 +173,11 @@ impl fmt::Display for EstimateError {
                 segment,
                 states,
                 budget,
+                rung,
             } => write!(
                 f,
-                "segment {segment} needs {states:.3e} states, budget is {budget:.3e} \
-                 and fallback is disabled or exhausted"
+                "segment {segment} needs {states:.3e} states on the '{rung}' rung, \
+                 budget is {budget:.3e} and fallback is disabled or exhausted"
             ),
             EstimateError::DeadlineExceeded { stage, deadline } => {
                 write!(f, "{stage} stage exceeded its {deadline:?} deadline")
@@ -249,6 +255,7 @@ mod tests {
             segment: 0,
             states: 1e9,
             budget: 1e3,
+            rung: "jtree",
         }
         .retryable());
         assert!(!EstimateError::GroupStructureMismatch.retryable());
@@ -262,8 +269,10 @@ mod tests {
             segment: 3,
             states: 1e9,
             budget: 1e3,
+            rung: "twostate",
         };
         assert!(e.to_string().contains("segment 3"));
+        assert!(e.to_string().contains("'twostate' rung"));
         let e = EstimateError::DeadlineExceeded {
             stage: "propagate",
             deadline: std::time::Duration::from_millis(7),

@@ -69,9 +69,27 @@ pub struct Options {
     /// Which inference engine evaluates each segment's Bayesian network.
     /// The default [`Backend::Jtree`] is the paper's exact junction-tree
     /// propagation; [`Backend::Bdd`] computes per-segment switching
-    /// exactly on OBDDs; [`Backend::TwoState`] is the classic
-    /// signal-probability ablation with the `2p(1−p)` switching proxy.
+    /// exactly on OBDDs; [`Backend::Sampling`] is the anytime
+    /// forward-sampling estimator with per-segment confidence intervals;
+    /// [`Backend::TwoState`] is the classic signal-probability ablation
+    /// with the `2p(1−p)` switching proxy.
     pub backend: Backend,
+    /// Base seed for the deterministic sampling backend. Each segment
+    /// derives its own stream from this seed and the segment's content
+    /// hash, so results are bit-identical across job counts and warm/cold
+    /// artifact loads. Hashed into the model key: artifacts compiled
+    /// under different seeds never mix.
+    pub seed: u64,
+    /// Absolute confidence-interval half-width target on a sampled
+    /// segment's mean gate switching activity — the [`Backend::Sampling`]
+    /// stopping criterion. The sampler draws batches until the
+    /// Burch/Najm normal-approximation interval is at most this wide (or
+    /// the remaining [`Budget::deadline`] is spent, or the internal batch
+    /// cap is hit), and reports the achieved half-width in the estimate's
+    /// [`AccuracyReport`](crate::AccuracyReport).
+    pub ci_half_width: f64,
+    /// z-score of the sampling confidence level (1.96 ≈ 95 %).
+    pub ci_z: f64,
     /// Hard resource limits (state-space cap, resident factor bytes,
     /// per-stage deadline) checked at stage boundaries. Unlimited by
     /// default; see [`Budget`] for the degradation ladder exceeding them
@@ -102,6 +120,9 @@ impl Default for Options {
             boundary_correlation: true,
             sparse: SparseMode::Auto,
             backend: Backend::Jtree,
+            seed: 0,
+            ci_half_width: 0.01,
+            ci_z: 1.96,
             budget: Budget::UNLIMITED,
             no_fallback: false,
             incremental: true,
@@ -414,5 +435,12 @@ impl CompiledEstimator {
     /// ladder; empty when every segment compiled within budget.
     pub fn degradations(&self) -> &[DegradationReport] {
         self.pipeline.degradations()
+    }
+
+    /// Number of segments evaluated by the anytime sampling backend,
+    /// whether selected as the primary backend or reached via the
+    /// degradation ladder.
+    pub fn sampled_segments(&self) -> usize {
+        self.pipeline.sampled_segments()
     }
 }

@@ -24,6 +24,7 @@
 //! | `pipeline:admission` | segment | budget admission check per planned segment |
 //! | `pipeline:compile` | segment | before backend-compiling a segment |
 //! | `pipeline:propagate:wave` | wave | before each propagation wave |
+//! | `pipeline:sample:batch` | batch | before each sampling-backend batch |
 //! | `engine:job` | scenario | inside a batch worker, before estimating |
 
 use std::time::Duration;

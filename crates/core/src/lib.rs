@@ -71,7 +71,7 @@ pub use input::{most_likely, InputGroup, InputModel, InputSpec, PairwiseJoint};
 pub use lidag::{gate_cpt, gate_family, Lidag};
 pub use pipeline::{Backend, SegmentTimings, StageTimings};
 pub use power::{PowerModel, PowerReport};
-pub use report::{ErrorStats, Estimate, ReuseStats};
+pub use report::{AccuracyReport, ErrorStats, Estimate, ReuseStats};
 pub use segment::{RootSource, Segment, SegmentationPlan};
 pub use strategy::{OrderingStrategy, SegmentationStrategy, StructureStrategy};
 pub use swact_bayesnet::SparseMode;

@@ -16,6 +16,7 @@ use swact_circuit::LineId;
 
 use crate::estimator::Options;
 use crate::pipeline::model::{Export, SegmentModel};
+use crate::report::AccuracyReport;
 use crate::{EstimateError, InputSpec, TransitionDist};
 
 /// Which inference engine evaluates each segment's Bayesian network.
@@ -31,6 +32,13 @@ pub enum Backend {
     /// result is exact; across segments only boundary *marginals* are
     /// forwarded (boundary-correlation export is a junction-tree notion).
     Bdd,
+    /// Anytime forward sampling over the 4-state LIDAG with a
+    /// deterministic seeded stream and the Burch/Najm stopping rule:
+    /// batches run until the confidence half-width target
+    /// ([`Options::ci_half_width`](crate::Options::ci_half_width)) is met
+    /// or the remaining deadline is spent, and every posterior carries an
+    /// [`AccuracyReport`]. The degradation ladder's middle rung.
+    Sampling,
     /// The classic two-state ablation: signal probabilities only, with
     /// switching approximated as `2·p·(1−p)`. Exact for temporally
     /// independent inputs, blind to temporal correlation.
@@ -38,11 +46,12 @@ pub enum Backend {
 }
 
 impl Backend {
-    /// Stable lower-case name (`jtree`, `bdd`, `twostate`).
+    /// Stable lower-case name (`jtree`, `bdd`, `sampling`, `twostate`).
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Jtree => "jtree",
             Backend::Bdd => "bdd",
+            Backend::Sampling => "sampling",
             Backend::TwoState => "twostate",
         }
     }
@@ -61,9 +70,10 @@ impl FromStr for Backend {
         match s.to_ascii_lowercase().as_str() {
             "jtree" | "junction-tree" | "hugin" => Ok(Backend::Jtree),
             "bdd" | "obdd" => Ok(Backend::Bdd),
+            "sampling" | "sample" | "anytime" => Ok(Backend::Sampling),
             "twostate" | "two-state" | "2state" => Ok(Backend::TwoState),
             other => Err(format!(
-                "unknown backend '{other}' (expected jtree, bdd, or twostate)"
+                "unknown backend '{other}' (expected jtree, bdd, sampling, or twostate)"
             )),
         }
     }
@@ -155,6 +165,11 @@ pub struct RootDists<'a> {
     pub(crate) conditionals: &'a [Option<[f64; 16]>],
     pub(crate) exports: &'a [Export],
     pub(crate) joint_requests: &'a [(VarId, VarId, usize)],
+    /// Absolute instant the propagate stage's deadline elapses, when a
+    /// [`Budget::deadline`](crate::Budget) is set. Anytime backends stop
+    /// drawing work when it passes; exact backends ignore it (the driver
+    /// enforces it cooperatively at wave boundaries).
+    pub(crate) deadline: Option<std::time::Instant>,
 }
 
 impl<'a> RootDists<'a> {
@@ -167,6 +182,11 @@ impl<'a> RootDists<'a> {
     /// earlier wave (placeholder for lines not yet computed).
     pub fn boundary(&self, line: LineId) -> &TransitionDist {
         &self.dists[line.index()]
+    }
+
+    /// Absolute instant the propagate stage's deadline elapses, if any.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
     }
 }
 
@@ -188,6 +208,9 @@ pub struct SegmentPosterior {
     /// Collect messages recomputed (zero when the whole segment was
     /// served from the posterior memo).
     pub(crate) messages_recomputed: u64,
+    /// Confidence-interval report for approximate (sampled) posteriors;
+    /// `None` for exact backends.
+    pub(crate) accuracy: Option<AccuracyReport>,
 }
 
 impl SegmentPosterior {
@@ -275,6 +298,7 @@ pub(crate) fn backend_impl(backend: Backend) -> Box<dyn InferenceBackend> {
     match backend {
         Backend::Jtree => Box::new(crate::pipeline::jtree::JtreeBackend),
         Backend::Bdd => Box::new(crate::pipeline::bddexact::BddBackend),
+        Backend::Sampling => Box::new(crate::pipeline::sampling::SamplingBackend),
         Backend::TwoState => Box::new(crate::pipeline::twostate::TwoStateBackend),
     }
 }
@@ -288,8 +312,11 @@ mod tests {
         assert_eq!("jtree".parse::<Backend>().unwrap(), Backend::Jtree);
         assert_eq!("BDD".parse::<Backend>().unwrap(), Backend::Bdd);
         assert_eq!("two-state".parse::<Backend>().unwrap(), Backend::TwoState);
+        assert_eq!("sampling".parse::<Backend>().unwrap(), Backend::Sampling);
+        assert_eq!("anytime".parse::<Backend>().unwrap(), Backend::Sampling);
         assert!("gibbs".parse::<Backend>().is_err());
         assert_eq!(Backend::default(), Backend::Jtree);
         assert_eq!(Backend::Bdd.to_string(), "bdd");
+        assert_eq!(Backend::Sampling.to_string(), "sampling");
     }
 }

@@ -343,6 +343,7 @@ impl InferenceBackend for JtreeBackend {
             joints,
             messages_reused,
             messages_recomputed,
+            accuracy: None,
         })
     }
 

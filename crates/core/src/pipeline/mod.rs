@@ -38,6 +38,7 @@ pub use plan::PlannedCircuit;
 pub use schedule::WaveSchedule;
 pub use timing::{SegmentTimings, StageTimings};
 
+mod sampling;
 mod twostate;
 
 use std::collections::HashMap;
@@ -52,7 +53,7 @@ use crate::estimator::Options;
 use crate::faults;
 use crate::pipeline::backend::backend_impl;
 use crate::pipeline::model::Export;
-use crate::report::Estimate;
+use crate::report::{AccuracyReport, Estimate};
 use crate::segment::{estimate_segment_cost, replan_segment, RootSource, Segment};
 use crate::{EstimateError, InputSpec, TransitionDist};
 
@@ -63,10 +64,16 @@ pub(crate) struct CompiledPipeline {
     planned: PlannedCircuit,
     backend_kind: Backend,
     backend: Box<dyn InferenceBackend>,
-    /// Rung-2 fallback engine for segments degraded to [`Backend::TwoState`].
+    /// Rung-2 fallback engine for segments degraded to
+    /// [`Backend::Sampling`] — anytime forward sampling with reported
+    /// confidence intervals.
+    sampling_fallback: Box<dyn InferenceBackend>,
+    /// Last-rung fallback engine for segments degraded to
+    /// [`Backend::TwoState`] (reached only when the sampler cannot model
+    /// the segment).
     fallback: Box<dyn InferenceBackend>,
     /// Which engine compiled each segment (the primary `backend_kind`, or
-    /// [`Backend::TwoState`] after degradation).
+    /// [`Backend::Sampling`] / [`Backend::TwoState`] after degradation).
     seg_kinds: Vec<Backend>,
     /// Compile-time budget-ladder provenance, per degraded segment.
     degradations: Vec<DegradationReport>,
@@ -120,6 +127,7 @@ impl CompiledPipeline {
         faults::hit("pipeline:plan", None);
 
         let budget = options.budget;
+        let sampling_fallback = backend_impl(Backend::Sampling);
         let fallback = backend_impl(Backend::TwoState);
         // Space budgets are hard admission checks on the planner's *soft*
         // target: the estimate is re-derived per segment and violations
@@ -164,7 +172,13 @@ impl CompiledPipeline {
         // Where each gate line was produced: (segment index, var there).
         let mut produced_in: HashMap<LineId, (usize, VarId)> = HashMap::new();
         for (plan_idx, planned_seg) in planned.plan.segments().iter().enumerate() {
-            if let Some(deadline) = budget.deadline {
+            // With the sampling backend primary, compilation allocates no
+            // potentials and the deadline instead caps the anytime sampler
+            // at propagate time — expiry here must not abort the run.
+            if let Some(deadline) = budget
+                .deadline
+                .filter(|_| options.backend != Backend::Sampling)
+            {
                 if start.elapsed() > deadline {
                     return Err(EstimateError::DeadlineExceeded {
                         stage: "compile",
@@ -200,6 +214,7 @@ impl CompiledPipeline {
                                     DegradationCause::StateBudget { budget, .. } => budget,
                                     DegradationCause::FactorBytes { budget, .. } => budget as f64,
                                 },
+                                rung: backend_kind.name(),
                             });
                         }
                         // Rung 1: replan just this segment under a tighter
@@ -256,13 +271,29 @@ impl CompiledPipeline {
                                 None => admitted.push((sub, backend_kind)),
                                 Some(sub_cause) => {
                                     // Rung 2: evaluate this piece with the
-                                    // linear-cost twostate engine.
+                                    // anytime sampling engine — linear cost
+                                    // per sample, full 4-state model, and a
+                                    // reported confidence interval. (When
+                                    // the primary backend is already the
+                                    // cheaper twostate there is nothing to
+                                    // gain; keep it.) Rung 3 — twostate —
+                                    // is reached below only if the sampler
+                                    // cannot model this piece.
+                                    let rung = if backend_kind == Backend::TwoState {
+                                        Backend::TwoState
+                                    } else {
+                                        Backend::Sampling
+                                    };
                                     degradations.push(DegradationReport {
                                         segment: final_segments.len() + admitted.len(),
                                         cause: sub_cause,
-                                        fallback: Fallback::TwoState,
+                                        fallback: if rung == Backend::TwoState {
+                                            Fallback::TwoState
+                                        } else {
+                                            Fallback::Sampling
+                                        },
                                     });
-                                    admitted.push((sub, Backend::TwoState));
+                                    admitted.push((sub, rung));
                                 }
                             }
                         }
@@ -272,7 +303,7 @@ impl CompiledPipeline {
                 admitted.push((planned_seg.clone(), backend_kind));
             }
 
-            for (seg, kind) in admitted {
+            for (seg, mut kind) in admitted {
                 let seg_idx = final_segments.len();
                 exports.push(Vec::new());
                 let model_start = Instant::now();
@@ -338,6 +369,8 @@ impl CompiledPipeline {
                 let compile_start = Instant::now();
                 let engine: &dyn InferenceBackend = if kind == backend_kind {
                     &*backend
+                } else if kind == Backend::Sampling {
+                    &*sampling_fallback
                 } else {
                     &*fallback
                 };
@@ -355,6 +388,36 @@ impl CompiledPipeline {
                             num_slots,
                         )?;
                         engine.compile(&model, options)?
+                    }
+                    // Rung 3: the sampler cannot model this degraded piece
+                    // (in-segment pairwise conditioning) — drop to the
+                    // twostate engine. That rung is itself exponential in
+                    // the 2-state tree, so admission-check its own cost
+                    // first and attribute any exhaustion to the rung that
+                    // actually ran out (not the primary backend's numbers).
+                    Err(EstimateError::BackendUnsupported { .. })
+                        if kind == Backend::Sampling && backend_kind != Backend::Sampling =>
+                    {
+                        let two_est =
+                            estimate_segment_cost(&planned.working, 2, &seg, options.heuristic);
+                        if let Some(cause) = space_violation(two_est, resident_bytes) {
+                            return Err(EstimateError::BudgetExceeded {
+                                segment: seg_idx,
+                                states: two_est,
+                                budget: match cause {
+                                    DegradationCause::StateBudget { budget, .. } => budget,
+                                    DegradationCause::FactorBytes { budget, .. } => budget as f64,
+                                },
+                                rung: "twostate",
+                            });
+                        }
+                        kind = Backend::TwoState;
+                        for report in degradations.iter_mut() {
+                            if report.segment == seg_idx && report.fallback == Fallback::Sampling {
+                                report.fallback = Fallback::TwoState;
+                            }
+                        }
+                        fallback.compile(&model, options)?
                     }
                     other => other?,
                 };
@@ -393,6 +456,7 @@ impl CompiledPipeline {
             planned,
             backend_kind,
             backend,
+            sampling_fallback,
             fallback,
             seg_kinds,
             degradations,
@@ -519,12 +583,25 @@ impl CompiledPipeline {
         let mut messages_reused = 0u64;
         let mut messages_recomputed = 0u64;
         let mut segments_skipped = 0u64;
+        let mut accuracy: Option<AccuracyReport> = None;
+        // Absolute instant the propagate-stage deadline elapses; anytime
+        // (sampling) segments stop drawing batches once it passes.
+        let sample_deadline = self.options.budget.deadline.map(|d| start + d);
         for (wave_idx, wave) in self.schedule.waves().iter().enumerate() {
             faults::hit("pipeline:propagate:wave", Some(wave_idx));
             // Cooperative per-stage deadline: checked at wave boundaries,
             // so numerics are never altered by time pressure — a run that
-            // completes is bit-identical to an undeadlined run.
-            if let Some(deadline) = self.options.budget.deadline {
+            // completes is bit-identical to an undeadlined run. Models with
+            // anytime (sampling) segments trade this hard abort for graceful
+            // degradation: the sampler absorbs the time pressure by capping
+            // its batches at `sample_deadline`, and the run always returns a
+            // best-effort estimate whose accuracy report says how far it got.
+            if let Some(deadline) = self
+                .options
+                .budget
+                .deadline
+                .filter(|_| self.sampled_segments() == 0)
+            {
                 if start.elapsed() > deadline {
                     return Err(EstimateError::DeadlineExceeded {
                         stage: "propagate",
@@ -543,6 +620,7 @@ impl CompiledPipeline {
                         conditionals: &conditionals,
                         exports: &self.exports[seg_idx],
                         joint_requests: &joint_requests[seg_idx],
+                        deadline: sample_deadline,
                     },
                 )?;
                 let elapsed = wave_start.elapsed();
@@ -551,6 +629,7 @@ impl CompiledPipeline {
                 messages_reused += output.messages_reused;
                 messages_recomputed += output.messages_recomputed;
                 segments_skipped += u64::from(skipped);
+                merge_accuracy(&mut accuracy, output.accuracy.as_ref());
                 apply_segment_output(
                     output,
                     &mut dists,
@@ -587,6 +666,7 @@ impl CompiledPipeline {
                                     conditionals: conditionals_ref,
                                     exports: &exports[seg_idx],
                                     joint_requests: &joint_requests_ref[seg_idx],
+                                    deadline: sample_deadline,
                                 },
                             );
                             (seg_idx, seg_start.elapsed(), result)
@@ -615,6 +695,7 @@ impl CompiledPipeline {
                 messages_reused += output.messages_reused;
                 messages_recomputed += output.messages_recomputed;
                 segments_skipped += u64::from(skipped);
+                merge_accuracy(&mut accuracy, output.accuracy.as_ref());
                 apply_segment_output(
                     output,
                     &mut dists,
@@ -649,19 +730,32 @@ impl CompiledPipeline {
                 messages_recomputed,
                 segments_skipped,
             },
+            accuracy,
         );
         Ok((estimate, joints))
     }
 
     /// The engine that compiled (and therefore propagates) segment
-    /// `seg_idx` — the primary backend, or the twostate fallback after
-    /// degradation.
+    /// `seg_idx` — the primary backend, or the sampling/twostate fallback
+    /// after degradation.
     fn backend_for(&self, seg_idx: usize) -> &dyn InferenceBackend {
-        if self.seg_kinds[seg_idx] == self.backend_kind {
+        let kind = self.seg_kinds[seg_idx];
+        if kind == self.backend_kind {
             &*self.backend
+        } else if kind == Backend::Sampling {
+            &*self.sampling_fallback
         } else {
             &*self.fallback
         }
+    }
+
+    /// Number of segments evaluated by the sampling engine (primary or
+    /// via the degradation ladder).
+    pub(crate) fn sampled_segments(&self) -> usize {
+        self.seg_kinds
+            .iter()
+            .filter(|&&k| k == Backend::Sampling)
+            .count()
     }
 
     pub(crate) fn degradations(&self) -> &[DegradationReport] {
@@ -744,6 +838,17 @@ impl CompiledPipeline {
 
     pub(crate) fn num_boundary_roots(&self) -> usize {
         self.num_boundary_roots
+    }
+}
+
+/// Folds one segment's accuracy report into the estimate-level aggregate
+/// (weakest half-width, summed samples, conjunctive convergence).
+fn merge_accuracy(aggregate: &mut Option<AccuracyReport>, report: Option<&AccuracyReport>) {
+    if let Some(report) = report {
+        match aggregate {
+            None => *aggregate = Some(*report),
+            Some(agg) => agg.merge(report),
+        }
     }
 }
 

@@ -37,6 +37,7 @@ use crate::pipeline::bddexact::{BddSegment, GateNodes};
 use crate::pipeline::jtree::JtreeSegment;
 use crate::pipeline::model::{Export, InputPair, PairRoot};
 use crate::pipeline::plan::PlannedCircuit;
+use crate::pipeline::sampling::SamplingSegment;
 use crate::pipeline::twostate::TwoStateSegment;
 use crate::pipeline::{CompiledPipeline, StageTimings, WaveSchedule};
 use crate::segment::{RootSource, SegmentationPlan};
@@ -102,6 +103,7 @@ fn backend_tag(backend: Backend) -> u8 {
         Backend::Jtree => 0,
         Backend::Bdd => 1,
         Backend::TwoState => 2,
+        Backend::Sampling => 3,
     }
 }
 
@@ -110,6 +112,7 @@ fn backend_from_tag(tag: u8) -> Result<Backend, CodecError> {
         0 => Ok(Backend::Jtree),
         1 => Ok(Backend::Bdd),
         2 => Ok(Backend::TwoState),
+        3 => Ok(Backend::Sampling),
         other => Err(malformed(format!("unknown backend tag {other}"))),
     }
 }
@@ -262,6 +265,11 @@ pub(crate) fn write_options(w: &mut Writer, options: &Options) {
         SegmentationStrategy::TopoCover => 0,
         SegmentationStrategy::BalancedCut => 1,
     });
+    // Format version 3: sampling-backend fields. Appended after the
+    // segmentation tag so earlier fields keep their version-2 offsets.
+    w.u64(options.seed);
+    w.f64_bits(options.ci_half_width);
+    w.f64_bits(options.ci_z);
 }
 
 fn read_options(r: &mut Reader<'_>) -> Result<Options, CodecError> {
@@ -309,6 +317,9 @@ fn read_options(r: &mut Reader<'_>) -> Result<Options, CodecError> {
         1 => SegmentationStrategy::BalancedCut,
         other => return Err(malformed(format!("unknown segmentation tag {other}"))),
     };
+    let seed = r.u64()?;
+    let ci_half_width = r.f64_bits()?;
+    let ci_z = r.f64_bits()?;
     Ok(Options {
         heuristic,
         max_fanin,
@@ -329,6 +340,9 @@ fn read_options(r: &mut Reader<'_>) -> Result<Options, CodecError> {
             ordering,
             segmentation,
         },
+        seed,
+        ci_half_width,
+        ci_z,
     })
 }
 
@@ -356,6 +370,7 @@ fn write_degradation(w: &mut Writer, report: &DegradationReport) {
             w.usize(subsegments);
         }
         Fallback::TwoState => w.u8(1),
+        Fallback::Sampling => w.u8(2),
     }
 }
 
@@ -377,6 +392,7 @@ fn read_degradation(r: &mut Reader<'_>) -> Result<DegradationReport, CodecError>
             subsegments: r.usize()?,
         },
         1 => Fallback::TwoState,
+        2 => Fallback::Sampling,
         other => return Err(malformed(format!("unknown fallback tag {other}"))),
     };
     Ok(DegradationReport {
@@ -585,6 +601,74 @@ fn read_bdd_segment(r: &mut Reader<'_>, num_lines: usize) -> Result<BddSegment, 
     Ok(BddSegment { bdd, roots, gates })
 }
 
+fn write_sampling_segment(w: &mut Writer, seg: &SamplingSegment) {
+    w.usize(seg.roots.len());
+    for &(line, source) in &seg.roots {
+        write_line(w, line);
+        write_root_source(w, source);
+    }
+    w.usize(seg.gates.len());
+    for (line, kind, inputs) in &seg.gates {
+        write_line(w, *line);
+        let kind_idx = GateKind::ALL
+            .iter()
+            .position(|k| k == kind)
+            .expect("GateKind::ALL is exhaustive");
+        w.u8(kind_idx as u8);
+        w.usize(inputs.len());
+        for &input in inputs {
+            write_line(w, input);
+        }
+    }
+    w.usize(seg.num_lines);
+    w.u64(seg.stream_seed);
+    w.f64_bits(seg.ci_half_width);
+    w.f64_bits(seg.ci_z);
+}
+
+fn read_sampling_segment(
+    r: &mut Reader<'_>,
+    num_lines: usize,
+) -> Result<SamplingSegment, CodecError> {
+    let n_roots = r.len(5)?;
+    let mut roots = Vec::with_capacity(n_roots);
+    for _ in 0..n_roots {
+        let line = read_line(r, num_lines)?;
+        let source = read_root_source(r)?;
+        roots.push((line, source));
+    }
+    let n_gates = r.len(6)?;
+    let mut gates = Vec::with_capacity(n_gates);
+    for _ in 0..n_gates {
+        let line = read_line(r, num_lines)?;
+        let kind_idx = r.u8()? as usize;
+        let kind = *GateKind::ALL
+            .get(kind_idx)
+            .ok_or_else(|| malformed(format!("unknown gate kind {kind_idx}")))?;
+        let n_inputs = r.len(4)?;
+        let mut inputs = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            inputs.push(read_line(r, num_lines)?);
+        }
+        gates.push((line, kind, inputs));
+    }
+    let seg_num_lines = r.usize()?;
+    if seg_num_lines > num_lines {
+        return Err(malformed("sampling segment claims more lines than circuit"));
+    }
+    let stream_seed = r.u64()?;
+    let ci_half_width = r.f64_bits()?;
+    let ci_z = r.f64_bits()?;
+    Ok(SamplingSegment {
+        roots,
+        gates,
+        num_lines: seg_num_lines,
+        stream_seed,
+        ci_half_width,
+        ci_z,
+    })
+}
+
 fn write_segment(w: &mut Writer, segment: &CompiledSegment) {
     let stats = segment.stats();
     w.f64_bits(stats.total_states);
@@ -613,6 +697,9 @@ fn write_segment(w: &mut Writer, segment: &CompiledSegment) {
     } else if let Some(seg) = artifact.downcast_ref::<BddSegment>() {
         w.u8(1);
         write_bdd_segment(w, seg);
+    } else if let Some(seg) = artifact.downcast_ref::<SamplingSegment>() {
+        w.u8(3);
+        write_sampling_segment(w, seg);
     } else {
         unreachable!("every built-in backend artifact is serializable");
     }
@@ -643,6 +730,7 @@ fn read_segment(
         0 => Box::new(read_jtree_segment(r, num_lines, options)?),
         1 => Box::new(read_bdd_segment(r, num_lines)?),
         2 => Box::new(read_twostate_segment(r, num_lines)?),
+        3 => Box::new(read_sampling_segment(r, num_lines)?),
         other => return Err(malformed(format!("unknown segment kind {other}"))),
     };
     Ok(CompiledSegment::new(artifact, stats, lines))
@@ -839,6 +927,7 @@ pub(crate) fn decode_pipeline(bytes: &[u8]) -> Result<CompiledPipeline, CodecErr
         backend_kind,
         backend: backend_impl(backend_kind),
         fallback: backend_impl(Backend::TwoState),
+        sampling_fallback: backend_impl(Backend::Sampling),
         seg_kinds,
         degradations,
         segments,
@@ -882,7 +971,12 @@ mod tests {
 
     #[test]
     fn pipeline_round_trips_bit_identically_per_backend() {
-        for backend in [Backend::Jtree, Backend::Bdd, Backend::TwoState] {
+        for backend in [
+            Backend::Jtree,
+            Backend::Bdd,
+            Backend::TwoState,
+            Backend::Sampling,
+        ] {
             round_trip(&Options {
                 backend,
                 ..Options::default()

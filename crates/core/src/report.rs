@@ -35,6 +35,41 @@ impl ReuseStats {
     }
 }
 
+/// Confidence-interval report from the anytime sampling backend
+/// ([`Backend::Sampling`](crate::pipeline::Backend)).
+///
+/// Attached per sampled segment to its posterior and aggregated over all
+/// sampled segments into the [`Estimate`]: `half_width` is the *largest*
+/// per-segment half-width (the weakest guarantee), `samples` the total
+/// samples drawn, and `converged` true only when every sampled segment hit
+/// its half-width target before its deadline or batch cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Achieved confidence-interval half-width on the segment's mean gate
+    /// switching activity (normal approximation over batch means).
+    pub half_width: f64,
+    /// z-score of the confidence level the interval was computed at.
+    pub z: f64,
+    /// Total samples drawn.
+    pub samples: u64,
+    /// Whether the half-width target was met (vs. stopping on the
+    /// deadline or the batch cap with the best estimate so far).
+    pub converged: bool,
+}
+
+impl AccuracyReport {
+    /// Merges another sampled segment's report into this aggregate:
+    /// weakest half-width wins, samples add, convergence is conjunctive.
+    pub(crate) fn merge(&mut self, other: &AccuracyReport) {
+        if other.half_width > self.half_width {
+            self.half_width = other.half_width;
+        }
+        self.z = other.z;
+        self.samples += other.samples;
+        self.converged = self.converged && other.converged;
+    }
+}
+
 /// The result of one estimation pass: a transition distribution for every
 /// line, plus timing and structure statistics matching the paper's Table 1
 /// columns.
@@ -53,6 +88,7 @@ pub struct Estimate {
     per_segment: Vec<SegmentTimings>,
     degradations: Vec<DegradationReport>,
     reuse: ReuseStats,
+    accuracy: Option<AccuracyReport>,
 }
 
 impl Estimate {
@@ -69,6 +105,7 @@ impl Estimate {
         per_segment: Vec<SegmentTimings>,
         degradations: Vec<DegradationReport>,
         reuse: ReuseStats,
+        accuracy: Option<AccuracyReport>,
     ) -> Estimate {
         Estimate {
             dists,
@@ -82,6 +119,7 @@ impl Estimate {
             per_segment,
             degradations,
             reuse,
+            accuracy,
         }
     }
 
@@ -180,6 +218,14 @@ impl Estimate {
     /// and memo-skipped segments); all zero on cold runs.
     pub fn reuse_stats(&self) -> ReuseStats {
         self.reuse
+    }
+
+    /// Aggregated confidence-interval report when any segment was
+    /// evaluated by the anytime sampling backend; `None` for fully exact
+    /// (or twostate-only) estimates. See [`AccuracyReport`] for the
+    /// aggregation semantics.
+    pub fn accuracy(&self) -> Option<&AccuracyReport> {
+        self.accuracy.as_ref()
     }
 
     /// Renders the estimate as CSV with one row per line of `circuit`:

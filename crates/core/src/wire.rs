@@ -89,6 +89,7 @@ pub fn degradation_json(report: &DegradationReport) -> String {
             format!("{{\"kind\":\"replanned\",\"subsegments\":{subsegments}}}")
         }
         Fallback::TwoState => "{\"kind\":\"twostate\"}".to_string(),
+        Fallback::Sampling => "{\"kind\":\"sampling\"}".to_string(),
     };
     format!(
         "{{\"segment\":{},\"cause\":{},\"fallback\":{},\"detail\":\"{}\"}}",
@@ -97,6 +98,40 @@ pub fn degradation_json(report: &DegradationReport) -> String {
         fallback,
         escape(&report.to_string())
     )
+}
+
+/// Encodes the per-rung fallback counts of an estimate's degradation
+/// reports as `{"replanned":N,"twostate":N,"sampling":N}` — a quick
+/// summary clients can read without walking the full report list.
+pub fn degradation_counts_json(reports: &[DegradationReport]) -> String {
+    use crate::budget::Fallback;
+    let mut replanned = 0usize;
+    let mut twostate = 0usize;
+    let mut sampling = 0usize;
+    for report in reports {
+        match report.fallback {
+            Fallback::Replanned { .. } => replanned += 1,
+            Fallback::TwoState => twostate += 1,
+            Fallback::Sampling => sampling += 1,
+        }
+    }
+    format!("{{\"replanned\":{replanned},\"twostate\":{twostate},\"sampling\":{sampling}}}")
+}
+
+/// Encodes an estimate's [`AccuracyReport`](crate::AccuracyReport) as
+/// `{"half_width":..,"z":..,"samples":N,"converged":bool}`, or `null`
+/// when every segment ran an exact backend.
+pub fn accuracy_json(estimate: &Estimate) -> String {
+    match estimate.accuracy() {
+        Some(a) => format!(
+            "{{\"half_width\":{},\"z\":{},\"samples\":{},\"converged\":{}}}",
+            number(a.half_width),
+            number(a.z),
+            a.samples,
+            a.converged
+        ),
+        None => "null".to_string(),
+    }
 }
 
 /// Encodes an [`Estimate`] against the circuit it was computed for.
@@ -108,8 +143,10 @@ pub fn degradation_json(report: &DegradationReport) -> String {
 ///   "circuit": "c17",
 ///   "segments": 1,
 ///   "mean_switching": 0.37,
+///   "accuracy": {"half_width":..,"z":..,"samples":N,"converged":true} | null,
 ///   "lines": [{"name":"G1","dist":[..4 floats..],"switching":..,"p1":..}, ...],
 ///   "degradations": [...],
+///   "degradation_counts": {"replanned":N,"twostate":N,"sampling":N},
 ///   "reuse": {...}
 /// }
 /// ```
@@ -131,12 +168,14 @@ pub fn estimate_json(estimate: &Estimate, circuit: &Circuit) -> String {
         )
     }));
     format!(
-        "{{\"circuit\":\"{}\",\"segments\":{},\"mean_switching\":{},\"lines\":{},\"degradations\":{},\"reuse\":{}}}",
+        "{{\"circuit\":\"{}\",\"segments\":{},\"mean_switching\":{},\"accuracy\":{},\"lines\":{},\"degradations\":{},\"degradation_counts\":{},\"reuse\":{}}}",
         escape(circuit.name()),
         estimate.num_segments(),
         number(estimate.mean_switching()),
+        accuracy_json(estimate),
         lines,
         array(estimate.degradations().iter().map(degradation_json)),
+        degradation_counts_json(estimate.degradations()),
         reuse_stats_json(&estimate.reuse_stats())
     )
 }
@@ -188,6 +227,38 @@ mod tests {
         assert!(json.contains("\"segment\":2"));
         assert!(json.contains("state_budget"));
         assert!(json.contains("twostate"));
+        let s = DegradationReport {
+            fallback: Fallback::Sampling,
+            ..d
+        };
+        assert!(degradation_json(&s).contains("{\"kind\":\"sampling\"}"));
+        assert_eq!(
+            degradation_counts_json(&[d, s]),
+            "{\"replanned\":0,\"twostate\":1,\"sampling\":1}"
+        );
+    }
+
+    #[test]
+    fn accuracy_encodes_null_for_exact_and_object_for_sampled() {
+        let c17 = swact_circuit::catalog::c17();
+        let exact = estimate(&c17, &InputSpec::uniform(5), &Options::default()).expect("estimate");
+        assert_eq!(accuracy_json(&exact), "null");
+        let sampled = estimate(
+            &c17,
+            &InputSpec::uniform(5),
+            &Options {
+                backend: crate::Backend::Sampling,
+                ..Options::default()
+            },
+        )
+        .expect("sampled estimate");
+        let json = accuracy_json(&sampled);
+        assert!(json.starts_with("{\"half_width\":"), "got {json}");
+        assert!(json.contains("\"samples\":"));
+        assert!(json.contains("\"converged\":"));
+        let full = estimate_json(&sampled, &c17);
+        assert!(full.contains("\"accuracy\":{\"half_width\":"));
+        assert!(full.contains("\"degradation_counts\":{\"replanned\":0"));
     }
 
     #[test]

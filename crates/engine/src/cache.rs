@@ -159,12 +159,36 @@ mod tests {
 
         // Same circuit and spec under a different backend must be a
         // different model — the cache may never mix backends.
-        for backend in [swact::Backend::Bdd, swact::Backend::TwoState] {
+        for backend in [
+            swact::Backend::Bdd,
+            swact::Backend::TwoState,
+            swact::Backend::Sampling,
+        ] {
             assert_ne!(
                 model_key(&c1, &spec, &options),
                 model_key(&c1, &spec, &Options::with_backend(backend))
             );
         }
+
+        // The sampling seed and CI targets shape sampled posteriors, so
+        // they must key the cache too — a warm entry under another seed
+        // would silently serve a different random stream.
+        let seeded = Options {
+            seed: 7,
+            ..Options::default()
+        };
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c1, &spec, &seeded)
+        );
+        let tighter = Options {
+            ci_half_width: 0.001,
+            ..Options::default()
+        };
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c1, &spec, &tighter)
+        );
 
         // A budget-governed model must not alias the unlimited one.
         let budgeted = Options::with_resource_budget(swact::Budget::states(1e4));

@@ -441,6 +441,17 @@ impl Engine {
                             reuse.segments_skipped,
                             std::sync::atomic::Ordering::Relaxed,
                         );
+                        if let Some(accuracy) = estimate.accuracy() {
+                            metrics
+                                .samples_drawn
+                                .fetch_add(accuracy.samples, std::sync::atomic::Ordering::Relaxed);
+                            let outcome = if accuracy.converged {
+                                &metrics.sampling_converged
+                            } else {
+                                &metrics.sampling_timed_out
+                            };
+                            outcome.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
                     }
                     metrics
                         .requests_completed
@@ -590,6 +601,9 @@ impl Engine {
             .force_ordered_segments
             .fetch_add(model.force_ordered_segments() as u64, Ordering::Relaxed);
         self.metrics
+            .sampled_segments
+            .fetch_add(model.sampled_segments() as u64, Ordering::Relaxed);
+        self.metrics
             .compiled_max_clique_states
             .fetch_max(model.max_clique_states() as u64, Ordering::Relaxed);
 
@@ -732,6 +746,58 @@ mod tests {
         }
     }
 
+    /// The sampling backend's seeded streams must make it exactly as
+    /// deterministic as the exact backends: same seed ⇒ bit-identical
+    /// results whether one worker or four ran the batch. (No deadline is
+    /// set, so every stop is convergence- or cap-driven — timing never
+    /// influences the sample count.)
+    #[test]
+    fn sampling_batches_are_bit_identical_across_job_counts() {
+        let circuit = catalog::c17();
+        let options = Options {
+            backend: swact::Backend::Sampling,
+            seed: 42,
+            ..Options::default()
+        };
+        let specs = specs_for(&circuit, 6);
+
+        let serial = Engine::with_jobs(1)
+            .estimate_batch(&circuit, &specs, &options)
+            .unwrap();
+        let parallel = Engine::with_jobs_forced(4)
+            .estimate_batch(&circuit, &specs, &options)
+            .unwrap();
+
+        for (a, b) in serial.items.iter().zip(&parallel.items) {
+            assert_eq!(a.index, b.index);
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert!(a.accuracy().is_some(), "sampled estimates carry accuracy");
+            assert_eq!(a.accuracy(), b.accuracy());
+            for (x, y) in a.switching_all().iter().zip(b.switching_all().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_metrics_count_segments_samples_and_outcomes() {
+        let circuit = catalog::c17();
+        let options = Options {
+            backend: swact::Backend::Sampling,
+            seed: 1,
+            ..Options::default()
+        };
+        let engine = Engine::with_jobs(1);
+        let report = engine
+            .estimate_batch(&circuit, &specs_for(&circuit, 2), &options)
+            .unwrap();
+        assert!(report.all_ok());
+        let metrics = engine.metrics();
+        assert!(metrics.sampled_segments > 0);
+        assert!(metrics.samples_drawn > 0);
+        assert_eq!(metrics.sampling_converged + metrics.sampling_timed_out, 2);
+    }
+
     fn temp_cache_dir(tag: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("swact-engine-cache-{tag}-{}", std::process::id()));
@@ -769,6 +835,39 @@ mod tests {
 
         for (a, b) in first.items.iter().zip(&second.items) {
             let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            for (x, y) in a.switching_all().iter().zip(b.switching_all().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The sampling stream seed is computed at compile time and travels
+    /// inside the persisted artifact, so a warm-started engine must draw
+    /// the exact same samples a cold compile would.
+    #[test]
+    fn sampling_warm_start_is_bit_identical_to_cold_compile() {
+        let dir = temp_cache_dir("warm-sampling");
+        let circuit = catalog::c17();
+        let options = Options {
+            backend: swact::Backend::Sampling,
+            seed: 9,
+            ..Options::default()
+        };
+        let specs = specs_for(&circuit, 3);
+
+        let cold = Engine::with_jobs(1).with_cache_dir(&dir);
+        let first = cold.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(!first.cache_hit);
+        drop(cold);
+
+        let warm = Engine::with_jobs(1).with_cache_dir(&dir);
+        let second = warm.estimate_batch(&circuit, &specs, &options).unwrap();
+        assert!(second.cache_hit, "disk hit must skip the compile");
+
+        for (a, b) in first.items.iter().zip(&second.items) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert_eq!(a.accuracy(), b.accuracy());
             for (x, y) in a.switching_all().iter().zip(b.switching_all().iter()) {
                 assert_eq!(x.to_bits(), y.to_bits());
             }

@@ -35,6 +35,10 @@ pub(crate) struct EngineMetrics {
     pub(crate) segments_skipped: AtomicU64,
     pub(crate) force_ordered_segments: AtomicU64,
     pub(crate) compiled_max_clique_states: AtomicU64,
+    pub(crate) sampled_segments: AtomicU64,
+    pub(crate) samples_drawn: AtomicU64,
+    pub(crate) sampling_converged: AtomicU64,
+    pub(crate) sampling_timed_out: AtomicU64,
 }
 
 impl EngineMetrics {
@@ -80,6 +84,10 @@ impl EngineMetrics {
             segments_skipped: self.segments_skipped.load(Ordering::Relaxed),
             force_ordered_segments: self.force_ordered_segments.load(Ordering::Relaxed),
             compiled_max_clique_states: self.compiled_max_clique_states.load(Ordering::Relaxed),
+            sampled_segments: self.sampled_segments.load(Ordering::Relaxed),
+            samples_drawn: self.samples_drawn.load(Ordering::Relaxed),
+            sampling_converged: self.sampling_converged.load(Ordering::Relaxed),
+            sampling_timed_out: self.sampling_timed_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -169,6 +177,16 @@ pub struct MetricsSnapshot {
     /// (cache misses only), rounded to the nearest integer — the memory
     /// hot spot the ordering strategies exist to shrink.
     pub compiled_max_clique_states: u64,
+    /// Segments compiled for the anytime sampling backend (primary or via
+    /// the degradation ladder), summed over cache-miss compiles.
+    pub sampled_segments: u64,
+    /// Likelihood-weighting samples drawn across all sampled requests.
+    pub samples_drawn: u64,
+    /// Requests whose sampled estimate met its confidence-interval target.
+    pub sampling_converged: u64,
+    /// Requests whose sampler stopped on the deadline or batch cap before
+    /// reaching the confidence-interval target.
+    pub sampling_timed_out: u64,
 }
 
 impl MetricsSnapshot {
@@ -228,6 +246,10 @@ impl MetricsSnapshot {
                 "compiled_max_clique_states",
                 self.compiled_max_clique_states as f64,
             ),
+            ("sampled_segments", self.sampled_segments as f64),
+            ("samples_drawn", self.samples_drawn as f64),
+            ("sampling_converged", self.sampling_converged as f64),
+            ("sampling_timed_out", self.sampling_timed_out as f64),
         ]
     }
 }

@@ -195,6 +195,43 @@ fn batch_preserves_submission_order_and_flags_cache_hits() {
     server.wait();
 }
 
+/// The degradation-ladder summary and accuracy report introduced for the
+/// sampling rung round-trip through both inference endpoints: every
+/// estimate object carries an `accuracy` field (null for exact backends)
+/// and a `degradation_counts` object with one counter per rung, matching
+/// the wire encoding of a direct engine call byte for byte.
+#[test]
+fn estimate_and_batch_report_accuracy_and_per_rung_counts() {
+    let server = start_server(ClientTable::default());
+    let addr = server.local_addr();
+
+    let body = r#"{"circuit":"c17","p1":[0.1,0.2,0.3,0.4,0.5]}"#;
+    let single = call(addr, &post("/v1/estimate", None, body));
+    assert_eq!(single.status, 200);
+    assert!(single.body.contains("\"accuracy\":null"));
+    assert!(single
+        .body
+        .contains("\"degradation_counts\":{\"replanned\":0,\"twostate\":0,\"sampling\":0}"));
+
+    let circuit = catalog::c17();
+    let spec = InputSpec::independent(vec![0.1, 0.2, 0.3, 0.4, 0.5]);
+    let direct = swact::estimate(&circuit, &spec, &Options::default()).expect("direct estimate");
+    assert_eq!(
+        wire::degradation_counts_json(direct.degradations()),
+        "{\"replanned\":0,\"twostate\":0,\"sampling\":0}"
+    );
+    assert_eq!(single.body, wire::estimate_json(&direct, &circuit));
+
+    let batch_body = r#"{"circuit":"c17","scenarios":[{"p1":[0.1,0.2,0.3,0.4,0.5]},{}]}"#;
+    let batch = call(addr, &post("/v1/batch", None, batch_body));
+    assert_eq!(batch.status, 200);
+    assert_eq!(batch.body.matches("\"accuracy\":").count(), 2);
+    assert_eq!(batch.body.matches("\"degradation_counts\":").count(), 2);
+
+    server.handle().shutdown();
+    server.wait();
+}
+
 #[test]
 fn sweep_streams_one_chunked_line_per_scenario_in_order() {
     let server = start_server(ClientTable::default());

@@ -31,10 +31,12 @@ mod activity;
 mod montecarlo;
 mod sequential;
 mod simulator;
+mod stopping;
 mod stream;
 
 pub use activity::{measure_activity, replay_vectors, ActivityMeasurement};
 pub use montecarlo::{MonteCarloEstimator, MonteCarloOptions, MonteCarloResult};
 pub use sequential::measure_activity_sequential;
 pub use simulator::Simulator;
+pub use stopping::StoppingRule;
 pub use stream::{SignalModel, SpatialGroup, StreamModel, StreamSampler};

@@ -8,7 +8,7 @@
 
 use swact_circuit::Circuit;
 
-use crate::{measure_activity, StreamModel};
+use crate::{measure_activity, StoppingRule, StreamModel};
 
 /// Options for [`MonteCarloEstimator`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,10 +87,9 @@ impl MonteCarloEstimator {
         let opts = self.options;
         let n = circuit.num_lines();
         let mut per_line_sum = vec![0.0; n];
-        let mut mean_samples: Vec<f64> = Vec::with_capacity(opts.max_batches);
+        let mut rule = StoppingRule::new(opts.z_score);
         let mut pairs = 0usize;
         let mut converged = false;
-        let mut half_width = f64::INFINITY;
 
         for batch in 0..opts.max_batches {
             let m = measure_activity(
@@ -103,25 +102,16 @@ impl MonteCarloEstimator {
             for (acc, s) in per_line_sum.iter_mut().zip(&m.switching) {
                 *acc += s;
             }
-            mean_samples.push(m.mean_switching());
-            if mean_samples.len() >= 2 {
-                let k = mean_samples.len() as f64;
-                let mean: f64 = mean_samples.iter().sum::<f64>() / k;
-                let var: f64 = mean_samples
-                    .iter()
-                    .map(|x| (x - mean) * (x - mean))
-                    .sum::<f64>()
-                    / (k - 1.0);
-                half_width = opts.z_score * (var / k).sqrt();
-                if mean > 0.0 && half_width <= opts.relative_error * mean {
-                    converged = true;
-                }
+            rule.push(m.mean_switching());
+            if rule.within_relative(opts.relative_error) {
+                converged = true;
             }
             if converged {
                 break;
             }
         }
-        let batches = mean_samples.len();
+        let half_width = rule.half_width();
+        let batches = rule.len();
         let switching: Vec<f64> = per_line_sum
             .into_iter()
             .map(|s| s / batches as f64)

@@ -1,0 +1,130 @@
+//! The Burch/Najm normal-approximation stopping rule as a reusable type.
+//!
+//! [`MonteCarloEstimator`](crate::MonteCarloEstimator) historically inlined
+//! this arithmetic; it now drives the same rule through this type, and the
+//! anytime sampling backend in `swact` reuses it for per-segment confidence
+//! intervals. Batch means are treated as i.i.d. normal samples: after `k ≥ 2`
+//! batches the half-width of the confidence interval on their mean is
+//! `z · sqrt(s² / k)` with `s²` the unbiased sample variance.
+//!
+//! The arithmetic (summation order included) is kept exactly as the original
+//! estimator computed it, so the refactor is bit-identical.
+
+/// Running confidence-interval tracker over a stream of batch means.
+#[derive(Debug, Clone)]
+pub struct StoppingRule {
+    z_score: f64,
+    samples: Vec<f64>,
+    mean: f64,
+    half_width: f64,
+}
+
+impl StoppingRule {
+    /// Creates a rule for the given confidence z-score (1.96 ≈ 95 %).
+    pub fn new(z_score: f64) -> StoppingRule {
+        StoppingRule {
+            z_score,
+            samples: Vec::new(),
+            mean: 0.0,
+            half_width: f64::INFINITY,
+        }
+    }
+
+    /// Records one batch mean and updates the interval.
+    pub fn push(&mut self, sample: f64) {
+        self.samples.push(sample);
+        let k = self.samples.len() as f64;
+        self.mean = self.samples.iter().sum::<f64>() / k;
+        if self.samples.len() >= 2 {
+            let mean = self.mean;
+            let var: f64 = self
+                .samples
+                .iter()
+                .map(|x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (k - 1.0);
+            self.half_width = self.z_score * (var / k).sqrt();
+        }
+    }
+
+    /// Number of batch means recorded so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no batch means have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Running mean of the recorded batch means (0 before the first push).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current half-width of the confidence interval on the mean
+    /// (infinite until two batches are in).
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// The configured z-score.
+    pub fn z_score(&self) -> f64 {
+        self.z_score
+    }
+
+    /// Relative convergence: half-width within `relative_error · mean`
+    /// (requires a strictly positive mean, matching Burch/Najm).
+    pub fn within_relative(&self, relative_error: f64) -> bool {
+        self.samples.len() >= 2 && self.mean > 0.0 && self.half_width <= relative_error * self.mean
+    }
+
+    /// Absolute convergence: half-width within `target`.
+    pub fn within_absolute(&self, target: f64) -> bool {
+        self.samples.len() >= 2 && self.half_width <= target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_tightens_with_samples() {
+        let mut rule = StoppingRule::new(1.96);
+        assert!(rule.is_empty());
+        assert!(!rule.within_absolute(1.0));
+        rule.push(0.5);
+        assert_eq!(rule.len(), 1);
+        assert!(rule.half_width().is_infinite());
+        // A second identical sample collapses the variance to zero.
+        rule.push(0.5);
+        assert_eq!(rule.half_width(), 0.0);
+        assert!(rule.within_absolute(1e-12));
+        assert!(rule.within_relative(1e-12));
+        assert!((rule.mean() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relative_rule_requires_positive_mean() {
+        let mut rule = StoppingRule::new(1.96);
+        rule.push(0.0);
+        rule.push(0.0);
+        assert_eq!(rule.half_width(), 0.0);
+        assert!(!rule.within_relative(0.02));
+        assert!(rule.within_absolute(0.0));
+    }
+
+    #[test]
+    fn matches_hand_computed_interval() {
+        let mut rule = StoppingRule::new(2.0);
+        for x in [1.0, 2.0, 3.0] {
+            rule.push(x);
+        }
+        // mean 2, var 1, half-width = 2 * sqrt(1/3)
+        assert!((rule.mean() - 2.0).abs() < 1e-15);
+        assert!((rule.half_width() - 2.0 * (1.0f64 / 3.0).sqrt()).abs() < 1e-15);
+        assert!(rule.within_relative(0.6));
+        assert!(!rule.within_relative(0.5));
+    }
+}

@@ -43,6 +43,7 @@ fn injected_job_panic_becomes_a_structured_500_and_the_server_survives() {
         handlers: 2,
         clients: ClientTable::default(),
         drain: Duration::from_secs(5),
+        cache_dir: None,
     })
     .expect("bind");
     let addr = server.local_addr();
