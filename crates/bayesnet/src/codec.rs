@@ -21,8 +21,8 @@
 use std::fmt;
 
 use crate::junction::{JunctionTree, TreeEdge};
-use crate::sparse::{EdgeProj, PropagationKernels};
-use crate::{CompiledTree, Factor, SparseMode, VarId};
+use crate::sparse::{BlockedProj, EdgeProj, PropagationKernels, SideProj};
+use crate::{CompiledTree, Factor, KernelMode, SparseMode, VarId};
 
 /// Why a byte stream could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -426,10 +426,64 @@ fn mode_from_tag(tag: u8) -> Result<SparseMode, CodecError> {
     }
 }
 
+fn kernel_tag(kernel: KernelMode) -> u8 {
+    match kernel {
+        KernelMode::Scalar => 0,
+        KernelMode::Simd => 1,
+    }
+}
+
+fn kernel_from_tag(tag: u8) -> Result<KernelMode, CodecError> {
+    match tag {
+        0 => Ok(KernelMode::Scalar),
+        1 => Ok(KernelMode::Simd),
+        other => Err(malformed(format!("unknown kernel-mode tag {other}"))),
+    }
+}
+
+fn write_side_proj(w: &mut Writer, side: &SideProj) {
+    write_u32_list(w, &side.entries);
+    match &side.blocked {
+        None => w.u8(0),
+        Some(blocked) => {
+            w.u8(1);
+            w.u32(blocked.copy_len);
+            w.u32(blocked.sum_reps);
+            write_u32_list(w, &blocked.base);
+        }
+    }
+}
+
+fn read_side_proj(r: &mut Reader<'_>) -> Result<SideProj, CodecError> {
+    let entries = read_u32_list(r)?;
+    let blocked = match r.u8()? {
+        0 => None,
+        1 => {
+            let copy_len = r.u32()?;
+            let sum_reps = r.u32()?;
+            let base = read_u32_list(r)?;
+            let total = (base.len() as u64) * u64::from(sum_reps) * u64::from(copy_len);
+            if total != entries.len() as u64 {
+                return Err(malformed(format!(
+                    "blocked projection covers {total} entries for a {}-entry clique",
+                    entries.len()
+                )));
+            }
+            Some(BlockedProj {
+                copy_len,
+                sum_reps,
+                base,
+            })
+        }
+        other => return Err(malformed(format!("bad blocked-projection tag {other}"))),
+    };
+    Ok(SideProj { entries, blocked })
+}
+
 /// Encodes a [`CompiledTree`] — structure, potentials, schedule, kernels,
 /// and dependency masks — into `w`.
 pub fn write_compiled_tree(w: &mut Writer, compiled: &CompiledTree) {
-    let (tree, potentials, schedule, kernels, mode, home_vars) = compiled.codec_parts();
+    let (tree, potentials, schedule, kernels, mode, kernel, home_vars) = compiled.codec_parts();
     write_tree(w, tree);
     w.usize(potentials.len());
     for pot in potentials {
@@ -453,11 +507,12 @@ pub fn write_compiled_tree(w: &mut Writer, compiled: &CompiledTree) {
     }
     w.usize(kernels.edge_proj.len());
     for proj in &kernels.edge_proj {
-        write_u32_list(w, &proj.a);
-        write_u32_list(w, &proj.b);
+        write_side_proj(w, &proj.a);
+        write_side_proj(w, &proj.b);
     }
     w.usize(kernels.nnz);
     w.u8(mode_tag(mode));
+    w.u8(kernel_tag(kernel));
     w.usize(home_vars.len());
     for vars in home_vars {
         write_var_list(w, vars);
@@ -507,8 +562,8 @@ pub fn read_compiled_tree(r: &mut Reader<'_>) -> Result<CompiledTree, CodecError
     }
     let mut edge_proj = Vec::with_capacity(proj_len);
     for _ in 0..proj_len {
-        let a = read_u32_list(r)?;
-        let b = read_u32_list(r)?;
+        let a = read_side_proj(r)?;
+        let b = read_side_proj(r)?;
         edge_proj.push(EdgeProj { a, b });
     }
     let nnz = r.usize()?;
@@ -518,6 +573,7 @@ pub fn read_compiled_tree(r: &mut Reader<'_>) -> Result<CompiledTree, CodecError
         nnz,
     };
     let mode = mode_from_tag(r.u8()?)?;
+    let kernel = kernel_from_tag(r.u8()?)?;
     let home_len = r.len(8)?;
     if home_len != tree.num_cliques() {
         return Err(malformed("home-variable masks mismatch the cliques"));
@@ -527,7 +583,7 @@ pub fn read_compiled_tree(r: &mut Reader<'_>) -> Result<CompiledTree, CodecError
         home_vars.push(read_var_list(r)?);
     }
     Ok(CompiledTree::from_codec_parts(
-        tree, potentials, schedule, kernels, mode, home_vars,
+        tree, potentials, schedule, kernels, mode, kernel, home_vars,
     ))
 }
 
@@ -565,6 +621,19 @@ mod tests {
         let tree = JunctionTree::compile(&net).unwrap();
         let potentials = crate::initial_potentials(&tree, &net);
         CompiledTree::from_parts_with(tree, potentials, mode)
+    }
+
+    #[test]
+    fn kernel_mode_round_trips() {
+        let net = chain_net();
+        for kernel in KernelMode::ALL {
+            let tree = JunctionTree::compile(&net).unwrap();
+            let potentials = crate::initial_potentials(&tree, &net);
+            let compiled =
+                CompiledTree::from_parts_with_kernel(tree, potentials, SparseMode::Auto, kernel);
+            let decoded = round_trip(&compiled);
+            assert_eq!(decoded.kernel_mode(), kernel);
+        }
     }
 
     fn round_trip(compiled: &CompiledTree) -> CompiledTree {

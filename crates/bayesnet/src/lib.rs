@@ -74,5 +74,5 @@ pub use order::{force_order, layout_span};
 pub use propagate::{
     initial_potentials, CompiledTree, MessageCache, PropagationMode, PropagationState, Propagator,
 };
-pub use sparse::{SparseMode, SPARSE_COST_PER_ENTRY};
+pub use sparse::{KernelMode, SparseMode, SPARSE_COST_PER_ENTRY};
 pub use triangulate::Heuristic;

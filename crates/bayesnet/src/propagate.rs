@@ -1,8 +1,8 @@
 use std::sync::{Mutex, PoisonError};
 
 use crate::junction::JunctionTree;
-use crate::sparse::{self, PropagationKernels};
-use crate::{BayesError, BayesNet, Factor, SparseMode, VarId};
+use crate::sparse::{self, PropagationKernels, SideProj};
+use crate::{BayesError, BayesNet, Factor, KernelMode, SparseMode, VarId};
 
 /// The immutable half of HUGIN propagation: clique structure, initial
 /// potentials, and the collect/distribute message schedule.
@@ -38,6 +38,11 @@ pub struct CompiledTree {
     kernels: PropagationKernels,
     /// The zero-compression policy the kernels were built with.
     mode: SparseMode,
+    /// The summation policy of the blocked kernels ([`KernelMode`]):
+    /// `Scalar` is bit-identical to every reference path, `Simd`
+    /// reassociates sum reductions and therefore never shares a model key
+    /// or persisted artifact with a scalar compile.
+    kernel: KernelMode,
     /// Dependency mask: for each clique, the evidence variables whose
     /// observations are entered *at* that clique (its home variables).
     /// Evidence anywhere else reaches the clique only through messages, so
@@ -104,6 +109,25 @@ impl CompiledTree {
         potentials: Vec<Factor>,
         mode: SparseMode,
     ) -> CompiledTree {
+        CompiledTree::from_parts_with_kernel(tree, potentials, mode, KernelMode::default())
+    }
+
+    /// [`from_parts_with`](CompiledTree::from_parts_with) with an explicit
+    /// blocked-kernel summation policy. [`KernelMode::Scalar`] (the
+    /// default) is bit-identical to every reference path;
+    /// [`KernelMode::Simd`] reassociates sum reductions (see
+    /// [`KernelMode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the potential count or any potential's scope disagrees
+    /// with the tree.
+    pub fn from_parts_with_kernel(
+        tree: JunctionTree,
+        potentials: Vec<Factor>,
+        mode: SparseMode,
+        kernel: KernelMode,
+    ) -> CompiledTree {
         validate_potentials(&tree, &potentials);
         let schedule = build_schedule(&tree);
         let kernels = PropagationKernels::build(&tree, &potentials, mode);
@@ -118,6 +142,7 @@ impl CompiledTree {
             schedule,
             kernels,
             mode,
+            kernel,
             home_vars,
         }
     }
@@ -168,6 +193,11 @@ impl CompiledTree {
         self.mode
     }
 
+    /// The blocked-kernel summation policy this tree was compiled with.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
+    }
+
     /// How many cliques actually got a zero-compressed support list.
     pub fn compressed_cliques(&self) -> usize {
         self.kernels.compressed_cliques()
@@ -202,6 +232,7 @@ impl CompiledTree {
         &[(usize, usize, usize)],
         &PropagationKernels,
         SparseMode,
+        KernelMode,
         &[Vec<VarId>],
     ) {
         (
@@ -210,6 +241,7 @@ impl CompiledTree {
             &self.schedule,
             &self.kernels,
             self.mode,
+            self.kernel,
             &self.home_vars,
         )
     }
@@ -226,6 +258,7 @@ impl CompiledTree {
         schedule: Vec<(usize, usize, usize)>,
         kernels: PropagationKernels,
         mode: SparseMode,
+        kernel: KernelMode,
         home_vars: Vec<Vec<VarId>>,
     ) -> CompiledTree {
         CompiledTree {
@@ -234,6 +267,7 @@ impl CompiledTree {
             schedule,
             kernels,
             mode,
+            kernel,
             home_vars,
         }
     }
@@ -268,6 +302,9 @@ impl CompiledTree {
             likelihood: vec![None; self.tree.num_vars()],
             soft_factors: Vec::new(),
             scratch: Vec::with_capacity(self.tree.max_sepset_states()),
+            path_msg: Factor::scalar(1.0),
+            path_next: Factor::scalar(1.0),
+            path_keep: Vec::new(),
             calibrated: false,
             max_mode: false,
             evidence_probability: 1.0,
@@ -332,6 +369,25 @@ impl CompiledTree {
             &self.schedule,
             state,
             false,
+            KernelDispatch::Blocked(self.kernel),
+        );
+    }
+
+    /// [`calibrate`](CompiledTree::calibrate) through the per-entry
+    /// projection tables instead of the blocked kernels — the previous
+    /// kernel generation, kept as the measured baseline of the kernel
+    /// microbenchmarks and the bit-identity reference of the equivalence
+    /// tests. Not part of the supported API.
+    #[doc(hidden)]
+    pub fn calibrate_two_pass(&self, state: &mut PropagationState) {
+        calibrate_impl(
+            &self.tree,
+            &self.kernels,
+            &self.init_clique_pot,
+            &self.schedule,
+            state,
+            false,
+            KernelDispatch::Legacy,
         );
     }
 
@@ -369,7 +425,49 @@ impl CompiledTree {
             &self.home_vars,
             state,
             cache,
+            KernelDispatch::Blocked(self.kernel),
         )
+    }
+
+    /// Whether keying the message cache pays for itself on this tree.
+    ///
+    /// [`calibrate_with_cache`](CompiledTree::calibrate_with_cache) spends
+    /// a fixed overhead per sweep before it can match a single message:
+    /// one FNV-128 pass over every evidence word that could be entered
+    /// plus two 128-bit folds per edge. What a hit *saves* is the
+    /// sender-side marginalize of one collect message. On tiny trees the
+    /// hashing exceeds the marginalizing it could ever skip (the c17
+    /// sweep regression: reuse ratio 1.0 yet 0.88x throughput), so
+    /// callers that own the warm/cold policy should fall back to the
+    /// plain [`calibrate`](CompiledTree::calibrate) when this returns
+    /// `false` — results are bit-identical either way, only the
+    /// bookkeeping differs.
+    ///
+    /// The estimate is deterministic in the compiled fields alone
+    /// (schedule, kernels, cardinalities), so a codec-loaded artifact
+    /// decides exactly like the fresh compile it was written from.
+    pub fn message_cache_worthwhile(&self) -> bool {
+        // Worst-case words hashed per sweep: likelihood evidence on every
+        // variable (tag + var + one word per state), plus two 128-bit
+        // key folds (4 u64 words) per edge.
+        let evidence_words: usize = (0..self.tree.num_vars())
+            .map(|raw| 2 + self.tree.card(VarId::from_index(raw)))
+            .sum();
+        let hash_words = evidence_words + 4 * self.tree.num_edges();
+        // Byte-at-a-time FNV over a u64 word costs eight 128-bit
+        // multiplies — roughly 16 dense table entries' worth of streaming
+        // adds, measured on the kernel microbenchmarks.
+        let hash_cost = hash_words * 16;
+        // A full-reuse sweep skips every collect-side marginalize.
+        let collect_savings: usize = self
+            .schedule
+            .iter()
+            .map(|&(from, _, _)| match &self.kernels.support[from] {
+                Some(s) => sparse::SPARSE_COST_PER_ENTRY * s.len(),
+                None => self.init_clique_pot[from].len(),
+            })
+            .sum();
+        collect_savings > hash_cost
     }
 
     /// Max-product calibration of `state`; see
@@ -382,6 +480,7 @@ impl CompiledTree {
             &self.schedule,
             state,
             true,
+            KernelDispatch::Blocked(self.kernel),
         );
     }
 
@@ -419,6 +518,26 @@ impl CompiledTree {
         pairwise_marginal_impl(&self.tree, state, a, b)
     }
 
+    /// [`pairwise_marginal`](CompiledTree::pairwise_marginal) routed
+    /// through the state's path scratch factors: the per-step messages of
+    /// the clique-path walk are fused (product + marginalize in one pass)
+    /// into two ping-ponged buffers owned by `state`, so repeated pairwise
+    /// reads allocate no intermediate factor tables once the buffers have
+    /// grown to the path's largest message. Results are bit-identical to
+    /// the borrowing form — same kernels, same order, reused storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is not sum-calibrated or `a == b`.
+    pub fn pairwise_marginal_scratch(
+        &self,
+        state: &mut PropagationState,
+        a: VarId,
+        b: VarId,
+    ) -> Option<Factor> {
+        pairwise_marginal_scratch_impl(&self.tree, state, a, b)
+    }
+
     /// Decodes the most probable explanation from a max-calibrated state;
     /// see [`Propagator::most_probable_assignment`].
     ///
@@ -453,6 +572,13 @@ pub struct PropagationState {
     /// Sepset-sized message buffer reused by every absorb, so calibration
     /// allocates nothing in steady state.
     scratch: Vec<f64>,
+    /// Ping-pong factor buffers for the pairwise clique-path walk
+    /// ([`CompiledTree::pairwise_marginal_scratch`]), so repeated boundary
+    /// reads allocate no intermediate tables in steady state.
+    path_msg: Factor,
+    path_next: Factor,
+    /// Reused scope buffer for the same walk (sepset plus one variable).
+    path_keep: Vec<VarId>,
     calibrated: bool,
     /// Whether the last calibration was sum-product or max-product.
     max_mode: bool,
@@ -619,6 +745,9 @@ impl<'t> Propagator<'t> {
             likelihood: vec![None; tree.num_vars()],
             soft_factors: Vec::new(),
             scratch: Vec::with_capacity(tree.max_sepset_states()),
+            path_msg: Factor::scalar(1.0),
+            path_next: Factor::scalar(1.0),
+            path_keep: Vec::new(),
             calibrated: false,
             max_mode: false,
             evidence_probability: 1.0,
@@ -701,6 +830,7 @@ impl<'t> Propagator<'t> {
             &self.schedule,
             &mut self.state,
             false,
+            KernelDispatch::default(),
         );
     }
 
@@ -718,6 +848,7 @@ impl<'t> Propagator<'t> {
             &self.schedule,
             &mut self.state,
             true,
+            KernelDispatch::default(),
         );
     }
 
@@ -933,6 +1064,59 @@ fn finish_calibration(tree: &JunctionTree, state: &mut PropagationState, max_mod
     state.max_mode = max_mode;
 }
 
+/// Which kernel generation an absorption runs through.
+///
+/// `Blocked` is the production path: stride-aware blocked kernels for
+/// dense cliques (with the given [`KernelMode`] summation policy), the
+/// support-list kernels for zero-compressed ones. `Legacy` forces the
+/// per-entry projection tables everywhere — the previous generation, kept
+/// as the measured microbenchmark baseline and the equivalence-test
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelDispatch {
+    Legacy,
+    Blocked(KernelMode),
+}
+
+impl Default for KernelDispatch {
+    fn default() -> KernelDispatch {
+        KernelDispatch::Blocked(KernelMode::default())
+    }
+}
+
+/// Sender-side marginalize through the projection the dispatch selects.
+fn marginalize_side(
+    values: &[f64],
+    support: Option<&[u32]>,
+    side: &SideProj,
+    target: &mut [f64],
+    max_mode: bool,
+    dispatch: KernelDispatch,
+) {
+    match (support, dispatch, &side.blocked) {
+        (None, KernelDispatch::Blocked(mode), Some(blocked)) => {
+            sparse::marginalize_blocked(values, blocked, target, max_mode, mode);
+        }
+        _ => sparse::marginalize_into(values, support, &side.entries, target, max_mode),
+    }
+}
+
+/// Receiver-side multiply through the projection the dispatch selects.
+fn multiply_side(
+    values: &mut [f64],
+    support: Option<&[u32]>,
+    side: &SideProj,
+    update: &[f64],
+    dispatch: KernelDispatch,
+) {
+    match (support, dispatch, &side.blocked) {
+        (None, KernelDispatch::Blocked(_), Some(blocked)) => {
+            sparse::multiply_blocked(values, blocked, update);
+        }
+        _ => sparse::multiply_from(values, support, &side.entries, update),
+    }
+}
+
 fn calibrate_impl(
     tree: &JunctionTree,
     kernels: &PropagationKernels,
@@ -940,15 +1124,16 @@ fn calibrate_impl(
     schedule: &[(usize, usize, usize)],
     state: &mut PropagationState,
     max_mode: bool,
+    dispatch: KernelDispatch,
 ) {
     enter_evidence(tree, init_clique_pot, state);
     // Collect: leaves towards roots.
     for &(from, edge, to) in schedule {
-        absorb(tree, kernels, state, from, edge, to, max_mode);
+        absorb(tree, kernels, state, from, edge, to, max_mode, dispatch);
     }
     // Distribute: roots towards leaves.
     for &(from, edge, to) in schedule.iter().rev() {
-        absorb(tree, kernels, state, to, edge, from, max_mode);
+        absorb(tree, kernels, state, to, edge, from, max_mode, dispatch);
     }
     finish_calibration(tree, state, max_mode);
 }
@@ -1011,6 +1196,7 @@ fn clique_evidence_hashes(home_vars: &[Vec<VarId>], state: &PropagationState) ->
     hashes
 }
 
+#[allow(clippy::too_many_arguments)]
 fn calibrate_cached_impl(
     tree: &JunctionTree,
     kernels: &PropagationKernels,
@@ -1019,6 +1205,7 @@ fn calibrate_cached_impl(
     home_vars: &[Vec<VarId>],
     state: &mut PropagationState,
     cache: &MessageCache,
+    dispatch: KernelDispatch,
 ) -> (u64, u64) {
     enter_evidence(tree, init_clique_pot, state);
     // Dependency keys, folded along the collect schedule: when edge
@@ -1042,6 +1229,7 @@ fn calibrate_cached_impl(
             (from, edge, to),
             edge_key[edge],
             cache,
+            dispatch,
         ) {
             reused += 1;
         } else {
@@ -1053,7 +1241,7 @@ fn calibrate_cached_impl(
     // includes the perturbed prior, so caching it could never hit.
     // Whole-tree reuse is the segment memoization layer's job.
     for &(from, edge, to) in schedule.iter().rev() {
-        absorb(tree, kernels, state, to, edge, from, false);
+        absorb(tree, kernels, state, to, edge, from, false, dispatch);
     }
     finish_calibration(tree, state, false);
     (reused, recomputed)
@@ -1062,6 +1250,7 @@ fn calibrate_cached_impl(
 /// One HUGIN absorption: `to` absorbs from `from` across `edge`, entirely
 /// through the compile-time projection tables — no scope merges, no
 /// odometer walks, no allocation (the message lives in `state.scratch`).
+#[allow(clippy::too_many_arguments)]
 fn absorb(
     tree: &JunctionTree,
     kernels: &PropagationKernels,
@@ -1070,6 +1259,7 @@ fn absorb(
     edge: usize,
     to: usize,
     max_mode: bool,
+    dispatch: KernelDispatch,
 ) {
     let e = tree.edge(edge);
     let proj = &kernels.edge_proj[edge];
@@ -1081,14 +1271,15 @@ fn absorb(
     let sep_len = state.sep_pot[edge].len();
     state.scratch.resize(sep_len, 0.0);
     // (1) New sepset potential: marginalize the sender into scratch.
-    sparse::marginalize_into(
+    marginalize_side(
         state.clique_pot[from].values(),
         kernels.support[from].as_deref(),
         proj_from,
         &mut state.scratch[..sep_len],
         max_mode,
+        dispatch,
     );
-    commit_message(kernels, state, edge, to, proj_to);
+    commit_message(kernels, state, edge, to, proj_to, dispatch);
 }
 
 /// [`absorb`] with a per-edge message cache (sum-product only): on a
@@ -1105,6 +1296,7 @@ fn absorb_cached(
     (from, edge, to): (usize, usize, usize),
     key: u128,
     cache: &MessageCache,
+    dispatch: KernelDispatch,
 ) -> bool {
     let e = tree.edge(edge);
     let proj = &kernels.edge_proj[edge];
@@ -1129,12 +1321,13 @@ fn absorb_cached(
         }
     }
     if !reused {
-        sparse::marginalize_into(
+        marginalize_side(
             state.clique_pot[from].values(),
             kernels.support[from].as_deref(),
             proj_from,
             &mut state.scratch[..sep_len],
             false,
+            dispatch,
         );
         let mut slot = cache.slots[edge]
             .lock()
@@ -1153,7 +1346,7 @@ fn absorb_cached(
             }
         }
     }
-    commit_message(kernels, state, edge, to, proj_to);
+    commit_message(kernels, state, edge, to, proj_to, dispatch);
     reused
 }
 
@@ -1165,7 +1358,8 @@ fn commit_message(
     state: &mut PropagationState,
     edge: usize,
     to: usize,
-    proj_to: &[u32],
+    proj_to: &SideProj,
+    dispatch: KernelDispatch,
 ) {
     let sep_len = state.sep_pot[edge].len();
     // (2) Store the message, turning scratch into the update ratio new/old
@@ -1187,11 +1381,12 @@ fn commit_message(
         };
     }
     // (3) Multiply the update into the receiver.
-    sparse::multiply_from(
+    multiply_side(
         state.clique_pot[to].values_mut(),
         kernels.support[to].as_deref(),
         proj_to,
         &state.scratch[..sep_len],
+        dispatch,
     );
 }
 
@@ -1265,6 +1460,60 @@ fn pairwise_marginal_impl(
     let (_, last_clique) = *path.last()?;
     let mut joint =
         state.clique_pot[last_clique].product_marginalize(&message, &[a.min(b), a.max(b)]);
+    joint.normalize();
+    Some(joint)
+}
+
+/// [`pairwise_marginal_impl`] with the per-step messages fused into the
+/// state's ping-pong path buffers: the same walk, the same kernels in the
+/// same order (so bit-identical results), but each intermediate lands in
+/// reused storage instead of a fresh factor. Only the returned joint —
+/// which the caller keeps — is allocated.
+fn pairwise_marginal_scratch_impl(
+    tree: &JunctionTree,
+    state: &mut PropagationState,
+    a: VarId,
+    b: VarId,
+) -> Option<Factor> {
+    assert!(state.calibrated, "call calibrate() first");
+    assert!(
+        !state.max_mode,
+        "sum-calibration required; call calibrate()"
+    );
+    assert_ne!(a, b, "pairwise marginal needs two distinct variables");
+    if let Some(joint) = joint_marginal_impl(tree, state, &[a.min(b), a.max(b)]) {
+        return Some(joint);
+    }
+    let ca = tree.home_clique(a);
+    let cb = tree.home_clique(b);
+    let path = tree.clique_path(ca, cb)?;
+    let (first_edge, _) = *path.first()?;
+    state.path_keep.clear();
+    state
+        .path_keep
+        .extend_from_slice(&tree.edge(first_edge).sepset);
+    state.path_keep.push(a);
+    state.clique_pot[ca].marginalize_keep_into(&state.path_keep, &mut state.path_msg);
+    state.path_msg.div_assign_sub(&state.sep_pot[first_edge]);
+    for window in path.windows(2) {
+        let (_, clique) = window[0];
+        let (next_edge, _) = window[1];
+        state.path_keep.clear();
+        state
+            .path_keep
+            .extend_from_slice(&tree.edge(next_edge).sepset);
+        state.path_keep.push(a);
+        state.clique_pot[clique].product_marginalize_into(
+            &state.path_msg,
+            &state.path_keep,
+            &mut state.path_next,
+        );
+        state.path_next.div_assign_sub(&state.sep_pot[next_edge]);
+        std::mem::swap(&mut state.path_msg, &mut state.path_next);
+    }
+    let (_, last_clique) = *path.last()?;
+    let mut joint =
+        state.clique_pot[last_clique].product_marginalize(&state.path_msg, &[a.min(b), a.max(b)]);
     joint.normalize();
     Some(joint)
 }
@@ -2140,11 +2389,11 @@ mod tests {
 
     #[test]
     fn auto_mode_compresses_past_the_break_even_point() {
-        // A one-hot CPT for a 4-valued child of two binary inputs leaves
-        // 4 of 16 clique states alive (zero fraction 0.75 > 2/3), so the
+        // A one-hot CPT for an 8-valued child of two binary inputs leaves
+        // 4 of 32 clique states alive (zero fraction 0.875 > 4/5), so the
         // per-clique cost model picks the sparse path for it.
         let one_hot = |i: usize| {
-            let mut row = vec![0.0; 4];
+            let mut row = vec![0.0; 8];
             row[i] = 1.0;
             row
         };
@@ -2157,7 +2406,7 @@ mod tests {
             .unwrap();
         net.add_var(
             "pair",
-            4,
+            8,
             &[a, b],
             Cpt::rows(vec![one_hot(0), one_hot(1), one_hot(2), one_hot(3)]),
         )
@@ -2167,7 +2416,7 @@ mod tests {
         assert_eq!(compiled.sparse_mode(), SparseMode::Auto);
         assert!(
             compiled.compressed_cliques() > 0,
-            "a 75%-zero clique clears the 3·nnz < len break-even point"
+            "an 87.5%-zero clique clears the 5·nnz < len break-even point"
         );
         let dense = CompiledTree::from_parts_with(
             JunctionTree::compile(&net).unwrap(),

@@ -37,9 +37,9 @@ use crate::{Factor, VarId};
 ///
 /// `Auto` (the default) decides per clique on a measured cost model:
 /// iterating a support list costs [`SPARSE_COST_PER_ENTRY`] indexed loads
-/// per surviving entry where the dense loops cost one sequential
-/// (prefetch-friendly) load per table entry, so a clique is compressed
-/// only when `SPARSE_COST_PER_ENTRY · nnz < len` — more than two thirds
+/// per surviving entry where the blocked dense kernels cost one sequential
+/// (autovectorized) load per table entry, so a clique is compressed
+/// only when `SPARSE_COST_PER_ENTRY · nnz < len` — more than four fifths
 /// of its entries must be zero before skipping them wins. `On` forces
 /// compression of every clique with at least one zero; `Off` keeps the
 /// flat dense loops everywhere (the two paths are equivalence-tested, so
@@ -88,27 +88,132 @@ impl std::str::FromStr for SparseMode {
     }
 }
 
+/// Floating-point summation policy of the blocked marginalize kernels.
+///
+/// `Scalar` (the default) keeps every reduction in the exact order of the
+/// per-entry reference loops, so results are bit-identical
+/// (`f64::to_bits`) to every earlier kernel generation — the blocked
+/// layout only changes *how* entries are addressed, never the order in
+/// which they combine. `Simd` additionally splits single-slot sum
+/// reductions across four independent accumulators so the autovectorizer
+/// can keep f64 lanes busy; that reassociates the adds, which changes
+/// low-order bits. Results still agree with `Scalar` to ~1e-12 relative,
+/// but because they are not bit-identical, the mode is hashed into the
+/// engine model key and the artifact options codec: a simd compile can
+/// never share a cache entry or persisted artifact with a scalar one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelMode {
+    /// Order-preserving reductions; bit-identical to the reference path.
+    #[default]
+    Scalar,
+    /// Reassociating 4-lane accumulators for sum reductions (opt-in).
+    Simd,
+}
+
+impl KernelMode {
+    /// All modes, for CLI help and error messages.
+    pub const ALL: [KernelMode; 2] = [KernelMode::Scalar, KernelMode::Simd];
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelMode::Scalar => "scalar",
+            KernelMode::Simd => "simd",
+        })
+    }
+}
+
+impl std::str::FromStr for KernelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<KernelMode, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(KernelMode::Scalar),
+            "simd" => Ok(KernelMode::Simd),
+            other => Err(format!(
+                "unknown kernel mode `{other}` (expected scalar or simd)"
+            )),
+        }
+    }
+}
+
 /// Relative cost of one support-list entry versus one dense table entry.
 ///
 /// The sparse kernels touch three indexed words per surviving entry (the
 /// support index, the projection slot, and the value it gathers/scatters)
-/// where the dense loops stream one sequential word per table entry behind
-/// the hardware prefetcher. `SparseMode::Auto` compresses a clique only
-/// when `SPARSE_COST_PER_ENTRY · nnz < len`, i.e. when more than two
-/// thirds of the table is zero. The old rule (compress at ≥ 50% zeros)
-/// made `Auto` *slower* than dense on c880, whose cliques sit right at the
-/// half-zero break-even (BENCH_sparse.json, 0.934x); the 75%-zero
-/// deterministic-gate cliques the optimization exists for still clear this
-/// bar comfortably.
-pub const SPARSE_COST_PER_ENTRY: usize = 3;
+/// where the blocked dense kernels stream contiguous runs the compiler
+/// autovectorizes. `SparseMode::Auto` compresses a clique only when
+/// `SPARSE_COST_PER_ENTRY · nnz < len`, i.e. when more than four fifths
+/// of the table is zero. The constant is recalibrated against the fused
+/// blocked kernels: the previous value (3, >2/3 zeros, itself raised from
+/// the original ≥50% rule that lost on c880) was measured against the
+/// per-entry dense loops, but blocking sped the dense sweep up by another
+/// 1.5–2x on the ISCAS/MCNC set (BENCH_kernels.json), which moved the
+/// break-even — under the old constant `Auto` was 0.93x on alu2, whose
+/// compressed cliques sit in the 67–80% zero band. The 96%-zero
+/// deterministic-gate cliques the optimization exists for still clear
+/// this bar comfortably.
+pub const SPARSE_COST_PER_ENTRY: usize = 5;
+
+/// Blocked (stride-aware) decomposition of a dense clique→sepset
+/// projection.
+///
+/// The clique table in canonical row-major layout factors into
+/// `base.len() × sum_reps × copy_len` entries: walking dimensions from the
+/// innermost outward, `copy_len` is the size of the maximal suffix of
+/// *kept* dimensions whose sepset strides are natural (contiguous — the
+/// suffix maps onto a contiguous target run), `sum_reps` the size of the
+/// run of *summed-out* dimensions immediately above it, and `base` the
+/// per-block target offsets enumerated over the remaining prefix
+/// dimensions in ascending source order.
+///
+/// The blocked kernels then walk `values` in one sequential sweep:
+///
+/// ```text
+/// for (block, base) { for rep in 0..sum_reps {
+///     target[base..base+copy_len] += values[next copy_len entries]
+/// } }
+/// ```
+///
+/// replacing one `u32` table load + indexed store per entry with
+/// contiguous slice arithmetic the autovectorizer can chunk into f64
+/// lanes. Because blocks and reps are visited in ascending source order,
+/// every target slot receives its contributions in exactly the order of
+/// the per-entry reference loop — the blocked sum (and max, and the
+/// elementwise multiply) is bit-identical by construction, not merely
+/// close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BlockedProj {
+    /// Contiguous run length copied/added per step (≥ 1).
+    pub(crate) copy_len: u32,
+    /// Consecutive source runs folded into the same target run (≥ 1).
+    pub(crate) sum_reps: u32,
+    /// Target offset of each `sum_reps × copy_len` source block, in
+    /// ascending source order.
+    pub(crate) base: Vec<u32>,
+}
+
+/// One clique's side of an edge projection: the per-entry table (aligned
+/// with the support list when the clique is zero-compressed, with the full
+/// table otherwise) plus, for dense cliques, the blocked decomposition the
+/// vectorized kernels walk. The per-entry table is retained even when a
+/// blocked form exists — it drives the sparse kernels, the legacy
+/// reference path (`CompiledTree::calibrate_two_pass`), and the kernel
+/// microbenchmark baseline.
+#[derive(Debug, Clone)]
+pub(crate) struct SideProj {
+    pub(crate) entries: Vec<u32>,
+    pub(crate) blocked: Option<BlockedProj>,
+}
 
 /// Projection tables of one junction-tree edge: entry-to-sepset index maps
 /// for both endpoint cliques, aligned with the owning clique's support
 /// list when that clique is compressed and with its full table otherwise.
 #[derive(Debug, Clone)]
 pub(crate) struct EdgeProj {
-    pub(crate) a: Vec<u32>,
-    pub(crate) b: Vec<u32>,
+    pub(crate) a: SideProj,
+    pub(crate) b: SideProj,
 }
 
 /// Everything the absorb kernels need, computed once at compile time.
@@ -156,12 +261,12 @@ impl PropagationKernels {
             .map(|e| {
                 let edge = tree.edge(e);
                 EdgeProj {
-                    a: clique_to_sepset(
+                    a: side_proj(
                         &potentials[edge.a],
                         &edge.sepset,
                         support[edge.a].as_deref(),
                     ),
-                    b: clique_to_sepset(
+                    b: side_proj(
                         &potentials[edge.b],
                         &edge.sepset,
                         support[edge.b].as_deref(),
@@ -203,6 +308,91 @@ fn compress(mode: SparseMode, nnz: usize, len: usize) -> bool {
     }
 }
 
+/// Both projection forms for one clique side of an edge: the per-entry
+/// table always, the blocked decomposition when the clique is dense.
+fn side_proj(clique: &Factor, sepset: &[VarId], support: Option<&[u32]>) -> SideProj {
+    SideProj {
+        entries: clique_to_sepset(clique, sepset, support),
+        blocked: match support {
+            None => Some(blocked_projection(clique, sepset)),
+            Some(_) => None,
+        },
+    }
+}
+
+/// Per clique dimension, the row-major stride of that dimension in the
+/// sepset table — `0` for summed-out dimensions.
+fn sepset_strides(clique: &Factor, sepset: &[VarId]) -> Vec<usize> {
+    let vars = clique.vars();
+    let cards = clique.cards();
+    let mut target_strides = vec![0usize; vars.len()];
+    // Sepsets are sorted subsets of the clique scope; walk both in
+    // lockstep assigning row-major strides (last sepset var fastest).
+    let mut stride = 1usize;
+    let mut j = sepset.len();
+    for i in (0..vars.len()).rev() {
+        if j > 0 && vars[i] == sepset[j - 1] {
+            j -= 1;
+            target_strides[i] = stride;
+            stride *= cards[i];
+        }
+    }
+    assert_eq!(j, 0, "sepset must be contained in the clique scope");
+    target_strides
+}
+
+/// Decomposes a dense clique→sepset projection into the blocked form the
+/// vectorized kernels walk (see [`BlockedProj`]).
+///
+/// Dimensions are classified from the innermost outward: the maximal
+/// suffix of kept dimensions with natural (contiguous) target strides
+/// becomes the copy run, the run of summed-out dimensions directly above
+/// it becomes the fold count, and the remaining prefix is enumerated once
+/// here into per-block target offsets. The degenerate decomposition
+/// (`copy_len == 1`, `sum_reps == 1`, one base per entry) is exactly the
+/// per-entry table, so correctness never depends on a favourable layout.
+fn blocked_projection(clique: &Factor, sepset: &[VarId]) -> BlockedProj {
+    let cards = clique.cards();
+    let strides = sepset_strides(clique, sepset);
+    let mut j = cards.len();
+    // Copy run: innermost kept dimensions laid out contiguously in the
+    // target, i.e. each dimension's target stride equals the run length
+    // accumulated so far.
+    let mut copy_len = 1usize;
+    while j > 0 && strides[j - 1] == copy_len && strides[j - 1] != 0 {
+        copy_len *= cards[j - 1];
+        j -= 1;
+    }
+    // Fold run: summed-out dimensions directly above the copy run.
+    let mut sum_reps = 1usize;
+    while j > 0 && strides[j - 1] == 0 {
+        sum_reps *= cards[j - 1];
+        j -= 1;
+    }
+    let blocks: usize = cards[..j].iter().product();
+    let mut base = Vec::with_capacity(blocks);
+    let mut digits = vec![0usize; j];
+    let mut target = 0usize;
+    for _ in 0..blocks {
+        base.push(target as u32);
+        for pos in (0..j).rev() {
+            digits[pos] += 1;
+            target += strides[pos];
+            if digits[pos] < cards[pos] {
+                break;
+            }
+            digits[pos] = 0;
+            target -= strides[pos] * cards[pos];
+        }
+    }
+    debug_assert_eq!(base.len() * sum_reps * copy_len, clique.len());
+    BlockedProj {
+        copy_len: copy_len as u32,
+        sum_reps: sum_reps as u32,
+        base,
+    }
+}
+
 /// The sepset linear index of every iterated clique entry: one slot per
 /// support position when `support` is given, else per clique linear index.
 ///
@@ -211,21 +401,7 @@ fn compress(mode: SparseMode, nnz: usize, len: usize) -> bool {
 fn clique_to_sepset(clique: &Factor, sepset: &[VarId], support: Option<&[u32]>) -> Vec<u32> {
     let vars = clique.vars();
     let cards = clique.cards();
-    let mut target_strides = vec![0usize; vars.len()];
-    {
-        // Sepsets are sorted subsets of the clique scope; walk both in
-        // lockstep assigning row-major strides (last sepset var fastest).
-        let mut stride = 1usize;
-        let mut j = sepset.len();
-        for i in (0..vars.len()).rev() {
-            if j > 0 && vars[i] == sepset[j - 1] {
-                j -= 1;
-                target_strides[i] = stride;
-                stride *= cards[i];
-            }
-        }
-        assert_eq!(j, 0, "sepset must be contained in the clique scope");
-    }
+    let target_strides = sepset_strides(clique, sepset);
     let mut full = Vec::with_capacity(clique.len());
     let mut digits = vec![0usize; vars.len()];
     let mut target = 0usize;
@@ -326,6 +502,121 @@ pub(crate) fn multiply_from(
     }
 }
 
+/// Blocked (stride-aware) marginalize of a dense clique table into
+/// `target`: one sequential sweep of `values`, adding (or maxing)
+/// contiguous `copy_len` runs into contiguous target runs. Bit-identical
+/// to the per-entry [`marginalize_into`] in every mode except the
+/// reassociating `simd` sum reduction (see [`KernelMode`]): blocks and
+/// fold repetitions are visited in ascending source order, so each target
+/// slot combines its contributions in exactly the reference order.
+pub(crate) fn marginalize_blocked(
+    values: &[f64],
+    blocked: &BlockedProj,
+    target: &mut [f64],
+    max_mode: bool,
+    kernel: KernelMode,
+) {
+    let l = blocked.copy_len as usize;
+    let s = blocked.sum_reps as usize;
+    let mut off = 0usize;
+    if max_mode {
+        // Every sepset entry has at least one clique extension, so every
+        // slot is written and the initial value never survives.
+        target.fill(f64::NEG_INFINITY);
+        for &b in &blocked.base {
+            let b = b as usize;
+            for _ in 0..s {
+                let dst = &mut target[b..b + l];
+                for (t, &v) in dst.iter_mut().zip(&values[off..off + l]) {
+                    if v > *t {
+                        *t = v;
+                    }
+                }
+                off += l;
+            }
+        }
+        return;
+    }
+    target.fill(0.0);
+    if l == 1 {
+        // Whole blocks fold into single target slots: keep the reduction
+        // in a register instead of bouncing through memory per entry.
+        if kernel == KernelMode::Simd && s >= 8 {
+            // Four independent accumulators break the serial add chain so
+            // the autovectorizer can chunk f64 lanes. Reassociates the
+            // sum — only reachable through an explicit simd compile.
+            for &b in &blocked.base {
+                let run = &values[off..off + s];
+                let mut acc = [0.0f64; 4];
+                let mut chunks = run.chunks_exact(4);
+                for c in chunks.by_ref() {
+                    acc[0] += c[0];
+                    acc[1] += c[1];
+                    acc[2] += c[2];
+                    acc[3] += c[3];
+                }
+                let mut tail = 0.0f64;
+                for &v in chunks.remainder() {
+                    tail += v;
+                }
+                target[b as usize] += (acc[0] + acc[2]) + (acc[1] + acc[3]) + tail;
+                off += s;
+            }
+        } else {
+            for &b in &blocked.base {
+                let mut acc = target[b as usize];
+                for &v in &values[off..off + s] {
+                    acc += v;
+                }
+                target[b as usize] = acc;
+                off += s;
+            }
+        }
+    } else {
+        // Contiguous lane-parallel adds: independent slots, so the
+        // autovectorizer chunks these without any reassociation.
+        for &b in &blocked.base {
+            let b = b as usize;
+            for _ in 0..s {
+                let dst = &mut target[b..b + l];
+                for (t, &v) in dst.iter_mut().zip(&values[off..off + l]) {
+                    *t += v;
+                }
+                off += l;
+            }
+        }
+    }
+}
+
+/// Blocked multiply of a sepset-sized `update` into a dense clique table:
+/// the gather direction of [`marginalize_blocked`]. Elementwise products
+/// in any order are the same products, so this is bit-identical to the
+/// per-entry [`multiply_from`] in every kernel mode.
+pub(crate) fn multiply_blocked(values: &mut [f64], blocked: &BlockedProj, update: &[f64]) {
+    let l = blocked.copy_len as usize;
+    let s = blocked.sum_reps as usize;
+    let mut off = 0usize;
+    if l == 1 {
+        for &b in &blocked.base {
+            let u = update[b as usize];
+            for v in &mut values[off..off + s] {
+                *v *= u;
+            }
+            off += s;
+        }
+    } else {
+        for &b in &blocked.base {
+            let upd = &update[b as usize..b as usize + l];
+            for _ in 0..s {
+                for (v, &u) in values[off..off + l].iter_mut().zip(upd) {
+                    *v *= u;
+                }
+                off += l;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -347,18 +638,134 @@ mod tests {
     }
 
     #[test]
+    fn kernel_mode_parsing_round_trips() {
+        for mode in KernelMode::ALL {
+            assert_eq!(mode.to_string().parse::<KernelMode>(), Ok(mode));
+        }
+        assert_eq!("SIMD".parse::<KernelMode>(), Ok(KernelMode::Simd));
+        assert!("avx".parse::<KernelMode>().is_err());
+        assert_eq!(KernelMode::default(), KernelMode::Scalar);
+    }
+
+    /// Mixed-cardinality factor so blocked decompositions see uneven dims.
+    fn mixed_factor(cards: &[usize], values: Vec<f64>) -> Factor {
+        Factor::new(
+            cards.iter().enumerate().map(|(i, &c)| (v(i), c)).collect(),
+            values,
+        )
+    }
+
+    #[test]
+    fn blocked_projection_decomposes_known_shapes() {
+        // dims (a:2, b:3, c:4); keep the {b, c} suffix → one 12-entry copy
+        // run, and the summed-out `a` right above it folds into reps.
+        let f = mixed_factor(&[2, 3, 4], (0..24).map(|x| x as f64).collect());
+        let bp = blocked_projection(&f, &[v(1), v(2)]);
+        assert_eq!((bp.copy_len, bp.sum_reps), (12, 2));
+        assert_eq!(bp.base, vec![0]);
+        // Keep only the innermost var → copy run c, fold run absorbs both
+        // summed-out dims b and a.
+        let bp = blocked_projection(&f, &[v(2)]);
+        assert_eq!((bp.copy_len, bp.sum_reps), (4, 6));
+        assert_eq!(bp.base, vec![0]);
+        // Keep {a, c} → copy run c, fold run b, blocks over kept a (target
+        // stride 4).
+        let bp = blocked_projection(&f, &[v(0), v(2)]);
+        assert_eq!((bp.copy_len, bp.sum_reps), (4, 3));
+        assert_eq!(bp.base, vec![0, 4]);
+        // Keep only the middle var → copy run degenerates to 1 entry.
+        let bp = blocked_projection(&f, &[v(1)]);
+        assert_eq!((bp.copy_len, bp.sum_reps), (1, 4));
+        assert_eq!(bp.base, vec![0, 1, 2, 0, 1, 2]);
+        // Empty sepset → everything folds into one slot.
+        let bp = blocked_projection(&f, &[]);
+        assert_eq!((bp.copy_len, bp.sum_reps), (1, 24));
+        assert_eq!(bp.base, vec![0]);
+        // Full sepset → one pure copy run.
+        let bp = blocked_projection(&f, &[v(0), v(1), v(2)]);
+        assert_eq!((bp.copy_len, bp.sum_reps), (24, 1));
+        assert_eq!(bp.base, vec![0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Blocked kernels against the per-entry reference on every sepset
+        /// subset of a random mixed-cardinality clique: sum and max must
+        /// be bit-identical in scalar mode; simd must stay within 1e-12.
+        #[test]
+        fn blocked_kernels_match_per_entry_reference(
+            cards in proptest::collection::vec(2usize..=4, 2..=4),
+            seed in 0u64..1u64 << 48,
+            mask in 1usize..15,
+        ) {
+            let len: usize = cards.iter().product();
+            // Deterministic pseudo-random values from the seed.
+            let values: Vec<f64> = (0..len)
+                .map(|i| {
+                    let x = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                    ((x >> 11) as f64 / (1u64 << 53) as f64) + 0.001
+                })
+                .collect();
+            let clique = mixed_factor(&cards, values);
+            let sepset: Vec<VarId> = (0..cards.len())
+                .filter(|i| mask & (1 << i) != 0)
+                .map(v)
+                .collect();
+            let proj = clique_to_sepset(&clique, &sepset, None);
+            let bp = blocked_projection(&clique, &sepset);
+            let sep_len: usize = sepset
+                .iter()
+                .map(|s| clique.cards()[clique.position(*s).unwrap()])
+                .product();
+            for max_mode in [false, true] {
+                let mut reference = vec![f64::NAN; sep_len];
+                marginalize_into(clique.values(), None, &proj, &mut reference, max_mode);
+                let mut blocked = vec![f64::NAN; sep_len];
+                marginalize_blocked(
+                    clique.values(),
+                    &bp,
+                    &mut blocked,
+                    max_mode,
+                    KernelMode::Scalar,
+                );
+                let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+                let got_bits: Vec<u64> = blocked.iter().map(|x| x.to_bits()).collect();
+                prop_assert_eq!(got_bits, ref_bits, "scalar blocked must be bit-identical");
+                let mut simd = vec![f64::NAN; sep_len];
+                marginalize_blocked(clique.values(), &bp, &mut simd, max_mode, KernelMode::Simd);
+                for (a, b) in simd.iter().zip(&reference) {
+                    prop_assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0));
+                }
+            }
+            // Multiply direction: bit-identical in every mode.
+            let update: Vec<f64> = (0..sep_len).map(|i| 0.5 + i as f64).collect();
+            let mut reference = clique.values().to_vec();
+            multiply_from(&mut reference, None, &proj, &update);
+            let mut blocked = clique.values().to_vec();
+            multiply_blocked(&mut blocked, &bp, &update);
+            let ref_bits: Vec<u64> = reference.iter().map(|x| x.to_bits()).collect();
+            let got_bits: Vec<u64> = blocked.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(got_bits, ref_bits);
+        }
+    }
+
+    #[test]
     fn compress_thresholds() {
         assert!(!compress(SparseMode::Off, 0, 8));
         assert!(compress(SparseMode::On, 7, 8));
         assert!(!compress(SparseMode::On, 8, 8));
-        // Auto follows the cost model: 3·nnz must undercut the table size.
-        assert!(compress(SparseMode::Auto, 2, 8)); // 6 < 8: support wins
-        assert!(!compress(SparseMode::Auto, 3, 8)); // 9 ≥ 8: dense wins
-                                                    // Exactly half zero — the old rule compressed this and lost on
-                                                    // c880; the cost model keeps it dense.
+        // Auto follows the cost model: 5·nnz must undercut the table size.
+        assert!(compress(SparseMode::Auto, 1, 8)); // 5 < 8: support wins
+        assert!(!compress(SparseMode::Auto, 2, 8)); // 10 ≥ 8: dense wins
+                                                    // Exactly half zero — the original rule compressed this and
+                                                    // lost on c880; the cost model keeps it dense.
         assert!(!compress(SparseMode::Auto, 4, 8));
-        // A 75%-zero deterministic-gate table still compresses.
-        assert!(compress(SparseMode::Auto, 16, 64));
+        // 75% zero sat right at the old (pre-blocking) break-even; with
+        // the fused dense kernels it stays dense (alu2 was 0.93x).
+        assert!(!compress(SparseMode::Auto, 16, 64));
+        // A 96%-zero deterministic-gate table still compresses.
+        assert!(compress(SparseMode::Auto, 2, 64));
     }
 
     /// A factor over `n` four-state variables with the given zero pattern.

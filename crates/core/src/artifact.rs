@@ -67,8 +67,10 @@ pub const MAGIC: [u8; 8] = *b"SWACTBN1";
 /// every other version. Version 2 added the structure-strategy tags to
 /// the options codec and the `force_ordered` flag to segment stats;
 /// version 3 added the sampling backend (seed/CI options, sampling
-/// segment artifacts, and the `Fallback::Sampling` degradation tag).
-pub const FORMAT_VERSION: u32 = 3;
+/// segment artifacts, and the `Fallback::Sampling` degradation tag);
+/// version 4 added the propagation-kernel tag to the options codec and
+/// blocked stride tables to the compiled-tree kernels.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Extension used by [`artifact_file_name`].
 pub const ARTIFACT_EXTENSION: &str = "swact";

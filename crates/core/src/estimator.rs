@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 
-use swact_bayesnet::{Heuristic, SparseMode};
+use swact_bayesnet::{Heuristic, KernelMode, SparseMode};
 use swact_circuit::{Circuit, LineId};
 
 use crate::budget::{Budget, DegradationReport};
@@ -66,6 +66,17 @@ pub struct Options {
     /// is compressed only when `3·nnz` beats its dense length (more than
     /// two thirds zeros). Results are bit-identical across modes.
     pub sparse: SparseMode,
+    /// Inner-loop kernel flavor for junction-tree propagation. The default
+    /// [`KernelMode::Scalar`] keeps every floating-point reduction in
+    /// ascending source order, so estimates are bit-identical
+    /// (`f64::to_bits`) to the reference two-pass factor algebra.
+    /// [`KernelMode::Simd`] reassociates long sum reductions into four
+    /// independent accumulator lanes — faster on wide cliques, identical
+    /// to ~1e-15 relative but *not* bit-identical — and is therefore
+    /// hashed into the [`model_key`](crate::model_key) and the persisted
+    /// artifact options, so simd results never share a cache entry or
+    /// artifact with scalar ones.
+    pub kernel: KernelMode,
     /// Which inference engine evaluates each segment's Bayesian network.
     /// The default [`Backend::Jtree`] is the paper's exact junction-tree
     /// propagation; [`Backend::Bdd`] computes per-segment switching
@@ -119,6 +130,7 @@ impl Default for Options {
             single_bn: false,
             boundary_correlation: true,
             sparse: SparseMode::Auto,
+            kernel: KernelMode::Scalar,
             backend: Backend::Jtree,
             seed: 0,
             ci_half_width: 0.01,

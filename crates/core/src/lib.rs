@@ -74,5 +74,5 @@ pub use power::{PowerModel, PowerReport};
 pub use report::{AccuracyReport, ErrorStats, Estimate, ReuseStats};
 pub use segment::{RootSource, Segment, SegmentationPlan};
 pub use strategy::{OrderingStrategy, SegmentationStrategy, StructureStrategy};
-pub use swact_bayesnet::SparseMode;
+pub use swact_bayesnet::{KernelMode, SparseMode};
 pub use transition::{Transition, TransitionDist};

@@ -46,6 +46,14 @@ pub(crate) struct JtreeSegment {
     /// [`Options::incremental`] at compile time, since `propagate` has no
     /// options parameter).
     pub(crate) incremental: bool,
+    /// Whether this segment touches the message cache *at all*. Tiny
+    /// single-clique segments (c17-scale) spend more on hashing evidence
+    /// signatures per edge than a full recompute costs, so when the
+    /// compiled tree's own cost model says hashing cannot pay for itself
+    /// the segment propagates with plain [`CompiledTree::calibrate`] —
+    /// bit-identical to the cached path by construction, warm ≡ cold
+    /// trivially.
+    pub(crate) cache_worthwhile: bool,
     pub(crate) solo_roots: Vec<(LineId, VarId, RootSource)>,
     pub(crate) pair_roots: Vec<PairRoot>,
     pub(crate) input_pairs: Vec<InputPair>,
@@ -159,7 +167,12 @@ impl InferenceBackend for JtreeBackend {
             let init_potentials = initial_potentials(&tree, &model.net);
             let total_states = tree.total_states();
             let max_clique_states = tree.max_clique_states();
-            let compiled = CompiledTree::from_parts_with(tree, init_potentials, options.sparse);
+            let compiled = CompiledTree::from_parts_with_kernel(
+                tree,
+                init_potentials,
+                options.sparse,
+                options.kernel,
+            );
             (
                 SegmentStats {
                     total_states,
@@ -192,12 +205,14 @@ impl InferenceBackend for JtreeBackend {
             }
         };
         let msg_cache = compiled.new_message_cache();
+        let cache_worthwhile = compiled.message_cache_worthwhile();
         Ok(CompiledSegment::new(
             Box::new(JtreeSegment {
                 compiled,
                 states: Mutex::new(Vec::new()),
                 msg_cache,
                 incremental: options.incremental,
+                cache_worthwhile,
                 solo_roots: model.solo_roots.clone(),
                 pair_roots: model.pair_roots.clone(),
                 input_pairs: model.input_pairs.clone(),
@@ -275,14 +290,20 @@ impl InferenceBackend for JtreeBackend {
         }
         // Warm states may reuse cached collect messages (bit-identical by
         // construction); with incremental propagation off the state runs
-        // cold but still refreshes the cache.
-        state.set_mode(if art.incremental {
-            PropagationMode::Warm
+        // cold but still refreshes the cache. Segments whose compiled cost
+        // model says evidence-signature hashing outweighs the recompute it
+        // saves bypass the cache machinery entirely.
+        let (messages_reused, messages_recomputed) = if art.cache_worthwhile {
+            state.set_mode(if art.incremental {
+                PropagationMode::Warm
+            } else {
+                PropagationMode::Cold
+            });
+            compiled.calibrate_with_cache(&mut state, &art.msg_cache)
         } else {
-            PropagationMode::Cold
-        });
-        let (messages_reused, messages_recomputed) =
-            compiled.calibrate_with_cache(&mut state, &art.msg_cache);
+            compiled.calibrate(&mut state);
+            (0, 0)
+        };
         let gate_dists = art
             .gates
             .iter()
@@ -297,7 +318,7 @@ impl InferenceBackend for JtreeBackend {
             if var_a == var_b {
                 continue;
             }
-            if let Some(joint) = compiled.pairwise_marginal(&state, var_a, var_b) {
+            if let Some(joint) = compiled.pairwise_marginal_scratch(&mut state, var_a, var_b) {
                 let a_first = joint.vars()[0] == var_a;
                 let mut out = [[0.0f64; 4]; 4];
                 for (a_state, row) in out.iter_mut().enumerate() {
@@ -317,7 +338,7 @@ impl InferenceBackend for JtreeBackend {
         let mut exports = Vec::new();
         for export in roots.exports {
             let joint = compiled
-                .pairwise_marginal(&state, export.parent_var, export.child_var)
+                .pairwise_marginal_scratch(&mut state, export.parent_var, export.child_var)
                 .expect("export pairs share a component by construction");
             let parent_first = joint.vars()[0] == export.parent_var;
             let mut cond = [0.0f64; 16];

@@ -266,6 +266,15 @@ impl SegmentModel {
         self.index
     }
 
+    /// The segment's Bayesian network: the 4-state LIDAG with placeholder
+    /// uniform root priors and deterministic gate CPTs. This is exactly
+    /// what the junction-tree backend compiles, so harnesses can rebuild
+    /// the same trees out-of-pipeline (the kernel microbenchmarks time
+    /// calibration on these nets in isolation).
+    pub fn net(&self) -> &BayesNet {
+        &self.net
+    }
+
     /// Number of root lines (primary inputs + boundary lines).
     pub fn num_roots(&self) -> usize {
         self.solo_roots.len() + self.pair_roots.len() + self.input_pairs.len()

@@ -26,7 +26,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use swact_bayesnet::codec::{read_compiled_tree, write_compiled_tree, CodecError, Reader, Writer};
-use swact_bayesnet::{Heuristic, SparseMode, VarId};
+use swact_bayesnet::{Heuristic, KernelMode, SparseMode, VarId};
 use swact_bdd::{Bdd, NodeId};
 use swact_circuit::{Circuit, CircuitBuilder, Driver, GateKind, LineId};
 
@@ -270,6 +270,13 @@ pub(crate) fn write_options(w: &mut Writer, options: &Options) {
     w.u64(options.seed);
     w.f64_bits(options.ci_half_width);
     w.f64_bits(options.ci_z);
+    // Format version 4: propagation kernel flavor. Feeding the tag into
+    // the payload (and thus the checksum and model key) is what keeps
+    // scalar and simd artifacts from ever sharing a cache slot.
+    w.u8(match options.kernel {
+        KernelMode::Scalar => 0,
+        KernelMode::Simd => 1,
+    });
 }
 
 fn read_options(r: &mut Reader<'_>) -> Result<Options, CodecError> {
@@ -320,6 +327,11 @@ fn read_options(r: &mut Reader<'_>) -> Result<Options, CodecError> {
     let seed = r.u64()?;
     let ci_half_width = r.f64_bits()?;
     let ci_z = r.f64_bits()?;
+    let kernel = match r.u8()? {
+        0 => KernelMode::Scalar,
+        1 => KernelMode::Simd,
+        other => return Err(malformed(format!("unknown kernel tag {other}"))),
+    };
     Ok(Options {
         heuristic,
         max_fanin,
@@ -328,6 +340,7 @@ fn read_options(r: &mut Reader<'_>) -> Result<Options, CodecError> {
         single_bn,
         boundary_correlation,
         sparse,
+        kernel,
         backend,
         budget: Budget {
             max_states,
@@ -487,11 +500,16 @@ fn read_jtree_segment(
         gates.push((line, var));
     }
     let msg_cache = compiled.new_message_cache();
+    // Re-derived, not persisted: the decision is a pure function of the
+    // decoded compiled tree, so a loaded artifact decides identically to
+    // the original compile.
+    let cache_worthwhile = compiled.message_cache_worthwhile();
     Ok(JtreeSegment {
         compiled,
         states: Mutex::new(Vec::new()),
         msg_cache,
         incremental: options.incremental,
+        cache_worthwhile,
         solo_roots,
         pair_roots,
         input_pairs,

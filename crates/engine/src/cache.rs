@@ -157,6 +157,18 @@ mod tests {
             model_key(&c1, &spec, &sparse_off)
         );
 
+        // The simd kernel reassociates reductions, so its results are not
+        // bit-identical to scalar ones: a simd request must never be served
+        // a scalar cache entry (or vice versa).
+        let simd = Options {
+            kernel: swact::KernelMode::Simd,
+            ..Options::default()
+        };
+        assert_ne!(
+            model_key(&c1, &spec, &options),
+            model_key(&c1, &spec, &simd)
+        );
+
         // Same circuit and spec under a different backend must be a
         // different model — the cache may never mix backends.
         for backend in [

@@ -1165,7 +1165,10 @@ mod tests {
         let metrics = engine.metrics();
         assert_eq!(metrics.segments_skipped, 0);
         assert_eq!(metrics.messages_reused, 0);
-        assert!(metrics.messages_recomputed > 0);
+        // c17 sits below the message cache's break-even point, so the
+        // segment bypasses the cache entirely: nothing is recomputed
+        // *through the cache* either — both counters pin at zero.
+        assert_eq!(metrics.messages_recomputed, 0);
         assert_eq!(metrics.message_reuse_ratio(), 0.0);
     }
 

@@ -94,7 +94,15 @@ fn gate_circuits_actually_compress() {
         "expected deterministic CPTs to zero out a large share, got {}",
         auto.zero_fraction()
     );
-    assert!(auto.compressed_cliques() > 0);
+    // c17's single-gate cliques are at most 75% zero — under the
+    // fused-kernel cost model (`SPARSE_COST_PER_ENTRY` = 5, break-even
+    // at 80% zeros) Auto deliberately keeps them dense: the blocked
+    // sweeps beat support iteration there (BENCH_sparse.json).
+    assert_eq!(auto.compressed_cliques(), 0);
+
+    let on = CompiledEstimator::compile_for(&circuit, &spec, &options(SparseMode::On))
+        .expect("compiles");
+    assert!(on.compressed_cliques() > 0);
 
     let off = CompiledEstimator::compile_for(&circuit, &spec, &options(SparseMode::Off))
         .expect("compiles");
